@@ -1,0 +1,105 @@
+package readopt
+
+import (
+	"fmt"
+
+	"github.com/readoptdb/readopt/internal/advisor"
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/model"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// WorkloadQuery describes one recurring query for the physical-design
+// advisor.
+type WorkloadQuery struct {
+	// Columns the query selects.
+	Columns []string
+	// Selectivity of its predicates (fraction of qualifying rows).
+	Selectivity float64
+	// Weight is the query's relative frequency (defaults to 1).
+	Weight float64
+}
+
+// DesignAdvice is the advisor's recommendation for a table under a
+// workload on particular hardware — the role of the paper's Figure 1
+// compression and MV advisors.
+type DesignAdvice struct {
+	// Layout is the recommended physical layout.
+	Layout Layout
+	// Speedup is the workload-weighted predicted column-over-row speedup
+	// behind the choice.
+	Speedup float64
+	// Columns carries the advised per-column compression.
+	Columns []Column
+	// TupleBytes and CompressedBytes compare stored widths before and
+	// after the advised compression.
+	TupleBytes      int
+	CompressedBytes int
+}
+
+var encToCompression = map[string]Compression{
+	"raw": None, "pack": BitPack, "dict": Dict, "for": FOR, "delta": FORDelta,
+}
+
+// AdviseDesign samples the table's data, evaluates the workload with the
+// paper's analytical model on the given hardware, and recommends a
+// physical design: layout plus per-column compression.
+func (t *Table) AdviseDesign(workload []WorkloadQuery, hw Hardware) (*DesignAdvice, error) {
+	stats, err := advisor.ProfileTable(t.t, 100_000)
+	if err != nil {
+		return nil, err
+	}
+	profiles := make([]advisor.QueryProfile, len(workload))
+	for i, q := range workload {
+		proj := make([]int, len(q.Columns))
+		for k, c := range q.Columns {
+			a, err := t.resolve(c)
+			if err != nil {
+				return nil, err
+			}
+			proj[k] = a
+		}
+		profiles[i] = advisor.QueryProfile{Proj: proj, Selectivity: q.Selectivity, Weight: q.Weight}
+	}
+	m := cpumodel.Paper2006()
+	m.ClockHz = hw.ClockGHz * 1e9
+	m.CPUs = hw.CPUs
+	cfg := model.FromMachine(m, float64(hw.Disks)*hw.DiskMBps*1e6)
+	rec, err := advisor.Advise(t.t, stats, profiles, cfg, m)
+	if err != nil {
+		return nil, err
+	}
+	advice := &DesignAdvice{
+		Speedup:         rec.Speedup,
+		TupleBytes:      rec.TupleBytes,
+		CompressedBytes: rec.CompressedBytes,
+	}
+	switch rec.Layout {
+	case "row":
+		advice.Layout = RowLayout
+	case "column":
+		advice.Layout = ColumnLayout
+	case "pax":
+		advice.Layout = PAXLayout
+	default:
+		return nil, fmt.Errorf("readopt: advisor returned unknown layout %q", rec.Layout)
+	}
+	for _, a := range rec.Attrs {
+		col := Column{Name: a.Name, Bits: a.Bits}
+		if a.Type.Kind == schema.Int32 {
+			col.Type = Int32
+		} else {
+			col.Type = Text(a.Type.Size)
+		}
+		comp, ok := encToCompression[a.Enc.String()]
+		if !ok {
+			return nil, fmt.Errorf("readopt: advisor returned unknown encoding %v", a.Enc)
+		}
+		col.Compression = comp
+		if comp == None {
+			col.Bits = 0
+		}
+		advice.Columns = append(advice.Columns, col)
+	}
+	return advice, nil
+}

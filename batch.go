@@ -1,0 +1,174 @@
+package readopt
+
+import (
+	"fmt"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/share"
+)
+
+// QueryBatch evaluates several queries against the table in one shared
+// pass — scan sharing, as in Teradata, RedBrick and SQL Server (the
+// paper's Section 2.1.1): the table's data is read once and every query
+// consumes the same stream, so N concurrent queries cost one scan's I/O.
+// Queries may not use Limit. The returned result iterators are fully
+// materialized and independent.
+func (t *Table) QueryBatch(queries []Query) ([]*Rows, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	// The shared scan reads the union of the columns any query touches.
+	var unionCols []string
+	colPos := map[string]int{}
+	addCol := func(name string) error {
+		if _, err := t.resolve(name); err != nil {
+			return err
+		}
+		if _, ok := colPos[name]; !ok {
+			colPos[name] = len(unionCols)
+			unionCols = append(unionCols, name)
+		}
+		return nil
+	}
+	for i, q := range queries {
+		if q.Limit > 0 {
+			return nil, fmt.Errorf("readopt: batch query %d uses Limit, unsupported in a shared scan", i)
+		}
+		sel := q.Select
+		if len(sel) == 0 {
+			if len(q.Aggs) == 0 {
+				return nil, fmt.Errorf("readopt: batch query %d selects nothing", i)
+			}
+			sel = q.GroupBy
+		}
+		for _, c := range sel {
+			if err := addCol(c); err != nil {
+				return nil, err
+			}
+		}
+		for _, c := range q.GroupBy {
+			if err := addCol(c); err != nil {
+				return nil, err
+			}
+		}
+		for _, c := range q.Where {
+			if err := addCol(c.Column); err != nil {
+				return nil, err
+			}
+		}
+		for _, a := range q.Aggs {
+			if a.Column != "" {
+				if err := addCol(a.Column); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if len(unionCols) == 0 {
+		unionCols = []string{t.t.Schema.Attrs[0].Name}
+	}
+	proj := make([]int, len(unionCols))
+	for i, c := range unionCols {
+		proj[i], _ = t.resolve(c)
+	}
+	var counters cpumodel.Counters
+	src, err := t.scanOperator(nil, proj, &counters)
+	if err != nil {
+		return nil, err
+	}
+	// Translate each facade query into a share.Query against the shared
+	// schema.
+	sharedQs := make([]share.Query, len(queries))
+	for i, q := range queries {
+		sel := q.Select
+		if len(sel) == 0 {
+			sel = q.GroupBy
+		}
+		sq := share.Query{}
+		for _, c := range q.Where {
+			p, err := condToPred(c, colPos[c.Column])
+			if err != nil {
+				return nil, err
+			}
+			sq.Preds = append(sq.Preds, p)
+		}
+		outPos := map[string]int{}
+		for _, c := range sel {
+			outPos[c] = len(sq.Proj)
+			sq.Proj = append(sq.Proj, colPos[c])
+		}
+		for _, c := range q.GroupBy {
+			if _, ok := outPos[c]; !ok {
+				outPos[c] = len(sq.Proj)
+				sq.Proj = append(sq.Proj, colPos[c])
+			}
+		}
+		for _, a := range q.Aggs {
+			if a.Column != "" {
+				if _, ok := outPos[a.Column]; !ok {
+					outPos[a.Column] = len(sq.Proj)
+					sq.Proj = append(sq.Proj, colPos[a.Column])
+				}
+			}
+		}
+		if len(sq.Proj) == 0 {
+			// A bare count(*) still needs a driving column; use the
+			// shared stream's first.
+			sq.Proj = []int{0}
+		}
+		for _, g := range q.GroupBy {
+			sq.GroupBy = append(sq.GroupBy, outPos[g])
+		}
+		for _, a := range q.Aggs {
+			f, ok := aggFuncs[a.Func]
+			if !ok {
+				return nil, fmt.Errorf("readopt: unknown aggregate %q", a.Func)
+			}
+			spec := exec.AggSpec{Func: f}
+			if f != exec.Count {
+				spec.Attr = outPos[a.Column]
+			}
+			sq.Aggs = append(sq.Aggs, spec)
+		}
+		sharedQs[i] = sq
+	}
+
+	results, err := share.Run(src, sharedQs, &counters)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Rows, len(results))
+	for i, res := range results {
+		slice, err := exec.NewSliceSource(res.Schema, res.Tuples, 0)
+		if err != nil {
+			return nil, err
+		}
+		if err := slice.Open(); err != nil {
+			return nil, err
+		}
+		out[i] = &Rows{op: slice, sch: res.Schema, counters: &counters}
+	}
+	return out, nil
+}
+
+// condToPred converts a facade condition to an engine predicate on the
+// given attribute index.
+func condToPred(c Cond, attr int) (exec.Predicate, error) {
+	op, ok := cmpOps[c.Op]
+	if !ok {
+		return exec.Predicate{}, fmt.Errorf("readopt: unknown comparison %q", c.Op)
+	}
+	switch v := c.Value.(type) {
+	case int:
+		return exec.IntPred(attr, op, int32(v)), nil
+	case int32:
+		return exec.IntPred(attr, op, v), nil
+	case int64:
+		return exec.IntPred(attr, op, int32(v)), nil
+	case string:
+		return exec.TextPred(attr, op, v), nil
+	default:
+		return exec.Predicate{}, fmt.Errorf("readopt: unsupported predicate value %T", c.Value)
+	}
+}

@@ -1,0 +1,555 @@
+package readopt
+
+// Benchmarks: one per table/figure of the paper's evaluation (each
+// iteration runs a representative experiment cell end to end — real
+// measured scan plus full-scale replay — and reports the modelled
+// elapsed seconds as metrics), plus real-engine throughput benchmarks and
+// the ablations called out in DESIGN.md.
+//
+//	go test -bench=. -benchmem
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/aio"
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/harness"
+	"github.com/readoptdb/readopt/internal/model"
+	"github.com/readoptdb/readopt/internal/scan"
+	"github.com/readoptdb/readopt/internal/schema"
+	"github.com/readoptdb/readopt/internal/share"
+	"github.com/readoptdb/readopt/internal/store"
+	"github.com/readoptdb/readopt/internal/tpch"
+)
+
+var (
+	benchOnce sync.Once
+	benchH    *harness.Harness
+	benchErr  error
+)
+
+// benchHarness shares one harness (and its cached tables) across all
+// benchmarks.
+func benchHarness(b *testing.B) *harness.Harness {
+	b.Helper()
+	benchOnce.Do(func() {
+		p := harness.DefaultParams()
+		p.MeasureTuples = 100_000
+		dir, err := os.MkdirTemp("", "readopt-bench-")
+		if err != nil {
+			benchErr = err
+			return
+		}
+		p.DataDir = dir
+		benchH, benchErr = harness.New(p)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchH
+}
+
+// runCell benchmarks one experiment cell and reports its modelled times.
+func runCell(b *testing.B, sys harness.System, sch *schema.Schema, q harness.Query, opts harness.RunOpts) {
+	b.Helper()
+	h := benchHarness(b)
+	var pt harness.Point
+	var err error
+	for i := 0; i < b.N; i++ {
+		pt, err = h.RunScan(sys, sch, q, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(pt.ElapsedSec, "modelled-s")
+	b.ReportMetric(pt.CPU.Total(), "modelled-cpu-s")
+}
+
+// BenchmarkFig2SpeedupContour regenerates the Figure 2 grid from the
+// analytical model.
+func BenchmarkFig2SpeedupContour(b *testing.B) {
+	var cells []model.Figure2Cell
+	var err error
+	for i := 0; i < b.N; i++ {
+		cells, err = model.Figure2(cpumodel.Paper2006(), cpumodel.DefaultCosts())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(cells)), "cells")
+}
+
+// BenchmarkFig6Baseline runs the baseline experiment's half-projection
+// cell for both systems.
+func BenchmarkFig6Baseline(b *testing.B) {
+	q := harness.Query{AttrsSelected: 8, Selectivity: 0.10}
+	b.Run("row", func(b *testing.B) { runCell(b, harness.RowSystem, schema.Lineitem(), q, harness.RunOpts{}) })
+	b.Run("column", func(b *testing.B) { runCell(b, harness.ColumnSystem, schema.Lineitem(), q, harness.RunOpts{}) })
+}
+
+// BenchmarkFig7LowSelectivity runs the 0.1% selectivity cell.
+func BenchmarkFig7LowSelectivity(b *testing.B) {
+	q := harness.Query{AttrsSelected: 16, Selectivity: 0.001}
+	b.Run("column", func(b *testing.B) { runCell(b, harness.ColumnSystem, schema.Lineitem(), q, harness.RunOpts{}) })
+}
+
+// BenchmarkFig8NarrowTuples runs the ORDERS full-projection cell.
+func BenchmarkFig8NarrowTuples(b *testing.B) {
+	q := harness.Query{AttrsSelected: 7, Selectivity: 0.10}
+	b.Run("row", func(b *testing.B) { runCell(b, harness.RowSystem, schema.Orders(), q, harness.RunOpts{}) })
+	b.Run("column", func(b *testing.B) { runCell(b, harness.ColumnSystem, schema.Orders(), q, harness.RunOpts{}) })
+}
+
+// BenchmarkFig9Compression runs the compressed ORDERS-Z cells under both
+// key encodings.
+func BenchmarkFig9Compression(b *testing.B) {
+	q := harness.Query{AttrsSelected: 7, Selectivity: 0.10}
+	b.Run("for-delta", func(b *testing.B) { runCell(b, harness.ColumnSystem, schema.OrdersZ(), q, harness.RunOpts{}) })
+	b.Run("for", func(b *testing.B) { runCell(b, harness.ColumnSystem, schema.OrdersZFOR(), q, harness.RunOpts{}) })
+}
+
+// BenchmarkFig10Prefetch sweeps the prefetch depth.
+func BenchmarkFig10Prefetch(b *testing.B) {
+	q := harness.Query{AttrsSelected: 7, Selectivity: 0.10}
+	for _, d := range []int{2, 8, 48} {
+		d := d
+		b.Run("depth-"+itoa(d), func(b *testing.B) {
+			runCell(b, harness.ColumnSystem, schema.Orders(), q, harness.RunOpts{Depth: d})
+		})
+	}
+}
+
+// BenchmarkFig11Competition runs the competing-scan cells.
+func BenchmarkFig11Competition(b *testing.B) {
+	q := harness.Query{AttrsSelected: 7, Selectivity: 0.10}
+	opts := harness.RunOpts{Depth: 48, CompeteLineitem: true}
+	b.Run("row", func(b *testing.B) { runCell(b, harness.RowSystem, schema.Orders(), q, opts) })
+	b.Run("column", func(b *testing.B) { runCell(b, harness.ColumnSystem, schema.Orders(), q, opts) })
+	b.Run("column-slow", func(b *testing.B) { runCell(b, harness.ColumnSlow, schema.Orders(), q, opts) })
+}
+
+// BenchmarkTable1Trends derives the trend table.
+func BenchmarkTable1Trends(b *testing.B) {
+	h := benchHarness(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Real-engine throughput benchmarks -------------------------------
+
+// benchTables lazily loads real tables for engine benchmarks.
+var (
+	benchTblOnce sync.Once
+	benchTblRow  *store.Table
+	benchTblCol  *store.Table
+	benchTblErr  error
+)
+
+const benchRows = 200_000
+
+func benchTables(b *testing.B) (*store.Table, *store.Table) {
+	b.Helper()
+	benchTblOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "readopt-bench-tbl-")
+		if err != nil {
+			benchTblErr = err
+			return
+		}
+		benchTblRow, benchTblErr = store.LoadSynthetic(filepath.Join(dir, "row"), schema.Orders(), store.Row, 4096, 1, benchRows)
+		if benchTblErr != nil {
+			return
+		}
+		benchTblCol, benchTblErr = store.LoadSynthetic(filepath.Join(dir, "col"), schema.Orders(), store.Column, 4096, 1, benchRows)
+	})
+	if benchTblErr != nil {
+		b.Fatal(benchTblErr)
+	}
+	return benchTblRow, benchTblCol
+}
+
+func benchOpen(b *testing.B, path string) aio.Reader {
+	b.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := aio.NewOSReader(f, 128<<10, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+func benchPred(b *testing.B, sch *schema.Schema, sel float64) []exec.Predicate {
+	b.Helper()
+	th, err := tpch.Threshold(sch, sel)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return []exec.Predicate{exec.IntPred(0, exec.Lt, th)}
+}
+
+// BenchmarkRowScanEngine measures the real row scanner's throughput on
+// this machine.
+func BenchmarkRowScanEngine(b *testing.B) {
+	row, _ := benchTables(b)
+	b.SetBytes(benchRows * 32)
+	for i := 0; i < b.N; i++ {
+		s, err := scan.NewRowScanner(scan.RowConfig{
+			Schema:   row.Schema,
+			PageSize: row.PageSize,
+			Reader:   benchOpen(b, row.RowPath()),
+			Preds:    benchPred(b, row.Schema, 0.10),
+			Proj:     []int{0, 5},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := exec.Drain(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchColScan builds a column scan over the benchmark table.
+func benchColConfig(b *testing.B, col *store.Table, proj []int, sel float64) scan.ColConfig {
+	b.Helper()
+	preds := benchPred(b, col.Schema, sel)
+	readers := map[int]aio.Reader{}
+	need := map[int]bool{0: true}
+	for _, a := range proj {
+		need[a] = true
+	}
+	for a := range need {
+		readers[a] = benchOpen(b, col.ColumnPath(a))
+	}
+	return scan.ColConfig{
+		Schema:   col.Schema,
+		PageSize: col.PageSize,
+		Readers:  readers,
+		Preds:    preds,
+		Proj:     proj,
+	}
+}
+
+// BenchmarkColumnScanEngine measures the real pipelined column scanner.
+func BenchmarkColumnScanEngine(b *testing.B) {
+	_, col := benchTables(b)
+	b.SetBytes(benchRows * 8) // two selected int columns
+	for i := 0; i < b.N; i++ {
+		s, err := scan.NewColScanner(benchColConfig(b, col, []int{0, 5}, 0.10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := exec.Drain(s); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md section 5) ----------------------------------
+
+// BenchmarkAblationScanners compares the three column-access strategies
+// on identical queries: the paper's pipelined scanner, the
+// single-iterator (PAX-style) variant, and the row scanner as baseline.
+func BenchmarkAblationScanners(b *testing.B) {
+	row, col := benchTables(b)
+	proj := []int{0, 2, 5}
+	b.Run("pipelined", func(b *testing.B) {
+		b.SetBytes(benchRows * 12)
+		for i := 0; i < b.N; i++ {
+			s, err := scan.NewColScanner(benchColConfig(b, col, proj, 0.10))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := exec.Drain(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("single-iterator", func(b *testing.B) {
+		b.SetBytes(benchRows * 12)
+		for i := 0; i < b.N; i++ {
+			s, err := scan.NewSingleIterScanner(benchColConfig(b, col, proj, 0.10))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := exec.Drain(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("row", func(b *testing.B) {
+		b.SetBytes(benchRows * 32)
+		for i := 0; i < b.N; i++ {
+			s, err := scan.NewRowScanner(scan.RowConfig{
+				Schema:   row.Schema,
+				PageSize: row.PageSize,
+				Reader:   benchOpen(b, row.RowPath()),
+				Preds:    benchPred(b, row.Schema, 0.10),
+				Proj:     proj,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := exec.Drain(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationBlockSize varies the tuple-block size around the
+// paper's L1-sized choice of 100.
+func BenchmarkAblationBlockSize(b *testing.B) {
+	_, col := benchTables(b)
+	for _, bt := range []int{10, 100, 1000} {
+		bt := bt
+		b.Run("block-"+itoa(bt), func(b *testing.B) {
+			b.SetBytes(benchRows * 8)
+			for i := 0; i < b.N; i++ {
+				cfg := benchColConfig(b, col, []int{0, 5}, 0.10)
+				cfg.BlockTuples = bt
+				s, err := scan.NewColScanner(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := exec.Drain(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPushdown compares evaluating the predicate inside the
+// scan (pushed to the deepest node) against filtering above the scan.
+func BenchmarkAblationPushdown(b *testing.B) {
+	_, col := benchTables(b)
+	b.Run("pushed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := scan.NewColScanner(benchColConfig(b, col, []int{0, 5}, 0.10))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := exec.Drain(s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("filter-above", func(b *testing.B) {
+		th, _ := tpch.Threshold(col.Schema, 0.10)
+		for i := 0; i < b.N; i++ {
+			cfg := benchColConfig(b, col, []int{0, 5}, 1.0)
+			cfg.Preds = nil
+			s, err := scan.NewColScanner(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			f, err := exec.NewFilter(s, []exec.Predicate{exec.IntPred(0, exec.Lt, th)}, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := exec.Drain(f); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationCodecs measures per-value decode cost of each
+// compression scheme on a sorted key column.
+func BenchmarkAblationCodecs(b *testing.B) {
+	specs := []struct {
+		name string
+		sch  *schema.Schema
+		attr int
+	}{
+		{"delta8", schema.OrdersZ(), schema.OOrderKey},
+		{"for16", schema.OrdersZFOR(), schema.OOrderKey},
+		{"pack14", schema.OrdersZ(), schema.OOrderDate},
+		{"raw32", schema.Orders(), schema.OOrderKey},
+	}
+	for _, sp := range specs {
+		sp := sp
+		b.Run(sp.name, func(b *testing.B) {
+			dir := b.TempDir()
+			tbl, err := store.LoadSynthetic(dir, sp.sch, store.Column, 4096, 1, 50_000)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.SetBytes(50_000 * 4)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := scan.NewColScanner(scan.ColConfig{
+					Schema:   tbl.Schema,
+					PageSize: tbl.PageSize,
+					Readers:  map[int]aio.Reader{sp.attr: benchOpen(b, tbl.ColumnPath(sp.attr))},
+					Dicts:    tbl.Dicts,
+					Proj:     []int{sp.attr},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := exec.Drain(s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// BenchmarkAblationPAX compares the PAX scanner against row and column on
+// the modelled experiment cell (I/O equal to row, CPU close to column).
+func BenchmarkAblationPAX(b *testing.B) {
+	q := harness.Query{AttrsSelected: 2, Selectivity: 0.10}
+	b.Run("row", func(b *testing.B) { runCell(b, harness.RowSystem, schema.Lineitem(), q, harness.RunOpts{}) })
+	b.Run("pax", func(b *testing.B) { runCell(b, harness.PAXSystem, schema.Lineitem(), q, harness.RunOpts{}) })
+	b.Run("column", func(b *testing.B) { runCell(b, harness.ColumnSystem, schema.Lineitem(), q, harness.RunOpts{}) })
+}
+
+// BenchmarkSharedScan measures scan sharing: N aggregate queries answered
+// from one pass versus N separate passes.
+func BenchmarkSharedScan(b *testing.B) {
+	_, col := benchTables(b)
+	th, err := tpch.Threshold(col.Schema, 0.10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	mkQueries := func() []share.Query {
+		return []share.Query{
+			{Proj: []int{0, 1}, Preds: []exec.Predicate{exec.IntPred(0, exec.Lt, th)},
+				Aggs: []exec.AggSpec{{Func: exec.Count}}},
+			{Proj: []int{2}, Aggs: []exec.AggSpec{{Func: exec.Min, Attr: 0}, {Func: exec.Max, Attr: 0}}},
+			// Indexes refer to the shared stream's output schema
+			// (O_ORDERDATE, O_ORDERKEY, O_CUSTKEY, O_ORDERSTATUS,
+			// O_TOTALPRICE).
+			{Proj: []int{3, 4}, GroupBy: []int{0},
+				Aggs: []exec.AggSpec{{Func: exec.Count}, {Func: exec.Avg, Attr: 1}}},
+		}
+	}
+	sharedSrc := func() exec.Operator {
+		s, err := scan.NewColScanner(benchColConfig(b, col, []int{0, 1, 2, 3, 5}, 1.0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	b.Run("shared-3-queries", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := share.Run(sharedSrc(), mkQueries(), nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("separate-3-queries", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, q := range mkQueries() {
+				if _, err := share.Run(sharedSrc(), []share.Query{q}, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkParallelScan measures the real wall-clock effect of the
+// partitioned scan on this machine.
+func BenchmarkParallelScan(b *testing.B) {
+	dir, err := os.MkdirTemp("", "readopt-par-")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tbl, err := GenerateTPCH(filepath.Join(dir, "t"), Orders(), ColumnLayout, 400_000, 1, LoadOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	th, err := tbl.SelectivityThreshold(0.10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := Query{
+		GroupBy: []string{"O_ORDERSTATUS"},
+		Aggs:    []Agg{{Func: "count"}, {Func: "avg", Column: "O_TOTALPRICE"}},
+		Where:   []Cond{{Column: "O_ORDERDATE", Op: "<", Value: th}},
+	}
+	for _, dop := range []int{1, 2, 4} {
+		dop := dop
+		b.Run("dop-"+itoa(dop), func(b *testing.B) {
+			b.SetBytes(400_000 * 12)
+			for i := 0; i < b.N; i++ {
+				rows, err := tbl.QueryParallel(q, dop)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for rows.Next() {
+				}
+				if err := rows.Err(); err != nil {
+					b.Fatal(err)
+				}
+				rows.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTopN compares the fused bounded-heap top-n against a
+// full sort followed by a limit.
+func BenchmarkAblationTopN(b *testing.B) {
+	_, col := benchTables(b)
+	keys := []exec.SortKey{{Attr: 1, Desc: true}}
+	mkScan := func() exec.Operator {
+		s, err := scan.NewColScanner(benchColConfig(b, col, []int{0, 5}, 1.0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	b.Run("topn-10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			op, err := exec.NewTopN(mkScan(), keys, 10, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := exec.Drain(op); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sort-limit-10", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			srt, err := exec.NewSort(mkScan(), keys, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			op, err := exec.NewLimit(srt, 10)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := exec.Drain(op); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,57 @@
+// Command experiments regenerates the paper's evaluation: every figure
+// and table of "Performance Tradeoffs in Read-Optimized Databases"
+// (VLDB 2006), on a simulated version of its 2006 testbed.
+//
+//	experiments                      # everything, to stdout
+//	experiments -fig fig6            # one experiment
+//	experiments -data /tmp/cache     # cache the measure-phase tables
+//	experiments -tuples 500000       # measurement scale
+//	experiments -out results.txt     # write to a file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"github.com/readoptdb/readopt"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "experiment to run: all, "+strings.Join(readopt.FigureIDs(), ", "))
+	data := flag.String("data", "", "directory caching the measure-phase tables (default: temporary)")
+	tuples := flag.Int64("tuples", 200_000, "measure-phase table scale in tuples")
+	out := flag.String("out", "", "output file (default stdout)")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	repro, err := readopt.NewReproduction(readopt.ReproductionOptions{
+		DataDir:       *data,
+		MeasureTuples: *tuples,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	if *fig == "all" {
+		err = repro.WriteAll(w)
+	} else {
+		err = repro.WriteFigure(w, *fig)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

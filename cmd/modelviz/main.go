@@ -1,0 +1,59 @@
+// Command modelviz prints the paper's analytical model outputs: the
+// Figure 2 speedup contour, per-configuration predictions, and the
+// index-versus-scan break-even point.
+//
+//	modelviz                      # Figure 2 grid
+//	modelviz -cpdb 108 -width 32  # one prediction
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/readoptdb/readopt"
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/harness"
+	"github.com/readoptdb/readopt/internal/model"
+)
+
+func main() {
+	cpdb := flag.Float64("cpdb", 0, "predict one configuration at this cpdb rating (0 prints the full grid)")
+	width := flag.Int("width", 32, "tuple width in bytes for -cpdb predictions")
+	projection := flag.Float64("projection", 0.5, "fraction of attributes selected")
+	selectivity := flag.Float64("selectivity", 0.10, "predicate selectivity")
+	flag.Parse()
+
+	if *cpdb > 0 {
+		hw := readopt.PaperHardware()
+		// Adjust disk bandwidth to hit the requested rating.
+		hw.DiskMBps = hw.ClockGHz * 1e3 * float64(hw.CPUs) / (*cpdb * float64(hw.Disks))
+		p, err := readopt.PredictSpeedup(hw, readopt.WorkloadSpec{
+			TupleBytes: *width, NumColumns: 16,
+			ProjectedFraction: *projection, Selectivity: *selectivity,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "modelviz: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("cpdb %.0f, %dB tuples, %.0f%% projection, %.1f%% selectivity:\n",
+			*cpdb, *width, *projection*100, *selectivity*100)
+		fmt.Printf("  row:    %13.0f tuples/sec\n", p.RowRate)
+		fmt.Printf("  column: %13.0f tuples/sec\n", p.ColumnRate)
+		fmt.Printf("  speedup of columns over rows: %.2fx\n", p.Speedup)
+		return
+	}
+
+	cells, err := model.Figure2(cpumodel.Paper2006(), cpumodel.DefaultCosts())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "modelviz: %v\n", err)
+		os.Exit(1)
+	}
+	if err := harness.WriteFigure2(os.Stdout, cells); err != nil {
+		fmt.Fprintf(os.Stderr, "modelviz: %v\n", err)
+		os.Exit(1)
+	}
+	be := readopt.IndexScanBreakEven(5*time.Millisecond, 300, 128)
+	fmt.Printf("index-scan break-even (5ms seek, 300MB/s, 128B tuples): %.4f%% selectivity\n", be*100)
+}

@@ -1,0 +1,78 @@
+// Command scanbench runs one real scan query against a loaded table and
+// reports wall-clock time, throughput, and the engine's work accounting —
+// a benchmarking tool for measuring the performance limit of TPC-H-style
+// selection queries on this machine, in the spirit of the paper's
+// published benchmark code.
+//
+//	dbgen -table orders -layout column -rows 2000000 -dir /tmp/ord
+//	scanbench -dir /tmp/ord -cols 3 -selectivity 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/readoptdb/readopt"
+)
+
+func main() {
+	dir := flag.String("dir", "", "table directory (required)")
+	cols := flag.Int("cols", 1, "number of leading columns to select")
+	selectivity := flag.Float64("selectivity", 0.10, "predicate selectivity on the first column (1 = no predicate)")
+	repeat := flag.Int("repeat", 1, "number of scan repetitions")
+	flag.Parse()
+
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "scanbench: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	tbl, err := readopt.OpenTable(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scanbench: %v\n", err)
+		os.Exit(1)
+	}
+	all := tbl.Schema().Columns()
+	if *cols < 1 || *cols > len(all) {
+		fmt.Fprintf(os.Stderr, "scanbench: -cols must be in 1..%d\n", len(all))
+		os.Exit(2)
+	}
+	q := readopt.Query{Select: all[:*cols]}
+	if *selectivity < 1 {
+		th, err := tbl.SelectivityThreshold(*selectivity)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scanbench: %v\n", err)
+			os.Exit(1)
+		}
+		q.Where = []readopt.Cond{{Column: all[0], Op: "<", Value: th}}
+	}
+
+	fmt.Printf("table %s (%s layout, %d rows, %d data bytes)\n",
+		tbl.Schema().Name(), tbl.Layout(), tbl.Rows(), tbl.DataBytes())
+	fmt.Printf("query: select %d cols, selectivity %.4f\n", *cols, *selectivity)
+
+	for i := 0; i < *repeat; i++ {
+		start := time.Now()
+		rows, err := tbl.Query(q)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scanbench: %v\n", err)
+			os.Exit(1)
+		}
+		var n int64
+		for rows.Next() {
+			n++
+		}
+		if err := rows.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "scanbench: %v\n", err)
+			os.Exit(1)
+		}
+		elapsed := time.Since(start)
+		stats := rows.Stats()
+		rows.Close()
+		rate := float64(tbl.Rows()) / elapsed.Seconds()
+		fmt.Printf("run %d: %v, %.0f tuples/sec, %d qualifying, io %d bytes in %d requests, %d modelled instructions\n",
+			i+1, elapsed.Round(time.Millisecond), rate, n, stats.IOBytes, stats.IORequests, stats.Instructions)
+	}
+}

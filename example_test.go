@@ -1,0 +1,80 @@
+package readopt_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/readoptdb/readopt"
+)
+
+// Example shows the end-to-end flow: load a benchmark table as a column
+// store and run a filtered aggregation over two of its seven columns.
+func Example() {
+	dir, err := os.MkdirTemp("", "readopt-example-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	tbl, err := readopt.GenerateTPCH(filepath.Join(dir, "orders"), readopt.Orders(),
+		readopt.ColumnLayout, 10_000, 1, readopt.LoadOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := tbl.Query(readopt.Query{
+		Where: []readopt.Cond{{Column: "O_ORDERSTATUS", Op: "=", Value: "F"}},
+		Aggs:  []readopt.Agg{{Func: "count"}, {Func: "max", Column: "O_TOTALPRICE"}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+		var n, maxPrice int
+		if err := rows.Scan(&n, &maxPrice); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(n > 2000, maxPrice > 100_000)
+	}
+	// Output: true true
+}
+
+// ExampleNewSchema declares a custom table with per-column compression,
+// in the style of the paper's Figure 5 schemas.
+func ExampleNewSchema() {
+	s, err := readopt.NewSchema("CLICKS", []readopt.Column{
+		{Name: "TS", Type: readopt.Int32, Compression: readopt.FORDelta, Bits: 16},
+		{Name: "PAGE", Type: readopt.Text(12), Compression: readopt.Dict, Bits: 6},
+		{Name: "USER_ID", Type: readopt.Int32, Compression: readopt.BitPack, Bits: 20},
+		{Name: "REFERRER", Type: readopt.Text(24)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(s.TupleBytes(), "->", s.StoredTupleBytes(), "bytes per tuple")
+	// Output: 44 -> 30 bytes per tuple
+}
+
+// ExamplePredictSpeedup applies the paper's analytical model: should this
+// workload run on rows or on columns?
+func ExamplePredictSpeedup() {
+	p, err := readopt.PredictSpeedup(readopt.PaperHardware(), readopt.WorkloadSpec{
+		TupleBytes:        150, // LINEITEM
+		NumColumns:        16,
+		ProjectedFraction: 0.25,
+		Selectivity:       0.10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("columns are %.1fx faster\n", p.Speedup)
+	// Output: columns are 4.0x faster
+}
+
+// ExampleHardware_CPDB computes the paper's combined resource rating.
+func ExampleHardware_CPDB() {
+	fmt.Printf("%.0f cycles per disk byte\n", readopt.PaperHardware().CPDB())
+	// Output: 18 cycles per disk byte
+}

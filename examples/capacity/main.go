@@ -1,0 +1,63 @@
+// Capacity planning: use the paper's analytical model (Section 5) to
+// decide between row and column layouts across hardware configurations —
+// the model folds CPUs, disks and competing traffic into one parameter,
+// cycles per disk byte (cpdb).
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/readoptdb/readopt"
+)
+
+func main() {
+	configs := []struct {
+		name string
+		hw   readopt.Hardware
+	}{
+		{"paper 2006 testbed (1 CPU, 3 disks)", readopt.PaperHardware()},
+		{"paper CPU over a single disk", readopt.Hardware{CPUs: 1, ClockGHz: 3.2, Disks: 1, DiskMBps: 60}},
+		{"modern desktop (2 CPUs, 1 disk)", readopt.Hardware{CPUs: 2, ClockGHz: 3.2, Disks: 1, DiskMBps: 120}},
+		{"big analytics box (8 CPUs, 2 disks)", readopt.Hardware{CPUs: 8, ClockGHz: 3.0, Disks: 2, DiskMBps: 100}},
+		{"storage-heavy node (2 CPUs, 12 disks)", readopt.Hardware{CPUs: 2, ClockGHz: 3.0, Disks: 12, DiskMBps: 100}},
+	}
+	workloads := []struct {
+		name string
+		w    readopt.WorkloadSpec
+	}{
+		{"lean tuples, half selected", readopt.WorkloadSpec{TupleBytes: 8, NumColumns: 16, ProjectedFraction: 0.5, Selectivity: 0.10}},
+		{"ORDERS-like, half selected", readopt.WorkloadSpec{TupleBytes: 32, NumColumns: 16, ProjectedFraction: 0.5, Selectivity: 0.10}},
+		{"wide tuples, 1/4 selected", readopt.WorkloadSpec{TupleBytes: 150, NumColumns: 16, ProjectedFraction: 0.25, Selectivity: 0.10}},
+		{"wide tuples, all selected", readopt.WorkloadSpec{TupleBytes: 150, NumColumns: 16, ProjectedFraction: 1.0, Selectivity: 0.10}},
+	}
+
+	fmt.Println("Layout advisor: predicted speedup of a column store over a row store")
+	fmt.Println("(>1 means choose columns; the paper's Figure 2, as an API)")
+	fmt.Println()
+	for _, cfg := range configs {
+		fmt.Printf("%s — %.0f cycles per disk byte\n", cfg.name, cfg.hw.CPDB())
+		for _, wl := range workloads {
+			p, err := readopt.PredictSpeedup(cfg.hw, wl.w)
+			if err != nil {
+				log.Fatal(err)
+			}
+			verdict := "columns"
+			if p.Speedup < 1 {
+				verdict = "rows"
+			} else if p.Speedup < 1.05 {
+				verdict = "either"
+			}
+			fmt.Printf("  %-28s speedup %5.2fx -> %s (row %5.1fM col %5.1fM tuples/s)\n",
+				wl.name, p.Speedup, verdict, p.RowRate/1e6, p.ColumnRate/1e6)
+		}
+		fmt.Println()
+	}
+
+	be := readopt.IndexScanBreakEven(5*time.Millisecond, 300, 128)
+	fmt.Printf("Aside (Section 2.1.1): an unclustered index only beats a sequential scan\n")
+	fmt.Printf("below %.4f%% selectivity on a 300MB/s array with 5ms seeks and 128B tuples.\n", be*100)
+}

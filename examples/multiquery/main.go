@@ -1,0 +1,107 @@
+// Multi-query: scan sharing and the design advisor. A reporting dashboard
+// fires several queries at the same fact table at once; with scan sharing
+// (the paper's Section 2.1.1 optimization, as in Teradata/RedBrick) the
+// table is read once for all of them. Afterwards, the physical-design
+// advisor — the paper's Figure 1 compression + MV advisors — inspects the
+// data and the workload and recommends a layout and per-column
+// compression.
+//
+//	go run ./examples/multiquery
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"github.com/readoptdb/readopt"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "readopt-multiquery-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	const rows = 400_000
+	tbl, err := readopt.GenerateTPCH(filepath.Join(dir, "orders"), readopt.Orders(), readopt.ColumnLayout, rows, 1, readopt.LoadOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	threshold, err := tbl.SelectivityThreshold(0.25)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The dashboard's three queries, answered from ONE shared pass.
+	queries := []readopt.Query{
+		{ // recent orders per status
+			Where:   []readopt.Cond{{Column: "O_ORDERDATE", Op: "<", Value: threshold}},
+			GroupBy: []string{"O_ORDERSTATUS"},
+			Aggs:    []readopt.Agg{{Func: "count"}},
+		},
+		{ // pricing spread by priority
+			GroupBy: []string{"O_ORDERPRIORITY"},
+			Aggs:    []readopt.Agg{{Func: "min", Column: "O_TOTALPRICE"}, {Func: "max", Column: "O_TOTALPRICE"}},
+		},
+		{ // global row count
+			Aggs: []readopt.Agg{{Func: "count"}},
+		},
+	}
+	results, err := tbl.QueryBatch(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("dashboard, one shared scan:")
+	fmt.Println("- recent orders per status:")
+	for results[0].Next() {
+		var status string
+		var n int
+		if err := results[0].Scan(&status, &n); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("    %s: %d\n", status, n)
+	}
+	results[0].Close()
+	fmt.Println("- price range per priority:")
+	for results[1].Next() {
+		var prio string
+		var lo, hi int
+		if err := results[1].Scan(&prio, &lo, &hi); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("    %-12s %7d .. %7d\n", prio, lo, hi)
+	}
+	results[1].Close()
+	if results[2].Next() {
+		var n int
+		if err := results[2].Scan(&n); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("- total orders: %d\n", n)
+	}
+	stats := results[2].Stats()
+	results[2].Close()
+	fmt.Printf("  (all three queries together read %d bytes — one scan)\n\n", stats.IOBytes)
+
+	// Ask the advisor how this table should be stored for this workload
+	// on modern hardware.
+	advice, err := tbl.AdviseDesign([]readopt.WorkloadQuery{
+		{Columns: []string{"O_ORDERDATE", "O_ORDERSTATUS"}, Selectivity: 0.25, Weight: 10},
+		{Columns: []string{"O_ORDERPRIORITY", "O_TOTALPRICE"}, Selectivity: 1.0, Weight: 3},
+	}, readopt.Hardware{CPUs: 2, ClockGHz: 3.2, Disks: 1, DiskMBps: 120})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("advisor: store this table as a %s layout (predicted column speedup %.2fx)\n", advice.Layout, advice.Speedup)
+	fmt.Printf("advisor: compress %d -> %d bytes per tuple:\n", advice.TupleBytes, advice.CompressedBytes)
+	for _, c := range advice.Columns {
+		if c.Compression == readopt.None {
+			fmt.Printf("    %-16s keep raw\n", c.Name)
+			continue
+		}
+		fmt.Printf("    %-16s %s, %d bits\n", c.Name, c.Compression, c.Bits)
+	}
+}

@@ -1,0 +1,142 @@
+package readopt
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/model"
+	"github.com/readoptdb/readopt/internal/store"
+)
+
+// Explain describes how the table would execute q without running it: the
+// scanner that will be used, the predicates pushed into it, the columns
+// and bytes it will read, and the analytical model's predicted scan rate
+// on the given hardware — the paper's Section 5 equations applied to one
+// concrete query.
+func (t *Table) Explain(q Query, hw Hardware) (string, error) {
+	scanCols, proj, err := t.buildExplainPlan(q)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "scan %s (%s layout, %d rows)\n", t.t.Schema.Name, t.Layout(), t.Rows())
+
+	// Scanner and I/O footprint.
+	readBytes := int64(0)
+	switch t.t.Layout {
+	case store.Row, store.PAX:
+		kind := "row scanner (reads whole tuples)"
+		if t.t.Layout == store.PAX {
+			kind = "PAX scanner (reads whole pages, touches selected minipages)"
+		}
+		fmt.Fprintf(&b, "  %s\n", kind)
+		if n, ok := t.t.DataFileSize(dataFileName(t.t)); ok {
+			readBytes = n
+		}
+		fmt.Fprintf(&b, "  reads 1 file, %d bytes (every byte of the table)\n", readBytes)
+	case store.Column:
+		fmt.Fprintf(&b, "  pipelined column scanner, %d scan nodes\n", len(scanCols))
+		for _, a := range proj {
+			if n, ok := t.t.DataFileSize(store.ColumnFileName(t.t.Schema, a)); ok {
+				readBytes += n
+			}
+		}
+		fmt.Fprintf(&b, "  reads %d column files, %d bytes (%.0f%% of the table)\n",
+			len(proj), readBytes, 100*float64(readBytes)/float64(t.DataBytes()))
+	}
+
+	// Pushed predicates.
+	if len(q.Where) > 0 {
+		var preds []string
+		for _, c := range q.Where {
+			preds = append(preds, fmt.Sprintf("%s %s %v", c.Column, c.Op, c.Value))
+		}
+		fmt.Fprintf(&b, "  predicates pushed into the scan: %s\n", strings.Join(preds, " AND "))
+	}
+	fmt.Fprintf(&b, "  columns: %s\n", strings.Join(scanCols, ", "))
+	for _, a := range q.Aggs {
+		if a.Column != "" {
+			fmt.Fprintf(&b, "  aggregate: %s(%s)\n", strings.ToUpper(a.Func), a.Column)
+		} else {
+			fmt.Fprintf(&b, "  aggregate: %s(*)\n", strings.ToUpper(a.Func))
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		fmt.Fprintf(&b, "  sort: %d keys (in-memory)\n", len(q.OrderBy))
+	}
+	if q.Limit > 0 {
+		fmt.Fprintf(&b, "  limit: %d\n", q.Limit)
+	}
+
+	// Model prediction.
+	m := cpumodel.Paper2006()
+	m.ClockHz = hw.ClockGHz * 1e9
+	m.CPUs = hw.CPUs
+	cfg := model.FromMachine(m, float64(hw.Disks)*hw.DiskMBps*1e6)
+	sel := estimateSelectivity(q)
+	width := t.t.Schema.StoredWidth()
+	if t.t.Schema.Compressed() {
+		width = t.t.Schema.CompressedWidth()
+	}
+	w := model.Workload{
+		N:           max64(t.Rows(), 1),
+		TupleWidth:  width,
+		NumAttrs:    t.t.Schema.NumAttrs(),
+		Projection:  float64(len(proj)) / float64(t.t.Schema.NumAttrs()),
+		Selectivity: sel,
+	}
+	rowRate, colRate, speedup, err := cfg.Predict(w, cpumodel.DefaultCosts(), m)
+	if err == nil {
+		rate := rowRate
+		if t.t.Layout == store.Column {
+			rate = colRate
+		}
+		fmt.Fprintf(&b, "  model (%.0f cpdb): about %.1fM tuples/sec on this layout; columns/rows speedup %.2fx\n",
+			hw.CPDB(), rate/1e6, speedup)
+	}
+	return b.String(), nil
+}
+
+// buildExplainPlan validates the query the way plan does, without opening
+// files.
+func (t *Table) buildExplainPlan(q Query) ([]string, []int, error) {
+	scanCols, proj, err := t.scanPlan(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	if _, err := t.buildPreds(q.Where); err != nil {
+		return nil, nil, err
+	}
+	return scanCols, proj, nil
+}
+
+// estimateSelectivity guesses the predicate selectivity for the model: a
+// simple textbook heuristic (1/3 per range predicate, 1/10 per equality),
+// with no predicates meaning everything qualifies.
+func estimateSelectivity(q Query) float64 {
+	sel := 1.0
+	for _, c := range q.Where {
+		if c.Op == "=" {
+			sel *= 0.1
+		} else {
+			sel *= 1.0 / 3
+		}
+	}
+	return sel
+}
+
+// dataFileName returns the single data file's name for row/PAX tables.
+func dataFileName(t *store.Table) string {
+	if t.Layout == store.PAX {
+		return "table.pax"
+	}
+	return "table.row"
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

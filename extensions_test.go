@@ -1,0 +1,326 @@
+package readopt
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPAXLayoutQueries(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "pax")
+	tbl, err := GenerateTPCH(dir, Orders(), PAXLayout, 5000, 7, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Layout() != PAXLayout {
+		t.Fatalf("layout = %s", tbl.Layout())
+	}
+	th, err := tbl.SelectivityThreshold(0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{
+		Select: []string{"O_ORDERKEY", "O_ORDERSTATUS", "O_TOTALPRICE"},
+		Where:  []Cond{{Column: "O_ORDERDATE", Op: "<", Value: th}},
+	}
+	paxRows, err := tbl.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: same query on a row table with the same seed.
+	rowTbl, err := GenerateTPCH(filepath.Join(t.TempDir(), "row"), Orders(), RowLayout, 5000, 7, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowRows, err := rowTbl.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for paxRows.Next() {
+		if !rowRows.Next() {
+			t.Fatal("PAX produced more rows than row layout")
+		}
+		var pk, pp, rk, rp int
+		var ps, rs string
+		if err := paxRows.Scan(&pk, &ps, &pp); err != nil {
+			t.Fatal(err)
+		}
+		if err := rowRows.Scan(&rk, &rs, &rp); err != nil {
+			t.Fatal(err)
+		}
+		if pk != rk || ps != rs || pp != rp {
+			t.Fatalf("row %d differs: pax (%d,%q,%d) row (%d,%q,%d)", n, pk, ps, pp, rk, rs, rp)
+		}
+		n++
+	}
+	if rowRows.Next() {
+		t.Fatal("row layout produced more rows than PAX")
+	}
+	paxRows.Close()
+	rowRows.Close()
+	if n < 300 || n > 700 {
+		t.Errorf("10%% selectivity returned %d of 5000", n)
+	}
+	// A PAX table occupies the same bytes as the row table.
+	if tbl.DataBytes() != rowTbl.DataBytes() {
+		t.Errorf("PAX bytes %d != row bytes %d", tbl.DataBytes(), rowTbl.DataBytes())
+	}
+}
+
+func TestQueryBatchSharedScan(t *testing.T) {
+	tbl := loadOrders(t, ColumnLayout, 5000)
+	th, err := tbl.SelectivityThreshold(0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []Query{
+		{
+			Select: []string{"O_ORDERKEY", "O_TOTALPRICE"},
+			Where:  []Cond{{Column: "O_ORDERDATE", Op: "<", Value: th}},
+		},
+		{
+			GroupBy: []string{"O_ORDERSTATUS"},
+			Aggs:    []Agg{{Func: "count"}, {Func: "avg", Column: "O_TOTALPRICE"}},
+		},
+		{
+			Aggs: []Agg{{Func: "count"}},
+		},
+	}
+	batch, err := tbl.QueryBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(queries) {
+		t.Fatalf("batch returned %d results", len(batch))
+	}
+	// Each batch result equals the solo result.
+	for i, q := range queries {
+		solo, err := tbl.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		soloBytes := rawTuples(t, solo)
+		batchBytes := rawTuples(t, batch[i])
+		if !bytes.Equal(soloBytes, batchBytes) {
+			t.Errorf("query %d: batch result differs from solo (%d vs %d bytes)", i, len(batchBytes), len(soloBytes))
+		}
+	}
+	// Validation paths.
+	if _, err := tbl.QueryBatch([]Query{{Select: []string{"O_ORDERKEY"}, Limit: 1}}); err == nil {
+		t.Error("batch accepted a Limit query")
+	}
+	if _, err := tbl.QueryBatch([]Query{{}}); err == nil {
+		t.Error("batch accepted an empty query")
+	}
+	if res, err := tbl.QueryBatch(nil); err != nil || res != nil {
+		t.Error("empty batch should be a no-op")
+	}
+}
+
+// rawTuples drains a Rows at the tuple level (bypassing Scan) for exact
+// comparison.
+func rawTuples(t *testing.T, rows *Rows) []byte {
+	t.Helper()
+	defer rows.Close()
+	var out []byte
+	for rows.Next() {
+		out = append(out, rows.block.Tuple(rows.pos)...)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestAdviseDesign(t *testing.T) {
+	tbl := loadOrders(t, RowLayout, 20000)
+	advice, err := tbl.AdviseDesign([]WorkloadQuery{
+		{Columns: []string{"O_ORDERKEY", "O_TOTALPRICE"}, Selectivity: 0.10, Weight: 5},
+		{Columns: []string{"O_ORDERDATE"}, Selectivity: 0.01},
+	}, Hardware{CPUs: 2, ClockGHz: 3.2, Disks: 1, DiskMBps: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if advice.Layout != ColumnLayout {
+		t.Errorf("narrow warehouse workload advised %s (speedup %.2f), want column", advice.Layout, advice.Speedup)
+	}
+	if advice.CompressedBytes >= advice.TupleBytes {
+		t.Errorf("advised compression does not shrink: %d vs %d", advice.CompressedBytes, advice.TupleBytes)
+	}
+	if len(advice.Columns) != 7 {
+		t.Fatalf("advice has %d columns", len(advice.Columns))
+	}
+	// The advised schema must be loadable.
+	s, err := NewSchema("ORDERS-ADVISED", advice.Columns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.TupleBytes() != 32 {
+		t.Errorf("advised schema decodes to %d bytes", s.TupleBytes())
+	}
+	// Unknown column error path.
+	if _, err := tbl.AdviseDesign([]WorkloadQuery{{Columns: []string{"NOPE"}, Selectivity: 0.1}}, PaperHardware()); err == nil {
+		t.Error("unknown column accepted")
+	}
+}
+
+// TestQueryParallelMatchesSerial: partitioned execution returns exactly
+// the serial result for every layout, dop and query shape.
+func TestQueryParallelMatchesSerial(t *testing.T) {
+	for _, layout := range []Layout{RowLayout, ColumnLayout, PAXLayout} {
+		tbl, err := GenerateTPCH(filepath.Join(t.TempDir(), "t"), Orders(), layout, 7000, 11, LoadOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		th, err := tbl.SelectivityThreshold(0.15)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queries := []Query{
+			{
+				Select: []string{"O_ORDERKEY", "O_TOTALPRICE"},
+				Where:  []Cond{{Column: "O_ORDERDATE", Op: "<", Value: th}},
+			},
+			{
+				GroupBy: []string{"O_ORDERSTATUS"},
+				Aggs:    []Agg{{Func: "count"}, {Func: "avg", Column: "O_TOTALPRICE"}},
+			},
+			{
+				Select:  []string{"O_TOTALPRICE"},
+				OrderBy: []Order{{Column: "O_TOTALPRICE", Desc: true}},
+				Limit:   25,
+			},
+		}
+		for qi, q := range queries {
+			serial, err := tbl.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := rawTuples(t, serial)
+			for _, dop := range []int{2, 3, 8} {
+				par, err := tbl.QueryParallel(q, dop)
+				if err != nil {
+					t.Fatalf("%s q%d dop%d: %v", layout, qi, dop, err)
+				}
+				got := rawTuples(t, par)
+				if !bytes.Equal(got, want) {
+					t.Errorf("%s q%d dop%d: parallel result differs (%d vs %d bytes)",
+						layout, qi, dop, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestQueryParallelDop1FallsBack: dop <= 1 is the serial path.
+func TestQueryParallelDop1FallsBack(t *testing.T) {
+	tbl := loadOrders(t, ColumnLayout, 1000)
+	rows, err := tbl.QueryParallel(Query{Select: []string{"O_ORDERKEY"}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	rows.Close()
+	if n != 1000 {
+		t.Errorf("dop 1 returned %d rows", n)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	for _, layout := range []Layout{RowLayout, ColumnLayout, PAXLayout} {
+		tbl, err := GenerateTPCH(filepath.Join(t.TempDir(), "t"), Orders(), layout, 3000, 1, LoadOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := tbl.Explain(Query{
+			Select:  []string{"O_ORDERKEY", "O_TOTALPRICE"},
+			Where:   []Cond{{Column: "O_ORDERDATE", Op: "<", Value: 1000}},
+			Aggs:    []Agg{{Func: "count"}},
+			GroupBy: []string{"O_ORDERSTATUS"},
+			Limit:   5,
+		}, PaperHardware())
+		if err != nil {
+			t.Fatalf("%s: %v", layout, err)
+		}
+		for _, want := range []string{"scan ORDERS", "predicates pushed", "O_ORDERDATE < 1000", "COUNT(*)", "limit: 5", "cpdb"} {
+			if !strings.Contains(plan, want) {
+				t.Errorf("%s: Explain missing %q:\n%s", layout, want, plan)
+			}
+		}
+		switch layout {
+		case ColumnLayout:
+			if !strings.Contains(plan, "column scanner") || !strings.Contains(plan, "column files") {
+				t.Errorf("column Explain lacks scanner detail:\n%s", plan)
+			}
+		case PAXLayout:
+			if !strings.Contains(plan, "PAX scanner") {
+				t.Errorf("PAX Explain lacks scanner detail:\n%s", plan)
+			}
+		case RowLayout:
+			if !strings.Contains(plan, "every byte of the table") {
+				t.Errorf("row Explain lacks I/O detail:\n%s", plan)
+			}
+		}
+	}
+	// Errors surface.
+	tbl := loadOrders(t, RowLayout, 100)
+	if _, err := tbl.Explain(Query{Select: []string{"NOPE"}}, PaperHardware()); err == nil {
+		t.Error("Explain accepted unknown column")
+	}
+}
+
+func TestVerifyFacade(t *testing.T) {
+	tbl := loadOrders(t, ColumnLayout, 2000)
+	if err := tbl.Verify(); err != nil {
+		t.Fatalf("pristine table failed Verify: %v", err)
+	}
+}
+
+func TestTableStats(t *testing.T) {
+	colTbl, err := GenerateTPCH(filepath.Join(t.TempDir(), "z"), OrdersZ(), ColumnLayout, 10_000, 1, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := colTbl.Stats()
+	if st.Rows != 10_000 || len(st.Columns) != 7 {
+		t.Fatalf("stats shape: %+v", st)
+	}
+	// Compression rate near the paper's 32/12.
+	if st.CompressionRate < 2.2 || st.CompressionRate > 3.2 {
+		t.Errorf("compression rate = %.2f, want about 2.7", st.CompressionRate)
+	}
+	var sum int64
+	for _, c := range st.Columns {
+		if c.DiskBytes <= 0 {
+			t.Errorf("column %s has no disk footprint", c.Name)
+		}
+		sum += c.DiskBytes
+	}
+	if sum != st.DataBytes {
+		t.Errorf("column bytes sum to %d, table holds %d", sum, st.DataBytes)
+	}
+	// The delta-encoded key column is far smaller than the raw custkey.
+	byName := map[string]ColumnStat{}
+	for _, c := range st.Columns {
+		byName[c.Name] = c
+	}
+	if byName["O_ORDERKEY"].DiskBytes*2 > byName["O_CUSTKEY"].DiskBytes {
+		t.Errorf("8-bit delta key (%d bytes) should be far below the raw 32-bit column (%d bytes)",
+			byName["O_ORDERKEY"].DiskBytes, byName["O_CUSTKEY"].DiskBytes)
+	}
+	// Row layout pro-rates the single file.
+	rowTbl := loadOrders(t, RowLayout, 2000)
+	rst := rowTbl.Stats()
+	var rsum int64
+	for _, c := range rst.Columns {
+		rsum += c.DiskBytes
+	}
+	if rsum <= 0 || rsum > rst.DataBytes {
+		t.Errorf("pro-rated column bytes %d vs table %d", rsum, rst.DataBytes)
+	}
+}

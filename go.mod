@@ -1,0 +1,3 @@
+module github.com/readoptdb/readopt
+
+go 1.22

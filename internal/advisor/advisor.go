@@ -1,0 +1,154 @@
+// Package advisor implements the physical-design advisors of the paper's
+// Figure 1 — the compression advisor and the vertical-partitioning (MV)
+// advisor — as one component: given a table, statistics sampled from its
+// data, a query workload, and a hardware configuration, it recommends a
+// physical design: row, column or PAX layout, and a compression scheme
+// per attribute. The layout choice comes from the paper's Section 5
+// analytical model evaluated per query and weighted by frequency; the
+// compression choices come from per-column statistics, following the
+// preferences of the paper's Figure 5 schemas.
+package advisor
+
+import (
+	"fmt"
+
+	"github.com/readoptdb/readopt/internal/compress"
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/model"
+	"github.com/readoptdb/readopt/internal/schema"
+	"github.com/readoptdb/readopt/internal/store"
+)
+
+// QueryProfile describes one recurring query of the workload.
+type QueryProfile struct {
+	// Proj lists the attributes the query selects.
+	Proj []int
+	// Selectivity is the fraction of qualifying tuples.
+	Selectivity float64
+	// Weight is the query's relative frequency (1 if all queries are
+	// equally common).
+	Weight float64
+}
+
+// Recommendation is the advised physical design.
+type Recommendation struct {
+	// Layout is the advised physical layout.
+	Layout store.Layout
+	// Speedup is the workload-weighted predicted column-over-row
+	// speedup that drove the layout choice.
+	Speedup float64
+	// Attrs is the schema with advised per-attribute compression.
+	Attrs []schema.Attribute
+	// TupleBytes and CompressedBytes compare the stored widths before
+	// and after the advised compression.
+	TupleBytes      int
+	CompressedBytes int
+	// PerQuery records the model's per-query speedups, aligned with the
+	// workload.
+	PerQuery []float64
+}
+
+// ProfileTable samples up to sampleN tuples from a table and returns
+// per-attribute statistics for the advisor.
+func ProfileTable(t *store.Table, sampleN int64) ([]*compress.Stats, error) {
+	stats := make([]*compress.Stats, t.Schema.NumAttrs())
+	for i, a := range t.Schema.Attrs {
+		stats[i] = compress.NewStats(a.Type)
+	}
+	it, err := store.NewIterator(t)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+	tuple := make([]byte, t.Schema.Width())
+	for n := int64(0); n < sampleN && it.Next(tuple); n++ {
+		for i, a := range t.Schema.Attrs {
+			off := t.Schema.Offset(i)
+			stats[i].Observe(tuple[off : off+a.Type.Size])
+		}
+	}
+	return stats, it.Err()
+}
+
+// Advise recommends a physical design for the table under the workload on
+// the given hardware.
+func Advise(t *store.Table, stats []*compress.Stats, workload []QueryProfile, hw model.Config, m cpumodel.Machine) (*Recommendation, error) {
+	sch := t.Schema
+	if len(stats) != sch.NumAttrs() {
+		return nil, fmt.Errorf("advisor: %d stats for %d attributes", len(stats), sch.NumAttrs())
+	}
+	if len(workload) == 0 {
+		return nil, fmt.Errorf("advisor: empty workload")
+	}
+
+	// Compression: advise per attribute from its statistics, keeping the
+	// attribute identity.
+	attrs := make([]schema.Attribute, sch.NumAttrs())
+	for i, a := range sch.Attrs {
+		adv := stats[i].Advise(a.Type)
+		adv.Name = a.Name
+		attrs[i] = adv
+	}
+	advised, err := schema.New(sch.Name+"/advised", attrs)
+	if err != nil {
+		return nil, err
+	}
+	width := advised.CompressedWidth()
+	if !advised.Compressed() {
+		width = advised.StoredWidth()
+	}
+
+	// Layout: evaluate the paper's model per query on the advised widths
+	// and combine by weight.
+	costs := cpumodel.DefaultCosts()
+	rec := &Recommendation{
+		Attrs:           attrs,
+		TupleBytes:      sch.StoredWidth(),
+		CompressedBytes: width,
+	}
+	var wsum, acc float64
+	for _, q := range workload {
+		if len(q.Proj) == 0 || q.Selectivity < 0 || q.Selectivity > 1 {
+			return nil, fmt.Errorf("advisor: invalid query profile %+v", q)
+		}
+		w := q.Weight
+		if w <= 0 {
+			w = 1
+		}
+		mw := model.Workload{
+			N:           max64(t.Tuples, 1),
+			TupleWidth:  width,
+			NumAttrs:    sch.NumAttrs(),
+			Projection:  float64(len(q.Proj)) / float64(sch.NumAttrs()),
+			Selectivity: q.Selectivity,
+		}
+		_, _, speedup, err := hw.Predict(mw, costs, m)
+		if err != nil {
+			return nil, err
+		}
+		rec.PerQuery = append(rec.PerQuery, speedup)
+		acc += w * speedup
+		wsum += w
+	}
+	rec.Speedup = acc / wsum
+
+	// Columns when they clearly win, rows when they clearly win, PAX in
+	// the band where I/O is a wash but column-major pages still help the
+	// cache.
+	switch {
+	case rec.Speedup >= 1.05:
+		rec.Layout = store.Column
+	case rec.Speedup <= 0.95:
+		rec.Layout = store.Row
+	default:
+		rec.Layout = store.PAX
+	}
+	return rec, nil
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

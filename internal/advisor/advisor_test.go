@@ -1,0 +1,116 @@
+package advisor
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/compress"
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/model"
+	"github.com/readoptdb/readopt/internal/schema"
+	"github.com/readoptdb/readopt/internal/store"
+)
+
+func loadOrders(t *testing.T) (*store.Table, []*compress.Stats) {
+	t.Helper()
+	tbl, err := store.LoadSynthetic(filepath.Join(t.TempDir(), "o"), schema.Orders(), store.Row, 4096, 1, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ProfileTable(tbl, 20000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, stats
+}
+
+func TestAdviseCompressionMatchesFigure5Families(t *testing.T) {
+	tbl, stats := loadOrders(t)
+	rec, err := Advise(tbl, stats, []QueryProfile{{Proj: []int{0, 5}, Selectivity: 0.10}},
+		model.FromMachine(cpumodel.Paper2006(), 180e6), cpumodel.Paper2006())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The advisor should land in the same scheme families as the paper's
+	// hand-built ORDERS-Z: sorted key -> FOR-delta, low-cardinality text
+	// -> dictionary, bounded ints -> packing.
+	if enc := rec.Attrs[schema.OOrderKey].Enc; enc != schema.FORDelta {
+		t.Errorf("O_ORDERKEY advised %v, want delta", enc)
+	}
+	if enc := rec.Attrs[schema.OOrderStatus].Enc; enc != schema.Dict {
+		t.Errorf("O_ORDERSTATUS advised %v, want dict", enc)
+	}
+	if enc := rec.Attrs[schema.OOrderPriority].Enc; enc != schema.Dict {
+		t.Errorf("O_ORDERPRIORITY advised %v, want dict", enc)
+	}
+	if enc := rec.Attrs[schema.OOrderDate].Enc; enc != schema.BitPack {
+		t.Errorf("O_ORDERDATE advised %v, want pack", enc)
+	}
+	if rec.CompressedBytes >= rec.TupleBytes {
+		t.Errorf("advised width %d not below stored width %d", rec.CompressedBytes, rec.TupleBytes)
+	}
+	// The advised compressed width should be near the paper's 12 bytes.
+	if rec.CompressedBytes > 16 {
+		t.Errorf("advised width %d bytes, paper's hand design reaches 12", rec.CompressedBytes)
+	}
+}
+
+func TestAdviseLayoutFollowsWorkload(t *testing.T) {
+	tbl, stats := loadOrders(t)
+	hw := model.FromMachine(cpumodel.Paper2006(), 180e6)
+	m := cpumodel.Paper2006()
+
+	// Narrow projections: columns win.
+	narrow, err := Advise(tbl, stats, []QueryProfile{{Proj: []int{0}, Selectivity: 0.10}}, hw, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Layout != store.Column {
+		t.Errorf("narrow projection advised %s (speedup %.2f), want column", narrow.Layout, narrow.Speedup)
+	}
+
+	// Full projection at CPU-bound cpdb: rows (or the PAX middle ground).
+	cpuBound := hw.WithCPDB(9)
+	full, err := Advise(tbl, stats, []QueryProfile{{Proj: []int{0, 1, 2, 3, 4, 5, 6}, Selectivity: 0.5}}, cpuBound, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Layout == store.Column {
+		t.Errorf("full projection at cpdb 9 advised column (speedup %.2f)", full.Speedup)
+	}
+
+	// Weights matter: on disk-bound modern hardware (cpdb 108) a dominant
+	// narrow query pulls the decision to columns even with an occasional
+	// full scan.
+	mixed, err := Advise(tbl, stats, []QueryProfile{
+		{Proj: []int{0}, Selectivity: 0.10, Weight: 10},
+		{Proj: []int{0, 1, 2, 3, 4, 5, 6}, Selectivity: 0.5, Weight: 1},
+	}, hw.WithCPDB(108), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.Layout != store.Column {
+		t.Errorf("weighted workload advised %s (speedup %.2f), want column", mixed.Layout, mixed.Speedup)
+	}
+	if len(mixed.PerQuery) != 2 {
+		t.Errorf("PerQuery has %d entries", len(mixed.PerQuery))
+	}
+}
+
+func TestAdviseValidation(t *testing.T) {
+	tbl, stats := loadOrders(t)
+	hw := model.FromMachine(cpumodel.Paper2006(), 180e6)
+	m := cpumodel.Paper2006()
+	if _, err := Advise(tbl, stats, nil, hw, m); err == nil {
+		t.Error("empty workload accepted")
+	}
+	if _, err := Advise(tbl, stats[:2], []QueryProfile{{Proj: []int{0}, Selectivity: 0.1}}, hw, m); err == nil {
+		t.Error("mismatched stats accepted")
+	}
+	if _, err := Advise(tbl, stats, []QueryProfile{{Selectivity: 0.1}}, hw, m); err == nil {
+		t.Error("empty projection accepted")
+	}
+	if _, err := Advise(tbl, stats, []QueryProfile{{Proj: []int{0}, Selectivity: 2}}, hw, m); err == nil {
+		t.Error("bad selectivity accepted")
+	}
+}

@@ -1,0 +1,392 @@
+package aio
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/sim"
+	"github.com/readoptdb/readopt/internal/simdisk"
+)
+
+// simEnv wires an array, a registered file with real contents, and a
+// kernel for driving SimReaders.
+type simEnv struct {
+	arr  *simdisk.Array
+	file SimFile
+	data []byte
+}
+
+func newSimEnv(t *testing.T, cfg simdisk.Config, size int) *simEnv {
+	t.Helper()
+	arr, err := simdisk.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, size)
+	rand.New(rand.NewSource(1)).Read(data)
+	id, err := arr.AddFile("f", int64(size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &simEnv{arr: arr, file: SimFile{Array: arr, ID: id, Data: bytes.NewReader(data)}, data: data}
+}
+
+// drain reads the whole file through a SimReader inside a sim process and
+// returns the concatenated bytes and final virtual time.
+func drain(t *testing.T, env *simEnv, unit int64, depth int, cpuPerUnit sim.Time) ([]byte, sim.Time, Stats) {
+	t.Helper()
+	k := sim.NewKernel()
+	var got []byte
+	var stats Stats
+	k.Spawn("scan", 0, func(p *sim.Proc) {
+		r, err := NewSimReader(p, env.file, unit, depth, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			buf, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			got = append(got, buf...)
+			p.Advance(cpuPerUnit)
+		}
+		stats = r.Stats()
+		r.Close()
+	})
+	end := k.Run()
+	return got, end, stats
+}
+
+func TestSimReaderDeliversExactBytes(t *testing.T) {
+	cfg := simdisk.DefaultConfig()
+	// Odd size: exercises the partial final unit.
+	env := newSimEnv(t, cfg, 3*128<<10*5+12345)
+	got, _, stats := drain(t, env, 128<<10, 4, 0)
+	if !bytes.Equal(got, env.data) {
+		t.Fatal("delivered bytes differ from file contents")
+	}
+	if stats.BytesRead != int64(len(env.data)) {
+		t.Errorf("stats.BytesRead = %d, want %d", stats.BytesRead, len(env.data))
+	}
+	if stats.Units != 6 {
+		t.Errorf("stats.Units = %d, want 6", stats.Units)
+	}
+}
+
+// TestSimReaderIOBoundTime: with no CPU cost, draining takes the disk
+// time: size/bandwidth plus the initial seeks.
+func TestSimReaderIOBoundTime(t *testing.T) {
+	cfg := simdisk.DefaultConfig()
+	size := 36 << 20
+	env := newSimEnv(t, cfg, size)
+	_, end, _ := drain(t, env, 128<<10, 48, 0)
+	want := float64(size)/cfg.TotalBandwidth() + cfg.Seek.Seconds()
+	if got := end.Seconds(); got < want*0.99 || got > want*1.05 {
+		t.Errorf("drain took %.4fs, want about %.4fs", got, want)
+	}
+}
+
+// TestSimReaderOverlapsCPU: when CPU work per unit is below the unit
+// transfer time, total time stays I/O-bound; when far above, it becomes
+// CPU-bound and I/O is hidden.
+func TestSimReaderOverlapsCPU(t *testing.T) {
+	cfg := simdisk.DefaultConfig()
+	size := 36 << 20
+	env := newSimEnv(t, cfg, size)
+	unitTime := sim.Duration(0) // computed below
+	rowBytes := int64(3 * 128 << 10)
+	unitTime = sim.Time(float64(rowBytes) / cfg.TotalBandwidth() * 1e9)
+
+	_, cheap, _ := drain(t, env, 128<<10, 48, unitTime/2)
+	env2 := newSimEnv(t, cfg, size)
+	_, expensive, _ := drain(t, env2, 128<<10, 48, unitTime*4)
+
+	ioBound := float64(size)/cfg.TotalBandwidth() + cfg.Seek.Seconds()
+	if got := cheap.Seconds(); got > ioBound*1.1 {
+		t.Errorf("cheap CPU drain %.4fs, want close to I/O bound %.4fs", got, ioBound)
+	}
+	nUnits := (int64(size) + rowBytes - 1) / rowBytes
+	cpuBound := (sim.Time(nUnits) * unitTime * 4).Seconds()
+	if got := expensive.Seconds(); got < cpuBound {
+		t.Errorf("expensive CPU drain %.4fs, want at least CPU bound %.4fs", got, cpuBound)
+	}
+	if expensive <= cheap {
+		t.Error("CPU-heavy drain should take longer")
+	}
+}
+
+// TestSimReaderWaitTimeAccounting: wait time plus CPU time roughly equals
+// elapsed time for a single-scan process.
+func TestSimReaderWaitTimeAccounting(t *testing.T) {
+	cfg := simdisk.DefaultConfig()
+	size := 12 << 20
+	env := newSimEnv(t, cfg, size)
+	cpu := sim.Duration(0)
+	_, end, stats := drain(t, env, 128<<10, 8, cpu)
+	if stats.WaitTime <= 0 {
+		t.Fatal("expected positive wait time for a zero-CPU scan")
+	}
+	slack := end - stats.WaitTime
+	if slack < 0 || slack.Seconds() > 0.01 {
+		t.Errorf("unaccounted time %.4fs out of %.4fs", slack.Seconds(), end.Seconds())
+	}
+}
+
+// TestSlowGateSerializesBatches reproduces the mechanism behind the
+// paper's Figure 11 "slow" curve: with a shared gate, the second column's
+// requests are not submitted until the first column's batch is fully
+// served. Alone that changes nothing (the disk never idles either way),
+// but in the presence of a competing scan the gated engine loses its queue
+// position to the competitor and finishes later, while the aggressive
+// engine — one step ahead in its submissions — is favored by the
+// controller.
+func TestSlowGateSerializesBatches(t *testing.T) {
+	run := func(useGate bool) sim.Time {
+		cfg := simdisk.DefaultConfig()
+		arr, err := simdisk.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		size := 6 << 20
+		data := make([]byte, size)
+		id1, _ := arr.AddFile("c1", int64(size))
+		id2, _ := arr.AddFile("c2", int64(size))
+		idc, _ := arr.AddFile("competitor", int64(4*size))
+		f1 := SimFile{Array: arr, ID: id1, Data: bytes.NewReader(data)}
+		f2 := SimFile{Array: arr, ID: id2, Data: bytes.NewReader(data)}
+		fc := SimFile{Array: arr, ID: idc, Data: bytes.NewReader(make([]byte, 4*size))}
+		k := sim.NewKernel()
+		var scanDone sim.Time
+		k.Spawn("scan", 0, func(p *sim.Proc) {
+			var gate *Gate
+			if useGate {
+				gate = NewGate()
+			}
+			r1, err := NewSimReader(p, f1, 128<<10, 4, gate)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			r2, err := NewSimReader(p, f2, 128<<10, 4, gate)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				_, err1 := r1.Next()
+				_, err2 := r2.Next()
+				if err1 == io.EOF && err2 == io.EOF {
+					break
+				}
+				if err1 != nil && err1 != io.EOF {
+					t.Error(err1)
+					return
+				}
+				if err2 != nil && err2 != io.EOF {
+					t.Error(err2)
+					return
+				}
+			}
+			scanDone = p.Now()
+		})
+		k.Spawn("competitor", 0, func(p *sim.Proc) {
+			r, err := NewSimReader(p, fc, 128<<10, 4, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				if _, err := r.Next(); err == io.EOF {
+					return
+				} else if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		})
+		k.Run()
+		return scanDone
+	}
+	free := run(false)
+	slow := run(true)
+	if slow <= free {
+		t.Errorf("gated run (%.4fs) should be slower than free run (%.4fs)", slow.Seconds(), free.Seconds())
+	}
+}
+
+func TestSimReaderParameterValidation(t *testing.T) {
+	env := newSimEnv(t, simdisk.DefaultConfig(), 1<<20)
+	k := sim.NewKernel()
+	k.Spawn("p", 0, func(p *sim.Proc) {
+		if _, err := NewSimReader(p, env.file, 0, 4, nil); err == nil {
+			t.Error("unit 0 accepted")
+		}
+		if _, err := NewSimReader(p, env.file, 128<<10, 0, nil); err == nil {
+			t.Error("depth 0 accepted")
+		}
+	})
+	k.Run()
+}
+
+func TestOSReaderRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data")
+	want := make([]byte, 1<<20+777)
+	rand.New(rand.NewSource(2)).Read(want)
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := NewOSReader(f, 64<<10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var got []byte
+	for {
+		buf, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, buf...)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("OSReader bytes differ from file contents")
+	}
+	if r.Stats().BytesRead != int64(len(want)) {
+		t.Errorf("BytesRead = %d, want %d", r.Stats().BytesRead, len(want))
+	}
+}
+
+func TestOSReaderEarlyClose(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data")
+	if err := os.WriteFile(path, make([]byte, 1<<20), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := NewOSReader(f, 4<<10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOSReaderValidation(t *testing.T) {
+	if _, err := NewOSReader(nil, 0, 1); err == nil {
+		t.Error("unit 0 accepted")
+	}
+	if _, err := NewOSReader(nil, 4096, 0); err == nil {
+		t.Error("depth 0 accepted")
+	}
+}
+
+// TestSimReaderDeliveryProperty: for arbitrary file sizes, unit sizes and
+// depths, the reader delivers exactly the file's bytes in order.
+func TestSimReaderDeliveryProperty(t *testing.T) {
+	cfg := simdisk.DefaultConfig()
+	cases := []struct {
+		size  int
+		unit  int64
+		depth int
+	}{
+		{1, 4 << 10, 1},
+		{12345, 4 << 10, 2},
+		{3 * 128 << 10, 128 << 10, 48},
+		{1<<20 + 1, 8 << 10, 3},
+		{513, 512, 7},
+	}
+	for _, c := range cases {
+		env := newSimEnv(t, cfg, c.size)
+		k := sim.NewKernel()
+		var got []byte
+		k.Spawn("scan", 0, func(p *sim.Proc) {
+			r, err := NewSimReader(p, env.file, c.unit, c.depth, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				buf, err := r.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				got = append(got, buf...)
+			}
+		})
+		k.Run()
+		if !bytes.Equal(got, env.data) {
+			t.Errorf("case %+v: delivered bytes differ", c)
+		}
+	}
+}
+
+// TestSimReaderNilDataSkipsReads: a timing-only reader returns buffers of
+// the right sizes without a data source.
+func TestSimReaderNilDataSkipsReads(t *testing.T) {
+	cfg := simdisk.DefaultConfig()
+	arr, err := simdisk.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	size := int64(10 << 20)
+	id, _ := arr.AddFile("phantom", size)
+	k := sim.NewKernel()
+	var total int64
+	k.Spawn("scan", 0, func(p *sim.Proc) {
+		r, err := NewSimReader(p, SimFile{Array: arr, ID: id}, 128<<10, 8, nil)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			buf, err := r.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			total += int64(len(buf))
+		}
+	})
+	end := k.Run()
+	if total != size {
+		t.Errorf("phantom reader delivered %d bytes, want %d", total, size)
+	}
+	want := float64(size)/cfg.TotalBandwidth() + cfg.Seek.Seconds()
+	if got := end.Seconds(); got < want*0.99 || got > want*1.1 {
+		t.Errorf("phantom scan took %.4fs, want about %.4fs", got, want)
+	}
+}

@@ -1,0 +1,214 @@
+// Package bitio provides bit-granularity packing and unpacking of
+// fixed-width codes inside byte buffers. It is the substrate for the
+// engine's lightweight compression schemes, which pack codes of arbitrary
+// bit width (1..64 for numeric codes, wider for packed text) contiguously
+// inside database pages and read them back with shift instructions, as the
+// paper's Section 2.2.1 describes.
+//
+// Bit order is LSB-first within each byte: bit i of the stream is
+// (buf[i/8] >> (i%8)) & 1. The order is an internal storage convention;
+// all readers and writers in this package agree on it.
+package bitio
+
+// WriteAt stores the low width bits of v into buf starting at bit offset
+// off. width must be in 1..64 and the destination range must lie within
+// buf; violations panic, as they indicate a page-layout bug.
+func WriteAt(buf []byte, off, width int, v uint64) {
+	if width < 1 || width > 64 {
+		panic("bitio: WriteAt width out of range")
+	}
+	if off < 0 || off+width > len(buf)*8 {
+		panic("bitio: WriteAt out of bounds")
+	}
+	if width < 64 {
+		v &= (1 << width) - 1
+	}
+	byteIdx := off >> 3
+	bitIdx := off & 7
+	// Merge into the first partial byte.
+	if bitIdx != 0 {
+		n := 8 - bitIdx // bits available in this byte
+		if n > width {
+			n = width
+		}
+		mask := byte((1<<n)-1) << bitIdx
+		buf[byteIdx] = buf[byteIdx]&^mask | byte(v<<bitIdx)&mask
+		v >>= n
+		width -= n
+		byteIdx++
+	}
+	// Whole bytes.
+	for width >= 8 {
+		buf[byteIdx] = byte(v)
+		v >>= 8
+		width -= 8
+		byteIdx++
+	}
+	// Trailing partial byte.
+	if width > 0 {
+		mask := byte(1<<width) - 1
+		buf[byteIdx] = buf[byteIdx]&^mask | byte(v)&mask
+	}
+}
+
+// ReadAt returns width bits from buf starting at bit offset off, as the
+// low bits of the result. width must be in 1..64 and the source range must
+// lie within buf; violations panic.
+func ReadAt(buf []byte, off, width int) uint64 {
+	if width < 1 || width > 64 {
+		panic("bitio: ReadAt width out of range")
+	}
+	if off < 0 || off+width > len(buf)*8 {
+		panic("bitio: ReadAt out of bounds")
+	}
+	byteIdx := off >> 3
+	bitIdx := off & 7
+	var v uint64
+	shift := 0
+	if bitIdx != 0 {
+		n := 8 - bitIdx
+		if n > width {
+			n = width
+		}
+		v = uint64(buf[byteIdx]>>bitIdx) & ((1 << n) - 1)
+		shift = n
+		width -= n
+		byteIdx++
+	}
+	for width >= 8 {
+		v |= uint64(buf[byteIdx]) << shift
+		shift += 8
+		width -= 8
+		byteIdx++
+	}
+	if width > 0 {
+		v |= uint64(buf[byteIdx]&(1<<width-1)) << shift
+	}
+	return v
+}
+
+// CopyBits copies n bits from src starting at bit offset srcOff into dst
+// starting at bit offset dstOff. It handles arbitrary lengths, including
+// codes wider than 64 bits (the packed 28-byte L_COMMENT codes). Ranges
+// must lie within their buffers; violations panic.
+func CopyBits(dst []byte, dstOff int, src []byte, srcOff, n int) {
+	if n < 0 {
+		panic("bitio: CopyBits negative length")
+	}
+	if srcOff < 0 || srcOff+n > len(src)*8 {
+		panic("bitio: CopyBits source out of bounds")
+	}
+	if dstOff < 0 || dstOff+n > len(dst)*8 {
+		panic("bitio: CopyBits destination out of bounds")
+	}
+	// Fast path: both byte-aligned.
+	if srcOff&7 == 0 && dstOff&7 == 0 {
+		whole := n >> 3
+		copy(dst[dstOff>>3:], src[srcOff>>3:srcOff>>3+whole])
+		rem := n & 7
+		if rem > 0 {
+			b := src[srcOff>>3+whole] & (1<<rem - 1)
+			mask := byte(1<<rem) - 1
+			dst[dstOff>>3+whole] = dst[dstOff>>3+whole]&^mask | b
+		}
+		return
+	}
+	for n > 0 {
+		chunk := n
+		if chunk > 64 {
+			chunk = 64
+		}
+		WriteAt(dst, dstOff, chunk, ReadAt(src, srcOff, chunk))
+		srcOff += chunk
+		dstOff += chunk
+		n -= chunk
+	}
+}
+
+// Writer appends fixed-width codes sequentially to a byte buffer. The zero
+// value writes into an empty buffer; use NewWriter to pack into
+// preallocated page space.
+type Writer struct {
+	buf []byte
+	off int // next free bit
+}
+
+// NewWriter returns a Writer that packs into buf starting at bit 0.
+// The caller retains ownership of buf.
+func NewWriter(buf []byte) *Writer {
+	return &Writer{buf: buf}
+}
+
+// NewWriterAt returns a Writer that packs into buf starting at the given
+// bit offset.
+func NewWriterAt(buf []byte, off int) *Writer {
+	return &Writer{buf: buf, off: off}
+}
+
+// WriteBits appends the low width bits of v. It panics if the buffer is
+// exhausted; callers size pages before packing.
+func (w *Writer) WriteBits(v uint64, width int) {
+	WriteAt(w.buf, w.off, width, v)
+	w.off += width
+}
+
+// WriteBytesBits appends width bits taken from the given byte slice
+// (LSB-first), for codes wider than 64 bits.
+func (w *Writer) WriteBytesBits(src []byte, width int) {
+	CopyBits(w.buf, w.off, src, 0, width)
+	w.off += width
+}
+
+// Offset returns the number of bits written so far.
+func (w *Writer) Offset() int { return w.off }
+
+// Reader consumes fixed-width codes sequentially from a byte buffer.
+type Reader struct {
+	buf []byte
+	off int
+}
+
+// NewReader returns a Reader over buf starting at bit 0.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// NewReaderAt returns a Reader over buf starting at the given bit offset.
+func NewReaderAt(buf []byte, off int) *Reader {
+	return &Reader{buf: buf, off: off}
+}
+
+// ReadBits consumes and returns the next width bits.
+func (r *Reader) ReadBits(width int) uint64 {
+	v := ReadAt(r.buf, r.off, width)
+	r.off += width
+	return v
+}
+
+// ReadBytesBits consumes width bits into dst (LSB-first), for codes wider
+// than 64 bits. dst must hold at least (width+7)/8 bytes.
+func (r *Reader) ReadBytesBits(dst []byte, width int) {
+	CopyBits(dst, 0, r.buf, r.off, width)
+	r.off += width
+}
+
+// Skip advances the read position by width bits without decoding.
+func (r *Reader) Skip(width int) { r.off += width }
+
+// Offset returns the current bit position.
+func (r *Reader) Offset() int { return r.off }
+
+// SizeBytes returns the number of bytes needed to hold n bits.
+func SizeBytes(nbits int) int { return (nbits + 7) / 8 }
+
+// WidthFor returns the minimum number of bits needed to represent the
+// non-negative value v (at least 1, so that zero-valued domains still get
+// a code).
+func WidthFor(v uint64) int {
+	w := 1
+	for v > 1 {
+		v >>= 1
+		w++
+	}
+	return w
+}

@@ -1,0 +1,275 @@
+package bitio
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadAtBasic(t *testing.T) {
+	buf := make([]byte, 16)
+	WriteAt(buf, 0, 3, 0b101)
+	WriteAt(buf, 3, 5, 0b11010)
+	WriteAt(buf, 8, 16, 0xBEEF)
+	if got := ReadAt(buf, 0, 3); got != 0b101 {
+		t.Errorf("ReadAt(0,3) = %b, want 101", got)
+	}
+	if got := ReadAt(buf, 3, 5); got != 0b11010 {
+		t.Errorf("ReadAt(3,5) = %b, want 11010", got)
+	}
+	if got := ReadAt(buf, 8, 16); got != 0xBEEF {
+		t.Errorf("ReadAt(8,16) = %x, want beef", got)
+	}
+}
+
+func TestWriteAtMasksHighBits(t *testing.T) {
+	buf := make([]byte, 8)
+	WriteAt(buf, 0, 4, 0xFFFF) // only low 4 bits should land
+	if got := ReadAt(buf, 0, 4); got != 0xF {
+		t.Errorf("ReadAt = %x, want f", got)
+	}
+	if got := ReadAt(buf, 4, 4); got != 0 {
+		t.Errorf("neighbouring bits disturbed: %x", got)
+	}
+}
+
+func TestWriteAtPreservesNeighbours(t *testing.T) {
+	buf := []byte{0xFF, 0xFF, 0xFF}
+	WriteAt(buf, 5, 9, 0) // clear bits 5..13
+	if got := ReadAt(buf, 0, 5); got != 0x1F {
+		t.Errorf("low neighbours disturbed: %b", got)
+	}
+	if got := ReadAt(buf, 5, 9); got != 0 {
+		t.Errorf("written bits = %b, want 0", got)
+	}
+	if got := ReadAt(buf, 14, 10); got != 0x3FF {
+		t.Errorf("high neighbours disturbed: %b", got)
+	}
+}
+
+func TestFullWidth64(t *testing.T) {
+	buf := make([]byte, 10)
+	const v uint64 = 0xDEADBEEFCAFEF00D
+	WriteAt(buf, 3, 64, v)
+	if got := ReadAt(buf, 3, 64); got != v {
+		t.Errorf("64-bit unaligned round trip = %x, want %x", got, v)
+	}
+}
+
+func TestBoundsPanics(t *testing.T) {
+	buf := make([]byte, 2)
+	cases := []func(){
+		func() { WriteAt(buf, 0, 0, 0) },
+		func() { WriteAt(buf, 0, 65, 0) },
+		func() { WriteAt(buf, 10, 8, 0) },
+		func() { WriteAt(buf, -1, 8, 0) },
+		func() { ReadAt(buf, 0, 0) },
+		func() { ReadAt(buf, 0, 65) },
+		func() { ReadAt(buf, 12, 8) },
+		func() { ReadAt(buf, -1, 8) },
+		func() { CopyBits(buf, 0, buf, 0, -1) },
+		func() { CopyBits(buf, 0, buf, 8, 16) },
+		func() { CopyBits(buf, 8, buf, 0, 16) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: round trip at random offsets and widths.
+func TestWriteReadAtProperty(t *testing.T) {
+	buf := make([]byte, 64)
+	f := func(off uint16, width uint8, v uint64) bool {
+		w := int(width)%64 + 1
+		o := int(off) % (len(buf)*8 - w)
+		want := v
+		if w < 64 {
+			want &= (1 << w) - 1
+		}
+		WriteAt(buf, o, w, v)
+		return ReadAt(buf, o, w) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: two adjacent writes never interfere.
+func TestAdjacentWritesProperty(t *testing.T) {
+	f := func(w1, w2 uint8, v1, v2 uint64) bool {
+		a := int(w1)%64 + 1
+		b := int(w2)%64 + 1
+		buf := make([]byte, SizeBytes(a+b))
+		WriteAt(buf, 0, a, v1)
+		WriteAt(buf, a, b, v2)
+		m1, m2 := v1, v2
+		if a < 64 {
+			m1 &= (1 << a) - 1
+		}
+		if b < 64 {
+			m2 &= (1 << b) - 1
+		}
+		return ReadAt(buf, 0, a) == m1 && ReadAt(buf, a, b) == m2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCopyBitsAligned(t *testing.T) {
+	src := []byte{0xAB, 0xCD, 0xEF}
+	dst := make([]byte, 3)
+	CopyBits(dst, 0, src, 0, 24)
+	if !bytes.Equal(dst, src) {
+		t.Errorf("aligned CopyBits = %x, want %x", dst, src)
+	}
+	// Aligned with trailing partial byte.
+	dst2 := make([]byte, 3)
+	CopyBits(dst2, 0, src, 0, 20)
+	if got := ReadAt(dst2, 0, 20); got != ReadAt(src, 0, 20) {
+		t.Errorf("aligned partial CopyBits mismatch: %x vs %x", got, ReadAt(src, 0, 20))
+	}
+	if got := ReadAt(dst2, 20, 4); got != 0 {
+		t.Errorf("bits beyond copy disturbed: %x", got)
+	}
+}
+
+func TestCopyBitsUnalignedWide(t *testing.T) {
+	// Codes wider than 64 bits at unaligned offsets (the L_COMMENT case).
+	rng := rand.New(rand.NewSource(7))
+	src := make([]byte, 64)
+	rng.Read(src)
+	dst := make([]byte, 80)
+	const n = 224
+	CopyBits(dst, 13, src, 5, n)
+	for i := 0; i < n; i += 17 {
+		w := 17
+		if i+w > n {
+			w = n - i
+		}
+		if ReadAt(dst, 13+i, w) != ReadAt(src, 5+i, w) {
+			t.Fatalf("bit range [%d,%d) mismatch after wide unaligned copy", i, i+w)
+		}
+	}
+}
+
+func TestWriterReaderSequential(t *testing.T) {
+	widths := []int{1, 3, 7, 8, 13, 32, 64, 5}
+	vals := []uint64{1, 5, 100, 255, 4097, 0xCAFEBABE, 0x0123456789ABCDEF, 21}
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	buf := make([]byte, SizeBytes(total))
+	w := NewWriter(buf)
+	for i, width := range widths {
+		w.WriteBits(vals[i], width)
+	}
+	if w.Offset() != total {
+		t.Errorf("Writer.Offset() = %d, want %d", w.Offset(), total)
+	}
+	r := NewReader(buf)
+	for i, width := range widths {
+		want := vals[i]
+		if width < 64 {
+			want &= (1 << width) - 1
+		}
+		if got := r.ReadBits(width); got != want {
+			t.Errorf("field %d (width %d) = %x, want %x", i, width, got, want)
+		}
+	}
+	if r.Offset() != total {
+		t.Errorf("Reader.Offset() = %d, want %d", r.Offset(), total)
+	}
+}
+
+func TestWriterReaderBytesBits(t *testing.T) {
+	payload := []byte("the quick brown fox jumps ov") // 28 bytes = 224 bits
+	buf := make([]byte, SizeBytes(3+224+9))
+	w := NewWriter(buf)
+	w.WriteBits(0b101, 3)
+	w.WriteBytesBits(payload, 224)
+	w.WriteBits(0x1FF, 9)
+
+	r := NewReader(buf)
+	if got := r.ReadBits(3); got != 0b101 {
+		t.Errorf("prefix = %b", got)
+	}
+	out := make([]byte, 28)
+	r.ReadBytesBits(out, 224)
+	if !bytes.Equal(out, payload) {
+		t.Errorf("wide code round trip = %q, want %q", out, payload)
+	}
+	if got := r.ReadBits(9); got != 0x1FF {
+		t.Errorf("suffix = %x", got)
+	}
+}
+
+func TestReaderSkipAndNewReaderAt(t *testing.T) {
+	buf := make([]byte, 8)
+	WriteAt(buf, 10, 6, 0b110011)
+	r := NewReader(buf)
+	r.Skip(10)
+	if got := r.ReadBits(6); got != 0b110011 {
+		t.Errorf("after Skip, ReadBits = %b", got)
+	}
+	r2 := NewReaderAt(buf, 10)
+	if got := r2.ReadBits(6); got != 0b110011 {
+		t.Errorf("NewReaderAt ReadBits = %b", got)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 7: 1, 8: 1, 9: 2, 92: 12, 224: 28, 408: 51}
+	for bits, want := range cases {
+		if got := SizeBytes(bits); got != want {
+			t.Errorf("SizeBytes(%d) = %d, want %d", bits, got, want)
+		}
+	}
+}
+
+func TestWidthFor(t *testing.T) {
+	cases := map[uint64]int{0: 1, 1: 1, 2: 2, 3: 2, 4: 3, 1000: 10, 1 << 40: 41}
+	for v, want := range cases {
+		if got := WidthFor(v); got != want {
+			t.Errorf("WidthFor(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+// Property: WidthFor(v) bits always suffice to round-trip v.
+func TestWidthForProperty(t *testing.T) {
+	f := func(v uint64) bool {
+		w := WidthFor(v)
+		buf := make([]byte, 8)
+		WriteAt(buf, 0, w, v)
+		return ReadAt(buf, 0, w) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkWriteAt(b *testing.B) {
+	buf := make([]byte, 4096)
+	for i := 0; i < b.N; i++ {
+		WriteAt(buf, (i*13)%(4096*8-14), 14, uint64(i))
+	}
+}
+
+func BenchmarkReadAt(b *testing.B) {
+	buf := make([]byte, 4096)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += ReadAt(buf, (i*13)%(4096*8-14), 14)
+	}
+	_ = sink
+}

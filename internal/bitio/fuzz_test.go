@@ -1,0 +1,64 @@
+package bitio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzWriteReadAt: writing any value at any in-bounds position reads back
+// masked, and neighbouring bits survive.
+func FuzzWriteReadAt(f *testing.F) {
+	f.Add(uint16(0), uint8(1), uint64(0))
+	f.Add(uint16(7), uint8(64), uint64(0xDEADBEEF))
+	f.Add(uint16(121), uint8(13), uint64(1)<<63)
+	f.Fuzz(func(t *testing.T, off uint16, width uint8, v uint64) {
+		buf := make([]byte, 64)
+		w := int(width)%64 + 1
+		o := int(off) % (len(buf)*8 - w)
+		before := append([]byte(nil), buf...)
+		WriteAt(buf, o, w, v)
+		want := v
+		if w < 64 {
+			want &= (1 << w) - 1
+		}
+		if got := ReadAt(buf, o, w); got != want {
+			t.Fatalf("ReadAt(%d,%d) = %x, want %x", o, w, got, want)
+		}
+		// Clearing the written range restores the original buffer.
+		WriteAt(buf, o, w, 0)
+		if !bytes.Equal(buf, before) {
+			t.Fatal("neighbouring bits disturbed")
+		}
+	})
+}
+
+// FuzzCopyBits: copying any range round-trips bit-for-bit.
+func FuzzCopyBits(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint16(3), uint16(11), uint16(29))
+	f.Fuzz(func(t *testing.T, src []byte, srcOff, dstOff, n uint16) {
+		if len(src) == 0 {
+			return
+		}
+		if len(src) > 256 {
+			src = src[:256]
+		}
+		bits := len(src) * 8
+		so := int(srcOff) % bits
+		length := int(n) % (bits - so)
+		dst := make([]byte, len(src)+64)
+		do := int(dstOff) % (len(dst)*8 - length - 1)
+		CopyBits(dst, do, src, so, length)
+		for i := 0; i < length; i += 61 {
+			w := 61
+			if i+w > length {
+				w = length - i
+			}
+			if w == 0 {
+				break
+			}
+			if ReadAt(dst, do+i, w) != ReadAt(src, so+i, w) {
+				t.Fatalf("bits [%d,%d) differ after copy", i, i+w)
+			}
+		}
+	})
+}

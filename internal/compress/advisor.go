@@ -1,0 +1,156 @@
+package compress
+
+import (
+	"encoding/binary"
+
+	"github.com/readoptdb/readopt/internal/bitio"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// This file implements the compression advisor from the paper's Figure 1:
+// the component that chooses a compression scheme per attribute from
+// workload/data characteristics during physical design. The paper's
+// experiments use hand-chosen schemes (Figure 5); the advisor reproduces
+// those choices automatically from column statistics.
+
+// maxDictTrack bounds how many distinct values Stats tracks before it
+// declares a column dictionary-unfriendly. Dictionaries only pay off for
+// low-cardinality columns, so tracking beyond a small bound is wasted work.
+const maxDictTrack = 4096
+
+// Stats accumulates the per-column statistics the advisor needs: value
+// bounds, distinct-value count (bounded), monotonicity, and the maximum
+// step between consecutive values.
+type Stats struct {
+	attrSize int
+	isInt    bool
+
+	n             int
+	minV, maxV    int32
+	prev          int32
+	nonDecreasing bool
+	maxDelta      int64
+	maxTextLen    int // longest prefix before trailing padding
+	distinct      map[string]struct{}
+	overflowed    bool // more distinct values than maxDictTrack
+}
+
+// NewStats returns a Stats collector for an attribute of the given type.
+func NewStats(t schema.Type) *Stats {
+	return &Stats{
+		attrSize:      t.Size,
+		isInt:         t.Kind == schema.Int32,
+		nonDecreasing: true,
+		distinct:      make(map[string]struct{}),
+	}
+}
+
+// Observe feeds one raw value (exactly the attribute size in bytes).
+func (s *Stats) Observe(v []byte) {
+	if !s.overflowed {
+		s.distinct[string(v)] = struct{}{}
+		if len(s.distinct) > maxDictTrack {
+			s.overflowed = true
+			s.distinct = nil
+		}
+	}
+	if s.isInt {
+		x := int32(binary.LittleEndian.Uint32(v))
+		if s.n == 0 {
+			s.minV, s.maxV, s.prev = x, x, x
+		} else {
+			if x < s.minV {
+				s.minV = x
+			}
+			if x > s.maxV {
+				s.maxV = x
+			}
+			d := int64(x) - int64(s.prev)
+			if d < 0 {
+				s.nonDecreasing = false
+			} else if d > s.maxDelta {
+				s.maxDelta = d
+			}
+			s.prev = x
+		}
+	} else {
+		l := len(v)
+		for l > 0 && v[l-1] == ' ' {
+			l--
+		}
+		if l > s.maxTextLen {
+			s.maxTextLen = l
+		}
+	}
+	s.n++
+}
+
+// N returns the number of observed values.
+func (s *Stats) N() int { return s.n }
+
+// Distinct returns the tracked distinct-value count and whether tracking
+// stayed within bounds (ok == false means "many").
+func (s *Stats) Distinct() (n int, ok bool) {
+	if s.overflowed {
+		return maxDictTrack + 1, false
+	}
+	return len(s.distinct), true
+}
+
+// Advise chooses an encoding for an attribute with these statistics,
+// following the preferences visible in the paper's Figure 5 schemas:
+//
+//   - sorted integer keys with small steps -> FOR-delta;
+//   - low-cardinality columns (few distinct values) -> Dictionary;
+//   - non-negative integers with a small domain -> Bit packing;
+//   - text whose content is much shorter than its field -> Bit packing
+//     to the content width;
+//   - otherwise no compression.
+func (s *Stats) Advise(t schema.Type) schema.Attribute {
+	a := schema.Attribute{Type: t}
+	if s.n == 0 {
+		return a
+	}
+	if nd, ok := s.Distinct(); ok && nd <= 64 && bitio.WidthFor(uint64(nd-1))*4 <= 8*t.Size {
+		a.Enc = schema.Dict
+		a.Bits = bitio.WidthFor(uint64(nd - 1))
+		return a
+	}
+	if s.isInt {
+		if s.nonDecreasing && s.maxDelta <= 255 && s.n > 1 {
+			a.Enc = schema.FORDelta
+			a.Bits = bitio.WidthFor(uint64(s.maxDelta))
+			if a.Bits < 8 {
+				a.Bits = 8 // headroom for unseen data, as the paper's schemas do
+			}
+			return a
+		}
+		if s.minV >= 0 {
+			bits := bitio.WidthFor(uint64(s.maxV))
+			if bits < 32 {
+				a.Enc = schema.BitPack
+				a.Bits = bits
+				return a
+			}
+		}
+		// Conservative FOR: the whole-column span bounds any page's range,
+		// so codes of WidthFor(span) bits always fit.
+		if span := int64(s.maxV) - int64(s.minV); span >= 0 {
+			bits := bitio.WidthFor(uint64(span))
+			if bits < 32 {
+				a.Enc = schema.FOR
+				a.Bits = bits
+				return a
+			}
+		}
+		return a
+	}
+	if s.maxTextLen < t.Size {
+		a.Enc = schema.BitPack
+		a.Bits = 8 * s.maxTextLen
+		if a.Bits == 0 {
+			a.Bits = 8
+		}
+	}
+	return a
+}

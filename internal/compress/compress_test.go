@@ -1,0 +1,389 @@
+package compress
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/readoptdb/readopt/internal/bitio"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+func intsToBytes(vals []int32) []byte {
+	b := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(b[4*i:], uint32(v))
+	}
+	return b
+}
+
+func bytesToInts(b []byte) []int32 {
+	vals := make([]int32, len(b)/4)
+	for i := range vals {
+		vals[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return vals
+}
+
+// encodeDecode runs a full page round trip through the codec and returns
+// the decoded raw bytes.
+func encodeDecode(t *testing.T, c Codec, src []byte, stride, n int) []byte {
+	t.Helper()
+	buf := make([]byte, bitio.SizeBytes(n*c.Bits()))
+	w := bitio.NewWriter(buf)
+	base, err := c.EncodePage(w, src, stride, n)
+	if err != nil {
+		t.Fatalf("EncodePage: %v", err)
+	}
+	if w.Offset() != n*c.Bits() {
+		t.Fatalf("EncodePage wrote %d bits, want %d", w.Offset(), n*c.Bits())
+	}
+	dst := make([]byte, len(src))
+	if err := c.DecodePage(bitio.NewReader(buf), dst, stride, n, base); err != nil {
+		t.Fatalf("DecodePage: %v", err)
+	}
+	return dst
+}
+
+func TestRawCodecRoundTrip(t *testing.T) {
+	c, err := New(schema.Attribute{Name: "A", Type: schema.TextType(5)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Encoding() != schema.None || c.Bits() != 40 || !c.RandomAccess() {
+		t.Fatalf("raw codec properties wrong: %v %d %v", c.Encoding(), c.Bits(), c.RandomAccess())
+	}
+	src := []byte("helloworldtests")
+	got := encodeDecode(t, c, src, 5, 3)
+	if !bytes.Equal(got, src) {
+		t.Errorf("raw round trip = %q, want %q", got, src)
+	}
+}
+
+func TestBitPackIntRoundTrip(t *testing.T) {
+	c, err := New(schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.BitPack, Bits: 10}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := []int32{0, 1, 512, 1023, 7, 1000}
+	src := intsToBytes(vals)
+	got := bytesToInts(encodeDecode(t, c, src, 4, len(vals)))
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Errorf("value %d = %d, want %d", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestBitPackIntRejectsOutOfDomain(t *testing.T) {
+	c, _ := New(schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.BitPack, Bits: 3}, nil)
+	buf := make([]byte, 64)
+	for _, bad := range []int32{8, -1, 1 << 20} {
+		w := bitio.NewWriter(buf)
+		if _, err := c.EncodePage(w, intsToBytes([]int32{bad}), 4, 1); err == nil {
+			t.Errorf("EncodePage accepted out-of-domain value %d", bad)
+		}
+	}
+}
+
+func TestBitPackTextRoundTrip(t *testing.T) {
+	c, err := New(schema.Attribute{Name: "A", Type: schema.TextType(10), Enc: schema.BitPack, Bits: 4 * 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []byte("abcd      wxyz      ") // two 10-byte values, content <= 4 bytes
+	got := encodeDecode(t, c, src, 10, 2)
+	if !bytes.Equal(got, src) {
+		t.Errorf("text pack round trip = %q, want %q", got, src)
+	}
+}
+
+func TestBitPackTextRejectsLoss(t *testing.T) {
+	c, _ := New(schema.Attribute{Name: "A", Type: schema.TextType(10), Enc: schema.BitPack, Bits: 4 * 8}, nil)
+	buf := make([]byte, 64)
+	w := bitio.NewWriter(buf)
+	if _, err := c.EncodePage(w, []byte("abcdefgh  "), 10, 1); err == nil {
+		t.Error("EncodePage accepted text losing non-padding bytes")
+	}
+}
+
+func TestBitPackTextNeedsWholeBytes(t *testing.T) {
+	if _, err := New(schema.Attribute{Name: "A", Type: schema.TextType(10), Enc: schema.BitPack, Bits: 13}, nil); err == nil {
+		t.Error("New accepted text bit packing with fractional byte width")
+	}
+}
+
+func TestDictCodecRoundTrip(t *testing.T) {
+	dict := NewDictionary(1)
+	c, err := New(schema.Attribute{Name: "A", Type: schema.TextType(1), Enc: schema.Dict, Bits: 2}, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := []byte("NORNRONO")
+	got := encodeDecode(t, c, src, 1, len(src))
+	if !bytes.Equal(got, src) {
+		t.Errorf("dict round trip = %q, want %q", got, src)
+	}
+	if dict.Len() != 3 {
+		t.Errorf("dictionary grew to %d entries, want 3", dict.Len())
+	}
+}
+
+func TestDictCodecOverflow(t *testing.T) {
+	dict := NewDictionary(1)
+	c, _ := New(schema.Attribute{Name: "A", Type: schema.TextType(1), Enc: schema.Dict, Bits: 2}, dict)
+	buf := make([]byte, 64)
+	w := bitio.NewWriter(buf)
+	if _, err := c.EncodePage(w, []byte("ABCDE"), 1, 5); err == nil {
+		t.Error("EncodePage accepted 5 distinct values into a 2-bit dictionary index")
+	}
+}
+
+func TestDictCodecRequiresDictionary(t *testing.T) {
+	if _, err := New(schema.Attribute{Name: "A", Type: schema.TextType(1), Enc: schema.Dict, Bits: 2}, nil); err == nil {
+		t.Error("New accepted dict encoding without a dictionary")
+	}
+	wrong := NewDictionary(2)
+	if _, err := New(schema.Attribute{Name: "A", Type: schema.TextType(1), Enc: schema.Dict, Bits: 2}, wrong); err == nil {
+		t.Error("New accepted dictionary of mismatched width")
+	}
+}
+
+func TestFORRoundTrip(t *testing.T) {
+	c, err := New(schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.FOR, Bits: 16}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper example: sorted IDs 100.. stored as deltas from base 100.
+	vals := []int32{100, 101, 102, 103, 150, 100}
+	src := intsToBytes(vals)
+	got := bytesToInts(encodeDecode(t, c, src, 4, len(vals)))
+	for i := range vals {
+		if got[i] != vals[i] {
+			t.Errorf("value %d = %d, want %d", i, got[i], vals[i])
+		}
+	}
+}
+
+func TestFORBaseIsPageMin(t *testing.T) {
+	c, _ := New(schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.FOR, Bits: 8}, nil)
+	vals := []int32{50, 10, 40} // min is not first
+	buf := make([]byte, 64)
+	w := bitio.NewWriter(buf)
+	base, err := c.EncodePage(w, intsToBytes(vals), 4, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 10 {
+		t.Errorf("FOR base = %d, want 10", base)
+	}
+}
+
+func TestFOROverflow(t *testing.T) {
+	c, _ := New(schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.FOR, Bits: 4}, nil)
+	buf := make([]byte, 64)
+	w := bitio.NewWriter(buf)
+	if _, err := c.EncodePage(w, intsToBytes([]int32{0, 100}), 4, 2); err == nil {
+		t.Error("EncodePage accepted FOR difference exceeding code width")
+	}
+}
+
+func TestFORDeltaRoundTrip(t *testing.T) {
+	c, err := New(schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.FORDelta, Bits: 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.RandomAccess() {
+		t.Error("FOR-delta must not claim random access")
+	}
+	// Paper example: (100, 101, 102, 103) stored as (0, 1, 1, 1), base 100.
+	vals := []int32{100, 101, 102, 103}
+	buf := make([]byte, 64)
+	w := bitio.NewWriter(buf)
+	base, err := c.EncodePage(w, intsToBytes(vals), 4, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base != 100 {
+		t.Errorf("FOR-delta base = %d, want 100", base)
+	}
+	r := bitio.NewReader(buf)
+	for i, want := range []uint64{0, 1, 1, 1} {
+		if got := r.ReadBits(8); got != want {
+			t.Errorf("code %d = %d, want %d", i, got, want)
+		}
+	}
+	dst := make([]byte, 16)
+	if err := c.DecodePage(bitio.NewReader(buf), dst, 4, 4, base); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range bytesToInts(dst) {
+		if v != vals[i] {
+			t.Errorf("decoded %d = %d, want %d", i, v, vals[i])
+		}
+	}
+}
+
+func TestFORDeltaRejectsDecreasing(t *testing.T) {
+	c, _ := New(schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.FORDelta, Bits: 8}, nil)
+	buf := make([]byte, 64)
+	w := bitio.NewWriter(buf)
+	if _, err := c.EncodePage(w, intsToBytes([]int32{5, 3}), 4, 2); err == nil {
+		t.Error("EncodePage accepted decreasing values for FOR-delta")
+	}
+	w = bitio.NewWriter(buf)
+	if _, err := c.EncodePage(w, intsToBytes([]int32{0, 300}), 4, 2); err == nil {
+		t.Error("EncodePage accepted delta exceeding code width")
+	}
+}
+
+func TestFORDeltaDecodeAtPanics(t *testing.T) {
+	c, _ := New(schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.FORDelta, Bits: 8}, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("DecodeAt on FOR-delta did not panic")
+		}
+	}()
+	c.DecodeAt(make([]byte, 8), 0, 0, 0, make([]byte, 4))
+}
+
+// TestDecodeAtMatchesDecodePage verifies random access against sequential
+// decoding for every random-access codec.
+func TestDecodeAtMatchesDecodePage(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	n := 257
+	vals := make([]int32, n)
+	for i := range vals {
+		vals[i] = rng.Int31n(1 << 14)
+	}
+	src := intsToBytes(vals)
+
+	dict := NewDictionary(4)
+	lowCard := make([]int32, n)
+	for i := range lowCard {
+		lowCard[i] = rng.Int31n(7)
+	}
+	lowSrc := intsToBytes(lowCard)
+
+	cases := []struct {
+		name string
+		attr schema.Attribute
+		dict *Dictionary
+		src  []byte
+	}{
+		{"raw", schema.Attribute{Name: "A", Type: schema.IntType}, nil, src},
+		{"pack", schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.BitPack, Bits: 14}, nil, src},
+		{"dict", schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.Dict, Bits: 3}, dict, lowSrc},
+		{"for", schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.FOR, Bits: 15}, nil, src},
+	}
+	for _, tc := range cases {
+		c, err := New(tc.attr, tc.dict)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		buf := make([]byte, bitio.SizeBytes(n*c.Bits()))
+		w := bitio.NewWriter(buf)
+		base, err := c.EncodePage(w, tc.src, 4, n)
+		if err != nil {
+			t.Fatalf("%s: EncodePage: %v", tc.name, err)
+		}
+		seq := make([]byte, len(tc.src))
+		if err := c.DecodePage(bitio.NewReader(buf), seq, 4, n, base); err != nil {
+			t.Fatalf("%s: DecodePage: %v", tc.name, err)
+		}
+		one := make([]byte, 4)
+		for i := 0; i < n; i += 13 {
+			c.DecodeAt(buf, 0, i, base, one)
+			if !bytes.Equal(one, seq[4*i:4*i+4]) {
+				t.Errorf("%s: DecodeAt(%d) = %x, want %x", tc.name, i, one, seq[4*i:4*i+4])
+			}
+		}
+	}
+}
+
+// Property: every integer codec round-trips arbitrary in-domain pages.
+func TestIntCodecRoundTripProperty(t *testing.T) {
+	mk := func(attr schema.Attribute) Codec {
+		var d *Dictionary
+		if attr.Enc == schema.Dict {
+			d = NewDictionary(4)
+		}
+		c, err := New(attr, d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	pack := mk(schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.BitPack, Bits: 20})
+	forc := mk(schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.FOR, Bits: 21})
+	delta := mk(schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.FORDelta, Bits: 20})
+
+	f := func(raw []uint32) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 64 {
+			raw = raw[:64]
+		}
+		inDomain := make([]int32, len(raw))
+		sorted := make([]int32, len(raw))
+		acc := int32(0)
+		for i, r := range raw {
+			inDomain[i] = int32(r % (1 << 20))
+			acc += int32(r % 1000)
+			sorted[i] = acc
+		}
+		for _, tc := range []struct {
+			c    Codec
+			vals []int32
+		}{{pack, inDomain}, {forc, inDomain}, {delta, sorted}} {
+			src := intsToBytes(tc.vals)
+			buf := make([]byte, bitio.SizeBytes(len(tc.vals)*tc.c.Bits()))
+			w := bitio.NewWriter(buf)
+			base, err := tc.c.EncodePage(w, src, 4, len(tc.vals))
+			if err != nil {
+				return false
+			}
+			dst := make([]byte, len(src))
+			if err := tc.c.DecodePage(bitio.NewReader(buf), dst, 4, len(tc.vals), base); err != nil {
+				return false
+			}
+			if !bytes.Equal(dst, src) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyPages(t *testing.T) {
+	for _, attr := range []schema.Attribute{
+		{Name: "A", Type: schema.IntType, Enc: schema.FOR, Bits: 8},
+		{Name: "A", Type: schema.IntType, Enc: schema.FORDelta, Bits: 8},
+		{Name: "A", Type: schema.IntType, Enc: schema.BitPack, Bits: 8},
+	} {
+		c, err := New(attr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 8)
+		w := bitio.NewWriter(buf)
+		if _, err := c.EncodePage(w, nil, 4, 0); err != nil {
+			t.Errorf("%v: empty EncodePage failed: %v", attr.Enc, err)
+		}
+		if err := c.DecodePage(bitio.NewReader(buf), nil, 4, 0, 0); err != nil {
+			t.Errorf("%v: empty DecodePage failed: %v", attr.Enc, err)
+		}
+	}
+}
+
+func TestNewRejectsInvalidAttribute(t *testing.T) {
+	if _, err := New(schema.Attribute{Name: "", Type: schema.IntType}, nil); err == nil {
+		t.Error("New accepted invalid attribute")
+	}
+}

@@ -1,0 +1,100 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Dictionary maps the distinct values of one fixed-width attribute to
+// dense integer codes, as in the paper's Dictionary scheme: the loader
+// builds an array of distinct values and stores each attribute as a
+// bit-packed index into the array. Dictionaries are built during bulk
+// loading and serialized alongside the store's metadata.
+//
+// Entries are kept in a single flat byte slice to keep lookups and
+// serialization allocation-free.
+type Dictionary struct {
+	width   int
+	entries []byte
+	index   map[string]uint32
+}
+
+// NewDictionary returns an empty dictionary for values of the given byte
+// width.
+func NewDictionary(width int) *Dictionary {
+	if width <= 0 {
+		panic("compress: dictionary width must be positive")
+	}
+	return &Dictionary{width: width, index: make(map[string]uint32)}
+}
+
+// Width returns the byte width of each entry.
+func (d *Dictionary) Width() int { return d.width }
+
+// Len returns the number of distinct values.
+func (d *Dictionary) Len() int { return len(d.entries) / d.width }
+
+// Add inserts v (exactly Width bytes) if absent and returns its code.
+func (d *Dictionary) Add(v []byte) uint32 {
+	if len(v) != d.width {
+		panic(fmt.Sprintf("compress: dictionary Add with %d bytes, want %d", len(v), d.width))
+	}
+	if code, ok := d.index[string(v)]; ok {
+		return code
+	}
+	code := uint32(d.Len())
+	d.entries = append(d.entries, v...)
+	d.index[string(v)] = code
+	return code
+}
+
+// Code returns the code for v and whether it is present.
+func (d *Dictionary) Code(v []byte) (uint32, bool) {
+	code, ok := d.index[string(v)]
+	return code, ok
+}
+
+// Value returns the entry bytes for code. The returned slice aliases the
+// dictionary's storage and must not be modified.
+func (d *Dictionary) Value(code uint32) ([]byte, error) {
+	off := int(code) * d.width
+	if off+d.width > len(d.entries) {
+		return nil, fmt.Errorf("compress: dictionary code %d out of range (%d entries)", code, d.Len())
+	}
+	return d.entries[off : off+d.width], nil
+}
+
+// AppendBinary serializes the dictionary: width, entry count, then the
+// flat entries.
+func (d *Dictionary) AppendBinary(dst []byte) []byte {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(d.width))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(d.Len()))
+	dst = append(dst, hdr[:]...)
+	return append(dst, d.entries...)
+}
+
+// DecodeDictionary deserializes a dictionary produced by AppendBinary and
+// returns it along with the number of bytes consumed.
+func DecodeDictionary(src []byte) (*Dictionary, int, error) {
+	if len(src) < 8 {
+		return nil, 0, fmt.Errorf("compress: dictionary header truncated")
+	}
+	width := int(binary.LittleEndian.Uint32(src[0:4]))
+	n := int(binary.LittleEndian.Uint32(src[4:8]))
+	if width <= 0 {
+		return nil, 0, fmt.Errorf("compress: dictionary width %d invalid", width)
+	}
+	size := 8 + n*width
+	if len(src) < size {
+		return nil, 0, fmt.Errorf("compress: dictionary entries truncated: have %d bytes, need %d", len(src), size)
+	}
+	d := NewDictionary(width)
+	for i := 0; i < n; i++ {
+		d.Add(src[8+i*width : 8+(i+1)*width])
+	}
+	if d.Len() != n {
+		return nil, 0, fmt.Errorf("compress: serialized dictionary contains duplicate entries")
+	}
+	return d, size, nil
+}

@@ -1,0 +1,251 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+func TestDictionaryBasics(t *testing.T) {
+	d := NewDictionary(4)
+	a := d.Add([]byte("MALE"))
+	b := d.Add([]byte("FEM "))
+	if a != 0 || b != 1 {
+		t.Errorf("codes = %d,%d, want 0,1", a, b)
+	}
+	if got := d.Add([]byte("MALE")); got != a {
+		t.Errorf("re-Add returned %d, want %d", got, a)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+	if code, ok := d.Code([]byte("FEM ")); !ok || code != b {
+		t.Errorf("Code(FEM) = %d,%v", code, ok)
+	}
+	if _, ok := d.Code([]byte("NONE")); ok {
+		t.Error("Code found absent value")
+	}
+	v, err := d.Value(a)
+	if err != nil || !bytes.Equal(v, []byte("MALE")) {
+		t.Errorf("Value(%d) = %q, %v", a, v, err)
+	}
+	if _, err := d.Value(99); err == nil {
+		t.Error("Value accepted out-of-range code")
+	}
+}
+
+func TestDictionaryAddPanicsOnWrongWidth(t *testing.T) {
+	d := NewDictionary(4)
+	defer func() {
+		if recover() == nil {
+			t.Error("Add with wrong width did not panic")
+		}
+	}()
+	d.Add([]byte("toolong"))
+}
+
+func TestNewDictionaryPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewDictionary(0) did not panic")
+		}
+	}()
+	NewDictionary(0)
+}
+
+func TestDictionarySerializationRoundTrip(t *testing.T) {
+	d := NewDictionary(3)
+	for _, v := range []string{"AAA", "BBB", "CCC", "DDD"} {
+		d.Add([]byte(v))
+	}
+	blob := d.AppendBinary([]byte("prefix")) // appends after existing content
+	got, n, err := DecodeDictionary(blob[6:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(blob)-6 {
+		t.Errorf("consumed %d bytes, want %d", n, len(blob)-6)
+	}
+	if got.Len() != 4 || got.Width() != 3 {
+		t.Fatalf("decoded dictionary %d entries width %d", got.Len(), got.Width())
+	}
+	for i, v := range []string{"AAA", "BBB", "CCC", "DDD"} {
+		e, err := got.Value(uint32(i))
+		if err != nil || string(e) != v {
+			t.Errorf("entry %d = %q, %v; want %q", i, e, err, v)
+		}
+	}
+}
+
+func TestDecodeDictionaryErrors(t *testing.T) {
+	if _, _, err := DecodeDictionary([]byte{1, 2, 3}); err == nil {
+		t.Error("accepted truncated header")
+	}
+	d := NewDictionary(4)
+	d.Add([]byte("ABCD"))
+	blob := d.AppendBinary(nil)
+	if _, _, err := DecodeDictionary(blob[:len(blob)-1]); err == nil {
+		t.Error("accepted truncated entries")
+	}
+	bad := append([]byte(nil), blob...)
+	bad[0], bad[1], bad[2], bad[3] = 0, 0, 0, 0 // width 0
+	if _, _, err := DecodeDictionary(bad); err == nil {
+		t.Error("accepted zero width")
+	}
+}
+
+// Property: Add assigns dense codes 0..n-1 in first-seen order and
+// Code/Value are mutually inverse.
+func TestDictionaryProperty(t *testing.T) {
+	f := func(vals [][4]byte) bool {
+		d := NewDictionary(4)
+		want := make(map[string]uint32)
+		order := []string{}
+		for _, v := range vals {
+			s := string(v[:])
+			code := d.Add(v[:])
+			if prev, seen := want[s]; seen {
+				if code != prev {
+					return false
+				}
+			} else {
+				if int(code) != len(order) {
+					return false
+				}
+				want[s] = code
+				order = append(order, s)
+			}
+		}
+		for s, code := range want {
+			got, ok := d.Code([]byte(s))
+			if !ok || got != code {
+				return false
+			}
+			v, err := d.Value(code)
+			if err != nil || string(v) != s {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsAdviseSortedKey(t *testing.T) {
+	s := NewStats(schema.IntType)
+	buf := make([]byte, 4)
+	for v := int32(1000); v < 1000+5000; v++ {
+		putInt32(buf, v)
+		s.Observe(buf)
+	}
+	a := s.Advise(schema.IntType)
+	if a.Enc != schema.FORDelta || a.Bits != 8 {
+		t.Errorf("sorted key advice = %v/%d, want delta/8", a.Enc, a.Bits)
+	}
+}
+
+func TestStatsAdviseLowCardinality(t *testing.T) {
+	s := NewStats(schema.TextType(10))
+	for i := 0; i < 1000; i++ {
+		v := []byte("AIR       ")
+		if i%3 == 0 {
+			v = []byte("TRUCK     ")
+		} else if i%3 == 1 {
+			v = []byte("MAIL      ")
+		}
+		s.Observe(v)
+	}
+	a := s.Advise(schema.TextType(10))
+	if a.Enc != schema.Dict || a.Bits != 2 {
+		t.Errorf("low-cardinality advice = %v/%d, want dict/2", a.Enc, a.Bits)
+	}
+}
+
+func TestStatsAdviseSmallDomainInt(t *testing.T) {
+	s := NewStats(schema.IntType)
+	buf := make([]byte, 4)
+	// Unsorted, positive, bounded by 999: bit packing at 10 bits. Use more
+	// than 64 distinct values so dictionary advice does not win.
+	for i := 0; i < 5000; i++ {
+		putInt32(buf, int32((i*7919)%1000))
+		s.Observe(buf)
+	}
+	a := s.Advise(schema.IntType)
+	if a.Enc != schema.BitPack || a.Bits != 10 {
+		t.Errorf("small-domain advice = %v/%d, want pack/10", a.Enc, a.Bits)
+	}
+}
+
+func TestStatsAdviseShortText(t *testing.T) {
+	s := NewStats(schema.TextType(69))
+	// High cardinality short strings inside a wide field.
+	v := make([]byte, 69)
+	for i := 0; i < 5000; i++ {
+		for j := range v {
+			v[j] = ' '
+		}
+		copy(v, []byte{byte('a' + i%26), byte('a' + (i/26)%26), byte('a' + (i/676)%26), byte('a' + (i/17576)%26)})
+		s.Observe(v)
+	}
+	a := s.Advise(schema.TextType(69))
+	if a.Enc != schema.BitPack || a.Bits != 4*8 {
+		t.Errorf("short-text advice = %v/%d, want pack/32", a.Enc, a.Bits)
+	}
+}
+
+func TestStatsAdviseIncompressible(t *testing.T) {
+	s := NewStats(schema.IntType)
+	buf := make([]byte, 4)
+	for i := 0; i < 5000; i++ {
+		putInt32(buf, int32(i*982451653)) // wraps: full-range, unsorted
+		s.Observe(buf)
+	}
+	a := s.Advise(schema.IntType)
+	if a.Enc != schema.None {
+		t.Errorf("incompressible advice = %v, want raw", a.Enc)
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	s := NewStats(schema.IntType)
+	if a := s.Advise(schema.IntType); a.Enc != schema.None {
+		t.Errorf("empty stats advice = %v, want raw", a.Enc)
+	}
+	if n := s.N(); n != 0 {
+		t.Errorf("N = %d, want 0", n)
+	}
+}
+
+func TestStatsDistinctOverflow(t *testing.T) {
+	s := NewStats(schema.IntType)
+	buf := make([]byte, 4)
+	for i := 0; i < maxDictTrack+10; i++ {
+		putInt32(buf, int32(i))
+		s.Observe(buf)
+	}
+	if _, ok := s.Distinct(); ok {
+		t.Error("Distinct should report overflow after exceeding the bound")
+	}
+}
+
+// TestAdvisorReproducesFigure5 checks that the advisor, fed the workload
+// generator's actual value distributions, picks the paper's encodings for
+// representative ORDERS-Z attributes. (Full-schema agreement is exercised
+// in the tpch package, which owns the distributions.)
+func TestAdvisorMatchesPaperShapes(t *testing.T) {
+	// O_SHIPPRIORITY is constant zero: 1-bit domain -> dict/1 or pack/1.
+	s := NewStats(schema.IntType)
+	buf := make([]byte, 4)
+	for i := 0; i < 100; i++ {
+		putInt32(buf, 0)
+		s.Observe(buf)
+	}
+	a := s.Advise(schema.IntType)
+	if a.Bits != 1 {
+		t.Errorf("constant column advice = %v/%d bits, want a 1-bit code", a.Enc, a.Bits)
+	}
+}

@@ -1,0 +1,179 @@
+package cpumodel
+
+import (
+	"math"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+func TestPaper2006Constants(t *testing.T) {
+	m := Paper2006()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.ClockHz != 3.2e9 || m.CPUs != 1 || m.UopsPerCycle != 3 {
+		t.Errorf("unexpected paper machine: %+v", m)
+	}
+	// Section 4.1: one 128-byte line per 128 cycles.
+	if m.SeqBytesPerCycle != 1.0 || m.LineBytes != 128 || m.RandStallCycles != 380 {
+		t.Errorf("memory constants differ from the paper: %+v", m)
+	}
+}
+
+func TestValidateRejectsBadMachines(t *testing.T) {
+	bad := Paper2006()
+	bad.ClockHz = 0
+	if bad.Validate() == nil {
+		t.Error("zero clock accepted")
+	}
+	bad = Paper2006()
+	bad.RestFraction = -1
+	if bad.Validate() == nil {
+		t.Error("negative rest fraction accepted")
+	}
+}
+
+// TestCPDBMatchesPaperRatings pins the cpdb values quoted in Section 5:
+// the paper's machine is rated 18 cpdb over three disks and 54 over one.
+func TestCPDBMatchesPaperRatings(t *testing.T) {
+	m := Paper2006()
+	if got := m.CPDB(180e6); math.Abs(got-17.8) > 0.5 {
+		t.Errorf("cpdb over 3 disks = %.1f, want about 18", got)
+	}
+	if got := m.CPDB(60e6); math.Abs(got-53.3) > 1 {
+		t.Errorf("cpdb over 1 disk = %.1f, want about 54", got)
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	var c Counters
+	c.AddInstr(100)
+	c.AddSeq(4096)
+	c.AddRandLines(3, 128)
+	c.AddIO(1 << 20)
+	if c.Instr != 100 || c.SeqBytes != 4096 || c.RandLines != 3 {
+		t.Errorf("counters = %+v", c)
+	}
+	if c.L1Bytes != 4096+3*128 {
+		t.Errorf("L1Bytes = %d, want %d", c.L1Bytes, 4096+3*128)
+	}
+	if c.IORequests != 1 || c.IOBytes != 1<<20 {
+		t.Errorf("IO counters = %d/%d", c.IORequests, c.IOBytes)
+	}
+	var sum Counters
+	sum.Add(c)
+	sum.Add(c)
+	if sum.Instr != 200 || sum.IOBytes != 2<<20 {
+		t.Errorf("Add accumulation wrong: %+v", sum)
+	}
+}
+
+func TestNilCountersAreSafe(t *testing.T) {
+	var c *Counters
+	c.AddInstr(1)
+	c.AddSeq(1)
+	c.AddRandLines(1, 128)
+	c.AddIO(1)
+	c.Add(Counters{Instr: 5})
+}
+
+func TestScale(t *testing.T) {
+	c := Counters{Instr: 100, SeqBytes: 200, RandLines: 10, L1Bytes: 300, IORequests: 4, IOBytes: 4000}
+	s := c.Scale(2.5)
+	if s.Instr != 250 || s.SeqBytes != 500 || s.RandLines != 25 || s.L1Bytes != 750 || s.IORequests != 10 || s.IOBytes != 10000 {
+		t.Errorf("Scale = %+v", s)
+	}
+}
+
+// TestBreakdownSysMatchesFigure6: a 9.66GB scan (the LINEITEM row store)
+// spends about 2.5 seconds in system mode on the paper's machine.
+func TestBreakdownSysMatchesFigure6(t *testing.T) {
+	m := Paper2006()
+	var c Counters
+	total := int64(9.66e9)
+	unit := int64(3 * 128 << 10)
+	for read := int64(0); read < total; read += unit {
+		c.AddIO(unit)
+	}
+	b := m.Breakdown(c)
+	if b.Sys < 2.0 || b.Sys > 3.0 {
+		t.Errorf("sys time for 9.66GB scan = %.2fs, want about 2.5s", b.Sys)
+	}
+}
+
+// TestBreakdownOverlap: sequential memory transfer time is overlapped
+// with computation; only the excess shows up as usr-L2.
+func TestBreakdownOverlap(t *testing.T) {
+	m := Paper2006()
+	// Computation-heavy: seq transfer fully hidden.
+	heavy := Counters{Instr: 32e9, SeqBytes: 3.2e9}
+	b := m.Breakdown(heavy)
+	if b.UsrL2 != 0 {
+		t.Errorf("usr-L2 = %v, want 0 when computation dominates", b.UsrL2)
+	}
+	wantUop := 32e9 / 3 / 3.2e9
+	if math.Abs(b.UsrUop-wantUop) > 1e-9 {
+		t.Errorf("usr-uop = %v, want %v", b.UsrUop, wantUop)
+	}
+	// Memory-heavy: transfer exceeds computation; excess is exposed.
+	light := Counters{Instr: 3.2e9, SeqBytes: 6.4e9}
+	b = m.Breakdown(light)
+	wantL2 := 6.4e9/3.2e9 - 3.2e9/3/3.2e9
+	if math.Abs(b.UsrL2-wantL2) > 1e-9 {
+		t.Errorf("usr-L2 = %v, want %v", b.UsrL2, wantL2)
+	}
+}
+
+func TestBreakdownRandomStalls(t *testing.T) {
+	m := Paper2006()
+	c := Counters{RandLines: 1_000_000}
+	b := m.Breakdown(c)
+	want := 1e6 * 380 / 3.2e9
+	if math.Abs(b.UsrL2-want) > 1e-9 {
+		t.Errorf("random stall time = %v, want %v", b.UsrL2, want)
+	}
+}
+
+func TestBreakdownTotalAndRest(t *testing.T) {
+	m := Paper2006()
+	c := Counters{Instr: 9.6e9}
+	b := m.Breakdown(c)
+	if math.Abs(b.UsrRest-b.UsrUop*m.RestFraction) > 1e-12 {
+		t.Errorf("usr-rest = %v, want %v", b.UsrRest, b.UsrUop*m.RestFraction)
+	}
+	sum := b.Sys + b.UsrUop + b.UsrL2 + b.UsrL1 + b.UsrRest
+	if math.Abs(b.Total()-sum) > 1e-12 {
+		t.Errorf("Total = %v, want %v", b.Total(), sum)
+	}
+}
+
+// TestMoreCPUsReduceTime: the same work on a 2-CPU machine takes half the
+// user time (the paper treats parallelism as added CPU bandwidth).
+func TestMoreCPUsReduceTime(t *testing.T) {
+	m := Paper2006()
+	c := Counters{Instr: 9.6e9, SeqBytes: 1e9, IOBytes: 1e9, IORequests: 1000}
+	one := m.Breakdown(c).Total()
+	m.CPUs = 2
+	two := m.Breakdown(c).Total()
+	if math.Abs(two-one/2) > 1e-9 {
+		t.Errorf("2-CPU time = %v, want %v", two, one/2)
+	}
+}
+
+func TestDecodeCost(t *testing.T) {
+	c := DefaultCosts()
+	if c.DecodeCost(schema.None) != 0 {
+		t.Error("raw decode should cost nothing")
+	}
+	for _, e := range []schema.Encoding{schema.BitPack, schema.Dict, schema.FOR, schema.FORDelta} {
+		if c.DecodeCost(e) <= 0 {
+			t.Errorf("decode cost for %v not positive", e)
+		}
+	}
+	// The paper's Figure 9: FOR is computationally lighter than
+	// FOR-delta (which must chain through every value).
+	if c.DecodeFOR >= c.DecodeDelta {
+		t.Error("FOR should cost less than FOR-delta per value")
+	}
+}

@@ -1,0 +1,364 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// AggFunc enumerates the supported aggregate functions.
+type AggFunc uint8
+
+const (
+	Count AggFunc = iota
+	Sum
+	Min
+	Max
+	Avg
+)
+
+// String returns the SQL spelling of the function.
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	case Avg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", uint8(f))
+	}
+}
+
+// AggSpec is one aggregate in a query's select list. Attr is ignored for
+// Count. Aggregates apply to integer attributes; results are int32 (Avg
+// truncates), matching the engine's integer-only arithmetic.
+type AggSpec struct {
+	Func AggFunc
+	Attr int
+}
+
+// aggState accumulates one group's aggregates using 64-bit intermediates.
+type aggState struct {
+	count int64
+	sums  []int64
+	mins  []int32
+	maxs  []int32
+	key   []byte
+}
+
+// aggOutputSchema builds the result schema: group-by attributes followed
+// by one int32 per aggregate.
+func aggOutputSchema(in *schema.Schema, groupBy []int, aggs []AggSpec) (*schema.Schema, error) {
+	var attrs []schema.Attribute
+	for _, g := range groupBy {
+		if g < 0 || g >= in.NumAttrs() {
+			return nil, fmt.Errorf("exec: group-by attribute %d out of range for %s", g, in.Name)
+		}
+		a := in.Attrs[g]
+		attrs = append(attrs, schema.Attribute{Name: a.Name, Type: a.Type})
+	}
+	for _, s := range aggs {
+		name := s.Func.String() + "(*)"
+		if s.Func != Count {
+			if s.Attr < 0 || s.Attr >= in.NumAttrs() {
+				return nil, fmt.Errorf("exec: aggregate attribute %d out of range for %s", s.Attr, in.Name)
+			}
+			if in.Attrs[s.Attr].Type.Kind != schema.Int32 {
+				return nil, fmt.Errorf("exec: %s over non-integer attribute %s", s.Func, in.Attrs[s.Attr].Name)
+			}
+			name = fmt.Sprintf("%s(%s)", s.Func, in.Attrs[s.Attr].Name)
+		}
+		attrs = append(attrs, schema.Attribute{Name: name, Type: schema.IntType})
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("exec: aggregation with neither group-by nor aggregates")
+	}
+	return schema.New(in.Name+"/agg", attrs)
+}
+
+// groupKeyWidth returns the concatenated width of the group-by attributes.
+func groupKeyWidth(in *schema.Schema, groupBy []int) int {
+	w := 0
+	for _, g := range groupBy {
+		w += in.Attrs[g].Type.Size
+	}
+	return w
+}
+
+func newAggState(keyW int, aggs []AggSpec) *aggState {
+	st := &aggState{key: make([]byte, keyW), sums: make([]int64, len(aggs)), mins: make([]int32, len(aggs)), maxs: make([]int32, len(aggs))}
+	for i := range st.mins {
+		st.mins[i] = 1<<31 - 1
+		st.maxs[i] = -1 << 31
+	}
+	return st
+}
+
+func (st *aggState) update(in *schema.Schema, aggs []AggSpec, tuple []byte) {
+	st.count++
+	for i, s := range aggs {
+		if s.Func == Count {
+			continue
+		}
+		v := in.Int32At(tuple, s.Attr)
+		st.sums[i] += int64(v)
+		if v < st.mins[i] {
+			st.mins[i] = v
+		}
+		if v > st.maxs[i] {
+			st.maxs[i] = v
+		}
+	}
+}
+
+// emit writes the group's result tuple into dst using the output schema.
+func (st *aggState) emit(out *schema.Schema, nGroup int, aggs []AggSpec, dst []byte) {
+	off := 0
+	for g := 0; g < nGroup; g++ {
+		size := out.Attrs[g].Type.Size
+		copy(dst[out.Offset(g):out.Offset(g)+size], st.key[off:off+size])
+		off += size
+	}
+	for i, s := range aggs {
+		var v int32
+		switch s.Func {
+		case Count:
+			v = int32(st.count)
+		case Sum:
+			v = int32(st.sums[i])
+		case Min:
+			v = st.mins[i]
+		case Max:
+			v = st.maxs[i]
+		case Avg:
+			if st.count > 0 {
+				v = int32(st.sums[i] / st.count)
+			}
+		}
+		out.PutInt32At(dst, nGroup+i, v)
+	}
+}
+
+// extractKey concatenates the group-by attribute bytes of a tuple.
+func extractKey(in *schema.Schema, groupBy []int, tuple, dst []byte) []byte {
+	dst = dst[:0]
+	for _, g := range groupBy {
+		off := in.Offset(g)
+		dst = append(dst, tuple[off:off+in.Attrs[g].Type.Size]...)
+	}
+	return dst
+}
+
+// HashAggregate groups its input with a hash table — the engine's
+// hash-based aggregation. Results are emitted in deterministic (sorted
+// key) order so query output is reproducible.
+type HashAggregate struct {
+	child    Operator
+	groupBy  []int
+	aggs     []AggSpec
+	out      *schema.Schema
+	counters *cpumodel.Counters
+	costs    cpumodel.Costs
+
+	groups  map[string]*aggState
+	ordered []*aggState
+	emitPos int
+	block   *Block
+}
+
+// NewHashAggregate builds a hash aggregation over child. counters may be
+// nil.
+func NewHashAggregate(child Operator, groupBy []int, aggs []AggSpec, counters *cpumodel.Counters) (*HashAggregate, error) {
+	out, err := aggOutputSchema(child.Schema(), groupBy, aggs)
+	if err != nil {
+		return nil, err
+	}
+	return &HashAggregate{
+		child: child, groupBy: groupBy, aggs: aggs, out: out,
+		counters: counters, costs: cpumodel.DefaultCosts(),
+		block: NewBlock(out, DefaultBlockTuples),
+	}, nil
+}
+
+// Schema implements Operator.
+func (h *HashAggregate) Schema() *schema.Schema { return h.out }
+
+// Open drains the child and builds the groups.
+func (h *HashAggregate) Open() error {
+	if err := h.child.Open(); err != nil {
+		return err
+	}
+	in := h.child.Schema()
+	keyW := groupKeyWidth(in, h.groupBy)
+	h.groups = make(map[string]*aggState)
+	keyBuf := make([]byte, 0, keyW)
+	for {
+		b, err := h.child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.Len(); i++ {
+			t := b.Tuple(i)
+			keyBuf = extractKey(in, h.groupBy, t, keyBuf)
+			h.counters.AddInstr(h.costs.GroupProbe + h.costs.AggUpdate)
+			st, ok := h.groups[string(keyBuf)]
+			if !ok {
+				st = newAggState(keyW, h.aggs)
+				copy(st.key, keyBuf)
+				h.groups[string(keyBuf)] = st
+			}
+			st.update(in, h.aggs, t)
+		}
+	}
+	h.ordered = h.ordered[:0]
+	keys := make([]string, 0, len(h.groups))
+	for k := range h.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		h.ordered = append(h.ordered, h.groups[k])
+	}
+	h.emitPos = 0
+	return nil
+}
+
+// Next implements Operator.
+func (h *HashAggregate) Next() (*Block, error) {
+	if h.emitPos >= len(h.ordered) {
+		return nil, nil
+	}
+	h.block.Reset()
+	for h.emitPos < len(h.ordered) && !h.block.Full() {
+		h.ordered[h.emitPos].emit(h.out, len(h.groupBy), h.aggs, h.block.Alloc())
+		h.emitPos++
+	}
+	h.counters.AddInstr(h.costs.BlockOverhead)
+	return h.block, nil
+}
+
+// Close implements Operator.
+func (h *HashAggregate) Close() error {
+	h.groups = nil
+	h.ordered = nil
+	return h.child.Close()
+}
+
+// SortAggregate is the engine's sort-based aggregation: it requires input
+// already sorted (clustered) on the group-by attributes and folds each
+// consecutive run, streaming results with constant memory.
+type SortAggregate struct {
+	child    Operator
+	groupBy  []int
+	aggs     []AggSpec
+	out      *schema.Schema
+	counters *cpumodel.Counters
+	costs    cpumodel.Costs
+
+	cur     *aggState
+	curSet  bool
+	keyBuf  []byte
+	block   *Block
+	inBlock *Block
+	inPos   int
+	done    bool
+}
+
+// NewSortAggregate builds a sort-based aggregation over child, whose
+// output must be clustered on the group-by attributes. counters may be
+// nil.
+func NewSortAggregate(child Operator, groupBy []int, aggs []AggSpec, counters *cpumodel.Counters) (*SortAggregate, error) {
+	out, err := aggOutputSchema(child.Schema(), groupBy, aggs)
+	if err != nil {
+		return nil, err
+	}
+	keyW := groupKeyWidth(child.Schema(), groupBy)
+	return &SortAggregate{
+		child: child, groupBy: groupBy, aggs: aggs, out: out,
+		counters: counters, costs: cpumodel.DefaultCosts(),
+		cur:    newAggState(keyW, aggs),
+		keyBuf: make([]byte, 0, keyW),
+		block:  NewBlock(out, DefaultBlockTuples),
+	}, nil
+}
+
+// Schema implements Operator.
+func (s *SortAggregate) Schema() *schema.Schema { return s.out }
+
+// Open implements Operator.
+func (s *SortAggregate) Open() error {
+	s.curSet = false
+	s.done = false
+	s.inBlock = nil
+	s.inPos = 0
+	return s.child.Open()
+}
+
+// Next implements Operator. It holds a cursor into the child's current
+// block across calls, so a group boundary that lands on a full output
+// block simply resumes with the same input tuple on the next call.
+func (s *SortAggregate) Next() (*Block, error) {
+	if s.done {
+		return nil, nil
+	}
+	in := s.child.Schema()
+	s.block.Reset()
+	for !s.block.Full() {
+		if s.inBlock == nil || s.inPos >= s.inBlock.Len() {
+			b, err := s.child.Next()
+			if err != nil {
+				return nil, err
+			}
+			if b == nil {
+				if s.curSet {
+					s.cur.emit(s.out, len(s.groupBy), s.aggs, s.block.Alloc())
+					s.curSet = false
+				}
+				s.done = true
+				break
+			}
+			s.inBlock, s.inPos = b, 0
+		}
+		t := s.inBlock.Tuple(s.inPos)
+		s.keyBuf = extractKey(in, s.groupBy, t, s.keyBuf)
+		if s.curSet && string(s.keyBuf) != string(s.cur.key) {
+			// Group boundary: emit the finished group, then reprocess the
+			// same tuple as the start of the next group.
+			s.cur.emit(s.out, len(s.groupBy), s.aggs, s.block.Alloc())
+			s.resetCur()
+			continue
+		}
+		if !s.curSet {
+			copy(s.cur.key, s.keyBuf)
+			s.curSet = true
+		}
+		s.counters.AddInstr(s.costs.Compare + s.costs.AggUpdate)
+		s.cur.update(in, s.aggs, t)
+		s.inPos++
+	}
+	s.counters.AddInstr(s.costs.BlockOverhead)
+	if s.block.Len() == 0 {
+		return nil, nil
+	}
+	return s.block, nil
+}
+
+// resetCur clears the accumulator for the next group.
+func (s *SortAggregate) resetCur() {
+	s.cur = newAggState(len(s.cur.key), s.aggs)
+	s.curSet = false
+}
+
+// Close implements Operator.
+func (s *SortAggregate) Close() error { return s.child.Close() }

@@ -1,0 +1,487 @@
+package exec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// pairSchema is a tiny two-int schema for operator tests.
+func pairSchema(name string) *schema.Schema {
+	return schema.MustNew(name, []schema.Attribute{
+		{Name: "K", Type: schema.IntType},
+		{Name: "V", Type: schema.IntType},
+	})
+}
+
+// pairs builds a tuple buffer of (k, v) rows.
+func pairs(s *schema.Schema, kv ...int32) []byte {
+	if len(kv)%2 != 0 {
+		panic("pairs needs k,v pairs")
+	}
+	buf := make([]byte, 0, len(kv)/2*s.Width())
+	tuple := make([]byte, s.Width())
+	for i := 0; i < len(kv); i += 2 {
+		s.PutInt32At(tuple, 0, kv[i])
+		s.PutInt32At(tuple, 1, kv[i+1])
+		buf = append(buf, tuple...)
+	}
+	return buf
+}
+
+func readPairs(s *schema.Schema, buf []byte) []int32 {
+	width := s.Width()
+	var out []int32
+	for i := 0; i+width <= len(buf); i += width {
+		out = append(out, int32(binary.LittleEndian.Uint32(buf[i:])), int32(binary.LittleEndian.Uint32(buf[i+4:])))
+	}
+	return out
+}
+
+func eqInt32s(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBlockBasics(t *testing.T) {
+	s := pairSchema("T")
+	b := NewBlock(s, 3)
+	if b.Cap() != 3 || b.Len() != 0 || b.Full() {
+		t.Fatalf("fresh block state wrong: cap=%d len=%d", b.Cap(), b.Len())
+	}
+	tuple := make([]byte, s.Width())
+	s.PutInt32At(tuple, 0, 7)
+	b.AppendTuple(tuple)
+	s.PutInt32At(b.Alloc(), 0, 9)
+	if b.Len() != 2 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if got := s.Int32At(b.Tuple(0), 0); got != 7 {
+		t.Errorf("tuple 0 K = %d", got)
+	}
+	if got := s.Int32At(b.Tuple(1), 0); got != 9 {
+		t.Errorf("tuple 1 K = %d", got)
+	}
+	b.Truncate(1)
+	if b.Len() != 1 {
+		t.Errorf("after Truncate Len = %d", b.Len())
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Errorf("after Reset Len = %d", b.Len())
+	}
+}
+
+func TestBlockPanics(t *testing.T) {
+	s := pairSchema("T")
+	for i, f := range []func(){
+		func() { NewBlock(s, 0) },
+		func() { b := NewBlock(s, 1); b.Alloc(); b.Alloc() },
+		func() { b := NewBlock(s, 1); b.AppendTuple(make([]byte, 8)); b.AppendTuple(make([]byte, 8)) },
+		func() { b := NewBlock(s, 1); b.Truncate(5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSliceSource(t *testing.T) {
+	s := pairSchema("T")
+	data := pairs(s, 1, 10, 2, 20, 3, 30, 4, 40, 5, 50)
+	src, err := NewSliceSource(s, data, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("SliceSource did not reproduce its input")
+	}
+	// Next before Open fails.
+	src2, _ := NewSliceSource(s, data, 0)
+	if _, err := src2.Next(); err == nil {
+		t.Error("Next before Open accepted")
+	}
+	if _, err := NewSliceSource(s, data[:5], 2); err == nil {
+		t.Error("ragged tuple buffer accepted")
+	}
+}
+
+func TestPredicateEval(t *testing.T) {
+	s := schema.Orders()
+	tuple := make([]byte, s.Width())
+	s.PutInt32At(tuple, schema.OOrderDate, 100)
+	s.PutTextAt(tuple, schema.OOrderStatus, []byte("F"))
+
+	cases := []struct {
+		p    Predicate
+		want bool
+	}{
+		{IntPred(schema.OOrderDate, Lt, 200), true},
+		{IntPred(schema.OOrderDate, Lt, 100), false},
+		{IntPred(schema.OOrderDate, Le, 100), true},
+		{IntPred(schema.OOrderDate, Eq, 100), true},
+		{IntPred(schema.OOrderDate, Ne, 100), false},
+		{IntPred(schema.OOrderDate, Ge, 101), false},
+		{IntPred(schema.OOrderDate, Gt, 99), true},
+		{TextPred(schema.OOrderStatus, Eq, "F"), true},
+		{TextPred(schema.OOrderStatus, Eq, "O"), false},
+		{TextPred(schema.OOrderStatus, Lt, "O"), true},
+	}
+	for _, c := range cases {
+		p := c.p
+		if err := p.Validate(s); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if got := p.Eval(s, tuple); got != c.want {
+			t.Errorf("%v = %v, want %v", p, got, c.want)
+		}
+	}
+}
+
+func TestPredicateValidate(t *testing.T) {
+	s := schema.Orders()
+	bad := IntPred(99, Lt, 1)
+	if bad.Validate(s) == nil {
+		t.Error("out-of-range attribute accepted")
+	}
+	long := TextPred(schema.OOrderStatus, Eq, "TOOLONG")
+	if long.Validate(s) == nil {
+		t.Error("over-long text constant accepted")
+	}
+	mixed := Predicate{Attr: schema.OOrderDate, Op: Eq, Text: []byte("X")}
+	if mixed.Validate(s) == nil {
+		t.Error("text constant on int attribute accepted")
+	}
+}
+
+func TestCmpOpString(t *testing.T) {
+	want := map[CmpOp]string{Lt: "<", Le: "<=", Eq: "=", Ne: "<>", Ge: ">=", Gt: ">"}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("CmpOp(%d) = %q, want %q", op, op.String(), s)
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	s := pairSchema("T")
+	data := pairs(s, 1, 10, 2, 20, 3, 30, 4, 40, 5, 50, 6, 60)
+	src, _ := NewSliceSource(s, data, 4)
+	var counters cpumodel.Counters
+	f, err := NewFilter(src, []Predicate{IntPred(0, Gt, 2), IntPred(1, Lt, 60)}, &counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{3, 30, 4, 40, 5, 50}
+	if !eqInt32s(readPairs(s, got), want) {
+		t.Errorf("filter output = %v, want %v", readPairs(s, got), want)
+	}
+	if counters.Instr == 0 {
+		t.Error("filter did not charge instructions")
+	}
+}
+
+func TestFilterValidates(t *testing.T) {
+	s := pairSchema("T")
+	src, _ := NewSliceSource(s, nil, 4)
+	if _, err := NewFilter(src, []Predicate{IntPred(9, Eq, 1)}, nil); err == nil {
+		t.Error("invalid predicate accepted")
+	}
+}
+
+func TestLimit(t *testing.T) {
+	s := pairSchema("T")
+	data := pairs(s, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5)
+	src, _ := NewSliceSource(s, data, 2)
+	lim, err := NewLimit(src, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Drain(lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Errorf("limit produced %d tuples, want 3", n)
+	}
+	if _, err := NewLimit(src, -1); err == nil {
+		t.Error("negative limit accepted")
+	}
+}
+
+func TestHashAggregate(t *testing.T) {
+	s := pairSchema("T")
+	data := pairs(s, 2, 10, 1, 5, 2, 30, 1, 7, 3, 100)
+	src, _ := NewSliceSource(s, data, 2)
+	var counters cpumodel.Counters
+	agg, err := NewHashAggregate(src, []int{0}, []AggSpec{
+		{Func: Count}, {Func: Sum, Attr: 1}, {Func: Min, Attr: 1}, {Func: Max, Attr: 1}, {Func: Avg, Attr: 1},
+	}, &counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := agg.Schema()
+	if out.NumAttrs() != 6 {
+		t.Fatalf("output schema has %d attrs", out.NumAttrs())
+	}
+	if out.Attrs[2].Name != "SUM(V)" {
+		t.Errorf("agg attr name = %q", out.Attrs[2].Name)
+	}
+	got, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := out.Width()
+	if len(got)/width != 3 {
+		t.Fatalf("got %d groups, want 3", len(got)/width)
+	}
+	// Groups emitted in sorted key order: 1, 2, 3.
+	type row struct{ k, cnt, sum, min, max, avg int32 }
+	var rows []row
+	for i := 0; i < 3; i++ {
+		tup := got[i*width : (i+1)*width]
+		rows = append(rows, row{
+			out.Int32At(tup, 0), out.Int32At(tup, 1), out.Int32At(tup, 2),
+			out.Int32At(tup, 3), out.Int32At(tup, 4), out.Int32At(tup, 5),
+		})
+	}
+	want := []row{
+		{1, 2, 12, 5, 7, 6},
+		{2, 2, 40, 10, 30, 20},
+		{3, 1, 100, 100, 100, 100},
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Errorf("group %d = %+v, want %+v", i, rows[i], want[i])
+		}
+	}
+	if counters.Instr == 0 {
+		t.Error("aggregation did not charge instructions")
+	}
+}
+
+func TestHashAggregateNoGroupBy(t *testing.T) {
+	s := pairSchema("T")
+	data := pairs(s, 1, 10, 2, 20, 3, 30)
+	src, _ := NewSliceSource(s, data, 2)
+	agg, err := NewHashAggregate(src, nil, []AggSpec{{Func: Count}, {Func: Sum, Attr: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := agg.Schema()
+	if len(got) != out.Width() {
+		t.Fatalf("expected a single result row")
+	}
+	if out.Int32At(got, 0) != 3 || out.Int32At(got, 1) != 60 {
+		t.Errorf("count=%d sum=%d, want 3, 60", out.Int32At(got, 0), out.Int32At(got, 1))
+	}
+}
+
+func TestAggValidation(t *testing.T) {
+	s := schema.Orders()
+	src, _ := NewSliceSource(s, nil, 2)
+	if _, err := NewHashAggregate(src, []int{99}, []AggSpec{{Func: Count}}, nil); err == nil {
+		t.Error("bad group-by attr accepted")
+	}
+	if _, err := NewHashAggregate(src, nil, []AggSpec{{Func: Sum, Attr: schema.OOrderStatus}}, nil); err == nil {
+		t.Error("SUM over text accepted")
+	}
+	if _, err := NewHashAggregate(src, nil, nil, nil); err == nil {
+		t.Error("empty aggregation accepted")
+	}
+}
+
+// TestSortAggregateMatchesHash: on key-clustered input the two
+// aggregation strategies produce identical results.
+func TestSortAggregateMatchesHash(t *testing.T) {
+	s := pairSchema("T")
+	// Clustered keys with runs of varying length, enough to cross block
+	// boundaries.
+	var kv []int32
+	for k := int32(0); k < 70; k++ {
+		for r := int32(0); r <= k%5; r++ {
+			kv = append(kv, k, k*10+r)
+		}
+	}
+	data := pairs(s, kv...)
+
+	src1, _ := NewSliceSource(s, data, 7)
+	aggs := []AggSpec{{Func: Count}, {Func: Sum, Attr: 1}, {Func: Avg, Attr: 1}}
+	sortAgg, err := NewSortAggregate(src1, []int{0}, aggs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSort, err := Collect(sortAgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2, _ := NewSliceSource(s, data, 13)
+	hashAgg, err := NewHashAggregate(src2, []int{0}, aggs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotHash, err := Collect(hashAgg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotSort, gotHash) {
+		t.Fatal("sort-based and hash-based aggregation disagree")
+	}
+	if n := len(gotSort) / sortAgg.Schema().Width(); n != 70 {
+		t.Errorf("produced %d groups, want 70", n)
+	}
+}
+
+func TestSortAggregateEmptyInput(t *testing.T) {
+	s := pairSchema("T")
+	src, _ := NewSliceSource(s, nil, 2)
+	agg, err := NewSortAggregate(src, []int{0}, []AggSpec{{Func: Count}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty input produced %d bytes", len(got))
+	}
+}
+
+func TestMergeJoin(t *testing.T) {
+	ls := pairSchema("L")
+	rs := pairSchema("R")
+	// Left keys: 1,2,2,4,6 ; right keys: 2,2,3,4,4,6 — mixes misses and
+	// duplicate groups on both sides.
+	left := pairs(ls, 1, 100, 2, 200, 2, 201, 4, 400, 6, 600)
+	right := pairs(rs, 2, 20, 2, 21, 3, 30, 4, 40, 4, 41, 6, 60)
+	lsrc, _ := NewSliceSource(ls, left, 2)
+	rsrc, _ := NewSliceSource(rs, right, 2)
+	var counters cpumodel.Counters
+	j, err := NewMergeJoin(lsrc, rsrc, 0, 0, &counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := j.Schema()
+	if out.NumAttrs() != 4 {
+		t.Fatalf("join schema has %d attrs", out.NumAttrs())
+	}
+	// Name collision resolution.
+	if out.Attrs[2].Name != "R.K" || out.Attrs[3].Name != "R.V" {
+		t.Errorf("join attr names = %v", []string{out.Attrs[2].Name, out.Attrs[3].Name})
+	}
+	got, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := out.Width()
+	type quad struct{ lk, lv, rk, rv int32 }
+	var rows []quad
+	for i := 0; i+width <= len(got); i += width {
+		tup := got[i : i+width]
+		rows = append(rows, quad{out.Int32At(tup, 0), out.Int32At(tup, 1), out.Int32At(tup, 2), out.Int32At(tup, 3)})
+	}
+	want := []quad{
+		{2, 200, 2, 20}, {2, 200, 2, 21},
+		{2, 201, 2, 20}, {2, 201, 2, 21},
+		{4, 400, 4, 40}, {4, 400, 4, 41},
+		{6, 600, 6, 60},
+	}
+	if len(rows) != len(want) {
+		t.Fatalf("join produced %d rows, want %d: %+v", len(rows), len(want), rows)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Errorf("row %d = %+v, want %+v", i, rows[i], want[i])
+		}
+	}
+	if counters.Instr == 0 {
+		t.Error("join did not charge instructions")
+	}
+}
+
+func TestMergeJoinSmallBlocks(t *testing.T) {
+	// Force group emission across block boundaries: one left key with a
+	// large right group, tiny blocks.
+	ls := pairSchema("L")
+	rs := pairSchema("R")
+	var rkv []int32
+	for i := int32(0); i < 250; i++ {
+		rkv = append(rkv, 5, i)
+	}
+	lsrc, _ := NewSliceSource(ls, pairs(ls, 5, 1, 5, 2), 1)
+	rsrc, _ := NewSliceSource(rs, pairs(rs, rkv...), 3)
+	j, err := NewMergeJoin(lsrc, rsrc, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Drain(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 {
+		t.Errorf("join produced %d rows, want 500", n)
+	}
+}
+
+func TestMergeJoinDetectsUnsortedLeft(t *testing.T) {
+	ls := pairSchema("L")
+	rs := pairSchema("R")
+	lsrc, _ := NewSliceSource(ls, pairs(ls, 5, 1, 3, 2), 2)
+	rsrc, _ := NewSliceSource(rs, pairs(rs, 3, 1, 5, 1), 2)
+	j, err := NewMergeJoin(lsrc, rsrc, 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Drain(j); err == nil {
+		t.Error("unsorted left input accepted")
+	}
+}
+
+func TestMergeJoinValidation(t *testing.T) {
+	ls := pairSchema("L")
+	src, _ := NewSliceSource(ls, nil, 2)
+	src2, _ := NewSliceSource(schema.Orders(), nil, 2)
+	if _, err := NewMergeJoin(src, src2, 9, 0, nil); err == nil {
+		t.Error("bad left key accepted")
+	}
+	if _, err := NewMergeJoin(src, src2, 0, schema.OOrderStatus, nil); err == nil {
+		t.Error("text join key accepted")
+	}
+}
+
+func TestAggFuncString(t *testing.T) {
+	want := map[AggFunc]string{Count: "COUNT", Sum: "SUM", Min: "MIN", Max: "MAX", Avg: "AVG"}
+	for f, s := range want {
+		if f.String() != s {
+			t.Errorf("AggFunc(%d) = %q, want %q", f, f.String(), s)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// Filter applies residual predicates above a scan (predicates on scanned
+// attributes are pushed into the scanners instead, as in any system).
+type Filter struct {
+	child    Operator
+	preds    []Predicate
+	out      *Block
+	counters *cpumodel.Counters
+	costs    cpumodel.Costs
+}
+
+// NewFilter wraps child with conjunctive predicates evaluated on its
+// output schema. counters may be nil.
+func NewFilter(child Operator, preds []Predicate, counters *cpumodel.Counters) (*Filter, error) {
+	sch := child.Schema()
+	for i := range preds {
+		if err := preds[i].Validate(sch); err != nil {
+			return nil, err
+		}
+	}
+	return &Filter{
+		child:    child,
+		preds:    preds,
+		out:      NewBlock(sch, DefaultBlockTuples),
+		counters: counters,
+		costs:    cpumodel.DefaultCosts(),
+	}, nil
+}
+
+// Schema implements Operator.
+func (f *Filter) Schema() *schema.Schema { return f.child.Schema() }
+
+// Open implements Operator.
+func (f *Filter) Open() error { return f.child.Open() }
+
+// Close implements Operator.
+func (f *Filter) Close() error { return f.child.Close() }
+
+// Next implements Operator.
+func (f *Filter) Next() (*Block, error) {
+	sch := f.child.Schema()
+	for {
+		in, err := f.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if in == nil {
+			return nil, nil
+		}
+		f.out.Reset()
+		for i := 0; i < in.Len(); i++ {
+			t := in.Tuple(i)
+			ok := true
+			for k := range f.preds {
+				f.counters.AddInstr(f.costs.Predicate)
+				if !f.preds[k].Eval(sch, t) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				f.out.AppendTuple(t)
+			}
+		}
+		f.counters.AddInstr(f.costs.BlockOverhead)
+		if f.out.Len() > 0 {
+			return f.out, nil
+		}
+	}
+}
+
+// Limit passes through at most n tuples.
+type Limit struct {
+	child Operator
+	n     int64
+	seen  int64
+}
+
+// NewLimit wraps child with a tuple budget.
+func NewLimit(child Operator, n int64) (*Limit, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("exec: negative limit %d", n)
+	}
+	return &Limit{child: child, n: n}, nil
+}
+
+// Schema implements Operator.
+func (l *Limit) Schema() *schema.Schema { return l.child.Schema() }
+
+// Open implements Operator.
+func (l *Limit) Open() error {
+	l.seen = 0
+	return l.child.Open()
+}
+
+// Close implements Operator.
+func (l *Limit) Close() error { return l.child.Close() }
+
+// Next implements Operator.
+func (l *Limit) Next() (*Block, error) {
+	if l.seen >= l.n {
+		return nil, nil
+	}
+	b, err := l.child.Next()
+	if err != nil || b == nil {
+		return b, err
+	}
+	if remaining := l.n - l.seen; int64(b.Len()) > remaining {
+		b.Truncate(int(remaining))
+	}
+	l.seen += int64(b.Len())
+	return b, nil
+}
+
+// Drain pulls op to completion and returns the total tuple count. It
+// opens and closes the operator.
+func Drain(op Operator) (int64, error) {
+	if err := op.Open(); err != nil {
+		return 0, err
+	}
+	defer op.Close()
+	var n int64
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return n, err
+		}
+		if b == nil {
+			return n, nil
+		}
+		n += int64(b.Len())
+	}
+}
+
+// Collect pulls op to completion and returns all produced tuples
+// concatenated. Intended for tests and small results.
+func Collect(op Operator) ([]byte, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	width := op.Schema().Width()
+	var out []byte
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return out, nil
+		}
+		for i := 0; i < b.Len(); i++ {
+			out = append(out, b.Tuple(i)[:width]...)
+		}
+	}
+}

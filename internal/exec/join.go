@@ -1,0 +1,246 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// MergeJoin is the engine's equi-join over two inputs clustered on their
+// integer join keys — the natural join method in a read-optimized store,
+// where fact tables arrive key-sorted from the bulk loader. Duplicate keys
+// on the right side are buffered so every cross pair is produced.
+type MergeJoin struct {
+	left, right       Operator
+	leftKey, rightKey int
+	out               *schema.Schema
+	counters          *cpumodel.Counters
+	costs             cpumodel.Costs
+	block             *Block
+
+	lBlock *Block
+	lPos   int
+	rBlock *Block
+	rPos   int
+	rDone  bool
+
+	// group is the buffered right-side tuples sharing the current key.
+	group    []byte
+	groupKey int32
+	groupPos int // next group element to pair with the current left tuple
+	matching bool
+	prevLeft int32
+	leftSet  bool
+}
+
+// NewMergeJoin joins left and right on integer attributes leftKey and
+// rightKey; both inputs must be non-decreasing on their keys (verified
+// during execution). counters may be nil.
+func NewMergeJoin(left, right Operator, leftKey, rightKey int, counters *cpumodel.Counters) (*MergeJoin, error) {
+	ls, rs := left.Schema(), right.Schema()
+	for _, c := range []struct {
+		s *schema.Schema
+		k int
+	}{{ls, leftKey}, {rs, rightKey}} {
+		if c.k < 0 || c.k >= c.s.NumAttrs() {
+			return nil, fmt.Errorf("exec: join key %d out of range for %s", c.k, c.s.Name)
+		}
+		if c.s.Attrs[c.k].Type.Kind != schema.Int32 {
+			return nil, fmt.Errorf("exec: join key %s is not an integer", c.s.Attrs[c.k].Name)
+		}
+	}
+	attrs := make([]schema.Attribute, 0, ls.NumAttrs()+rs.NumAttrs())
+	seen := map[string]bool{}
+	add := func(prefix string, a schema.Attribute) {
+		name := a.Name
+		if seen[name] {
+			name = prefix + "." + name
+		}
+		seen[name] = true
+		attrs = append(attrs, schema.Attribute{Name: name, Type: a.Type})
+	}
+	for _, a := range ls.Attrs {
+		add("L", a)
+	}
+	for _, a := range rs.Attrs {
+		add("R", a)
+	}
+	out, err := schema.New(ls.Name+"⋈"+rs.Name, attrs)
+	if err != nil {
+		return nil, err
+	}
+	return &MergeJoin{
+		left: left, right: right, leftKey: leftKey, rightKey: rightKey,
+		out: out, counters: counters, costs: cpumodel.DefaultCosts(),
+		block: NewBlock(out, DefaultBlockTuples),
+	}, nil
+}
+
+// Schema implements Operator.
+func (j *MergeJoin) Schema() *schema.Schema { return j.out }
+
+// Open implements Operator.
+func (j *MergeJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	if err := j.right.Open(); err != nil {
+		j.left.Close()
+		return err
+	}
+	j.lBlock, j.lPos = nil, 0
+	j.rBlock, j.rPos = nil, 0
+	j.rDone = false
+	j.group = j.group[:0]
+	j.matching = false
+	j.leftSet = false
+	return nil
+}
+
+// Close implements Operator.
+func (j *MergeJoin) Close() error {
+	errL := j.left.Close()
+	errR := j.right.Close()
+	if errL != nil {
+		return errL
+	}
+	return errR
+}
+
+// nextLeft returns the next left tuple, or nil at end of stream.
+func (j *MergeJoin) nextLeft() ([]byte, error) {
+	for j.lBlock == nil || j.lPos >= j.lBlock.Len() {
+		b, err := j.left.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		j.lBlock, j.lPos = b, 0
+	}
+	t := j.lBlock.Tuple(j.lPos)
+	return t, nil
+}
+
+// peekRight returns the next right tuple without consuming it, or nil at
+// end of stream.
+func (j *MergeJoin) peekRight() ([]byte, error) {
+	if j.rDone {
+		return nil, nil
+	}
+	for j.rBlock == nil || j.rPos >= j.rBlock.Len() {
+		b, err := j.right.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			j.rDone = true
+			return nil, nil
+		}
+		j.rBlock, j.rPos = b, 0
+	}
+	return j.rBlock.Tuple(j.rPos), nil
+}
+
+// loadGroup buffers all right tuples with the given key into j.group.
+func (j *MergeJoin) loadGroup(key int32) error {
+	j.group = j.group[:0]
+	rs := j.right.Schema()
+	for {
+		t, err := j.peekRight()
+		if err != nil {
+			return err
+		}
+		if t == nil {
+			return nil
+		}
+		k := rs.Int32At(t, j.rightKey)
+		j.counters.AddInstr(j.costs.Compare)
+		if k < j.groupLowerBound() {
+			return fmt.Errorf("exec: right join input not sorted on %s", rs.Attrs[j.rightKey].Name)
+		}
+		if k != key {
+			return nil
+		}
+		j.group = append(j.group, t...)
+		j.rPos++
+	}
+}
+
+// groupLowerBound returns the smallest right key still admissible.
+func (j *MergeJoin) groupLowerBound() int32 {
+	if j.matching || len(j.group) > 0 {
+		return j.groupKey
+	}
+	return -1 << 31
+}
+
+// Next implements Operator.
+func (j *MergeJoin) Next() (*Block, error) {
+	ls, rs := j.left.Schema(), j.right.Schema()
+	rWidth := rs.Width()
+	j.block.Reset()
+	for !j.block.Full() {
+		lt, err := j.nextLeft()
+		if err != nil {
+			return nil, err
+		}
+		if lt == nil {
+			break
+		}
+		lk := ls.Int32At(lt, j.leftKey)
+		if j.leftSet && lk < j.prevLeft {
+			return nil, fmt.Errorf("exec: left join input not sorted on %s", ls.Attrs[j.leftKey].Name)
+		}
+		j.prevLeft, j.leftSet = lk, true
+
+		if !j.matching || lk != j.groupKey {
+			// Advance the right side to lk and buffer its group.
+			j.matching = false
+			for {
+				rt, err := j.peekRight()
+				if err != nil {
+					return nil, err
+				}
+				if rt == nil || rs.Int32At(rt, j.rightKey) >= lk {
+					break
+				}
+				j.counters.AddInstr(j.costs.Compare)
+				j.rPos++
+			}
+			j.groupKey = lk
+			j.matching = true
+			if err := j.loadGroup(lk); err != nil {
+				return nil, err
+			}
+			j.groupPos = 0
+		}
+
+		if len(j.group) == 0 {
+			// No right partner: consume the left tuple.
+			j.lPos++
+			j.counters.AddInstr(j.costs.Compare)
+			continue
+		}
+		// Emit pairs until the block fills or the group is exhausted.
+		for j.groupPos*rWidth < len(j.group) && !j.block.Full() {
+			dst := j.block.Alloc()
+			copy(dst, lt[:ls.Width()])
+			copy(dst[ls.Width():], j.group[j.groupPos*rWidth:(j.groupPos+1)*rWidth])
+			j.counters.AddInstr(j.costs.Compare + int64(j.out.Width())*j.costs.CopyPerByte)
+			j.groupPos++
+		}
+		if j.groupPos*rWidth >= len(j.group) {
+			// Finished this left tuple against the whole group.
+			j.lPos++
+			j.groupPos = 0
+		}
+	}
+	j.counters.AddInstr(j.costs.BlockOverhead)
+	if j.block.Len() == 0 {
+		return nil, nil
+	}
+	return j.block, nil
+}

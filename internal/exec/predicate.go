@@ -1,0 +1,142 @@
+package exec
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// CmpOp is a comparison operator of a SARGable predicate.
+type CmpOp uint8
+
+const (
+	Lt CmpOp = iota
+	Le
+	Eq
+	Ne
+	Ge
+	Gt
+)
+
+// String returns the SQL spelling of the operator.
+func (op CmpOp) String() string {
+	switch op {
+	case Lt:
+		return "<"
+	case Le:
+		return "<="
+	case Eq:
+		return "="
+	case Ne:
+		return "<>"
+	case Ge:
+		return ">="
+	case Gt:
+		return ">"
+	default:
+		return fmt.Sprintf("CmpOp(%d)", uint8(op))
+	}
+}
+
+func cmpHolds(op CmpOp, c int) bool {
+	switch op {
+	case Lt:
+		return c < 0
+	case Le:
+		return c <= 0
+	case Eq:
+		return c == 0
+	case Ne:
+		return c != 0
+	case Ge:
+		return c >= 0
+	default:
+		return c > 0
+	}
+}
+
+// Predicate is a SARGable comparison of one attribute against a constant
+// — the only predicate form the scanners need to evaluate directly on
+// stored data.
+type Predicate struct {
+	// Attr indexes the attribute in the scanned table's schema.
+	Attr int
+	Op   CmpOp
+	// Int is the constant for integer attributes; Text (exactly the
+	// attribute's width, space-padded) for text attributes.
+	Int  int32
+	Text []byte
+}
+
+// IntPred returns an integer-attribute predicate.
+func IntPred(attr int, op CmpOp, v int32) Predicate {
+	return Predicate{Attr: attr, Op: op, Int: v}
+}
+
+// TextPred returns a text-attribute predicate; v is padded to the
+// attribute width at Validate time.
+func TextPred(attr int, op CmpOp, v string) Predicate {
+	return Predicate{Attr: attr, Op: op, Text: []byte(v)}
+}
+
+// Validate checks the predicate against a schema and normalizes the text
+// constant to the attribute width.
+func (p *Predicate) Validate(s *schema.Schema) error {
+	if p.Attr < 0 || p.Attr >= s.NumAttrs() {
+		return fmt.Errorf("exec: predicate attribute %d out of range for %s", p.Attr, s.Name)
+	}
+	a := s.Attrs[p.Attr]
+	switch a.Type.Kind {
+	case schema.Int32:
+		if p.Text != nil {
+			return fmt.Errorf("exec: text constant for integer attribute %s", a.Name)
+		}
+	case schema.Text:
+		if len(p.Text) > a.Type.Size {
+			return fmt.Errorf("exec: constant %q longer than attribute %s (%d bytes)", p.Text, a.Name, a.Type.Size)
+		}
+		padded := make([]byte, a.Type.Size)
+		copy(padded, p.Text)
+		for i := len(p.Text); i < a.Type.Size; i++ {
+			padded[i] = ' '
+		}
+		p.Text = padded
+	}
+	return nil
+}
+
+// EvalInt evaluates the predicate against an integer value.
+func (p *Predicate) EvalInt(v int32) bool {
+	switch {
+	case v < p.Int:
+		return cmpHolds(p.Op, -1)
+	case v > p.Int:
+		return cmpHolds(p.Op, 1)
+	default:
+		return cmpHolds(p.Op, 0)
+	}
+}
+
+// EvalText evaluates the predicate against a raw text value of the
+// attribute's width.
+func (p *Predicate) EvalText(v []byte) bool {
+	return cmpHolds(p.Op, bytes.Compare(v, p.Text))
+}
+
+// Eval evaluates the predicate against a decoded tuple of schema s.
+func (p *Predicate) Eval(s *schema.Schema, tuple []byte) bool {
+	a := s.Attrs[p.Attr]
+	if a.Type.Kind == schema.Int32 {
+		return p.EvalInt(s.Int32At(tuple, p.Attr))
+	}
+	return p.EvalText(s.TextAt(tuple, p.Attr))
+}
+
+// String renders the predicate for plan display, e.g. "a3 < 1000".
+func (p Predicate) String() string {
+	if p.Text != nil {
+		return fmt.Sprintf("a%d %s %q", p.Attr, p.Op, p.Text)
+	}
+	return fmt.Sprintf("a%d %s %d", p.Attr, p.Op, p.Int)
+}

@@ -1,0 +1,182 @@
+package exec
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// TestAggEquivalenceProperty: for arbitrary key-clustered inputs and any
+// block sizes, sort-based and hash-based aggregation agree exactly.
+func TestAggEquivalenceProperty(t *testing.T) {
+	s := pairSchema("T")
+	f := func(runs []uint8, seed uint32, blockA, blockB uint8) bool {
+		if len(runs) == 0 {
+			return true
+		}
+		if len(runs) > 40 {
+			runs = runs[:40]
+		}
+		var kv []int32
+		key := int32(seed % 97)
+		val := int32(seed)
+		for _, r := range runs {
+			n := int32(r%9) + 1
+			for i := int32(0); i < n; i++ {
+				val = val*1103515245 + 12345
+				kv = append(kv, key, val%10_000)
+			}
+			key += int32(r%5) + 1
+		}
+		data := pairs(s, kv...)
+		ba := int(blockA%31) + 1
+		bb := int(blockB%31) + 1
+
+		src1, _ := NewSliceSource(s, data, ba)
+		aggs := []AggSpec{{Func: Count}, {Func: Sum, Attr: 1}, {Func: Min, Attr: 1}, {Func: Max, Attr: 1}}
+		sa, err := NewSortAggregate(src1, []int{0}, aggs, nil)
+		if err != nil {
+			return false
+		}
+		got1, err := Collect(sa)
+		if err != nil {
+			return false
+		}
+		src2, _ := NewSliceSource(s, data, bb)
+		ha, err := NewHashAggregate(src2, []int{0}, aggs, nil)
+		if err != nil {
+			return false
+		}
+		got2, err := Collect(ha)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got1, got2)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMergeJoinProperty: the merge join produces exactly the pairs a
+// nested-loop join over the same sorted inputs produces.
+func TestMergeJoinProperty(t *testing.T) {
+	ls := pairSchema("L")
+	rs := pairSchema("R")
+	f := func(lraw, rraw []uint8, blockL, blockR uint8) bool {
+		mk := func(raw []uint8) []int32 {
+			var kv []int32
+			key := int32(0)
+			for i, r := range raw {
+				if i > 30 {
+					break
+				}
+				key += int32(r % 3) // duplicates when step is 0
+				kv = append(kv, key, int32(i))
+			}
+			return kv
+		}
+		lkv, rkv := mk(lraw), mk(rraw)
+		left := pairs(ls, lkv...)
+		right := pairs(rs, rkv...)
+
+		lsrc, _ := NewSliceSource(ls, left, int(blockL%13)+1)
+		rsrc, _ := NewSliceSource(rs, right, int(blockR%13)+1)
+		j, err := NewMergeJoin(lsrc, rsrc, 0, 0, nil)
+		if err != nil {
+			return false
+		}
+		got, err := Collect(j)
+		if err != nil {
+			return false
+		}
+
+		// Reference: nested loops.
+		type quad [4]int32
+		var want []quad
+		for i := 0; i+1 < len(lkv); i += 2 {
+			for k := 0; k+1 < len(rkv); k += 2 {
+				if lkv[i] == rkv[k] {
+					want = append(want, quad{lkv[i], lkv[i+1], rkv[k], rkv[k+1]})
+				}
+			}
+		}
+		out := j.Schema()
+		width := out.Width()
+		if len(got)/width != len(want) {
+			return false
+		}
+		var gotQ []quad
+		for i := 0; i+width <= len(got); i += width {
+			tup := got[i : i+width]
+			gotQ = append(gotQ, quad{out.Int32At(tup, 0), out.Int32At(tup, 1), out.Int32At(tup, 2), out.Int32At(tup, 3)})
+		}
+		// The merge join emits left-major order, as do the nested loops.
+		sortQuads := func(q []quad) {
+			sort.SliceStable(q, func(a, b int) bool {
+				for c := 0; c < 4; c++ {
+					if q[a][c] != q[b][c] {
+						return q[a][c] < q[b][c]
+					}
+				}
+				return false
+			})
+		}
+		sortQuads(gotQ)
+		sortQuads(want)
+		for i := range want {
+			if gotQ[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestFilterLimitProperty: Filter(p) then Limit(n) returns the first n
+// qualifying tuples in input order.
+func TestFilterLimitProperty(t *testing.T) {
+	s := pairSchema("T")
+	f := func(vals []uint16, threshold uint16, limit uint8) bool {
+		if len(vals) > 200 {
+			vals = vals[:200]
+		}
+		var kv []int32
+		for i, v := range vals {
+			kv = append(kv, int32(v), int32(i))
+		}
+		data := pairs(s, kv...)
+		src, _ := NewSliceSource(s, data, 7)
+		flt, err := NewFilter(src, []Predicate{IntPred(0, Lt, int32(threshold))}, nil)
+		if err != nil {
+			return false
+		}
+		lim, err := NewLimit(flt, int64(limit)%17)
+		if err != nil {
+			return false
+		}
+		got, err := Collect(lim)
+		if err != nil {
+			return false
+		}
+		var want []byte
+		n := int64(0)
+		for i := 0; i+1 < len(kv); i += 2 {
+			if kv[i] < int32(threshold) && n < int64(limit)%17 {
+				tuple := make([]byte, s.Width())
+				s.PutInt32At(tuple, 0, kv[i])
+				s.PutInt32At(tuple, 1, kv[i+1])
+				want = append(want, tuple...)
+				n++
+			}
+		}
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+package exec
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// SortKey orders by one attribute.
+type SortKey struct {
+	Attr int
+	Desc bool
+}
+
+// Sort is a blocking, in-memory sort operator: it drains its child on
+// Open, orders the tuples by the given keys, and streams the result. In a
+// read-optimized store most inputs arrive clustered from the bulk loader,
+// so Sort exists for the residual cases — ordering results for
+// presentation and feeding the sort-based aggregation or merge join when
+// the clustering key differs from the grouping key.
+type Sort struct {
+	child    Operator
+	keys     []SortKey
+	counters *cpumodel.Counters
+	costs    cpumodel.Costs
+
+	tuples []byte
+	pos    int
+	block  *Block
+	opened bool
+}
+
+// NewSort wraps child with an order-by on keys (applied in order, first
+// key most significant). counters may be nil.
+func NewSort(child Operator, keys []SortKey, counters *cpumodel.Counters) (*Sort, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("exec: sort with no keys")
+	}
+	sch := child.Schema()
+	for _, k := range keys {
+		if k.Attr < 0 || k.Attr >= sch.NumAttrs() {
+			return nil, fmt.Errorf("exec: sort key %d out of range for %s", k.Attr, sch.Name)
+		}
+	}
+	return &Sort{
+		child:    child,
+		keys:     keys,
+		counters: counters,
+		costs:    cpumodel.DefaultCosts(),
+		block:    NewBlock(sch, DefaultBlockTuples),
+	}, nil
+}
+
+// Schema implements Operator.
+func (s *Sort) Schema() *schema.Schema { return s.child.Schema() }
+
+// Open drains and sorts the input.
+func (s *Sort) Open() error {
+	if err := s.child.Open(); err != nil {
+		return err
+	}
+	sch := s.child.Schema()
+	width := sch.Width()
+	s.tuples = s.tuples[:0]
+	for {
+		b, err := s.child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.Len(); i++ {
+			s.tuples = append(s.tuples, b.Tuple(i)...)
+		}
+	}
+	n := len(s.tuples) / width
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	less := func(a, b int) bool {
+		ta := s.tuples[a*width : (a+1)*width]
+		tb := s.tuples[b*width : (b+1)*width]
+		for _, k := range s.keys {
+			s.counters.AddInstr(s.costs.Compare)
+			var c int
+			if sch.Attrs[k.Attr].Type.Kind == schema.Int32 {
+				va, vb := sch.Int32At(ta, k.Attr), sch.Int32At(tb, k.Attr)
+				switch {
+				case va < vb:
+					c = -1
+				case va > vb:
+					c = 1
+				}
+			} else {
+				c = bytes.Compare(sch.TextAt(ta, k.Attr), sch.TextAt(tb, k.Attr))
+			}
+			if k.Desc {
+				c = -c
+			}
+			if c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
+	out := make([]byte, len(s.tuples))
+	for pos, i := range idx {
+		copy(out[pos*width:], s.tuples[i*width:(i+1)*width])
+	}
+	s.counters.AddInstr(int64(len(s.tuples)) * s.costs.CopyPerByte)
+	s.tuples = out
+	s.pos = 0
+	s.opened = true
+	return nil
+}
+
+// Next implements Operator.
+func (s *Sort) Next() (*Block, error) {
+	if !s.opened {
+		return nil, fmt.Errorf("exec: Next before Open")
+	}
+	sch := s.child.Schema()
+	width := sch.Width()
+	total := len(s.tuples) / width
+	if s.pos >= total {
+		return nil, nil
+	}
+	s.block.Reset()
+	for s.pos < total && !s.block.Full() {
+		s.block.AppendTuple(s.tuples[s.pos*width : (s.pos+1)*width])
+		s.pos++
+	}
+	s.counters.AddInstr(s.costs.BlockOverhead)
+	return s.block, nil
+}
+
+// Close implements Operator.
+func (s *Sort) Close() error {
+	s.tuples = nil
+	s.opened = false
+	return s.child.Close()
+}

@@ -1,0 +1,246 @@
+package exec
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+func TestSortByIntKey(t *testing.T) {
+	s := pairSchema("T")
+	data := pairs(s, 5, 50, 1, 10, 3, 30, 1, 11, 4, 40)
+	src, _ := NewSliceSource(s, data, 2)
+	op, err := NewSort(src, []SortKey{{Attr: 0}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{1, 10, 1, 11, 3, 30, 4, 40, 5, 50} // stable on duplicates
+	if !eqInt32s(readPairs(s, got), want) {
+		t.Errorf("sorted = %v, want %v", readPairs(s, got), want)
+	}
+}
+
+func TestSortDescendingAndSecondary(t *testing.T) {
+	s := pairSchema("T")
+	data := pairs(s, 1, 3, 2, 1, 1, 1, 2, 3)
+	src, _ := NewSliceSource(s, data, 3)
+	op, err := NewSort(src, []SortKey{{Attr: 0, Desc: true}, {Attr: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int32{2, 1, 2, 3, 1, 1, 1, 3}
+	if !eqInt32s(readPairs(s, got), want) {
+		t.Errorf("sorted = %v, want %v", readPairs(s, got), want)
+	}
+}
+
+func TestSortTextKey(t *testing.T) {
+	sch := schema.MustNew("T", []schema.Attribute{
+		{Name: "NAME", Type: schema.TextType(4)},
+		{Name: "V", Type: schema.IntType},
+	})
+	tuple := make([]byte, sch.Width())
+	var data []byte
+	for i, name := range []string{"dd", "aa", "cc", "bb"} {
+		sch.PutTextAt(tuple, 0, []byte(name))
+		sch.PutInt32At(tuple, 1, int32(i))
+		data = append(data, tuple...)
+	}
+	src, _ := NewSliceSource(sch, data, 2)
+	op, err := NewSort(src, []SortKey{{Attr: 0}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for i := 0; i+sch.Width() <= len(got); i += sch.Width() {
+		names = append(names, string(bytes.TrimRight(sch.TextAt(got[i:i+sch.Width()], 0), " ")))
+	}
+	want := []string{"aa", "bb", "cc", "dd"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("sorted names = %v", names)
+		}
+	}
+}
+
+func TestSortValidation(t *testing.T) {
+	s := pairSchema("T")
+	src, _ := NewSliceSource(s, nil, 2)
+	if _, err := NewSort(src, nil, nil); err == nil {
+		t.Error("sort without keys accepted")
+	}
+	if _, err := NewSort(src, []SortKey{{Attr: 9}}, nil); err == nil {
+		t.Error("out-of-range key accepted")
+	}
+	op, _ := NewSort(src, []SortKey{{Attr: 0}}, nil)
+	if _, err := op.Next(); err == nil {
+		t.Error("Next before Open accepted")
+	}
+}
+
+// TestSortEnablesSortAggregate: Sort feeding SortAggregate equals
+// HashAggregate over the unsorted input.
+func TestSortEnablesSortAggregate(t *testing.T) {
+	s := pairSchema("T")
+	data := pairs(s, 3, 30, 1, 10, 3, 31, 2, 20, 1, 12)
+	aggs := []AggSpec{{Func: Count}, {Func: Sum, Attr: 1}}
+
+	src1, _ := NewSliceSource(s, data, 2)
+	sorted, err := NewSort(src1, []SortKey{{Attr: 0}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa, err := NewSortAggregate(sorted, []int{0}, aggs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, err := Collect(sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2, _ := NewSliceSource(s, data, 2)
+	ha, err := NewHashAggregate(src2, []int{0}, aggs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := Collect(ha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got1, got2) {
+		t.Error("Sort+SortAggregate disagrees with HashAggregate")
+	}
+}
+
+// Property: Sort output is a sorted permutation of its input.
+func TestSortProperty(t *testing.T) {
+	s := pairSchema("T")
+	f := func(raw []uint16, desc bool) bool {
+		if len(raw) > 100 {
+			raw = raw[:100]
+		}
+		var kv []int32
+		for i, v := range raw {
+			kv = append(kv, int32(v), int32(i))
+		}
+		data := pairs(s, kv...)
+		src, _ := NewSliceSource(s, data, 7)
+		op, err := NewSort(src, []SortKey{{Attr: 0, Desc: desc}}, nil)
+		if err != nil {
+			return false
+		}
+		got, err := Collect(op)
+		if err != nil {
+			return false
+		}
+		gotPairs := readPairs(s, got)
+		if len(gotPairs) != len(kv) {
+			return false
+		}
+		// Sorted on the key.
+		for i := 2; i < len(gotPairs); i += 2 {
+			a, b := gotPairs[i-2], gotPairs[i]
+			if !desc && a > b {
+				return false
+			}
+			if desc && a < b {
+				return false
+			}
+		}
+		// Same multiset (compare value column as a sorted list).
+		var inVals, outVals []int
+		for i := 1; i < len(kv); i += 2 {
+			inVals = append(inVals, int(kv[i]))
+			outVals = append(outVals, int(gotPairs[i]))
+		}
+		sort.Ints(inVals)
+		sort.Ints(outVals)
+		for i := range inVals {
+			if inVals[i] != outVals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTopNMatchesSortLimitProperty: the bounded-heap TopN is exactly
+// Sort followed by Limit, including tie handling, for arbitrary inputs.
+func TestTopNMatchesSortLimitProperty(t *testing.T) {
+	s := pairSchema("T")
+	f := func(raw []uint8, nRaw uint8, desc bool) bool {
+		if len(raw) > 120 {
+			raw = raw[:120]
+		}
+		var kv []int32
+		for i, v := range raw {
+			kv = append(kv, int32(v%17), int32(i)) // few distinct keys: many ties
+		}
+		data := pairs(s, kv...)
+		n := int64(nRaw)%23 + 1
+		keys := []SortKey{{Attr: 0, Desc: desc}}
+
+		src1, _ := NewSliceSource(s, data, 7)
+		srt, err := NewSort(src1, keys, nil)
+		if err != nil {
+			return false
+		}
+		lim, err := NewLimit(srt, n)
+		if err != nil {
+			return false
+		}
+		want, err := Collect(lim)
+		if err != nil {
+			return false
+		}
+		src2, _ := NewSliceSource(s, data, 11)
+		top, err := NewTopN(src2, keys, n, nil)
+		if err != nil {
+			return false
+		}
+		got, err := Collect(top)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopNValidation(t *testing.T) {
+	s := pairSchema("T")
+	src, _ := NewSliceSource(s, nil, 2)
+	if _, err := NewTopN(src, nil, 5, nil); err == nil {
+		t.Error("no keys accepted")
+	}
+	if _, err := NewTopN(src, []SortKey{{Attr: 0}}, 0, nil); err == nil {
+		t.Error("n=0 accepted")
+	}
+	if _, err := NewTopN(src, []SortKey{{Attr: 9}}, 5, nil); err == nil {
+		t.Error("bad key accepted")
+	}
+	op, _ := NewTopN(src, []SortKey{{Attr: 0}}, 5, nil)
+	if _, err := op.Next(); err == nil {
+		t.Error("Next before Open accepted")
+	}
+}

@@ -1,0 +1,64 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// SliceSource is an Operator over an in-memory tuple slice. It backs
+// tests, examples and the write-optimized store's query path; table data
+// comes from the scanners in package scan.
+type SliceSource struct {
+	sch    *schema.Schema
+	tuples []byte
+	block  *Block
+	pos    int
+	opened bool
+}
+
+// NewSliceSource returns a source over tuples (concatenated decoded
+// tuples of the given schema).
+func NewSliceSource(sch *schema.Schema, tuples []byte, blockTuples int) (*SliceSource, error) {
+	if len(tuples)%sch.Width() != 0 {
+		return nil, fmt.Errorf("exec: tuple buffer of %d bytes is not a multiple of width %d", len(tuples), sch.Width())
+	}
+	if blockTuples <= 0 {
+		blockTuples = DefaultBlockTuples
+	}
+	return &SliceSource{sch: sch, tuples: tuples, block: NewBlock(sch, blockTuples)}, nil
+}
+
+// Schema implements Operator.
+func (s *SliceSource) Schema() *schema.Schema { return s.sch }
+
+// Open implements Operator.
+func (s *SliceSource) Open() error {
+	s.pos = 0
+	s.opened = true
+	return nil
+}
+
+// Next implements Operator.
+func (s *SliceSource) Next() (*Block, error) {
+	if !s.opened {
+		return nil, fmt.Errorf("exec: Next before Open")
+	}
+	width := s.sch.Width()
+	total := len(s.tuples) / width
+	if s.pos >= total {
+		return nil, nil
+	}
+	s.block.Reset()
+	for s.pos < total && !s.block.Full() {
+		s.block.AppendTuple(s.tuples[s.pos*width : (s.pos+1)*width])
+		s.pos++
+	}
+	return s.block, nil
+}
+
+// Close implements Operator.
+func (s *SliceSource) Close() error {
+	s.opened = false
+	return nil
+}

@@ -1,0 +1,205 @@
+package exec
+
+import (
+	"bytes"
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// TopN fuses ORDER BY with LIMIT: it keeps only the n best tuples in a
+// bounded heap while streaming its input, using O(n) memory instead of
+// the full sort's O(input). The planner substitutes it for Sort+Limit
+// when both are present; results are identical up to the ordering of
+// key-equal tuples.
+type TopN struct {
+	child    Operator
+	keys     []SortKey
+	n        int
+	counters *cpumodel.Counters
+	costs    cpumodel.Costs
+
+	kept   *tupleHeap
+	sorted []byte
+	pos    int
+	block  *Block
+	opened bool
+}
+
+// NewTopN returns the first n tuples of child under the given ordering.
+func NewTopN(child Operator, keys []SortKey, n int64, counters *cpumodel.Counters) (*TopN, error) {
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("exec: top-n with no keys")
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("exec: top-n with non-positive n %d", n)
+	}
+	sch := child.Schema()
+	for _, k := range keys {
+		if k.Attr < 0 || k.Attr >= sch.NumAttrs() {
+			return nil, fmt.Errorf("exec: top-n key %d out of range for %s", k.Attr, sch.Name)
+		}
+	}
+	return &TopN{
+		child:    child,
+		keys:     keys,
+		n:        int(n),
+		counters: counters,
+		costs:    cpumodel.DefaultCosts(),
+		block:    NewBlock(sch, DefaultBlockTuples),
+	}, nil
+}
+
+// Schema implements Operator.
+func (t *TopN) Schema() *schema.Schema { return t.child.Schema() }
+
+// compareTuples orders two tuples under the keys (negative: a before b).
+func compareTuples(sch *schema.Schema, keys []SortKey, a, b []byte) int {
+	for _, k := range keys {
+		var c int
+		if sch.Attrs[k.Attr].Type.Kind == schema.Int32 {
+			va, vb := sch.Int32At(a, k.Attr), sch.Int32At(b, k.Attr)
+			switch {
+			case va < vb:
+				c = -1
+			case va > vb:
+				c = 1
+			}
+		} else {
+			c = bytes.Compare(sch.TextAt(a, k.Attr), sch.TextAt(b, k.Attr))
+		}
+		if k.Desc {
+			c = -c
+		}
+		if c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// tupleHeap is a max-heap under the query ordering: the root is the worst
+// kept tuple, evicted when something better arrives.
+type tupleHeap struct {
+	sch    *schema.Schema
+	keys   []SortKey
+	width  int
+	tuples [][]byte
+	// seq breaks ties by arrival order so eviction is deterministic: of
+	// key-equal tuples, the latest arrival is evicted first.
+	seq []int64
+}
+
+func (h *tupleHeap) Len() int { return len(h.tuples) }
+func (h *tupleHeap) Less(i, j int) bool {
+	c := compareTuples(h.sch, h.keys, h.tuples[i], h.tuples[j])
+	if c != 0 {
+		return c > 0 // max-heap
+	}
+	return h.seq[i] > h.seq[j]
+}
+func (h *tupleHeap) Swap(i, j int) {
+	h.tuples[i], h.tuples[j] = h.tuples[j], h.tuples[i]
+	h.seq[i], h.seq[j] = h.seq[j], h.seq[i]
+}
+func (h *tupleHeap) Push(x any) {
+	p := x.(heapEntry)
+	h.tuples = append(h.tuples, p.tuple)
+	h.seq = append(h.seq, p.seq)
+}
+func (h *tupleHeap) Pop() any {
+	n := len(h.tuples)
+	e := heapEntry{tuple: h.tuples[n-1], seq: h.seq[n-1]}
+	h.tuples = h.tuples[:n-1]
+	h.seq = h.seq[:n-1]
+	return e
+}
+
+type heapEntry struct {
+	tuple []byte
+	seq   int64
+}
+
+// Open drains the child through the bounded heap.
+func (t *TopN) Open() error {
+	if err := t.child.Open(); err != nil {
+		return err
+	}
+	sch := t.child.Schema()
+	t.kept = &tupleHeap{sch: sch, keys: t.keys, width: sch.Width()}
+	var seq int64
+	for {
+		b, err := t.child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.Len(); i++ {
+			tuple := b.Tuple(i)
+			t.counters.AddInstr(t.costs.Compare)
+			if t.kept.Len() < t.n {
+				heap.Push(t.kept, heapEntry{tuple: append([]byte(nil), tuple...), seq: seq})
+			} else if compareTuples(sch, t.keys, tuple, t.kept.tuples[0]) < 0 {
+				// Better than the worst kept tuple: replace it.
+				copy(t.kept.tuples[0], tuple)
+				t.kept.seq[0] = seq
+				heap.Fix(t.kept, 0)
+				t.counters.AddInstr(int64(sch.Width()) * t.costs.CopyPerByte)
+			}
+			seq++
+		}
+	}
+	// Emit in query order: ascending under the keys, arrival order among
+	// equals.
+	idx := make([]int, t.kept.Len())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		c := compareTuples(sch, t.keys, t.kept.tuples[idx[a]], t.kept.tuples[idx[b]])
+		if c != 0 {
+			return c < 0
+		}
+		return t.kept.seq[idx[a]] < t.kept.seq[idx[b]]
+	})
+	t.sorted = t.sorted[:0]
+	for _, i := range idx {
+		t.sorted = append(t.sorted, t.kept.tuples[i]...)
+	}
+	t.pos = 0
+	t.opened = true
+	return nil
+}
+
+// Next implements Operator.
+func (t *TopN) Next() (*Block, error) {
+	if !t.opened {
+		return nil, fmt.Errorf("exec: Next before Open")
+	}
+	sch := t.child.Schema()
+	width := sch.Width()
+	total := len(t.sorted) / width
+	if t.pos >= total {
+		return nil, nil
+	}
+	t.block.Reset()
+	for t.pos < total && !t.block.Full() {
+		t.block.AppendTuple(t.sorted[t.pos*width : (t.pos+1)*width])
+		t.pos++
+	}
+	t.counters.AddInstr(t.costs.BlockOverhead)
+	return t.block, nil
+}
+
+// Close implements Operator.
+func (t *TopN) Close() error {
+	t.kept = nil
+	t.sorted = nil
+	t.opened = false
+	return t.child.Close()
+}

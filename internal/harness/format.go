@@ -1,0 +1,113 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/readoptdb/readopt/internal/model"
+)
+
+// WriteResult renders a regenerated figure as an aligned text table: one
+// row per x-axis point, one elapsed-time column per series, followed by
+// the CPU totals.
+func WriteResult(w io.Writer, r *Result) error {
+	if _, err := fmt.Fprintf(w, "%s — %s\n", strings.ToUpper(r.ID), r.Title); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-28s", r.XLabel)
+	for _, s := range r.Series {
+		fmt.Fprintf(w, " %16s", s.Label+" [s]")
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(w, " %16s", s.Label+" cpu[s]")
+	}
+	fmt.Fprintln(w)
+	if len(r.Series) == 0 || len(r.Series[0].Points) == 0 {
+		return nil
+	}
+	for i := range r.Series[0].Points {
+		fmt.Fprintf(w, "%-28d", r.Series[0].Points[i].SelectedBytes)
+		for _, s := range r.Series {
+			fmt.Fprintf(w, " %16.2f", s.Points[i].ElapsedSec)
+		}
+		for _, s := range r.Series {
+			fmt.Fprintf(w, " %16.2f", s.Points[i].CPU.Total())
+		}
+		fmt.Fprintln(w)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// WriteBreakdowns renders the CPU-time stacked bars of a figure's
+// right-hand chart: sys / usr-uop / usr-L2 / usr-L1 / usr-rest per point.
+func WriteBreakdowns(w io.Writer, r *Result) error {
+	if _, err := fmt.Fprintf(w, "%s — CPU time breakdowns [s]\n", strings.ToUpper(r.ID)); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-16s %6s %8s %8s %8s %8s %8s %8s\n",
+		"system", "attrs", "sys", "usr-uop", "usr-L2", "usr-L1", "usr-rest", "total")
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			b := p.CPU
+			fmt.Fprintf(w, "%-16s %6d %8.2f %8.2f %8.2f %8.2f %8.2f %8.2f\n",
+				s.Label, p.Query.AttrsSelected, b.Sys, b.UsrUop, b.UsrL2, b.UsrL1, b.UsrRest, b.Total())
+		}
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// WriteFigure2 renders the speedup contour grid.
+func WriteFigure2(w io.Writer, cells []model.Figure2Cell) error {
+	if _, err := fmt.Fprintln(w, "FIG2 — Average speedup of columns over rows (50% projection, 10% selectivity)"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-12s", "cpdb\\width")
+	for _, wd := range model.Figure2Widths {
+		fmt.Fprintf(w, " %6dB", wd)
+	}
+	fmt.Fprintln(w)
+	for _, cpdb := range model.Figure2CPDBs {
+		fmt.Fprintf(w, "%-12.0f", cpdb)
+		for _, wd := range model.Figure2Widths {
+			for _, c := range cells {
+				if c.CPDB == cpdb && c.TupleWidth == wd {
+					fmt.Fprintf(w, " %7.2f", c.Speedup)
+				}
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// arrow renders a trend direction in the style of the paper's Table 1.
+func arrow(d int) string {
+	switch {
+	case d > 0:
+		return "up"
+	case d < 0:
+		return "down"
+	default:
+		return "-"
+	}
+}
+
+// WriteTable1 renders the derived expected-trends table.
+func WriteTable1(w io.Writer, trends []Trend) error {
+	if _, err := fmt.Fprintln(w, "TABLE1 — Measured performance trends (disk / memory / CPU time)"); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-46s %6s %6s %6s\n", "parameter", "disk", "mem", "cpu")
+	for _, t := range trends {
+		fmt.Fprintf(w, "%-46s %6s %6s %6s\n", t.Parameter, arrow(t.Disk), arrow(t.Mem), arrow(t.CPU))
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,219 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/readoptdb/readopt/internal/model"
+	"github.com/readoptdb/readopt/internal/page"
+	"github.com/readoptdb/readopt/internal/schema"
+	"github.com/readoptdb/readopt/internal/store"
+)
+
+func TestParamsValidate(t *testing.T) {
+	good := DefaultParams()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+	mutate := []func(*Params){
+		func(p *Params) { p.Machine.ClockHz = 0 },
+		func(p *Params) { p.Disk.Disks = 0 },
+		func(p *Params) { p.UnitPerDisk = 0 },
+		func(p *Params) { p.UnitPerDisk = 5000 }, // not a page multiple
+		func(p *Params) { p.PrefetchDepth = 0 },
+		func(p *Params) { p.MeasureTuples = 0 },
+		func(p *Params) { p.FullTuples = 10; p.MeasureTuples = 100 },
+		func(p *Params) { p.BlockTuples = 0 },
+	}
+	for i, m := range mutate {
+		p := DefaultParams()
+		m(&p)
+		if p.Validate() == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+		if _, err := New(p); err == nil {
+			t.Errorf("New accepted invalid params %d", i)
+		}
+	}
+}
+
+func TestDefaultParamsMatchPaperSetup(t *testing.T) {
+	p := DefaultParams()
+	if p.Disk.Disks != 3 || p.Disk.BandwidthPerDisk != 60e6 {
+		t.Errorf("disk config %+v is not the paper's 3×60MB/s", p.Disk)
+	}
+	if p.Disk.Seek != 5*time.Millisecond {
+		t.Errorf("seek %v, want the paper's 5ms", p.Disk.Seek)
+	}
+	if p.FullTuples != 60_000_000 {
+		t.Errorf("full scale %d, want 60M", p.FullTuples)
+	}
+	if p.PageSize != 4096 || p.BlockTuples != 100 || p.PrefetchDepth != 48 {
+		t.Errorf("engine parameters differ from the paper: %+v", p)
+	}
+}
+
+func TestFullFileSizes(t *testing.T) {
+	p := DefaultParams()
+	li := schema.Lineitem()
+	// 60M tuples at 26 per page: 2,307,693 pages of 4KB ≈ 9.45GB.
+	bytes := p.rowFileBytes(li)
+	if bytes < int64(9.3e9) || bytes > int64(9.7e9) {
+		t.Errorf("full LINEITEM row file = %d bytes, want about 9.5GB", bytes)
+	}
+	// An int column at 1022 values/page: about 240MB.
+	colBytes := p.colFileBytes(li, schema.LPartKey)
+	if colBytes < int64(235e6) || colBytes > int64(250e6) {
+		t.Errorf("full L_PARTKEY column = %d bytes, want about 240MB", colBytes)
+	}
+	if got := p.rowsPerColPage(li, schema.LPartKey); got != page.ColGeometry(li.Attrs[schema.LPartKey], 4096).Capacity() {
+		t.Errorf("rowsPerColPage = %d", got)
+	}
+}
+
+func TestMeasureValidation(t *testing.T) {
+	h := testHarness(t)
+	rowTbl, err := h.Table(schema.Orders(), store.Row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colTbl, err := h.Table(schema.Orders(), store.Column)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Measure(ColumnSystem, rowTbl, Query{AttrsSelected: 1, Selectivity: 0.1}); err == nil {
+		t.Error("column system accepted a row table")
+	}
+	if _, err := h.Measure(RowSystem, colTbl, Query{AttrsSelected: 1, Selectivity: 0.1}); err == nil {
+		t.Error("row system accepted a column table")
+	}
+	if _, err := h.Measure(RowSystem, rowTbl, Query{AttrsSelected: 0, Selectivity: 0.1}); err == nil {
+		t.Error("zero attributes accepted")
+	}
+	if _, err := h.Measure(RowSystem, rowTbl, Query{AttrsSelected: 99, Selectivity: 0.1}); err == nil {
+		t.Error("too many attributes accepted")
+	}
+	if _, err := h.Measure(System("bogus"), rowTbl, Query{AttrsSelected: 1, Selectivity: 0.1}); err == nil {
+		t.Error("unknown system accepted")
+	}
+	if _, err := h.Measure(PAXSystem, rowTbl, Query{AttrsSelected: 1, Selectivity: 0.1}); err == nil {
+		t.Error("PAX system accepted a row table")
+	}
+}
+
+func TestTableCaching(t *testing.T) {
+	h := testHarness(t)
+	a, err := h.Table(schema.Orders(), store.Row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.Table(schema.Orders(), store.Row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("Table did not cache")
+	}
+	if !strings.Contains(a.Dir, h.Dir()) {
+		t.Errorf("table dir %q not under harness dir %q", a.Dir, h.Dir())
+	}
+}
+
+// TestMeasureFullSelectivityDropsPredicate: selectivity 1 means no
+// predicate, so every tuple qualifies.
+func TestMeasureFullSelectivityDropsPredicate(t *testing.T) {
+	h := testHarness(t)
+	tbl, err := h.Table(schema.Orders(), store.Row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := h.Measure(RowSystem, tbl, Query{AttrsSelected: 2, Selectivity: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Qualified != h.Params().FullTuples {
+		t.Errorf("qualified %d, want all %d", m.Qualified, h.Params().FullTuples)
+	}
+}
+
+// TestQualifiedScalesWithSelectivity: the scaled qualifying count tracks
+// the requested selectivity.
+func TestQualifiedScalesWithSelectivity(t *testing.T) {
+	h := testHarness(t)
+	tbl, err := h.Table(schema.Orders(), store.Row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := h.Measure(RowSystem, tbl, Query{AttrsSelected: 1, Selectivity: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(h.Params().FullTuples) * 0.10
+	if got := float64(m.Qualified); got < want*0.9 || got > want*1.1 {
+		t.Errorf("qualified %d, want about %.0f", m.Qualified, want)
+	}
+}
+
+// TestReplayRejectsEmptyScan guards the replay's precondition.
+func TestReplayRejectsEmptyScan(t *testing.T) {
+	h := testHarness(t)
+	spec := replaySpec{name: "empty", totalRows: 0, depth: 1}
+	if _, _, err := h.runReplay(spec); err == nil {
+		t.Error("zero-row replay accepted")
+	}
+}
+
+// TestRunScanDeterminism: measure + replay is fully deterministic — the
+// same cell produces bit-identical points across runs.
+func TestRunScanDeterminism(t *testing.T) {
+	h := testHarness(t)
+	q := Query{AttrsSelected: 3, Selectivity: 0.10}
+	a, err := h.RunScan(ColumnSystem, schema.Orders(), q, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.RunScan(ColumnSystem, schema.Orders(), q, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("identical runs differ:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestModelAgreesWithMeasurement cross-validates the Section 5 analytical
+// model against the measured harness, as the paper does when building
+// Figure 2 from its experiments: the model's predicted column-over-row
+// speedup for the ORDERS half-projection scan must land near the ratio of
+// the measured elapsed times.
+func TestModelAgreesWithMeasurement(t *testing.T) {
+	h := testHarness(t)
+	q := Query{AttrsSelected: 4, Selectivity: 0.10} // 16 of 32 bytes
+	row, err := h.RunScan(RowSystem, schema.Orders(), q, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := h.RunScan(ColumnSystem, schema.Orders(), q, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := row.ElapsedSec / col.ElapsedSec
+
+	cfg := model.FromMachine(h.Params().Machine, h.Params().Disk.TotalBandwidth())
+	_, _, predicted, err := cfg.Predict(model.Workload{
+		N:           h.Params().FullTuples,
+		TupleWidth:  32,
+		NumAttrs:    16, // the model's canonical relation shape
+		Projection:  0.5,
+		Selectivity: 0.10,
+	}, h.Params().Costs, h.Params().Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model abstracts seeks and pipeline detail; agreement within
+	// 40% is the paper's own level of fidelity for Figure 2.
+	if measured < predicted*0.6 || measured > predicted*1.4 {
+		t.Errorf("measured speedup %.2f vs model %.2f: outside the agreement band", measured, predicted)
+	}
+}

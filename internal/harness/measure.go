@@ -1,0 +1,204 @@
+package harness
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/readoptdb/readopt/internal/aio"
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/scan"
+	"github.com/readoptdb/readopt/internal/store"
+	"github.com/readoptdb/readopt/internal/tpch"
+)
+
+// System names the scanner variant under measurement.
+type System string
+
+const (
+	RowSystem        System = "row"
+	ColumnSystem     System = "column"
+	ColumnSlow       System = "column-slow"
+	ColumnSingleIter System = "column-single"
+	// PAXSystem scans the PAX layout: row-store I/O, column-store cache
+	// behaviour (an extension beyond the paper's two systems).
+	PAXSystem System = "pax"
+)
+
+// Query is the experiments' parametric query:
+//
+//	select A1..Ak from TABLE where predicate(A1) yields the given
+//	selectivity,
+//
+// the variant of the paper's Section 4 with the first k attributes
+// selected and the predicate on the table's first attribute.
+type Query struct {
+	AttrsSelected int
+	Selectivity   float64
+}
+
+// Proj returns the projection list (the first k attributes).
+func (q Query) Proj() []int {
+	proj := make([]int, q.AttrsSelected)
+	for i := range proj {
+		proj[i] = i
+	}
+	return proj
+}
+
+// Measurement is the outcome of one measure-phase run, already scaled to
+// the reporting tuple count.
+type Measurement struct {
+	System    System
+	Query     Query
+	Counters  cpumodel.Counters // scaled to FullTuples
+	CPU       cpumodel.Breakdown
+	Qualified int64 // scaled qualifying tuple count
+}
+
+// measureFile wraps an OS file behind the prefetching reader, closing
+// both together.
+type measureFile struct {
+	*aio.OSReader
+	f *os.File
+}
+
+func (m *measureFile) Close() error {
+	err := m.OSReader.Close()
+	if cerr := m.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func (h *Harness) openData(path string) (aio.Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	unit := h.p.UnitPerDisk * int64(h.p.Disk.Disks)
+	r, err := aio.NewOSReader(f, unit, h.p.PrefetchDepth)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &measureFile{OSReader: r, f: f}, nil
+}
+
+// preds builds the experiment predicate for the table's first attribute.
+func (h *Harness) preds(t *store.Table, q Query) ([]exec.Predicate, error) {
+	if q.Selectivity >= 1 {
+		return nil, nil
+	}
+	th, err := tpch.Threshold(t.Schema, q.Selectivity)
+	if err != nil {
+		return nil, err
+	}
+	return []exec.Predicate{exec.IntPred(0, exec.Lt, th)}, nil
+}
+
+// Measure runs the query on the real engine and returns the scaled work
+// accounting.
+func (h *Harness) Measure(sys System, t *store.Table, q Query) (*Measurement, error) {
+	if q.AttrsSelected < 1 || q.AttrsSelected > t.Schema.NumAttrs() {
+		return nil, fmt.Errorf("harness: query selects %d of %d attributes", q.AttrsSelected, t.Schema.NumAttrs())
+	}
+	preds, err := h.preds(t, q)
+	if err != nil {
+		return nil, err
+	}
+	proj := q.Proj()
+	var counters cpumodel.Counters
+	var op exec.Operator
+
+	switch sys {
+	case RowSystem, PAXSystem:
+		if sys == RowSystem && t.Layout != store.Row {
+			return nil, fmt.Errorf("harness: row system needs a row table")
+		}
+		if sys == PAXSystem && t.Layout != store.PAX {
+			return nil, fmt.Errorf("harness: pax system needs a pax table")
+		}
+		reader, err := h.openData(t.DataPath())
+		if err != nil {
+			return nil, err
+		}
+		cfg := scan.RowConfig{
+			Schema:      t.Schema,
+			PageSize:    t.PageSize,
+			Reader:      reader,
+			Dicts:       t.Dicts,
+			Preds:       preds,
+			Proj:        proj,
+			BlockTuples: h.p.BlockTuples,
+			Counters:    &counters,
+			Costs:       h.p.Costs,
+			LineBytes:   h.p.Machine.LineBytes,
+		}
+		if sys == PAXSystem {
+			op, err = scan.NewPAXScanner(cfg)
+		} else {
+			op, err = scan.NewRowScanner(cfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+	case ColumnSystem, ColumnSlow, ColumnSingleIter:
+		if t.Layout != store.Column {
+			return nil, fmt.Errorf("harness: column system needs a column table")
+		}
+		need := map[int]bool{}
+		for _, p := range preds {
+			need[p.Attr] = true
+		}
+		for _, a := range proj {
+			need[a] = true
+		}
+		readers := map[int]aio.Reader{}
+		for a := range need {
+			r, err := h.openData(t.ColumnPath(a))
+			if err != nil {
+				return nil, err
+			}
+			readers[a] = r
+		}
+		cfg := scan.ColConfig{
+			Schema:      t.Schema,
+			PageSize:    t.PageSize,
+			Readers:     readers,
+			Dicts:       t.Dicts,
+			Preds:       preds,
+			Proj:        proj,
+			BlockTuples: h.p.BlockTuples,
+			Counters:    &counters,
+			Costs:       h.p.Costs,
+			LineBytes:   h.p.Machine.LineBytes,
+		}
+		if sys == ColumnSingleIter {
+			op, err = scan.NewSingleIterScanner(cfg)
+		} else {
+			// The slow variant differs only in I/O submission order,
+			// which the replay phase models; its CPU work is the
+			// pipelined scanner's.
+			op, err = scan.NewColScanner(cfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("harness: unknown system %q", sys)
+	}
+
+	qualified, err := exec.Drain(op)
+	if err != nil {
+		return nil, err
+	}
+	f := h.p.scale()
+	return &Measurement{
+		System:    sys,
+		Query:     q,
+		Counters:  counters.Scale(f),
+		CPU:       h.p.Machine.Breakdown(counters.Scale(f)),
+		Qualified: int64(float64(qualified) * f),
+	}, nil
+}

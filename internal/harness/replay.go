@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/readoptdb/readopt/internal/aio"
+	"github.com/readoptdb/readopt/internal/sim"
+	"github.com/readoptdb/readopt/internal/simdisk"
+)
+
+// replayFile is one file of a full-scale replay, in scan-node order.
+type replayFile struct {
+	name        string
+	bytes       int64
+	rowsPerPage int
+}
+
+// replaySpec describes one scanning process of the replay phase: the
+// files it streams in lockstep, the total logical rows, the CPU time to
+// interleave between I/O waits, and its prefetching behaviour.
+type replaySpec struct {
+	name       string
+	files      []replayFile
+	totalRows  int64
+	cpuSeconds float64
+	depth      int
+	slow       bool // serialize batch submission across files (Figure 11's "slow" engine)
+}
+
+// rowBatch is the lockstep granularity of the replay: the scanner
+// processes this many logical rows, pulling each file's units as the rows
+// require, then advances its clock by the corresponding CPU time. It
+// plays the role of the engine's tuple blocks at a coarser grain.
+const rowBatch = 65536
+
+// replayResult carries one process's outcome.
+type replayResult struct {
+	elapsed sim.Time
+	err     error
+}
+
+// runReplay simulates the main scan against zero or more competing scans
+// on one disk array and returns the main scan's elapsed time plus the
+// array's iostat counters.
+func (h *Harness) runReplay(main replaySpec, competitors ...replaySpec) (float64, []simdisk.DiskStats, error) {
+	arr, err := simdisk.New(h.p.Disk)
+	if err != nil {
+		return 0, nil, err
+	}
+	kernel := sim.NewKernel()
+
+	specs := append([]replaySpec{main}, competitors...)
+	results := make([]replayResult, len(specs))
+	for i := range specs {
+		spec := specs[i]
+		res := &results[i]
+		ids := make([]simdisk.FileID, len(spec.files))
+		for j, f := range spec.files {
+			id, err := arr.AddFile(fmt.Sprintf("%s/%s", spec.name, f.name), f.bytes)
+			if err != nil {
+				return 0, nil, err
+			}
+			ids[j] = id
+		}
+		kernel.Spawn(spec.name, 0, func(p *sim.Proc) {
+			res.err = h.replayProcess(p, arr, spec, ids)
+			res.elapsed = p.Now()
+		})
+	}
+	kernel.Run()
+	for i := range results {
+		if results[i].err != nil {
+			return 0, nil, fmt.Errorf("harness: replay %s: %w", specs[i].name, results[i].err)
+		}
+	}
+	return results[0].elapsed.Seconds(), arr.Stats(), nil
+}
+
+// replayProcess drives one scan: it pulls every file's I/O units as the
+// row cursor requires them (waiting for simulated completions) and
+// advances the process clock by the measured CPU time per row, so CPU and
+// I/O overlap exactly as in the engine.
+func (h *Harness) replayProcess(p *sim.Proc, arr *simdisk.Array, spec replaySpec, ids []simdisk.FileID) error {
+	if spec.totalRows <= 0 {
+		return fmt.Errorf("no rows to replay")
+	}
+	var gate *aio.Gate
+	if spec.slow {
+		gate = aio.NewGate()
+	}
+	readers := make([]*aio.SimReader, len(spec.files))
+	for i, id := range ids {
+		r, err := aio.NewSimReader(p, aio.SimFile{Array: arr, ID: id}, h.p.UnitPerDisk, spec.depth, gate)
+		if err != nil {
+			return err
+		}
+		readers[i] = r
+	}
+	covered := make([]int64, len(spec.files))
+	cpuPerRow := spec.cpuSeconds / float64(spec.totalRows) * 1e9 // ns
+	var cpuCarry float64
+	for done := int64(0); done < spec.totalRows; {
+		target := done + rowBatch
+		if target > spec.totalRows {
+			target = spec.totalRows
+		}
+		for i := range spec.files {
+			for covered[i] < target {
+				buf, err := readers[i].Next()
+				if err == io.EOF {
+					covered[i] = spec.totalRows
+					break
+				}
+				if err != nil {
+					return err
+				}
+				pages := int64(len(buf) / h.p.PageSize)
+				covered[i] += pages * int64(spec.files[i].rowsPerPage)
+			}
+		}
+		cpu := cpuPerRow*float64(target-done) + cpuCarry
+		whole := sim.Time(cpu)
+		cpuCarry = cpu - float64(whole)
+		p.Advance(whole)
+		done = target
+	}
+	return nil
+}

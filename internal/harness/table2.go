@@ -1,0 +1,112 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/readoptdb/readopt/internal/model"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// Table2Row is one parameter of the paper's Table 2 — the summary of the
+// analytical model's inputs — instantiated with this configuration's live
+// values.
+type Table2Row struct {
+	Parameter string
+	Value     string
+	Models    string
+}
+
+// Table2 renders the paper's model-parameter summary with the harness's
+// actual values: the memory rate, the projection factors of the benchmark
+// queries, representative per-tuple instruction counts derived from the
+// calibrated cost table, and the cpdb ratings of the modelled machines.
+func (h *Harness) Table2() []Table2Row {
+	m := h.p.Machine
+	costs := h.p.Costs
+	li := schema.Lineitem()
+	cfg := model.FromMachine(m, h.p.Disk.TotalBandwidth())
+
+	// f for the paper's running example: two integers of ORDERS.
+	fOrders := 32.0 / 8.0
+	// I for the two scanners on LINEITEM at 10% selectivity, full
+	// projection, from the calibrated costs.
+	w := model.Workload{N: h.p.FullTuples, TupleWidth: li.StoredWidth(), NumAttrs: li.NumAttrs(), Projection: 1, Selectivity: 0.10}
+	iRow := model.RowScan(w, costs, m).IUser
+	iCol := model.ColScan(w, costs, m).IUser
+
+	return []Table2Row{
+		{
+			Parameter: "MemBytesCycle",
+			Value:     fmt.Sprintf("%.1f bytes/cycle (one %dB line per %d cycles)", m.SeqBytesPerCycle, m.LineBytes, m.LineBytes),
+			Models:    "various speeds for the memory bus",
+		},
+		{
+			Parameter: "f",
+			Value:     fmt.Sprintf("%.0f for two ints of ORDERS (32B / 8B)", fOrders),
+			Models:    "number of attributes selected by a query (projection)",
+		},
+		{
+			Parameter: "I",
+			Value:     fmt.Sprintf("row scan %.0f, column scan %.0f instr/tuple (LINEITEM, 10%%, full projection)", iRow, iCol),
+			Models:    "CPU work of each operator (selectivities, decompression)",
+		},
+		{
+			Parameter: "cpdb",
+			Value: fmt.Sprintf("%.0f on the paper machine (3 disks); %.0f over 1 disk",
+				cfg.CPDB(), model.FromMachine(m, h.p.Disk.BandwidthPerDisk).CPDB()),
+			Models: "more/fewer disks and CPUs; competing disk/CPU traffic",
+		},
+	}
+}
+
+// WriteTable2 renders the glossary.
+func WriteTable2(w io.Writer, rows []Table2Row) error {
+	if _, err := fmt.Fprintln(w, "TABLE2 — Model parameters with this configuration's live values"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-14s %s\n", r.Parameter, r.Value)
+		fmt.Fprintf(w, "%-14s models: %s\n", "", r.Models)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// WriteCSV exports a figure's series as comma-separated values for
+// external plotting: one row per x-axis point with each series' elapsed
+// and CPU seconds.
+func WriteCSV(w io.Writer, r *Result) error {
+	if len(r.Series) == 0 {
+		return fmt.Errorf("harness: result %s has no series", r.ID)
+	}
+	if _, err := fmt.Fprintf(w, "selected_bytes"); err != nil {
+		return err
+	}
+	for _, s := range r.Series {
+		fmt.Fprintf(w, ",%s_elapsed_s,%s_cpu_s", csvLabel(s.Label), csvLabel(s.Label))
+	}
+	fmt.Fprintln(w)
+	for i := range r.Series[0].Points {
+		fmt.Fprintf(w, "%d", r.Series[0].Points[i].SelectedBytes)
+		for _, s := range r.Series {
+			p := s.Points[i]
+			fmt.Fprintf(w, ",%.4f,%.4f", p.ElapsedSec, p.CPU.Total())
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+func csvLabel(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case ' ', ',', '-':
+			out = append(out, '_')
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

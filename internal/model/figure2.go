@@ -1,0 +1,50 @@
+package model
+
+import "github.com/readoptdb/readopt/internal/cpumodel"
+
+// This file regenerates the paper's Figure 2: the contour plot of the
+// average speedup of a column system over a row system for a simple scan
+// selecting 10% of the tuples and projecting 50% of the attributes, as
+// the stored tuple width (x-axis, bytes) and the machine's cpdb rating
+// (y-axis, cycles per disk byte) vary.
+
+// Figure2Widths are the paper's x-axis sample points (tuple width in
+// bytes, 4-byte attributes).
+var Figure2Widths = []int{8, 12, 16, 20, 24, 28, 32, 36}
+
+// Figure2CPDBs are the paper's y-axis sample points (the y-axis of the
+// contour runs from 9 to 144 cpdb, doubling per step).
+var Figure2CPDBs = []float64{9, 18, 36, 72, 144}
+
+// Figure2Cell is one grid point of the contour.
+type Figure2Cell struct {
+	TupleWidth int
+	CPDB       float64
+	Speedup    float64
+}
+
+// Figure2 computes the speedup grid with the paper's workload parameters
+// (10% selectivity, 50% projection) for the given machine and cost table.
+// Cells are produced row-major: for each cpdb, all tuple widths.
+func Figure2(m cpumodel.Machine, costs cpumodel.Costs) ([]Figure2Cell, error) {
+	base := FromMachine(m, 180e6)
+	var cells []Figure2Cell
+	for _, cpdb := range Figure2CPDBs {
+		cfg := base.WithCPDB(cpdb)
+		for _, width := range Figure2Widths {
+			w := Workload{
+				N:           60_000_000,
+				TupleWidth:  width,
+				NumAttrs:    16,
+				Projection:  0.5,
+				Selectivity: 0.10,
+			}
+			_, _, speedup, err := cfg.Predict(w, costs, m)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, Figure2Cell{TupleWidth: width, CPDB: cpdb, Speedup: speedup})
+		}
+	}
+	return cells, nil
+}

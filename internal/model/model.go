@@ -1,0 +1,259 @@
+// Package model implements the paper's analytical model (Section 5): a
+// set of closed-form equations predicting the tuples/sec rate of row and
+// column systems for a given query and hardware configuration, and the
+// speedup of one over the other. The model's single combined resource
+// parameter is cpdb — CPU cycles per sequentially-delivered disk byte —
+// which folds the number of CPUs, the number of disks and competing
+// traffic into one number. The paper's machine rates 18 cpdb over its
+// three disks and 54 over one; typical configurations range from 20 to
+// 400.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+)
+
+// Config fixes the hardware side of the model.
+type Config struct {
+	// ClockHz is the aggregate CPU rate (cycles/sec across the CPUs the
+	// query may use).
+	ClockHz float64
+	// DiskBW is the aggregate sequential disk bandwidth in bytes/sec.
+	DiskBW float64
+	// MemBytesCycle is how many bytes per CPU cycle the memory bus
+	// delivers to the L2 cache under sequential access.
+	MemBytesCycle float64
+}
+
+// FromMachine derives a model configuration from a machine spec and disk
+// bandwidth.
+func FromMachine(m cpumodel.Machine, diskBW float64) Config {
+	return Config{
+		ClockHz:       m.ClockHz * float64(m.CPUs),
+		DiskBW:        diskBW,
+		MemBytesCycle: m.SeqBytesPerCycle,
+	}
+}
+
+// CPDB returns the configuration's cycles-per-disk-byte rating:
+// clock / DiskBW.
+func (c Config) CPDB() float64 { return c.ClockHz / c.DiskBW }
+
+// WithCPDB returns a copy whose disk bandwidth is adjusted so the rating
+// equals the given cpdb — the knob the paper turns to model more or fewer
+// disks/CPUs and competing traffic (Figure 2's y-axis).
+func (c Config) WithCPDB(cpdb float64) Config {
+	c.DiskBW = c.ClockHz / cpdb
+	return c
+}
+
+// File is one input file of a query: a relation's cardinality and the
+// bytes read per tuple from this file. For a row store this is the stored
+// tuple width; for a column store, the total width of the selected
+// columns (TupleWidth / f in the paper's notation).
+type File struct {
+	N             int64
+	BytesPerTuple float64
+}
+
+// DiskRate implements equations (2)–(4): the rate in tuples/sec at which
+// the disks can feed the query, the size-weighted combination of the
+// per-file rates. Disk bandwidth is always the full sequential bandwidth,
+// assuming prefetch buffers large enough to amortize seeks (Section 4.5).
+func (c Config) DiskRate(files ...File) float64 {
+	var tuples, bytes float64
+	for _, f := range files {
+		tuples += float64(f.N)
+		bytes += float64(f.N) * f.BytesPerTuple
+	}
+	if bytes == 0 {
+		return math.Inf(1)
+	}
+	return c.DiskBW * tuples / bytes
+}
+
+// OpRate implements equation (7): the rate of a relational operator that
+// spends iop instructions per tuple, approximating one cycle per
+// instruction.
+func (c Config) OpRate(iop float64) float64 {
+	if iop <= 0 {
+		return math.Inf(1)
+	}
+	return c.ClockHz / iop
+}
+
+// Harmonic implements equations (5)–(6): the overall CPU rate of
+// cascaded operators, composed like parallel resistors:
+// 1/R = 1/Op1 + 1/Op2 + ...
+func Harmonic(rates ...float64) float64 {
+	inv := 0.0
+	for _, r := range rates {
+		if r <= 0 {
+			return 0
+		}
+		if !math.IsInf(r, 1) {
+			inv += 1 / r
+		}
+	}
+	if inv == 0 {
+		return math.Inf(1)
+	}
+	return 1 / inv
+}
+
+// Scan describes one scanner for equation (8): user- and system-mode
+// instructions per tuple, plus the width of the data the scanner streams
+// per tuple (which bounds its rate by memory bandwidth).
+type Scan struct {
+	IUser         float64
+	ISys          float64
+	BytesPerTuple float64
+}
+
+// ScanRate implements equation (8): the scanner's rate is its system-mode
+// rate composed with the minimum of its computation rate and the rate at
+// which memory can deliver its tuples into the cache.
+func (c Config) ScanRate(s Scan) float64 {
+	user := c.OpRate(s.IUser)
+	if s.BytesPerTuple > 0 {
+		memRate := c.ClockHz * c.MemBytesCycle / s.BytesPerTuple
+		user = math.Min(user, memRate)
+	}
+	return Harmonic(c.OpRate(s.ISys), user)
+}
+
+// Rate implements equation (1): the query's throughput is the minimum of
+// what the disks can deliver and what the CPUs can process.
+func Rate(diskRate, cpuRate float64) float64 {
+	return math.Min(diskRate, cpuRate)
+}
+
+// IndexScanBreakEven returns the selectivity below which probing an
+// unclustered index and seeking between qualifying tuples beats a plain
+// sequential scan (Section 2.1.1). With a 5ms seek, 300MB/s of bandwidth
+// and 128-byte tuples it is below 0.008%: a seek only pays off when it
+// skips more data than it costs in transfer time.
+func IndexScanBreakEven(seekSeconds, diskBW float64, tupleWidth int) float64 {
+	if seekSeconds <= 0 || diskBW <= 0 || tupleWidth <= 0 {
+		return 1
+	}
+	gapBytes := seekSeconds * diskBW
+	return float64(tupleWidth) / (gapBytes + float64(tupleWidth))
+}
+
+// Workload is the parametric query of the paper's speedup analysis:
+// a relation of N tuples with a fixed number of equal-width attributes
+// whose stored tuple width varies with the compression level ("either
+// compressed or uncompressed", as Figure 2's x-axis says), and a query
+// selecting a fraction of the attributes with a predicate of the given
+// selectivity on the first one.
+type Workload struct {
+	N          int64
+	TupleWidth int // stored bytes per tuple (compressed or not)
+	// NumAttrs is the relation's attribute count (16 for the
+	// LINEITEM-shaped relation of Figure 2); the stored width per
+	// attribute is TupleWidth/NumAttrs.
+	NumAttrs    int
+	Projection  float64 // fraction of the tuple's attributes selected
+	Selectivity float64 // fraction of qualifying tuples
+	// DownstreamIOp is the per-tuple instruction cost of the operators
+	// above the scan (zero for a bare scan; a high-cost operator shrinks
+	// the row/column difference, Section 5).
+	DownstreamIOp float64
+}
+
+// Validate reports whether the workload is well formed.
+func (w Workload) Validate() error {
+	if w.N <= 0 || w.TupleWidth <= 0 || w.NumAttrs <= 0 {
+		return fmt.Errorf("model: invalid workload dimensions %+v", w)
+	}
+	if w.Projection <= 0 || w.Projection > 1 || w.Selectivity < 0 || w.Selectivity > 1 {
+		return fmt.Errorf("model: projection/selectivity out of range in %+v", w)
+	}
+	return nil
+}
+
+// selected returns the number of selected attributes (at least one).
+func (w Workload) selected() int {
+	sel := int(math.Round(float64(w.NumAttrs) * w.Projection))
+	if sel < 1 {
+		sel = 1
+	}
+	if sel > w.NumAttrs {
+		sel = w.NumAttrs
+	}
+	return sel
+}
+
+// SelectedBytes returns the stored bytes per tuple the column system
+// reads: the selected fraction of the stored width.
+func (w Workload) SelectedBytes() float64 {
+	return float64(w.TupleWidth) * float64(w.selected()) / float64(w.NumAttrs)
+}
+
+// sysInstrPerByte approximates the kernel cost per byte read, from the
+// machine's calibrated sys coefficients.
+func sysInstrPerByte(m cpumodel.Machine, unitBytes float64) float64 {
+	return m.SysCyclesPerIOByte + m.SysCyclesPerIORequest/unitBytes
+}
+
+// ioUnitBytes is the modelled I/O request size (128KB per disk on the
+// paper's three-disk array).
+const ioUnitBytes = 3 * 128 << 10
+
+// RowScan derives the row scanner's equation-(8) parameters from the
+// engine's calibrated cost table: every tuple is iterated and tested, and
+// qualifying tuples copy the selected bytes.
+func RowScan(w Workload, costs cpumodel.Costs, m cpumodel.Machine) Scan {
+	iUser := float64(costs.TupleLoop) + float64(costs.Predicate) +
+		w.Selectivity*w.SelectedBytes()*float64(costs.CopyPerByte) +
+		float64(costs.BlockOverhead)/100
+	return Scan{
+		IUser:         iUser,
+		ISys:          float64(w.TupleWidth) * sysInstrPerByte(m, ioUnitBytes),
+		BytesPerTuple: float64(w.TupleWidth),
+	}
+}
+
+// ColScan derives the pipelined column scanner's parameters: the deepest
+// node iterates and tests every value of the first column; each of the
+// remaining selected columns contributes per-qualifying-tuple position
+// handling and value attachment (Section 4.2's observation that every
+// additional scan node adds a CPU component proportional to selectivity).
+func ColScan(w Workload, costs cpumodel.Costs, m cpumodel.Machine) Scan {
+	attrBytes := float64(w.TupleWidth) / float64(w.NumAttrs)
+	iUser := float64(costs.ValueLoop) + float64(costs.Predicate) +
+		w.Selectivity*attrBytes*float64(costs.CopyPerByte) +
+		float64(costs.BlockOverhead)/100
+	inner := float64(w.selected() - 1)
+	iUser += w.Selectivity * inner * (float64(costs.NodeInput+costs.ValueAttach) + attrBytes*float64(costs.CopyPerByte))
+	return Scan{
+		IUser:         iUser,
+		ISys:          w.SelectedBytes() * sysInstrPerByte(m, ioUnitBytes),
+		BytesPerTuple: w.SelectedBytes(),
+	}
+}
+
+// Predict returns the modelled rates (tuples/sec) of the row and column
+// systems for the workload, and the speedup of columns over rows.
+func (c Config) Predict(w Workload, costs cpumodel.Costs, m cpumodel.Machine) (rowRate, colRate, speedup float64, err error) {
+	if err := w.Validate(); err != nil {
+		return 0, 0, 0, err
+	}
+	downstream := math.Inf(1)
+	if w.DownstreamIOp > 0 {
+		// The downstream operators process only qualifying tuples.
+		downstream = c.OpRate(w.DownstreamIOp * w.Selectivity)
+	}
+	rowDisk := c.DiskRate(File{N: w.N, BytesPerTuple: float64(w.TupleWidth)})
+	rowCPU := Harmonic(c.ScanRate(RowScan(w, costs, m)), downstream)
+	rowRate = Rate(rowDisk, rowCPU)
+
+	colDisk := c.DiskRate(File{N: w.N, BytesPerTuple: w.SelectedBytes()})
+	colCPU := Harmonic(c.ScanRate(ColScan(w, costs, m)), downstream)
+	colRate = Rate(colDisk, colCPU)
+	return rowRate, colRate, colRate / rowRate, nil
+}

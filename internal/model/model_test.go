@@ -1,0 +1,284 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+)
+
+func paperConfig() (Config, cpumodel.Machine, cpumodel.Costs) {
+	m := cpumodel.Paper2006()
+	return FromMachine(m, 180e6), m, cpumodel.DefaultCosts()
+}
+
+func TestCPDBRatings(t *testing.T) {
+	cfg, _, _ := paperConfig()
+	// Paper: 1 CPU over 3 disks -> 18 cpdb; over 1 disk -> 54.
+	if got := cfg.CPDB(); math.Abs(got-17.8) > 0.5 {
+		t.Errorf("3-disk cpdb = %.1f, want about 18", got)
+	}
+	one := FromMachine(cpumodel.Paper2006(), 60e6)
+	if got := one.CPDB(); math.Abs(got-53.3) > 1 {
+		t.Errorf("1-disk cpdb = %.1f, want about 54", got)
+	}
+	// Round trip through WithCPDB.
+	if got := cfg.WithCPDB(108).CPDB(); math.Abs(got-108) > 1e-9 {
+		t.Errorf("WithCPDB round trip = %v", got)
+	}
+}
+
+func TestDiskRate(t *testing.T) {
+	cfg, _, _ := paperConfig()
+	// A single 152-byte-tuple file: 180MB/s / 152B.
+	r := cfg.DiskRate(File{N: 60e6, BytesPerTuple: 152})
+	if want := 180e6 / 152; math.Abs(r-want) > 1 {
+		t.Errorf("DiskRate = %v, want %v", r, want)
+	}
+	// Equation (2)'s merge-join example: 1GB and 10GB files; the rate is
+	// weighted by file size.
+	two := cfg.DiskRate(
+		File{N: 10e6, BytesPerTuple: 100},  // 1GB
+		File{N: 100e6, BytesPerTuple: 100}, // 10GB
+	)
+	if want := 180e6 * 110e6 / 11e9; math.Abs(two-want) > 1 {
+		t.Errorf("two-file DiskRate = %v, want %v", two, want)
+	}
+	if !math.IsInf(cfg.DiskRate(), 1) {
+		t.Error("no files should mean no disk constraint")
+	}
+}
+
+// TestHarmonicMatchesPaperExample pins the worked example under equation
+// (6): 4 tuples/sec composed with 6 tuples/sec gives 2.4.
+func TestHarmonicMatchesPaperExample(t *testing.T) {
+	if got := Harmonic(4, 6); math.Abs(got-2.4) > 1e-12 {
+		t.Errorf("Harmonic(4,6) = %v, want 2.4", got)
+	}
+	if got := Harmonic(); !math.IsInf(got, 1) {
+		t.Errorf("Harmonic() = %v, want +Inf", got)
+	}
+	if got := Harmonic(5, math.Inf(1)); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Harmonic(5,Inf) = %v, want 5", got)
+	}
+	if got := Harmonic(5, 0); got != 0 {
+		t.Errorf("Harmonic with a stalled operator = %v, want 0", got)
+	}
+}
+
+// Property: harmonic composition is commutative and bounded by its
+// smallest member.
+func TestHarmonicProperties(t *testing.T) {
+	f := func(a, b, c uint32) bool {
+		ra, rb, rc := float64(a%1000+1), float64(b%1000+1), float64(c%1000+1)
+		h1 := Harmonic(ra, rb, rc)
+		h2 := Harmonic(rc, ra, rb)
+		if math.Abs(h1-h2) > 1e-9 {
+			return false
+		}
+		return h1 <= math.Min(ra, math.Min(rb, rc))+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOpRate(t *testing.T) {
+	cfg, _, _ := paperConfig()
+	if got := cfg.OpRate(3200); math.Abs(got-1e6) > 1e-6 {
+		t.Errorf("OpRate(3200) = %v, want 1e6", got)
+	}
+	if !math.IsInf(cfg.OpRate(0), 1) {
+		t.Error("zero-cost operator should be unconstrained")
+	}
+}
+
+func TestScanRateMemoryBound(t *testing.T) {
+	cfg, _, _ := paperConfig()
+	// A scanner with almost no computation over wide tuples is bounded by
+	// memory bandwidth: clock × MemBytesCycle / width.
+	s := Scan{IUser: 1, ISys: 0, BytesPerTuple: 3200}
+	want := 3.2e9 * 1.0 / 3200
+	if got := cfg.ScanRate(s); math.Abs(got-want) > want*0.01 {
+		t.Errorf("memory-bound scan rate = %v, want about %v", got, want)
+	}
+	// A compute-heavy scanner over narrow tuples is bounded by
+	// instructions.
+	s = Scan{IUser: 32000, ISys: 0, BytesPerTuple: 4}
+	want = 3.2e9 / 32000
+	if got := cfg.ScanRate(s); math.Abs(got-want) > want*0.01 {
+		t.Errorf("cpu-bound scan rate = %v, want about %v", got, want)
+	}
+}
+
+// TestIndexScanBreakEven pins the paper's Section 2.1.1 number: 5ms seek,
+// 300MB/s, 128-byte tuples -> below 0.008% selectivity.
+func TestIndexScanBreakEven(t *testing.T) {
+	got := IndexScanBreakEven(0.005, 300e6, 128)
+	if got > 0.0001 || got < 0.00006 {
+		t.Errorf("break-even selectivity = %.6f%%, want about 0.008%%", got*100)
+	}
+	if IndexScanBreakEven(0, 300e6, 128) != 1 {
+		t.Error("degenerate parameters should disable index scans")
+	}
+}
+
+// TestSpeedupConvergesAtFullProjection reproduces Section 1.3: the
+// speedup converges to about 1 when the query selects every attribute.
+func TestSpeedupConvergesAtFullProjection(t *testing.T) {
+	cfg, m, costs := paperConfig()
+	w := Workload{N: 60e6, TupleWidth: 32, NumAttrs: 16, Projection: 1.0, Selectivity: 0.10}
+	_, _, speedup, err := cfg.Predict(w, costs, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedup < 0.5 || speedup > 1.5 {
+		t.Errorf("speedup at 100%% projection = %.2f, want about 1", speedup)
+	}
+}
+
+// TestSpeedupApproachesProjectionFactor: in a disk-bound configuration
+// (high cpdb) the speedup approaches N when the query reads 1/Nth of the
+// tuple (Section 1.3).
+func TestSpeedupApproachesProjectionFactor(t *testing.T) {
+	cfg, m, costs := paperConfig()
+	diskBound := cfg.WithCPDB(400)
+	w := Workload{N: 60e6, TupleWidth: 32, NumAttrs: 16, Projection: 0.25, Selectivity: 0.10}
+	_, _, speedup, err := diskBound.Predict(w, costs, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedup < 3.0 || speedup > 4.5 {
+		t.Errorf("disk-bound speedup at 25%% projection = %.2f, want about 4", speedup)
+	}
+}
+
+// TestRowWinsOnLeanTuplesLowCPDB reproduces Figure 2's lower-left corner:
+// row stores hold an advantage only for lean tuples (under about 20
+// bytes) in CPU-constrained configurations (low cpdb).
+func TestRowWinsOnLeanTuplesLowCPDB(t *testing.T) {
+	cfg, m, costs := paperConfig()
+	lean := Workload{N: 60e6, TupleWidth: 8, NumAttrs: 16, Projection: 0.5, Selectivity: 0.10}
+	_, _, speedup, err := cfg.WithCPDB(9).Predict(lean, costs, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedup >= 1 {
+		t.Errorf("lean tuples at cpdb 9: speedup = %.2f, want < 1 (row wins)", speedup)
+	}
+	wide := Workload{N: 60e6, TupleWidth: 32, NumAttrs: 16, Projection: 0.5, Selectivity: 0.10}
+	_, _, speedup, err = cfg.WithCPDB(144).Predict(wide, costs, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedup <= 1.5 {
+		t.Errorf("wide tuples at cpdb 144: speedup = %.2f, want well above 1", speedup)
+	}
+}
+
+// TestSpeedupMonotoneInCPDB: more available cycles per disk byte can only
+// help the column system relative to the row system in this workload.
+func TestSpeedupMonotoneInCPDB(t *testing.T) {
+	cfg, m, costs := paperConfig()
+	w := Workload{N: 60e6, TupleWidth: 16, NumAttrs: 16, Projection: 0.5, Selectivity: 0.10}
+	prev := -1.0
+	for _, cpdb := range []float64{9, 18, 36, 72, 144, 288} {
+		_, _, s, err := cfg.WithCPDB(cpdb).Predict(w, costs, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < prev-1e-9 {
+			t.Errorf("speedup decreased from %.3f to %.3f at cpdb %v", prev, s, cpdb)
+		}
+		prev = s
+	}
+}
+
+// TestDownstreamOperatorShrinksGap: a high-cost relational operator
+// lowers the CPU rate of both systems and the row/column difference
+// becomes less noticeable (Section 5).
+func TestDownstreamOperatorShrinksGap(t *testing.T) {
+	cfg, m, costs := paperConfig()
+	cpu := cfg.WithCPDB(9) // CPU-bound regime where the gap is visible
+	w := Workload{N: 60e6, TupleWidth: 32, NumAttrs: 16, Projection: 0.5, Selectivity: 0.5}
+	_, _, bare, err := cpu.Predict(w, costs, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.DownstreamIOp = 50_000
+	_, _, heavy, err := cpu.Predict(w, costs, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(heavy-1) >= math.Abs(bare-1) {
+		t.Errorf("downstream operator did not shrink the gap: bare %.3f, heavy %.3f", bare, heavy)
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	bad := []Workload{
+		{N: 0, TupleWidth: 8, NumAttrs: 16, Projection: 0.5, Selectivity: 0.1},
+		{N: 1, TupleWidth: 0, NumAttrs: 16, Projection: 0.5, Selectivity: 0.1},
+		{N: 1, TupleWidth: 8, NumAttrs: 0, Projection: 0.5, Selectivity: 0.1},
+		{N: 1, TupleWidth: 8, NumAttrs: 16, Projection: 0, Selectivity: 0.1},
+		{N: 1, TupleWidth: 8, NumAttrs: 16, Projection: 1.5, Selectivity: 0.1},
+		{N: 1, TupleWidth: 8, NumAttrs: 16, Projection: 0.5, Selectivity: -1},
+	}
+	for i, w := range bad {
+		if w.Validate() == nil {
+			t.Errorf("bad workload %d accepted", i)
+		}
+	}
+	cfg, m, costs := paperConfig()
+	if _, _, _, err := cfg.Predict(bad[0], costs, m); err == nil {
+		t.Error("Predict accepted invalid workload")
+	}
+}
+
+// TestFigure2Shape checks the qualitative structure of the regenerated
+// contour: row stores win only in the lean-tuple, low-cpdb corner; wide
+// tuples at high cpdb give the largest speedups; speedup grows along both
+// axes.
+func TestFigure2Shape(t *testing.T) {
+	m := cpumodel.Paper2006()
+	cells, err := Figure2(m, cpumodel.DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(Figure2Widths)*len(Figure2CPDBs) {
+		t.Fatalf("grid has %d cells", len(cells))
+	}
+	at := func(width int, cpdb float64) float64 {
+		for _, c := range cells {
+			if c.TupleWidth == width && c.CPDB == cpdb {
+				return c.Speedup
+			}
+		}
+		t.Fatalf("missing cell %d/%v", width, cpdb)
+		return 0
+	}
+	if s := at(8, 9); s >= 1 {
+		t.Errorf("corner (8B, cpdb 9) speedup = %.2f, want < 1", s)
+	}
+	if s := at(36, 144); s <= 1.5 {
+		t.Errorf("corner (36B, cpdb 144) speedup = %.2f, want > 1.5", s)
+	}
+	// Monotone along each axis.
+	for _, cpdb := range Figure2CPDBs {
+		prev := -1.0
+		for _, wdt := range Figure2Widths {
+			s := at(wdt, cpdb)
+			if s < prev-0.05 {
+				t.Errorf("speedup not increasing in width at cpdb %v: %.3f after %.3f", cpdb, s, prev)
+			}
+			prev = s
+		}
+	}
+	// Speedups stay within the plausible band of the paper's plot.
+	for _, c := range cells {
+		if c.Speedup < 0.3 || c.Speedup > 2.5 {
+			t.Errorf("cell %+v outside Figure 2's 0.4–2 band", c)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package page
+
+import (
+	"fmt"
+
+	"github.com/readoptdb/readopt/internal/bitio"
+	"github.com/readoptdb/readopt/internal/compress"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// ColGeometry returns the page geometry for single-column pages of the
+// given attribute: fixed-width codes packed contiguously, with one trailer
+// base slot when the encoding keeps a per-page base value.
+func ColGeometry(attr schema.Attribute, pageSize int) Geometry {
+	g := Geometry{PageSize: pageSize, EntryBits: attr.CodeBits()}
+	if attr.Enc == schema.FOR || attr.Enc == schema.FORDelta {
+		g.BaseSlots = 1
+	}
+	return g
+}
+
+// ColBuilder accumulates single-attribute values and packs them into
+// column pages.
+type ColBuilder struct {
+	attr   schema.Attribute
+	geo    Geometry
+	codec  compress.Codec
+	staged []byte // capacity * attr size
+	n      int
+	page   []byte
+}
+
+// NewColBuilder returns a builder for column pages of the given attribute.
+// Dict attributes need a dictionary; passing nil creates a fresh one that
+// grows during encoding (retrievable from the store's loader).
+func NewColBuilder(attr schema.Attribute, pageSize int, dict *compress.Dictionary) (*ColBuilder, error) {
+	geo := ColGeometry(attr, pageSize)
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	if attr.Enc == schema.Dict && dict == nil {
+		dict = compress.NewDictionary(attr.Type.Size)
+	}
+	codec, err := compress.New(attr, dict)
+	if err != nil {
+		return nil, err
+	}
+	return &ColBuilder{
+		attr:   attr,
+		geo:    geo,
+		codec:  codec,
+		staged: make([]byte, geo.Capacity()*attr.Type.Size),
+		page:   make([]byte, pageSize),
+	}, nil
+}
+
+// Capacity returns the number of values per page.
+func (b *ColBuilder) Capacity() int { return b.geo.Capacity() }
+
+// Geometry returns the page geometry.
+func (b *ColBuilder) Geometry() Geometry { return b.geo }
+
+// Count returns the number of staged values.
+func (b *ColBuilder) Count() int { return b.n }
+
+// Full reports whether the page is at capacity.
+func (b *ColBuilder) Full() bool { return b.n == b.geo.Capacity() }
+
+// Add stages one raw value (attribute size bytes). It panics when the
+// page is full.
+func (b *ColBuilder) Add(v []byte) {
+	size := b.attr.Type.Size
+	if len(v) != size {
+		panic(fmt.Sprintf("page: Add value of %d bytes, attribute %s wants %d", len(v), b.attr.Name, size))
+	}
+	if b.Full() {
+		panic("page: Add on full ColBuilder")
+	}
+	copy(b.staged[b.n*size:], v)
+	b.n++
+}
+
+// Flush encodes the staged values into a page with the given page ID and
+// returns the page bytes, reused by the next Flush.
+func (b *ColBuilder) Flush(pageID uint32) ([]byte, error) {
+	for i := range b.page {
+		b.page[i] = 0
+	}
+	SetCount(b.page, b.n)
+	b.geo.SetPageID(b.page, pageID)
+	w := bitio.NewWriter(b.geo.Data(b.page))
+	base, err := b.codec.EncodePage(w, b.staged, b.attr.Type.Size, b.n)
+	if err != nil {
+		return nil, fmt.Errorf("page: column %s: %w", b.attr.Name, err)
+	}
+	if b.geo.BaseSlots > 0 {
+		b.geo.SetBase(b.page, 0, base)
+	}
+	b.n = 0
+	return b.page, nil
+}
+
+// ColReader decodes column pages back into raw values.
+type ColReader struct {
+	attr  schema.Attribute
+	geo   Geometry
+	codec compress.Codec
+}
+
+// NewColReader returns a reader for column pages of the given attribute.
+func NewColReader(attr schema.Attribute, pageSize int, dict *compress.Dictionary) (*ColReader, error) {
+	geo := ColGeometry(attr, pageSize)
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	codec, err := compress.New(attr, dict)
+	if err != nil {
+		return nil, err
+	}
+	return &ColReader{attr: attr, geo: geo, codec: codec}, nil
+}
+
+// Geometry returns the page geometry.
+func (r *ColReader) Geometry() Geometry { return r.geo }
+
+// Capacity returns the number of values per page.
+func (r *ColReader) Capacity() int { return r.geo.Capacity() }
+
+// RandomAccess reports whether ValueAt is supported (all encodings except
+// FOR-delta, whose codes chain sequentially).
+func (r *ColReader) RandomAccess() bool { return r.codec.RandomAccess() }
+
+// base returns the page base value, or zero when the encoding has none.
+func (r *ColReader) base(pg []byte) int32 {
+	if r.geo.BaseSlots > 0 {
+		return r.geo.Base(pg, 0)
+	}
+	return 0
+}
+
+// Decode unpacks all values of a page into dst (attribute-size stride)
+// and returns the value count.
+func (r *ColReader) Decode(pg, dst []byte) (int, error) {
+	n := Count(pg)
+	if n < 0 || n > r.geo.Capacity() {
+		return 0, fmt.Errorf("page: corrupt column page: count %d exceeds capacity %d", n, r.geo.Capacity())
+	}
+	size := r.attr.Type.Size
+	if len(dst) < n*size {
+		return 0, fmt.Errorf("page: Decode destination too small: %d bytes for %d values", len(dst), n)
+	}
+	if err := r.codec.DecodePage(bitio.NewReader(r.geo.Data(pg)), dst, size, n, r.base(pg)); err != nil {
+		return 0, fmt.Errorf("page: column %s: %w", r.attr.Name, err)
+	}
+	return n, nil
+}
+
+// ValueAt decodes the value at index i of the page into dst (attribute
+// size bytes). It panics for encodings without random access.
+func (r *ColReader) ValueAt(pg []byte, i int, dst []byte) {
+	r.codec.DecodeAt(r.geo.Data(pg), 0, i, r.base(pg), dst)
+}

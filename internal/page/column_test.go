@@ -1,0 +1,200 @@
+package page
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/compress"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+func buildColumnPages(t *testing.T, attr schema.Attribute, dict *compress.Dictionary, vals [][]byte) ([][]byte, *ColBuilder) {
+	t.Helper()
+	b, err := NewColBuilder(attr, DefaultSize, dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pages [][]byte
+	for _, v := range vals {
+		b.Add(v)
+		if b.Full() {
+			pg, err := b.Flush(uint32(len(pages)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pages = append(pages, append([]byte(nil), pg...))
+		}
+	}
+	if b.Count() > 0 {
+		pg, err := b.Flush(uint32(len(pages)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, append([]byte(nil), pg...))
+	}
+	return pages, b
+}
+
+func int32Val(v int32) []byte {
+	b := make([]byte, 4)
+	binary.LittleEndian.PutUint32(b, uint32(v))
+	return b
+}
+
+func TestColRoundTripAllEncodings(t *testing.T) {
+	n := 9000 // several pages for every width
+	sorted := make([][]byte, n)
+	small := make([][]byte, n)
+	text := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		sorted[i] = int32Val(int32(100 + i))
+		small[i] = int32Val(int32(i % 1000))
+		text[i] = []byte([]string{"AIR       ", "TRUCK     ", "MAIL      "}[i%3])
+	}
+	cases := []struct {
+		name string
+		attr schema.Attribute
+		dict *compress.Dictionary
+		vals [][]byte
+	}{
+		{"raw-int", schema.Attribute{Name: "A", Type: schema.IntType}, nil, small},
+		{"pack", schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.BitPack, Bits: 10}, nil, small},
+		{"for", schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.FOR, Bits: 16}, nil, sorted},
+		{"delta", schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.FORDelta, Bits: 8}, nil, sorted},
+		{"dict", schema.Attribute{Name: "A", Type: schema.TextType(10), Enc: schema.Dict, Bits: 2}, compress.NewDictionary(10), text},
+		{"raw-text", schema.Attribute{Name: "A", Type: schema.TextType(10)}, nil, text},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pages, b := buildColumnPages(t, tc.attr, tc.dict, tc.vals)
+			r, err := NewColReader(tc.attr, DefaultSize, tc.dict)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b.Capacity() != r.Capacity() {
+				t.Fatalf("capacity mismatch: %d vs %d", b.Capacity(), r.Capacity())
+			}
+			size := tc.attr.Type.Size
+			dst := make([]byte, r.Capacity()*size)
+			idx := 0
+			for _, pg := range pages {
+				cnt, err := r.Decode(pg, dst)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < cnt; i++ {
+					if !bytes.Equal(dst[i*size:(i+1)*size], tc.vals[idx]) {
+						t.Fatalf("value %d = %x, want %x", idx, dst[i*size:(i+1)*size], tc.vals[idx])
+					}
+					idx++
+				}
+			}
+			if idx != n {
+				t.Fatalf("decoded %d values, want %d", idx, n)
+			}
+			// Random access cross-check where supported.
+			if r.RandomAccess() {
+				one := make([]byte, size)
+				idx = 0
+				for _, pg := range pages {
+					cnt := Count(pg)
+					for i := 0; i < cnt; i += 97 {
+						r.ValueAt(pg, i, one)
+						if !bytes.Equal(one, tc.vals[idx+i]) {
+							t.Fatalf("ValueAt(%d) = %x, want %x", idx+i, one, tc.vals[idx+i])
+						}
+					}
+					idx += cnt
+				}
+			}
+		})
+	}
+}
+
+func TestColCapacityMatchesPaperDensity(t *testing.T) {
+	// A 14-bit packed column in a 4KB page: (4096-4-4)*8/14 bits.
+	b, err := NewColBuilder(schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.BitPack, Bits: 14}, DefaultSize, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (4096 - 8) * 8 / 14
+	if got := b.Capacity(); got != want {
+		t.Errorf("capacity = %d, want %d", got, want)
+	}
+	// Raw int column: (4096-8)/4 = 1022 values.
+	b2, _ := NewColBuilder(schema.Attribute{Name: "A", Type: schema.IntType}, DefaultSize, nil)
+	if got := b2.Capacity(); got != 1022 {
+		t.Errorf("raw int capacity = %d, want 1022", got)
+	}
+}
+
+func TestColBuilderPanics(t *testing.T) {
+	b, err := NewColBuilder(schema.Attribute{Name: "A", Type: schema.IntType}, DefaultSize, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Add with wrong size did not panic")
+			}
+		}()
+		b.Add([]byte{1, 2})
+	}()
+	v := int32Val(0)
+	for !b.Full() {
+		b.Add(v)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Add on full builder did not panic")
+		}
+	}()
+	b.Add(v)
+}
+
+func TestColDecodeErrors(t *testing.T) {
+	attr := schema.Attribute{Name: "A", Type: schema.IntType}
+	r, err := NewColReader(attr, DefaultSize, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := make([]byte, DefaultSize)
+	SetCount(pg, 1<<20)
+	if _, err := r.Decode(pg, make([]byte, 1<<23)); err == nil {
+		t.Error("Decode accepted corrupt count")
+	}
+	SetCount(pg, 4)
+	if _, err := r.Decode(pg, make([]byte, 4)); err == nil {
+		t.Error("Decode accepted short destination")
+	}
+}
+
+func TestColFlushError(t *testing.T) {
+	attr := schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.BitPack, Bits: 3}
+	b, err := NewColBuilder(attr, DefaultSize, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Add(int32Val(100)) // exceeds 3-bit domain
+	if _, err := b.Flush(0); err == nil {
+		t.Error("Flush accepted out-of-domain value")
+	}
+}
+
+func TestColDeltaBaseStoredInTrailer(t *testing.T) {
+	attr := schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.FORDelta, Bits: 8}
+	vals := [][]byte{int32Val(777), int32Val(778), int32Val(780)}
+	pages, _ := buildColumnPages(t, attr, nil, vals)
+	r, _ := NewColReader(attr, DefaultSize, nil)
+	if len(pages) != 1 {
+		t.Fatalf("expected one page, got %d", len(pages))
+	}
+	if got := r.Geometry().Base(pages[0], 0); got != 777 {
+		t.Errorf("trailer base = %d, want 777", got)
+	}
+	if r.RandomAccess() {
+		t.Error("FOR-delta column reader must not claim random access")
+	}
+}

@@ -1,0 +1,111 @@
+// Package page implements the dense-packed page structure of the paper's
+// Figure 3. A page is a fixed-size byte array (4KB by default) holding an
+// array of entries — whole tuples for row data, single-attribute values
+// for column data. The entry count is stored at the beginning of the page
+// and page-specific information (the page ID plus compression metadata,
+// i.e. per-page base values for FOR/FOR-delta attributes) lives in a
+// fixed-size trailer at the end of the page. There are no slots and no
+// free lists: updates happen in bulk in a read-optimized system, so pages
+// are packed as densely as the entry width allows.
+//
+// The package also provides builders and readers that compose the framing
+// with the compress codecs: RowBuilder/RowReader move whole decoded tuples
+// in and out of row pages (compressed or not), and ColBuilder/ColReader do
+// the same for single-column value pages.
+package page
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// DefaultSize is the page size used throughout the paper's experiments.
+// For the sequential scans studied here the page size has no visible
+// performance effect, but it remains a system parameter.
+const DefaultSize = 4096
+
+// headerSize is the page header: a uint32 entry count.
+const headerSize = 4
+
+// Geometry fixes the layout of every page of one stored entity: the page
+// size, the fixed entry width in bits, and how many per-page base values
+// the trailer carries.
+type Geometry struct {
+	PageSize  int
+	EntryBits int
+	BaseSlots int
+}
+
+// Validate reports whether the geometry is usable (at least one entry must
+// fit on a page).
+func (g Geometry) Validate() error {
+	if g.PageSize <= 0 {
+		return fmt.Errorf("page: page size %d invalid", g.PageSize)
+	}
+	if g.EntryBits <= 0 {
+		return fmt.Errorf("page: entry width %d bits invalid", g.EntryBits)
+	}
+	if g.BaseSlots < 0 {
+		return fmt.Errorf("page: negative base slots")
+	}
+	if g.Capacity() < 1 {
+		return fmt.Errorf("page: no entry of %d bits fits a %d-byte page with %d base slots",
+			g.EntryBits, g.PageSize, g.BaseSlots)
+	}
+	return nil
+}
+
+// TrailerSize returns the trailer size in bytes: page ID plus base slots.
+func (g Geometry) TrailerSize() int { return 4 + 4*g.BaseSlots }
+
+// DataSize returns the size of the data region in bytes.
+func (g Geometry) DataSize() int { return g.PageSize - headerSize - g.TrailerSize() }
+
+// Capacity returns the maximum number of entries per page.
+func (g Geometry) Capacity() int { return g.DataSize() * 8 / g.EntryBits }
+
+// Data returns the entry region of p.
+func (g Geometry) Data(p []byte) []byte {
+	return p[headerSize : g.PageSize-g.TrailerSize()]
+}
+
+// Count returns the entry count stored in the page header.
+func Count(p []byte) int {
+	return int(binary.LittleEndian.Uint32(p[0:4]))
+}
+
+// SetCount stores the entry count in the page header.
+func SetCount(p []byte, n int) {
+	binary.LittleEndian.PutUint32(p[0:4], uint32(n))
+}
+
+// PageID returns the page ID from the trailer. Combined with an entry's
+// position in the page it forms the record ID.
+func (g Geometry) PageID(p []byte) uint32 {
+	off := g.PageSize - g.TrailerSize()
+	return binary.LittleEndian.Uint32(p[off : off+4])
+}
+
+// SetPageID stores the page ID in the trailer.
+func (g Geometry) SetPageID(p []byte, id uint32) {
+	off := g.PageSize - g.TrailerSize()
+	binary.LittleEndian.PutUint32(p[off:off+4], id)
+}
+
+// Base returns base value slot i from the trailer.
+func (g Geometry) Base(p []byte, i int) int32 {
+	if i < 0 || i >= g.BaseSlots {
+		panic(fmt.Sprintf("page: base slot %d out of range (%d slots)", i, g.BaseSlots))
+	}
+	off := g.PageSize - g.TrailerSize() + 4 + 4*i
+	return int32(binary.LittleEndian.Uint32(p[off : off+4]))
+}
+
+// SetBase stores base value slot i in the trailer.
+func (g Geometry) SetBase(p []byte, i int, v int32) {
+	if i < 0 || i >= g.BaseSlots {
+		panic(fmt.Sprintf("page: base slot %d out of range (%d slots)", i, g.BaseSlots))
+	}
+	off := g.PageSize - g.TrailerSize() + 4 + 4*i
+	binary.LittleEndian.PutUint32(p[off:off+4], uint32(v))
+}

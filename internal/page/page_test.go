@@ -1,0 +1,87 @@
+package page
+
+import (
+	"testing"
+)
+
+func TestGeometryValidate(t *testing.T) {
+	cases := []struct {
+		g  Geometry
+		ok bool
+	}{
+		{Geometry{PageSize: 4096, EntryBits: 152 * 8}, true},
+		{Geometry{PageSize: 4096, EntryBits: 1}, true},
+		{Geometry{PageSize: 0, EntryBits: 8}, false},
+		{Geometry{PageSize: 4096, EntryBits: 0}, false},
+		{Geometry{PageSize: 4096, EntryBits: 8, BaseSlots: -1}, false},
+		{Geometry{PageSize: 64, EntryBits: 8 * 200}, false}, // nothing fits
+	}
+	for _, c := range cases {
+		err := c.g.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%+v) = %v, want ok=%v", c.g, err, c.ok)
+		}
+	}
+}
+
+func TestGeometryCapacity(t *testing.T) {
+	// Uncompressed LINEITEM rows: 152-byte entries in 4096-byte pages with
+	// a 4-byte trailer: (4096-4-4)*8/1216 = 26 tuples.
+	g := Geometry{PageSize: 4096, EntryBits: 152 * 8}
+	if got := g.Capacity(); got != 26 {
+		t.Errorf("LINEITEM row capacity = %d, want 26", got)
+	}
+	// 14-bit column codes with a base slot.
+	g = Geometry{PageSize: 4096, EntryBits: 14, BaseSlots: 1}
+	want := (4096 - 4 - 8) * 8 / 14
+	if got := g.Capacity(); got != want {
+		t.Errorf("14-bit column capacity = %d, want %d", got, want)
+	}
+}
+
+func TestHeaderTrailerRoundTrip(t *testing.T) {
+	g := Geometry{PageSize: 4096, EntryBits: 32, BaseSlots: 2}
+	p := make([]byte, g.PageSize)
+	SetCount(p, 123)
+	g.SetPageID(p, 456789)
+	g.SetBase(p, 0, -42)
+	g.SetBase(p, 1, 1<<30)
+	if Count(p) != 123 {
+		t.Errorf("Count = %d", Count(p))
+	}
+	if g.PageID(p) != 456789 {
+		t.Errorf("PageID = %d", g.PageID(p))
+	}
+	if g.Base(p, 0) != -42 || g.Base(p, 1) != 1<<30 {
+		t.Errorf("Bases = %d,%d", g.Base(p, 0), g.Base(p, 1))
+	}
+	// Trailer writes must not clobber the data region boundary byte.
+	data := g.Data(p)
+	if len(data) != 4096-4-12 {
+		t.Errorf("data region = %d bytes, want %d", len(data), 4096-4-12)
+	}
+	for i, b := range data {
+		if b != 0 {
+			t.Fatalf("data byte %d disturbed: %x", i, b)
+		}
+	}
+}
+
+func TestBaseSlotBounds(t *testing.T) {
+	g := Geometry{PageSize: 4096, EntryBits: 8, BaseSlots: 1}
+	p := make([]byte, g.PageSize)
+	for _, f := range []func(){
+		func() { g.Base(p, 1) },
+		func() { g.Base(p, -1) },
+		func() { g.SetBase(p, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on out-of-range base slot")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,144 @@
+package page
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/compress"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+func TestPAXGeometryMatchesRow(t *testing.T) {
+	for _, s := range []*schema.Schema{schema.Orders(), schema.OrdersZ(), schema.Lineitem(), schema.LineitemZ()} {
+		pg := PAXGeometry(s, DefaultSize)
+		rg := RowGeometry(s, DefaultSize)
+		if pg != rg {
+			t.Errorf("%s: PAX geometry %+v differs from row geometry %+v", s.Name, pg, rg)
+		}
+	}
+}
+
+func paxRoundTrip(t *testing.T, s *schema.Schema, n int) {
+	t.Helper()
+	dicts := map[int]*compress.Dictionary{}
+	b, err := NewPAXBuilder(s, DefaultSize, dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewPAXReader(s, DefaultSize, dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuple := make([]byte, s.Width())
+	var want []byte
+	var pages [][]byte
+	for i := 0; i < n; i++ {
+		fillOrdersTuple(s, tuple, i)
+		want = append(want, tuple...)
+		b.Add(tuple)
+		if b.Full() {
+			pg, err := b.Flush(uint32(len(pages)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pages = append(pages, append([]byte(nil), pg...))
+		}
+	}
+	if b.Count() > 0 {
+		pg, err := b.Flush(uint32(len(pages)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, append([]byte(nil), pg...))
+	}
+	var got []byte
+	dst := make([]byte, r.Capacity()*s.Width())
+	for _, pg := range pages {
+		cnt, err := r.Decode(pg, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, dst[:cnt*s.Width()]...)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s: PAX round trip mismatch", s.Name)
+	}
+	// Per-attribute decode and random access agree with the full decode.
+	one := make([]byte, 16)
+	for _, pg := range pages {
+		cnt := Count(pg)
+		for a := range s.Attrs {
+			size := s.Attrs[a].Type.Size
+			colDst := make([]byte, cnt*size)
+			if _, err := r.DecodeAttr(pg, a, colDst, size); err != nil {
+				t.Fatal(err)
+			}
+			if r.RandomAccess(a) {
+				for i := 0; i < cnt; i += 7 {
+					r.ValueAt(pg, a, i, one[:size])
+					if !bytes.Equal(one[:size], colDst[i*size:(i+1)*size]) {
+						t.Fatalf("%s attr %d: ValueAt(%d) disagrees with DecodeAttr", s.Name, a, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPAXRoundTripUncompressed(t *testing.T) { paxRoundTrip(t, schema.Orders(), 1000) }
+func TestPAXRoundTripCompressed(t *testing.T)   { paxRoundTrip(t, schema.OrdersZ(), 1000) }
+
+func TestPAXMinipageBytes(t *testing.T) {
+	r, err := NewPAXReader(schema.Orders(), DefaultSize, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 int32 values occupy 400 bytes of minipage.
+	if got := r.MinipageBytes(schema.OOrderKey, 100); got != 400 {
+		t.Errorf("MinipageBytes = %d, want 400", got)
+	}
+}
+
+func TestPAXBuilderPanics(t *testing.T) {
+	b, err := NewPAXBuilder(schema.Orders(), DefaultSize, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Add with wrong width did not panic")
+			}
+		}()
+		b.Add(make([]byte, 5))
+	}()
+	tuple := make([]byte, 32)
+	for !b.Full() {
+		b.Add(tuple)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Add on full builder did not panic")
+		}
+	}()
+	b.Add(tuple)
+}
+
+func TestPAXDecodeErrors(t *testing.T) {
+	r, err := NewPAXReader(schema.Orders(), DefaultSize, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := make([]byte, DefaultSize)
+	SetCount(pg, 1<<20)
+	if _, err := r.Decode(pg, make([]byte, 1<<22)); err == nil {
+		t.Error("corrupt count accepted")
+	}
+	SetCount(pg, 10)
+	if _, err := r.Decode(pg, make([]byte, 8)); err == nil {
+		t.Error("short destination accepted")
+	}
+	if _, err := r.DecodeAttr(pg, 0, make([]byte, 2), 4); err == nil {
+		t.Error("short DecodeAttr destination accepted")
+	}
+}

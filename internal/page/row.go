@@ -1,0 +1,275 @@
+package page
+
+import (
+	"fmt"
+
+	"github.com/readoptdb/readopt/internal/bitio"
+	"github.com/readoptdb/readopt/internal/compress"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// RowGeometry returns the page geometry for row pages of the given schema:
+// uncompressed tuples occupy StoredWidth bytes each; compressed tuples
+// occupy CompressedWidth bytes each, with attributes bit-packed inside the
+// tuple and one trailer base slot per FOR/FOR-delta attribute.
+func RowGeometry(s *schema.Schema, pageSize int) Geometry {
+	g := Geometry{PageSize: pageSize}
+	if s.Compressed() {
+		g.EntryBits = 8 * s.CompressedWidth()
+		for _, a := range s.Attrs {
+			if a.Enc == schema.FOR || a.Enc == schema.FORDelta {
+				g.BaseSlots++
+			}
+		}
+	} else {
+		g.EntryBits = 8 * s.StoredWidth()
+	}
+	return g
+}
+
+// baseSlotMap returns, for each attribute, its trailer base-slot index, or
+// -1 when the attribute has no per-page base value.
+func baseSlotMap(s *schema.Schema) []int {
+	slots := make([]int, s.NumAttrs())
+	next := 0
+	for i, a := range s.Attrs {
+		if a.Enc == schema.FOR || a.Enc == schema.FORDelta {
+			slots[i] = next
+			next++
+		} else {
+			slots[i] = -1
+		}
+	}
+	return slots
+}
+
+// buildCodecs constructs one codec per attribute. dicts maps attribute
+// index to the dictionary for Dict-encoded attributes; the map may be nil
+// when the schema has no Dict attributes. Missing dictionaries are created
+// empty and inserted into dicts, so a loader can pass an empty map and
+// collect the dictionaries it built.
+func buildCodecs(s *schema.Schema, dicts map[int]*compress.Dictionary) ([]compress.Codec, error) {
+	codecs := make([]compress.Codec, s.NumAttrs())
+	for i, a := range s.Attrs {
+		var d *compress.Dictionary
+		if a.Enc == schema.Dict {
+			if dicts == nil {
+				return nil, fmt.Errorf("page: schema %s attribute %s needs dictionaries", s.Name, a.Name)
+			}
+			d = dicts[i]
+			if d == nil {
+				d = compress.NewDictionary(a.Type.Size)
+				dicts[i] = d
+			}
+		}
+		c, err := compress.New(a, d)
+		if err != nil {
+			return nil, err
+		}
+		codecs[i] = c
+	}
+	return codecs, nil
+}
+
+// RowBuilder accumulates decoded tuples and packs them into row pages.
+// The same builder handles compressed and uncompressed schemas; for
+// compressed schemas it encodes each attribute page-at-a-time (FOR needs
+// the page minimum, FOR-delta chains values) and scatters the fixed-width
+// codes into each tuple's bit slots.
+type RowBuilder struct {
+	sch     *schema.Schema
+	geo     Geometry
+	codecs  []compress.Codec
+	slots   []int
+	staged  []byte // capacity * decoded width
+	n       int
+	page    []byte
+	scratch []byte // contiguous codes for one attribute
+}
+
+// NewRowBuilder returns a builder for row pages of the given schema.
+func NewRowBuilder(s *schema.Schema, pageSize int, dicts map[int]*compress.Dictionary) (*RowBuilder, error) {
+	geo := RowGeometry(s, pageSize)
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	codecs, err := buildCodecs(s, dicts)
+	if err != nil {
+		return nil, err
+	}
+	b := &RowBuilder{
+		sch:    s,
+		geo:    geo,
+		codecs: codecs,
+		slots:  baseSlotMap(s),
+		staged: make([]byte, geo.Capacity()*s.Width()),
+		page:   make([]byte, pageSize),
+	}
+	if s.Compressed() {
+		maxBits := 0
+		for i := range s.Attrs {
+			if bits := geo.Capacity() * s.CodeBits(i); bits > maxBits {
+				maxBits = bits
+			}
+		}
+		b.scratch = make([]byte, bitio.SizeBytes(maxBits))
+	}
+	return b, nil
+}
+
+// Capacity returns the number of tuples per page.
+func (b *RowBuilder) Capacity() int { return b.geo.Capacity() }
+
+// Geometry returns the page geometry.
+func (b *RowBuilder) Geometry() Geometry { return b.geo }
+
+// Count returns the number of staged tuples.
+func (b *RowBuilder) Count() int { return b.n }
+
+// Full reports whether the page is at capacity and must be flushed.
+func (b *RowBuilder) Full() bool { return b.n == b.geo.Capacity() }
+
+// Add stages one decoded tuple (Schema.Width bytes). It panics when the
+// page is full; callers check Full after each Add.
+func (b *RowBuilder) Add(tuple []byte) {
+	if len(tuple) != b.sch.Width() {
+		panic(fmt.Sprintf("page: Add tuple of %d bytes, schema %s wants %d", len(tuple), b.sch.Name, b.sch.Width()))
+	}
+	if b.Full() {
+		panic("page: Add on full RowBuilder")
+	}
+	copy(b.staged[b.n*b.sch.Width():], tuple)
+	b.n++
+}
+
+// Flush encodes the staged tuples into a page with the given page ID and
+// returns the page bytes. The returned slice is reused by the next Flush;
+// callers persist it before staging more tuples. Flush on an empty builder
+// returns an empty page with count zero.
+func (b *RowBuilder) Flush(pageID uint32) ([]byte, error) {
+	for i := range b.page {
+		b.page[i] = 0
+	}
+	SetCount(b.page, b.n)
+	b.geo.SetPageID(b.page, pageID)
+	data := b.geo.Data(b.page)
+	width := b.sch.Width()
+
+	if !b.sch.Compressed() {
+		stride := b.sch.StoredWidth()
+		for i := 0; i < b.n; i++ {
+			copy(data[i*stride:], b.staged[i*width:(i+1)*width])
+		}
+		b.n = 0
+		return b.page, nil
+	}
+
+	tupleBits := b.geo.EntryBits
+	for a, codec := range b.codecs {
+		w := bitio.NewWriter(b.scratch)
+		base, err := codec.EncodePage(w, b.staged[b.sch.Offset(a):], width, b.n)
+		if err != nil {
+			return nil, fmt.Errorf("page: %s.%s: %w", b.sch.Name, b.sch.Attrs[a].Name, err)
+		}
+		if slot := b.slots[a]; slot >= 0 {
+			b.geo.SetBase(b.page, slot, base)
+		}
+		bits := b.sch.CodeBits(a)
+		off := b.sch.BitOffset(a)
+		for i := 0; i < b.n; i++ {
+			bitio.CopyBits(data, i*tupleBits+off, b.scratch, i*bits, bits)
+		}
+	}
+	b.n = 0
+	return b.page, nil
+}
+
+// RowReader decodes row pages back into flat decoded tuples.
+type RowReader struct {
+	sch     *schema.Schema
+	geo     Geometry
+	codecs  []compress.Codec
+	slots   []int
+	scratch []byte
+}
+
+// NewRowReader returns a reader for row pages of the given schema. For
+// compressed schemas, dicts must contain the dictionaries built at load
+// time for every Dict attribute.
+func NewRowReader(s *schema.Schema, pageSize int, dicts map[int]*compress.Dictionary) (*RowReader, error) {
+	geo := RowGeometry(s, pageSize)
+	if err := geo.Validate(); err != nil {
+		return nil, err
+	}
+	codecs, err := buildCodecs(s, dicts)
+	if err != nil {
+		return nil, err
+	}
+	r := &RowReader{sch: s, geo: geo, codecs: codecs, slots: baseSlotMap(s)}
+	if s.Compressed() {
+		maxBits := 0
+		for i := range s.Attrs {
+			if bits := geo.Capacity() * s.CodeBits(i); bits > maxBits {
+				maxBits = bits
+			}
+		}
+		r.scratch = make([]byte, bitio.SizeBytes(maxBits))
+	}
+	return r, nil
+}
+
+// Geometry returns the page geometry.
+func (r *RowReader) Geometry() Geometry { return r.geo }
+
+// Capacity returns the number of tuples per page.
+func (r *RowReader) Capacity() int { return r.geo.Capacity() }
+
+// Decode unpacks all tuples of a page into dst (at least
+// Count(page)*Schema.Width bytes) and returns the tuple count.
+func (r *RowReader) Decode(pg, dst []byte) (int, error) {
+	n := Count(pg)
+	if n < 0 || n > r.geo.Capacity() {
+		return 0, fmt.Errorf("page: corrupt row page: count %d exceeds capacity %d", n, r.geo.Capacity())
+	}
+	width := r.sch.Width()
+	if len(dst) < n*width {
+		return 0, fmt.Errorf("page: Decode destination too small: %d bytes for %d tuples", len(dst), n)
+	}
+	data := r.geo.Data(pg)
+
+	if !r.sch.Compressed() {
+		stride := r.sch.StoredWidth()
+		for i := 0; i < n; i++ {
+			copy(dst[i*width:], data[i*stride:i*stride+width])
+		}
+		return n, nil
+	}
+
+	tupleBits := r.geo.EntryBits
+	for a, codec := range r.codecs {
+		bits := r.sch.CodeBits(a)
+		off := r.sch.BitOffset(a)
+		for i := 0; i < n; i++ {
+			bitio.CopyBits(r.scratch, i*bits, data, i*tupleBits+off, bits)
+		}
+		var base int32
+		if slot := r.slots[a]; slot >= 0 {
+			base = r.geo.Base(pg, slot)
+		}
+		if err := codec.DecodePage(bitio.NewReader(r.scratch), dst[r.sch.Offset(a):], width, n, base); err != nil {
+			return 0, fmt.Errorf("page: %s.%s: %w", r.sch.Name, r.sch.Attrs[a].Name, err)
+		}
+	}
+	return n, nil
+}
+
+// UncompressedTupleAt returns tuple i of an uncompressed row page without
+// copying. The slice aliases the page. It panics on compressed schemas.
+func (r *RowReader) UncompressedTupleAt(pg []byte, i int) []byte {
+	if r.sch.Compressed() {
+		panic("page: UncompressedTupleAt on compressed schema")
+	}
+	stride := r.sch.StoredWidth()
+	data := r.geo.Data(pg)
+	return data[i*stride : i*stride+r.sch.Width()]
+}

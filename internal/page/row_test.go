@@ -1,0 +1,296 @@
+package page
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/compress"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// fillOrdersTuple writes a deterministic, codec-compatible ORDERS tuple:
+// orderkey increases by one per row (FOR-delta friendly), other attributes
+// cycle through small domains.
+func fillOrdersTuple(s *schema.Schema, tuple []byte, i int) {
+	s.PutInt32At(tuple, schema.OOrderDate, int32(9000+i%1000))
+	s.PutInt32At(tuple, schema.OOrderKey, int32(1000+i))
+	s.PutInt32At(tuple, schema.OCustKey, int32(i*7%100000))
+	status := []string{"F", "O", "P"}[i%3]
+	s.PutTextAt(tuple, schema.OOrderStatus, []byte(status))
+	prio := []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"}[i%5]
+	s.PutTextAt(tuple, schema.OOrderPriority, []byte(prio))
+	s.PutInt32At(tuple, schema.OTotalPrice, int32(100000+i*13))
+	s.PutInt32At(tuple, schema.OShipPriority, 0)
+}
+
+func roundTripRows(t *testing.T, s *schema.Schema, n int) {
+	t.Helper()
+	dicts := map[int]*compress.Dictionary{}
+	b, err := NewRowBuilder(s, DefaultSize, dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRowReader(s, DefaultSize, dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Capacity() != r.Capacity() {
+		t.Fatalf("builder capacity %d != reader capacity %d", b.Capacity(), r.Capacity())
+	}
+	tuple := make([]byte, s.Width())
+	var want []byte
+	var pages [][]byte
+	for i := 0; i < n; i++ {
+		fillOrdersTuple(s, tuple, i)
+		want = append(want, tuple...)
+		b.Add(tuple)
+		if b.Full() {
+			pg, err := b.Flush(uint32(len(pages)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pages = append(pages, append([]byte(nil), pg...))
+		}
+	}
+	if b.Count() > 0 {
+		pg, err := b.Flush(uint32(len(pages)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, append([]byte(nil), pg...))
+	}
+	var got []byte
+	dst := make([]byte, r.Capacity()*s.Width())
+	for id, pg := range pages {
+		if gotID := r.Geometry().PageID(pg); gotID != uint32(id) {
+			t.Errorf("page %d has ID %d", id, gotID)
+		}
+		cnt, err := r.Decode(pg, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, dst[:cnt*s.Width()]...)
+	}
+	if !bytes.Equal(got, want) {
+		for i := 0; i < n; i++ {
+			w := want[i*s.Width() : (i+1)*s.Width()]
+			g := got[i*s.Width() : (i+1)*s.Width()]
+			if !bytes.Equal(w, g) {
+				t.Fatalf("%s: tuple %d mismatch:\n got %x\nwant %x", s.Name, i, g, w)
+			}
+		}
+		t.Fatalf("%s: length mismatch: got %d want %d", s.Name, len(got), len(want))
+	}
+}
+
+func TestRowRoundTripUncompressed(t *testing.T) {
+	roundTripRows(t, schema.Orders(), 1000)
+}
+
+func TestRowRoundTripCompressed(t *testing.T) {
+	roundTripRows(t, schema.OrdersZ(), 1000)
+}
+
+func TestRowRoundTripCompressedFOR(t *testing.T) {
+	roundTripRows(t, schema.OrdersZFOR(), 1000)
+}
+
+func TestRowCapacitiesMatchPaperDensity(t *testing.T) {
+	// ORDERS-Z tuples are 12 bytes: a 4KB page with pageID + 1 base slot
+	// (FOR-delta on orderkey) holds (4096-4-8)/12 = 340 tuples.
+	b, err := NewRowBuilder(schema.OrdersZ(), DefaultSize, map[int]*compress.Dictionary{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Capacity(); got != 340 {
+		t.Errorf("ORDERS-Z row page capacity = %d, want 340", got)
+	}
+	// Uncompressed ORDERS: (4096-4-4)/32 = 127 tuples.
+	b2, err := NewRowBuilder(schema.Orders(), DefaultSize, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b2.Capacity(); got != 127 {
+		t.Errorf("ORDERS row page capacity = %d, want 127", got)
+	}
+}
+
+func TestRowBuilderPanics(t *testing.T) {
+	b, err := NewRowBuilder(schema.Orders(), DefaultSize, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Add with wrong width did not panic")
+			}
+		}()
+		b.Add(make([]byte, 5))
+	}()
+	tuple := make([]byte, 32)
+	for !b.Full() {
+		b.Add(tuple)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Add on full builder did not panic")
+			}
+		}()
+		b.Add(tuple)
+	}()
+}
+
+func TestRowFlushEmpty(t *testing.T) {
+	b, err := NewRowBuilder(schema.Orders(), DefaultSize, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg, err := b.Flush(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Count(pg) != 0 {
+		t.Errorf("empty flush count = %d", Count(pg))
+	}
+	if b.Geometry().PageID(pg) != 7 {
+		t.Errorf("empty flush page ID = %d", b.Geometry().PageID(pg))
+	}
+}
+
+func TestRowDecodeErrors(t *testing.T) {
+	r, err := NewRowReader(schema.Orders(), DefaultSize, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := make([]byte, DefaultSize)
+	SetCount(pg, 100000) // exceeds capacity
+	if _, err := r.Decode(pg, make([]byte, 1<<20)); err == nil {
+		t.Error("Decode accepted corrupt count")
+	}
+	SetCount(pg, 10)
+	if _, err := r.Decode(pg, make([]byte, 8)); err == nil {
+		t.Error("Decode accepted short destination")
+	}
+}
+
+func TestUncompressedTupleAt(t *testing.T) {
+	s := schema.Orders()
+	b, _ := NewRowBuilder(s, DefaultSize, nil)
+	r, _ := NewRowReader(s, DefaultSize, nil)
+	tuple := make([]byte, s.Width())
+	for i := 0; i < 10; i++ {
+		fillOrdersTuple(s, tuple, i)
+		b.Add(tuple)
+	}
+	pg, err := b.Flush(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		fillOrdersTuple(s, tuple, i)
+		if got := r.UncompressedTupleAt(pg, i); !bytes.Equal(got, tuple) {
+			t.Errorf("TupleAt(%d) = %x, want %x", i, got, tuple)
+		}
+	}
+	rz, _ := NewRowReader(schema.OrdersZ(), DefaultSize, map[int]*compress.Dictionary{})
+	defer func() {
+		if recover() == nil {
+			t.Error("UncompressedTupleAt on compressed schema did not panic")
+		}
+	}()
+	rz.UncompressedTupleAt(pg, 0)
+}
+
+func TestRowBuilderRequiresDictsForCompressed(t *testing.T) {
+	if _, err := NewRowBuilder(schema.OrdersZ(), DefaultSize, nil); err == nil {
+		t.Error("NewRowBuilder accepted compressed schema without dictionaries map")
+	}
+}
+
+func TestRowEncodeErrorSurfacing(t *testing.T) {
+	// A decreasing orderkey violates FOR-delta and must surface as an
+	// error naming the attribute.
+	s := schema.OrdersZ()
+	b, err := NewRowBuilder(s, DefaultSize, map[int]*compress.Dictionary{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuple := make([]byte, s.Width())
+	fillOrdersTuple(s, tuple, 0)
+	s.PutInt32At(tuple, schema.OOrderKey, 100)
+	b.Add(tuple)
+	s.PutInt32At(tuple, schema.OOrderKey, 50)
+	b.Add(tuple)
+	if _, err := b.Flush(0); err == nil {
+		t.Error("Flush accepted decreasing FOR-delta values")
+	} else if want := "O_ORDERKEY"; !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Errorf("error %q does not name attribute %s", err, want)
+	}
+}
+
+// TestLineitemZRoundTrip exercises the wide compressed schema including
+// the 28-byte packed text and dictionary attributes.
+func TestLineitemZRoundTrip(t *testing.T) {
+	s := schema.LineitemZ()
+	dicts := map[int]*compress.Dictionary{}
+	b, err := NewRowBuilder(s, DefaultSize, dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRowReader(s, DefaultSize, dicts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuple := make([]byte, s.Width())
+	var want []byte
+	n := b.Capacity()*2 + 3
+	var pages [][]byte
+	for i := 0; i < n; i++ {
+		s.PutInt32At(tuple, schema.LPartKey, int32(i*31))
+		s.PutInt32At(tuple, schema.LOrderKey, int32(5000+i/4))
+		s.PutInt32At(tuple, schema.LSuppKey, int32(i%997))
+		s.PutInt32At(tuple, schema.LLineNumber, int32(i%7+1))
+		s.PutInt32At(tuple, schema.LQuantity, int32(i%50+1))
+		s.PutInt32At(tuple, schema.LExtendedPrice, int32(i*101))
+		s.PutTextAt(tuple, schema.LReturnFlag, []byte{"ANR"[i%3]})
+		s.PutTextAt(tuple, schema.LLineStatus, []byte{"OF"[i%2]})
+		s.PutTextAt(tuple, schema.LShipInstruct, []byte([]string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}[i%4]))
+		s.PutTextAt(tuple, schema.LShipMode, []byte([]string{"AIR", "TRUCK", "MAIL", "SHIP", "RAIL", "REG AIR", "FOB"}[i%7]))
+		s.PutTextAt(tuple, schema.LComment, []byte(fmt.Sprintf("comment no %d", i%100)))
+		s.PutInt32At(tuple, schema.LDiscount, int32(i%11))
+		s.PutInt32At(tuple, schema.LTax, int32(i%9))
+		s.PutInt32At(tuple, schema.LShipDate, int32(8000+i%3000))
+		s.PutInt32At(tuple, schema.LCommitDate, int32(8000+i%3100))
+		s.PutInt32At(tuple, schema.LReceiptDate, int32(8000+i%3200))
+		want = append(want, tuple...)
+		b.Add(tuple)
+		if b.Full() {
+			pg, err := b.Flush(uint32(len(pages)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pages = append(pages, append([]byte(nil), pg...))
+		}
+	}
+	pg, err := b.Flush(uint32(len(pages)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages = append(pages, append([]byte(nil), pg...))
+
+	var got []byte
+	dst := make([]byte, r.Capacity()*s.Width())
+	for _, pg := range pages {
+		cnt, err := r.Decode(pg, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, dst[:cnt*s.Width()]...)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("LINEITEM-Z round trip mismatch")
+	}
+}

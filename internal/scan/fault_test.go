@@ -1,0 +1,195 @@
+package scan
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/aio"
+	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/page"
+	"github.com/readoptdb/readopt/internal/schema"
+	"github.com/readoptdb/readopt/internal/store"
+)
+
+// faultReader serves canned buffers, then a failure.
+type faultReader struct {
+	units [][]byte
+	err   error
+	pos   int
+}
+
+func (r *faultReader) Next() ([]byte, error) {
+	if r.pos < len(r.units) {
+		u := r.units[r.pos]
+		r.pos++
+		return u, nil
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return nil, io.EOF
+}
+
+func (r *faultReader) Close() error { return nil }
+
+var errDisk = errors.New("injected disk failure")
+
+// readUnits slurps a file's pages into fixed-size units for fault
+// injection.
+func readUnits(t *testing.T, path string, unitPages int) [][]byte {
+	t.Helper()
+	f := openOS(t, path)
+	defer f.Close()
+	var all []byte
+	for {
+		buf, err := f.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		all = append(all, buf...)
+	}
+	unit := unitPages * 4096
+	var units [][]byte
+	for off := 0; off < len(all); off += unit {
+		end := off + unit
+		if end > len(all) {
+			end = len(all)
+		}
+		units = append(units, append([]byte(nil), all[off:end]...))
+	}
+	return units
+}
+
+// TestRowScannerPropagatesIOFailure: an error from the I/O layer reaches
+// the query as an error, not a truncated result.
+func TestRowScannerPropagatesIOFailure(t *testing.T) {
+	tbls := loadBoth(t, schema.Orders())
+	units := readUnits(t, tbls.row.RowPath(), 4)
+	r, err := NewRowScanner(RowConfig{
+		Schema:   tbls.row.Schema,
+		PageSize: tbls.row.PageSize,
+		Reader:   &faultReader{units: units[:1], err: errDisk},
+		Proj:     []int{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Drain(r); !errors.Is(err, errDisk) {
+		t.Errorf("Drain error = %v, want injected failure", err)
+	}
+}
+
+// TestColumnScannerPropagatesIOFailure: a failure in one column's stream
+// surfaces.
+func TestColumnScannerPropagatesIOFailure(t *testing.T) {
+	tbls := loadBoth(t, schema.Orders())
+	goodUnits := readUnits(t, tbls.col.ColumnPath(0), 4)
+	badUnits := readUnits(t, tbls.col.ColumnPath(5), 4)
+	c, err := NewColScanner(ColConfig{
+		Schema:   tbls.col.Schema,
+		PageSize: tbls.col.PageSize,
+		Readers: map[int]aio.Reader{
+			0: &faultReader{units: goodUnits},
+			5: &faultReader{units: badUnits[:1], err: errDisk},
+		},
+		Proj: []int{0, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Drain(c); !errors.Is(err, errDisk) {
+		t.Errorf("Drain error = %v, want injected failure", err)
+	}
+}
+
+// TestScannersRejectRaggedUnits: an I/O unit that is not a whole number
+// of pages indicates corruption and must error.
+func TestScannersRejectRaggedUnits(t *testing.T) {
+	tbls := loadBoth(t, schema.Orders())
+	ragged := &faultReader{units: [][]byte{make([]byte, 4096+13)}}
+	r, err := NewRowScanner(RowConfig{
+		Schema:   tbls.row.Schema,
+		PageSize: tbls.row.PageSize,
+		Reader:   ragged,
+		Proj:     []int{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Drain(r); err == nil || !strings.Contains(err.Error(), "whole pages") {
+		t.Errorf("Drain error = %v, want whole-pages complaint", err)
+	}
+}
+
+// TestRowScannerRejectsCorruptCount: a page whose tuple count exceeds the
+// geometry's capacity must error rather than overread.
+func TestRowScannerRejectsCorruptCount(t *testing.T) {
+	tbls := loadBoth(t, schema.OrdersZ())
+	units := readUnits(t, tbls.row.RowPath(), 1)
+	corrupt := append([]byte(nil), units[0]...)
+	page.SetCount(corrupt[:4096], 1<<20)
+	r, err := NewRowScanner(RowConfig{
+		Schema:   tbls.row.Schema,
+		PageSize: tbls.row.PageSize,
+		Reader:   &faultReader{units: [][]byte{corrupt}},
+		Dicts:    tbls.row.Dicts,
+		Proj:     []int{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = exec.Drain(r)
+	if err == nil {
+		t.Error("corrupt page count accepted")
+	}
+}
+
+// TestColumnCursorRejectsShortColumn: a column file that ends before its
+// siblings is detected as inconsistent.
+func TestColumnCursorRejectsShortColumn(t *testing.T) {
+	tbls := loadBoth(t, schema.Orders())
+	full := readUnits(t, tbls.col.ColumnPath(0), 64)
+	short := readUnits(t, tbls.col.ColumnPath(5), 1)
+	c, err := NewColScanner(ColConfig{
+		Schema:   tbls.col.Schema,
+		PageSize: tbls.col.PageSize,
+		Readers: map[int]aio.Reader{
+			0: &faultReader{units: full},
+			5: &faultReader{units: short[:1]}, // only the first unit
+		},
+		Proj: []int{0, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Drain(c); err == nil || !strings.Contains(err.Error(), "ended before row") {
+		t.Errorf("Drain error = %v, want short-column complaint", err)
+	}
+}
+
+// TestPAXScannerPropagatesIOFailure mirrors the row scanner check for the
+// PAX variant.
+func TestPAXScannerPropagatesIOFailure(t *testing.T) {
+	tbl, err := store.LoadSynthetic(t.TempDir()+"/pax", schema.Orders(), store.PAX, 4096, testSeed, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := readUnits(t, tbl.PAXPath(), 2)
+	s, err := NewPAXScanner(RowConfig{
+		Schema:   tbl.Schema,
+		PageSize: tbl.PageSize,
+		Reader:   &faultReader{units: units[:1], err: errDisk},
+		Proj:     []int{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Drain(s); !errors.Is(err, errDisk) {
+		t.Errorf("Drain error = %v, want injected failure", err)
+	}
+}

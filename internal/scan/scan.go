@@ -1,0 +1,216 @@
+// Package scan implements the paper's table scanners (Section 2.2.2):
+// the row scanner, which reads a single file of row pages, and two column
+// scanners — the pipelined scanner built from per-column scan nodes
+// exchanging {position, value} blocks, and the single-iterator variant
+// (the PAX/MonetDB-style optimization the paper describes in Section 4.2)
+// that fetches pages from all scanned columns and iterates over entire
+// rows using memory offsets.
+//
+// All scanners are exec.Operators and produce identical output blocks for
+// identical queries, so they are interchangeable inside the query engine;
+// their difference is purely how they touch storage. Scanners apply
+// SARGable predicates, perform projection, and account every unit of work
+// to a cpumodel.Counters: instructions, sequential and random memory
+// traffic, and I/O requests. The accounting is what the experiment
+// harness converts into the paper's time breakdowns.
+package scan
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/readoptdb/readopt/internal/aio"
+	"github.com/readoptdb/readopt/internal/bitio"
+	"github.com/readoptdb/readopt/internal/compress"
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/page"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// splitPreds validates predicates against the schema and groups them by
+// attribute.
+func splitPreds(s *schema.Schema, preds []exec.Predicate) (map[int][]exec.Predicate, error) {
+	byAttr := make(map[int][]exec.Predicate)
+	for i := range preds {
+		p := preds[i]
+		if err := p.Validate(s); err != nil {
+			return nil, err
+		}
+		byAttr[p.Attr] = append(byAttr[p.Attr], p)
+	}
+	return byAttr, nil
+}
+
+// projectSchema validates a projection and derives the output schema,
+// stripping encodings (scanners emit decoded tuples).
+func projectSchema(s *schema.Schema, proj []int) (*schema.Schema, error) {
+	if len(proj) == 0 {
+		return nil, fmt.Errorf("scan: empty projection")
+	}
+	p, err := s.Project(proj)
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]schema.Attribute, p.NumAttrs())
+	for i, a := range p.Attrs {
+		attrs[i] = schema.Attribute{Name: a.Name, Type: a.Type}
+	}
+	return schema.New(p.Name, attrs)
+}
+
+// colCursor walks one column's pages through an aio.Reader, tracking the
+// global row range the current page covers and charging memory traffic
+// with the touched-line cap: a page a node only probes sparsely costs one
+// cache line per touched value, never more than the page itself.
+type colCursor struct {
+	attr     schema.Attribute
+	attrIdx  int
+	cr       *page.ColReader
+	reader   aio.Reader
+	pageSize int
+	counters *cpumodel.Counters
+	costs    cpumodel.Costs
+	lineB    int
+
+	unit     []byte
+	unitOff  int
+	pg       []byte
+	pgStart  int64 // global row index of the page's first value
+	pgCount  int
+	consumed int // values consumed by a driving (deepest) node
+	eof      bool
+
+	decoded      []byte // whole-page decode scratch (sequential codecs)
+	decodedValid bool
+	touched      int64 // values touched in the current page
+	fullCharge   bool  // page already charged as fully streamed
+}
+
+func newColCursor(s *schema.Schema, attrIdx, pageSize int, dict *compress.Dictionary,
+	reader aio.Reader, counters *cpumodel.Counters, costs cpumodel.Costs, lineBytes int) (*colCursor, error) {
+	a := s.Attrs[attrIdx]
+	cr, err := page.NewColReader(a, pageSize, dict)
+	if err != nil {
+		return nil, err
+	}
+	return &colCursor{
+		attr: a, attrIdx: attrIdx, cr: cr, reader: reader,
+		pageSize: pageSize, counters: counters, costs: costs, lineB: lineBytes,
+		pgStart: 0, pgCount: 0,
+		decoded: make([]byte, cr.Capacity()*a.Type.Size),
+	}, nil
+}
+
+// occupiedBytes returns the data bytes the current page actually uses.
+func (c *colCursor) occupiedBytes() int64 {
+	return int64(bitio.SizeBytes(c.pgCount * c.attr.CodeBits()))
+}
+
+// chargePage settles the memory accounting for the page being left.
+func (c *colCursor) chargePage() {
+	if c.pgCount == 0 {
+		return
+	}
+	if c.fullCharge {
+		c.counters.AddSeq(c.occupiedBytes())
+	} else if c.touched > 0 {
+		bytes := c.touched * int64(c.lineB)
+		if occ := c.occupiedBytes(); bytes > occ {
+			bytes = occ
+		}
+		c.counters.AddSeq(bytes)
+	}
+	c.touched = 0
+	c.fullCharge = false
+}
+
+// nextPage advances to the following page, returning io.EOF past the last
+// one.
+func (c *colCursor) nextPage() error {
+	if c.eof {
+		return io.EOF
+	}
+	c.chargePage()
+	if c.unitOff >= len(c.unit) {
+		buf, err := c.reader.Next()
+		if err == io.EOF {
+			c.eof = true
+			return io.EOF
+		}
+		if err != nil {
+			return err
+		}
+		if len(buf)%c.pageSize != 0 {
+			return fmt.Errorf("scan: column %s: I/O unit of %d bytes is not whole pages", c.attr.Name, len(buf))
+		}
+		c.counters.AddIO(int64(len(buf)))
+		c.unit = buf
+		c.unitOff = 0
+	}
+	c.pgStart += int64(c.pgCount)
+	c.pg = c.unit[c.unitOff : c.unitOff+c.pageSize]
+	c.unitOff += c.pageSize
+	c.pgCount = page.Count(c.pg)
+	if c.pgCount < 0 || c.pgCount > c.cr.Capacity() {
+		return fmt.Errorf("scan: corrupt column page in %s: count %d exceeds capacity %d",
+			c.attr.Name, c.pgCount, c.cr.Capacity())
+	}
+	c.decodedValid = false
+	c.counters.AddInstr(c.costs.PageOverhead)
+	return nil
+}
+
+// advanceTo positions the cursor on the page containing global row pos.
+func (c *colCursor) advanceTo(pos int64) error {
+	for c.pgStart+int64(c.pgCount) <= pos {
+		if err := c.nextPage(); err != nil {
+			if err == io.EOF {
+				return fmt.Errorf("scan: column %s ended before row %d", c.attr.Name, pos)
+			}
+			return err
+		}
+	}
+	if pos < c.pgStart {
+		return fmt.Errorf("scan: column %s cannot seek backwards to row %d", c.attr.Name, pos)
+	}
+	return nil
+}
+
+// ensureDecoded decodes the whole current page into the scratch buffer
+// (required for FOR-delta, optional for others) and charges for it.
+func (c *colCursor) ensureDecoded() error {
+	if c.decodedValid {
+		return nil
+	}
+	if _, err := c.cr.Decode(c.pg, c.decoded); err != nil {
+		return err
+	}
+	c.decodedValid = true
+	c.fullCharge = true
+	c.counters.AddInstr(int64(c.pgCount) * c.costs.DecodeCost(c.attr.Enc))
+	return nil
+}
+
+// value writes the value at global row pos into dst (attr size bytes).
+// The cursor must already be positioned on pos's page.
+func (c *colCursor) value(pos int64, dst []byte) error {
+	i := int(pos - c.pgStart)
+	size := c.attr.Type.Size
+	if !c.cr.RandomAccess() {
+		if err := c.ensureDecoded(); err != nil {
+			return err
+		}
+		copy(dst[:size], c.decoded[i*size:])
+		return nil
+	}
+	c.cr.ValueAt(c.pg, i, dst[:size])
+	c.counters.AddInstr(c.costs.DecodeCost(c.attr.Enc))
+	c.touched++
+	return nil
+}
+
+// close settles pending charges.
+func (c *colCursor) close() {
+	c.chargePage()
+}

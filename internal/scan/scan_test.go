@@ -1,0 +1,391 @@
+package scan
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/aio"
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/schema"
+	"github.com/readoptdb/readopt/internal/store"
+	"github.com/readoptdb/readopt/internal/tpch"
+)
+
+const (
+	testN    = 20000
+	testSeed = 42
+	unitSize = 64 << 10
+	depth    = 4
+)
+
+// tables caches loaded test tables per schema/layout.
+type tables struct {
+	row *store.Table
+	col *store.Table
+}
+
+func loadBoth(t *testing.T, sch *schema.Schema) tables {
+	t.Helper()
+	dir := t.TempDir()
+	row, err := store.LoadSynthetic(filepath.Join(dir, "row"), sch, store.Row, 4096, testSeed, testN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := store.LoadSynthetic(filepath.Join(dir, "col"), sch, store.Column, 4096, testSeed, testN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tables{row: row, col: col}
+}
+
+// openOS opens a file through the prefetching OS reader, closing the file
+// when the reader closes.
+type fileReader struct {
+	*aio.OSReader
+	f *os.File
+}
+
+func (r *fileReader) Close() error {
+	err := r.OSReader.Close()
+	if cerr := r.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func openOS(t *testing.T, path string) aio.Reader {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := aio.NewOSReader(f, unitSize, depth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fileReader{OSReader: r, f: f}
+}
+
+func newRow(t *testing.T, tbl *store.Table, preds []exec.Predicate, proj []int, counters *cpumodel.Counters) *RowScanner {
+	t.Helper()
+	s, err := NewRowScanner(RowConfig{
+		Schema:   tbl.Schema,
+		PageSize: tbl.PageSize,
+		Reader:   openOS(t, tbl.RowPath()),
+		Dicts:    tbl.Dicts,
+		Preds:    preds,
+		Proj:     proj,
+		Counters: counters,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func colConfig(t *testing.T, tbl *store.Table, preds []exec.Predicate, proj []int, counters *cpumodel.Counters) ColConfig {
+	t.Helper()
+	need := map[int]bool{}
+	for _, p := range preds {
+		need[p.Attr] = true
+	}
+	for _, a := range proj {
+		need[a] = true
+	}
+	readers := map[int]aio.Reader{}
+	for a := range need {
+		readers[a] = openOS(t, tbl.ColumnPath(a))
+	}
+	return ColConfig{
+		Schema:   tbl.Schema,
+		PageSize: tbl.PageSize,
+		Readers:  readers,
+		Dicts:    tbl.Dicts,
+		Preds:    preds,
+		Proj:     proj,
+		Counters: counters,
+	}
+}
+
+// reference computes the expected scan output straight from the
+// generator.
+func reference(t *testing.T, sch *schema.Schema, preds []exec.Predicate, proj []int) []byte {
+	t.Helper()
+	gen, err := tpch.ForSchema(sch, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := projectSchema(sch, proj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range preds {
+		if err := preds[i].Validate(sch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tuple := make([]byte, sch.Width())
+	var res []byte
+	outTuple := make([]byte, out.Width())
+	for i := 0; i < testN; i++ {
+		gen.Next(tuple)
+		ok := true
+		for k := range preds {
+			if !preds[k].Eval(sch, tuple) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for k, a := range proj {
+			off := sch.Offset(a)
+			copy(outTuple[out.Offset(k):], tuple[off:off+sch.Attrs[a].Type.Size])
+		}
+		res = append(res, outTuple...)
+	}
+	return res
+}
+
+// scenario describes one differential test case.
+type scenario struct {
+	name  string
+	sch   *schema.Schema
+	preds func(*schema.Schema) []exec.Predicate
+	proj  []int
+}
+
+func selPred(sch *schema.Schema, sel float64) []exec.Predicate {
+	th, err := tpch.Threshold(sch, sel)
+	if err != nil {
+		panic(err)
+	}
+	return []exec.Predicate{exec.IntPred(0, exec.Lt, th)}
+}
+
+func scenarios() []scenario {
+	return []scenario{
+		{"orders/10pct/2cols", schema.Orders(),
+			func(s *schema.Schema) []exec.Predicate { return selPred(s, 0.10) },
+			[]int{schema.OOrderDate, schema.OTotalPrice}},
+		{"orders/100pct/all", schema.Orders(),
+			func(s *schema.Schema) []exec.Predicate { return nil },
+			[]int{0, 1, 2, 3, 4, 5, 6}},
+		{"orders/0.1pct/1col", schema.Orders(),
+			func(s *schema.Schema) []exec.Predicate { return selPred(s, 0.001) },
+			[]int{schema.OOrderDate}},
+		{"orders/textpred", schema.Orders(),
+			func(s *schema.Schema) []exec.Predicate {
+				return append(selPred(s, 0.5), exec.TextPred(schema.OOrderStatus, exec.Eq, "F"))
+			},
+			[]int{schema.OOrderKey, schema.OOrderStatus, schema.OOrderPriority}},
+		{"ordersZ/10pct/mixed", schema.OrdersZ(),
+			func(s *schema.Schema) []exec.Predicate { return selPred(s, 0.10) },
+			[]int{schema.OOrderDate, schema.OOrderKey, schema.OOrderPriority, schema.OTotalPrice}},
+		{"ordersZ/deltaproj", schema.OrdersZ(),
+			func(s *schema.Schema) []exec.Predicate { return selPred(s, 0.05) },
+			[]int{schema.OOrderKey}},
+		{"ordersZFOR/10pct", schema.OrdersZFOR(),
+			func(s *schema.Schema) []exec.Predicate { return selPred(s, 0.10) },
+			[]int{schema.OOrderDate, schema.OOrderKey}},
+		{"lineitemZ/strings", schema.LineitemZ(),
+			func(s *schema.Schema) []exec.Predicate { return selPred(s, 0.10) },
+			[]int{schema.LPartKey, schema.LShipInstruct, schema.LShipMode, schema.LComment, schema.LShipDate}},
+		{"lineitem/wide", schema.Lineitem(),
+			func(s *schema.Schema) []exec.Predicate { return selPred(s, 0.02) },
+			[]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}},
+		{"ordersZ/predondict", schema.OrdersZ(),
+			func(s *schema.Schema) []exec.Predicate {
+				return []exec.Predicate{exec.TextPred(schema.OOrderPriority, exec.Eq, "2-HIGH")}
+			},
+			[]int{schema.OOrderDate, schema.OOrderPriority}},
+	}
+}
+
+// TestScannersAgreeWithReference is the central differential test: for
+// every scenario, the row scanner, the pipelined column scanner and the
+// single-iterator column scanner must all produce exactly the reference
+// result.
+func TestScannersAgreeWithReference(t *testing.T) {
+	for _, sc := range scenarios() {
+		t.Run(sc.name, func(t *testing.T) {
+			tbls := loadBoth(t, sc.sch)
+			preds := sc.preds(sc.sch)
+			want := reference(t, sc.sch, preds, sc.proj)
+
+			row := newRow(t, tbls.row, preds, sc.proj, nil)
+			gotRow, err := exec.Collect(row)
+			if err != nil {
+				t.Fatalf("row scan: %v", err)
+			}
+			if !bytes.Equal(gotRow, want) {
+				t.Fatalf("row scan output differs from reference (%d vs %d bytes)", len(gotRow), len(want))
+			}
+
+			col, err := NewColScanner(colConfig(t, tbls.col, preds, sc.proj, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotCol, err := exec.Collect(col)
+			if err != nil {
+				t.Fatalf("column scan: %v", err)
+			}
+			if !bytes.Equal(gotCol, want) {
+				t.Fatalf("column scan output differs from reference (%d vs %d bytes)", len(gotCol), len(want))
+			}
+
+			single, err := NewSingleIterScanner(colConfig(t, tbls.col, preds, sc.proj, nil))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gotSingle, err := exec.Collect(single)
+			if err != nil {
+				t.Fatalf("single-iterator scan: %v", err)
+			}
+			if !bytes.Equal(gotSingle, want) {
+				t.Fatalf("single-iterator output differs from reference (%d vs %d bytes)", len(gotSingle), len(want))
+			}
+		})
+	}
+}
+
+// TestColumnIOBytesAreSelective: the column scanner reads only the files
+// of the selected columns; the row scanner reads the whole table.
+func TestColumnIOBytesAreSelective(t *testing.T) {
+	tbls := loadBoth(t, schema.Orders())
+	preds := selPred(schema.Orders(), 0.10)
+	proj := []int{schema.OOrderDate, schema.OTotalPrice}
+
+	var rowC, colC cpumodel.Counters
+	row := newRow(t, tbls.row, preds, proj, &rowC)
+	if _, err := exec.Drain(row); err != nil {
+		t.Fatal(err)
+	}
+	col, err := NewColScanner(colConfig(t, tbls.col, preds, proj, &colC))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Drain(col); err != nil {
+		t.Fatal(err)
+	}
+	if rowC.IOBytes < testN*32 {
+		t.Errorf("row scan read %d bytes, want at least %d", rowC.IOBytes, testN*32)
+	}
+	// Column scan reads 2 of 7 columns (8 of 32 bytes per tuple).
+	if colC.IOBytes >= rowC.IOBytes/3 {
+		t.Errorf("column scan read %d bytes vs row %d; expected about a quarter", colC.IOBytes, rowC.IOBytes)
+	}
+	if colC.IOBytes < testN*8 {
+		t.Errorf("column scan read %d bytes, want at least %d", colC.IOBytes, testN*8)
+	}
+}
+
+// TestSelectivityReducesColumnCPU: at 0.1% selectivity the inner scan
+// nodes process a thousandth of the values, so the column scanner's
+// instruction count collapses compared with 100% selectivity.
+func TestSelectivityReducesColumnCPU(t *testing.T) {
+	tbls := loadBoth(t, schema.Orders())
+	proj := []int{schema.OOrderDate, schema.OCustKey, schema.OTotalPrice}
+	run := func(sel float64) int64 {
+		var c cpumodel.Counters
+		col, err := NewColScanner(colConfig(t, tbls.col, selPred(schema.Orders(), sel), proj, &c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := exec.Drain(col); err != nil {
+			t.Fatal(err)
+		}
+		return c.Instr
+	}
+	low, high := run(0.001), run(1.0)
+	if low*2 > high {
+		t.Errorf("0.1%% selectivity used %d instr, 100%% used %d; expected a large gap", low, high)
+	}
+}
+
+// TestRowScannerInsensitiveToProjectivity: the row scanner's I/O does not
+// depend on how many attributes are selected.
+func TestRowScannerInsensitiveToProjectivity(t *testing.T) {
+	tbls := loadBoth(t, schema.Orders())
+	run := func(proj []int) int64 {
+		var c cpumodel.Counters
+		row := newRow(t, tbls.row, selPred(schema.Orders(), 0.10), proj, &c)
+		if _, err := exec.Drain(row); err != nil {
+			t.Fatal(err)
+		}
+		return c.IOBytes
+	}
+	one := run([]int{0})
+	all := run([]int{0, 1, 2, 3, 4, 5, 6})
+	if one != all {
+		t.Errorf("row scan I/O changed with projectivity: %d vs %d", one, all)
+	}
+}
+
+func TestScannerValidation(t *testing.T) {
+	tbls := loadBoth(t, schema.Orders())
+	// Missing reader for a selected column.
+	cfg := colConfig(t, tbls.col, nil, []int{0, 1}, nil)
+	delete(cfg.Readers, 1)
+	if _, err := NewColScanner(cfg); err == nil {
+		t.Error("missing column reader accepted")
+	}
+	// Empty projection.
+	if _, err := NewRowScanner(RowConfig{Schema: tbls.row.Schema, Reader: openOS(t, tbls.row.RowPath())}); err == nil {
+		t.Error("empty projection accepted")
+	}
+	// Invalid predicate.
+	if _, err := NewRowScanner(RowConfig{
+		Schema: tbls.row.Schema,
+		Reader: openOS(t, tbls.row.RowPath()),
+		Preds:  []exec.Predicate{exec.IntPred(99, exec.Lt, 0)},
+		Proj:   []int{0},
+	}); err == nil {
+		t.Error("invalid predicate accepted")
+	}
+	// Nil reader.
+	if _, err := NewRowScanner(RowConfig{Schema: tbls.row.Schema, Proj: []int{0}}); err == nil {
+		t.Error("nil reader accepted")
+	}
+}
+
+// TestScannerUnderAggregation wires a scanner under the query engine's
+// aggregation, the shape of every experiment query.
+func TestScannerUnderAggregation(t *testing.T) {
+	tbls := loadBoth(t, schema.Orders())
+	preds := selPred(schema.Orders(), 0.10)
+	proj := []int{schema.OOrderDate, schema.OTotalPrice}
+
+	row := newRow(t, tbls.row, preds, proj, nil)
+	aggR, err := exec.NewHashAggregate(row, nil, []exec.AggSpec{{Func: exec.Count}, {Func: exec.Sum, Attr: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotR, err := exec.Collect(aggR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col, err := NewColScanner(colConfig(t, tbls.col, preds, proj, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggC, err := exec.NewHashAggregate(col, nil, []exec.AggSpec{{Func: exec.Count}, {Func: exec.Sum, Attr: 1}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotC, err := exec.Collect(aggC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotR, gotC) {
+		t.Error("aggregation over row and column scans disagrees")
+	}
+	out := aggR.Schema()
+	if cnt := out.Int32At(gotR, 0); cnt < testN/20 || cnt > testN/5 {
+		t.Errorf("qualifying count %d implausible for 10%% selectivity of %d", cnt, testN)
+	}
+}

@@ -1,0 +1,150 @@
+package scan
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// SingleIterScanner is the non-pipelined column scanner the paper
+// describes as an optimization in Section 4.2 (the PAX / MonetDB
+// architecture): it fetches the current disk pages of all scanned columns
+// and then iterates over entire rows, using memory offsets to access all
+// attributes of the same row, similarly to a row store. There are no
+// per-column scan nodes and no position lists, so the per-value pipeline
+// overhead disappears; the cost is that all columns advance in lockstep.
+type SingleIterScanner struct {
+	cfg   ColConfig
+	out   *schema.Schema
+	nodes []*scanNode
+
+	block  *exec.Block
+	row    int64
+	opened bool
+	eof    bool
+	valBuf []byte
+}
+
+// NewSingleIterScanner builds a single-iterator column scanner from the
+// same configuration as the pipelined one.
+func NewSingleIterScanner(cfg ColConfig) (*SingleIterScanner, error) {
+	cfg.fill()
+	preds, err := splitPreds(cfg.Schema, cfg.Preds)
+	if err != nil {
+		return nil, err
+	}
+	out, err := projectSchema(cfg.Schema, cfg.Proj)
+	if err != nil {
+		return nil, err
+	}
+	nodes, err := buildNodes(&cfg, out, preds)
+	if err != nil {
+		return nil, err
+	}
+	maxSize := 0
+	for _, n := range nodes {
+		if n.size > maxSize {
+			maxSize = n.size
+		}
+	}
+	return &SingleIterScanner{
+		cfg:    cfg,
+		out:    out,
+		nodes:  nodes,
+		block:  exec.NewBlock(out, cfg.BlockTuples),
+		valBuf: make([]byte, maxSize),
+	}, nil
+}
+
+// Schema implements exec.Operator.
+func (s *SingleIterScanner) Schema() *schema.Schema { return s.out }
+
+// Open implements exec.Operator.
+func (s *SingleIterScanner) Open() error {
+	s.opened = true
+	if s.row < s.cfg.StartRow {
+		s.row = s.cfg.StartRow
+	}
+	return nil
+}
+
+// Close implements exec.Operator.
+func (s *SingleIterScanner) Close() error {
+	var first error
+	for _, n := range s.nodes {
+		n.cur.close()
+		if err := n.cur.reader.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.opened = false
+	return first
+}
+
+// Next implements exec.Operator.
+func (s *SingleIterScanner) Next() (*exec.Block, error) {
+	if !s.opened {
+		return nil, fmt.Errorf("scan: Next before Open")
+	}
+	if s.eof {
+		return nil, nil
+	}
+	s.block.Reset()
+	lead := s.nodes[0].cur
+	for !s.block.Full() {
+		if s.cfg.EndRow > 0 && s.row >= s.cfg.EndRow {
+			s.eof = true
+			break
+		}
+		// Advance the leading column; its end is the table's end.
+		if s.row >= lead.pgStart+int64(lead.pgCount) {
+			if err := lead.nextPage(); err == io.EOF {
+				s.eof = true
+				break
+			} else if err != nil {
+				return nil, err
+			}
+			lead.fullCharge = true // the row loop touches every value
+			continue
+		}
+		s.cfg.Counters.AddInstr(s.cfg.Costs.TupleLoop)
+		qualify := true
+		var dst []byte
+		for _, n := range s.nodes {
+			if n.cur != lead {
+				if err := n.cur.advanceTo(s.row); err != nil {
+					return nil, err
+				}
+			}
+			if err := n.cur.value(s.row, s.valBuf[:n.size]); err != nil {
+				return nil, err
+			}
+			if len(n.preds) > 0 && !n.evalNodePreds(s.valBuf[:n.size], s.cfg.Counters, s.cfg.Costs) {
+				// Predicate nodes come first in the pipeline order, so the
+				// remaining work for this row short-circuits away.
+				qualify = false
+				break
+			}
+			if n.outOff >= 0 {
+				if dst == nil {
+					dst = s.block.Alloc()
+				}
+				copy(dst[n.outOff:n.outOff+n.size], s.valBuf[:n.size])
+				s.cfg.Counters.AddInstr(int64(n.size) * s.cfg.Costs.CopyPerByte)
+			}
+		}
+		if dst != nil && !qualify {
+			// A later predicate rejected the row after projection began
+			// (the rejecting attribute is also projected).
+			s.block.Truncate(s.block.Len() - 1)
+		}
+		s.row++
+	}
+	s.cfg.Counters.AddInstr(s.cfg.Costs.BlockOverhead)
+	if s.block.Len() == 0 && s.eof {
+		return nil, nil
+	}
+	return s.block, nil
+}

@@ -1,0 +1,371 @@
+// Package schema defines the fixed-length relational type system used by
+// the read-optimized storage engine: attribute types, per-attribute
+// compression specifications chosen at physical-design time, and table
+// schemas with precomputed byte offsets.
+//
+// The engine follows the paper's simplification of using fixed-length
+// attributes only (Section 2.2.1): every attribute is either a four-byte
+// little-endian signed integer or a fixed-width text field. A decoded tuple
+// is therefore a flat byte string of Schema.Width() bytes, and an attribute
+// is addressed by its precomputed offset. Compressed representations use
+// fixed-length bit codes per attribute, so compressed tuples (row stores)
+// and compressed column pages remain directly addressable.
+package schema
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+)
+
+// Kind enumerates the supported attribute kinds.
+type Kind uint8
+
+const (
+	// Int32 is a four-byte little-endian signed integer. The paper stores
+	// all TPC-H decimal and date types as four-byte integers.
+	Int32 Kind = iota
+	// Text is a fixed-width byte string, space-padded on the right.
+	Text
+)
+
+// String returns the kind name ("int32" or "text").
+func (k Kind) String() string {
+	switch k {
+	case Int32:
+		return "int32"
+	case Text:
+		return "text"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Type is a fixed-length attribute type: a kind plus its on-disk size in
+// bytes when stored uncompressed.
+type Type struct {
+	Kind Kind
+	Size int // bytes when uncompressed
+}
+
+// IntType is the four-byte integer type used for all numeric and date
+// attributes.
+var IntType = Type{Kind: Int32, Size: 4}
+
+// TextType returns a fixed-width text type of n bytes.
+func TextType(n int) Type {
+	return Type{Kind: Text, Size: n}
+}
+
+// Validate reports whether the type is well formed.
+func (t Type) Validate() error {
+	switch t.Kind {
+	case Int32:
+		if t.Size != 4 {
+			return fmt.Errorf("schema: int32 type must have size 4, got %d", t.Size)
+		}
+	case Text:
+		if t.Size <= 0 {
+			return fmt.Errorf("schema: text type must have positive size, got %d", t.Size)
+		}
+	default:
+		return fmt.Errorf("schema: unknown kind %d", t.Kind)
+	}
+	return nil
+}
+
+func (t Type) String() string {
+	if t.Kind == Int32 {
+		return "int32"
+	}
+	return fmt.Sprintf("text(%d)", t.Size)
+}
+
+// Encoding identifies the per-attribute lightweight compression scheme.
+// All schemes produce fixed-length codes (Section 2.2.1) so that both row
+// and column representations keep constant-width entries.
+type Encoding uint8
+
+const (
+	// None stores the attribute verbatim (8*Size bits).
+	None Encoding = iota
+	// BitPack (null suppression) stores each value in just enough bits to
+	// represent the maximum value in the domain.
+	BitPack
+	// Dict stores an index into a per-column dictionary of distinct
+	// values; the index is bit-packed.
+	Dict
+	// FOR (frame of reference) stores the difference of each value from a
+	// per-page base value.
+	FOR
+	// FORDelta stores the difference of each value from the previous
+	// value in the page; the page's first value is the base.
+	FORDelta
+)
+
+// String returns the encoding name used in schema listings ("pack",
+// "dict", "for", "delta", or "raw").
+func (e Encoding) String() string {
+	switch e {
+	case None:
+		return "raw"
+	case BitPack:
+		return "pack"
+	case Dict:
+		return "dict"
+	case FOR:
+		return "for"
+	case FORDelta:
+		return "delta"
+	default:
+		return fmt.Sprintf("Encoding(%d)", uint8(e))
+	}
+}
+
+// Attribute describes one column of a table: its name, type, and the
+// compression specification chosen during physical design.
+type Attribute struct {
+	Name string
+	Type Type
+
+	// Enc is the compression scheme applied to this attribute. None means
+	// the attribute is stored verbatim.
+	Enc Encoding
+	// Bits is the fixed code width in bits produced by Enc. It is ignored
+	// (and normalized to 8*Type.Size) when Enc == None.
+	Bits int
+}
+
+// CodeBits returns the fixed width in bits of this attribute's stored
+// representation: Bits when compressed, 8*Type.Size otherwise.
+func (a Attribute) CodeBits() int {
+	if a.Enc == None {
+		return 8 * a.Type.Size
+	}
+	return a.Bits
+}
+
+// Compressed reports whether the attribute uses a non-trivial encoding.
+func (a Attribute) Compressed() bool { return a.Enc != None }
+
+// Validate reports whether the attribute specification is well formed.
+func (a Attribute) Validate() error {
+	if a.Name == "" {
+		return fmt.Errorf("schema: attribute with empty name")
+	}
+	if err := a.Type.Validate(); err != nil {
+		return fmt.Errorf("schema: attribute %s: %w", a.Name, err)
+	}
+	switch a.Enc {
+	case None:
+	case BitPack, Dict:
+		if a.Bits <= 0 || a.Bits > 8*a.Type.Size {
+			return fmt.Errorf("schema: attribute %s: %s code width %d out of range (1..%d)",
+				a.Name, a.Enc, a.Bits, 8*a.Type.Size)
+		}
+	case FOR, FORDelta:
+		if a.Type.Kind != Int32 {
+			return fmt.Errorf("schema: attribute %s: %s applies to integer attributes only", a.Name, a.Enc)
+		}
+		if a.Bits <= 0 || a.Bits > 32 {
+			return fmt.Errorf("schema: attribute %s: %s code width %d out of range (1..32)",
+				a.Name, a.Enc, a.Bits)
+		}
+	default:
+		return fmt.Errorf("schema: attribute %s: unknown encoding %d", a.Name, a.Enc)
+	}
+	return nil
+}
+
+// Schema describes a table: an ordered list of attributes with precomputed
+// offsets into the flat decoded-tuple representation.
+type Schema struct {
+	Name  string
+	Attrs []Attribute
+
+	offsets     []int
+	width       int
+	storedWidth int
+	codeBits    []int
+	bitOffsets  []int
+	totalBits   int
+}
+
+// rowAlign is the alignment of row-store tuples on disk. The paper pads
+// the 150-byte LINEITEM tuple to 152 bytes; rounding the decoded width up
+// to a multiple of 8 reproduces both its tuple sizes (152 and 32).
+const rowAlign = 8
+
+// New builds a schema from a table name and attribute list, validating the
+// specification and precomputing offsets.
+func New(name string, attrs []Attribute) (*Schema, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: empty table name")
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("schema: table %s has no attributes", name)
+	}
+	s := &Schema{Name: name, Attrs: attrs}
+	s.offsets = make([]int, len(attrs))
+	s.codeBits = make([]int, len(attrs))
+	s.bitOffsets = make([]int, len(attrs))
+	seen := make(map[string]bool, len(attrs))
+	for i, a := range attrs {
+		if err := a.Validate(); err != nil {
+			return nil, err
+		}
+		if seen[a.Name] {
+			return nil, fmt.Errorf("schema: table %s: duplicate attribute %s", name, a.Name)
+		}
+		seen[a.Name] = true
+		s.offsets[i] = s.width
+		s.width += a.Type.Size
+		s.bitOffsets[i] = s.totalBits
+		s.codeBits[i] = a.CodeBits()
+		s.totalBits += s.codeBits[i]
+	}
+	s.storedWidth = (s.width + rowAlign - 1) / rowAlign * rowAlign
+	return s, nil
+}
+
+// MustNew is New but panics on error; intended for static schema literals.
+func MustNew(name string, attrs []Attribute) *Schema {
+	s, err := New(name, attrs)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NumAttrs returns the number of attributes.
+func (s *Schema) NumAttrs() int { return len(s.Attrs) }
+
+// Width returns the decoded tuple width in bytes (the sum of attribute
+// sizes; LINEITEM: 150, ORDERS: 32).
+func (s *Schema) Width() int { return s.width }
+
+// StoredWidth returns the on-disk row-store tuple width in bytes,
+// including alignment padding (LINEITEM: 152, ORDERS: 32).
+func (s *Schema) StoredWidth() int { return s.storedWidth }
+
+// Offset returns the byte offset of attribute i inside a decoded tuple.
+func (s *Schema) Offset(i int) int { return s.offsets[i] }
+
+// CodeBits returns the stored width in bits of attribute i.
+func (s *Schema) CodeBits(i int) int { return s.codeBits[i] }
+
+// BitOffset returns the bit offset of attribute i inside a compressed
+// row-store tuple.
+func (s *Schema) BitOffset(i int) int { return s.bitOffsets[i] }
+
+// TotalBits returns the compressed row-store tuple width in bits.
+func (s *Schema) TotalBits() int { return s.totalBits }
+
+// CompressedWidth returns the compressed row-store tuple width in bytes,
+// rounded up to two-byte alignment (LINEITEM-Z: 52, ORDERS-Z: 12).
+func (s *Schema) CompressedWidth() int {
+	bytes := (s.totalBits + 7) / 8
+	return (bytes + 1) / 2 * 2
+}
+
+// Compressed reports whether any attribute uses a non-trivial encoding.
+func (s *Schema) Compressed() bool {
+	for _, a := range s.Attrs {
+		if a.Compressed() {
+			return true
+		}
+	}
+	return false
+}
+
+// AttrIndex returns the index of the attribute with the given name, or -1.
+func (s *Schema) AttrIndex(name string) int {
+	for i, a := range s.Attrs {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// SelectedBytes returns the total decoded width in bytes of the given
+// projection (attribute indexes). It is the quantity on the x-axis of the
+// paper's per-figure plots ("selected bytes per tuple").
+func (s *Schema) SelectedBytes(proj []int) int {
+	total := 0
+	for _, i := range proj {
+		total += s.Attrs[i].Type.Size
+	}
+	return total
+}
+
+// SelectedCodeBits returns the total stored width in bits of the given
+// projection under the schema's encodings.
+func (s *Schema) SelectedCodeBits(proj []int) int {
+	total := 0
+	for _, i := range proj {
+		total += s.codeBits[i]
+	}
+	return total
+}
+
+// Project returns a derived schema containing only the attributes named by
+// proj, in order. Offsets are recomputed for the narrower tuple. The
+// result's name is the base name with a "/π" suffix listing the columns.
+func (s *Schema) Project(proj []int) (*Schema, error) {
+	attrs := make([]Attribute, len(proj))
+	names := make([]string, len(proj))
+	for k, i := range proj {
+		if i < 0 || i >= len(s.Attrs) {
+			return nil, fmt.Errorf("schema: projection index %d out of range for %s", i, s.Name)
+		}
+		attrs[k] = s.Attrs[i]
+		names[k] = s.Attrs[i].Name
+	}
+	return New(s.Name+"/π("+strings.Join(names, ",")+")", attrs)
+}
+
+// Int32At decodes the integer attribute i from the decoded tuple bytes.
+func (s *Schema) Int32At(tuple []byte, i int) int32 {
+	off := s.offsets[i]
+	return int32(binary.LittleEndian.Uint32(tuple[off : off+4]))
+}
+
+// PutInt32At stores v as attribute i into the decoded tuple bytes.
+func (s *Schema) PutInt32At(tuple []byte, i int, v int32) {
+	off := s.offsets[i]
+	binary.LittleEndian.PutUint32(tuple[off:off+4], uint32(v))
+}
+
+// TextAt returns the raw fixed-width text attribute i from the decoded
+// tuple bytes (including right padding).
+func (s *Schema) TextAt(tuple []byte, i int) []byte {
+	off := s.offsets[i]
+	return tuple[off : off+s.Attrs[i].Type.Size]
+}
+
+// PutTextAt stores v as attribute i, right-padding with spaces and
+// truncating to the attribute width.
+func (s *Schema) PutTextAt(tuple []byte, i int, v []byte) {
+	off := s.offsets[i]
+	n := s.Attrs[i].Type.Size
+	dst := tuple[off : off+n]
+	copied := copy(dst, v)
+	for j := copied; j < n; j++ {
+		dst[j] = ' '
+	}
+}
+
+// String renders the schema in the style of the paper's Figure 5.
+func (s *Schema) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%d bytes)\n", s.Name, s.width)
+	for i, a := range s.Attrs {
+		if a.Compressed() {
+			fmt.Fprintf(&b, "%2dZ %-18s %s, %d bits\n", i+1, a.Name, a.Enc, a.Bits)
+		} else {
+			fmt.Fprintf(&b, "%2d  %-18s %s\n", i+1, a.Name, a.Type)
+		}
+	}
+	return b.String()
+}

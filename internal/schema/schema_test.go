@@ -1,0 +1,293 @@
+package schema
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTypeValidate(t *testing.T) {
+	cases := []struct {
+		typ Type
+		ok  bool
+	}{
+		{IntType, true},
+		{Type{Kind: Int32, Size: 8}, false},
+		{TextType(1), true},
+		{TextType(69), true},
+		{TextType(0), false},
+		{TextType(-3), false},
+		{Type{Kind: Kind(9), Size: 4}, false},
+	}
+	for _, c := range cases {
+		err := c.typ.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("Validate(%v) = %v, want ok=%v", c.typ, err, c.ok)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Int32.String() != "int32" || Text.String() != "text" {
+		t.Errorf("unexpected kind names: %q %q", Int32, Text)
+	}
+	if !strings.Contains(Kind(7).String(), "7") {
+		t.Errorf("unknown kind should include numeric value, got %q", Kind(7))
+	}
+}
+
+func TestEncodingString(t *testing.T) {
+	want := map[Encoding]string{None: "raw", BitPack: "pack", Dict: "dict", FOR: "for", FORDelta: "delta"}
+	for e, s := range want {
+		if e.String() != s {
+			t.Errorf("Encoding(%d).String() = %q, want %q", e, e.String(), s)
+		}
+	}
+}
+
+func TestAttributeValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		a    Attribute
+		ok   bool
+	}{
+		{"plain int", Attribute{Name: "A", Type: IntType}, true},
+		{"empty name", Attribute{Type: IntType}, false},
+		{"pack in range", Attribute{Name: "A", Type: IntType, Enc: BitPack, Bits: 14}, true},
+		{"pack zero bits", Attribute{Name: "A", Type: IntType, Enc: BitPack, Bits: 0}, false},
+		{"pack too wide", Attribute{Name: "A", Type: IntType, Enc: BitPack, Bits: 33}, false},
+		{"pack text", Attribute{Name: "A", Type: TextType(28), Enc: BitPack, Bits: 224}, true},
+		{"dict text", Attribute{Name: "A", Type: TextType(25), Enc: Dict, Bits: 2}, true},
+		{"for int", Attribute{Name: "A", Type: IntType, Enc: FOR, Bits: 16}, true},
+		{"for text", Attribute{Name: "A", Type: TextType(4), Enc: FOR, Bits: 16}, false},
+		{"delta int", Attribute{Name: "A", Type: IntType, Enc: FORDelta, Bits: 8}, true},
+		{"delta too wide", Attribute{Name: "A", Type: IntType, Enc: FORDelta, Bits: 40}, false},
+		{"bad encoding", Attribute{Name: "A", Type: IntType, Enc: Encoding(99), Bits: 8}, false},
+	}
+	for _, c := range cases {
+		err := c.a.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestNewRejectsBadSchemas(t *testing.T) {
+	if _, err := New("", []Attribute{{Name: "A", Type: IntType}}); err == nil {
+		t.Error("empty table name accepted")
+	}
+	if _, err := New("T", nil); err == nil {
+		t.Error("empty attribute list accepted")
+	}
+	if _, err := New("T", []Attribute{{Name: "A", Type: IntType}, {Name: "A", Type: IntType}}); err == nil {
+		t.Error("duplicate attribute name accepted")
+	}
+	if _, err := New("T", []Attribute{{Name: "A", Type: TextType(0)}}); err == nil {
+		t.Error("invalid attribute accepted")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic on invalid schema")
+		}
+	}()
+	MustNew("", nil)
+}
+
+// TestPaperWidths pins the exact tuple sizes reported in the paper's
+// Section 3.1 and Figure 5.
+func TestPaperWidths(t *testing.T) {
+	cases := []struct {
+		s           *Schema
+		width       int
+		storedWidth int
+		nattrs      int
+	}{
+		{Lineitem(), 150, 152, 16},
+		{Orders(), 32, 32, 7},
+	}
+	for _, c := range cases {
+		if got := c.s.Width(); got != c.width {
+			t.Errorf("%s Width() = %d, want %d", c.s.Name, got, c.width)
+		}
+		if got := c.s.StoredWidth(); got != c.storedWidth {
+			t.Errorf("%s StoredWidth() = %d, want %d", c.s.Name, got, c.storedWidth)
+		}
+		if got := c.s.NumAttrs(); got != c.nattrs {
+			t.Errorf("%s NumAttrs() = %d, want %d", c.s.Name, got, c.nattrs)
+		}
+	}
+}
+
+// TestPaperCompressedWidths pins the compressed tuple sizes of Figure 5:
+// LINEITEM-Z at 52 bytes and ORDERS-Z at 12 bytes.
+func TestPaperCompressedWidths(t *testing.T) {
+	if got := LineitemZ().CompressedWidth(); got != 52 {
+		t.Errorf("LINEITEM-Z CompressedWidth() = %d, want 52", got)
+	}
+	if got := OrdersZ().CompressedWidth(); got != 12 {
+		t.Errorf("ORDERS-Z CompressedWidth() = %d, want 12", got)
+	}
+	if !LineitemZ().Compressed() || !OrdersZ().Compressed() {
+		t.Error("compressed schemas should report Compressed() == true")
+	}
+	if Lineitem().Compressed() || Orders().Compressed() {
+		t.Error("uncompressed schemas should report Compressed() == false")
+	}
+}
+
+func TestOffsetsAreContiguous(t *testing.T) {
+	for _, s := range []*Schema{Lineitem(), Orders(), LineitemZ(), OrdersZ()} {
+		off := 0
+		bits := 0
+		for i, a := range s.Attrs {
+			if got := s.Offset(i); got != off {
+				t.Errorf("%s attr %d Offset = %d, want %d", s.Name, i, got, off)
+			}
+			if got := s.BitOffset(i); got != bits {
+				t.Errorf("%s attr %d BitOffset = %d, want %d", s.Name, i, got, bits)
+			}
+			off += a.Type.Size
+			bits += a.CodeBits()
+		}
+		if s.TotalBits() != bits {
+			t.Errorf("%s TotalBits() = %d, want %d", s.Name, s.TotalBits(), bits)
+		}
+	}
+}
+
+func TestSelectedBytesMatchesFigure6Spacing(t *testing.T) {
+	// The paper's Figure 6 x-axis: selecting the first 8 LINEITEM
+	// attributes reads 26 bytes per row; 9 attributes reads 51 bytes.
+	li := Lineitem()
+	proj8 := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	if got := li.SelectedBytes(proj8); got != 26 {
+		t.Errorf("SelectedBytes(first 8) = %d, want 26", got)
+	}
+	proj9 := append(proj8, 8)
+	if got := li.SelectedBytes(proj9); got != 51 {
+		t.Errorf("SelectedBytes(first 9) = %d, want 51", got)
+	}
+	all := make([]int, li.NumAttrs())
+	for i := range all {
+		all[i] = i
+	}
+	if got := li.SelectedBytes(all); got != 150 {
+		t.Errorf("SelectedBytes(all) = %d, want 150", got)
+	}
+}
+
+func TestSelectedCodeBits(t *testing.T) {
+	oz := OrdersZ()
+	if got := oz.SelectedCodeBits([]int{OOrderDate}); got != 14 {
+		t.Errorf("SelectedCodeBits(O_ORDERDATE) = %d, want 14", got)
+	}
+	all := []int{0, 1, 2, 3, 4, 5, 6}
+	if got := oz.SelectedCodeBits(all); got != oz.TotalBits() {
+		t.Errorf("SelectedCodeBits(all) = %d, want %d", got, oz.TotalBits())
+	}
+}
+
+func TestProject(t *testing.T) {
+	o := Orders()
+	p, err := o.Project([]int{OOrderKey, OTotalPrice})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumAttrs() != 2 || p.Width() != 8 {
+		t.Errorf("projected schema = %d attrs, %d bytes; want 2 attrs, 8 bytes", p.NumAttrs(), p.Width())
+	}
+	if p.Attrs[0].Name != "O_ORDERKEY" || p.Attrs[1].Name != "O_TOTALPRICE" {
+		t.Errorf("projected attribute order wrong: %v", p.Attrs)
+	}
+	if _, err := o.Project([]int{99}); err == nil {
+		t.Error("out-of-range projection accepted")
+	}
+}
+
+func TestAttrIndex(t *testing.T) {
+	o := Orders()
+	if got := o.AttrIndex("O_CUSTKEY"); got != OCustKey {
+		t.Errorf("AttrIndex(O_CUSTKEY) = %d, want %d", got, OCustKey)
+	}
+	if got := o.AttrIndex("NOPE"); got != -1 {
+		t.Errorf("AttrIndex(NOPE) = %d, want -1", got)
+	}
+}
+
+func TestTupleAccessors(t *testing.T) {
+	o := Orders()
+	tuple := make([]byte, o.Width())
+	o.PutInt32At(tuple, OOrderKey, -123456)
+	o.PutInt32At(tuple, OTotalPrice, 789)
+	o.PutTextAt(tuple, OOrderStatus, []byte("F"))
+	o.PutTextAt(tuple, OOrderPriority, []byte("1-URGENT"))
+	if got := o.Int32At(tuple, OOrderKey); got != -123456 {
+		t.Errorf("Int32At(orderkey) = %d, want -123456", got)
+	}
+	if got := o.Int32At(tuple, OTotalPrice); got != 789 {
+		t.Errorf("Int32At(totalprice) = %d, want 789", got)
+	}
+	if got := o.TextAt(tuple, OOrderStatus); !bytes.Equal(got, []byte("F")) {
+		t.Errorf("TextAt(status) = %q, want \"F\"", got)
+	}
+	if got := o.TextAt(tuple, OOrderPriority); !bytes.Equal(got, []byte("1-URGENT   ")) {
+		t.Errorf("TextAt(priority) = %q, want padded \"1-URGENT   \"", got)
+	}
+	// Truncation of over-long text.
+	o.PutTextAt(tuple, OOrderStatus, []byte("FULL"))
+	if got := o.TextAt(tuple, OOrderStatus); !bytes.Equal(got, []byte("F")) {
+		t.Errorf("TextAt after over-long put = %q, want \"F\"", got)
+	}
+}
+
+// Property: Int32At(PutInt32At(v)) == v for any v and any integer slot.
+func TestInt32RoundTripProperty(t *testing.T) {
+	li := Lineitem()
+	tuple := make([]byte, li.Width())
+	f := func(v int32) bool {
+		for _, i := range []int{LPartKey, LOrderKey, LDiscount, LReceiptDate} {
+			li.PutInt32At(tuple, i, v)
+			if li.Int32At(tuple, i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	s := OrdersZ().String()
+	for _, want := range []string{"ORDERS-Z (32 bytes)", "O_ORDERKEY", "delta, 8 bits", "dict, 3 bits"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q in:\n%s", want, s)
+		}
+	}
+	u := Orders().String()
+	if !strings.Contains(u, "text(11)") {
+		t.Errorf("String() missing text type in:\n%s", u)
+	}
+}
+
+func TestOrdersZFORVariant(t *testing.T) {
+	f := OrdersZFOR()
+	if f.Attrs[OOrderKey].Enc != FOR || f.Attrs[OOrderKey].Bits != 16 {
+		t.Errorf("OrdersZFOR orderkey = %v/%d, want for/16", f.Attrs[OOrderKey].Enc, f.Attrs[OOrderKey].Bits)
+	}
+	// All other attributes identical to OrdersZ.
+	z := OrdersZ()
+	for i := range z.Attrs {
+		if i == OOrderKey {
+			continue
+		}
+		if f.Attrs[i] != z.Attrs[i] {
+			t.Errorf("attr %d differs between OrdersZ and OrdersZFOR: %v vs %v", i, z.Attrs[i], f.Attrs[i])
+		}
+	}
+}

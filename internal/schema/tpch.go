@@ -1,0 +1,127 @@
+package schema
+
+// This file defines the four table schemas of the paper's Figure 5:
+// LINEITEM (150 bytes, 16 attributes), ORDERS (32 bytes, 7 attributes),
+// and their compressed variants LINEITEM-Z (52 bytes) and ORDERS-Z
+// (12 bytes). The tables derive from the TPC-H benchmark specification with
+// the paper's modifications: all decimal types stored as four-byte
+// integers, L_COMMENT fixed at 69 bytes to bring LINEITEM to 150 bytes,
+// and ORDERS reduced to 7 attributes totalling 32 bytes.
+
+// LineitemAttr indexes into the LINEITEM attribute list, matching the
+// numbering of the paper's Figure 5 (zero-based here).
+const (
+	LPartKey = iota
+	LOrderKey
+	LSuppKey
+	LLineNumber
+	LQuantity
+	LExtendedPrice
+	LReturnFlag
+	LLineStatus
+	LShipInstruct
+	LShipMode
+	LComment
+	LDiscount
+	LTax
+	LShipDate
+	LCommitDate
+	LReceiptDate
+)
+
+// OrdersAttr indexes into the ORDERS attribute list (zero-based).
+const (
+	OOrderDate = iota
+	OOrderKey
+	OCustKey
+	OOrderStatus
+	OOrderPriority
+	OTotalPrice
+	OShipPriority
+)
+
+// Lineitem returns the uncompressed LINEITEM schema (150 bytes decoded,
+// 152 bytes stored per row-store tuple).
+func Lineitem() *Schema {
+	return MustNew("LINEITEM", []Attribute{
+		{Name: "L_PARTKEY", Type: IntType},
+		{Name: "L_ORDERKEY", Type: IntType},
+		{Name: "L_SUPPKEY", Type: IntType},
+		{Name: "L_LINENUMBER", Type: IntType},
+		{Name: "L_QUANTITY", Type: IntType},
+		{Name: "L_EXTENDEDPRICE", Type: IntType},
+		{Name: "L_RETURNFLAG", Type: TextType(1)},
+		{Name: "L_LINESTATUS", Type: TextType(1)},
+		{Name: "L_SHIPINSTRUCT", Type: TextType(25)},
+		{Name: "L_SHIPMODE", Type: TextType(10)},
+		{Name: "L_COMMENT", Type: TextType(69)},
+		{Name: "L_DISCOUNT", Type: IntType},
+		{Name: "L_TAX", Type: IntType},
+		{Name: "L_SHIPDATE", Type: IntType},
+		{Name: "L_COMMITDATE", Type: IntType},
+		{Name: "L_RECEIPTDATE", Type: IntType},
+	})
+}
+
+// LineitemZ returns the compressed LINEITEM-Z schema with the paper's
+// Figure 5 per-attribute encodings (52 bytes per compressed row tuple).
+func LineitemZ() *Schema {
+	return MustNew("LINEITEM-Z", []Attribute{
+		{Name: "L_PARTKEY", Type: IntType},                                  // 1  non-compressed
+		{Name: "L_ORDERKEY", Type: IntType, Enc: FORDelta, Bits: 8},         // 2Z delta, 8 bits
+		{Name: "L_SUPPKEY", Type: IntType},                                  // 3  non-compressed
+		{Name: "L_LINENUMBER", Type: IntType, Enc: BitPack, Bits: 3},        // 4Z pack, 3 bits
+		{Name: "L_QUANTITY", Type: IntType, Enc: BitPack, Bits: 6},          // 5Z pack, 6 bits
+		{Name: "L_EXTENDEDPRICE", Type: IntType},                            // 6  non-compressed
+		{Name: "L_RETURNFLAG", Type: TextType(1), Enc: Dict, Bits: 2},       // 7Z dict, 2 bits
+		{Name: "L_LINESTATUS", Type: TextType(1)},                           // 8  non-compressed
+		{Name: "L_SHIPINSTRUCT", Type: TextType(25), Enc: Dict, Bits: 2},    // 9Z dict, 2 bits
+		{Name: "L_SHIPMODE", Type: TextType(10), Enc: Dict, Bits: 3},        // 10Z dict, 3 bits
+		{Name: "L_COMMENT", Type: TextType(69), Enc: BitPack, Bits: 28 * 8}, // 11Z pack, 28 bytes
+		{Name: "L_DISCOUNT", Type: IntType, Enc: Dict, Bits: 4},             // 12Z dict, 4 bits
+		{Name: "L_TAX", Type: IntType, Enc: Dict, Bits: 4},                  // 13Z dict, 4 bits
+		{Name: "L_SHIPDATE", Type: IntType, Enc: BitPack, Bits: 16},         // 14Z pack, 2 bytes
+		{Name: "L_COMMITDATE", Type: IntType, Enc: BitPack, Bits: 16},       // 15Z pack, 2 bytes
+		{Name: "L_RECEIPTDATE", Type: IntType, Enc: BitPack, Bits: 16},      // 16Z pack, 2 bytes
+	})
+}
+
+// Orders returns the uncompressed ORDERS schema (32 bytes decoded and
+// stored).
+func Orders() *Schema {
+	return MustNew("ORDERS", []Attribute{
+		{Name: "O_ORDERDATE", Type: IntType},
+		{Name: "O_ORDERKEY", Type: IntType},
+		{Name: "O_CUSTKEY", Type: IntType},
+		{Name: "O_ORDERSTATUS", Type: TextType(1)},
+		{Name: "O_ORDERPRIORITY", Type: TextType(11)},
+		{Name: "O_TOTALPRICE", Type: IntType},
+		{Name: "O_SHIPPRIORITY", Type: IntType},
+	})
+}
+
+// OrdersZ returns the compressed ORDERS-Z schema with the paper's
+// Figure 5 per-attribute encodings (12 bytes per compressed row tuple).
+func OrdersZ() *Schema {
+	return MustNew("ORDERS-Z", []Attribute{
+		{Name: "O_ORDERDATE", Type: IntType, Enc: BitPack, Bits: 14},      // 1Z pack, 14 bits
+		{Name: "O_ORDERKEY", Type: IntType, Enc: FORDelta, Bits: 8},       // 2Z delta, 8 bits
+		{Name: "O_CUSTKEY", Type: IntType},                                // 3  non-compressed
+		{Name: "O_ORDERSTATUS", Type: TextType(1), Enc: Dict, Bits: 2},    // 4Z dict, 2 bits
+		{Name: "O_ORDERPRIORITY", Type: TextType(11), Enc: Dict, Bits: 3}, // 5Z dict, 3 bits
+		{Name: "O_TOTALPRICE", Type: IntType},                             // 6  non-compressed
+		{Name: "O_SHIPPRIORITY", Type: IntType, Enc: BitPack, Bits: 1},    // 7Z pack, 1 bit
+	})
+}
+
+// OrdersZFOR returns the ORDERS-Z variant used in the paper's Figure 9
+// comparison, where attribute 2 (O_ORDERKEY) uses plain FOR at 16 bits
+// instead of FOR-delta at 8 bits: more space, less computation.
+func OrdersZFOR() *Schema {
+	s := OrdersZ()
+	attrs := make([]Attribute, len(s.Attrs))
+	copy(attrs, s.Attrs)
+	attrs[OOrderKey].Enc = FOR
+	attrs[OOrderKey].Bits = 16
+	return MustNew("ORDERS-Z/FOR", attrs)
+}

@@ -1,0 +1,156 @@
+// Package share implements scan sharing, the optimization the paper's
+// Section 2.1.1 describes in Teradata, RedBrick, SQL Server and the QPipe
+// prototype: when multiple concurrent queries scan the same table, a
+// single scanner reads the table once and delivers the data to every
+// query off one reading stream. The paper leaves it out of its
+// measurements because it is orthogonal to data placement; it is provided
+// here as an engine extension that works over any of the three layouts.
+//
+// One shared pass drains the source scan; each query filters and projects
+// every block into its own result set, and queries with aggregates fold
+// their qualifying tuples through the engine's aggregation operators
+// afterwards. The table's pages are read exactly once however many
+// queries run.
+package share
+
+import (
+	"fmt"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// Query is one consumer of a shared scan. Attribute indexes refer to the
+// shared source's output schema.
+type Query struct {
+	// Preds filter the shared stream for this query only.
+	Preds []exec.Predicate
+	// Proj selects and orders this query's output attributes.
+	Proj []int
+	// GroupBy and Aggs (attribute indexes into Proj's output) aggregate
+	// the qualifying tuples.
+	GroupBy []int
+	Aggs    []exec.AggSpec
+}
+
+// Result is one query's outcome: a schema and its materialized tuples.
+type Result struct {
+	Schema *schema.Schema
+	Tuples []byte
+}
+
+// NumTuples returns the result cardinality.
+func (r Result) NumTuples() int {
+	if r.Schema == nil || r.Schema.Width() == 0 {
+		return 0
+	}
+	return len(r.Tuples) / r.Schema.Width()
+}
+
+// compiled holds a query's validated execution state during the shared
+// pass.
+type compiled struct {
+	q       Query
+	out     *schema.Schema // projected schema (pre-aggregation)
+	rows    []byte
+	scratch []byte
+}
+
+// Run drives src to completion once and evaluates every query against
+// the stream. counters (may be nil) receives the per-query predicate,
+// copy and aggregation work; the scan's own work lands in whatever
+// counters src was built with.
+func Run(src exec.Operator, queries []Query, counters *cpumodel.Counters) ([]Result, error) {
+	in := src.Schema()
+	costs := cpumodel.DefaultCosts()
+	compiledQs := make([]*compiled, len(queries))
+	for i, q := range queries {
+		if len(q.Proj) == 0 {
+			return nil, fmt.Errorf("share: query %d selects nothing", i)
+		}
+		for k := range q.Preds {
+			if err := q.Preds[k].Validate(in); err != nil {
+				return nil, fmt.Errorf("share: query %d: %w", i, err)
+			}
+		}
+		out, err := in.Project(q.Proj)
+		if err != nil {
+			return nil, fmt.Errorf("share: query %d: %w", i, err)
+		}
+		compiledQs[i] = &compiled{q: q, out: out, scratch: make([]byte, out.Width())}
+	}
+
+	if err := src.Open(); err != nil {
+		return nil, err
+	}
+	defer src.Close()
+	for {
+		b, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		for _, c := range compiledQs {
+			c.consume(in, b, counters, costs)
+		}
+	}
+
+	results := make([]Result, len(queries))
+	for i, c := range compiledQs {
+		res, err := c.finalize(counters)
+		if err != nil {
+			return nil, fmt.Errorf("share: query %d: %w", i, err)
+		}
+		results[i] = res
+	}
+	return results, nil
+}
+
+// consume applies the query's predicates and projection to one block.
+func (c *compiled) consume(in *schema.Schema, b *exec.Block, counters *cpumodel.Counters, costs cpumodel.Costs) {
+	for i := 0; i < b.Len(); i++ {
+		t := b.Tuple(i)
+		ok := true
+		for k := range c.q.Preds {
+			counters.AddInstr(costs.Predicate)
+			if !c.q.Preds[k].Eval(in, t) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for k, a := range c.q.Proj {
+			off := in.Offset(a)
+			size := in.Attrs[a].Type.Size
+			copy(c.scratch[c.out.Offset(k):], t[off:off+size])
+		}
+		counters.AddInstr(int64(c.out.Width()) * costs.CopyPerByte)
+		c.rows = append(c.rows, c.scratch...)
+	}
+}
+
+// finalize produces the query's result, running aggregation over the
+// materialized qualifying tuples where requested.
+func (c *compiled) finalize(counters *cpumodel.Counters) (Result, error) {
+	if len(c.q.Aggs) == 0 {
+		return Result{Schema: c.out, Tuples: c.rows}, nil
+	}
+	src, err := exec.NewSliceSource(c.out, c.rows, 0)
+	if err != nil {
+		return Result{}, err
+	}
+	agg, err := exec.NewHashAggregate(src, c.q.GroupBy, c.q.Aggs, counters)
+	if err != nil {
+		return Result{}, err
+	}
+	tuples, err := exec.Collect(agg)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Schema: agg.Schema(), Tuples: tuples}, nil
+}

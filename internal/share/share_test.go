@@ -1,0 +1,206 @@
+package share
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/aio"
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/scan"
+	"github.com/readoptdb/readopt/internal/schema"
+	"github.com/readoptdb/readopt/internal/store"
+	"github.com/readoptdb/readopt/internal/tpch"
+)
+
+const testN = 10000
+
+type fileReader struct {
+	*aio.OSReader
+	f *os.File
+}
+
+func (r *fileReader) Close() error {
+	err := r.OSReader.Close()
+	if cerr := r.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func openOS(t *testing.T, path string) aio.Reader {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := aio.NewOSReader(f, 64<<10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fileReader{OSReader: r, f: f}
+}
+
+// sharedScan builds a row scan over all ORDERS attributes with the given
+// counters — the single stream the queries share.
+func sharedScan(t *testing.T, tbl *store.Table, counters *cpumodel.Counters) exec.Operator {
+	t.Helper()
+	s, err := scan.NewRowScanner(scan.RowConfig{
+		Schema:   tbl.Schema,
+		PageSize: tbl.PageSize,
+		Reader:   openOS(t, tbl.RowPath()),
+		Proj:     []int{0, 1, 2, 3, 4, 5, 6},
+		Counters: counters,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func loadOrders(t *testing.T) *store.Table {
+	t.Helper()
+	tbl, err := store.LoadSynthetic(filepath.Join(t.TempDir(), "o"), schema.Orders(), store.Row, 4096, 1, testN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// runSolo evaluates one shared-style query through the ordinary engine
+// path, as the reference.
+func runSolo(t *testing.T, tbl *store.Table, q Query) Result {
+	t.Helper()
+	s, err := scan.NewRowScanner(scan.RowConfig{
+		Schema:   tbl.Schema,
+		PageSize: tbl.PageSize,
+		Reader:   openOS(t, tbl.RowPath()),
+		Preds:    q.Preds,
+		Proj:     q.Proj,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var op exec.Operator = s
+	if len(q.Aggs) > 0 {
+		op, err = exec.NewHashAggregate(s, q.GroupBy, q.Aggs, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	tuples, err := exec.Collect(op)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Result{Schema: op.Schema(), Tuples: tuples}
+}
+
+func testQueries(t *testing.T, tbl *store.Table) []Query {
+	t.Helper()
+	th10, err := tpch.Threshold(tbl.Schema, 0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th50, err := tpch.Threshold(tbl.Schema, 0.50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Query{
+		// Plain selection.
+		{
+			Preds: []exec.Predicate{exec.IntPred(schema.OOrderDate, exec.Lt, th10)},
+			Proj:  []int{schema.OOrderKey, schema.OTotalPrice},
+		},
+		// Aggregation with group-by.
+		{
+			Preds:   []exec.Predicate{exec.IntPred(schema.OOrderDate, exec.Lt, th50)},
+			Proj:    []int{schema.OOrderStatus, schema.OTotalPrice},
+			GroupBy: []int{0},
+			Aggs:    []exec.AggSpec{{Func: exec.Count}, {Func: exec.Avg, Attr: 1}},
+		},
+		// Global aggregate, no predicate.
+		{
+			Proj: []int{schema.OTotalPrice},
+			Aggs: []exec.AggSpec{{Func: exec.Count}, {Func: exec.Min, Attr: 0}, {Func: exec.Max, Attr: 0}},
+		},
+	}
+}
+
+// TestSharedMatchesSolo: every query of a shared pass produces exactly
+// the result it produces when run alone.
+func TestSharedMatchesSolo(t *testing.T) {
+	tbl := loadOrders(t)
+	queries := testQueries(t, tbl)
+	results, err := Run(sharedScan(t, tbl, nil), queries, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(queries) {
+		t.Fatalf("got %d results for %d queries", len(results), len(queries))
+	}
+	for i, q := range queries {
+		solo := runSolo(t, tbl, q)
+		if !bytes.Equal(results[i].Tuples, solo.Tuples) {
+			t.Errorf("query %d: shared result differs from solo (%d vs %d tuples)",
+				i, results[i].NumTuples(), solo.NumTuples())
+		}
+	}
+}
+
+// TestSharedReadsOnce: the table's pages are read once regardless of how
+// many queries share the scan.
+func TestSharedReadsOnce(t *testing.T) {
+	tbl := loadOrders(t)
+	var one, many cpumodel.Counters
+	if _, err := Run(sharedScan(t, tbl, &one), testQueries(t, tbl)[:1], nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(sharedScan(t, tbl, &many), testQueries(t, tbl), nil); err != nil {
+		t.Fatal(err)
+	}
+	if one.IOBytes != many.IOBytes {
+		t.Errorf("shared scan I/O changed with query count: %d vs %d", one.IOBytes, many.IOBytes)
+	}
+	if one.IOBytes < testN*32 {
+		t.Errorf("shared scan read %d bytes, want the whole table", one.IOBytes)
+	}
+}
+
+func TestSharedCountsQueryWork(t *testing.T) {
+	tbl := loadOrders(t)
+	var counters cpumodel.Counters
+	if _, err := Run(sharedScan(t, tbl, nil), testQueries(t, tbl), &counters); err != nil {
+		t.Fatal(err)
+	}
+	if counters.Instr == 0 {
+		t.Error("shared pass charged no per-query work")
+	}
+}
+
+func TestSharedValidation(t *testing.T) {
+	tbl := loadOrders(t)
+	if _, err := Run(sharedScan(t, tbl, nil), []Query{{}}, nil); err == nil {
+		t.Error("empty projection accepted")
+	}
+	bad := Query{Proj: []int{0}, Preds: []exec.Predicate{exec.IntPred(99, exec.Lt, 0)}}
+	if _, err := Run(sharedScan(t, tbl, nil), []Query{bad}, nil); err == nil {
+		t.Error("invalid predicate accepted")
+	}
+	agg := Query{Proj: []int{0}, Aggs: []exec.AggSpec{{Func: exec.Sum, Attr: 5}}}
+	if _, err := Run(sharedScan(t, tbl, nil), []Query{agg}, nil); err == nil {
+		t.Error("aggregate attribute out of projected range accepted")
+	}
+}
+
+func TestSharedEmptyQueryList(t *testing.T) {
+	tbl := loadOrders(t)
+	results, err := Run(sharedScan(t, tbl, nil), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 0 {
+		t.Errorf("expected no results, got %d", len(results))
+	}
+}

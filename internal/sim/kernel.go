@@ -1,0 +1,141 @@
+// Package sim is a deterministic discrete-event simulation kernel. It
+// exists because the paper's evaluation hinges on timing phenomena of 2006
+// hardware — disk seeks, prefetch depth, overlap of CPU with asynchronous
+// I/O, competition between concurrent scans — that cannot be observed
+// directly on this machine. The kernel runs simulation processes written
+// as ordinary Go functions; exactly one process executes at a time and
+// processes are resumed in virtual-time order, so runs are deterministic
+// and race-free by construction.
+//
+// A process advances its own virtual clock with Advance (modelling CPU
+// work), blocks until an absolute virtual time with WaitUntil (modelling
+// waiting for an I/O completion computed by a resource model such as
+// simdisk), and observes the clock with Now.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of the run.
+type Time int64
+
+// Duration converts a standard duration to simulation time units.
+func Duration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Seconds renders a virtual timestamp in seconds.
+func (t Time) Seconds() float64 { return float64(t) / 1e9 }
+
+type event struct {
+	at  Time
+	seq int64
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Kernel schedules simulation processes in virtual-time order.
+type Kernel struct {
+	now    Time
+	seq    int64
+	events eventHeap
+	yield  chan struct{}
+	active int
+}
+
+// NewKernel returns an empty kernel at virtual time zero.
+func NewKernel() *Kernel {
+	return &Kernel{yield: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Proc is one simulation process. Its methods must only be called from
+// within the function passed to Spawn, while that process is running.
+type Proc struct {
+	k      *Kernel
+	name   string
+	now    Time
+	resume chan struct{}
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the process's virtual clock.
+func (p *Proc) Now() Time { return p.now }
+
+// Advance moves the process clock forward by d, modelling work that
+// occupies the process (e.g. CPU time) without blocking on a resource.
+func (p *Proc) Advance(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: process %s advancing by negative duration %d", p.name, d))
+	}
+	p.WaitUntil(p.now + d)
+}
+
+// WaitUntil blocks the process until virtual time t. Waiting for a past
+// time is a no-op that still yields to the scheduler.
+func (p *Proc) WaitUntil(t Time) {
+	if t < p.now {
+		t = p.now
+	}
+	p.k.schedule(t, p)
+	p.k.yield <- struct{}{}
+	<-p.resume
+	p.now = t
+}
+
+func (k *Kernel) schedule(t Time, p *Proc) {
+	k.seq++
+	heap.Push(&k.events, event{at: t, seq: k.seq, p: p})
+}
+
+// Spawn registers a process starting at virtual time `at`. The function
+// runs when the kernel's clock reaches that time. Spawn may be called
+// before Run or from a running process.
+func (k *Kernel) Spawn(name string, at Time, fn func(p *Proc)) {
+	p := &Proc{k: k, name: name, now: at, resume: make(chan struct{})}
+	k.active++
+	go func() {
+		<-p.resume
+		fn(p)
+		k.active--
+		k.yield <- struct{}{}
+	}()
+	k.schedule(at, p)
+}
+
+// Run executes all processes to completion and returns the final virtual
+// time. It panics on deadlock (a process that blocks forever cannot occur
+// with WaitUntil, so an empty event queue with live processes indicates a
+// kernel bug).
+func (k *Kernel) Run() Time {
+	for k.events.Len() > 0 {
+		e := heap.Pop(&k.events).(event)
+		if e.at < k.now {
+			panic("sim: time went backwards")
+		}
+		k.now = e.at
+		e.p.resume <- struct{}{}
+		<-k.yield
+	}
+	if k.active != 0 {
+		panic(fmt.Sprintf("sim: %d processes still active with no pending events", k.active))
+	}
+	return k.now
+}

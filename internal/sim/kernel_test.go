@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSingleProcessAdvances(t *testing.T) {
+	k := NewKernel()
+	var observed []Time
+	k.Spawn("p", 0, func(p *Proc) {
+		observed = append(observed, p.Now())
+		p.Advance(100)
+		observed = append(observed, p.Now())
+		p.WaitUntil(500)
+		observed = append(observed, p.Now())
+		p.WaitUntil(50) // past time: no-op
+		observed = append(observed, p.Now())
+	})
+	end := k.Run()
+	want := []Time{0, 100, 500, 500}
+	for i, w := range want {
+		if observed[i] != w {
+			t.Errorf("observation %d = %d, want %d", i, observed[i], w)
+		}
+	}
+	if end != 500 {
+		t.Errorf("final time = %d, want 500", end)
+	}
+}
+
+func TestProcessesInterleaveInTimeOrder(t *testing.T) {
+	k := NewKernel()
+	var order []string
+	logf := func(p *Proc, tag string) {
+		order = append(order, tag)
+	}
+	k.Spawn("a", 0, func(p *Proc) {
+		logf(p, "a0")
+		p.Advance(100)
+		logf(p, "a100")
+		p.Advance(200)
+		logf(p, "a300")
+	})
+	k.Spawn("b", 0, func(p *Proc) {
+		logf(p, "b0")
+		p.Advance(150)
+		logf(p, "b150")
+		p.Advance(100)
+		logf(p, "b250")
+	})
+	k.Run()
+	want := []string{"a0", "b0", "a100", "b150", "b250", "a300"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSpawnFromRunningProcess(t *testing.T) {
+	k := NewKernel()
+	var childRan Time = -1
+	k.Spawn("parent", 0, func(p *Proc) {
+		p.Advance(10)
+		k.Spawn("child", p.Now()+5, func(c *Proc) {
+			childRan = c.Now()
+		})
+		p.Advance(100)
+	})
+	k.Run()
+	if childRan != 15 {
+		t.Errorf("child ran at %d, want 15", childRan)
+	}
+}
+
+func TestSpawnAtFutureTime(t *testing.T) {
+	k := NewKernel()
+	var start Time = -1
+	k.Spawn("late", 42, func(p *Proc) { start = p.Now() })
+	if end := k.Run(); end != 42 {
+		t.Errorf("end = %d, want 42", end)
+	}
+	if start != 42 {
+		t.Errorf("late process started at %d, want 42", start)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func() []Time {
+		k := NewKernel()
+		var ticks []Time
+		for i := 0; i < 5; i++ {
+			step := Time(10 * (i + 1))
+			k.Spawn("p", 0, func(p *Proc) {
+				for j := 0; j < 10; j++ {
+					p.Advance(step)
+					ticks = append(ticks, p.Now())
+				}
+			})
+		}
+		k.Run()
+		return ticks
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run diverged at tick %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestAdvanceNegativePanics(t *testing.T) {
+	k := NewKernel()
+	panicked := false
+	k.Spawn("p", 0, func(p *Proc) {
+		defer func() {
+			if recover() != nil {
+				panicked = true
+			}
+		}()
+		p.Advance(-1)
+	})
+	k.Run()
+	if !panicked {
+		t.Error("Advance(-1) did not panic")
+	}
+}
+
+func TestDurationAndSeconds(t *testing.T) {
+	if Duration(1500*time.Millisecond) != 1_500_000_000 {
+		t.Errorf("Duration conversion wrong: %d", Duration(1500*time.Millisecond))
+	}
+	if s := Time(2_500_000_000).Seconds(); s != 2.5 {
+		t.Errorf("Seconds = %v, want 2.5", s)
+	}
+}
+
+func TestProcName(t *testing.T) {
+	k := NewKernel()
+	var got string
+	k.Spawn("scanner", 0, func(p *Proc) { got = p.Name() })
+	k.Run()
+	if got != "scanner" {
+		t.Errorf("Name = %q", got)
+	}
+}
+
+// TestKernelStress: many processes with pseudo-random advances; every
+// process's clock is non-decreasing and the kernel ends at the maximum.
+func TestKernelStress(t *testing.T) {
+	k := NewKernel()
+	var maxSeen Time
+	const procs = 50
+	for i := 0; i < procs; i++ {
+		seed := uint32(i*2654435761 + 12345)
+		k.Spawn("p", Time(i%7), func(p *Proc) {
+			prev := p.Now()
+			for step := 0; step < 200; step++ {
+				seed = seed*1664525 + 1013904223
+				p.Advance(Time(seed % 1000))
+				if p.Now() < prev {
+					t.Errorf("clock went backwards: %d after %d", p.Now(), prev)
+					return
+				}
+				prev = p.Now()
+			}
+			if prev > maxSeen {
+				maxSeen = prev
+			}
+		})
+	}
+	end := k.Run()
+	if end != maxSeen {
+		t.Errorf("kernel ended at %d, max process clock %d", end, maxSeen)
+	}
+}
+
+// TestKernelManyWaiters: processes waiting on the same instant resume in
+// spawn order (deterministic tie-breaking).
+func TestKernelManyWaiters(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Spawn("w", 0, func(p *Proc) {
+			p.WaitUntil(100)
+			order = append(order, i)
+		})
+	}
+	k.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("resume order %v not FIFO", order)
+		}
+	}
+}

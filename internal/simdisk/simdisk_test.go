@@ -1,0 +1,274 @@
+package simdisk
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/readoptdb/readopt/internal/sim"
+)
+
+func newTestArray(t *testing.T, cfg Config) *Array {
+	t.Helper()
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	bad := []Config{
+		{Disks: 0, BandwidthPerDisk: 1, Seek: 0, StripeUnit: 1},
+		{Disks: 1, BandwidthPerDisk: 0, Seek: 0, StripeUnit: 1},
+		{Disks: 1, BandwidthPerDisk: 1, Seek: -time.Second, StripeUnit: 1},
+		{Disks: 1, BandwidthPerDisk: 1, Seek: 0, StripeUnit: 0},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestTotalBandwidth(t *testing.T) {
+	if bw := DefaultConfig().TotalBandwidth(); bw != 180e6 {
+		t.Errorf("default total bandwidth = %v, want 180e6", bw)
+	}
+}
+
+// TestSequentialScanFullBandwidth: a whole-file sequential read on the
+// default array must take size/180MBps plus one initial seek per disk.
+func TestSequentialScanFullBandwidth(t *testing.T) {
+	cfg := DefaultConfig()
+	a := newTestArray(t, cfg)
+	const size = 96 << 20 // 96MB: whole number of stripe rows
+	f, err := a.AddFile("table", size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done sim.Time
+	var off int64
+	const chunk = 3 * (128 << 10) // one stripe row
+	for off < size {
+		d, err := a.Read(f, off, chunk, done)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done = d
+		off += chunk
+	}
+	wantTransfer := float64(size) / cfg.TotalBandwidth()
+	want := wantTransfer + cfg.Seek.Seconds() // one initial seek per disk, in parallel
+	if got := done.Seconds(); math.Abs(got-want) > 0.01*want {
+		t.Errorf("sequential scan took %.4fs, want %.4fs", got, want)
+	}
+	for i, s := range a.Stats() {
+		if s.Seeks != 1 {
+			t.Errorf("disk %d seeks = %d, want 1", i, s.Seeks)
+		}
+		if s.BytesRead != size/3 {
+			t.Errorf("disk %d bytes = %d, want %d", i, s.BytesRead, size/3)
+		}
+	}
+}
+
+// TestAlternatingFilesPaySeeks: switching between two files on every unit
+// must pay a seek per unit per disk.
+func TestAlternatingFilesPaySeeks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Disks = 1
+	a := newTestArray(t, cfg)
+	f1, _ := a.AddFile("c1", 10<<20)
+	f2, _ := a.AddFile("c2", 10<<20)
+	var now sim.Time
+	unit := cfg.StripeUnit
+	for i := int64(0); i < 8; i++ {
+		d1, err := a.Read(f1, i*unit, unit, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := a.Read(f2, i*unit, unit, d1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		now = d2
+	}
+	stats := a.Stats()[0]
+	if stats.Seeks != 16 {
+		t.Errorf("seeks = %d, want 16 (one per request)", stats.Seeks)
+	}
+	wantTime := 16*cfg.Seek.Seconds() + float64(16*unit)/cfg.BandwidthPerDisk
+	if got := now.Seconds(); math.Abs(got-wantTime) > 1e-6 {
+		t.Errorf("alternating read took %.6fs, want %.6fs", got, wantTime)
+	}
+}
+
+// TestPrefetchAmortizesSeeks: reading D units from one file before
+// switching pays one seek per switch instead of one per unit.
+func TestPrefetchAmortizesSeeks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Disks = 1
+	elapsed := func(depth int64) float64 {
+		a := newTestArray(t, cfg)
+		f1, _ := a.AddFile("c1", 32<<20)
+		f2, _ := a.AddFile("c2", 32<<20)
+		var now sim.Time
+		unit := cfg.StripeUnit
+		const units = 48
+		for base := int64(0); base < units; base += depth {
+			for _, f := range []FileID{f1, f2} {
+				for i := int64(0); i < depth; i++ {
+					d, err := a.Read(f, (base+i)*unit, unit, now)
+					if err != nil {
+						t.Fatal(err)
+					}
+					now = d
+				}
+			}
+		}
+		return now.Seconds()
+	}
+	t2, t48 := elapsed(2), elapsed(48)
+	if t2 <= t48 {
+		t.Errorf("depth 2 (%.4fs) should be slower than depth 48 (%.4fs)", t2, t48)
+	}
+	// With 48-unit prefetch the seek overhead is 2 seeks per 48 units.
+	transfer := float64(2*48*cfg.StripeUnit) / cfg.BandwidthPerDisk
+	want48 := transfer + 2*cfg.Seek.Seconds()
+	if math.Abs(t48-want48) > 1e-6 {
+		t.Errorf("depth-48 time %.6fs, want %.6fs", t48, want48)
+	}
+}
+
+// TestFCFSOrdersByIssueTime: a request issued earlier is served first even
+// if a later request was submitted by another client at a later virtual
+// time.
+func TestFCFSOrdersByIssueTime(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Disks = 1
+	cfg.Seek = 0
+	a := newTestArray(t, cfg)
+	f, _ := a.AddFile("t", 10<<20)
+	unit := cfg.StripeUnit
+	d1, err := a.Read(f, 0, unit, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Second request issued while the first is still transferring: it
+	// queues behind it.
+	d2, err := a.Read(f, unit, unit, d1/2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 <= d1 {
+		t.Errorf("queued request completed at %d, not after first at %d", d2, d1)
+	}
+	wantD2 := d1 + a.transferTime(unit)
+	if d2 != wantD2 {
+		t.Errorf("queued completion = %d, want %d", d2, wantD2)
+	}
+}
+
+// TestIdleDiskServesImmediately: a request issued after the disk went idle
+// starts at its issue time, not at the disk's last completion.
+func TestIdleDiskServesImmediately(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Disks = 1
+	cfg.Seek = 0
+	a := newTestArray(t, cfg)
+	f, _ := a.AddFile("t", 10<<20)
+	unit := cfg.StripeUnit
+	d1, _ := a.Read(f, 0, unit, 0)
+	late := d1 + 1_000_000_000
+	d2, err := a.Read(f, unit, unit, late)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := late + a.transferTime(unit); d2 != want {
+		t.Errorf("idle-disk completion = %d, want %d", d2, want)
+	}
+}
+
+// TestStripingParallelism: one stripe row (one unit per disk) completes in
+// roughly the single-unit time, not the sum.
+func TestStripingParallelism(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Seek = 0
+	a := newTestArray(t, cfg)
+	f, _ := a.AddFile("t", 12<<20)
+	row := 3 * cfg.StripeUnit
+	done, err := a.Read(f, 0, row, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := a.transferTime(cfg.StripeUnit); done != want {
+		t.Errorf("stripe row read = %d, want %d (parallel)", done, want)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	a := newTestArray(t, DefaultConfig())
+	f, _ := a.AddFile("t", 1000)
+	if _, err := a.Read(FileID(99), 0, 10, 0); err == nil {
+		t.Error("unknown file accepted")
+	}
+	if _, err := a.Read(f, -1, 10, 0); err == nil {
+		t.Error("negative offset accepted")
+	}
+	if _, err := a.Read(f, 0, 0, 0); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := a.Read(f, 990, 20, 0); err == nil {
+		t.Error("read past EOF accepted")
+	}
+	if _, err := a.AddFile("neg", -1); err == nil {
+		t.Error("negative file size accepted")
+	}
+}
+
+func TestFileAccessors(t *testing.T) {
+	a := newTestArray(t, DefaultConfig())
+	f, _ := a.AddFile("orders.row", 12345)
+	if a.FileName(f) != "orders.row" || a.FileSize(f) != 12345 {
+		t.Errorf("file accessors wrong: %q %d", a.FileName(f), a.FileSize(f))
+	}
+}
+
+// TestBusyTimeConservation: total busy time per disk can never exceed the
+// final completion time, and bytes delivered match bytes requested.
+func TestBusyTimeConservation(t *testing.T) {
+	cfg := DefaultConfig()
+	a := newTestArray(t, cfg)
+	f1, _ := a.AddFile("a", 8<<20)
+	f2, _ := a.AddFile("b", 8<<20)
+	var now sim.Time
+	var total int64
+	for i := int64(0); i < 16; i++ {
+		f := f1
+		if i%2 == 1 {
+			f = f2
+		}
+		n := cfg.StripeUnit * 2
+		d, err := a.Read(f, i/2*n, n, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += n
+		now = d
+	}
+	var bytes int64
+	for i, s := range a.Stats() {
+		bytes += s.BytesRead
+		if s.BusyTime > now {
+			t.Errorf("disk %d busy %d beyond end %d", i, s.BusyTime, now)
+		}
+	}
+	if bytes != total {
+		t.Errorf("bytes delivered %d != requested %d", bytes, total)
+	}
+}

@@ -1,0 +1,184 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/readoptdb/readopt/internal/page"
+)
+
+// Iterator walks all decoded tuples of a table sequentially, independent
+// of the query engine. It backs the WOS merge and the differential tests
+// that check row and column stores hold identical data. The query engine's
+// scanners (package scan) are the performance path; this iterator is the
+// plain correctness path.
+type Iterator struct {
+	t     *Table
+	width int
+
+	// Row / PAX layouts (single data file).
+	rowF   *os.File
+	rowR   *page.RowReader
+	paxR   *page.PAXReader
+	rowPg  []byte
+	rowBuf []byte // decoded tuples of the current page
+
+	// Column layout.
+	colFs  []*os.File
+	colRs  []*page.ColReader
+	colPgs [][]byte
+	colBuf [][]byte // decoded values of the current page per column
+	colN   []int    // values decoded in the current page per column
+	colPos []int    // consumed values per column
+
+	cur  int // tuples consumed in the current row page
+	curN int // tuples in the current row page
+	err  error
+}
+
+// NewIterator opens a sequential tuple iterator over t.
+func NewIterator(t *Table) (*Iterator, error) {
+	it := &Iterator{t: t, width: t.Schema.Width()}
+	switch t.Layout {
+	case Row:
+		f, err := os.Open(t.RowPath())
+		if err != nil {
+			return nil, err
+		}
+		r, err := page.NewRowReader(t.Schema, t.PageSize, t.Dicts)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		it.rowF = f
+		it.rowR = r
+		it.rowPg = make([]byte, t.PageSize)
+		it.rowBuf = make([]byte, r.Capacity()*it.width)
+	case PAX:
+		f, err := os.Open(t.PAXPath())
+		if err != nil {
+			return nil, err
+		}
+		r, err := page.NewPAXReader(t.Schema, t.PageSize, t.Dicts)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		it.rowF = f
+		it.paxR = r
+		it.rowPg = make([]byte, t.PageSize)
+		it.rowBuf = make([]byte, r.Capacity()*it.width)
+	case Column:
+		n := t.Schema.NumAttrs()
+		it.colFs = make([]*os.File, n)
+		it.colRs = make([]*page.ColReader, n)
+		it.colPgs = make([][]byte, n)
+		it.colBuf = make([][]byte, n)
+		it.colN = make([]int, n)
+		it.colPos = make([]int, n)
+		for i, a := range t.Schema.Attrs {
+			f, err := os.Open(t.ColumnPath(i))
+			if err != nil {
+				it.Close()
+				return nil, err
+			}
+			it.colFs[i] = f
+			r, err := page.NewColReader(a, t.PageSize, t.Dicts[i])
+			if err != nil {
+				it.Close()
+				return nil, err
+			}
+			it.colRs[i] = r
+			it.colPgs[i] = make([]byte, t.PageSize)
+			it.colBuf[i] = make([]byte, r.Capacity()*a.Type.Size)
+		}
+	default:
+		return nil, fmt.Errorf("store: unknown layout %q", t.Layout)
+	}
+	return it, nil
+}
+
+// Next fills tuple (Schema.Width bytes) with the next row and reports
+// whether one was produced. After it returns false, Err distinguishes
+// end-of-table from failure.
+func (it *Iterator) Next(tuple []byte) bool {
+	if it.err != nil {
+		return false
+	}
+	if it.t.Layout == Column {
+		return it.nextColumn(tuple)
+	}
+	return it.nextRow(tuple)
+}
+
+func (it *Iterator) nextRow(tuple []byte) bool {
+	for it.cur >= it.curN {
+		if _, err := io.ReadFull(it.rowF, it.rowPg); err != nil {
+			if err != io.EOF {
+				it.err = err
+			}
+			return false
+		}
+		var n int
+		var err error
+		if it.paxR != nil {
+			n, err = it.paxR.Decode(it.rowPg, it.rowBuf)
+		} else {
+			n, err = it.rowR.Decode(it.rowPg, it.rowBuf)
+		}
+		if err != nil {
+			it.err = err
+			return false
+		}
+		it.cur, it.curN = 0, n
+	}
+	copy(tuple, it.rowBuf[it.cur*it.width:(it.cur+1)*it.width])
+	it.cur++
+	return true
+}
+
+func (it *Iterator) nextColumn(tuple []byte) bool {
+	for i := range it.colRs {
+		for it.colPos[i] >= it.colN[i] {
+			if _, err := io.ReadFull(it.colFs[i], it.colPgs[i]); err != nil {
+				if err != io.EOF {
+					it.err = err
+				} else if i != 0 && it.colPos[i] < it.colN[i] {
+					it.err = fmt.Errorf("store: column %d shorter than column 0", i)
+				}
+				return false
+			}
+			n, err := it.colRs[i].Decode(it.colPgs[i], it.colBuf[i])
+			if err != nil {
+				it.err = err
+				return false
+			}
+			it.colPos[i], it.colN[i] = 0, n
+		}
+		size := it.t.Schema.Attrs[i].Type.Size
+		off := it.t.Schema.Offset(i)
+		copy(tuple[off:off+size], it.colBuf[i][it.colPos[i]*size:])
+		it.colPos[i]++
+	}
+	return true
+}
+
+// Err returns the first failure encountered, or nil at clean end of table.
+func (it *Iterator) Err() error { return it.err }
+
+// Close releases the iterator's files.
+func (it *Iterator) Close() error {
+	var first error
+	if it.rowF != nil {
+		first = it.rowF.Close()
+	}
+	for _, f := range it.colFs {
+		if f != nil {
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	return first
+}

@@ -1,0 +1,306 @@
+// Package store implements the read-optimized store of the paper's
+// Figure 1: the on-disk layout of tables (dense-packed pages stored
+// adjacently in files — a single file for row tables, one file per column
+// for column tables), table metadata, bulk loaders, and the
+// write-optimized staging store whose contents are periodically merged
+// into the read store.
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/readoptdb/readopt/internal/compress"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// Layout distinguishes the two physical designs under study.
+type Layout string
+
+const (
+	// Row stores entire tuples together, in a single file.
+	Row Layout = "row"
+	// Column vertically partitions the table into one file per column.
+	Column Layout = "column"
+	// PAX stores entire tuples per page like Row, but organizes each
+	// page column-major (per-attribute minipages): row-store I/O with
+	// column-store cache behaviour.
+	PAX Layout = "pax"
+)
+
+// metaFile, dictFile and rowFile name the fixed files of a table
+// directory.
+const (
+	metaFile = "meta.json"
+	dictFile = "dict.bin"
+	rowFile  = "table.row"
+	paxFile  = "table.pax"
+)
+
+// attrMeta is the serialized form of a schema attribute.
+type attrMeta struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	Size int    `json:"size"`
+	Enc  string `json:"enc,omitempty"`
+	Bits int    `json:"bits,omitempty"`
+}
+
+// Meta is the table metadata persisted as meta.json in the table
+// directory.
+type Meta struct {
+	Table    string     `json:"table"`
+	Layout   Layout     `json:"layout"`
+	PageSize int        `json:"page_size"`
+	Tuples   int64      `json:"tuples"`
+	Attrs    []attrMeta `json:"attrs"`
+	// FileSizes records the byte size of every data file at load time,
+	// keyed by file name, and is verified when the table is opened.
+	FileSizes map[string]int64 `json:"file_sizes"`
+	// Checksums records the CRC-32 of every data file at load time;
+	// Table.VerifyIntegrity checks them on demand.
+	Checksums map[string]uint32 `json:"checksums,omitempty"`
+}
+
+var encByName = map[string]schema.Encoding{
+	"": schema.None, "raw": schema.None, "pack": schema.BitPack,
+	"dict": schema.Dict, "for": schema.FOR, "delta": schema.FORDelta,
+}
+
+func schemaToMeta(s *schema.Schema) []attrMeta {
+	attrs := make([]attrMeta, s.NumAttrs())
+	for i, a := range s.Attrs {
+		m := attrMeta{Name: a.Name, Kind: a.Type.Kind.String(), Size: a.Type.Size}
+		if a.Enc != schema.None {
+			m.Enc = a.Enc.String()
+			m.Bits = a.Bits
+		}
+		attrs[i] = m
+	}
+	return attrs
+}
+
+func metaToSchema(name string, attrs []attrMeta) (*schema.Schema, error) {
+	out := make([]schema.Attribute, len(attrs))
+	for i, m := range attrs {
+		var t schema.Type
+		switch m.Kind {
+		case "int32":
+			t = schema.IntType
+		case "text":
+			t = schema.TextType(m.Size)
+		default:
+			return nil, fmt.Errorf("store: unknown attribute kind %q", m.Kind)
+		}
+		enc, ok := encByName[m.Enc]
+		if !ok {
+			return nil, fmt.Errorf("store: unknown encoding %q", m.Enc)
+		}
+		out[i] = schema.Attribute{Name: m.Name, Type: t, Enc: enc, Bits: m.Bits}
+	}
+	return schema.New(name, out)
+}
+
+// ColumnFileName returns the data file name of column i of a schema.
+func ColumnFileName(s *schema.Schema, i int) string {
+	return fmt.Sprintf("col.%02d.%s", i, s.Attrs[i].Name)
+}
+
+func writeMeta(dir string, m *Meta) error {
+	blob, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("store: encoding metadata: %w", err)
+	}
+	return os.WriteFile(filepath.Join(dir, metaFile), append(blob, '\n'), 0o644)
+}
+
+func writeDicts(dir string, s *schema.Schema, dicts map[int]*compress.Dictionary) error {
+	var blob []byte
+	for i := range s.Attrs {
+		if s.Attrs[i].Enc != schema.Dict {
+			continue
+		}
+		d := dicts[i]
+		if d == nil {
+			return fmt.Errorf("store: missing dictionary for attribute %s", s.Attrs[i].Name)
+		}
+		blob = d.AppendBinary(blob)
+	}
+	if blob == nil {
+		return nil
+	}
+	return os.WriteFile(filepath.Join(dir, dictFile), blob, 0o644)
+}
+
+func readDicts(dir string, s *schema.Schema) (map[int]*compress.Dictionary, error) {
+	dicts := make(map[int]*compress.Dictionary)
+	needs := false
+	for _, a := range s.Attrs {
+		if a.Enc == schema.Dict {
+			needs = true
+			break
+		}
+	}
+	if !needs {
+		return dicts, nil
+	}
+	blob, err := os.ReadFile(filepath.Join(dir, dictFile))
+	if err != nil {
+		return nil, fmt.Errorf("store: reading dictionaries: %w", err)
+	}
+	off := 0
+	for i := range s.Attrs {
+		if s.Attrs[i].Enc != schema.Dict {
+			continue
+		}
+		d, n, err := compress.DecodeDictionary(blob[off:])
+		if err != nil {
+			return nil, fmt.Errorf("store: dictionary for %s: %w", s.Attrs[i].Name, err)
+		}
+		dicts[i] = d
+		off += n
+	}
+	if off != len(blob) {
+		return nil, fmt.Errorf("store: %d trailing bytes in dictionary file", len(blob)-off)
+	}
+	return dicts, nil
+}
+
+// Table is an opened read-optimized table.
+type Table struct {
+	Dir      string
+	Schema   *schema.Schema
+	Layout   Layout
+	PageSize int
+	Tuples   int64
+	Dicts    map[int]*compress.Dictionary
+
+	fileSizes map[string]int64
+	checksums map[string]uint32
+}
+
+// Open loads a table's metadata and dictionaries and verifies the data
+// files are present with their recorded sizes.
+func Open(dir string) (*Table, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if err != nil {
+		return nil, fmt.Errorf("store: opening table: %w", err)
+	}
+	var m Meta
+	if err := json.Unmarshal(blob, &m); err != nil {
+		return nil, fmt.Errorf("store: parsing metadata: %w", err)
+	}
+	if m.Layout != Row && m.Layout != Column && m.Layout != PAX {
+		return nil, fmt.Errorf("store: unknown layout %q", m.Layout)
+	}
+	if m.PageSize <= 0 || m.Tuples < 0 {
+		return nil, fmt.Errorf("store: corrupt metadata: page size %d, tuples %d", m.PageSize, m.Tuples)
+	}
+	sch, err := metaToSchema(m.Table, m.Attrs)
+	if err != nil {
+		return nil, err
+	}
+	dicts, err := readDicts(dir, sch)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Dir:       dir,
+		Schema:    sch,
+		Layout:    m.Layout,
+		PageSize:  m.PageSize,
+		Tuples:    m.Tuples,
+		Dicts:     dicts,
+		fileSizes: m.FileSizes,
+		checksums: m.Checksums,
+	}
+	for name, want := range m.FileSizes {
+		fi, err := os.Stat(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("store: missing data file: %w", err)
+		}
+		if fi.Size() != want {
+			return nil, fmt.Errorf("store: data file %s is %d bytes, metadata records %d", name, fi.Size(), want)
+		}
+	}
+	return t, nil
+}
+
+// RowPath returns the row data file path. It panics for column tables.
+func (t *Table) RowPath() string {
+	if t.Layout != Row {
+		panic("store: RowPath on column table")
+	}
+	return filepath.Join(t.Dir, rowFile)
+}
+
+// PAXPath returns the PAX data file path. It panics for other layouts.
+func (t *Table) PAXPath() string {
+	if t.Layout != PAX {
+		panic("store: PAXPath on non-PAX table")
+	}
+	return filepath.Join(t.Dir, paxFile)
+}
+
+// DataPath returns the single data file of a Row or PAX table.
+func (t *Table) DataPath() string {
+	switch t.Layout {
+	case Row:
+		return t.RowPath()
+	case PAX:
+		return t.PAXPath()
+	default:
+		panic("store: DataPath on column table")
+	}
+}
+
+// ColumnPath returns the data file path of column i. It panics for row
+// tables.
+func (t *Table) ColumnPath(i int) string {
+	if t.Layout != Column {
+		panic("store: ColumnPath on row table")
+	}
+	return filepath.Join(t.Dir, ColumnFileName(t.Schema, i))
+}
+
+// DataFileSize returns the recorded size of the named data file.
+func (t *Table) DataFileSize(name string) (int64, bool) {
+	n, ok := t.fileSizes[name]
+	return n, ok
+}
+
+// VerifyIntegrity re-reads every data file and checks its CRC-32 against
+// the checksum recorded at load time, returning the first corruption
+// found. Tables written before checksums existed verify trivially.
+func (t *Table) VerifyIntegrity() error {
+	for name, want := range t.checksums {
+		f, err := os.Open(filepath.Join(t.Dir, name))
+		if err != nil {
+			return fmt.Errorf("store: verify %s: %w", name, err)
+		}
+		h := crc32.NewIEEE()
+		_, err = io.Copy(h, f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("store: verify %s: %w", name, err)
+		}
+		if h.Sum32() != want {
+			return fmt.Errorf("store: data file %s is corrupt: crc %08x, recorded %08x", name, h.Sum32(), want)
+		}
+	}
+	return nil
+}
+
+// TotalDataBytes returns the combined size of all data files — the
+// quantity a full-table scan must read.
+func (t *Table) TotalDataBytes() int64 {
+	var total int64
+	for _, n := range t.fileSizes {
+		total += n
+	}
+	return total
+}

@@ -1,0 +1,277 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/schema"
+	"github.com/readoptdb/readopt/internal/tpch"
+)
+
+const testN = 5000
+
+func loadTable(t *testing.T, sch *schema.Schema, layout Layout) *Table {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "tbl")
+	tbl, err := LoadSynthetic(dir, sch, layout, 4096, 42, testN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// collect drains a table through the iterator.
+func collect(t *testing.T, tbl *Table) []byte {
+	t.Helper()
+	it, err := NewIterator(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer it.Close()
+	tuple := make([]byte, tbl.Schema.Width())
+	var out []byte
+	for it.Next(tuple) {
+		out = append(out, tuple...)
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// expected regenerates the reference tuple stream.
+func expected(t *testing.T, sch *schema.Schema, n int) []byte {
+	t.Helper()
+	gen, err := tpch.ForSchema(sch, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuple := make([]byte, gen.Schema().Width())
+	var out []byte
+	for i := 0; i < n; i++ {
+		gen.Next(tuple)
+		out = append(out, tuple...)
+	}
+	return out
+}
+
+func TestLoadAndIterate(t *testing.T) {
+	cases := []struct {
+		sch    *schema.Schema
+		layout Layout
+	}{
+		{schema.Orders(), Row},
+		{schema.Orders(), Column},
+		{schema.OrdersZ(), Row},
+		{schema.OrdersZ(), Column},
+		{schema.Lineitem(), Row},
+		{schema.Lineitem(), Column},
+		{schema.LineitemZ(), Row},
+		{schema.LineitemZ(), Column},
+		{schema.Orders(), PAX},
+		{schema.OrdersZ(), PAX},
+		{schema.LineitemZ(), PAX},
+	}
+	for _, c := range cases {
+		t.Run(c.sch.Name+"/"+string(c.layout), func(t *testing.T) {
+			tbl := loadTable(t, c.sch, c.layout)
+			if tbl.Tuples != testN {
+				t.Fatalf("Tuples = %d, want %d", tbl.Tuples, testN)
+			}
+			got := collect(t, tbl)
+			want := expected(t, c.sch, testN)
+			if !bytes.Equal(got, want) {
+				t.Fatal("iterated tuples differ from generated tuples")
+			}
+		})
+	}
+}
+
+// TestRowColumnEquivalence: the two physical designs of the same logical
+// table contain identical tuple sequences.
+func TestRowColumnEquivalence(t *testing.T) {
+	row := loadTable(t, schema.OrdersZ(), Row)
+	col := loadTable(t, schema.OrdersZ(), Column)
+	if !bytes.Equal(collect(t, row), collect(t, col)) {
+		t.Fatal("row and column stores hold different data")
+	}
+}
+
+// TestCompressionRatio: the compressed ORDERS-Z store must be close to
+// 12/32 of the uncompressed one, as in the paper's Figure 5.
+func TestCompressionRatio(t *testing.T) {
+	plain := loadTable(t, schema.Orders(), Row)
+	z := loadTable(t, schema.OrdersZ(), Row)
+	ratio := float64(z.TotalDataBytes()) / float64(plain.TotalDataBytes())
+	want := 12.0 / 32.0
+	if ratio < want*0.95 || ratio > want*1.15 {
+		t.Errorf("compression ratio = %.3f, want about %.3f", ratio, want)
+	}
+}
+
+// TestColumnFileSizes: a column store's file for a 4-byte attribute holds
+// about 4 bytes per tuple plus page overhead.
+func TestColumnFileSizes(t *testing.T) {
+	col := loadTable(t, schema.Orders(), Column)
+	name := ColumnFileName(col.Schema, schema.OOrderKey)
+	size, ok := col.DataFileSize(name)
+	if !ok {
+		t.Fatalf("no recorded size for %s", name)
+	}
+	minBytes := int64(testN * 4)
+	if size < minBytes || size > minBytes*110/100+4096 {
+		t.Errorf("orderkey column file = %d bytes, want about %d", size, minBytes)
+	}
+}
+
+func TestOpenRejectsCorruptTables(t *testing.T) {
+	tbl := loadTable(t, schema.Orders(), Row)
+
+	// Truncated data file.
+	if err := os.Truncate(tbl.RowPath(), 100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(tbl.Dir); err == nil {
+		t.Error("Open accepted truncated data file")
+	}
+
+	// Missing metadata.
+	if _, err := Open(t.TempDir()); err == nil {
+		t.Error("Open accepted directory without metadata")
+	}
+
+	// Corrupt metadata.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, metaFile), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Error("Open accepted corrupt metadata")
+	}
+}
+
+func TestCreateRefusesOverwrite(t *testing.T) {
+	tbl := loadTable(t, schema.Orders(), Row)
+	if _, err := Create(tbl.Dir, schema.Orders(), Row, 4096); err == nil {
+		t.Error("Create overwrote an existing table")
+	}
+}
+
+func TestAppendAfterClose(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "tbl")
+	w, err := Create(dir, schema.Orders(), Row, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(make([]byte, 32)); err == nil {
+		t.Error("Append accepted after Close")
+	}
+	if err := w.Close(); err != nil {
+		t.Error("second Close should be a no-op")
+	}
+}
+
+func TestOpenRoundTripsSchema(t *testing.T) {
+	tbl := loadTable(t, schema.OrdersZ(), Column)
+	want := schema.OrdersZ()
+	if tbl.Schema.NumAttrs() != want.NumAttrs() {
+		t.Fatalf("reopened schema has %d attrs, want %d", tbl.Schema.NumAttrs(), want.NumAttrs())
+	}
+	for i := range want.Attrs {
+		if tbl.Schema.Attrs[i] != want.Attrs[i] {
+			t.Errorf("attr %d = %+v, want %+v", i, tbl.Schema.Attrs[i], want.Attrs[i])
+		}
+	}
+	if tbl.Schema.CompressedWidth() != 12 {
+		t.Errorf("reopened compressed width = %d", tbl.Schema.CompressedWidth())
+	}
+	// Dictionaries restored for both dict attributes.
+	for _, i := range []int{schema.OOrderStatus, schema.OOrderPriority} {
+		if tbl.Dicts[i] == nil || tbl.Dicts[i].Len() == 0 {
+			t.Errorf("dictionary for attr %d missing after reopen", i)
+		}
+	}
+}
+
+func TestDataPath(t *testing.T) {
+	row := loadTable(t, schema.Orders(), Row)
+	pax := loadTable(t, schema.Orders(), PAX)
+	if row.DataPath() != row.RowPath() {
+		t.Error("DataPath of a row table should be the row file")
+	}
+	if pax.DataPath() != pax.PAXPath() {
+		t.Error("DataPath of a PAX table should be the pax file")
+	}
+	col := loadTable(t, schema.Orders(), Column)
+	defer func() {
+		if recover() == nil {
+			t.Error("DataPath on column table did not panic")
+		}
+	}()
+	col.DataPath()
+}
+
+// TestPAXFileSizeMatchesRow: a PAX table occupies exactly as many pages
+// as the equivalent row table (it is a per-page permutation).
+func TestPAXFileSizeMatchesRow(t *testing.T) {
+	row := loadTable(t, schema.Orders(), Row)
+	pax := loadTable(t, schema.Orders(), PAX)
+	if row.TotalDataBytes() != pax.TotalDataBytes() {
+		t.Errorf("PAX table is %d bytes, row table %d; they must match", pax.TotalDataBytes(), row.TotalDataBytes())
+	}
+}
+
+func TestPathAccessorsPanicOnWrongLayout(t *testing.T) {
+	row := loadTable(t, schema.Orders(), Row)
+	col := loadTable(t, schema.Orders(), Column)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ColumnPath on row table did not panic")
+			}
+		}()
+		row.ColumnPath(0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("RowPath on column table did not panic")
+			}
+		}()
+		col.RowPath()
+	}()
+}
+
+func TestLoadSyntheticUnknownSchema(t *testing.T) {
+	bogus := schema.MustNew("X", []schema.Attribute{{Name: "A", Type: schema.IntType}})
+	if _, err := LoadSynthetic(t.TempDir(), bogus, Row, 4096, 1, 10); err == nil {
+		t.Error("LoadSynthetic accepted unknown schema")
+	}
+}
+
+// TestVerifyIntegrity: pristine tables verify; flipped bits are caught.
+func TestVerifyIntegrity(t *testing.T) {
+	for _, layout := range []Layout{Row, Column, PAX} {
+		tbl := loadTable(t, schema.Orders(), layout)
+		if err := tbl.VerifyIntegrity(); err != nil {
+			t.Fatalf("%s: pristine table failed verification: %v", layout, err)
+		}
+	}
+	tbl := loadTable(t, schema.Orders(), Row)
+	f, err := os.OpenFile(tbl.RowPath(), os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xFF}, 1000); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := tbl.VerifyIntegrity(); err == nil {
+		t.Error("flipped bit not detected")
+	}
+}

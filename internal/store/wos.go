@@ -1,0 +1,129 @@
+package store
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// WOS is the write-optimized store of the paper's Figure 1: the staging
+// area where inserts land before being merged in bulk into the
+// read-optimized store. Since the paper's systems never query it, a plain
+// in-memory buffer of decoded tuples suffices; what matters is the merge
+// discipline — tuples move to the read store in bulk, sorted, keeping the
+// read store dense-packed and its sorted-key encodings (FOR-delta) valid.
+type WOS struct {
+	sch    *schema.Schema
+	tuples []byte
+	n      int
+}
+
+// NewWOS returns an empty write-optimized store for the given schema.
+func NewWOS(sch *schema.Schema) *WOS {
+	return &WOS{sch: sch}
+}
+
+// Insert stages one decoded tuple.
+func (w *WOS) Insert(tuple []byte) error {
+	if len(tuple) != w.sch.Width() {
+		return fmt.Errorf("store: WOS insert of %d bytes, schema %s wants %d", len(tuple), w.sch.Name, w.sch.Width())
+	}
+	w.tuples = append(w.tuples, tuple...)
+	w.n++
+	return nil
+}
+
+// Len returns the number of staged tuples.
+func (w *WOS) Len() int { return w.n }
+
+// sortByKey sorts the staged tuples by the given integer attribute.
+func (w *WOS) sortByKey(key int) {
+	width := w.sch.Width()
+	idx := make([]int, w.n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		va := w.sch.Int32At(w.tuples[idx[a]*width:], key)
+		vb := w.sch.Int32At(w.tuples[idx[b]*width:], key)
+		return va < vb
+	})
+	out := make([]byte, len(w.tuples))
+	for pos, i := range idx {
+		copy(out[pos*width:], w.tuples[i*width:(i+1)*width])
+	}
+	w.tuples = out
+}
+
+// Merge writes a new read-optimized table at dstDir containing exactly the
+// tuples of src plus the staged WOS tuples, merged in sorted order on the
+// given integer key attribute. src must already be sorted on that key (the
+// bulk loader produces key-sorted tables). The WOS is drained on success.
+func (w *WOS) Merge(src *Table, dstDir string, key int) (*Table, error) {
+	if src.Schema.Name != w.sch.Name || src.Schema.NumAttrs() != w.sch.NumAttrs() {
+		return nil, fmt.Errorf("store: WOS schema %s does not match table %s", w.sch.Name, src.Schema.Name)
+	}
+	if key < 0 || key >= w.sch.NumAttrs() || w.sch.Attrs[key].Type.Kind != schema.Int32 {
+		return nil, fmt.Errorf("store: merge key %d is not an integer attribute", key)
+	}
+	w.sortByKey(key)
+
+	out, err := Create(dstDir, src.Schema, src.Layout, src.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	it, err := NewIterator(src)
+	if err != nil {
+		return nil, err
+	}
+	defer it.Close()
+
+	width := w.sch.Width()
+	srcTuple := make([]byte, width)
+	srcOK := it.Next(srcTuple)
+	wosIdx := 0
+	prevKey := int32(-1 << 31)
+	emit := func(tuple []byte) error {
+		k := w.sch.Int32At(tuple, key)
+		if k < prevKey {
+			return fmt.Errorf("store: merge input not sorted on %s: %d after %d", w.sch.Attrs[key].Name, k, prevKey)
+		}
+		prevKey = k
+		return out.Append(tuple)
+	}
+	for srcOK || wosIdx < w.n {
+		takeWOS := false
+		if !srcOK {
+			takeWOS = true
+		} else if wosIdx < w.n {
+			wk := w.sch.Int32At(w.tuples[wosIdx*width:], key)
+			sk := w.sch.Int32At(srcTuple, key)
+			takeWOS = wk < sk
+		}
+		if takeWOS {
+			if err := emit(w.tuples[wosIdx*width : (wosIdx+1)*width]); err != nil {
+				return nil, err
+			}
+			wosIdx++
+		} else {
+			if err := emit(srcTuple); err != nil {
+				return nil, err
+			}
+			srcOK = it.Next(srcTuple)
+		}
+	}
+	if err := it.Err(); err != nil {
+		return nil, err
+	}
+	if err := out.Close(); err != nil {
+		return nil, err
+	}
+	merged, err := Open(dstDir)
+	if err != nil {
+		return nil, err
+	}
+	w.tuples = nil
+	w.n = 0
+	return merged, nil
+}

@@ -1,0 +1,144 @@
+package store
+
+import (
+	"bytes"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/schema"
+	"github.com/readoptdb/readopt/internal/tpch"
+)
+
+// makeOrdersTuple builds a decoded ORDERS tuple with the given order key
+// and in-domain values elsewhere.
+func makeOrdersTuple(t *testing.T, sch *schema.Schema, orderKey int32) []byte {
+	t.Helper()
+	tuple := make([]byte, sch.Width())
+	sch.PutInt32At(tuple, schema.OOrderDate, orderKey%tpch.OrderDateDomain)
+	sch.PutInt32At(tuple, schema.OOrderKey, orderKey)
+	sch.PutInt32At(tuple, schema.OCustKey, 7)
+	sch.PutTextAt(tuple, schema.OOrderStatus, []byte("F"))
+	sch.PutTextAt(tuple, schema.OOrderPriority, []byte("2-HIGH"))
+	sch.PutInt32At(tuple, schema.OTotalPrice, 1234)
+	sch.PutInt32At(tuple, schema.OShipPriority, 0)
+	return tuple
+}
+
+func TestWOSMerge(t *testing.T) {
+	for _, layout := range []Layout{Row, Column} {
+		for _, sch := range []*schema.Schema{schema.Orders(), schema.OrdersZ()} {
+			t.Run(sch.Name+"/"+string(layout), func(t *testing.T) {
+				base := t.TempDir()
+				src, err := LoadSynthetic(filepath.Join(base, "src"), sch, layout, 4096, 3, 2000)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Stage new tuples with keys scattered through and beyond
+				// the existing key range, inserted out of order.
+				w := NewWOS(sch)
+				// Keys scattered through the existing key range (about
+				// 1..5000 for 2000 rows at average step 2.5), staying
+				// within the 8-bit FOR-delta step the -Z schema allows.
+				keys := []int32{5, 4000, 1, 2501, 4900, 33}
+				for _, k := range keys {
+					if err := w.Insert(makeOrdersTuple(t, sch, k)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if w.Len() != len(keys) {
+					t.Fatalf("WOS Len = %d", w.Len())
+				}
+				merged, err := w.Merge(src, filepath.Join(base, "dst"), schema.OOrderKey)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if w.Len() != 0 {
+					t.Error("WOS not drained after merge")
+				}
+				if merged.Tuples != src.Tuples+int64(len(keys)) {
+					t.Fatalf("merged tuples = %d, want %d", merged.Tuples, src.Tuples+int64(len(keys)))
+				}
+				// The merged table is sorted on the key and contains the
+				// exact multiset src ∪ WOS.
+				got := collect(t, merged)
+				width := sch.Width()
+				var gotKeys []int
+				for i := 0; i < len(got)/width; i++ {
+					gotKeys = append(gotKeys, int(sch.Int32At(got[i*width:], schema.OOrderKey)))
+				}
+				if !sort.IntsAreSorted(gotKeys) {
+					t.Fatal("merged table not sorted on order key")
+				}
+				want := collect(t, src)
+				for _, k := range keys {
+					want = append(want, makeOrdersTuple(t, sch, k)...)
+				}
+				if !sameTupleMultiset(got, want, width) {
+					t.Fatal("merged table is not src ∪ WOS")
+				}
+			})
+		}
+	}
+}
+
+// sameTupleMultiset compares two tuple streams as multisets.
+func sameTupleMultiset(a, b []byte, width int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	count := make(map[string]int)
+	for i := 0; i+width <= len(a); i += width {
+		count[string(a[i:i+width])]++
+	}
+	for i := 0; i+width <= len(b); i += width {
+		count[string(b[i:i+width])]--
+	}
+	for _, c := range count {
+		if c != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func TestWOSInsertValidation(t *testing.T) {
+	w := NewWOS(schema.Orders())
+	if err := w.Insert(make([]byte, 5)); err == nil {
+		t.Error("Insert accepted wrong-width tuple")
+	}
+}
+
+func TestWOSMergeValidation(t *testing.T) {
+	src, err := LoadSynthetic(filepath.Join(t.TempDir(), "src"), schema.Orders(), Row, 4096, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWOS(schema.Lineitem())
+	if _, err := w.Merge(src, t.TempDir(), 0); err == nil {
+		t.Error("Merge accepted mismatched schema")
+	}
+	w2 := NewWOS(schema.Orders())
+	if _, err := w2.Merge(src, t.TempDir(), schema.OOrderStatus); err == nil {
+		t.Error("Merge accepted text merge key")
+	}
+	if _, err := w2.Merge(src, t.TempDir(), 99); err == nil {
+		t.Error("Merge accepted out-of-range key")
+	}
+}
+
+func TestWOSMergeEmptyWOS(t *testing.T) {
+	base := t.TempDir()
+	src, err := LoadSynthetic(filepath.Join(base, "src"), schema.Orders(), Row, 4096, 1, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := NewWOS(schema.Orders())
+	merged, err := w.Merge(src, filepath.Join(base, "dst"), schema.OOrderKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(collect(t, merged), collect(t, src)) {
+		t.Error("empty-WOS merge changed table contents")
+	}
+}

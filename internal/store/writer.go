@@ -1,0 +1,271 @@
+package store
+
+import (
+	"bufio"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"github.com/readoptdb/readopt/internal/compress"
+	"github.com/readoptdb/readopt/internal/page"
+	"github.com/readoptdb/readopt/internal/schema"
+	"github.com/readoptdb/readopt/internal/tpch"
+)
+
+// writerFile pairs a buffered output file with its path, byte count and
+// running checksum.
+type writerFile struct {
+	name string
+	f    *os.File
+	w    *bufio.Writer
+	n    int64
+	crc  uint32
+}
+
+func createFile(dir, name string) (*writerFile, error) {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		return nil, fmt.Errorf("store: creating data file: %w", err)
+	}
+	return &writerFile{name: name, f: f, w: bufio.NewWriterSize(f, 1<<20)}, nil
+}
+
+func (wf *writerFile) write(p []byte) error {
+	n, err := wf.w.Write(p)
+	wf.n += int64(n)
+	wf.crc = crc32.Update(wf.crc, crc32.IEEETable, p[:n])
+	return err
+}
+
+func (wf *writerFile) close() error {
+	if err := wf.w.Flush(); err != nil {
+		wf.f.Close()
+		return err
+	}
+	return wf.f.Close()
+}
+
+// Writer bulk-loads decoded tuples into a table directory, producing the
+// row or column physical design of the given (possibly compressed)
+// schema. The load is the paper's "merge" path of Figure 1: data arrives
+// in bulk and is dense-packed; there are no slots or free lists.
+type Writer struct {
+	dir      string
+	sch      *schema.Schema
+	layout   Layout
+	pageSize int
+	dicts    map[int]*compress.Dictionary
+
+	rowB   *page.RowBuilder
+	paxB   *page.PAXBuilder
+	rowF   *writerFile
+	colBs  []*page.ColBuilder
+	colFs  []*writerFile
+	colIDs []uint32 // per-column next page ID
+	tuples int64
+	pageID uint32 // next row page ID
+	closed bool
+}
+
+// Create prepares a bulk load into dir (created if needed, must be empty
+// of table files) with the given schema, layout and page size.
+func Create(dir string, sch *schema.Schema, layout Layout, pageSize int) (*Writer, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating table directory: %w", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, metaFile)); err == nil {
+		return nil, fmt.Errorf("store: table already exists in %s", dir)
+	}
+	w := &Writer{
+		dir:      dir,
+		sch:      sch,
+		layout:   layout,
+		pageSize: pageSize,
+		dicts:    make(map[int]*compress.Dictionary),
+	}
+	var err error
+	switch layout {
+	case Row:
+		if w.rowB, err = page.NewRowBuilder(sch, pageSize, w.dicts); err != nil {
+			return nil, err
+		}
+		if w.rowF, err = createFile(dir, rowFile); err != nil {
+			return nil, err
+		}
+	case PAX:
+		if w.paxB, err = page.NewPAXBuilder(sch, pageSize, w.dicts); err != nil {
+			return nil, err
+		}
+		if w.rowF, err = createFile(dir, paxFile); err != nil {
+			return nil, err
+		}
+	case Column:
+		w.colBs = make([]*page.ColBuilder, sch.NumAttrs())
+		w.colFs = make([]*writerFile, sch.NumAttrs())
+		w.colIDs = make([]uint32, sch.NumAttrs())
+		for i, a := range sch.Attrs {
+			var d *compress.Dictionary
+			if a.Enc == schema.Dict {
+				d = compress.NewDictionary(a.Type.Size)
+				w.dicts[i] = d
+			}
+			if w.colBs[i], err = page.NewColBuilder(a, pageSize, d); err != nil {
+				return nil, err
+			}
+			if w.colFs[i], err = createFile(dir, ColumnFileName(sch, i)); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("store: unknown layout %q", layout)
+	}
+	return w, nil
+}
+
+// Append adds one decoded tuple (Schema.Width bytes).
+func (w *Writer) Append(tuple []byte) error {
+	if w.closed {
+		return fmt.Errorf("store: Append after Close")
+	}
+	switch w.layout {
+	case Row:
+		w.rowB.Add(tuple)
+		if w.rowB.Full() {
+			pg, err := w.rowB.Flush(w.pageID)
+			if err != nil {
+				return err
+			}
+			w.pageID++
+			if err := w.rowF.write(pg); err != nil {
+				return err
+			}
+		}
+	case PAX:
+		w.paxB.Add(tuple)
+		if w.paxB.Full() {
+			pg, err := w.paxB.Flush(w.pageID)
+			if err != nil {
+				return err
+			}
+			w.pageID++
+			if err := w.rowF.write(pg); err != nil {
+				return err
+			}
+		}
+	case Column:
+		for i, b := range w.colBs {
+			off := w.sch.Offset(i)
+			b.Add(tuple[off : off+w.sch.Attrs[i].Type.Size])
+			if b.Full() {
+				pg, err := b.Flush(w.colIDs[i])
+				if err != nil {
+					return err
+				}
+				w.colIDs[i]++
+				if err := w.colFs[i].write(pg); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	w.tuples++
+	return nil
+}
+
+// Close flushes partial pages, writes dictionaries and metadata, and
+// finalizes the table.
+func (w *Writer) Close() error {
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	sizes := make(map[string]int64)
+	sums := make(map[string]uint32)
+	switch w.layout {
+	case Row:
+		if w.rowB.Count() > 0 {
+			pg, err := w.rowB.Flush(w.pageID)
+			if err != nil {
+				return err
+			}
+			if err := w.rowF.write(pg); err != nil {
+				return err
+			}
+		}
+		if err := w.rowF.close(); err != nil {
+			return err
+		}
+		sizes[w.rowF.name] = w.rowF.n
+		sums[w.rowF.name] = w.rowF.crc
+	case PAX:
+		if w.paxB.Count() > 0 {
+			pg, err := w.paxB.Flush(w.pageID)
+			if err != nil {
+				return err
+			}
+			if err := w.rowF.write(pg); err != nil {
+				return err
+			}
+		}
+		if err := w.rowF.close(); err != nil {
+			return err
+		}
+		sizes[w.rowF.name] = w.rowF.n
+		sums[w.rowF.name] = w.rowF.crc
+	case Column:
+		for i, b := range w.colBs {
+			if b.Count() > 0 {
+				pg, err := b.Flush(w.colIDs[i])
+				if err != nil {
+					return err
+				}
+				if err := w.colFs[i].write(pg); err != nil {
+					return err
+				}
+			}
+			if err := w.colFs[i].close(); err != nil {
+				return err
+			}
+			sizes[w.colFs[i].name] = w.colFs[i].n
+			sums[w.colFs[i].name] = w.colFs[i].crc
+		}
+	}
+	if err := writeDicts(w.dir, w.sch, w.dicts); err != nil {
+		return err
+	}
+	return writeMeta(w.dir, &Meta{
+		Table:     w.sch.Name,
+		Layout:    w.layout,
+		PageSize:  w.pageSize,
+		Tuples:    w.tuples,
+		Attrs:     schemaToMeta(w.sch),
+		FileSizes: sizes,
+		Checksums: sums,
+	})
+}
+
+// LoadSynthetic bulk-loads n tuples from a tpch generator matching the
+// schema into dir and returns the opened table. It is the loading path
+// used by the tools, tests and the experiment harness.
+func LoadSynthetic(dir string, sch *schema.Schema, layout Layout, pageSize int, seed int64, n int64) (*Table, error) {
+	gen, err := tpch.ForSchema(sch, seed)
+	if err != nil {
+		return nil, err
+	}
+	w, err := Create(dir, sch, layout, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	tuple := make([]byte, sch.Width())
+	for i := int64(0); i < n; i++ {
+		gen.Next(tuple)
+		if err := w.Append(tuple); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return Open(dir)
+}

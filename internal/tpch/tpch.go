@@ -1,0 +1,201 @@
+// Package tpch generates the paper's workload data: LINEITEM and ORDERS
+// tables derived from the TPC-H benchmark specification with the paper's
+// modifications (Section 3.1). Generation is deterministic — the same seed
+// always yields the same tuple sequence — so experiments are reproducible
+// and row/column stores loaded separately contain identical data.
+//
+// Value distributions follow TPC-H's shape where it matters to the
+// experiments: order keys are sorted with small steps (so the paper's
+// FOR-delta encodings apply), low-cardinality attributes draw from the
+// TPC-H value pools (so the dictionary widths of Figure 5 suffice), packed
+// attributes stay inside their Figure 5 code domains, and the first
+// attribute of each table is uniform over a known domain so that
+// predicates of any target selectivity can be constructed exactly.
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// Domains of the uniform attributes used for selectivity control.
+const (
+	// PartKeyDomain is the uniform domain of L_PARTKEY, LINEITEM's first
+	// attribute and the one the paper's selection predicates filter on.
+	PartKeyDomain = 1_000_000
+	// OrderDateDomain is the uniform domain of O_ORDERDATE, ORDERS' first
+	// attribute. It fits the 14-bit pack of ORDERS-Z.
+	OrderDateDomain = 10_000
+	// DateDomain bounds all LINEITEM date attributes; it fits their
+	// 16-bit packs.
+	DateDomain = 10_000
+)
+
+// Value pools mirroring TPC-H's low-cardinality domains.
+var (
+	ReturnFlags     = []string{"R", "A", "N"}
+	LineStatuses    = []string{"O", "F"}
+	ShipInstructs   = []string{"DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"}
+	ShipModes       = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	OrderStatuses   = []string{"F", "O", "P"}
+	OrderPriorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW"}
+)
+
+// commentWords builds short pseudo-random comments that always fit the
+// 28-byte packed width of LINEITEM-Z's L_COMMENT.
+var commentWords = []string{"carefully", "quick", "pending", "final", "bold", "ironic", "even", "special", "express", "regular"}
+
+// Generator produces the decoded tuples of one table, deterministically.
+type Generator struct {
+	sch  *schema.Schema
+	seed int64
+	rng  *rand.Rand
+	i    int64
+	fill func(g *Generator, tuple []byte)
+
+	// running order-key state: both tables keep sorted keys with small
+	// steps, the shape FOR-delta compresses.
+	orderKey  int32
+	linesLeft int32
+	lineNo    int32
+}
+
+// Lineitem returns a generator for the LINEITEM table.
+func Lineitem(seed int64) *Generator {
+	g := &Generator{sch: schema.Lineitem(), seed: seed}
+	g.fill = (*Generator).fillLineitem
+	g.Reset()
+	return g
+}
+
+// Orders returns a generator for the ORDERS table.
+func Orders(seed int64) *Generator {
+	g := &Generator{sch: schema.Orders(), seed: seed}
+	g.fill = (*Generator).fillOrders
+	g.Reset()
+	return g
+}
+
+// ForSchema returns a generator whose tuples satisfy the given paper
+// schema (LINEITEM, ORDERS, or their -Z variants, matched by base name).
+func ForSchema(s *schema.Schema, seed int64) (*Generator, error) {
+	switch s.Name {
+	case "LINEITEM", "LINEITEM-Z":
+		return Lineitem(seed), nil
+	case "ORDERS", "ORDERS-Z", "ORDERS-Z/FOR":
+		return Orders(seed), nil
+	default:
+		return nil, fmt.Errorf("tpch: no generator for schema %s", s.Name)
+	}
+}
+
+// Schema returns the (uncompressed) schema of the generated tuples. The
+// same tuples load into the -Z variants, whose value domains they respect.
+func (g *Generator) Schema() *schema.Schema { return g.sch }
+
+// Reset restarts generation from the first tuple of the same sequence.
+func (g *Generator) Reset() {
+	g.rng = rand.New(rand.NewSource(g.seed))
+	g.i = 0
+	g.orderKey = 0
+	g.linesLeft = 0
+	g.lineNo = 0
+}
+
+// Index returns the number of tuples generated so far.
+func (g *Generator) Index() int64 { return g.i }
+
+// Next fills tuple (Schema().Width() bytes) with the next row.
+func (g *Generator) Next(tuple []byte) {
+	if len(tuple) != g.sch.Width() {
+		panic(fmt.Sprintf("tpch: Next with %d-byte tuple, schema %s wants %d", len(tuple), g.sch.Name, g.sch.Width()))
+	}
+	g.fill(g, tuple)
+	g.i++
+}
+
+func (g *Generator) fillLineitem(tuple []byte) {
+	s := g.sch
+	if g.linesLeft == 0 {
+		// TPC-H: 1..7 line items per order, orders keys sorted with small
+		// gaps. Steps stay within the 8-bit FOR-delta code.
+		g.orderKey += 1 + g.rng.Int31n(4)
+		g.linesLeft = 1 + g.rng.Int31n(7)
+		g.lineNo = 0
+	}
+	g.lineNo++
+	g.linesLeft--
+
+	qty := 1 + g.rng.Int31n(50)
+	ship := g.rng.Int31n(DateDomain - 200)
+	s.PutInt32At(tuple, schema.LPartKey, g.rng.Int31n(PartKeyDomain))
+	s.PutInt32At(tuple, schema.LOrderKey, g.orderKey)
+	s.PutInt32At(tuple, schema.LSuppKey, 1+g.rng.Int31n(100_000))
+	s.PutInt32At(tuple, schema.LLineNumber, g.lineNo)
+	s.PutInt32At(tuple, schema.LQuantity, qty)
+	s.PutInt32At(tuple, schema.LExtendedPrice, qty*(90_000+g.rng.Int31n(20_000)))
+	s.PutTextAt(tuple, schema.LReturnFlag, []byte(ReturnFlags[g.rng.Intn(len(ReturnFlags))]))
+	s.PutTextAt(tuple, schema.LLineStatus, []byte(LineStatuses[g.rng.Intn(len(LineStatuses))]))
+	s.PutTextAt(tuple, schema.LShipInstruct, []byte(ShipInstructs[g.rng.Intn(len(ShipInstructs))]))
+	s.PutTextAt(tuple, schema.LShipMode, []byte(ShipModes[g.rng.Intn(len(ShipModes))]))
+	s.PutTextAt(tuple, schema.LComment, g.comment())
+	s.PutInt32At(tuple, schema.LDiscount, g.rng.Int31n(11))
+	s.PutInt32At(tuple, schema.LTax, g.rng.Int31n(9))
+	s.PutInt32At(tuple, schema.LShipDate, ship)
+	s.PutInt32At(tuple, schema.LCommitDate, ship+g.rng.Int31n(100))
+	s.PutInt32At(tuple, schema.LReceiptDate, ship+g.rng.Int31n(200))
+}
+
+func (g *Generator) fillOrders(tuple []byte) {
+	s := g.sch
+	g.orderKey += 1 + g.rng.Int31n(4)
+	s.PutInt32At(tuple, schema.OOrderDate, g.rng.Int31n(OrderDateDomain))
+	s.PutInt32At(tuple, schema.OOrderKey, g.orderKey)
+	s.PutInt32At(tuple, schema.OCustKey, 1+g.rng.Int31n(1_500_000))
+	s.PutTextAt(tuple, schema.OOrderStatus, []byte(OrderStatuses[g.rng.Intn(len(OrderStatuses))]))
+	s.PutTextAt(tuple, schema.OOrderPriority, []byte(OrderPriorities[g.rng.Intn(len(OrderPriorities))]))
+	s.PutInt32At(tuple, schema.OTotalPrice, 1000+g.rng.Int31n(500_000))
+	s.PutInt32At(tuple, schema.OShipPriority, 0)
+}
+
+// comment returns a short comment string (at most 28 bytes, so LINEITEM-Z's
+// 28-byte pack is lossless).
+func (g *Generator) comment() []byte {
+	a := commentWords[g.rng.Intn(len(commentWords))]
+	b := commentWords[g.rng.Intn(len(commentWords))]
+	c := fmt.Sprintf("%s %s deps", a, b)
+	if len(c) > 28 {
+		c = c[:28]
+	}
+	return []byte(c)
+}
+
+// UniformDomain returns the domain size of the first attribute of the
+// given table schema — the attribute the paper's selection predicates
+// filter on — so callers can derive thresholds for exact selectivities.
+func UniformDomain(s *schema.Schema) (int32, error) {
+	switch s.Name {
+	case "LINEITEM", "LINEITEM-Z":
+		return PartKeyDomain, nil
+	case "ORDERS", "ORDERS-Z", "ORDERS-Z/FOR":
+		return OrderDateDomain, nil
+	default:
+		return 0, fmt.Errorf("tpch: no uniform domain for schema %s", s.Name)
+	}
+}
+
+// Threshold returns the predicate constant t such that "attr < t" on the
+// table's first attribute yields approximately the given selectivity
+// (fraction in [0,1]).
+func Threshold(s *schema.Schema, selectivity float64) (int32, error) {
+	dom, err := UniformDomain(s)
+	if err != nil {
+		return 0, err
+	}
+	if selectivity < 0 || selectivity > 1 {
+		return 0, fmt.Errorf("tpch: selectivity %v out of [0,1]", selectivity)
+	}
+	return int32(selectivity * float64(dom)), nil
+}

@@ -1,0 +1,280 @@
+package tpch
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/compress"
+	"github.com/readoptdb/readopt/internal/page"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+func TestDeterminism(t *testing.T) {
+	for _, mk := range []func(int64) *Generator{Lineitem, Orders} {
+		g1 := mk(42)
+		g2 := mk(42)
+		t1 := make([]byte, g1.Schema().Width())
+		t2 := make([]byte, g2.Schema().Width())
+		for i := 0; i < 1000; i++ {
+			g1.Next(t1)
+			g2.Next(t2)
+			if !bytes.Equal(t1, t2) {
+				t.Fatalf("%s: tuple %d differs between equal seeds", g1.Schema().Name, i)
+			}
+		}
+		if g1.Index() != 1000 {
+			t.Errorf("Index = %d, want 1000", g1.Index())
+		}
+	}
+}
+
+func TestResetReplaysSequence(t *testing.T) {
+	g := Orders(7)
+	tuple := make([]byte, g.Schema().Width())
+	first := make([][]byte, 50)
+	for i := range first {
+		g.Next(tuple)
+		first[i] = append([]byte(nil), tuple...)
+	}
+	g.Reset()
+	if g.Index() != 0 {
+		t.Errorf("Index after Reset = %d", g.Index())
+	}
+	for i := range first {
+		g.Next(tuple)
+		if !bytes.Equal(tuple, first[i]) {
+			t.Fatalf("tuple %d differs after Reset", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	g1, g2 := Orders(1), Orders(2)
+	t1 := make([]byte, g1.Schema().Width())
+	t2 := make([]byte, g2.Schema().Width())
+	same := 0
+	for i := 0; i < 100; i++ {
+		g1.Next(t1)
+		g2.Next(t2)
+		if bytes.Equal(t1, t2) {
+			same++
+		}
+	}
+	if same == 100 {
+		t.Error("different seeds produced identical sequences")
+	}
+}
+
+func TestNextPanicsOnWrongWidth(t *testing.T) {
+	g := Orders(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Next with wrong tuple width did not panic")
+		}
+	}()
+	g.Next(make([]byte, 3))
+}
+
+// TestValueDomains verifies every generated value stays inside the code
+// domain its Figure 5 encoding requires.
+func TestValueDomains(t *testing.T) {
+	const n = 20000
+	g := Lineitem(3)
+	s := g.Schema()
+	tuple := make([]byte, s.Width())
+	prevOrder := int32(0)
+	for i := 0; i < n; i++ {
+		g.Next(tuple)
+		ok := s.Int32At(tuple, schema.LPartKey) >= 0 && s.Int32At(tuple, schema.LPartKey) < PartKeyDomain
+		if !ok {
+			t.Fatalf("L_PARTKEY out of domain: %d", s.Int32At(tuple, schema.LPartKey))
+		}
+		order := s.Int32At(tuple, schema.LOrderKey)
+		if d := order - prevOrder; d < 0 || d > 255 {
+			t.Fatalf("L_ORDERKEY delta %d outside 8-bit FOR-delta domain", d)
+		}
+		prevOrder = order
+		if v := s.Int32At(tuple, schema.LLineNumber); v < 1 || v > 7 {
+			t.Fatalf("L_LINENUMBER %d outside 3-bit pack", v)
+		}
+		if v := s.Int32At(tuple, schema.LQuantity); v < 1 || v > 63 {
+			t.Fatalf("L_QUANTITY %d outside 6-bit pack", v)
+		}
+		for _, a := range []int{schema.LShipDate, schema.LCommitDate, schema.LReceiptDate} {
+			if v := s.Int32At(tuple, a); v < 0 || v >= 1<<16 {
+				t.Fatalf("date attr %d value %d outside 16-bit pack", a, v)
+			}
+		}
+		comment := s.TextAt(tuple, schema.LComment)
+		for _, b := range comment[28:] {
+			if b != ' ' {
+				t.Fatalf("L_COMMENT %q has content beyond the 28-byte pack", comment)
+			}
+		}
+	}
+
+	og := Orders(3)
+	os := og.Schema()
+	otuple := make([]byte, os.Width())
+	prevOrder = 0
+	for i := 0; i < n; i++ {
+		og.Next(otuple)
+		if v := os.Int32At(otuple, schema.OOrderDate); v < 0 || v >= 1<<14 {
+			t.Fatalf("O_ORDERDATE %d outside 14-bit pack", v)
+		}
+		order := os.Int32At(otuple, schema.OOrderKey)
+		if d := order - prevOrder; d < 0 || d > 255 {
+			t.Fatalf("O_ORDERKEY delta %d outside 8-bit FOR-delta domain", d)
+		}
+		prevOrder = order
+		if v := os.Int32At(otuple, schema.OShipPriority); v != 0 {
+			t.Fatalf("O_SHIPPRIORITY %d outside 1-bit pack", v)
+		}
+	}
+}
+
+// TestCompressedLoadability is the end-to-end domain check: generated
+// tuples must encode without error under both -Z schemas.
+func TestCompressedLoadability(t *testing.T) {
+	cases := []struct {
+		z   *schema.Schema
+		gen *Generator
+	}{
+		{schema.LineitemZ(), Lineitem(11)},
+		{schema.OrdersZ(), Orders(11)},
+		{schema.OrdersZFOR(), Orders(11)},
+	}
+	for _, c := range cases {
+		b, err := page.NewRowBuilder(c.z, page.DefaultSize, map[int]*compress.Dictionary{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tuple := make([]byte, c.gen.Schema().Width())
+		for i := 0; i < 3*b.Capacity(); i++ {
+			c.gen.Next(tuple)
+			b.Add(tuple)
+			if b.Full() {
+				if _, err := b.Flush(0); err != nil {
+					t.Fatalf("%s: %v", c.z.Name, err)
+				}
+			}
+		}
+		if _, err := b.Flush(0); err != nil {
+			t.Fatalf("%s: %v", c.z.Name, err)
+		}
+	}
+}
+
+// TestSelectivityAccuracy checks that Threshold yields predicates whose
+// observed selectivity is close to the target on both tables.
+func TestSelectivityAccuracy(t *testing.T) {
+	const n = 200000
+	cases := []struct {
+		gen *Generator
+		sel float64
+	}{
+		{Lineitem(5), 0.10},
+		{Lineitem(5), 0.001},
+		{Orders(5), 0.10},
+		{Orders(5), 0.50},
+	}
+	for _, c := range cases {
+		c.gen.Reset()
+		s := c.gen.Schema()
+		th, err := Threshold(s, c.sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tuple := make([]byte, s.Width())
+		hits := 0
+		for i := 0; i < n; i++ {
+			c.gen.Next(tuple)
+			if s.Int32At(tuple, 0) < th {
+				hits++
+			}
+		}
+		got := float64(hits) / n
+		// Binomial noise: allow 5 standard deviations.
+		tol := 5 * math.Sqrt(c.sel*(1-c.sel)/n)
+		if math.Abs(got-c.sel) > tol {
+			t.Errorf("%s: observed selectivity %.5f, want %.5f ± %.5f", s.Name, got, c.sel, tol)
+		}
+	}
+}
+
+func TestThresholdErrors(t *testing.T) {
+	if _, err := Threshold(schema.Orders(), -0.1); err == nil {
+		t.Error("accepted negative selectivity")
+	}
+	if _, err := Threshold(schema.Orders(), 1.1); err == nil {
+		t.Error("accepted selectivity > 1")
+	}
+	bogus := schema.MustNew("X", []schema.Attribute{{Name: "A", Type: schema.IntType}})
+	if _, err := Threshold(bogus, 0.1); err == nil {
+		t.Error("accepted unknown schema")
+	}
+}
+
+func TestForSchema(t *testing.T) {
+	for _, s := range []*schema.Schema{
+		schema.Lineitem(), schema.LineitemZ(), schema.Orders(), schema.OrdersZ(), schema.OrdersZFOR(),
+	} {
+		g, err := ForSchema(s, 1)
+		if err != nil {
+			t.Errorf("ForSchema(%s): %v", s.Name, err)
+			continue
+		}
+		if g.Schema().Compressed() {
+			t.Errorf("ForSchema(%s) returned compressed generator schema", s.Name)
+		}
+	}
+	bogus := schema.MustNew("X", []schema.Attribute{{Name: "A", Type: schema.IntType}})
+	if _, err := ForSchema(bogus, 1); err == nil {
+		t.Error("ForSchema accepted unknown schema")
+	}
+}
+
+// TestAdvisorAgreesWithFigure5 feeds generated ORDERS data to the
+// compression advisor and checks it recovers the paper's scheme choices
+// for the attributes with clear-cut statistics.
+func TestAdvisorAgreesWithFigure5(t *testing.T) {
+	g := Orders(9)
+	s := g.Schema()
+	stats := make([]*compress.Stats, s.NumAttrs())
+	for i, a := range s.Attrs {
+		stats[i] = compress.NewStats(a.Type)
+	}
+	tuple := make([]byte, s.Width())
+	for i := 0; i < 50000; i++ {
+		g.Next(tuple)
+		for a := range s.Attrs {
+			off := s.Offset(a)
+			stats[a].Observe(tuple[off : off+s.Attrs[a].Type.Size])
+		}
+	}
+	check := func(attr int, wantEnc schema.Encoding) {
+		got := stats[attr].Advise(s.Attrs[attr].Type)
+		if got.Enc != wantEnc {
+			t.Errorf("%s: advisor chose %v, paper uses %v", s.Attrs[attr].Name, got.Enc, wantEnc)
+		}
+	}
+	check(schema.OOrderKey, schema.FORDelta)
+	check(schema.OOrderStatus, schema.Dict)
+	check(schema.OOrderPriority, schema.Dict)
+	// O_ORDERDATE: uniform 0..9999 -> bit packing, same family as the
+	// paper's pack/14.
+	got := stats[schema.OOrderDate].Advise(schema.IntType)
+	if got.Enc != schema.BitPack || got.Bits != 14 {
+		t.Errorf("O_ORDERDATE: advisor chose %v/%d, paper uses pack/14", got.Enc, got.Bits)
+	}
+}
+
+func BenchmarkLineitemGen(b *testing.B) {
+	g := Lineitem(1)
+	tuple := make([]byte, g.Schema().Width())
+	b.SetBytes(int64(len(tuple)))
+	for i := 0; i < b.N; i++ {
+		g.Next(tuple)
+	}
+}

@@ -1,0 +1,98 @@
+package readopt
+
+import (
+	"fmt"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/exec"
+)
+
+// JoinSpec describes a merge equi-join of two scans, with optional
+// aggregation over the joined rows. Both inputs must be clustered
+// (sorted) on their join keys, which bulk-loaded tables are on their
+// insertion key.
+type JoinSpec struct {
+	LeftKey  string
+	RightKey string
+	// GroupBy and Aggs aggregate the joined rows; column names refer to
+	// the joined schema (right-side duplicates are prefixed "R.").
+	GroupBy []string
+	Aggs    []Agg
+	// Limit bounds the result rows (0 = no limit).
+	Limit int64
+}
+
+// JoinTables runs a merge join between scans of two tables. The left and
+// right queries supply projection and predicates only (no aggregation or
+// limit); the join key must be among each side's selected columns.
+func JoinTables(left *Table, lq Query, right *Table, rq Query, spec JoinSpec) (*Rows, error) {
+	for _, q := range []Query{lq, rq} {
+		if len(q.Aggs) > 0 || len(q.GroupBy) > 0 || q.Limit > 0 {
+			return nil, fmt.Errorf("readopt: join inputs must be plain scans")
+		}
+	}
+	var counters cpumodel.Counters
+	lop, err := left.plan(lq, &counters)
+	if err != nil {
+		return nil, err
+	}
+	rop, err := right.plan(rq, &counters)
+	if err != nil {
+		return nil, err
+	}
+	lk := lop.Schema().AttrIndex(spec.LeftKey)
+	if lk < 0 {
+		return nil, fmt.Errorf("readopt: left key %q not among selected columns", spec.LeftKey)
+	}
+	rk := rop.Schema().AttrIndex(spec.RightKey)
+	if rk < 0 {
+		return nil, fmt.Errorf("readopt: right key %q not among selected columns", spec.RightKey)
+	}
+	var op exec.Operator
+	op, err = exec.NewMergeJoin(lop, rop, lk, rk, &counters)
+	if err != nil {
+		return nil, err
+	}
+	if len(spec.Aggs) > 0 {
+		sch := op.Schema()
+		var groupBy []int
+		for _, g := range spec.GroupBy {
+			i := sch.AttrIndex(g)
+			if i < 0 {
+				return nil, fmt.Errorf("readopt: group-by column %q not in joined schema", g)
+			}
+			groupBy = append(groupBy, i)
+		}
+		var aggs []exec.AggSpec
+		for _, a := range spec.Aggs {
+			f, ok := aggFuncs[a.Func]
+			if !ok {
+				return nil, fmt.Errorf("readopt: unknown aggregate %q", a.Func)
+			}
+			s := exec.AggSpec{Func: f}
+			if f != exec.Count {
+				i := sch.AttrIndex(a.Column)
+				if i < 0 {
+					return nil, fmt.Errorf("readopt: aggregate column %q not in joined schema", a.Column)
+				}
+				s.Attr = i
+			}
+			aggs = append(aggs, s)
+		}
+		op, err = exec.NewHashAggregate(op, groupBy, aggs, &counters)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if spec.Limit > 0 {
+		op, err = exec.NewLimit(op, spec.Limit)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := op.Open(); err != nil {
+		op.Close()
+		return nil, err
+	}
+	return &Rows{op: op, sch: op.Schema(), counters: &counters}, nil
+}

@@ -1,0 +1,89 @@
+package readopt
+
+import (
+	"time"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/model"
+)
+
+// Hardware describes a configuration for the paper's analytical model
+// (Section 5). The zero value is not useful; start from PaperHardware or
+// fill all fields.
+type Hardware struct {
+	CPUs     int
+	ClockGHz float64
+	Disks    int
+	// DiskMBps is the sequential bandwidth per disk in MB/s.
+	DiskMBps float64
+}
+
+// PaperHardware is the paper's testbed: one 3.2GHz CPU over three 60MB/s
+// disks, rated 18 cycles per disk byte.
+func PaperHardware() Hardware {
+	return Hardware{CPUs: 1, ClockGHz: 3.2, Disks: 3, DiskMBps: 60}
+}
+
+// CPDB returns the configuration's cycles-per-disk-byte rating — the
+// single parameter the model folds CPU and disk resources into. The
+// paper's machine rates 18; a modern single-disk dual-processor desktop
+// about 108; typical configurations range from 20 to 400.
+func (h Hardware) CPDB() float64 {
+	return h.ClockGHz * 1e9 * float64(h.CPUs) / (float64(h.Disks) * h.DiskMBps * 1e6)
+}
+
+// Prediction is the model's verdict for one workload on one hardware
+// configuration.
+type Prediction struct {
+	// RowRate and ColumnRate are modelled scan throughputs in tuples/sec.
+	RowRate    float64
+	ColumnRate float64
+	// Speedup is ColumnRate/RowRate: above 1, the column layout wins.
+	Speedup float64
+}
+
+// WorkloadSpec parameterizes the predicted query: a scan of a relation
+// with NumColumns equal-width attributes stored in TupleBytes per tuple,
+// selecting ProjectedFraction of the columns with a predicate of the
+// given Selectivity.
+type WorkloadSpec struct {
+	Rows              int64
+	TupleBytes        int
+	NumColumns        int
+	ProjectedFraction float64
+	Selectivity       float64
+}
+
+// PredictSpeedup applies the paper's analytical model (equations 1–8) to
+// a workload on a hardware configuration, using the engine's calibrated
+// per-operation costs.
+func PredictSpeedup(h Hardware, w WorkloadSpec) (Prediction, error) {
+	m := cpumodel.Paper2006()
+	m.ClockHz = h.ClockGHz * 1e9
+	m.CPUs = h.CPUs
+	cfg := model.FromMachine(m, float64(h.Disks)*h.DiskMBps*1e6)
+	rows := w.Rows
+	if rows == 0 {
+		rows = 60_000_000
+	}
+	mw := model.Workload{
+		N:           rows,
+		TupleWidth:  w.TupleBytes,
+		NumAttrs:    w.NumColumns,
+		Projection:  w.ProjectedFraction,
+		Selectivity: w.Selectivity,
+	}
+	rowRate, colRate, speedup, err := cfg.Predict(mw, cpumodel.DefaultCosts(), m)
+	if err != nil {
+		return Prediction{}, err
+	}
+	return Prediction{RowRate: rowRate, ColumnRate: colRate, Speedup: speedup}, nil
+}
+
+// IndexScanBreakEven returns the selectivity below which an unclustered
+// index probe with seeks beats a plain sequential scan (Section 2.1.1):
+// with a 5ms seek, 300MB/s of bandwidth and 128-byte tuples it is below
+// 0.008%.
+func IndexScanBreakEven(seek time.Duration, diskMBps float64, tupleBytes int) float64 {
+	return model.IndexScanBreakEven(seek.Seconds(), diskMBps*1e6, tupleBytes)
+}

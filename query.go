@@ -1,0 +1,399 @@
+package readopt
+
+import (
+	"fmt"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// Cond is a SARGable predicate: column OP constant. Op is one of
+// "<", "<=", "=", "<>", ">=", ">". Value is an int for integer columns or
+// a string for text columns.
+type Cond struct {
+	Column string
+	Op     string
+	Value  any
+}
+
+// Agg is one aggregate of a query's select list: Func is "count", "sum",
+// "min", "max" or "avg"; Column is empty for "count".
+type Agg struct {
+	Func   string
+	Column string
+}
+
+// Order is one ORDER BY key.
+type Order struct {
+	Column string
+	Desc   bool
+}
+
+// Query describes a scan-shaped query over one table: projection,
+// conjunctive predicates, and optional grouping/aggregation (computed
+// above the scan by the block-iterator engine).
+type Query struct {
+	// Select lists the projected columns. Required unless aggregates are
+	// given, in which case it defaults to the group-by columns.
+	Select []string
+	// Where are conjunctive predicates, evaluated inside the scan.
+	Where []Cond
+	// GroupBy and Aggs turn the query into an aggregation.
+	GroupBy []string
+	Aggs    []Agg
+	// OrderBy sorts the result (column names refer to the output schema;
+	// aggregate columns are named like "SUM(O_TOTALPRICE)").
+	OrderBy []Order
+	// Limit bounds the result rows (0 = no limit).
+	Limit int64
+}
+
+var cmpOps = map[string]exec.CmpOp{
+	"<": exec.Lt, "<=": exec.Le, "=": exec.Eq, "<>": exec.Ne, ">=": exec.Ge, ">": exec.Gt,
+}
+
+var aggFuncs = map[string]exec.AggFunc{
+	"count": exec.Count, "sum": exec.Sum, "min": exec.Min, "max": exec.Max, "avg": exec.Avg,
+}
+
+func (t *Table) resolve(col string) (int, error) {
+	i := t.t.Schema.AttrIndex(col)
+	if i < 0 {
+		return 0, fmt.Errorf("readopt: table %s has no column %q", t.t.Schema.Name, col)
+	}
+	return i, nil
+}
+
+func (t *Table) buildPreds(conds []Cond) ([]exec.Predicate, error) {
+	var preds []exec.Predicate
+	for _, c := range conds {
+		attr, err := t.resolve(c.Column)
+		if err != nil {
+			return nil, err
+		}
+		op, ok := cmpOps[c.Op]
+		if !ok {
+			return nil, fmt.Errorf("readopt: unknown comparison %q", c.Op)
+		}
+		switch v := c.Value.(type) {
+		case int:
+			preds = append(preds, exec.IntPred(attr, op, int32(v)))
+		case int32:
+			preds = append(preds, exec.IntPred(attr, op, v))
+		case int64:
+			preds = append(preds, exec.IntPred(attr, op, int32(v)))
+		case string:
+			preds = append(preds, exec.TextPred(attr, op, v))
+		default:
+			return nil, fmt.Errorf("readopt: unsupported predicate value %T for column %s", c.Value, c.Column)
+		}
+	}
+	return preds, nil
+}
+
+// scanPlan resolves the columns a query's scan must read.
+func (t *Table) scanPlan(q Query) (scanCols []string, proj []int, err error) {
+	sel := q.Select
+	if len(sel) == 0 {
+		if len(q.Aggs) == 0 {
+			return nil, nil, fmt.Errorf("readopt: query selects nothing")
+		}
+		sel = q.GroupBy
+	}
+	scanCols = append([]string(nil), sel...)
+	for _, g := range q.GroupBy {
+		scanCols = appendMissing(scanCols, g)
+	}
+	for _, a := range q.Aggs {
+		if a.Column != "" {
+			scanCols = appendMissing(scanCols, a.Column)
+		}
+	}
+	if len(scanCols) == 0 {
+		// A bare count(*) still needs one column to drive the scan; use
+		// the first, as the paper's engine does.
+		scanCols = []string{t.t.Schema.Attrs[0].Name}
+	}
+	proj = make([]int, len(scanCols))
+	for i, c := range scanCols {
+		a, err := t.resolve(c)
+		if err != nil {
+			return nil, nil, err
+		}
+		proj[i] = a
+	}
+	return scanCols, proj, nil
+}
+
+// plan builds the operator tree for a query.
+func (t *Table) plan(q Query, counters *cpumodel.Counters) (exec.Operator, error) {
+	scanCols, proj, err := t.scanPlan(q)
+	if err != nil {
+		return nil, err
+	}
+	preds, err := t.buildPreds(q.Where)
+	if err != nil {
+		return nil, err
+	}
+	op, err := t.scanOperator(preds, proj, counters)
+	if err != nil {
+		return nil, err
+	}
+	return t.finishPlan(op, scanCols, q, counters)
+}
+
+// finishPlan wraps a scan-shaped source (whose schema is the projection
+// of scanCols) with the query's aggregation, ordering and limit.
+func (t *Table) finishPlan(op exec.Operator, scanCols []string, q Query, counters *cpumodel.Counters) (exec.Operator, error) {
+	var err error
+	if len(q.Aggs) > 0 {
+		outIdx := func(col string) (int, error) {
+			for i, c := range scanCols {
+				if c == col {
+					return i, nil
+				}
+			}
+			return 0, fmt.Errorf("readopt: aggregate column %q not in scan", col)
+		}
+		var groupBy []int
+		for _, g := range q.GroupBy {
+			i, err := outIdx(g)
+			if err != nil {
+				return nil, err
+			}
+			groupBy = append(groupBy, i)
+		}
+		var aggs []exec.AggSpec
+		for _, a := range q.Aggs {
+			f, ok := aggFuncs[a.Func]
+			if !ok {
+				return nil, fmt.Errorf("readopt: unknown aggregate %q", a.Func)
+			}
+			spec := exec.AggSpec{Func: f}
+			if f != exec.Count {
+				i, err := outIdx(a.Column)
+				if err != nil {
+					return nil, err
+				}
+				spec.Attr = i
+			}
+			aggs = append(aggs, spec)
+		}
+		op, err = exec.NewHashAggregate(op, groupBy, aggs, counters)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		keys := make([]exec.SortKey, len(q.OrderBy))
+		for i, o := range q.OrderBy {
+			attr := op.Schema().AttrIndex(o.Column)
+			if attr < 0 {
+				return nil, fmt.Errorf("readopt: order-by column %q not in result (have %v)", o.Column, resultColumns(op))
+			}
+			keys[i] = exec.SortKey{Attr: attr, Desc: o.Desc}
+		}
+		if q.Limit > 0 {
+			// ORDER BY + LIMIT fuse into a bounded-heap top-n, which keeps
+			// only the requested rows in memory.
+			op, err = exec.NewTopN(op, keys, q.Limit, counters)
+			if err != nil {
+				return nil, err
+			}
+			return op, nil
+		}
+		op, err = exec.NewSort(op, keys, counters)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if q.Limit > 0 {
+		op, err = exec.NewLimit(op, q.Limit)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return op, nil
+}
+
+func resultColumns(op exec.Operator) []string {
+	s := op.Schema()
+	out := make([]string, s.NumAttrs())
+	for i, a := range s.Attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+func appendMissing(cols []string, c string) []string {
+	for _, have := range cols {
+		if have == c {
+			return cols
+		}
+	}
+	return append(cols, c)
+}
+
+// Rows iterates a query's results, database/sql style.
+type Rows struct {
+	op       exec.Operator
+	sch      *schema.Schema
+	block    *exec.Block
+	pos      int
+	err      error
+	done     bool
+	counters *cpumodel.Counters
+}
+
+// Query executes q against the table and returns a result iterator.
+func (t *Table) Query(q Query) (*Rows, error) {
+	var counters cpumodel.Counters
+	op, err := t.plan(q, &counters)
+	if err != nil {
+		return nil, err
+	}
+	if err := op.Open(); err != nil {
+		op.Close()
+		return nil, err
+	}
+	return &Rows{op: op, sch: op.Schema(), counters: &counters}, nil
+}
+
+// Columns returns the result column names.
+func (r *Rows) Columns() []string {
+	out := make([]string, r.sch.NumAttrs())
+	for i, a := range r.sch.Attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Next advances to the next result row.
+func (r *Rows) Next() bool {
+	if r.err != nil || r.done {
+		return false
+	}
+	r.pos++
+	for r.block == nil || r.pos >= r.block.Len() {
+		b, err := r.op.Next()
+		if err != nil {
+			r.err = err
+			return false
+		}
+		if b == nil {
+			r.done = true
+			return false
+		}
+		r.block = b
+		r.pos = 0
+	}
+	return true
+}
+
+// Scan copies the current row into dest: *int32, *int or *int64 for
+// integer columns, *string or *[]byte for text columns.
+func (r *Rows) Scan(dest ...any) error {
+	if r.block == nil || r.pos >= r.block.Len() {
+		return fmt.Errorf("readopt: Scan without a current row")
+	}
+	if len(dest) != r.sch.NumAttrs() {
+		return fmt.Errorf("readopt: Scan with %d targets for %d columns", len(dest), r.sch.NumAttrs())
+	}
+	tuple := r.block.Tuple(r.pos)
+	for i, d := range dest {
+		a := r.sch.Attrs[i]
+		if a.Type.Kind == schema.Int32 {
+			v := r.sch.Int32At(tuple, i)
+			switch p := d.(type) {
+			case *int32:
+				*p = v
+			case *int:
+				*p = int(v)
+			case *int64:
+				*p = int64(v)
+			default:
+				return fmt.Errorf("readopt: column %s needs *int32/*int/*int64, got %T", a.Name, d)
+			}
+			continue
+		}
+		raw := r.sch.TextAt(tuple, i)
+		switch p := d.(type) {
+		case *string:
+			*p = trimPad(raw)
+		case *[]byte:
+			*p = append((*p)[:0], raw...)
+		default:
+			return fmt.Errorf("readopt: column %s needs *string/*[]byte, got %T", a.Name, d)
+		}
+	}
+	return nil
+}
+
+func trimPad(b []byte) string {
+	end := len(b)
+	for end > 0 && b[end-1] == ' ' {
+		end--
+	}
+	return string(b[:end])
+}
+
+// Err returns the first error encountered during iteration.
+func (r *Rows) Err() error { return r.err }
+
+// Close releases the query's resources and returns the scan statistics
+// through Stats afterwards.
+func (r *Rows) Close() error {
+	r.done = true
+	return r.op.Close()
+}
+
+// Stats returns the work the query performed so far.
+func (r *Rows) Stats() ScanStats {
+	c := r.counters
+	return ScanStats{
+		Instructions: c.Instr,
+		SeqMemBytes:  c.SeqBytes,
+		RandMemLines: c.RandLines,
+		IORequests:   c.IORequests,
+		IOBytes:      c.IOBytes,
+	}
+}
+
+// encodeRow fills a decoded tuple from Go values.
+func encodeRow(s *schema.Schema, tuple []byte, values []any) error {
+	if len(values) != s.NumAttrs() {
+		return fmt.Errorf("readopt: %d values for %d columns", len(values), s.NumAttrs())
+	}
+	for i, v := range values {
+		a := s.Attrs[i]
+		if a.Type.Kind == schema.Int32 {
+			switch x := v.(type) {
+			case int:
+				s.PutInt32At(tuple, i, int32(x))
+			case int32:
+				s.PutInt32At(tuple, i, x)
+			case int64:
+				s.PutInt32At(tuple, i, int32(x))
+			default:
+				return fmt.Errorf("readopt: column %s needs an integer, got %T", a.Name, v)
+			}
+			continue
+		}
+		switch x := v.(type) {
+		case string:
+			if len(x) > a.Type.Size {
+				return fmt.Errorf("readopt: value %q too long for column %s (%d bytes)", x, a.Name, a.Type.Size)
+			}
+			s.PutTextAt(tuple, i, []byte(x))
+		case []byte:
+			if len(x) > a.Type.Size {
+				return fmt.Errorf("readopt: value too long for column %s (%d bytes)", a.Name, a.Type.Size)
+			}
+			s.PutTextAt(tuple, i, x)
+		default:
+			return fmt.Errorf("readopt: column %s needs text, got %T", a.Name, v)
+		}
+	}
+	return nil
+}

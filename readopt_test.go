@@ -1,0 +1,470 @@
+package readopt
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestNewSchema(t *testing.T) {
+	s, err := NewSchema("SALES", []Column{
+		{Name: "SALE_ID", Type: Int32, Compression: FORDelta, Bits: 8},
+		{Name: "REGION", Type: Text(10), Compression: Dict, Bits: 3},
+		{Name: "AMOUNT", Type: Int32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "SALES" || s.TupleBytes() != 18 {
+		t.Errorf("schema = %s/%d bytes", s.Name(), s.TupleBytes())
+	}
+	if cols := s.Columns(); len(cols) != 3 || cols[1] != "REGION" {
+		t.Errorf("Columns = %v", cols)
+	}
+	if !strings.Contains(s.String(), "dict, 3 bits") {
+		t.Errorf("String missing compression info:\n%s", s)
+	}
+}
+
+func TestNewSchemaErrors(t *testing.T) {
+	cases := [][]Column{
+		{{Name: "A", Type: "float64"}},
+		{{Name: "A", Type: "text(x)"}},
+		{{Name: "A", Type: "text(0)"}},
+		{{Name: "A", Type: Int32, Compression: "zip"}},
+		{{Name: "A", Type: Int32, Compression: BitPack, Bits: 99}},
+	}
+	for i, cols := range cases {
+		if _, err := NewSchema("T", cols); err == nil {
+			t.Errorf("case %d: invalid schema accepted", i)
+		}
+	}
+}
+
+func TestPaperSchemas(t *testing.T) {
+	if Lineitem().TupleBytes() != 150 || Lineitem().StoredTupleBytes() != 152 {
+		t.Error("LINEITEM widths wrong")
+	}
+	if Orders().TupleBytes() != 32 || Orders().StoredTupleBytes() != 32 {
+		t.Error("ORDERS widths wrong")
+	}
+	if LineitemZ().StoredTupleBytes() != 52 || OrdersZ().StoredTupleBytes() != 12 {
+		t.Error("compressed widths wrong")
+	}
+}
+
+func loadOrders(t *testing.T, layout Layout, n int64) *Table {
+	t.Helper()
+	dir := filepath.Join(t.TempDir(), "orders")
+	tbl, err := GenerateTPCH(dir, Orders(), layout, n, 7, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func TestGenerateAndQuery(t *testing.T) {
+	for _, layout := range []Layout{RowLayout, ColumnLayout} {
+		t.Run(string(layout), func(t *testing.T) {
+			tbl := loadOrders(t, layout, 5000)
+			if tbl.Rows() != 5000 || tbl.Layout() != layout {
+				t.Fatalf("table state: %d rows, %s", tbl.Rows(), tbl.Layout())
+			}
+			th, err := tbl.SelectivityThreshold(0.10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rows, err := tbl.Query(Query{
+				Select: []string{"O_ORDERKEY", "O_TOTALPRICE", "O_ORDERSTATUS"},
+				Where:  []Cond{{Column: "O_ORDERDATE", Op: "<", Value: th}},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rows.Close()
+			if cols := rows.Columns(); cols[0] != "O_ORDERKEY" || cols[2] != "O_ORDERSTATUS" {
+				t.Errorf("result columns = %v", cols)
+			}
+			n := 0
+			prevKey := int32(-1)
+			for rows.Next() {
+				var key int32
+				var price int
+				var status string
+				if err := rows.Scan(&key, &price, &status); err != nil {
+					t.Fatal(err)
+				}
+				if key <= prevKey {
+					t.Fatalf("order keys not increasing: %d after %d", key, prevKey)
+				}
+				prevKey = key
+				if price < 1000 || len(status) != 1 {
+					t.Fatalf("implausible row: price=%d status=%q", price, status)
+				}
+				n++
+			}
+			if err := rows.Err(); err != nil {
+				t.Fatal(err)
+			}
+			if n < 300 || n > 700 {
+				t.Errorf("10%% selectivity returned %d of 5000 rows", n)
+			}
+			if rows.Stats().IOBytes == 0 {
+				t.Error("query reported no I/O")
+			}
+		})
+	}
+}
+
+func TestQueryAggregation(t *testing.T) {
+	tbl := loadOrders(t, ColumnLayout, 5000)
+	rows, err := tbl.Query(Query{
+		GroupBy: []string{"O_ORDERSTATUS"},
+		Aggs:    []Agg{{Func: "count"}, {Func: "sum", Column: "O_TOTALPRICE"}, {Func: "avg", Column: "O_TOTALPRICE"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	total := 0
+	groups := 0
+	for rows.Next() {
+		var status string
+		var cnt, sum, avg int
+		if err := rows.Scan(&status, &cnt, &sum, &avg); err != nil {
+			t.Fatal(err)
+		}
+		if cnt <= 0 || avg <= 0 {
+			t.Fatalf("bad group %q: cnt=%d avg=%d", status, cnt, avg)
+		}
+		total += cnt
+		groups++
+	}
+	if groups != 3 {
+		t.Errorf("got %d status groups, want 3", groups)
+	}
+	if total != 5000 {
+		t.Errorf("group counts sum to %d, want 5000", total)
+	}
+}
+
+func TestQueryLimitAndBareCount(t *testing.T) {
+	tbl := loadOrders(t, RowLayout, 2000)
+	rows, err := tbl.Query(Query{Select: []string{"O_ORDERKEY"}, Limit: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for rows.Next() {
+		n++
+	}
+	rows.Close()
+	if n != 7 {
+		t.Errorf("limit returned %d rows", n)
+	}
+	cnt, err := tbl.Query(Query{Aggs: []Agg{{Func: "count"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cnt.Close()
+	if !cnt.Next() {
+		t.Fatal("count returned no rows")
+	}
+	var c int
+	if err := cnt.Scan(&c); err != nil {
+		t.Fatal(err)
+	}
+	if c != 2000 {
+		t.Errorf("count(*) = %d, want 2000", c)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	tbl := loadOrders(t, RowLayout, 100)
+	cases := []Query{
+		{},
+		{Select: []string{"NOPE"}},
+		{Select: []string{"O_ORDERKEY"}, Where: []Cond{{Column: "O_ORDERKEY", Op: "~", Value: 1}}},
+		{Select: []string{"O_ORDERKEY"}, Where: []Cond{{Column: "O_ORDERKEY", Op: "<", Value: 3.14}}},
+		{Aggs: []Agg{{Func: "median", Column: "O_TOTALPRICE"}}},
+	}
+	for i, q := range cases {
+		if _, err := tbl.Query(q); err == nil {
+			t.Errorf("case %d: invalid query accepted", i)
+		}
+	}
+}
+
+func TestLoaderCustomSchema(t *testing.T) {
+	s, err := NewSchema("EVENTS", []Column{
+		{Name: "TS", Type: Int32, Compression: FORDelta, Bits: 16},
+		{Name: "KIND", Type: Text(8), Compression: Dict, Bits: 2},
+		{Name: "VALUE", Type: Int32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "events")
+	l, err := NewLoader(dir, s, ColumnLayout, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		kind := "click"
+		if i%3 == 0 {
+			kind = "view"
+		}
+		if err := l.Append(1000+i*2, kind, i*i%997); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl, err := l.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := tbl.Query(Query{
+		Select:  []string{"KIND"},
+		GroupBy: []string{"KIND"},
+		Aggs:    []Agg{{Func: "count"}, {Func: "max", Column: "TS"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	counts := map[string]int{}
+	for rows.Next() {
+		var kind string
+		var cnt, maxTS int
+		if err := rows.Scan(&kind, &cnt, &maxTS); err != nil {
+			t.Fatal(err)
+		}
+		counts[kind] = cnt
+		if maxTS < 1000 {
+			t.Errorf("max TS = %d", maxTS)
+		}
+	}
+	if counts["view"] != 334 || counts["click"] != 666 {
+		t.Errorf("group counts = %v", counts)
+	}
+}
+
+func TestLoaderTypeErrors(t *testing.T) {
+	s, _ := NewSchema("T", []Column{{Name: "A", Type: Int32}, {Name: "B", Type: Text(3)}})
+	l, err := NewLoader(filepath.Join(t.TempDir(), "t"), s, RowLayout, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Append(1); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if err := l.Append("x", "y"); err == nil {
+		t.Error("text into int accepted")
+	}
+	if err := l.Append(1, 2); err == nil {
+		t.Error("int into text accepted")
+	}
+	if err := l.Append(1, "toolong"); err == nil {
+		t.Error("over-long text accepted")
+	}
+	if err := l.Append(1, "ok"); err != nil {
+		t.Error(err)
+	}
+	if _, err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriteBufferMerge(t *testing.T) {
+	base := t.TempDir()
+	tbl, err := GenerateTPCH(filepath.Join(base, "orders"), Orders(), ColumnLayout, 2000, 3, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb := NewWriteBuffer(Orders())
+	if err := wb.Insert(500, 1234, 42, "F", "2-HIGH", 999, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := wb.Insert(600, 2345, 43, "O", "5-LOW", 888, 0); err != nil {
+		t.Fatal(err)
+	}
+	if wb.Len() != 2 {
+		t.Fatalf("Len = %d", wb.Len())
+	}
+	merged, err := wb.MergeInto(tbl, filepath.Join(base, "merged"), "O_ORDERKEY")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Rows() != 2002 {
+		t.Errorf("merged rows = %d", merged.Rows())
+	}
+	if wb.Len() != 0 {
+		t.Error("buffer not drained")
+	}
+	rows, err := merged.Query(Query{
+		Select: []string{"O_ORDERKEY", "O_TOTALPRICE"},
+		Where:  []Cond{{Column: "O_TOTALPRICE", Op: "=", Value: 999}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	if !rows.Next() {
+		t.Fatal("inserted row not found after merge")
+	}
+	var key, price int
+	if err := rows.Scan(&key, &price); err != nil {
+		t.Fatal(err)
+	}
+	if key != 1234 {
+		t.Errorf("merged row key = %d", key)
+	}
+}
+
+func TestJoinTables(t *testing.T) {
+	base := t.TempDir()
+	// The generators share order-key structure when seeded identically:
+	// join LINEITEM to ORDERS on the key and aggregate revenue by ship
+	// mode — a warehouse-shaped query.
+	li, err := GenerateTPCH(filepath.Join(base, "li"), Lineitem(), ColumnLayout, 4000, 3, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ord, err := GenerateTPCH(filepath.Join(base, "ord"), Orders(), ColumnLayout, 4000, 3, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := JoinTables(
+		li, Query{Select: []string{"L_ORDERKEY", "L_EXTENDEDPRICE", "L_SHIPMODE"}},
+		ord, Query{Select: []string{"O_ORDERKEY", "O_ORDERSTATUS"}},
+		JoinSpec{
+			LeftKey: "L_ORDERKEY", RightKey: "O_ORDERKEY",
+			GroupBy: []string{"L_SHIPMODE"},
+			Aggs:    []Agg{{Func: "count"}, {Func: "avg", Column: "L_EXTENDEDPRICE"}},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	modes := 0
+	joined := 0
+	for rows.Next() {
+		var mode string
+		var cnt, avg int
+		if err := rows.Scan(&mode, &cnt, &avg); err != nil {
+			t.Fatal(err)
+		}
+		if cnt <= 0 || avg <= 0 {
+			t.Fatalf("bad group %q", mode)
+		}
+		modes++
+		joined += cnt
+	}
+	if modes != 7 {
+		t.Errorf("got %d ship modes, want 7", modes)
+	}
+	if joined == 0 {
+		t.Error("join produced no rows")
+	}
+	// Invalid specs.
+	if _, err := JoinTables(li, Query{Select: []string{"L_ORDERKEY"}, Limit: 5}, ord, Query{Select: []string{"O_ORDERKEY"}}, JoinSpec{LeftKey: "L_ORDERKEY", RightKey: "O_ORDERKEY"}); err == nil {
+		t.Error("join input with limit accepted")
+	}
+	if _, err := JoinTables(li, Query{Select: []string{"L_ORDERKEY"}}, ord, Query{Select: []string{"O_ORDERKEY"}}, JoinSpec{LeftKey: "NOPE", RightKey: "O_ORDERKEY"}); err == nil {
+		t.Error("unknown join key accepted")
+	}
+}
+
+func TestPredictSpeedup(t *testing.T) {
+	hw := PaperHardware()
+	if cpdb := hw.CPDB(); cpdb < 17 || cpdb > 19 {
+		t.Errorf("paper hardware cpdb = %.1f, want about 18", cpdb)
+	}
+	p, err := PredictSpeedup(hw, WorkloadSpec{
+		TupleBytes: 32, NumColumns: 16, ProjectedFraction: 0.5, Selectivity: 0.10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Speedup <= 1 {
+		t.Errorf("wide tuples on paper hardware: speedup = %.2f, want > 1", p.Speedup)
+	}
+	if p.RowRate <= 0 || p.ColumnRate <= 0 {
+		t.Error("rates must be positive")
+	}
+	if _, err := PredictSpeedup(hw, WorkloadSpec{}); err == nil {
+		t.Error("empty workload accepted")
+	}
+}
+
+func TestIndexScanBreakEvenFacade(t *testing.T) {
+	got := IndexScanBreakEven(5_000_000, 300, 128) // 5ms
+	if got > 0.0001 {
+		t.Errorf("break-even = %v, want below 0.01%%", got)
+	}
+}
+
+func TestOpenTableErrors(t *testing.T) {
+	if _, err := OpenTable(t.TempDir()); err == nil {
+		t.Error("empty directory accepted")
+	}
+	if _, err := GenerateTPCH(t.TempDir(), Orders(), Layout("diagonal"), 10, 1, LoadOptions{}); err == nil {
+		t.Error("bogus layout accepted")
+	}
+}
+
+func TestQueryOrderBy(t *testing.T) {
+	tbl := loadOrders(t, ColumnLayout, 3000)
+	// Top five statuses by count: an order-by over aggregate output.
+	rows, err := tbl.Query(Query{
+		GroupBy: []string{"O_ORDERPRIORITY"},
+		Aggs:    []Agg{{Func: "count"}},
+		OrderBy: []Order{{Column: "COUNT(*)", Desc: true}},
+		Limit:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	prev := int(1 << 30)
+	n := 0
+	for rows.Next() {
+		var prio string
+		var cnt int
+		if err := rows.Scan(&prio, &cnt); err != nil {
+			t.Fatal(err)
+		}
+		if cnt > prev {
+			t.Fatalf("counts not descending: %d after %d", cnt, prev)
+		}
+		prev = cnt
+		n++
+	}
+	if n != 3 {
+		t.Errorf("limit 3 returned %d rows", n)
+	}
+	// Plain order-by on a selected column, descending.
+	rows2, err := tbl.Query(Query{
+		Select:  []string{"O_TOTALPRICE"},
+		OrderBy: []Order{{Column: "O_TOTALPRICE", Desc: true}},
+		Limit:   10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows2.Close()
+	prev = 1 << 30
+	for rows2.Next() {
+		var price int
+		if err := rows2.Scan(&price); err != nil {
+			t.Fatal(err)
+		}
+		if price > prev {
+			t.Fatalf("prices not descending")
+		}
+		prev = price
+	}
+	// Unknown order-by column errors.
+	if _, err := tbl.Query(Query{Select: []string{"O_ORDERKEY"}, OrderBy: []Order{{Column: "NOPE"}}}); err == nil {
+		t.Error("unknown order-by column accepted")
+	}
+}

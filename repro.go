@@ -1,0 +1,122 @@
+package readopt
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/readoptdb/readopt/internal/harness"
+)
+
+// Reproduction regenerates the paper's evaluation — every figure and
+// table — on a simulated version of its 2006 testbed (one 3.2GHz Pentium
+// 4 over a three-disk, 180MB/s software RAID). Real scans of real (scaled
+// down) tables supply the CPU-work measurements; a discrete-event replay
+// at the paper's 60M-tuple scale supplies the elapsed times.
+type Reproduction struct {
+	h *harness.Harness
+}
+
+// ReproductionOptions tune the harness.
+type ReproductionOptions struct {
+	// DataDir caches the measure-phase tables between runs; empty uses a
+	// temporary directory.
+	DataDir string
+	// MeasureTuples is the scale of the real tables the engine scans
+	// during measurement (default 200k).
+	MeasureTuples int64
+}
+
+// NewReproduction prepares a reproduction harness with the paper's
+// configuration.
+func NewReproduction(opts ReproductionOptions) (*Reproduction, error) {
+	p := harness.DefaultParams()
+	if opts.DataDir != "" {
+		p.DataDir = opts.DataDir
+	}
+	if opts.MeasureTuples > 0 {
+		p.MeasureTuples = opts.MeasureTuples
+	}
+	h, err := harness.New(p)
+	if err != nil {
+		return nil, err
+	}
+	return &Reproduction{h: h}, nil
+}
+
+// FigureIDs lists the reproducible experiments in paper order.
+func FigureIDs() []string {
+	return []string{"fig2", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "table1", "table2", "ext-pax"}
+}
+
+// WriteFigure regenerates one experiment and renders it to w. Valid ids
+// are those of FigureIDs.
+func (r *Reproduction) WriteFigure(w io.Writer, id string) error {
+	switch id {
+	case "fig2":
+		cells, err := r.h.Figure2()
+		if err != nil {
+			return err
+		}
+		return harness.WriteFigure2(w, cells)
+	case "fig6", "fig7", "fig8", "fig9", "fig10", "ext-pax":
+		var res *harness.Result
+		var err error
+		switch id {
+		case "fig6":
+			res, err = r.h.Figure6()
+		case "fig7":
+			res, err = r.h.Figure7()
+		case "fig8":
+			res, err = r.h.Figure8()
+		case "fig9":
+			res, err = r.h.Figure9()
+		case "fig10":
+			res, err = r.h.Figure10()
+		case "ext-pax":
+			res, err = r.h.ExtensionPAX()
+		}
+		if err != nil {
+			return err
+		}
+		if err := harness.WriteResult(w, res); err != nil {
+			return err
+		}
+		if id != "fig10" {
+			// The CPU breakdown is the point of most figures (and of the
+			// PAX extension); the prefetch sweep's CPU side is flat.
+			return harness.WriteBreakdowns(w, res)
+		}
+		return nil
+	case "fig11":
+		panels, err := r.h.Figure11()
+		if err != nil {
+			return err
+		}
+		for _, res := range panels {
+			if err := harness.WriteResult(w, res); err != nil {
+				return err
+			}
+		}
+		return nil
+	case "table1":
+		trends, err := r.h.Table1()
+		if err != nil {
+			return err
+		}
+		return harness.WriteTable1(w, trends)
+	case "table2":
+		return harness.WriteTable2(w, r.h.Table2())
+	default:
+		return fmt.Errorf("readopt: unknown figure %q (valid: %v)", id, FigureIDs())
+	}
+}
+
+// WriteAll regenerates every experiment in paper order.
+func (r *Reproduction) WriteAll(w io.Writer) error {
+	for _, id := range FigureIDs() {
+		if err := r.WriteFigure(w, id); err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+	}
+	return nil
+}

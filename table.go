@@ -1,0 +1,329 @@
+package readopt
+
+import (
+	"fmt"
+	"os"
+
+	"github.com/readoptdb/readopt/internal/aio"
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/page"
+	"github.com/readoptdb/readopt/internal/scan"
+	"github.com/readoptdb/readopt/internal/schema"
+	"github.com/readoptdb/readopt/internal/store"
+	"github.com/readoptdb/readopt/internal/tpch"
+)
+
+// Layout selects the physical design of a table.
+type Layout string
+
+const (
+	// RowLayout stores whole tuples together in one file.
+	RowLayout Layout = "row"
+	// ColumnLayout vertically partitions the table, one file per column.
+	ColumnLayout Layout = "column"
+	// PAXLayout stores whole tuples per page in one file like RowLayout,
+	// but organizes each page column-major (per-attribute minipages):
+	// row-store I/O with column-store cache behaviour.
+	PAXLayout Layout = "pax"
+)
+
+func (l Layout) internal() (store.Layout, error) {
+	switch l {
+	case RowLayout:
+		return store.Row, nil
+	case ColumnLayout:
+		return store.Column, nil
+	case PAXLayout:
+		return store.PAX, nil
+	default:
+		return "", fmt.Errorf("readopt: unknown layout %q", l)
+	}
+}
+
+// Table is an opened read-optimized table.
+type Table struct {
+	t *store.Table
+}
+
+// LoadOptions configure a bulk load.
+type LoadOptions struct {
+	// PageSize defaults to 4096.
+	PageSize int
+}
+
+// OpenTable opens a table directory written by a Loader or by
+// GenerateTPCH.
+func OpenTable(dir string) (*Table, error) {
+	t, err := store.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{t: t}, nil
+}
+
+// GenerateTPCH bulk-loads n deterministic rows of one of the paper's
+// TPC-H-derived schemas into dir and returns the opened table.
+func GenerateTPCH(dir string, s *Schema, layout Layout, n int64, seed int64, opts LoadOptions) (*Table, error) {
+	il, err := layout.internal()
+	if err != nil {
+		return nil, err
+	}
+	if opts.PageSize == 0 {
+		opts.PageSize = page.DefaultSize
+	}
+	t, err := store.LoadSynthetic(dir, s.inner, il, opts.PageSize, seed, n)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{t: t}, nil
+}
+
+// Loader bulk-loads arbitrary rows into a new table.
+type Loader struct {
+	w   *store.Writer
+	s   *Schema
+	dir string
+	buf []byte
+}
+
+// NewLoader creates a table at dir and returns a loader for it.
+func NewLoader(dir string, s *Schema, layout Layout, opts LoadOptions) (*Loader, error) {
+	il, err := layout.internal()
+	if err != nil {
+		return nil, err
+	}
+	if opts.PageSize == 0 {
+		opts.PageSize = page.DefaultSize
+	}
+	w, err := store.Create(dir, s.inner, il, opts.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Loader{w: w, s: s, dir: dir, buf: make([]byte, s.inner.Width())}, nil
+}
+
+// Append adds one row. Values are given in column order: int32 columns
+// accept int, int32 or int64; text columns accept string or []byte.
+func (l *Loader) Append(values ...any) error {
+	if err := encodeRow(l.s.inner, l.buf, values); err != nil {
+		return err
+	}
+	return l.w.Append(l.buf)
+}
+
+// Close finalizes the table and returns it opened.
+func (l *Loader) Close() (*Table, error) {
+	if err := l.w.Close(); err != nil {
+		return nil, err
+	}
+	return OpenTable(l.dir)
+}
+
+// Schema returns the table's definition.
+func (t *Table) Schema() *Schema { return &Schema{inner: t.t.Schema} }
+
+// Layout returns the table's physical design.
+func (t *Table) Layout() Layout {
+	switch t.t.Layout {
+	case store.Row:
+		return RowLayout
+	case store.PAX:
+		return PAXLayout
+	default:
+		return ColumnLayout
+	}
+}
+
+// Rows returns the table's tuple count.
+func (t *Table) Rows() int64 { return t.t.Tuples }
+
+// DataBytes returns the total on-disk size of the table's data files —
+// what a full scan must read.
+func (t *Table) DataBytes() int64 { return t.t.TotalDataBytes() }
+
+// Dir returns the table directory.
+func (t *Table) Dir() string { return t.t.Dir }
+
+// ScanStats reports the work a query performed, in the units of the
+// paper's analysis.
+type ScanStats struct {
+	Instructions int64
+	SeqMemBytes  int64
+	RandMemLines int64
+	IORequests   int64
+	IOBytes      int64
+}
+
+// openReader wires a data file behind the prefetching OS reader.
+type tableReader struct {
+	*aio.OSReader
+	f *os.File
+}
+
+func (r *tableReader) Close() error {
+	err := r.OSReader.Close()
+	if cerr := r.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// ioUnit and ioDepth are the engine defaults: a 128KB I/O unit with a
+// 48-unit prefetch window, the paper's configuration.
+const (
+	ioUnit  = 128 << 10
+	ioDepth = 48
+)
+
+func openReader(path string) (aio.Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := aio.NewOSReader(f, ioUnit, ioDepth)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &tableReader{OSReader: r, f: f}, nil
+}
+
+// scanOperator builds the physical scan for a validated query.
+func (t *Table) scanOperator(preds []exec.Predicate, proj []int, counters *cpumodel.Counters) (exec.Operator, error) {
+	if t.t.Layout == store.Row || t.t.Layout == store.PAX {
+		reader, err := openReader(t.t.DataPath())
+		if err != nil {
+			return nil, err
+		}
+		cfg := scan.RowConfig{
+			Schema:   t.t.Schema,
+			PageSize: t.t.PageSize,
+			Reader:   reader,
+			Dicts:    t.t.Dicts,
+			Preds:    preds,
+			Proj:     proj,
+			Counters: counters,
+		}
+		var op exec.Operator
+		if t.t.Layout == store.PAX {
+			op, err = scan.NewPAXScanner(cfg)
+		} else {
+			op, err = scan.NewRowScanner(cfg)
+		}
+		if err != nil {
+			reader.Close()
+			return nil, err
+		}
+		return op, nil
+	}
+	need := map[int]bool{}
+	for _, p := range preds {
+		need[p.Attr] = true
+	}
+	for _, a := range proj {
+		need[a] = true
+	}
+	readers := map[int]aio.Reader{}
+	for a := range need {
+		r, err := openReader(t.t.ColumnPath(a))
+		if err != nil {
+			for _, open := range readers {
+				open.Close()
+			}
+			return nil, err
+		}
+		readers[a] = r
+	}
+	op, err := scan.NewColScanner(scan.ColConfig{
+		Schema:   t.t.Schema,
+		PageSize: t.t.PageSize,
+		Readers:  readers,
+		Dicts:    t.t.Dicts,
+		Preds:    preds,
+		Proj:     proj,
+		Counters: counters,
+	})
+	if err != nil {
+		for _, r := range readers {
+			r.Close()
+		}
+		return nil, err
+	}
+	return op, nil
+}
+
+// SelectivityThreshold returns the constant c such that the predicate
+// {FirstColumn, "<", c} selects approximately the given fraction of a
+// TPC-H benchmark table's rows — the knob behind the paper's
+// "predicate(A1) yields X% selectivity" queries. It only applies to
+// tables produced by GenerateTPCH, whose first attribute is uniform over
+// a known domain.
+func (t *Table) SelectivityThreshold(fraction float64) (int, error) {
+	th, err := tpch.Threshold(t.t.Schema, fraction)
+	return int(th), err
+}
+
+// Verify re-reads the table's data files and checks them against the
+// checksums recorded at load time, returning the first corruption found.
+func (t *Table) Verify() error { return t.t.VerifyIntegrity() }
+
+// ColumnStat describes one column's storage.
+type ColumnStat struct {
+	Name        string
+	Type        ColumnType
+	Compression Compression
+	// CodeBits is the stored width per value in bits.
+	CodeBits int
+	// DiskBytes is the column's on-disk footprint: the data file size for
+	// a column layout, or the column's share of the single file
+	// (pro-rated by code width) for row and PAX layouts.
+	DiskBytes int64
+}
+
+// TableStats summarizes a table's storage.
+type TableStats struct {
+	Rows            int64
+	DataBytes       int64
+	BytesPerRow     float64
+	CompressionRate float64 // decoded bytes / stored bytes
+	Columns         []ColumnStat
+}
+
+// Stats reports the table's storage footprint per column — what the paper
+// calls the physical design, in numbers.
+func (t *Table) Stats() TableStats {
+	sch := t.t.Schema
+	st := TableStats{
+		Rows:      t.t.Tuples,
+		DataBytes: t.DataBytes(),
+	}
+	if t.t.Tuples > 0 {
+		st.BytesPerRow = float64(st.DataBytes) / float64(t.t.Tuples)
+	}
+	if st.DataBytes > 0 {
+		st.CompressionRate = float64(sch.Width()) * float64(t.t.Tuples) / float64(st.DataBytes)
+	}
+	totalBits := sch.TotalBits()
+	for i, a := range sch.Attrs {
+		cs := ColumnStat{
+			Name:     a.Name,
+			CodeBits: a.CodeBits(),
+		}
+		if a.Type.Kind == schema.Int32 {
+			cs.Type = Int32
+		} else {
+			cs.Type = Text(a.Type.Size)
+		}
+		cs.Compression = encToCompression[a.Enc.String()]
+		if t.t.Layout == store.Column {
+			if n, ok := t.t.DataFileSize(store.ColumnFileName(sch, i)); ok {
+				cs.DiskBytes = n
+			}
+		} else if totalBits > 0 {
+			cs.DiskBytes = st.DataBytes * int64(a.CodeBits()) / int64(totalBits)
+		}
+		st.Columns = append(st.Columns, cs)
+	}
+	return st
+}

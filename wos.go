@@ -1,0 +1,47 @@
+package readopt
+
+import (
+	"github.com/readoptdb/readopt/internal/store"
+)
+
+// WriteBuffer is the write-optimized store of the paper's Figure 1: the
+// staging area where individual inserts accumulate before being merged in
+// bulk into a read-optimized table. The read store never sees single-row
+// updates — it stays dense-packed and sorted.
+type WriteBuffer struct {
+	s   *Schema
+	w   *store.WOS
+	buf []byte
+}
+
+// NewWriteBuffer returns an empty staging buffer for the given schema.
+func NewWriteBuffer(s *Schema) *WriteBuffer {
+	return &WriteBuffer{s: s, w: store.NewWOS(s.inner), buf: make([]byte, s.inner.Width())}
+}
+
+// Insert stages one row (values in column order, as for Loader.Append).
+func (b *WriteBuffer) Insert(values ...any) error {
+	if err := encodeRow(b.s.inner, b.buf, values); err != nil {
+		return err
+	}
+	return b.w.Insert(b.buf)
+}
+
+// Len returns the number of staged rows.
+func (b *WriteBuffer) Len() int { return b.w.Len() }
+
+// MergeInto writes a new table at dstDir holding src's rows plus the
+// staged rows, merged in sorted order on the given integer key column,
+// and drains the buffer. src must be sorted on that key (bulk-loaded
+// tables are).
+func (b *WriteBuffer) MergeInto(src *Table, dstDir, keyColumn string) (*Table, error) {
+	key, err := src.resolve(keyColumn)
+	if err != nil {
+		return nil, err
+	}
+	merged, err := b.w.Merge(src.t, dstDir, key)
+	if err != nil {
+		return nil, err
+	}
+	return &Table{t: merged}, nil
+}
