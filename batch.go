@@ -5,6 +5,7 @@ import (
 
 	"github.com/readoptdb/readopt/internal/cpumodel"
 	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/schema"
 	"github.com/readoptdb/readopt/internal/share"
 )
 
@@ -12,8 +13,10 @@ import (
 // pass — scan sharing, as in Teradata, RedBrick and SQL Server (the
 // paper's Section 2.1.1): the table's data is read once and every query
 // consumes the same stream, so N concurrent queries cost one scan's I/O.
-// Queries may not use Limit. The returned result iterators are fully
-// materialized and independent.
+// ORDER BY and LIMIT run per query after the shared pass materializes
+// (fused into a bounded-heap top-n when both are present), so any query
+// shape Query accepts can join a batch; results match solo execution.
+// The returned result iterators are fully materialized and independent.
 func (t *Table) QueryBatch(queries []Query) ([]*Rows, error) {
 	if len(queries) == 0 {
 		return nil, nil
@@ -32,14 +35,11 @@ func (t *Table) QueryBatch(queries []Query) ([]*Rows, error) {
 		return nil
 	}
 	for i, q := range queries {
-		if q.Limit > 0 {
-			return nil, fmt.Errorf("readopt: batch query %d uses Limit, unsupported in a shared scan", i)
+		if err := q.validate(); err != nil {
+			return nil, fmt.Errorf("readopt: batch query %d: %w", i, err)
 		}
 		sel := q.Select
 		if len(sel) == 0 {
-			if len(q.Aggs) == 0 {
-				return nil, fmt.Errorf("readopt: batch query %d selects nothing", i)
-			}
 			sel = q.GroupBy
 		}
 		for _, c := range sel {
@@ -140,16 +140,48 @@ func (t *Table) QueryBatch(queries []Query) ([]*Rows, error) {
 	}
 	out := make([]*Rows, len(results))
 	for i, res := range results {
-		slice, err := exec.NewSliceSource(res.Schema, res.Tuples, 0)
+		op, err := batchPostPass(res.Schema, res.Tuples, queries[i], &counters)
 		if err != nil {
+			return nil, fmt.Errorf("readopt: batch query %d: %w", i, err)
+		}
+		if err := op.Open(); err != nil {
+			op.Close()
 			return nil, err
 		}
-		if err := slice.Open(); err != nil {
-			return nil, err
-		}
-		out[i] = &Rows{op: slice, sch: res.Schema, counters: &counters}
+		out[i] = &Rows{op: op, sch: op.Schema(), counters: &counters}
 	}
 	return out, nil
+}
+
+// batchPostPass wraps one shared-scan result with the query's ORDER BY
+// and LIMIT. Both are per-query concerns that run over the materialized
+// qualifying tuples, so they never prevent a query from sharing the
+// scan; ORDER BY + LIMIT fuse into a bounded-heap top-n as in the solo
+// planner.
+func batchPostPass(sch *schema.Schema, tuples []byte, q Query, counters *cpumodel.Counters) (exec.Operator, error) {
+	var op exec.Operator
+	op, err := exec.NewSliceSource(sch, tuples, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(q.OrderBy) > 0 {
+		keys := make([]exec.SortKey, len(q.OrderBy))
+		for i, o := range q.OrderBy {
+			attr := sch.AttrIndex(o.Column)
+			if attr < 0 {
+				return nil, fmt.Errorf("readopt: order-by column %q not in result", o.Column)
+			}
+			keys[i] = exec.SortKey{Attr: attr, Desc: o.Desc}
+		}
+		if q.Limit > 0 {
+			return exec.NewTopN(op, keys, q.Limit, counters)
+		}
+		return exec.NewSort(op, keys, counters)
+	}
+	if q.Limit > 0 {
+		return exec.NewLimit(op, q.Limit)
+	}
+	return op, nil
 }
 
 // condToPred converts a facade condition to an engine predicate on the

@@ -1,0 +1,106 @@
+// Command readoptd serves readopt tables over HTTP/JSON with admission
+// control and shared-scan batching: concurrent queries against the same
+// table coalesce into one QueryBatch pass, so N scans of LINEITEM cost
+// about one scan of I/O (the paper's Section 2.1.1, operational).
+//
+//	dbgen -table orders -layout column -rows 2000000 -dir /tmp/ord
+//	readoptd -listen :8077 -table orders=/tmp/ord
+//	curl -s localhost:8077/query -d '{"table":"orders","query":{"select":["O_ORDERKEY"],"limit":3}}'
+//	curl -s localhost:8077/stats
+//
+// On SIGINT/SIGTERM the daemon stops admitting queries, finishes the
+// ones in flight, and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/readoptdb/readopt/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", ":8077", "address to serve on")
+	workers := flag.Int("workers", 4, "max concurrently executing scans")
+	queue := flag.Int("queue", 64, "max queries waiting beyond the executing ones; more are rejected")
+	timeout := flag.Duration("timeout", 30*time.Second, "default per-query deadline")
+	gather := flag.Duration("gather", 0, "pause before each dispatch so concurrent queries coalesce into one shared scan")
+	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for draining in-flight queries")
+	var tables tableFlags
+	flag.Var(&tables, "table", "table to serve, as name=dir (repeatable)")
+	flag.Parse()
+
+	if len(tables) == 0 {
+		fmt.Fprintln(os.Stderr, "readoptd: at least one -table name=dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	s := server.New(server.Config{
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		DefaultTimeout: *timeout,
+		GatherWindow:   *gather,
+	})
+	for _, t := range tables {
+		if err := s.OpenTable(t.name, t.dir); err != nil {
+			log.Fatalf("readoptd: open table %s: %v", t.name, err)
+		}
+		log.Printf("readoptd: serving table %q from %s", t.name, t.dir)
+	}
+
+	httpSrv := &http.Server{Addr: *listen, Handler: s.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("readoptd: listening on %s (%d workers, queue %d)", *listen, *workers, *queue)
+
+	select {
+	case err := <-errc:
+		log.Fatalf("readoptd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("readoptd: draining (grace %s)", *grace)
+	s.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("readoptd: shutdown: %v", err)
+	}
+	if err := s.Shutdown(shutdownCtx); err != nil {
+		log.Printf("readoptd: %v", err)
+	}
+	log.Printf("readoptd: drained, bye")
+}
+
+type tableSpec struct{ name, dir string }
+
+type tableFlags []tableSpec
+
+func (f *tableFlags) String() string {
+	parts := make([]string, len(*f))
+	for i, t := range *f {
+		parts[i] = t.name + "=" + t.dir
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *tableFlags) Set(v string) error {
+	name, dir, ok := strings.Cut(v, "=")
+	if !ok || name == "" || dir == "" {
+		return fmt.Errorf("want name=dir, got %q", v)
+	}
+	*f = append(*f, tableSpec{name: name, dir: dir})
+	return nil
+}

@@ -87,6 +87,20 @@ func TestQueryBatchSharedScan(t *testing.T) {
 		{
 			Aggs: []Agg{{Func: "count"}},
 		},
+		{
+			Select:  []string{"O_ORDERKEY", "O_TOTALPRICE"},
+			OrderBy: []Order{{Column: "O_TOTALPRICE", Desc: true}},
+			Limit:   25,
+		},
+		{
+			Select: []string{"O_ORDERKEY"},
+			Limit:  10,
+		},
+		{
+			GroupBy: []string{"O_ORDERSTATUS"},
+			Aggs:    []Agg{{Func: "sum", Column: "O_TOTALPRICE"}},
+			OrderBy: []Order{{Column: "SUM(O_TOTALPRICE)"}},
+		},
 	}
 	batch, err := tbl.QueryBatch(queries)
 	if err != nil {
@@ -108,11 +122,14 @@ func TestQueryBatchSharedScan(t *testing.T) {
 		}
 	}
 	// Validation paths.
-	if _, err := tbl.QueryBatch([]Query{{Select: []string{"O_ORDERKEY"}, Limit: 1}}); err == nil {
-		t.Error("batch accepted a Limit query")
-	}
 	if _, err := tbl.QueryBatch([]Query{{}}); err == nil {
 		t.Error("batch accepted an empty query")
+	}
+	if _, err := tbl.QueryBatch([]Query{{Select: []string{"O_ORDERKEY"}, Limit: -3}}); err == nil {
+		t.Error("batch accepted a negative Limit")
+	}
+	if _, err := tbl.QueryBatch([]Query{{Select: []string{"O_ORDERKEY"}, OrderBy: []Order{{Column: "NOPE"}}}}); err == nil {
+		t.Error("batch accepted an unknown order-by column")
 	}
 	if res, err := tbl.QueryBatch(nil); err != nil || res != nil {
 		t.Error("empty batch should be a no-op")

@@ -1,0 +1,201 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"github.com/readoptdb/readopt"
+)
+
+// job is one admitted query waiting for dispatch on its table's queue.
+type job struct {
+	ctx      context.Context
+	q        readopt.Query
+	dop      int
+	enqueued time.Time
+	// done receives exactly one result. It is buffered so the dispatcher
+	// never blocks on a handler that already timed out and left.
+	done chan jobResult
+}
+
+type jobResult struct {
+	resp *readopt.QueryResponse
+	err  error
+}
+
+func (j *job) deliver(resp *readopt.QueryResponse, err error) {
+	j.done <- jobResult{resp: resp, err: err}
+}
+
+// submit queues j on the table and ensures a dispatcher is running for
+// it. The dispatcher batches everything it finds waiting, so queries
+// that pile up behind a busy table ride one shared scan.
+func (s *Server) submit(ts *tableState, j *job) {
+	ts.mu.Lock()
+	ts.pending = append(ts.pending, j)
+	if !ts.busy {
+		ts.busy = true
+		s.runners.Add(1)
+		go s.runTable(ts)
+	}
+	ts.mu.Unlock()
+}
+
+// runTable is the per-table dispatcher: repeatedly collect every pending
+// query and run them as one batch, until the queue drains.
+func (s *Server) runTable(ts *tableState) {
+	defer s.runners.Done()
+	for {
+		if w := s.cfg.GatherWindow; w > 0 {
+			time.Sleep(w)
+		}
+		ts.mu.Lock()
+		jobs := ts.pending
+		ts.pending = nil
+		if len(jobs) == 0 {
+			ts.busy = false
+			ts.mu.Unlock()
+			return
+		}
+		ts.mu.Unlock()
+		s.runBatch(ts, jobs)
+	}
+}
+
+// runBatch executes one dispatch: every job still alive runs in a single
+// QueryBatch shared scan (or alone, when only one remains), inside a
+// worker slot.
+func (s *Server) runBatch(ts *tableState, jobs []*job) {
+	// Drop queries whose deadline expired while queued: their handlers
+	// have already answered 504.
+	live := jobs[:0]
+	for _, j := range jobs {
+		if j.ctx.Err() != nil {
+			j.deliver(nil, j.ctx.Err())
+			continue
+		}
+		live = append(live, j)
+	}
+	if len(live) == 0 {
+		return
+	}
+
+	// A worker slot bounds engine concurrency across tables.
+	s.workers <- struct{}{}
+	defer func() { <-s.workers }()
+
+	start := time.Now()
+	var queueWait time.Duration
+	for _, j := range live {
+		queueWait += start.Sub(j.enqueued)
+	}
+
+	if len(live) == 1 {
+		j := live[0]
+		rows, err := s.runSingle(ts.tbl, j)
+		if err != nil {
+			j.deliver(nil, err)
+			s.stats.ran(1, queueWait, time.Since(start), readopt.ScanStats{})
+			return
+		}
+		resp, err := s.materialize(rows, 1, start.Sub(j.enqueued), start)
+		if err != nil {
+			j.deliver(nil, err)
+			s.stats.ran(1, queueWait, time.Since(start), readopt.ScanStats{})
+			return
+		}
+		j.deliver(resp, nil)
+		s.stats.ran(1, queueWait, time.Since(start), resp.Stats)
+		return
+	}
+
+	queries := make([]readopt.Query, len(live))
+	for i, j := range live {
+		queries[i] = j.q
+	}
+	batch, err := ts.tbl.QueryBatch(queries)
+	if err != nil {
+		// A query the shared pass cannot run (admission validation does
+		// not cover everything, e.g. order-by column resolution) must
+		// not fail its whole batch: fall back to solo runs, so only the
+		// offending query errors.
+		s.runFallback(ts, live, start, queueWait)
+		return
+	}
+	var work readopt.ScanStats
+	for i, rows := range batch {
+		resp, err := s.materialize(rows, len(live), start.Sub(live[i].enqueued), start)
+		if err != nil {
+			live[i].deliver(nil, err)
+			continue
+		}
+		// Every batch member shares the scan's counters, so record the
+		// work once, not per query.
+		work = resp.Stats
+		live[i].deliver(resp, nil)
+	}
+	s.stats.ranBatch(len(live), queueWait, time.Since(start), work)
+}
+
+// runSingle executes one query alone: a plain serial scan, or a
+// partitioned parallel scan when the request asked for one.
+func (s *Server) runSingle(tbl *readopt.Table, j *job) (*readopt.Rows, error) {
+	if j.dop > 1 {
+		return tbl.QueryParallel(j.q, j.dop)
+	}
+	return tbl.Query(j.q)
+}
+
+// runFallback runs each job of a failed batch on its own, delivering
+// per-query errors instead of one collective failure.
+func (s *Server) runFallback(ts *tableState, jobs []*job, start time.Time, queueWait time.Duration) {
+	for _, j := range jobs {
+		rows, err := s.runSingle(ts.tbl, j)
+		if err != nil {
+			j.deliver(nil, err)
+			s.stats.ran(1, 0, 0, readopt.ScanStats{})
+			continue
+		}
+		resp, err := s.materialize(rows, 1, start.Sub(j.enqueued), start)
+		if err != nil {
+			j.deliver(nil, err)
+			s.stats.ran(1, 0, 0, readopt.ScanStats{})
+			continue
+		}
+		j.deliver(resp, nil)
+		s.stats.ran(1, 0, 0, resp.Stats)
+	}
+	s.stats.addLatency(queueWait, time.Since(start))
+}
+
+// materialize drains rows into a wire response. Results materialize
+// inside the dispatch (not lazily in the handler) so a table's busy
+// window is exactly its scan — the property the batching rests on — and
+// so the result's work counters are final.
+func (s *Server) materialize(rows *readopt.Rows, batchSize int, queueWait time.Duration, execStart time.Time) (*readopt.QueryResponse, error) {
+	defer rows.Close()
+	resp := &readopt.QueryResponse{
+		Columns:   rows.Columns(),
+		Types:     rows.ColumnTypes(),
+		Rows:      make([][]any, 0, 16),
+		BatchSize: batchSize,
+	}
+	for rows.Next() {
+		vals, err := rows.Values()
+		if err != nil {
+			return nil, err
+		}
+		resp.Rows = append(resp.Rows, vals)
+		if len(resp.Rows) > s.cfg.MaxResultRows {
+			return nil, fmt.Errorf("server: result exceeds %d rows; add predicates or a limit", s.cfg.MaxResultRows)
+		}
+	}
+	if err := rows.Err(); err != nil {
+		return nil, err
+	}
+	resp.Stats = rows.Stats()
+	resp.QueueWaitMicros = queueWait.Microseconds()
+	resp.ExecMicros = time.Since(execStart).Microseconds()
+	return resp, nil
+}

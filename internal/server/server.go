@@ -1,0 +1,319 @@
+// Package server is the query-serving subsystem: an HTTP/JSON front end
+// over a catalog of opened readopt tables, with admission control and
+// shared-scan batching.
+//
+// Admission control is a bounded worker pool behind a bounded wait
+// queue: at most Config.Workers scans execute concurrently across the
+// catalog, at most Config.QueueDepth further queries wait, and anything
+// beyond that is rejected immediately with readopt.CodeQueueFull — the
+// query never enters the system, so an overloaded server degrades by
+// shedding load instead of queueing without bound. Every admitted query
+// carries a deadline.
+//
+// The scheduler is the headline mechanism (the paper's Section 2.1.1
+// scan sharing, made operational): queries are queued per table, and all
+// queries found waiting when a table's dispatcher comes around are
+// dispatched together as one Table.QueryBatch shared scan — N concurrent
+// scans of the same table cost one scan's I/O. A query that finds its
+// table idle runs alone (Table.Query, or Table.QueryParallel when the
+// request asks for a partitioned scan). Per-query and aggregate
+// statistics — queue wait, execution time, bytes scanned, batch sizes,
+// rejections — accumulate through the engine's cpumodel.Counters and are
+// served from /stats.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/readoptdb/readopt"
+)
+
+// Config tunes the server. The zero value is usable: every field falls
+// back to the listed default.
+type Config struct {
+	// Workers bounds how many scans execute concurrently across all
+	// tables (default 4).
+	Workers int
+	// QueueDepth bounds how many admitted queries may wait for dispatch
+	// beyond the Workers executing; requests past the bound are rejected
+	// with readopt.CodeQueueFull (default 64).
+	QueueDepth int
+	// DefaultTimeout bounds a query that does not carry its own
+	// timeout_ms (default 30s).
+	DefaultTimeout time.Duration
+	// GatherWindow is how long a table's dispatcher pauses before
+	// collecting the next batch, letting concurrent arrivals coalesce
+	// into one shared scan at the cost of that much added latency
+	// (default 0: dispatch as soon as the table frees up).
+	GatherWindow time.Duration
+	// MaxResultRows caps one query's materialized result (default
+	// 1_000_000; the server materializes results to keep a table's busy
+	// window equal to its scan, so an unbounded result is a memory risk).
+	MaxResultRows int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxResultRows <= 0 {
+		c.MaxResultRows = 1_000_000
+	}
+	return c
+}
+
+// Server hosts a catalog of opened tables behind the HTTP API.
+type Server struct {
+	cfg Config
+
+	mu     sync.RWMutex
+	tables map[string]*tableState
+
+	workers  chan struct{} // execution slots
+	admitted atomic.Int64  // queries admitted and not yet answered
+
+	draining atomic.Bool
+	runners  sync.WaitGroup
+
+	stats statsRecorder
+}
+
+// tableState is one catalog entry plus its dispatch queue.
+type tableState struct {
+	name string
+	tbl  *readopt.Table
+
+	mu      sync.Mutex
+	busy    bool   // a dispatcher goroutine is running for this table
+	pending []*job // queries waiting for the next dispatch
+}
+
+// New returns a server with an empty catalog.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		tables:  make(map[string]*tableState),
+		workers: make(chan struct{}, cfg.Workers),
+	}
+}
+
+// AddTable registers an opened table under name.
+func (s *Server) AddTable(name string, tbl *readopt.Table) error {
+	if name == "" || tbl == nil {
+		return fmt.Errorf("server: AddTable needs a name and a table")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; ok {
+		return fmt.Errorf("server: table %q already registered", name)
+	}
+	s.tables[name] = &tableState{name: name, tbl: tbl}
+	return nil
+}
+
+// OpenTable opens the table stored at dir and registers it under name.
+func (s *Server) OpenTable(name, dir string) error {
+	tbl, err := readopt.OpenTable(dir)
+	if err != nil {
+		return err
+	}
+	return s.AddTable(name, tbl)
+}
+
+func (s *Server) table(name string) *tableState {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tables[name]
+}
+
+// Tables lists the catalog, sorted by name.
+func (s *Server) Tables() []readopt.TableInfo {
+	s.mu.RLock()
+	out := make([]readopt.TableInfo, 0, len(s.tables))
+	for name, ts := range s.tables {
+		out = append(out, ts.tbl.Info(name))
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Stats snapshots the aggregate statistics.
+func (s *Server) Stats() readopt.ServerStats { return s.stats.snapshot() }
+
+// Drain stops admitting queries: /query answers 503 and /healthz goes
+// unhealthy, while queries already admitted run to completion.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Shutdown drains the server and waits for every table dispatcher to go
+// idle, or for the context to expire. Serve it after (or concurrently
+// with) http.Server.Shutdown, which waits for in-flight handlers.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.Drain()
+	done := make(chan struct{})
+	go func() {
+		s.runners.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return errors.New("server: shutdown context expired with dispatchers still running")
+	}
+}
+
+// Handler returns the server's HTTP API:
+//
+//	POST /query   — run one query (readopt.QueryRequest/QueryResponse)
+//	GET  /tables  — list the catalog
+//	GET  /stats   — aggregate statistics
+//	GET  /healthz — 200 while serving, 503 while draining
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/tables", s.handleTables)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, readopt.CodeBadRequest, "POST required")
+		return
+	}
+	var req readopt.QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, readopt.CodeBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Dop < 0 {
+		writeError(w, http.StatusBadRequest, readopt.CodeBadRequest, "negative dop")
+		return
+	}
+	ts := s.table(req.Table)
+	if ts == nil {
+		writeError(w, http.StatusNotFound, readopt.CodeTableMissing, fmt.Sprintf("no table %q in the catalog", req.Table))
+		return
+	}
+	if err := readopt.NormalizeQuery(&req.Query); err != nil {
+		writeError(w, http.StatusBadRequest, readopt.CodeBadRequest, err.Error())
+		return
+	}
+	// Reject a malformed query before it can poison a shared batch.
+	if err := ts.tbl.ValidateQuery(req.Query); err != nil {
+		writeError(w, http.StatusBadRequest, readopt.CodeBadRequest, err.Error())
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, readopt.CodeDraining, "server is draining")
+		return
+	}
+
+	// Admission: the wait queue holds at most QueueDepth queries beyond
+	// the Workers executing. Past that, shed load immediately.
+	if !s.admit() {
+		s.stats.reject()
+		writeError(w, http.StatusTooManyRequests, readopt.CodeQueueFull,
+			fmt.Sprintf("admission queue full (%d executing + %d waiting)", s.cfg.Workers, s.cfg.QueueDepth))
+		return
+	}
+	defer s.admitted.Add(-1)
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	j := &job{
+		ctx:      ctx,
+		q:        req.Query,
+		dop:      req.Dop,
+		enqueued: time.Now(),
+		done:     make(chan jobResult, 1),
+	}
+	s.submit(ts, j)
+	select {
+	case res := <-j.done:
+		if res.err != nil {
+			s.stats.fail()
+			writeError(w, http.StatusInternalServerError, readopt.CodeInternal, res.err.Error())
+			return
+		}
+		s.stats.complete()
+		writeJSON(w, http.StatusOK, res.resp)
+	case <-ctx.Done():
+		// The job stays queued; the dispatcher skips it once it sees the
+		// dead context. Only the handler counts the timeout.
+		s.stats.timeout()
+		writeError(w, http.StatusGatewayTimeout, readopt.CodeTimeout,
+			fmt.Sprintf("query did not finish within %s", timeout))
+	}
+}
+
+// admit reserves an admission slot unless the system is full.
+func (s *Server) admit() bool {
+	limit := int64(s.cfg.Workers + s.cfg.QueueDepth)
+	for {
+		n := s.admitted.Load()
+		if n >= limit {
+			return false
+		}
+		if s.admitted.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, readopt.CodeBadRequest, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Tables())
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, readopt.CodeBadRequest, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, readopt.QueryResponse{Error: msg, Code: code})
+}

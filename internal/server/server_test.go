@@ -1,0 +1,308 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/readoptdb/readopt"
+	"github.com/readoptdb/readopt/internal/server"
+)
+
+func loadOrders(t *testing.T, n int64) *readopt.Table {
+	t.Helper()
+	tbl, err := readopt.GenerateTPCH(filepath.Join(t.TempDir(), "orders"), readopt.Orders(),
+		readopt.ColumnLayout, n, 7, readopt.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+func startServer(t *testing.T, tbl *readopt.Table, cfg server.Config) (*server.Server, *readopt.Client) {
+	t.Helper()
+	s := server.New(cfg)
+	if err := s.AddTable("orders", tbl); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, readopt.NewClient(ts.URL, ts.Client())
+}
+
+// serialRows materializes a query's reference answer through the plain
+// engine path, in the wire value shapes (int64 / string).
+func serialRows(t *testing.T, tbl *readopt.Table, q readopt.Query) [][]any {
+	t.Helper()
+	rows, err := tbl.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	out := [][]any{}
+	for rows.Next() {
+		vals, err := rows.Values()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, vals)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// normalizeWire collapses the float64s a JSON round trip produces back
+// to int64 so responses compare against engine values.
+func normalizeWire(rows [][]any) [][]any {
+	out := make([][]any, len(rows))
+	for i, r := range rows {
+		out[i] = make([]any, len(r))
+		for j, v := range r {
+			if f, ok := v.(float64); ok {
+				out[i][j] = int64(f)
+			} else {
+				out[i][j] = v
+			}
+		}
+	}
+	return out
+}
+
+// TestServerConcurrentSharedScan is the subsystem's acceptance test: an
+// in-process server under a burst of concurrent queries answers every
+// one of them with exactly the serial engine result, and its stats show
+// the burst was served through multi-query shared-scan batches.
+func TestServerConcurrentSharedScan(t *testing.T) {
+	tbl := loadOrders(t, 30_000)
+	srv, client := startServer(t, tbl, server.Config{
+		Workers:      2,
+		QueueDepth:   64,
+		GatherWindow: 5 * time.Millisecond,
+	})
+
+	th, err := tbl.SelectivityThreshold(0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []readopt.Query{
+		{Select: []string{"O_ORDERKEY", "O_TOTALPRICE"},
+			Where: []readopt.Cond{{Column: "O_ORDERDATE", Op: "<", Value: th}}},
+		{GroupBy: []string{"O_ORDERSTATUS"},
+			Aggs: []readopt.Agg{{Func: "count"}, {Func: "avg", Column: "O_TOTALPRICE"}}},
+		{Aggs: []readopt.Agg{{Func: "count"}}},
+		{Select: []string{"O_TOTALPRICE", "O_ORDERKEY"},
+			OrderBy: []readopt.Order{{Column: "O_TOTALPRICE", Desc: true}, {Column: "O_ORDERKEY"}},
+			Limit:   11},
+	}
+	want := make([][][]any, len(queries))
+	for i, q := range queries {
+		want[i] = serialRows(t, tbl, q)
+	}
+
+	const concurrent = 16 // ≥ 8 concurrent queries against one table
+	results := make([]*readopt.QueryResponse, concurrent)
+	errs := make([]error, concurrent)
+	var wg sync.WaitGroup
+	for i := 0; i < concurrent; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[i], errs[i] = client.Query(context.Background(), "orders", queries[i%len(queries)])
+		}()
+	}
+	wg.Wait()
+
+	for i := 0; i < concurrent; i++ {
+		if errs[i] != nil {
+			t.Fatalf("query %d failed: %v", i, errs[i])
+		}
+		got := normalizeWire(results[i].Rows)
+		if !reflect.DeepEqual(got, want[i%len(queries)]) {
+			t.Errorf("query %d: server result differs from serial Query (%d vs %d rows)",
+				i, len(got), len(want[i%len(queries)]))
+		}
+		if results[i].BatchSize < 1 {
+			t.Errorf("query %d reports batch size %d", i, results[i].BatchSize)
+		}
+	}
+
+	st := srv.Stats()
+	if st.Batches < 1 {
+		t.Errorf("stats report no multi-query shared-scan batch under a %d-query burst: %+v", concurrent, st)
+	}
+	if st.Completed != concurrent {
+		t.Errorf("completed %d of %d", st.Completed, concurrent)
+	}
+	if st.Work.IOBytes <= 0 {
+		t.Errorf("stats report no bytes scanned")
+	}
+	// Scan sharing is the point: the burst must cost less I/O than
+	// every query scanning the whole table alone would have.
+	if max := int64(concurrent) * tbl.DataBytes(); st.Work.IOBytes >= max {
+		t.Errorf("scanned %d bytes, no better than %d unshared scans", st.Work.IOBytes, concurrent)
+	}
+
+	// The same stats are served over the wire.
+	wireStats, err := client.Stats(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wireStats.Batches != st.Batches || wireStats.Completed != st.Completed {
+		t.Errorf("wire stats %+v differ from in-process %+v", wireStats, st)
+	}
+}
+
+// TestServerQueueFullRejection: requests beyond the admission bound are
+// rejected immediately with the distinct queue-full error, and the
+// rejection is visible both as readopt.ErrServerBusy and in /stats.
+func TestServerQueueFullRejection(t *testing.T) {
+	tbl := loadOrders(t, 5_000)
+	srv, client := startServer(t, tbl, server.Config{
+		Workers:      1,
+		QueueDepth:   2,
+		GatherWindow: 50 * time.Millisecond, // hold the table busy so the burst overlaps
+	})
+
+	const concurrent = 12
+	errs := make([]error, concurrent)
+	var wg sync.WaitGroup
+	for i := 0; i < concurrent; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, errs[i] = client.Query(context.Background(), "orders",
+				readopt.Query{Select: []string{"O_ORDERKEY"}, Limit: 3})
+		}()
+	}
+	wg.Wait()
+
+	var ok, busy int
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			ok++
+		case errors.Is(err, readopt.ErrServerBusy):
+			var se *readopt.ServerError
+			if !errors.As(err, &se) || se.Code != readopt.CodeQueueFull || se.StatusCode != http.StatusTooManyRequests {
+				t.Errorf("rejection %d is not the distinct queue-full error: %v", i, err)
+			}
+			busy++
+		default:
+			t.Errorf("query %d failed with an unexpected error: %v", i, err)
+		}
+	}
+	if busy == 0 {
+		t.Fatalf("no request was rejected although %d ran against workers=1 queue=2", concurrent)
+	}
+	if ok == 0 {
+		t.Fatal("every request was rejected; admission let nothing through")
+	}
+	st := srv.Stats()
+	if st.Rejected != int64(busy) {
+		t.Errorf("stats count %d rejections, client saw %d", st.Rejected, busy)
+	}
+}
+
+// TestServerEndpoints covers the catalog, health, and error paths of the
+// HTTP surface.
+func TestServerEndpoints(t *testing.T) {
+	tbl := loadOrders(t, 1_000)
+	srv, client := startServer(t, tbl, server.Config{})
+	ctx := context.Background()
+
+	if err := client.Healthy(ctx); err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	infos, err := client.Tables(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "orders" || infos[0].Rows != 1_000 ||
+		len(infos[0].Columns) != 7 || infos[0].Layout != readopt.ColumnLayout {
+		t.Errorf("tables = %+v", infos)
+	}
+
+	// Unknown table.
+	_, err = client.Query(ctx, "nope", readopt.Query{Select: []string{"X"}})
+	var se *readopt.ServerError
+	if !errors.As(err, &se) || se.Code != readopt.CodeTableMissing {
+		t.Errorf("unknown table gave %v", err)
+	}
+	// Malformed query is rejected at admission, with the engine's error.
+	_, err = client.Query(ctx, "orders", readopt.Query{Select: []string{"O_ORDERKEY"}, Limit: -1})
+	if !errors.As(err, &se) || se.Code != readopt.CodeBadRequest {
+		t.Errorf("bad query gave %v", err)
+	}
+	// Predicate values survive the JSON round trip (float64 → int).
+	th, err := tbl.SelectivityThreshold(0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq := readopt.Query{
+		Select: []string{"O_ORDERKEY"},
+		Where:  []readopt.Cond{{Column: "O_ORDERDATE", Op: "<", Value: th}},
+	}
+	resp, err := client.Query(ctx, "orders", pq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := serialRows(t, tbl, pq)
+	if len(want) == 0 || int64(len(want)) == tbl.Rows() {
+		t.Fatalf("reference predicate is degenerate: %d of %d rows", len(want), tbl.Rows())
+	}
+	if got := normalizeWire(resp.Rows); !reflect.DeepEqual(got, want) {
+		t.Errorf("predicate round trip differs from serial Query (%d vs %d rows)", len(got), len(want))
+	}
+
+	// Draining: new queries bounce, health goes dark.
+	srv.Drain()
+	if err := client.Healthy(ctx); err == nil {
+		t.Error("healthz still healthy while draining")
+	}
+	_, err = client.Query(ctx, "orders", readopt.Query{Select: []string{"O_ORDERKEY"}, Limit: 1})
+	if !errors.As(err, &se) || se.Code != readopt.CodeDraining {
+		t.Errorf("draining server gave %v", err)
+	}
+	shutdownCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+// TestServerQueryTimeout: a query whose deadline expires while queued is
+// answered with the distinct timeout error and counted in /stats.
+func TestServerQueryTimeout(t *testing.T) {
+	tbl := loadOrders(t, 5_000)
+	srv, client := startServer(t, tbl, server.Config{
+		Workers:      1,
+		QueueDepth:   8,
+		GatherWindow: 100 * time.Millisecond,
+	})
+	_, err := client.Do(context.Background(), readopt.QueryRequest{
+		Table:         "orders",
+		Query:         readopt.Query{Select: []string{"O_ORDERKEY"}, Limit: 1},
+		TimeoutMillis: 5,
+	})
+	var se *readopt.ServerError
+	if !errors.As(err, &se) || se.Code != readopt.CodeTimeout {
+		t.Fatalf("want timeout error, got %v", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Stats().TimedOut == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := srv.Stats(); st.TimedOut != 1 {
+		t.Errorf("stats = %+v, want one timeout", st)
+	}
+}

@@ -1,0 +1,119 @@
+package server
+
+import (
+	"sync"
+	"time"
+
+	"github.com/readoptdb/readopt"
+	"github.com/readoptdb/readopt/internal/cpumodel"
+)
+
+// statsRecorder accumulates the server's aggregate statistics. Handler
+// outcomes (admitted/completed/failed/rejected/timed out) are counted by
+// the HTTP side; dispatch shape and engine work are counted by the
+// scheduler. Engine work accumulates through cpumodel.Counters, the same
+// accounting the engine itself runs on.
+type statsRecorder struct {
+	mu sync.Mutex
+
+	admitted, completed, failed, rejected, timedOut int64
+
+	batches, batchedQueries, singletons int64
+	maxBatch                            int64
+
+	queueWait, exec time.Duration
+	work            cpumodel.Counters
+}
+
+func (r *statsRecorder) reject() {
+	r.mu.Lock()
+	r.rejected++
+	r.mu.Unlock()
+}
+
+func (r *statsRecorder) timeout() {
+	r.mu.Lock()
+	r.admitted++
+	r.timedOut++
+	r.mu.Unlock()
+}
+
+func (r *statsRecorder) complete() {
+	r.mu.Lock()
+	r.admitted++
+	r.completed++
+	r.mu.Unlock()
+}
+
+func (r *statsRecorder) fail() {
+	r.mu.Lock()
+	r.admitted++
+	r.failed++
+	r.mu.Unlock()
+}
+
+// ran records a singleton dispatch.
+func (r *statsRecorder) ran(n int64, queueWait, exec time.Duration, work readopt.ScanStats) {
+	r.mu.Lock()
+	r.singletons += n
+	r.queueWait += queueWait
+	r.exec += exec
+	r.addWorkLocked(work)
+	r.mu.Unlock()
+}
+
+// ranBatch records one multi-query shared-scan dispatch.
+func (r *statsRecorder) ranBatch(size int, queueWait, exec time.Duration, work readopt.ScanStats) {
+	r.mu.Lock()
+	r.batches++
+	r.batchedQueries += int64(size)
+	if int64(size) > r.maxBatch {
+		r.maxBatch = int64(size)
+	}
+	r.queueWait += queueWait
+	r.exec += exec
+	r.addWorkLocked(work)
+	r.mu.Unlock()
+}
+
+func (r *statsRecorder) addLatency(queueWait, exec time.Duration) {
+	r.mu.Lock()
+	r.queueWait += queueWait
+	r.exec += exec
+	r.mu.Unlock()
+}
+
+func (r *statsRecorder) addWorkLocked(work readopt.ScanStats) {
+	r.work.Add(cpumodel.Counters{
+		Instr:      work.Instructions,
+		SeqBytes:   work.SeqMemBytes,
+		RandLines:  work.RandMemLines,
+		IORequests: work.IORequests,
+		IOBytes:    work.IOBytes,
+	})
+}
+
+func (r *statsRecorder) snapshot() readopt.ServerStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return readopt.ServerStats{
+		Admitted:        r.admitted,
+		Completed:       r.completed,
+		Failed:          r.failed,
+		Rejected:        r.rejected,
+		TimedOut:        r.timedOut,
+		Batches:         r.batches,
+		BatchedQueries:  r.batchedQueries,
+		MaxBatchSize:    r.maxBatch,
+		SingletonRuns:   r.singletons,
+		QueueWaitMicros: r.queueWait.Microseconds(),
+		ExecMicros:      r.exec.Microseconds(),
+		Work: readopt.ScanStats{
+			Instructions: r.work.Instr,
+			SeqMemBytes:  r.work.SeqBytes,
+			RandMemLines: r.work.RandLines,
+			IORequests:   r.work.IORequests,
+			IOBytes:      r.work.IOBytes,
+		},
+	}
+}

@@ -29,6 +29,9 @@ func (t *Table) QueryParallel(q Query, dop int) (*Rows, error) {
 	if dop <= 1 {
 		return t.Query(q)
 	}
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
 	scanCols, proj, err := t.scanPlan(q)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,103 @@
+package readopt
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+// TestQueryParallelDopExceedsTuples: more partitions than rows still
+// returns exactly the serial result.
+func TestQueryParallelDopExceedsTuples(t *testing.T) {
+	for _, layout := range []Layout{RowLayout, ColumnLayout, PAXLayout} {
+		tbl, err := GenerateTPCH(filepath.Join(t.TempDir(), "t"), Orders(), layout, 10, 3, LoadOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := Query{Select: []string{"O_ORDERKEY", "O_TOTALPRICE"}}
+		serial, err := tbl.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := rawTuples(t, serial)
+		for _, dop := range []int{11, 64} {
+			par, err := tbl.QueryParallel(q, dop)
+			if err != nil {
+				t.Fatalf("%s dop %d: %v", layout, dop, err)
+			}
+			if got := rawTuples(t, par); !bytes.Equal(got, want) {
+				t.Errorf("%s dop %d: result differs (%d vs %d bytes)", layout, dop, len(got), len(want))
+			}
+		}
+	}
+}
+
+// TestQueryParallelEmptyTable: a partitioned scan of zero rows is empty
+// for every layout and dop, including aggregate shapes.
+func TestQueryParallelEmptyTable(t *testing.T) {
+	for _, layout := range []Layout{RowLayout, ColumnLayout, PAXLayout} {
+		tbl, err := GenerateTPCH(filepath.Join(t.TempDir(), "t"), Orders(), layout, 0, 1, LoadOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range []Query{
+			{Select: []string{"O_ORDERKEY"}},
+			{Aggs: []Agg{{Func: "count"}}},
+		} {
+			serial, err := tbl.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := rawTuples(t, serial)
+			for _, dop := range []int{2, 8} {
+				par, err := tbl.QueryParallel(q, dop)
+				if err != nil {
+					t.Fatalf("%s dop %d: %v", layout, dop, err)
+				}
+				if got := rawTuples(t, par); !bytes.Equal(got, want) {
+					t.Errorf("%s dop %d: empty-table result differs (%d vs %d bytes)",
+						layout, dop, len(got), len(want))
+				}
+			}
+		}
+	}
+}
+
+// TestQueryParallelProperty: for a grid of query shapes and dop values,
+// QueryParallel(q, dop) is byte-identical to Query(q) — the property the
+// paper's "results trivially extend to multiple CPUs" claim rests on.
+func TestQueryParallelProperty(t *testing.T) {
+	tbl := loadOrders(t, ColumnLayout, 4321) // deliberately not a page multiple
+	th10, err := tbl.SelectivityThreshold(0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th50, err := tbl.SelectivityThreshold(0.50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []Query{
+		{Select: []string{"O_ORDERKEY"}},
+		{Select: []string{"O_ORDERKEY", "O_ORDERSTATUS"}, Where: []Cond{{Column: "O_ORDERDATE", Op: "<", Value: th10}}},
+		{Select: []string{"O_TOTALPRICE"}, Where: []Cond{{Column: "O_ORDERDATE", Op: ">=", Value: th50}}},
+		{GroupBy: []string{"O_ORDERSTATUS"}, Aggs: []Agg{{Func: "count"}, {Func: "min", Column: "O_TOTALPRICE"}, {Func: "max", Column: "O_TOTALPRICE"}}},
+		{Aggs: []Agg{{Func: "sum", Column: "O_SHIPPRIORITY"}}},
+		{Select: []string{"O_ORDERKEY", "O_TOTALPRICE"}, OrderBy: []Order{{Column: "O_TOTALPRICE", Desc: true}, {Column: "O_ORDERKEY"}}, Limit: 17},
+	}
+	for qi, q := range queries {
+		serial, err := tbl.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := rawTuples(t, serial)
+		for _, dop := range []int{2, 3, 5, 9, 33} {
+			par, err := tbl.QueryParallel(q, dop)
+			if err != nil {
+				t.Fatalf("q%d dop %d: %v", qi, dop, err)
+			}
+			if got := rawTuples(t, par); !bytes.Equal(got, want) {
+				t.Errorf("q%d dop %d: parallel != serial (%d vs %d bytes)", qi, dop, len(got), len(want))
+			}
+		}
+	}
+}

@@ -10,24 +10,25 @@ import (
 
 // Cond is a SARGable predicate: column OP constant. Op is one of
 // "<", "<=", "=", "<>", ">=", ">". Value is an int for integer columns or
-// a string for text columns.
+// a string for text columns. The JSON tags define the server wire format
+// (see server.go).
 type Cond struct {
-	Column string
-	Op     string
-	Value  any
+	Column string `json:"column"`
+	Op     string `json:"op"`
+	Value  any    `json:"value"`
 }
 
 // Agg is one aggregate of a query's select list: Func is "count", "sum",
 // "min", "max" or "avg"; Column is empty for "count".
 type Agg struct {
-	Func   string
-	Column string
+	Func   string `json:"func"`
+	Column string `json:"column,omitempty"`
 }
 
 // Order is one ORDER BY key.
 type Order struct {
-	Column string
-	Desc   bool
+	Column string `json:"column"`
+	Desc   bool   `json:"desc,omitempty"`
 }
 
 // Query describes a scan-shaped query over one table: projection,
@@ -36,17 +37,60 @@ type Order struct {
 type Query struct {
 	// Select lists the projected columns. Required unless aggregates are
 	// given, in which case it defaults to the group-by columns.
-	Select []string
+	Select []string `json:"select,omitempty"`
 	// Where are conjunctive predicates, evaluated inside the scan.
-	Where []Cond
+	Where []Cond `json:"where,omitempty"`
 	// GroupBy and Aggs turn the query into an aggregation.
-	GroupBy []string
-	Aggs    []Agg
+	GroupBy []string `json:"group_by,omitempty"`
+	Aggs    []Agg    `json:"aggs,omitempty"`
 	// OrderBy sorts the result (column names refer to the output schema;
 	// aggregate columns are named like "SUM(O_TOTALPRICE)").
-	OrderBy []Order
+	OrderBy []Order `json:"order_by,omitempty"`
 	// Limit bounds the result rows (0 = no limit).
-	Limit int64
+	Limit int64 `json:"limit,omitempty"`
+}
+
+// validate rejects malformed query fields at plan time — a negative
+// Limit, an unknown aggregate function, an unknown comparison operator —
+// with a clear error, instead of failing deep in the executor (or, for a
+// negative Limit, being silently ignored).
+func (q Query) validate() error {
+	if q.Limit < 0 {
+		return fmt.Errorf("readopt: negative Limit %d", q.Limit)
+	}
+	for _, c := range q.Where {
+		if _, ok := cmpOps[c.Op]; !ok {
+			return fmt.Errorf("readopt: unknown comparison %q in predicate on column %q", c.Op, c.Column)
+		}
+	}
+	for _, a := range q.Aggs {
+		f, ok := aggFuncs[a.Func]
+		if !ok {
+			return fmt.Errorf("readopt: unknown aggregate function %q", a.Func)
+		}
+		if f != exec.Count && a.Column == "" {
+			return fmt.Errorf("readopt: aggregate %q needs a column", a.Func)
+		}
+	}
+	if len(q.Select) == 0 && len(q.Aggs) == 0 {
+		return fmt.Errorf("readopt: query selects nothing")
+	}
+	return nil
+}
+
+// ValidateQuery checks q against the table without executing it: field
+// validation plus column resolution for the select list, predicates,
+// grouping and aggregates. The server uses it to reject a bad query at
+// admission instead of failing a whole shared-scan batch.
+func (t *Table) ValidateQuery(q Query) error {
+	if err := q.validate(); err != nil {
+		return err
+	}
+	if _, _, err := t.scanPlan(q); err != nil {
+		return err
+	}
+	_, err := t.buildPreds(q.Where)
+	return err
 }
 
 var cmpOps = map[string]exec.CmpOp{
@@ -128,6 +172,9 @@ func (t *Table) scanPlan(q Query) (scanCols []string, proj []int, err error) {
 
 // plan builds the operator tree for a query.
 func (t *Table) plan(q Query, counters *cpumodel.Counters) (exec.Operator, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
 	scanCols, proj, err := t.scanPlan(q)
 	if err != nil {
 		return nil, err

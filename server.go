@@ -1,0 +1,302 @@
+package readopt
+
+// This file is the wire side of the query-serving subsystem: the
+// HTTP/JSON message types exchanged with the readoptd daemon
+// (internal/server, cmd/readoptd), the helpers that bridge Table/Query
+// results onto that wire format, and a small Go client. The server
+// itself lives in internal/server so the engine facade stays free of
+// serving concerns; the types here are shared by both sides.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// QueryRequest is the JSON body of POST /query.
+type QueryRequest struct {
+	// Table names a table in the server's catalog.
+	Table string `json:"table"`
+	// Query is the query to run, in the engine's own shape (see the json
+	// tags on Query, Cond, Agg and Order for the field spelling).
+	Query Query `json:"query"`
+	// TimeoutMillis overrides the server's default per-request deadline
+	// (0 = use the default).
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// Dop requests a partitioned parallel scan (QueryParallel) when the
+	// query runs alone; a query dispatched inside a shared-scan batch
+	// ignores it. 0 or 1 means a plain serial scan.
+	Dop int `json:"dop,omitempty"`
+}
+
+// QueryResponse is the JSON body answering POST /query.
+type QueryResponse struct {
+	Columns []string     `json:"columns,omitempty"`
+	Types   []ColumnType `json:"types,omitempty"`
+	// Rows holds the materialized result: int64 for integer columns,
+	// string for text columns (numbers arrive as float64 after a JSON
+	// round trip).
+	Rows [][]any `json:"rows"`
+	// Stats is the engine work behind this answer. For a query answered
+	// from a shared-scan batch it covers the whole shared pass — that is
+	// the point: BatchSize queries were answered for one scan's I/O.
+	Stats ScanStats `json:"stats"`
+	// BatchSize is the number of queries co-scheduled into the shared
+	// scan that produced this answer (1 = the query ran alone).
+	BatchSize int `json:"batch_size"`
+	// QueueWaitMicros and ExecMicros split the server-side latency into
+	// time spent waiting for dispatch and time executing.
+	QueueWaitMicros int64 `json:"queue_wait_us"`
+	ExecMicros      int64 `json:"exec_us"`
+	// Error and Code are set instead of a result when the request fails;
+	// Code is one of the Code* constants.
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+}
+
+// Error codes a QueryResponse (or the other endpoints' error envelope)
+// can carry. CodeQueueFull is the admission controller's distinct
+// rejection: the query never entered the system.
+const (
+	CodeQueueFull    = "queue_full"
+	CodeTimeout      = "timeout"
+	CodeTableMissing = "table_not_found"
+	CodeBadRequest   = "bad_request"
+	CodeDraining     = "draining"
+	CodeInternal     = "internal"
+)
+
+// ErrServerBusy is reported (via errors.Is) by Client methods when the
+// server's admission queue rejected the request.
+var ErrServerBusy = errors.New("readopt: server admission queue is full")
+
+// ServerError is a structured failure from the readoptd server.
+type ServerError struct {
+	StatusCode int    // HTTP status
+	Code       string // one of the Code* constants
+	Message    string
+}
+
+func (e *ServerError) Error() string {
+	return fmt.Sprintf("readopt: server error %s (%d): %s", e.Code, e.StatusCode, e.Message)
+}
+
+// Is makes errors.Is(err, ErrServerBusy) match admission rejections.
+func (e *ServerError) Is(target error) bool {
+	return target == ErrServerBusy && e.Code == CodeQueueFull
+}
+
+// TableInfo describes one catalog entry, as served by GET /tables.
+type TableInfo struct {
+	Name      string   `json:"name"`
+	Layout    Layout   `json:"layout"`
+	Rows      int64    `json:"rows"`
+	DataBytes int64    `json:"data_bytes"`
+	Columns   []string `json:"columns"`
+}
+
+// ServerStats is the aggregate served by GET /stats: admission-control
+// outcomes, shared-scan batching effectiveness, latency totals, and the
+// engine work accumulated (server-side via cpumodel.Counters) across
+// every query run.
+type ServerStats struct {
+	Admitted  int64 `json:"admitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	// Rejected counts queries refused by the bounded admission queue.
+	Rejected int64 `json:"rejected"`
+	// TimedOut counts queries whose deadline expired before an answer.
+	TimedOut int64 `json:"timed_out"`
+	// Batches counts multi-query shared-scan dispatches; BatchedQueries
+	// is how many queries they answered in total; MaxBatchSize is the
+	// largest batch so far; SingletonRuns counts queries that ran alone.
+	Batches         int64 `json:"batches"`
+	BatchedQueries  int64 `json:"batched_queries"`
+	MaxBatchSize    int64 `json:"max_batch_size"`
+	SingletonRuns   int64 `json:"singleton_runs"`
+	QueueWaitMicros int64 `json:"queue_wait_us"`
+	ExecMicros      int64 `json:"exec_us"`
+	// Work is the engine's aggregate work accounting; Work.IOBytes is
+	// the total bytes scanned off disk on behalf of clients.
+	Work ScanStats `json:"work"`
+}
+
+// ColumnTypes returns the result column types, aligned with Columns —
+// what a generic consumer (like the server's wire encoder) needs to
+// decode rows without knowing the query.
+func (r *Rows) ColumnTypes() []ColumnType {
+	out := make([]ColumnType, r.sch.NumAttrs())
+	for i, a := range r.sch.Attrs {
+		if a.Type.Kind == schema.Int32 {
+			out[i] = Int32
+		} else {
+			out[i] = Text(a.Type.Size)
+		}
+	}
+	return out
+}
+
+// Values returns the current row as generic Go values: int64 for
+// integer columns, string (trailing padding trimmed) for text columns.
+func (r *Rows) Values() ([]any, error) {
+	if r.block == nil || r.pos >= r.block.Len() {
+		return nil, fmt.Errorf("readopt: Values without a current row")
+	}
+	tuple := r.block.Tuple(r.pos)
+	out := make([]any, r.sch.NumAttrs())
+	for i, a := range r.sch.Attrs {
+		if a.Type.Kind == schema.Int32 {
+			out[i] = int64(r.sch.Int32At(tuple, i))
+		} else {
+			out[i] = trimPad(r.sch.TextAt(tuple, i))
+		}
+	}
+	return out, nil
+}
+
+// Info returns the table's catalog entry.
+func (t *Table) Info(name string) TableInfo {
+	if name == "" {
+		name = t.Schema().Name()
+	}
+	return TableInfo{
+		Name:      name,
+		Layout:    t.Layout(),
+		Rows:      t.Rows(),
+		DataBytes: t.DataBytes(),
+		Columns:   t.Schema().Columns(),
+	}
+}
+
+// NormalizeQuery repairs a Query that crossed a JSON boundary:
+// encoding/json decodes every number as float64, while predicates over
+// integer columns need integer values, so integral floats collapse back
+// to int. A fractional predicate value is an error — no engine column
+// can hold it.
+func NormalizeQuery(q *Query) error {
+	for i, c := range q.Where {
+		switch v := c.Value.(type) {
+		case float64:
+			n := int(v)
+			if float64(n) != v {
+				return fmt.Errorf("readopt: non-integer predicate value %v on column %s", v, c.Column)
+			}
+			q.Where[i].Value = n
+		case json.Number:
+			n, err := v.Int64()
+			if err != nil {
+				return fmt.Errorf("readopt: non-integer predicate value %v on column %s", v, c.Column)
+			}
+			q.Where[i].Value = int(n)
+		}
+	}
+	return nil
+}
+
+// Client talks to a readoptd server.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the server at baseURL (e.g.
+// "http://localhost:8077"). httpClient may be nil for
+// http.DefaultClient.
+func NewClient(baseURL string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// Query runs q against the named table on the server. The context bounds
+// the whole round trip; server-side, the request carries req.TimeoutMillis
+// if set. Admission rejections satisfy errors.Is(err, ErrServerBusy).
+func (c *Client) Query(ctx context.Context, table string, q Query) (*QueryResponse, error) {
+	return c.Do(ctx, QueryRequest{Table: table, Query: q})
+}
+
+// Do runs a fully-specified QueryRequest.
+func (c *Client) Do(ctx context.Context, req QueryRequest) (*QueryResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/query", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := c.http.Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer hres.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(hres.Body, 1<<30))
+	if err != nil {
+		return nil, err
+	}
+	var resp QueryResponse
+	if err := json.Unmarshal(data, &resp); err != nil {
+		return nil, fmt.Errorf("readopt: bad server response (%d): %w", hres.StatusCode, err)
+	}
+	if hres.StatusCode != http.StatusOK {
+		return nil, &ServerError{StatusCode: hres.StatusCode, Code: resp.Code, Message: resp.Error}
+	}
+	return &resp, nil
+}
+
+// Tables lists the server's catalog.
+func (c *Client) Tables(ctx context.Context) ([]TableInfo, error) {
+	var out []TableInfo
+	if err := c.get(ctx, "/tables", &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats fetches the server's aggregate statistics.
+func (c *Client) Stats(ctx context.Context) (*ServerStats, error) {
+	var out ServerStats
+	if err := c.get(ctx, "/stats", &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Healthy reports whether the server answers /healthz with 200.
+func (c *Client) Healthy(ctx context.Context) error {
+	return c.get(ctx, "/healthz", &struct{}{})
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	hres, err := c.http.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hres.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(hres.Body, 1<<30))
+	if err != nil {
+		return err
+	}
+	if hres.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		_ = json.Unmarshal(data, &e)
+		return &ServerError{StatusCode: hres.StatusCode, Code: e.Code, Message: e.Error}
+	}
+	return json.Unmarshal(data, out)
+}

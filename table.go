@@ -146,13 +146,14 @@ func (t *Table) DataBytes() int64 { return t.t.TotalDataBytes() }
 func (t *Table) Dir() string { return t.t.Dir }
 
 // ScanStats reports the work a query performed, in the units of the
-// paper's analysis.
+// paper's analysis. The JSON tags define how the server wire format
+// (server.go) spells the fields.
 type ScanStats struct {
-	Instructions int64
-	SeqMemBytes  int64
-	RandMemLines int64
-	IORequests   int64
-	IOBytes      int64
+	Instructions int64 `json:"instructions"`
+	SeqMemBytes  int64 `json:"seq_mem_bytes"`
+	RandMemLines int64 `json:"rand_mem_lines"`
+	IORequests   int64 `json:"io_requests"`
+	IOBytes      int64 `json:"io_bytes"`
 }
 
 // openReader wires a data file behind the prefetching OS reader.

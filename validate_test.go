@@ -1,0 +1,92 @@
+package readopt
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestQueryValidation: malformed query fields are rejected at plan time
+// with a clear error, on every execution path (Query, QueryParallel,
+// QueryBatch, ValidateQuery), instead of failing deep in the executor.
+func TestQueryValidation(t *testing.T) {
+	tbl := loadOrders(t, ColumnLayout, 200)
+	cases := []struct {
+		name string
+		q    Query
+		want string
+	}{
+		{
+			name: "negative limit",
+			q:    Query{Select: []string{"O_ORDERKEY"}, Limit: -1},
+			want: "negative Limit",
+		},
+		{
+			name: "unknown aggregate",
+			q:    Query{Aggs: []Agg{{Func: "median", Column: "O_TOTALPRICE"}}},
+			want: "unknown aggregate",
+		},
+		{
+			name: "aggregate without column",
+			q:    Query{Aggs: []Agg{{Func: "sum"}}},
+			want: "needs a column",
+		},
+		{
+			name: "unknown comparison",
+			q: Query{
+				Select: []string{"O_ORDERKEY"},
+				Where:  []Cond{{Column: "O_ORDERKEY", Op: "!=", Value: 3}},
+			},
+			want: "unknown comparison",
+		},
+		{
+			name: "selects nothing",
+			q:    Query{},
+			want: "selects nothing",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			check := func(path string, err error) {
+				if err == nil {
+					t.Errorf("%s accepted the query", path)
+					return
+				}
+				if !strings.Contains(err.Error(), tc.want) {
+					t.Errorf("%s error %q does not mention %q", path, err, tc.want)
+				}
+			}
+			_, err := tbl.Query(tc.q)
+			check("Query", err)
+			_, err = tbl.QueryParallel(tc.q, 4)
+			check("QueryParallel", err)
+			_, err = tbl.QueryBatch([]Query{tc.q})
+			check("QueryBatch", err)
+			check("ValidateQuery", tbl.ValidateQuery(tc.q))
+		})
+	}
+}
+
+// TestValidateQueryResolvesColumns: ValidateQuery also catches unknown
+// columns anywhere in the query, without executing it.
+func TestValidateQueryResolvesColumns(t *testing.T) {
+	tbl := loadOrders(t, RowLayout, 100)
+	for _, q := range []Query{
+		{Select: []string{"NOPE"}},
+		{Select: []string{"O_ORDERKEY"}, Where: []Cond{{Column: "NOPE", Op: "<", Value: 1}}},
+		{GroupBy: []string{"NOPE"}, Aggs: []Agg{{Func: "count"}}},
+		{Aggs: []Agg{{Func: "sum", Column: "NOPE"}}},
+	} {
+		if err := tbl.ValidateQuery(q); err == nil {
+			t.Errorf("ValidateQuery accepted %+v", q)
+		}
+	}
+	ok := Query{
+		Select:  []string{"O_ORDERKEY"},
+		Where:   []Cond{{Column: "O_ORDERDATE", Op: "<", Value: 1000}},
+		OrderBy: []Order{{Column: "O_ORDERKEY"}},
+		Limit:   5,
+	}
+	if err := tbl.ValidateQuery(ok); err != nil {
+		t.Errorf("ValidateQuery rejected a good query: %v", err)
+	}
+}
