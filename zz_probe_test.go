@@ -1,0 +1,60 @@
+package readopt_test
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"github.com/readoptdb/readopt"
+)
+
+func TestBatchOrderByAggMatchesSolo(t *testing.T) {
+	dir, _ := os.MkdirTemp("", "obagg")
+	defer os.RemoveAll(dir)
+	tbl, err := readopt.CreateTable(dir, readopt.TableSpec{
+		Name:   "T",
+		Layout: readopt.LayoutColumn,
+		Columns: []readopt.ColumnSpec{
+			{Name: "K", Type: readopt.Int32},
+			{Name: "V", Type: readopt.Int32},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := tbl.Insert(map[string]any{"K": i % 7, "V": i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tbl.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	q := readopt.Query{
+		GroupBy: []string{"K"},
+		Aggs:    []readopt.Agg{{Func: "sum", Column: "V"}},
+		OrderBy: []readopt.Order{{Column: "SUM(V)", Desc: true}},
+		Limit:   3,
+	}
+	solo, err := tbl.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var soloRows [][]any
+	for solo.Next() {
+		v, _ := solo.Values()
+		soloRows = append(soloRows, v)
+	}
+	batch, err := tbl.QueryBatch([]readopt.Query{q, {Select: []string{"K"}, Limit: 1}})
+	if err != nil {
+		t.Fatalf("QueryBatch: %v", err)
+	}
+	var batchRows [][]any
+	for batch[0].Next() {
+		v, _ := batch[0].Values()
+		batchRows = append(batchRows, v)
+	}
+	if !reflect.DeepEqual(soloRows, batchRows) {
+		t.Fatalf("solo %v != batch %v", soloRows, batchRows)
+	}
+}
