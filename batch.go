@@ -2,11 +2,13 @@ package readopt
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/readoptdb/readopt/internal/cpumodel"
 	"github.com/readoptdb/readopt/internal/exec"
 	"github.com/readoptdb/readopt/internal/schema"
 	"github.com/readoptdb/readopt/internal/share"
+	"github.com/readoptdb/readopt/internal/trace"
 )
 
 // QueryBatch evaluates several queries against the table in one shared
@@ -18,6 +20,18 @@ import (
 // shape Query accepts can join a batch; results match solo execution.
 // The returned result iterators are fully materialized and independent.
 func (t *Table) QueryBatch(queries []Query) ([]*Rows, error) {
+	return t.queryBatch(queries, false)
+}
+
+// QueryBatchTraced runs the batch like QueryBatch with per-query
+// tracing: every result's Rows.Trace starts with the one shared scan
+// stage (the I/O and decode work the whole batch paid once) and
+// continues with that query's own shared-pass and post-pass stages.
+func (t *Table) QueryBatchTraced(queries []Query) ([]*Rows, error) {
+	return t.queryBatch(queries, true)
+}
+
+func (t *Table) queryBatch(queries []Query, traced bool) ([]*Rows, error) {
 	if len(queries) == 0 {
 		return nil, nil
 	}
@@ -73,9 +87,22 @@ func (t *Table) QueryBatch(queries []Query) ([]*Rows, error) {
 		proj[i], _ = t.resolve(c)
 	}
 	var counters cpumodel.Counters
-	src, err := t.scanOperator(nil, proj, &counters)
+	scanCtr := &counters
+	var btr *trace.Trace
+	var scanStage *trace.Stage
+	if traced {
+		btr = trace.New()
+		scanStage = btr.NewStage("shared-scan",
+			fmt.Sprintf("%s layout, %d queries, %d columns", t.Layout(), len(queries), len(unionCols)))
+		scanStage.RowsIn = t.Rows()
+		scanCtr = &scanStage.Counters
+	}
+	src, err := t.scanOperator(nil, proj, scanCtr, btr)
 	if err != nil {
 		return nil, err
+	}
+	if traced {
+		src = trace.Wrap(src, scanStage)
 	}
 	// Translate each facade query into a share.Query against the shared
 	// schema.
@@ -134,13 +161,43 @@ func (t *Table) QueryBatch(queries []Query) ([]*Rows, error) {
 		sharedQs[i] = sq
 	}
 
+	// Traced batches fork the base trace per query: every member sees the
+	// one shared scan stage, then its own shared-pass stage (fed by the
+	// per-query counters share.Run supports) and post-pass stages.
+	var forks []*trace.Trace
+	var passStages []*trace.Stage
+	if traced {
+		forks = make([]*trace.Trace, len(queries))
+		passStages = make([]*trace.Stage, len(queries))
+		for i := range queries {
+			forks[i] = btr.Fork()
+			passStages[i] = forks[i].NewStage("shared-pass",
+				fmt.Sprintf("%d predicates, %d output columns, %d aggregates",
+					len(sharedQs[i].Preds), len(sharedQs[i].Proj), len(sharedQs[i].Aggs)))
+			sharedQs[i].Counters = &passStages[i].Counters
+		}
+	}
+
+	passStart := time.Now()
 	results, err := share.Run(src, sharedQs, &counters)
 	if err != nil {
 		return nil, err
 	}
+	passTime := time.Since(passStart)
+
 	out := make([]*Rows, len(results))
 	for i, res := range results {
-		op, err := batchPostPass(res.Schema, res.Tuples, queries[i], &counters)
+		var tri *trace.Trace
+		if traced {
+			tri = forks[i]
+			// The shared pass runs as one drain of the scan, not as a pull
+			// chain per query, so each member's pass stage reports the whole
+			// pass's wall time (inclusive of the scan it drove) and the
+			// tuples the pass delivered to this query.
+			passStages[i].Time = passTime
+			passStages[i].RowsOut = int64(res.NumTuples())
+		}
+		op, err := batchPostPass(res.Schema, res.Tuples, queries[i], &counters, tri)
 		if err != nil {
 			return nil, fmt.Errorf("readopt: batch query %d: %w", i, err)
 		}
@@ -148,7 +205,7 @@ func (t *Table) QueryBatch(queries []Query) ([]*Rows, error) {
 			op.Close()
 			return nil, err
 		}
-		out[i] = &Rows{op: op, sch: op.Schema(), counters: &counters}
+		out[i] = &Rows{op: op, sch: op.Schema(), counters: &counters, tr: tri}
 	}
 	return out, nil
 }
@@ -157,8 +214,18 @@ func (t *Table) QueryBatch(queries []Query) ([]*Rows, error) {
 // and LIMIT. Both are per-query concerns that run over the materialized
 // qualifying tuples, so they never prevent a query from sharing the
 // scan; ORDER BY + LIMIT fuse into a bounded-heap top-n as in the solo
-// planner.
-func batchPostPass(sch *schema.Schema, tuples []byte, q Query, counters *cpumodel.Counters) (exec.Operator, error) {
+// planner. A non-nil tr gives each post-pass operator its own stage,
+// marked Root: its input is the materialized pass result, not a live
+// pull from the previous stage.
+func batchPostPass(sch *schema.Schema, tuples []byte, q Query, counters *cpumodel.Counters, tr *trace.Trace) (exec.Operator, error) {
+	stage := func(name, detail string) (*cpumodel.Counters, func(exec.Operator) exec.Operator) {
+		if tr == nil {
+			return counters, func(op exec.Operator) exec.Operator { return op }
+		}
+		st := tr.NewStage(name, detail)
+		st.Root = true
+		return &st.Counters, func(op exec.Operator) exec.Operator { return trace.Wrap(op, st) }
+	}
 	var op exec.Operator
 	op, err := exec.NewSliceSource(sch, tuples, 0)
 	if err != nil {
@@ -174,12 +241,27 @@ func batchPostPass(sch *schema.Schema, tuples []byte, q Query, counters *cpumode
 			keys[i] = exec.SortKey{Attr: attr, Desc: o.Desc}
 		}
 		if q.Limit > 0 {
-			return exec.NewTopN(op, keys, q.Limit, counters)
+			ctr, wrap := stage("top-n", fmt.Sprintf("%d keys, limit %d", len(keys), q.Limit))
+			op, err = exec.NewTopN(op, keys, q.Limit, ctr)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(op), nil
 		}
-		return exec.NewSort(op, keys, counters)
+		ctr, wrap := stage("sort", fmt.Sprintf("%d keys", len(keys)))
+		op, err = exec.NewSort(op, keys, ctr)
+		if err != nil {
+			return nil, err
+		}
+		return wrap(op), nil
 	}
 	if q.Limit > 0 {
-		return exec.NewLimit(op, q.Limit)
+		_, wrap := stage("limit", fmt.Sprintf("limit %d", q.Limit))
+		op, err = exec.NewLimit(op, q.Limit)
+		if err != nil {
+			return nil, err
+		}
+		return wrap(op), nil
 	}
 	return op, nil
 }

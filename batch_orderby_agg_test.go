@@ -1,0 +1,73 @@
+package readopt_test
+
+import (
+	"os"
+	"reflect"
+	"testing"
+
+	"github.com/readoptdb/readopt"
+)
+
+// TestBatchOrderByAggMatchesSolo pins down the trickiest shared-scan
+// post-pass: ordering by an aggregate output column. A batched query
+// must resolve "SUM(col)" against the aggregated schema exactly like a
+// solo run does.
+func TestBatchOrderByAggMatchesSolo(t *testing.T) {
+	dir, err := os.MkdirTemp("", "obagg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	tbl, err := readopt.GenerateTPCH(dir, readopt.Orders(),
+		readopt.ColumnLayout, 2000, 11, readopt.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := readopt.Query{
+		GroupBy: []string{"O_ORDERSTATUS"},
+		Aggs:    []readopt.Agg{{Func: "sum", Column: "O_TOTALPRICE"}},
+		OrderBy: []readopt.Order{{Column: "SUM(O_TOTALPRICE)", Desc: true}},
+		Limit:   3,
+	}
+	solo, err := tbl.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var soloRows [][]any
+	for solo.Next() {
+		v, err := solo.Values()
+		if err != nil {
+			t.Fatal(err)
+		}
+		soloRows = append(soloRows, v)
+	}
+	if err := solo.Err(); err != nil {
+		t.Fatal(err)
+	}
+	solo.Close()
+
+	batch, err := tbl.QueryBatch([]readopt.Query{q, {Select: []string{"O_ORDERKEY"}, Limit: 1}})
+	if err != nil {
+		t.Fatalf("QueryBatch: %v", err)
+	}
+	var batchRows [][]any
+	for batch[0].Next() {
+		v, err := batch[0].Values()
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchRows = append(batchRows, v)
+	}
+	if err := batch[0].Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range batch {
+		r.Close()
+	}
+	if len(soloRows) == 0 {
+		t.Fatal("solo run returned no rows")
+	}
+	if !reflect.DeepEqual(soloRows, batchRows) {
+		t.Fatalf("solo %v != batch %v", soloRows, batchRows)
+	}
+}

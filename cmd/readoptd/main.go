@@ -6,7 +6,14 @@
 //	dbgen -table orders -layout column -rows 2000000 -dir /tmp/ord
 //	readoptd -listen :8077 -table orders=/tmp/ord
 //	curl -s localhost:8077/query -d '{"table":"orders","query":{"select":["O_ORDERKEY"],"limit":3}}'
+//	curl -s localhost:8077/query -d '{"table":"orders","trace":true,"query":{"aggs":[{"func":"count"}]}}'
 //	curl -s localhost:8077/stats
+//	curl -s localhost:8077/metrics
+//
+// A request with "trace": true gets a per-query trace in the response:
+// per-stage timings, rows in/out, modeled work and I/O. /metrics serves
+// the aggregate statistics in Prometheus text format, and -slow-query
+// logs any query whose execution time crosses the threshold.
 //
 // On SIGINT/SIGTERM the daemon stops admitting queries, finishes the
 // ones in flight, and exits.
@@ -34,6 +41,7 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query deadline")
 	gather := flag.Duration("gather", 0, "pause before each dispatch so concurrent queries coalesce into one shared scan")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for draining in-flight queries")
+	slow := flag.Duration("slow-query", 0, "log queries whose execution time exceeds this (0 disables)")
 	var tables tableFlags
 	flag.Var(&tables, "table", "table to serve, as name=dir (repeatable)")
 	flag.Parse()
@@ -45,10 +53,11 @@ func main() {
 	}
 
 	s := server.New(server.Config{
-		Workers:        *workers,
-		QueueDepth:     *queue,
-		DefaultTimeout: *timeout,
-		GatherWindow:   *gather,
+		Workers:            *workers,
+		QueueDepth:         *queue,
+		DefaultTimeout:     *timeout,
+		GatherWindow:       *gather,
+		SlowQueryThreshold: *slow,
 	})
 	for _, t := range tables {
 		if err := s.OpenTable(t.name, t.dir); err != nil {

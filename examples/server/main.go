@@ -11,11 +11,13 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
@@ -90,6 +92,25 @@ func main() {
 	}
 	wg.Wait()
 
+	fmt.Println("\n== one traced query: per-stage accounting over the wire ==")
+	traced, err := client.Do(context.Background(), readopt.QueryRequest{
+		Table: "orders",
+		Trace: true,
+		Query: readopt.Query{GroupBy: []string{"O_ORDERSTATUS"},
+			Aggs: []readopt.Agg{{Func: "count"}, {Func: "avg", Column: "O_TOTALPRICE"}}},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if qt := traced.Trace; qt != nil {
+		fmt.Printf("elapsed %dus, %d bytes read, %d pages touched\n",
+			qt.ElapsedMicros, qt.IO.BytesRead, qt.PagesTouched)
+		for _, stg := range qt.Stages {
+			fmt.Printf("  stage %-12s rows %8d -> %8d  own %6dus  (%s)\n",
+				stg.Op, stg.RowsIn, stg.RowsOut, stg.OwnTimeMicros, stg.Detail)
+		}
+	}
+
 	fmt.Println("\n== /stats: shared-scan batching at work ==")
 	st, err := client.Stats(context.Background())
 	if err != nil {
@@ -100,4 +121,23 @@ func main() {
 		st.Batches, st.BatchedQueries, st.MaxBatchSize, st.SingletonRuns)
 	fmt.Printf("total bytes scanned: %d — vs %d if every query had scanned alone\n",
 		st.Work.IOBytes, int64(st.Admitted)*tbl.DataBytes())
+
+	fmt.Println("\n== /metrics: the same story for a Prometheus scraper ==")
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	body, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "readopt_queries_total") ||
+			strings.HasPrefix(line, "readopt_batch") ||
+			strings.HasPrefix(line, "readopt_bytes_scanned_total") ||
+			strings.HasPrefix(line, "readopt_exec_seconds_count") {
+			fmt.Println(line)
+		}
+	}
 }

@@ -98,6 +98,53 @@ func (t *Table) Explain(q Query, hw Hardware) (string, error) {
 	return b.String(), nil
 }
 
+// predictedReadBytes returns the bytes the scan of proj will read: the
+// whole data file for the single-file layouts, the projected columns'
+// files for the column layout.
+func (t *Table) predictedReadBytes(proj []int) int64 {
+	if t.t.Layout == store.Row || t.t.Layout == store.PAX {
+		if n, ok := t.t.DataFileSize(dataFileName(t.t)); ok {
+			return n
+		}
+		return 0
+	}
+	var total int64
+	for _, a := range proj {
+		if n, ok := t.t.DataFileSize(store.ColumnFileName(t.t.Schema, a)); ok {
+			total += n
+		}
+	}
+	return total
+}
+
+// predictedRate returns the analytical model's tuples/sec prediction
+// for q on this table's layout on the given hardware.
+func (t *Table) predictedRate(q Query, hw Hardware, proj []int) (float64, error) {
+	m := cpumodel.Paper2006()
+	m.ClockHz = hw.ClockGHz * 1e9
+	m.CPUs = hw.CPUs
+	cfg := model.FromMachine(m, float64(hw.Disks)*hw.DiskMBps*1e6)
+	width := t.t.Schema.StoredWidth()
+	if t.t.Schema.Compressed() {
+		width = t.t.Schema.CompressedWidth()
+	}
+	w := model.Workload{
+		N:           max64(t.Rows(), 1),
+		TupleWidth:  width,
+		NumAttrs:    t.t.Schema.NumAttrs(),
+		Projection:  float64(len(proj)) / float64(t.t.Schema.NumAttrs()),
+		Selectivity: estimateSelectivity(q),
+	}
+	rowRate, colRate, _, err := cfg.Predict(w, cpumodel.DefaultCosts(), m)
+	if err != nil {
+		return 0, err
+	}
+	if t.t.Layout == store.Column {
+		return colRate, nil
+	}
+	return rowRate, nil
+}
+
 // buildExplainPlan validates the query the way plan does, without opening
 // files.
 func (t *Table) buildExplainPlan(q Query) ([]string, []int, error) {

@@ -1,0 +1,94 @@
+package readopt
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+)
+
+// ExplainAnalyze runs q under tracing and renders the Explain plan
+// followed by what actually happened: per-operator rows, timings and
+// counted work, the I/O layer's prefetch behaviour, and the analytical
+// model's predictions against the measured run (bytes read and scan
+// rate, each with a predicted-vs-actual delta). It is the paper's
+// methodology turned into a tool: the same counted events that build
+// the offline figures, reported for one live query.
+func (t *Table) ExplainAnalyze(q Query, hw Hardware) (string, error) {
+	plan, err := t.Explain(q, hw)
+	if err != nil {
+		return "", err
+	}
+	_, proj, err := t.scanPlan(q)
+	if err != nil {
+		return "", err
+	}
+
+	rows, err := t.QueryTraced(q)
+	if err != nil {
+		return "", err
+	}
+	resultRows := 0
+	for rows.Next() {
+		resultRows++
+	}
+	if err := rows.Err(); err != nil {
+		rows.Close()
+		return "", err
+	}
+	if err := rows.Close(); err != nil {
+		return "", err
+	}
+	total := rows.tr.Total()
+	qt := rows.Trace()
+
+	var b strings.Builder
+	b.WriteString(plan)
+	elapsed := time.Duration(qt.ElapsedMicros) * time.Microsecond
+	fmt.Fprintf(&b, "actual (traced run):\n")
+	fmt.Fprintf(&b, "  elapsed %s; %d result rows\n", elapsed.Round(time.Microsecond), resultRows)
+	fmt.Fprintf(&b, "  %-12s %12s %12s %10s %10s %14s %12s\n",
+		"stage", "rows in", "rows out", "time", "own", "instructions", "io bytes")
+	for _, st := range qt.Stages {
+		fmt.Fprintf(&b, "  %-12s %12d %12d %10s %10s %14d %12d\n",
+			st.Op, st.RowsIn, st.RowsOut,
+			(time.Duration(st.TimeMicros) * time.Microsecond).Round(time.Microsecond),
+			(time.Duration(st.OwnTimeMicros) * time.Microsecond).Round(time.Microsecond),
+			st.Work.Instructions, st.Work.IOBytes)
+	}
+
+	// I/O: measured against the plan-time prediction.
+	predBytes := t.predictedReadBytes(proj)
+	fmt.Fprintf(&b, "  io: %d bytes in %d requests", qt.IO.BytesRead, qt.IO.Requests)
+	if predBytes > 0 {
+		fmt.Fprintf(&b, " (predicted %d, delta %+.1f%%)", predBytes, delta(float64(qt.IO.BytesRead), float64(predBytes)))
+	}
+	fmt.Fprintf(&b, "; prefetch %d hits / %d stalls", qt.IO.PrefetchHits, qt.IO.PrefetchStalls)
+	if qt.IO.StallMicros > 0 {
+		fmt.Fprintf(&b, " (%s stalled)", (time.Duration(qt.IO.StallMicros) * time.Microsecond).Round(time.Microsecond))
+	}
+	fmt.Fprintf(&b, "\n  pages touched: %d\n", qt.PagesTouched)
+
+	// The model's time for the counted work, on the given hardware — the
+	// paper's Section 4.1 conversion applied to this run's events.
+	m := cpumodel.Paper2006()
+	m.ClockHz = hw.ClockGHz * 1e9
+	m.CPUs = hw.CPUs
+	bd := m.Breakdown(total)
+	fmt.Fprintf(&b, "  model CPU time for this work: %.2fms (sys %.2f, uop %.2f, L2 %.2f, L1 %.2f, rest %.2f)\n",
+		bd.Total()*1e3, bd.Sys*1e3, bd.UsrUop*1e3, bd.UsrL2*1e3, bd.UsrL1*1e3, bd.UsrRest*1e3)
+
+	// Scan rate: the model's prediction against the measured run.
+	if rate, err := t.predictedRate(q, hw, proj); err == nil && elapsed > 0 && rate > 0 {
+		actual := float64(t.Rows()) / elapsed.Seconds()
+		fmt.Fprintf(&b, "  scan rate: predicted %.1fM tuples/sec, actual %.1fM tuples/sec (delta %+.1f%%)\n",
+			rate/1e6, actual/1e6, delta(actual, rate))
+	}
+	return b.String(), nil
+}
+
+// delta is the percentage difference of actual against predicted.
+func delta(actual, predicted float64) float64 {
+	return 100 * (actual - predicted) / predicted
+}

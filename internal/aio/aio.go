@@ -38,6 +38,26 @@ type Stats struct {
 	Units     int64    // I/O units delivered
 	Requests  int64    // requests submitted to the device
 	WaitTime  sim.Time // virtual time spent stalled on I/O (SimReader only)
+	// PrefetchHits counts units already buffered when the consumer asked
+	// for them; PrefetchStalls counts units the consumer had to wait for.
+	// Their ratio is how well prefetch depth hides the device behind the
+	// scan's computation.
+	PrefetchHits   int64
+	PrefetchStalls int64
+	// StallNanos is the wall-clock time spent in those stalls (OSReader
+	// only; the SimReader's equivalent is WaitTime, in virtual time).
+	StallNanos int64
+}
+
+// Add accumulates o into s, used to merge the readers of one scan.
+func (s *Stats) Add(o Stats) {
+	s.BytesRead += o.BytesRead
+	s.Units += o.Units
+	s.Requests += o.Requests
+	s.WaitTime += o.WaitTime
+	s.PrefetchHits += o.PrefetchHits
+	s.PrefetchStalls += o.PrefetchStalls
+	s.StallNanos += o.StallNanos
 }
 
 // Gate serializes request submission across the readers of one scan,
@@ -176,7 +196,10 @@ func (r *SimReader) Next() ([]byte, error) {
 	r.pending = r.pending[1:]
 	if u.done > r.proc.Now() {
 		r.stats.WaitTime += u.done - r.proc.Now()
+		r.stats.PrefetchStalls++
 		r.proc.WaitUntil(u.done)
+	} else {
+		r.stats.PrefetchHits++
 	}
 	buf := r.buf[:u.n]
 	if r.file.Data != nil {

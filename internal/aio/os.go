@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 )
 
 // OSReader streams an operating-system file with a background prefetcher:
@@ -116,12 +117,29 @@ func (r *OSReader) Next() ([]byte, error) {
 		case <-r.done:
 		}
 	}
-	u, ok := <-r.results
+	// A non-blocking receive first distinguishes a unit the prefetcher had
+	// ready (hit) from one the consumer must wait out (stall).
+	var u osUnit
+	var ok bool
+	stalled := false
+	select {
+	case u, ok = <-r.results:
+	default:
+		stalled = true
+		t0 := time.Now()
+		u, ok = <-r.results
+		r.stats.StallNanos += time.Since(t0).Nanoseconds()
+	}
 	if !ok {
 		return nil, io.EOF
 	}
 	if u.err != nil {
 		return nil, u.err
+	}
+	if stalled {
+		r.stats.PrefetchStalls++
+	} else {
+		r.stats.PrefetchHits++
 	}
 	r.current = u.buf
 	r.stats.BytesRead += int64(len(u.buf))

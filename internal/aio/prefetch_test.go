@@ -1,0 +1,102 @@
+package aio
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/sim"
+	"github.com/readoptdb/readopt/internal/simdisk"
+)
+
+// TestSimReaderStatsMatchDisk ties the reader's accounting to the
+// device's: every byte the reader reports came off a simulated disk, and
+// every delivered unit is classified as a prefetch hit or a stall.
+func TestSimReaderStatsMatchDisk(t *testing.T) {
+	cfg := simdisk.DefaultConfig()
+	env := newSimEnv(t, cfg, 4*128<<10+999)
+	_, _, stats := drain(t, env, 128<<10, 4, 0)
+
+	var diskBytes int64
+	for _, ds := range env.arr.Stats() {
+		diskBytes += ds.BytesRead
+	}
+	if stats.BytesRead != diskBytes {
+		t.Errorf("reader counted %d bytes, disks delivered %d", stats.BytesRead, diskBytes)
+	}
+	if stats.PrefetchHits+stats.PrefetchStalls != stats.Units {
+		t.Errorf("hits %d + stalls %d != units %d", stats.PrefetchHits, stats.PrefetchStalls, stats.Units)
+	}
+}
+
+// TestSimReaderPrefetchClassification drives the same file I/O-bound
+// (no compute: the scan always waits on the disk) and compute-bound
+// (compute far slower than the disk: prefetched units are always ready).
+func TestSimReaderPrefetchClassification(t *testing.T) {
+	cfg := simdisk.DefaultConfig()
+
+	ioBound := newSimEnv(t, cfg, 8*128<<10)
+	_, _, stats := drain(t, ioBound, 128<<10, 4, 0)
+	if stats.PrefetchStalls == 0 {
+		t.Errorf("I/O-bound scan reported no stalls: %+v", stats)
+	}
+
+	computeBound := newSimEnv(t, cfg, 8*128<<10)
+	_, _, stats = drain(t, computeBound, 128<<10, 4, sim.Time(1e12))
+	if stats.PrefetchHits == 0 {
+		t.Errorf("compute-bound scan reported no prefetch hits: %+v", stats)
+	}
+	if stats.PrefetchStalls > 1 {
+		// Only the very first unit may stall, before the pipeline fills.
+		t.Errorf("compute-bound scan stalled %d times", stats.PrefetchStalls)
+	}
+	if stats.WaitTime != 0 && stats.PrefetchStalls == 0 {
+		t.Errorf("wait time %v with no stalls", stats.WaitTime)
+	}
+}
+
+// TestOSReaderPrefetchStats checks the real-file backend classifies
+// every unit too, and that stall time only accumulates with stalls.
+func TestOSReaderPrefetchStats(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f")
+	data := make([]byte, 300_000)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	r, err := NewOSReader(f, 64<<10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var n int64
+	for {
+		buf, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n += int64(len(buf))
+	}
+	stats := r.Stats()
+	if n != int64(len(data)) || stats.BytesRead != n {
+		t.Fatalf("read %d bytes, stats say %d, want %d", n, stats.BytesRead, len(data))
+	}
+	if stats.PrefetchHits+stats.PrefetchStalls != stats.Units {
+		t.Errorf("hits %d + stalls %d != units %d", stats.PrefetchHits, stats.PrefetchStalls, stats.Units)
+	}
+	if stats.PrefetchStalls == 0 && stats.StallNanos != 0 {
+		t.Errorf("stall time %dns with no stalls", stats.StallNanos)
+	}
+}

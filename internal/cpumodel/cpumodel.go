@@ -101,6 +101,11 @@ type Counters struct {
 	// layer and the bytes they returned; they drive the sys component.
 	IORequests int64
 	IOBytes    int64
+	// Pages counts storage pages crossed (row pages, column pages, PAX
+	// pages). It carries no time cost of its own — the per-page work is
+	// already in Instr — but observability reports it, and pages touched
+	// per tuple is one of the paper's layout-distinguishing quantities.
+	Pages int64
 }
 
 // AddInstr charges n instructions.
@@ -136,6 +141,13 @@ func (c *Counters) AddIO(n int64) {
 	}
 }
 
+// AddPage counts one storage page crossed.
+func (c *Counters) AddPage() {
+	if c != nil {
+		c.Pages++
+	}
+}
+
 // Add accumulates other counters into c.
 func (c *Counters) Add(o Counters) {
 	if c == nil {
@@ -147,6 +159,7 @@ func (c *Counters) Add(o Counters) {
 	c.L1Bytes += o.L1Bytes
 	c.IORequests += o.IORequests
 	c.IOBytes += o.IOBytes
+	c.Pages += o.Pages
 }
 
 // Scale multiplies every counter by f, used to extrapolate a measured
@@ -160,6 +173,7 @@ func (c Counters) Scale(f float64) Counters {
 		L1Bytes:    int64(float64(c.L1Bytes) * f),
 		IORequests: int64(float64(c.IORequests) * f),
 		IOBytes:    int64(float64(c.IOBytes) * f),
+		Pages:      int64(float64(c.Pages) * f),
 	}
 }
 

@@ -1,0 +1,306 @@
+package page
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/compress"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// feeder deterministically turns an arbitrary fuzz payload into tuple
+// values. It cycles so short payloads still fill many tuples.
+type feeder struct {
+	data []byte
+	i    int
+}
+
+func (f *feeder) byte() byte {
+	if len(f.data) == 0 {
+		return 0
+	}
+	b := f.data[f.i%len(f.data)]
+	f.i++
+	return b
+}
+
+func (f *feeder) u32() uint32 {
+	return uint32(f.byte()) | uint32(f.byte())<<8 | uint32(f.byte())<<16 | uint32(f.byte())<<24
+}
+
+var fuzzStatuses = []string{"F", "O", "P"}
+
+var fuzzPriorities = []string{
+	"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECI", "5-LOW",
+}
+
+// fillFuzzTuple writes one tuple whose values stay inside the ORDERS-Z
+// code domains (14-bit date, 8-bit key deltas, 2/3-bit dictionaries,
+// 1-bit ship priority), so a compressed Flush must succeed and the page
+// must round-trip. key threads the monotone orderkey between calls.
+func fillFuzzTuple(s *schema.Schema, tuple []byte, f *feeder, key *int32) {
+	s.PutInt32At(tuple, schema.OOrderDate, int32(f.u32()%(1<<14)))
+	*key += int32(f.byte()) // FOR-delta wants non-decreasing, deltas ≤ 255
+	s.PutInt32At(tuple, schema.OOrderKey, *key)
+	s.PutInt32At(tuple, schema.OCustKey, int32(f.u32()))
+	s.PutTextAt(tuple, schema.OOrderStatus, []byte(fuzzStatuses[int(f.byte())%len(fuzzStatuses)]))
+	s.PutTextAt(tuple, schema.OOrderPriority, []byte(fuzzPriorities[int(f.byte())%len(fuzzPriorities)]))
+	s.PutInt32At(tuple, schema.OTotalPrice, int32(f.u32()))
+	s.PutInt32At(tuple, schema.OShipPriority, int32(f.byte()%2))
+}
+
+// checkCorruptCount flips the page's count header to an arbitrary value
+// and decodes: a count past capacity must surface as an error, and no
+// count may panic (a dictionary code past the dictionary, say, must come
+// back as an error too).
+func checkCorruptCount(t *testing.T, decode func(pg, dst []byte) (int, error), pg []byte, capacity, width int, corrupt uint32) {
+	t.Helper()
+	bad := append([]byte(nil), pg...)
+	SetCount(bad, int(corrupt))
+	dst := make([]byte, (capacity+1)*width)
+	n, err := decode(bad, dst)
+	if int(corrupt) > capacity && err == nil {
+		t.Fatalf("Decode accepted corrupt count %d past capacity %d (returned %d)", corrupt, capacity, n)
+	}
+}
+
+// FuzzRowPageRoundTrip drives arbitrary tuples and fill levels through
+// RowBuilder/RowReader for the uncompressed and compressed ORDERS
+// schemas, and checks that count-header corruption errors instead of
+// panicking.
+func FuzzRowPageRoundTrip(f *testing.F) {
+	f.Add([]byte(nil), uint16(0), byte(0))
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, uint16(1), byte(1))
+	f.Add([]byte("readopt fuzz seed: arbitrary tuple bytes"), uint16(127), byte(0))
+	f.Add([]byte{0xff, 0x00, 0xaa, 0x55}, uint16(341), byte(1))
+	f.Fuzz(func(t *testing.T, data []byte, n uint16, compressed byte) {
+		s := schema.Orders()
+		if compressed%2 == 1 {
+			s = schema.OrdersZ()
+		}
+		dicts := map[int]*compress.Dictionary{}
+		b, err := NewRowBuilder(s, DefaultSize, dicts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRowReader(s, DefaultSize, dicts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd := &feeder{data: data}
+		count := int(n) % (2*b.Capacity() + 1)
+		tuple := make([]byte, s.Width())
+		var key int32
+		var want []byte
+		var pages [][]byte
+		for i := 0; i < count; i++ {
+			if s.Compressed() {
+				fillFuzzTuple(s, tuple, fd, &key)
+			} else {
+				// Uncompressed pages store tuples verbatim, so any bytes
+				// at all must round-trip.
+				for j := range tuple {
+					tuple[j] = fd.byte()
+				}
+			}
+			want = append(want, tuple...)
+			b.Add(tuple)
+			if b.Full() {
+				pg, err := b.Flush(uint32(len(pages)))
+				if err != nil {
+					t.Fatal(err)
+				}
+				pages = append(pages, append([]byte(nil), pg...))
+			}
+		}
+		if b.Count() > 0 {
+			pg, err := b.Flush(uint32(len(pages)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pages = append(pages, append([]byte(nil), pg...))
+		}
+		var got []byte
+		dst := make([]byte, r.Capacity()*s.Width())
+		for _, pg := range pages {
+			cnt, err := r.Decode(pg, dst)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, dst[:cnt*s.Width()]...)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: round trip mismatch: %d tuples in, %d bytes out", s.Name, count, len(got))
+		}
+		if len(pages) > 0 {
+			checkCorruptCount(t, r.Decode, pages[0], r.Capacity(), s.Width(), fd.u32())
+		}
+	})
+}
+
+// fuzzColAttr picks the column shape under test: a plain integer, a
+// bit-packed integer, a dictionary text column, or a FOR integer.
+func fuzzColAttr(variant byte) schema.Attribute {
+	switch variant % 4 {
+	case 1:
+		return schema.Attribute{Name: "V", Type: schema.IntType, Enc: schema.BitPack, Bits: 14}
+	case 2:
+		return schema.Attribute{Name: "V", Type: schema.TextType(11), Enc: schema.Dict, Bits: 3}
+	case 3:
+		return schema.Attribute{Name: "V", Type: schema.IntType, Enc: schema.FOR, Bits: 16}
+	default:
+		return schema.Attribute{Name: "V", Type: schema.IntType}
+	}
+}
+
+// fillFuzzValue writes one column value inside the variant's code domain.
+// FOR keeps values in a window whose spread fits the 16-bit code width.
+func fillFuzzValue(attr schema.Attribute, dst []byte, f *feeder) {
+	switch {
+	case attr.Enc == schema.BitPack:
+		v := f.u32() % (1 << 14)
+		dst[0], dst[1], dst[2], dst[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	case attr.Enc == schema.Dict:
+		s := fuzzPriorities[int(f.byte())%len(fuzzPriorities)]
+		n := copy(dst, s)
+		for j := n; j < len(dst); j++ {
+			dst[j] = ' '
+		}
+	case attr.Enc == schema.FOR:
+		v := 100_000 + f.u32()%(1<<16)
+		dst[0], dst[1], dst[2], dst[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+	default:
+		for j := range dst {
+			dst[j] = f.byte()
+		}
+	}
+}
+
+// FuzzColPageRoundTrip drives arbitrary values and fill levels through
+// ColBuilder/ColReader for every codec shape, checks ValueAt against the
+// bulk decode for random-access codecs, and checks count corruption.
+func FuzzColPageRoundTrip(f *testing.F) {
+	f.Add([]byte(nil), uint16(0), byte(0))
+	f.Add([]byte{9, 8, 7, 6, 5}, uint16(100), byte(1))
+	f.Add([]byte("column fuzz seed"), uint16(1022), byte(2))
+	f.Add([]byte{0x10, 0x20, 0xfe}, uint16(500), byte(3))
+	f.Fuzz(func(t *testing.T, data []byte, n uint16, variant byte) {
+		attr := fuzzColAttr(variant)
+		var dict *compress.Dictionary
+		if attr.Enc == schema.Dict {
+			dict = compress.NewDictionary(attr.Type.Size)
+		}
+		b, err := NewColBuilder(attr, DefaultSize, dict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewColReader(attr, DefaultSize, dict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd := &feeder{data: data}
+		count := int(n) % (b.Capacity() + 1)
+		val := make([]byte, attr.Type.Size)
+		var want []byte
+		for i := 0; i < count; i++ {
+			fillFuzzValue(attr, val, fd)
+			want = append(want, val...)
+			b.Add(val)
+		}
+		pg, err := b.Flush(3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]byte, r.Capacity()*attr.Type.Size)
+		cnt, err := r.Decode(pg, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cnt != count {
+			t.Fatalf("Decode returned %d values, staged %d", cnt, count)
+		}
+		if !bytes.Equal(dst[:cnt*attr.Type.Size], want) {
+			t.Fatalf("%s column: round trip mismatch over %d values", attr.Enc, count)
+		}
+		if r.RandomAccess() && count > 0 {
+			at := make([]byte, attr.Type.Size)
+			for _, i := range []int{0, count / 2, count - 1} {
+				r.ValueAt(pg, i, at)
+				if !bytes.Equal(at, want[i*attr.Type.Size:(i+1)*attr.Type.Size]) {
+					t.Fatalf("ValueAt(%d) = %x, Decode said %x", i, at, want[i*attr.Type.Size:(i+1)*attr.Type.Size])
+				}
+			}
+		}
+		checkCorruptCount(t, r.Decode, pg, r.Capacity(), attr.Type.Size, fd.u32())
+	})
+}
+
+// FuzzPAXPageRoundTrip drives arbitrary tuples and fill levels through
+// PAXBuilder/PAXReader (whole-tuple and per-attribute decode paths) for
+// the uncompressed and compressed ORDERS schemas.
+func FuzzPAXPageRoundTrip(f *testing.F) {
+	f.Add([]byte(nil), uint16(0), byte(0))
+	f.Add([]byte{4, 4, 2, 1}, uint16(60), byte(1))
+	f.Add([]byte("pax fuzz seed bytes"), uint16(127), byte(0))
+	f.Add([]byte{0x01, 0xff}, uint16(200), byte(1))
+	f.Fuzz(func(t *testing.T, data []byte, n uint16, compressed byte) {
+		s := schema.Orders()
+		if compressed%2 == 1 {
+			s = schema.OrdersZ()
+		}
+		dicts := map[int]*compress.Dictionary{}
+		b, err := NewPAXBuilder(s, DefaultSize, dicts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewPAXReader(s, DefaultSize, dicts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fd := &feeder{data: data}
+		count := int(n) % (b.Capacity() + 1)
+		tuple := make([]byte, s.Width())
+		var key int32
+		var want []byte
+		for i := 0; i < count; i++ {
+			if s.Compressed() {
+				fillFuzzTuple(s, tuple, fd, &key)
+			} else {
+				for j := range tuple {
+					tuple[j] = fd.byte()
+				}
+			}
+			want = append(want, tuple...)
+			b.Add(tuple)
+		}
+		pg, err := b.Flush(5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := make([]byte, r.Capacity()*s.Width())
+		cnt, err := r.Decode(pg, dst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cnt != count {
+			t.Fatalf("Decode returned %d tuples, staged %d", cnt, count)
+		}
+		if !bytes.Equal(dst[:cnt*s.Width()], want) {
+			t.Fatalf("%s PAX: whole-tuple round trip mismatch over %d tuples", s.Name, count)
+		}
+		// The minipage path must agree with the whole-tuple path.
+		for a := range s.Attrs {
+			cnt, err := r.DecodeAttr(pg, a, dst[s.Offset(a):], s.Width())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cnt != count {
+				t.Fatalf("DecodeAttr(%d) returned %d tuples, staged %d", a, cnt, count)
+			}
+		}
+		if !bytes.Equal(dst[:count*s.Width()], want) {
+			t.Fatalf("%s PAX: per-attribute decode disagrees with whole-tuple decode", s.Name)
+		}
+		checkCorruptCount(t, r.Decode, pg, r.Capacity(), s.Width(), fd.u32())
+	})
+}

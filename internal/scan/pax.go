@@ -132,6 +132,7 @@ func (r *PAXScanner) nextPage() error {
 	}
 	r.pgPos = 0
 	r.cfg.Counters.AddInstr(r.cfg.Costs.PageOverhead)
+	r.cfg.Counters.AddPage()
 
 	// Decode the needed-in-full attributes, charging only their
 	// minipages — this is PAX's memory advantage over the row layout.

@@ -198,6 +198,7 @@ func (r *RowScanner) nextPage() error {
 	}
 	r.pgPos = 0
 	r.cfg.Counters.AddInstr(r.cfg.Costs.PageOverhead)
+	r.cfg.Counters.AddPage()
 	// The row store streams every tuple byte through the cache.
 	r.cfg.Counters.AddSeq(int64(r.pgCount) * int64(r.geo.EntryBits/8))
 	if r.sch.Compressed() {

@@ -158,6 +158,7 @@ func (c *colCursor) nextPage() error {
 	}
 	c.decodedValid = false
 	c.counters.AddInstr(c.costs.PageOverhead)
+	c.counters.AddPage()
 	return nil
 }
 

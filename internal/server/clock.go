@@ -1,0 +1,18 @@
+package server
+
+import "time"
+
+// Clock abstracts the scheduler's and statistics' view of time so tests
+// can drive the gather window deterministically instead of sleeping.
+// The production server uses the real clock; a test injects a fake one
+// through Config.Clock and advances it by hand.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// realClock is the production Clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time        { return time.Now() }
+func (realClock) Sleep(d time.Duration) { time.Sleep(d) }

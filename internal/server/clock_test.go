@@ -1,0 +1,145 @@
+package server
+
+import (
+	"context"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/readoptdb/readopt"
+)
+
+// fakeClock is a hand-advanced Clock: Sleep parks the caller until
+// Advance moves virtual time past its deadline. Tests can wait for a
+// sleeper to park, so scheduling points are observable instead of raced.
+type fakeClock struct {
+	mu       sync.Mutex
+	now      time.Time
+	sleepers []*fakeSleeper
+}
+
+type fakeSleeper struct {
+	wake time.Time
+	ch   chan struct{}
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	s := &fakeSleeper{wake: c.now.Add(d), ch: make(chan struct{})}
+	c.sleepers = append(c.sleepers, s)
+	c.mu.Unlock()
+	<-s.ch
+}
+
+// Advance moves virtual time forward and wakes every sleeper whose
+// deadline has passed.
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	keep := c.sleepers[:0]
+	for _, s := range c.sleepers {
+		if s.wake.After(c.now) {
+			keep = append(keep, s)
+		} else {
+			close(s.ch)
+		}
+	}
+	c.sleepers = keep
+	c.mu.Unlock()
+}
+
+// awaitSleepers blocks until n goroutines are parked in Sleep.
+func (c *fakeClock) awaitSleepers(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		c.mu.Lock()
+		parked := len(c.sleepers)
+		c.mu.Unlock()
+		if parked >= n {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("no %d sleepers after 5s", n)
+}
+
+// TestGatherWindowDeterministic drives the gather window with a fake
+// clock: the dispatcher parks on an hour-long window, more queries
+// arrive while it sleeps, and advancing virtual time releases one
+// dispatch that must batch all of them — no real sleeping, no timing
+// luck.
+func TestGatherWindowDeterministic(t *testing.T) {
+	tbl, err := readopt.GenerateTPCH(filepath.Join(t.TempDir(), "orders"), readopt.Orders(),
+		readopt.ColumnLayout, 500, 7, readopt.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := newFakeClock()
+	s := New(Config{Workers: 1, GatherWindow: time.Hour, Clock: fc})
+	if err := s.AddTable("orders", tbl); err != nil {
+		t.Fatal(err)
+	}
+	ts := s.table("orders")
+
+	newJob := func() *job {
+		return &job{
+			ctx:      context.Background(),
+			q:        readopt.Query{Aggs: []readopt.Agg{{Func: "count"}}},
+			enqueued: fc.Now(),
+			done:     make(chan jobResult, 1),
+		}
+	}
+
+	// The first submit starts the dispatcher, which parks on the window.
+	jobs := []*job{newJob()}
+	s.submit(ts, jobs[0])
+	fc.awaitSleepers(t, 1)
+
+	// Two more queries arrive "during" the window.
+	for i := 0; i < 2; i++ {
+		j := newJob()
+		jobs = append(jobs, j)
+		s.submit(ts, j)
+	}
+
+	// Release the window: exactly one dispatch, batching all three.
+	fc.Advance(time.Hour)
+	for i, j := range jobs {
+		res := <-j.done
+		if res.err != nil {
+			t.Fatalf("job %d: %v", i, res.err)
+		}
+		if res.resp.BatchSize != 3 {
+			t.Errorf("job %d ran in a batch of %d, want 3", i, res.resp.BatchSize)
+		}
+		if got := time.Duration(res.resp.QueueWaitMicros) * time.Microsecond; got != time.Hour {
+			t.Errorf("job %d queue wait = %s, want exactly the 1h window", i, got)
+		}
+	}
+
+	st := s.Stats()
+	if st.Batches != 1 || st.BatchedQueries != 3 || st.MaxBatchSize != 3 {
+		t.Errorf("stats after one gathered dispatch: %+v", st)
+	}
+
+	// The dispatcher loops back into the next window; drain it so the
+	// goroutine exits before the test does.
+	fc.awaitSleepers(t, 1)
+	fc.Advance(time.Hour)
+	s.runners.Wait()
+}

@@ -1,0 +1,200 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/readoptdb/readopt"
+	"github.com/readoptdb/readopt/internal/server"
+)
+
+var diffIntCols = []string{"O_ORDERDATE", "O_ORDERKEY", "O_CUSTKEY", "O_TOTALPRICE"}
+
+var diffOps = []string{"<", "<=", "=", "<>", ">=", ">"}
+
+// diffValuePool samples predicate constants from the table itself, so
+// randomized predicates hit every selectivity from none to all.
+func diffValuePool(t *testing.T, tbl *readopt.Table) map[string][]int {
+	t.Helper()
+	rows, err := tbl.Query(readopt.Query{Select: diffIntCols, Limit: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	pool := make(map[string][]int, len(diffIntCols))
+	for rows.Next() {
+		vals, err := rows.Values()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, col := range diffIntCols {
+			switch v := vals[i].(type) {
+			case int64:
+				pool[col] = append(pool[col], int(v))
+			case int32:
+				pool[col] = append(pool[col], int(v))
+			case int:
+				pool[col] = append(pool[col], v)
+			}
+		}
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	th, err := tbl.SelectivityThreshold(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool["O_ORDERDATE"] = append(pool["O_ORDERDATE"], th)
+	return pool
+}
+
+// diffQuery generates one random query: layout-agnostic shapes over
+// projections, predicates, aggregation, ordering and limits.
+func diffQuery(rng *rand.Rand, pool map[string][]int) readopt.Query {
+	var q readopt.Query
+	for n := rng.Intn(3); n > 0; n-- {
+		if rng.Intn(5) == 0 {
+			q.Where = append(q.Where, readopt.Cond{
+				Column: "O_ORDERSTATUS",
+				Op:     diffOps[rng.Intn(len(diffOps))],
+				Value:  []string{"F", "O", "P"}[rng.Intn(3)],
+			})
+			continue
+		}
+		col := diffIntCols[rng.Intn(len(diffIntCols))]
+		vals := pool[col]
+		q.Where = append(q.Where, readopt.Cond{
+			Column: col,
+			Op:     diffOps[rng.Intn(len(diffOps))],
+			Value:  vals[rng.Intn(len(vals))],
+		})
+	}
+	switch rng.Intn(4) {
+	case 0: // plain projection
+		cols := append([]string(nil), diffIntCols[:1+rng.Intn(len(diffIntCols))]...)
+		q.Select = cols
+		if rng.Intn(2) == 0 {
+			q.OrderBy = []readopt.Order{{Column: cols[rng.Intn(len(cols))], Desc: rng.Intn(2) == 0}}
+		}
+	case 1: // projection with limit
+		q.Select = []string{"O_ORDERKEY", "O_ORDERSTATUS", "O_TOTALPRICE"}
+		q.Limit = int64(1 + rng.Intn(40))
+	case 2: // grouped aggregation
+		q.GroupBy = []string{[]string{"O_ORDERSTATUS", "O_ORDERPRIORITY"}[rng.Intn(2)]}
+		q.Aggs = []readopt.Agg{
+			{Func: "count"},
+			{Func: []string{"sum", "min", "max", "avg"}[rng.Intn(4)], Column: "O_TOTALPRICE"},
+		}
+		q.OrderBy = []readopt.Order{{Column: q.GroupBy[0]}}
+	default: // global aggregation
+		q.Aggs = []readopt.Agg{
+			{Func: "count"},
+			{Func: []string{"sum", "min", "max"}[rng.Intn(3)], Column: "O_ORDERKEY"},
+		}
+	}
+	return q
+}
+
+// TestDifferentialHTTPMatchesEngine is the differential lock on the
+// whole observability layer: ~50 randomized queries per layout must come
+// back over HTTP byte-identical to the direct engine answer, with and
+// without tracing, and tracing must appear exactly when requested.
+func TestDifferentialHTTPMatchesEngine(t *testing.T) {
+	for _, layout := range []readopt.Layout{readopt.RowLayout, readopt.ColumnLayout, readopt.PAXLayout} {
+		t.Run(string(layout), func(t *testing.T) {
+			tbl, err := readopt.GenerateTPCH(filepath.Join(t.TempDir(), "orders"), readopt.Orders(),
+				layout, 3000, 7, readopt.LoadOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, client := startServer(t, tbl, server.Config{Workers: 2})
+			pool := diffValuePool(t, tbl)
+			rng := rand.New(rand.NewSource(42))
+			for i := 0; i < 51; i++ {
+				q := diffQuery(rng, pool)
+				want := serialRows(t, tbl, q)
+				traced := i%2 == 0
+				resp, err := client.Do(context.Background(), readopt.QueryRequest{
+					Table: "orders", Query: q, Trace: traced,
+				})
+				if err != nil {
+					t.Fatalf("query %d %+v: %v", i, q, err)
+				}
+				if got := normalizeWire(resp.Rows); !reflect.DeepEqual(got, want) {
+					t.Fatalf("query %d diverged\nquery: %+v\nhttp:  %v\nwant:  %v", i, q, got, want)
+				}
+				if traced {
+					if resp.Trace == nil || len(resp.Trace.Stages) == 0 {
+						t.Fatalf("query %d: trace requested but missing: %+v", i, resp.Trace)
+					}
+					if resp.Trace.IO.BytesRead == 0 {
+						t.Errorf("query %d: trace reports no I/O", i)
+					}
+				} else if resp.Trace != nil {
+					t.Fatalf("query %d: unrequested trace attached", i)
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialUnderBatching re-runs a slice of the random workload
+// concurrently with a gather window, so answers come from shared-scan
+// batches — they must still match the serial engine exactly, and traced
+// members must carry traces rooted at the shared scan.
+func TestDifferentialUnderBatching(t *testing.T) {
+	tbl := loadOrders(t, 3000)
+	_, client := startServer(t, tbl, server.Config{
+		Workers:      2,
+		GatherWindow: 5 * time.Millisecond,
+	})
+	pool := diffValuePool(t, tbl)
+	rng := rand.New(rand.NewSource(99))
+
+	const n = 16
+	queries := make([]readopt.Query, n)
+	want := make([][][]any, n)
+	for i := range queries {
+		queries[i] = diffQuery(rng, pool)
+		want[i] = serialRows(t, tbl, queries[i])
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := client.Do(context.Background(), readopt.QueryRequest{
+				Table: "orders", Query: queries[i], Trace: i%2 == 0,
+			})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if got := normalizeWire(resp.Rows); !reflect.DeepEqual(got, want[i]) {
+				errs[i] = fmt.Errorf("diverged\nquery: %+v\nhttp:  %v\nwant:  %v", queries[i], got, want[i])
+				return
+			}
+			if i%2 == 0 && (resp.Trace == nil || len(resp.Trace.Stages) == 0) {
+				errs[i] = fmt.Errorf("trace requested but missing")
+			}
+			if i%2 == 1 && resp.Trace != nil {
+				errs[i] = fmt.Errorf("unrequested trace attached")
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("query %d: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+
+	"github.com/readoptdb/readopt"
+)
+
+// handleMetrics serves the aggregate statistics in the Prometheus text
+// exposition format, rendered by hand so the server stays dependency-free.
+// Counters restart from zero with the process, which is exactly the
+// contract scrapers expect.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, readopt.CodeBadRequest, "GET required")
+		return
+	}
+	view := s.stats.metricsSnapshot()
+	st := view.stats
+
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	fmt.Fprintf(&b, "# HELP readopt_queries_total Admitted queries by outcome.\n# TYPE readopt_queries_total counter\n")
+	fmt.Fprintf(&b, "readopt_queries_total{outcome=\"completed\"} %d\n", st.Completed)
+	fmt.Fprintf(&b, "readopt_queries_total{outcome=\"failed\"} %d\n", st.Failed)
+	fmt.Fprintf(&b, "readopt_queries_total{outcome=\"timed_out\"} %d\n", st.TimedOut)
+
+	counter("readopt_rejected_total", "Queries shed at admission because the queue was full.", st.Rejected)
+	counter("readopt_batches_total", "Multi-query shared-scan dispatches.", st.Batches)
+	counter("readopt_batched_queries_total", "Queries answered from a shared scan.", st.BatchedQueries)
+	gauge("readopt_batch_size_max", "Largest shared-scan batch so far.", st.MaxBatchSize)
+	counter("readopt_singleton_runs_total", "Queries dispatched alone.", st.SingletonRuns)
+	counter("readopt_slow_queries_total", "Queries over the slow-query threshold.", st.SlowQueries)
+
+	counter("readopt_bytes_scanned_total", "Bytes read from storage by the engine.", st.Work.IOBytes)
+	counter("readopt_io_requests_total", "I/O requests issued by the engine.", st.Work.IORequests)
+	counter("readopt_pages_touched_total", "Pages touched by scans.", st.Work.Pages)
+	counter("readopt_instructions_total", "Modeled instructions executed by the engine.", st.Work.Instructions)
+
+	writeHistogram(&b, "readopt_queue_wait_seconds", "Time queries spent waiting for dispatch.", &view.queueWaitHist)
+	writeHistogram(&b, "readopt_exec_seconds", "Time queries spent executing.", &view.execHist)
+
+	gauge("readopt_tables", "Tables in the catalog.", int64(len(s.Tables())))
+	var draining int64
+	if s.draining.Load() {
+		draining = 1
+	}
+	gauge("readopt_draining", "1 while the server is draining.", draining)
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}
+
+func writeHistogram(b *strings.Builder, name, help string, h *histogram) {
+	fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	var cum int64
+	for i, le := range latencyBuckets {
+		cum += h.counts[i]
+		fmt.Fprintf(b, "%s_bucket{le=\"%g\"} %d\n", name, le, cum)
+	}
+	cum += h.counts[len(latencyBuckets)]
+	fmt.Fprintf(b, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(b, "%s_sum %g\n", name, h.sum)
+	fmt.Fprintf(b, "%s_count %d\n", name, h.n)
+}

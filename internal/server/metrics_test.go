@@ -1,0 +1,146 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/readoptdb/readopt"
+	"github.com/readoptdb/readopt/internal/server"
+)
+
+// metricValue extracts one sample's value from a Prometheus text body.
+func metricValue(t *testing.T, body, name string) int64 {
+	t.Helper()
+	re := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\S+)$`)
+	m := re.FindStringSubmatch(body)
+	if m == nil {
+		t.Fatalf("metric %q not found in:\n%s", name, body)
+	}
+	v, err := strconv.ParseFloat(m[1], 64)
+	if err != nil {
+		t.Fatalf("metric %q value %q: %v", name, m[1], err)
+	}
+	return int64(v)
+}
+
+// TestMetricsEndpoint runs a small burst and checks /metrics exposes
+// nonzero query, batching, byte-scanned and latency-histogram series in
+// Prometheus text format.
+func TestMetricsEndpoint(t *testing.T) {
+	tbl := loadOrders(t, 2000)
+	s := server.New(server.Config{Workers: 2})
+	if err := s.AddTable("orders", tbl); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	client := readopt.NewClient(ts.URL, ts.Client())
+
+	for i := 0; i < 5; i++ {
+		if _, err := client.Do(context.Background(), readopt.QueryRequest{
+			Table: "orders",
+			Trace: i%2 == 0,
+			Query: readopt.Query{Aggs: []readopt.Agg{{Func: "count"}}},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	body := string(raw)
+
+	if got := metricValue(t, body, `readopt_queries_total{outcome="completed"}`); got != 5 {
+		t.Errorf("completed = %d, want 5", got)
+	}
+	if got := metricValue(t, body, "readopt_bytes_scanned_total"); got == 0 {
+		t.Error("no bytes scanned reported")
+	}
+	if got := metricValue(t, body, "readopt_pages_touched_total"); got == 0 {
+		t.Error("no pages touched reported")
+	}
+	if got := metricValue(t, body, "readopt_exec_seconds_count"); got != 5 {
+		t.Errorf("exec histogram count = %d, want 5", got)
+	}
+	if got := metricValue(t, body, "readopt_queue_wait_seconds_count"); got != 5 {
+		t.Errorf("queue wait histogram count = %d, want 5", got)
+	}
+	if got := metricValue(t, body, `readopt_exec_seconds_bucket{le="+Inf"}`); got != 5 {
+		t.Errorf("exec +Inf bucket = %d, want 5", got)
+	}
+	if got := metricValue(t, body, "readopt_tables"); got != 1 {
+		t.Errorf("tables gauge = %d, want 1", got)
+	}
+	for _, series := range []string{"readopt_singleton_runs_total", "readopt_rejected_total",
+		"readopt_slow_queries_total", "readopt_draining", "readopt_io_requests_total",
+		"readopt_instructions_total", "readopt_batches_total"} {
+		if !strings.Contains(body, series) {
+			t.Errorf("series %q missing", series)
+		}
+	}
+}
+
+// lockedWriter serializes log writes so the test can read the buffer
+// without racing the dispatcher goroutine.
+type lockedWriter struct {
+	w  io.Writer
+	mu *sync.Mutex
+}
+
+func (l *lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+// TestSlowQueryLog sets a threshold every query crosses and checks the
+// configured logger receives the slow-query line and the counter moves.
+func TestSlowQueryLog(t *testing.T) {
+	tbl := loadOrders(t, 2000)
+	var buf bytes.Buffer
+	var mu sync.Mutex
+	s := server.New(server.Config{
+		Workers:            2,
+		SlowQueryThreshold: time.Nanosecond,
+		SlowQueryLog:       log.New(&lockedWriter{w: &buf, mu: &mu}, "", 0),
+	})
+	if err := s.AddTable("orders", tbl); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	client := readopt.NewClient(ts.URL, ts.Client())
+	if _, err := client.Query(context.Background(), "orders",
+		readopt.Query{Aggs: []readopt.Agg{{Func: "count"}}}); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	line := buf.String()
+	mu.Unlock()
+	if !strings.Contains(line, "slow query: table=orders") || !strings.Contains(line, "io_bytes=") {
+		t.Errorf("slow-query log line missing or malformed: %q", line)
+	}
+	if st := s.Stats(); st.SlowQueries != 1 {
+		t.Errorf("SlowQueries = %d, want 1", st.SlowQueries)
+	}
+}

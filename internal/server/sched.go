@@ -13,6 +13,7 @@ type job struct {
 	ctx      context.Context
 	q        readopt.Query
 	dop      int
+	traced   bool
 	enqueued time.Time
 	// done receives exactly one result. It is buffered so the dispatcher
 	// never blocks on a handler that already timed out and left.
@@ -48,7 +49,7 @@ func (s *Server) runTable(ts *tableState) {
 	defer s.runners.Done()
 	for {
 		if w := s.cfg.GatherWindow; w > 0 {
-			time.Sleep(w)
+			s.clock.Sleep(w)
 		}
 		ts.mu.Lock()
 		jobs := ts.pending
@@ -85,7 +86,7 @@ func (s *Server) runBatch(ts *tableState, jobs []*job) {
 	s.workers <- struct{}{}
 	defer func() { <-s.workers }()
 
-	start := time.Now()
+	start := s.clock.Now()
 	var queueWait time.Duration
 	for _, j := range live {
 		queueWait += start.Sub(j.enqueued)
@@ -96,25 +97,37 @@ func (s *Server) runBatch(ts *tableState, jobs []*job) {
 		rows, err := s.runSingle(ts.tbl, j)
 		if err != nil {
 			j.deliver(nil, err)
-			s.stats.ran(1, queueWait, time.Since(start), readopt.ScanStats{})
+			s.stats.ran(1, queueWait, s.clock.Now().Sub(start), readopt.ScanStats{})
 			return
 		}
-		resp, err := s.materialize(rows, 1, start.Sub(j.enqueued), start)
+		resp, err := s.materialize(rows, 1, start.Sub(j.enqueued), start, j.traced)
 		if err != nil {
 			j.deliver(nil, err)
-			s.stats.ran(1, queueWait, time.Since(start), readopt.ScanStats{})
+			s.stats.ran(1, queueWait, s.clock.Now().Sub(start), readopt.ScanStats{})
 			return
 		}
 		j.deliver(resp, nil)
-		s.stats.ran(1, queueWait, time.Since(start), resp.Stats)
+		s.finishQuery(ts.name, resp)
+		s.stats.ran(1, queueWait, s.clock.Now().Sub(start), resp.Stats)
 		return
 	}
 
 	queries := make([]readopt.Query, len(live))
+	traced := false
 	for i, j := range live {
 		queries[i] = j.q
+		traced = traced || j.traced
 	}
-	batch, err := ts.tbl.QueryBatch(queries)
+	var batch []*readopt.Rows
+	var err error
+	if traced {
+		// One traced member puts the whole dispatch on the traced batch
+		// path: tracing splits the accounting without changing results, so
+		// untraced members just don't get the trace attached.
+		batch, err = ts.tbl.QueryBatchTraced(queries)
+	} else {
+		batch, err = ts.tbl.QueryBatch(queries)
+	}
 	if err != nil {
 		// A query the shared pass cannot run (admission validation does
 		// not cover everything, e.g. order-by column resolution) must
@@ -125,7 +138,7 @@ func (s *Server) runBatch(ts *tableState, jobs []*job) {
 	}
 	var work readopt.ScanStats
 	for i, rows := range batch {
-		resp, err := s.materialize(rows, len(live), start.Sub(live[i].enqueued), start)
+		resp, err := s.materialize(rows, len(live), start.Sub(live[i].enqueued), start, live[i].traced)
 		if err != nil {
 			live[i].deliver(nil, err)
 			continue
@@ -134,13 +147,19 @@ func (s *Server) runBatch(ts *tableState, jobs []*job) {
 		// work once, not per query.
 		work = resp.Stats
 		live[i].deliver(resp, nil)
+		s.finishQuery(ts.name, resp)
 	}
-	s.stats.ranBatch(len(live), queueWait, time.Since(start), work)
+	s.stats.ranBatch(len(live), queueWait, s.clock.Now().Sub(start), work)
 }
 
-// runSingle executes one query alone: a plain serial scan, or a
-// partitioned parallel scan when the request asked for one.
+// runSingle executes one query alone: a plain serial scan, a traced
+// serial scan when the request asked for a trace, or a partitioned
+// parallel scan when it asked for one (tracing wins over dop — the
+// partitioned path is untraced).
 func (s *Server) runSingle(tbl *readopt.Table, j *job) (*readopt.Rows, error) {
+	if j.traced {
+		return tbl.QueryTraced(j.q)
+	}
 	if j.dop > 1 {
 		return tbl.QueryParallel(j.q, j.dop)
 	}
@@ -157,23 +176,39 @@ func (s *Server) runFallback(ts *tableState, jobs []*job, start time.Time, queue
 			s.stats.ran(1, 0, 0, readopt.ScanStats{})
 			continue
 		}
-		resp, err := s.materialize(rows, 1, start.Sub(j.enqueued), start)
+		resp, err := s.materialize(rows, 1, start.Sub(j.enqueued), start, j.traced)
 		if err != nil {
 			j.deliver(nil, err)
 			s.stats.ran(1, 0, 0, readopt.ScanStats{})
 			continue
 		}
 		j.deliver(resp, nil)
+		s.finishQuery(ts.name, resp)
 		s.stats.ran(1, 0, 0, resp.Stats)
 	}
-	s.stats.addLatency(queueWait, time.Since(start))
+	s.stats.addLatency(queueWait, s.clock.Now().Sub(start))
+}
+
+// finishQuery records one answered query's latencies into the
+// histograms and writes the slow-query log line when the execution time
+// crossed the configured threshold.
+func (s *Server) finishQuery(table string, resp *readopt.QueryResponse) {
+	wait := time.Duration(resp.QueueWaitMicros) * time.Microsecond
+	exec := time.Duration(resp.ExecMicros) * time.Microsecond
+	s.stats.observe(wait, exec)
+	if th := s.cfg.SlowQueryThreshold; th > 0 && exec >= th {
+		s.stats.slow()
+		s.cfg.SlowQueryLog.Printf(
+			"slow query: table=%s exec=%s wait=%s rows=%d batch=%d io_bytes=%d io_requests=%d",
+			table, exec, wait, len(resp.Rows), resp.BatchSize, resp.Stats.IOBytes, resp.Stats.IORequests)
+	}
 }
 
 // materialize drains rows into a wire response. Results materialize
 // inside the dispatch (not lazily in the handler) so a table's busy
 // window is exactly its scan — the property the batching rests on — and
 // so the result's work counters are final.
-func (s *Server) materialize(rows *readopt.Rows, batchSize int, queueWait time.Duration, execStart time.Time) (*readopt.QueryResponse, error) {
+func (s *Server) materialize(rows *readopt.Rows, batchSize int, queueWait time.Duration, execStart time.Time, withTrace bool) (*readopt.QueryResponse, error) {
 	defer rows.Close()
 	resp := &readopt.QueryResponse{
 		Columns:   rows.Columns(),
@@ -194,8 +229,16 @@ func (s *Server) materialize(rows *readopt.Rows, batchSize int, queueWait time.D
 	if err := rows.Err(); err != nil {
 		return nil, err
 	}
+	// Close before reading the stats and trace, so the trace's timings
+	// and reader snapshots are final.
+	if err := rows.Close(); err != nil {
+		return nil, err
+	}
 	resp.Stats = rows.Stats()
+	if withTrace {
+		resp.Trace = rows.Trace()
+	}
 	resp.QueueWaitMicros = queueWait.Microseconds()
-	resp.ExecMicros = time.Since(execStart).Microseconds()
+	resp.ExecMicros = s.clock.Now().Sub(execStart).Microseconds()
 	return resp, nil
 }

@@ -27,6 +27,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"sort"
 	"sync"
@@ -58,6 +59,16 @@ type Config struct {
 	// 1_000_000; the server materializes results to keep a table's busy
 	// window equal to its scan, so an unbounded result is a memory risk).
 	MaxResultRows int
+	// SlowQueryThreshold logs any query whose execution time exceeds it
+	// to SlowQueryLog, with its queue wait, batch size and I/O (default
+	// 0: off).
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives slow-query lines (default log.Default()).
+	SlowQueryLog *log.Logger
+	// Clock supplies time to the scheduler and statistics; tests inject
+	// a fake to make gather-window batching deterministic (default: the
+	// real clock).
+	Clock Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -73,12 +84,19 @@ func (c Config) withDefaults() Config {
 	if c.MaxResultRows <= 0 {
 		c.MaxResultRows = 1_000_000
 	}
+	if c.SlowQueryLog == nil {
+		c.SlowQueryLog = log.Default()
+	}
+	if c.Clock == nil {
+		c.Clock = realClock{}
+	}
 	return c
 }
 
 // Server hosts a catalog of opened tables behind the HTTP API.
 type Server struct {
-	cfg Config
+	cfg   Config
+	clock Clock
 
 	mu     sync.RWMutex
 	tables map[string]*tableState
@@ -107,6 +125,7 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
 		cfg:     cfg,
+		clock:   cfg.Clock,
 		tables:  make(map[string]*tableState),
 		workers: make(chan struct{}, cfg.Workers),
 	}
@@ -183,12 +202,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 //	POST /query   — run one query (readopt.QueryRequest/QueryResponse)
 //	GET  /tables  — list the catalog
 //	GET  /stats   — aggregate statistics
+//	GET  /metrics — the same statistics in Prometheus text format
 //	GET  /healthz — 200 while serving, 503 while draining
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
 	mux.HandleFunc("/tables", s.handleTables)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
 }
@@ -248,7 +269,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		ctx:      ctx,
 		q:        req.Query,
 		dop:      req.Dop,
-		enqueued: time.Now(),
+		traced:   req.Trace,
+		enqueued: s.clock.Now(),
 		done:     make(chan jobResult, 1),
 	}
 	s.submit(ts, j)

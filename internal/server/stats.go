@@ -8,6 +8,35 @@ import (
 	"github.com/readoptdb/readopt/internal/cpumodel"
 )
 
+// latencyBuckets are the histogram upper bounds, in seconds — a 1-2.5-5
+// ladder from half a millisecond to 10 seconds, shared by the
+// queue-wait and execution histograms /metrics exposes.
+var latencyBuckets = [numLatencyBuckets]float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+const numLatencyBuckets = 14
+
+// histogram is a fixed-bucket cumulative histogram in the Prometheus
+// shape: counts[i] observations at or under latencyBuckets[i], plus an
+// overflow bucket, a sum and a count. Fixed-size arrays keep the struct
+// copyable, so metricsSnapshot hands the renderer a race-free copy.
+type histogram struct {
+	counts [numLatencyBuckets + 1]int64
+	sum    float64
+	n      int64
+}
+
+func (h *histogram) observe(v float64) {
+	i := 0
+	for i < len(latencyBuckets) && v > latencyBuckets[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
 // statsRecorder accumulates the server's aggregate statistics. Handler
 // outcomes (admitted/completed/failed/rejected/timed out) are counted by
 // the HTTP side; dispatch shape and engine work are counted by the
@@ -23,6 +52,10 @@ type statsRecorder struct {
 
 	queueWait, exec time.Duration
 	work            cpumodel.Counters
+
+	slowQueries   int64
+	queueWaitHist histogram
+	execHist      histogram
 }
 
 func (r *statsRecorder) reject() {
@@ -49,6 +82,21 @@ func (r *statsRecorder) fail() {
 	r.mu.Lock()
 	r.admitted++
 	r.failed++
+	r.mu.Unlock()
+}
+
+func (r *statsRecorder) slow() {
+	r.mu.Lock()
+	r.slowQueries++
+	r.mu.Unlock()
+}
+
+// observe records one answered query's latency split into the
+// histograms.
+func (r *statsRecorder) observe(queueWait, exec time.Duration) {
+	r.mu.Lock()
+	r.queueWaitHist.observe(queueWait.Seconds())
+	r.execHist.observe(exec.Seconds())
 	r.mu.Unlock()
 }
 
@@ -90,6 +138,7 @@ func (r *statsRecorder) addWorkLocked(work readopt.ScanStats) {
 		RandLines:  work.RandMemLines,
 		IORequests: work.IORequests,
 		IOBytes:    work.IOBytes,
+		Pages:      work.Pages,
 	})
 }
 
@@ -108,12 +157,28 @@ func (r *statsRecorder) snapshot() readopt.ServerStats {
 		SingletonRuns:   r.singletons,
 		QueueWaitMicros: r.queueWait.Microseconds(),
 		ExecMicros:      r.exec.Microseconds(),
+		SlowQueries:     r.slowQueries,
 		Work: readopt.ScanStats{
 			Instructions: r.work.Instr,
 			SeqMemBytes:  r.work.SeqBytes,
 			RandMemLines: r.work.RandLines,
 			IORequests:   r.work.IORequests,
 			IOBytes:      r.work.IOBytes,
+			Pages:        r.work.Pages,
 		},
 	}
+}
+
+// metricsView is a consistent copy of everything /metrics renders.
+type metricsView struct {
+	stats         readopt.ServerStats
+	queueWaitHist histogram
+	execHist      histogram
+}
+
+func (r *statsRecorder) metricsSnapshot() metricsView {
+	r.mu.Lock()
+	qh, eh := r.queueWaitHist, r.execHist
+	r.mu.Unlock()
+	return metricsView{stats: r.snapshot(), queueWaitHist: qh, execHist: eh}
 }

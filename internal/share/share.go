@@ -32,6 +32,10 @@ type Query struct {
 	// the qualifying tuples.
 	GroupBy []int
 	Aggs    []exec.AggSpec
+	// Counters, when non-nil, receives this query's own share of the
+	// pass's work (predicates, copies, aggregation) instead of the
+	// Run-level counters — per-query attribution for tracing.
+	Counters *cpumodel.Counters
 }
 
 // Result is one query's outcome: a schema and its materialized tuples.
@@ -55,6 +59,7 @@ type compiled struct {
 	out     *schema.Schema // projected schema (pre-aggregation)
 	rows    []byte
 	scratch []byte
+	ctr     *cpumodel.Counters
 }
 
 // Run drives src to completion once and evaluates every query against
@@ -78,7 +83,11 @@ func Run(src exec.Operator, queries []Query, counters *cpumodel.Counters) ([]Res
 		if err != nil {
 			return nil, fmt.Errorf("share: query %d: %w", i, err)
 		}
-		compiledQs[i] = &compiled{q: q, out: out, scratch: make([]byte, out.Width())}
+		ctr := q.Counters
+		if ctr == nil {
+			ctr = counters
+		}
+		compiledQs[i] = &compiled{q: q, out: out, scratch: make([]byte, out.Width()), ctr: ctr}
 	}
 
 	if err := src.Open(); err != nil {
@@ -94,13 +103,13 @@ func Run(src exec.Operator, queries []Query, counters *cpumodel.Counters) ([]Res
 			break
 		}
 		for _, c := range compiledQs {
-			c.consume(in, b, counters, costs)
+			c.consume(in, b, costs)
 		}
 	}
 
 	results := make([]Result, len(queries))
 	for i, c := range compiledQs {
-		res, err := c.finalize(counters)
+		res, err := c.finalize()
 		if err != nil {
 			return nil, fmt.Errorf("share: query %d: %w", i, err)
 		}
@@ -110,12 +119,12 @@ func Run(src exec.Operator, queries []Query, counters *cpumodel.Counters) ([]Res
 }
 
 // consume applies the query's predicates and projection to one block.
-func (c *compiled) consume(in *schema.Schema, b *exec.Block, counters *cpumodel.Counters, costs cpumodel.Costs) {
+func (c *compiled) consume(in *schema.Schema, b *exec.Block, costs cpumodel.Costs) {
 	for i := 0; i < b.Len(); i++ {
 		t := b.Tuple(i)
 		ok := true
 		for k := range c.q.Preds {
-			counters.AddInstr(costs.Predicate)
+			c.ctr.AddInstr(costs.Predicate)
 			if !c.q.Preds[k].Eval(in, t) {
 				ok = false
 				break
@@ -129,14 +138,14 @@ func (c *compiled) consume(in *schema.Schema, b *exec.Block, counters *cpumodel.
 			size := in.Attrs[a].Type.Size
 			copy(c.scratch[c.out.Offset(k):], t[off:off+size])
 		}
-		counters.AddInstr(int64(c.out.Width()) * costs.CopyPerByte)
+		c.ctr.AddInstr(int64(c.out.Width()) * costs.CopyPerByte)
 		c.rows = append(c.rows, c.scratch...)
 	}
 }
 
 // finalize produces the query's result, running aggregation over the
 // materialized qualifying tuples where requested.
-func (c *compiled) finalize(counters *cpumodel.Counters) (Result, error) {
+func (c *compiled) finalize() (Result, error) {
 	if len(c.q.Aggs) == 0 {
 		return Result{Schema: c.out, Tuples: c.rows}, nil
 	}
@@ -144,7 +153,7 @@ func (c *compiled) finalize(counters *cpumodel.Counters) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	agg, err := exec.NewHashAggregate(src, c.q.GroupBy, c.q.Aggs, counters)
+	agg, err := exec.NewHashAggregate(src, c.q.GroupBy, c.q.Aggs, c.ctr)
 	if err != nil {
 		return Result{}, err
 	}

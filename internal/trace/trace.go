@@ -1,0 +1,167 @@
+// Package trace is the engine's per-query observability layer. The
+// paper's methodology is accounting — count events, then convert them
+// (Section 4.1) — and the engine already counts every unit of work into
+// cpumodel.Counters. A Trace splits that accounting per plan stage: each
+// operator of a query's plan gets its own Stage, holding the stage's own
+// Counters, its rows in/out, and its wall-clock time, while the I/O
+// layer's reader statistics (bytes, units, prefetch hits/stalls) are
+// snapshotted alongside. The facade renders a Trace as EXPLAIN ANALYZE,
+// the server ships it on the wire behind a "trace" flag, and /metrics
+// aggregates the same counters engine-wide.
+package trace
+
+import (
+	"time"
+
+	"github.com/readoptdb/readopt/internal/aio"
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// Stage is one plan operator's share of a query's work. The planner
+// gives each traced operator a Stage: the operator charges its work to
+// Stage.Counters (instead of the query-wide pool), and the Wrap
+// decorator fills in rows, blocks and time as the plan pulls through it.
+type Stage struct {
+	// Op names the operator ("scan", "hash-agg", "sort", "top-n",
+	// "limit", "shared-pass"); Detail is a free-form qualifier.
+	Op     string
+	Detail string
+	// Counters is this stage's own work accounting.
+	Counters cpumodel.Counters
+	// RowsIn and RowsOut are the tuples entering and leaving the stage;
+	// Blocks counts the non-nil blocks it emitted.
+	RowsIn  int64
+	RowsOut int64
+	Blocks  int64
+	// Time is the stage's wall-clock time, inclusive of the operators
+	// below it (the pull model makes a child run inside its parent's
+	// Next).
+	Time time.Duration
+	// Root marks a stage whose input is already materialized rather than
+	// pulled live from the previous stage (a batch query's post-pass over
+	// shared-scan results): its Time does not include the previous
+	// stage's, so exclusive-time rendering must not subtract it.
+	Root bool
+}
+
+// ReaderStats is the slice of aio readers a trace snapshots: both
+// aio.OSReader and aio.SimReader satisfy it.
+type ReaderStats interface {
+	Stats() aio.Stats
+}
+
+// Trace accumulates one query's stages and I/O.
+type Trace struct {
+	// Stages in plan order, source first.
+	Stages []*Stage
+	// IO is the merged reader statistics, valid after Finish.
+	IO aio.Stats
+
+	start    time.Time
+	elapsed  time.Duration
+	readers  []ReaderStats
+	finished bool
+}
+
+// New starts a trace; the clock for Elapsed starts now.
+func New() *Trace { return &Trace{start: time.Now()} }
+
+// NewStage appends a stage to the plan.
+func (t *Trace) NewStage(op, detail string) *Stage {
+	st := &Stage{Op: op, Detail: detail}
+	t.Stages = append(t.Stages, st)
+	return st
+}
+
+// AddReader registers an I/O reader whose statistics Finish snapshots.
+func (t *Trace) AddReader(r ReaderStats) { t.readers = append(t.readers, r) }
+
+// Fork returns a trace that shares this trace's stages and readers so
+// far but accumulates its own continuation — how a shared-scan batch
+// gives every member query a trace that starts with the one common scan
+// stage and diverges into per-query stages.
+func (t *Trace) Fork() *Trace {
+	return &Trace{
+		Stages:  append([]*Stage(nil), t.Stages...),
+		start:   t.start,
+		readers: t.readers,
+	}
+}
+
+// Finish freezes the trace: it stamps the elapsed time, snapshots the
+// registered readers into IO, and chains RowsIn from the previous
+// stage's RowsOut (stage 0's RowsIn is the planner's to set — the
+// table's cardinality for a scan). Idempotent; called from Rows.Close.
+func (t *Trace) Finish() {
+	if t == nil || t.finished {
+		return
+	}
+	t.finished = true
+	t.elapsed = time.Since(t.start)
+	var io aio.Stats
+	for _, r := range t.readers {
+		io.Add(r.Stats())
+	}
+	t.IO = io
+	for i := 1; i < len(t.Stages); i++ {
+		t.Stages[i].RowsIn = t.Stages[i-1].RowsOut
+	}
+}
+
+// Elapsed is the query's wall-clock time (running total until Finish).
+func (t *Trace) Elapsed() time.Duration {
+	if t.finished {
+		return t.elapsed
+	}
+	return time.Since(t.start)
+}
+
+// Total sums the stages' counters: the query's whole accounting, equal
+// to what an untraced run of the same plan charges its single pool.
+func (t *Trace) Total() cpumodel.Counters {
+	var c cpumodel.Counters
+	for _, st := range t.Stages {
+		c.Add(st.Counters)
+	}
+	return c
+}
+
+// Wrap decorates op so its pulls fill st: every Open/Next/Close is
+// timed, and emitted blocks are counted into RowsOut/Blocks.
+func Wrap(op exec.Operator, st *Stage) exec.Operator {
+	return &stageOp{op: op, st: st}
+}
+
+type stageOp struct {
+	op exec.Operator
+	st *Stage
+}
+
+func (s *stageOp) Schema() *schema.Schema { return s.op.Schema() }
+
+func (s *stageOp) Open() error {
+	t0 := time.Now()
+	err := s.op.Open()
+	s.st.Time += time.Since(t0)
+	return err
+}
+
+func (s *stageOp) Next() (*exec.Block, error) {
+	t0 := time.Now()
+	b, err := s.op.Next()
+	s.st.Time += time.Since(t0)
+	if b != nil {
+		s.st.Blocks++
+		s.st.RowsOut += int64(b.Len())
+	}
+	return b, err
+}
+
+func (s *stageOp) Close() error {
+	t0 := time.Now()
+	err := s.op.Close()
+	s.st.Time += time.Since(t0)
+	return err
+}

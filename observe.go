@@ -1,0 +1,124 @@
+package readopt
+
+// This file is the public face of the engine's per-query tracing
+// (internal/trace): the wire-friendly QueryTrace/StageTrace/TraceIO
+// types, and the conversion from a finished internal trace. The server
+// ships a QueryTrace in the /query response behind the request's
+// "trace" flag; ExplainAnalyze renders one next to the model's
+// predictions.
+
+import (
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/trace"
+)
+
+// StageTrace is one plan operator's actual behaviour during a traced
+// query: rows in and out, blocks emitted, wall-clock time (inclusive of
+// the stages below it, and exclusive in OwnTimeMicros), and the
+// operator's own work counters.
+type StageTrace struct {
+	// Op names the operator: "scan", "hash-agg", "sort", "top-n",
+	// "limit", or the batch stages "shared-scan" and "shared-pass".
+	Op     string `json:"op"`
+	Detail string `json:"detail,omitempty"`
+	RowsIn int64  `json:"rows_in"`
+	// RowsOut is the tuples the stage emitted; stage N+1's RowsIn is
+	// stage N's RowsOut.
+	RowsOut int64 `json:"rows_out"`
+	Blocks  int64 `json:"blocks,omitempty"`
+	// TimeMicros is inclusive of the stages below (the pull model runs a
+	// child inside its parent's Next); OwnTimeMicros subtracts them.
+	TimeMicros    int64 `json:"time_us"`
+	OwnTimeMicros int64 `json:"own_time_us"`
+	// Work is the stage's own share of the query's counted work.
+	Work ScanStats `json:"work"`
+}
+
+// TraceIO is the I/O layer's view of a traced query, merged across the
+// scan's readers.
+type TraceIO struct {
+	BytesRead int64 `json:"bytes_read"`
+	// Units are I/O units delivered to the scan; Requests are requests
+	// submitted to the device.
+	Units    int64 `json:"units"`
+	Requests int64 `json:"requests"`
+	// PrefetchHits counts units that were already buffered when the scan
+	// asked; PrefetchStalls counts units the scan had to wait for, with
+	// StallMicros the wall-clock time lost to those waits.
+	PrefetchHits   int64 `json:"prefetch_hits"`
+	PrefetchStalls int64 `json:"prefetch_stalls"`
+	StallMicros    int64 `json:"stall_us"`
+}
+
+// QueryTrace is one query's end-to-end trace.
+type QueryTrace struct {
+	// ElapsedMicros is the query's wall-clock time, open to close.
+	ElapsedMicros int64 `json:"elapsed_us"`
+	// Stages in plan order, source first.
+	Stages []StageTrace `json:"stages"`
+	IO     TraceIO      `json:"io"`
+	// Total is the whole query's counted work (the sum of the stages).
+	Total ScanStats `json:"total"`
+	// PagesTouched is the storage pages the query crossed.
+	PagesTouched int64 `json:"pages_touched"`
+}
+
+// Trace returns the query's trace, or nil if the query did not run
+// under QueryTraced/QueryBatchTraced. The trace is complete (timings
+// stamped, reader statistics snapshotted) once the Rows are closed.
+func (r *Rows) Trace() *QueryTrace {
+	if r.tr == nil {
+		return nil
+	}
+	r.tr.Finish()
+	return traceView(r.tr)
+}
+
+func scanStatsOf(c cpumodel.Counters) ScanStats {
+	return ScanStats{
+		Instructions: c.Instr,
+		SeqMemBytes:  c.SeqBytes,
+		RandMemLines: c.RandLines,
+		IORequests:   c.IORequests,
+		IOBytes:      c.IOBytes,
+		Pages:        c.Pages,
+	}
+}
+
+// traceView converts a finished internal trace to the wire shape.
+func traceView(tr *trace.Trace) *QueryTrace {
+	total := tr.Total()
+	qt := &QueryTrace{
+		ElapsedMicros: tr.Elapsed().Microseconds(),
+		Total:         scanStatsOf(total),
+		PagesTouched:  total.Pages,
+		IO: TraceIO{
+			BytesRead:      tr.IO.BytesRead,
+			Units:          tr.IO.Units,
+			Requests:       tr.IO.Requests,
+			PrefetchHits:   tr.IO.PrefetchHits,
+			PrefetchStalls: tr.IO.PrefetchStalls,
+			StallMicros:    tr.IO.StallNanos / 1e3,
+		},
+	}
+	for i, st := range tr.Stages {
+		own := st.Time
+		if i > 0 && !st.Root {
+			own -= tr.Stages[i-1].Time
+		}
+		if own < 0 {
+			own = 0
+		}
+		qt.Stages = append(qt.Stages, StageTrace{
+			Op:            st.Op,
+			Detail:        st.Detail,
+			RowsIn:        st.RowsIn,
+			RowsOut:       st.RowsOut,
+			Blocks:        st.Blocks,
+			TimeMicros:    st.Time.Microseconds(),
+			OwnTimeMicros: own.Microseconds(),
+			Work:          scanStatsOf(st.Counters),
+		})
+	}
+	return qt
+}

@@ -87,7 +87,7 @@ func (t *Table) QueryParallel(q Query, dop int) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	op, err := t.finishPlan(src, scanCols, q, &counters)
+	op, err := t.finishPlan(src, scanCols, q, &counters, nil)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,7 @@ import (
 	"github.com/readoptdb/readopt/internal/cpumodel"
 	"github.com/readoptdb/readopt/internal/exec"
 	"github.com/readoptdb/readopt/internal/schema"
+	"github.com/readoptdb/readopt/internal/trace"
 )
 
 // Cond is a SARGable predicate: column OP constant. Op is one of
@@ -172,6 +173,13 @@ func (t *Table) scanPlan(q Query) (scanCols []string, proj []int, err error) {
 
 // plan builds the operator tree for a query.
 func (t *Table) plan(q Query, counters *cpumodel.Counters) (exec.Operator, error) {
+	return t.planTraced(q, counters, nil)
+}
+
+// planTraced builds the operator tree, optionally giving every operator
+// its own trace stage (with its own counters) and wrapping it in the
+// trace decorator. With tr == nil this is exactly the untraced plan.
+func (t *Table) planTraced(q Query, counters *cpumodel.Counters, tr *trace.Trace) (exec.Operator, error) {
 	if err := q.validate(); err != nil {
 		return nil, err
 	}
@@ -183,16 +191,37 @@ func (t *Table) plan(q Query, counters *cpumodel.Counters) (exec.Operator, error
 	if err != nil {
 		return nil, err
 	}
-	op, err := t.scanOperator(preds, proj, counters)
+	scanCtr := counters
+	var scanStage *trace.Stage
+	if tr != nil {
+		scanStage = tr.NewStage("scan",
+			fmt.Sprintf("%s layout, %d columns, %d predicates", t.Layout(), len(proj), len(preds)))
+		scanStage.RowsIn = t.Rows()
+		scanCtr = &scanStage.Counters
+	}
+	op, err := t.scanOperator(preds, proj, scanCtr, tr)
 	if err != nil {
 		return nil, err
 	}
-	return t.finishPlan(op, scanCols, q, counters)
+	if tr != nil {
+		op = trace.Wrap(op, scanStage)
+	}
+	return t.finishPlan(op, scanCols, q, counters, tr)
 }
 
 // finishPlan wraps a scan-shaped source (whose schema is the projection
 // of scanCols) with the query's aggregation, ordering and limit.
-func (t *Table) finishPlan(op exec.Operator, scanCols []string, q Query, counters *cpumodel.Counters) (exec.Operator, error) {
+func (t *Table) finishPlan(op exec.Operator, scanCols []string, q Query, counters *cpumodel.Counters, tr *trace.Trace) (exec.Operator, error) {
+	// stage hands each operator its counters pool and decorator: the
+	// query-wide pool and the identity when untraced, a per-stage pool
+	// and the timing wrapper when traced.
+	stage := func(name, detail string) (*cpumodel.Counters, func(exec.Operator) exec.Operator) {
+		if tr == nil {
+			return counters, func(op exec.Operator) exec.Operator { return op }
+		}
+		st := tr.NewStage(name, detail)
+		return &st.Counters, func(op exec.Operator) exec.Operator { return trace.Wrap(op, st) }
+	}
 	var err error
 	if len(q.Aggs) > 0 {
 		outIdx := func(col string) (int, error) {
@@ -227,10 +256,12 @@ func (t *Table) finishPlan(op exec.Operator, scanCols []string, q Query, counter
 			}
 			aggs = append(aggs, spec)
 		}
-		op, err = exec.NewHashAggregate(op, groupBy, aggs, counters)
+		ctr, wrap := stage("hash-agg", fmt.Sprintf("%d group-by keys, %d aggregates", len(groupBy), len(aggs)))
+		op, err = exec.NewHashAggregate(op, groupBy, aggs, ctr)
 		if err != nil {
 			return nil, err
 		}
+		op = wrap(op)
 	}
 	if len(q.OrderBy) > 0 {
 		keys := make([]exec.SortKey, len(q.OrderBy))
@@ -244,22 +275,27 @@ func (t *Table) finishPlan(op exec.Operator, scanCols []string, q Query, counter
 		if q.Limit > 0 {
 			// ORDER BY + LIMIT fuse into a bounded-heap top-n, which keeps
 			// only the requested rows in memory.
-			op, err = exec.NewTopN(op, keys, q.Limit, counters)
+			ctr, wrap := stage("top-n", fmt.Sprintf("%d keys, limit %d", len(keys), q.Limit))
+			op, err = exec.NewTopN(op, keys, q.Limit, ctr)
 			if err != nil {
 				return nil, err
 			}
-			return op, nil
+			return wrap(op), nil
 		}
-		op, err = exec.NewSort(op, keys, counters)
+		ctr, wrap := stage("sort", fmt.Sprintf("%d keys", len(keys)))
+		op, err = exec.NewSort(op, keys, ctr)
 		if err != nil {
 			return nil, err
 		}
+		op = wrap(op)
 	}
 	if q.Limit > 0 {
+		_, wrap := stage("limit", fmt.Sprintf("limit %d", q.Limit))
 		op, err = exec.NewLimit(op, q.Limit)
 		if err != nil {
 			return nil, err
 		}
+		op = wrap(op)
 	}
 	return op, nil
 }
@@ -290,7 +326,9 @@ type Rows struct {
 	pos      int
 	err      error
 	done     bool
+	closed   bool
 	counters *cpumodel.Counters
+	tr       *trace.Trace
 }
 
 // Query executes q against the table and returns a result iterator.
@@ -305,6 +343,25 @@ func (t *Table) Query(q Query) (*Rows, error) {
 		return nil, err
 	}
 	return &Rows{op: op, sch: op.Schema(), counters: &counters}, nil
+}
+
+// QueryTraced executes q like Query, but with per-stage tracing: every
+// plan operator accounts its work, rows and time to its own trace
+// stage, and the I/O layer's prefetch behaviour is captured. The trace
+// is available from Rows.Trace (complete once the rows are closed).
+// Results are identical to Query's; tracing only splits the accounting.
+func (t *Table) QueryTraced(q Query) (*Rows, error) {
+	tr := trace.New()
+	var counters cpumodel.Counters
+	op, err := t.planTraced(q, &counters, tr)
+	if err != nil {
+		return nil, err
+	}
+	if err := op.Open(); err != nil {
+		op.Close()
+		return nil, err
+	}
+	return &Rows{op: op, sch: op.Schema(), counters: &counters, tr: tr}, nil
 }
 
 // Columns returns the result column names.
@@ -389,21 +446,33 @@ func trimPad(b []byte) string {
 func (r *Rows) Err() error { return r.err }
 
 // Close releases the query's resources and returns the scan statistics
-// through Stats afterwards.
+// through Stats afterwards. Closing again is a no-op.
 func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
 	r.done = true
-	return r.op.Close()
+	err := r.op.Close()
+	r.tr.Finish()
+	return err
 }
 
-// Stats returns the work the query performed so far.
+// Stats returns the work the query performed so far. A traced query's
+// work lives in its per-stage counters, so their sum is reported —
+// equal to what the untraced run of the same plan charges its pool.
 func (r *Rows) Stats() ScanStats {
-	c := r.counters
+	c := *r.counters
+	if r.tr != nil {
+		c.Add(r.tr.Total())
+	}
 	return ScanStats{
 		Instructions: c.Instr,
 		SeqMemBytes:  c.SeqBytes,
 		RandMemLines: c.RandLines,
 		IORequests:   c.IORequests,
 		IOBytes:      c.IOBytes,
+		Pages:        c.Pages,
 	}
 }
 

@@ -34,6 +34,11 @@ type QueryRequest struct {
 	// query runs alone; a query dispatched inside a shared-scan batch
 	// ignores it. 0 or 1 means a plain serial scan.
 	Dop int `json:"dop,omitempty"`
+	// Trace asks the server to run the query traced and attach the
+	// per-stage trace to the response. Tracing never changes the result;
+	// it only splits the accounting (and forces a serial scan when the
+	// query runs alone, since the partitioned path is untraced).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // QueryResponse is the JSON body answering POST /query.
@@ -55,6 +60,8 @@ type QueryResponse struct {
 	// time spent waiting for dispatch and time executing.
 	QueueWaitMicros int64 `json:"queue_wait_us"`
 	ExecMicros      int64 `json:"exec_us"`
+	// Trace is the per-stage trace, present when the request set "trace".
+	Trace *QueryTrace `json:"trace,omitempty"`
 	// Error and Code are set instead of a result when the request fails;
 	// Code is one of the Code* constants.
 	Error string `json:"error,omitempty"`
@@ -123,6 +130,9 @@ type ServerStats struct {
 	SingletonRuns   int64 `json:"singleton_runs"`
 	QueueWaitMicros int64 `json:"queue_wait_us"`
 	ExecMicros      int64 `json:"exec_us"`
+	// SlowQueries counts queries whose execution exceeded the server's
+	// slow-query threshold (0 when the threshold is off).
+	SlowQueries int64 `json:"slow_queries"`
 	// Work is the engine's aggregate work accounting; Work.IOBytes is
 	// the total bytes scanned off disk on behalf of clients.
 	Work ScanStats `json:"work"`

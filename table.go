@@ -12,6 +12,7 @@ import (
 	"github.com/readoptdb/readopt/internal/schema"
 	"github.com/readoptdb/readopt/internal/store"
 	"github.com/readoptdb/readopt/internal/tpch"
+	"github.com/readoptdb/readopt/internal/trace"
 )
 
 // Layout selects the physical design of a table.
@@ -154,6 +155,8 @@ type ScanStats struct {
 	RandMemLines int64 `json:"rand_mem_lines"`
 	IORequests   int64 `json:"io_requests"`
 	IOBytes      int64 `json:"io_bytes"`
+	// Pages counts the storage pages the scan crossed.
+	Pages int64 `json:"pages,omitempty"`
 }
 
 // openReader wires a data file behind the prefetching OS reader.
@@ -190,13 +193,25 @@ func openReader(path string) (aio.Reader, error) {
 	return &tableReader{OSReader: r, f: f}, nil
 }
 
-// scanOperator builds the physical scan for a validated query.
-func (t *Table) scanOperator(preds []exec.Predicate, proj []int, counters *cpumodel.Counters) (exec.Operator, error) {
+// scanOperator builds the physical scan for a validated query. A
+// non-nil tr registers the scan's I/O readers with the trace, so the
+// reader statistics (bytes, units, prefetch hits/stalls) are
+// snapshotted when the query finishes.
+func (t *Table) scanOperator(preds []exec.Predicate, proj []int, counters *cpumodel.Counters, tr *trace.Trace) (exec.Operator, error) {
+	addReader := func(r aio.Reader) {
+		if tr == nil {
+			return
+		}
+		if rs, ok := r.(trace.ReaderStats); ok {
+			tr.AddReader(rs)
+		}
+	}
 	if t.t.Layout == store.Row || t.t.Layout == store.PAX {
 		reader, err := openReader(t.t.DataPath())
 		if err != nil {
 			return nil, err
 		}
+		addReader(reader)
 		cfg := scan.RowConfig{
 			Schema:   t.t.Schema,
 			PageSize: t.t.PageSize,
@@ -234,6 +249,7 @@ func (t *Table) scanOperator(preds []exec.Predicate, proj []int, counters *cpumo
 			}
 			return nil, err
 		}
+		addReader(r)
 		readers[a] = r
 	}
 	op, err := scan.NewColScanner(scan.ColConfig{

@@ -1,0 +1,231 @@
+package readopt
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func drainAll(t *testing.T, rows *Rows) [][]any {
+	t.Helper()
+	var out [][]any
+	for rows.Next() {
+		v, err := rows.Values()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, v)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// traceQuery exercises every traced stage kind: a scan with predicates
+// and projection, a hash aggregation, an order-by over an aggregate, and
+// a limit.
+func traceQuery(t *testing.T, tbl *Table) Query {
+	t.Helper()
+	th, err := tbl.SelectivityThreshold(0.50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Query{
+		GroupBy: []string{"O_ORDERSTATUS"},
+		Aggs:    []Agg{{Func: "count"}, {Func: "sum", Column: "O_TOTALPRICE"}},
+		Where:   []Cond{{Column: "O_ORDERDATE", Op: "<", Value: th}},
+		OrderBy: []Order{{Column: "COUNT(*)", Desc: true}},
+		Limit:   2,
+	}
+}
+
+// TestTracedMatchesUntraced is the heart of the tracing contract:
+// running under the tracer never changes what a query returns or what it
+// counts — the per-stage pools must sum to exactly the single pool an
+// untraced run charges.
+func TestTracedMatchesUntraced(t *testing.T) {
+	for _, layout := range []Layout{RowLayout, ColumnLayout, PAXLayout} {
+		t.Run(string(layout), func(t *testing.T) {
+			tbl := loadOrders(t, layout, 4000)
+			q := traceQuery(t, tbl)
+
+			plain, err := tbl.Query(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plainRows := drainAll(t, plain)
+			plain.Close()
+			plainStats := plain.Stats()
+			if plain.Trace() != nil {
+				t.Error("untraced query returned a trace")
+			}
+
+			traced, err := tbl.QueryTraced(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tracedRows := drainAll(t, traced)
+			traced.Close()
+
+			if !reflect.DeepEqual(plainRows, tracedRows) {
+				t.Fatalf("traced run changed the result:\nplain  %v\ntraced %v", plainRows, tracedRows)
+			}
+			if got := traced.Stats(); got != plainStats {
+				t.Fatalf("per-stage counters do not sum to the untraced total:\nplain  %+v\ntraced %+v", plainStats, got)
+			}
+			if traced.Trace() == nil {
+				t.Fatal("traced query returned no trace")
+			}
+		})
+	}
+}
+
+// TestTraceConservation checks the flow invariants of a finished trace:
+// rows flow through the stage chain without loss, the scan sees the
+// whole table, the trace's I/O agrees with the query's counted I/O, and
+// every delivered I/O unit is classified as a prefetch hit or a stall.
+func TestTraceConservation(t *testing.T) {
+	for _, layout := range []Layout{RowLayout, ColumnLayout, PAXLayout} {
+		t.Run(string(layout), func(t *testing.T) {
+			tbl := loadOrders(t, layout, 4000)
+			q := traceQuery(t, tbl)
+			rows, err := tbl.QueryTraced(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			drained := int64(len(drainAll(t, rows)))
+			rows.Close()
+			qt := rows.Trace()
+			if qt == nil {
+				t.Fatal("no trace")
+			}
+			if len(qt.Stages) < 3 {
+				t.Fatalf("expected scan+agg+sort+limit stages, got %d: %+v", len(qt.Stages), qt.Stages)
+			}
+			if qt.Stages[0].Op != "scan" || qt.Stages[0].RowsIn != tbl.Rows() {
+				t.Errorf("scan stage saw %d of %d rows", qt.Stages[0].RowsIn, tbl.Rows())
+			}
+			if qt.Stages[0].RowsOut >= qt.Stages[0].RowsIn {
+				t.Errorf("50%%-selectivity scan passed %d of %d rows", qt.Stages[0].RowsOut, qt.Stages[0].RowsIn)
+			}
+			for i := 1; i < len(qt.Stages); i++ {
+				if qt.Stages[i].RowsIn != qt.Stages[i-1].RowsOut {
+					t.Errorf("stage %d (%s) rows in %d != stage %d rows out %d",
+						i, qt.Stages[i].Op, qt.Stages[i].RowsIn, i-1, qt.Stages[i-1].RowsOut)
+				}
+			}
+			if last := qt.Stages[len(qt.Stages)-1]; last.RowsOut != drained {
+				t.Errorf("last stage reports %d rows out, client drained %d", last.RowsOut, drained)
+			}
+
+			stats := rows.Stats()
+			if qt.IO.BytesRead != stats.IOBytes {
+				t.Errorf("trace I/O %d bytes != counted I/O %d bytes", qt.IO.BytesRead, stats.IOBytes)
+			}
+			if qt.IO.BytesRead == 0 {
+				t.Error("trace reports no I/O")
+			}
+			if qt.IO.PrefetchHits+qt.IO.PrefetchStalls != qt.IO.Units {
+				t.Errorf("hits %d + stalls %d != units %d",
+					qt.IO.PrefetchHits, qt.IO.PrefetchStalls, qt.IO.Units)
+			}
+			if qt.PagesTouched == 0 {
+				t.Error("trace reports no pages touched")
+			}
+			if qt.Total != stats {
+				t.Errorf("trace total %+v != query stats %+v", qt.Total, stats)
+			}
+
+			// Per-stage counters are a partition of the total.
+			var sum ScanStats
+			for _, st := range qt.Stages {
+				sum.Instructions += st.Work.Instructions
+				sum.SeqMemBytes += st.Work.SeqMemBytes
+				sum.RandMemLines += st.Work.RandMemLines
+				sum.IORequests += st.Work.IORequests
+				sum.IOBytes += st.Work.IOBytes
+				sum.Pages += st.Work.Pages
+			}
+			if sum != qt.Total {
+				t.Errorf("stage counters sum %+v != total %+v", sum, qt.Total)
+			}
+		})
+	}
+}
+
+// TestBatchTracedConservation runs the same mixed batch through the
+// traced and untraced shared-scan paths: identical results, and every
+// traced member gets a trace that starts at the shared scan and ends
+// with its own row count.
+func TestBatchTracedConservation(t *testing.T) {
+	tbl := loadOrders(t, ColumnLayout, 4000)
+	th, err := tbl.SelectivityThreshold(0.20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []Query{
+		{Aggs: []Agg{{Func: "count"}}},
+		{Select: []string{"O_ORDERKEY", "O_TOTALPRICE"},
+			Where: []Cond{{Column: "O_ORDERDATE", Op: "<", Value: th}},
+			Limit: 7},
+		{GroupBy: []string{"O_ORDERSTATUS"}, Aggs: []Agg{{Func: "avg", Column: "O_TOTALPRICE"}},
+			OrderBy: []Order{{Column: "O_ORDERSTATUS"}}},
+	}
+
+	plain, err := tbl.QueryBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainRows := make([][][]any, len(plain))
+	for i, r := range plain {
+		plainRows[i] = drainAll(t, r)
+		r.Close()
+	}
+
+	traced, err := tbl.QueryBatchTraced(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range traced {
+		got := drainAll(t, r)
+		r.Close()
+		if !reflect.DeepEqual(got, plainRows[i]) {
+			t.Errorf("query %d: traced batch changed the result", i)
+		}
+		qt := r.Trace()
+		if qt == nil {
+			t.Fatalf("query %d: no trace", i)
+		}
+		if qt.Stages[0].Op != "shared-scan" || qt.Stages[0].RowsIn != tbl.Rows() {
+			t.Errorf("query %d: first stage %q saw %d rows", i, qt.Stages[0].Op, qt.Stages[0].RowsIn)
+		}
+		if last := qt.Stages[len(qt.Stages)-1]; last.RowsOut != int64(len(plainRows[i])) {
+			t.Errorf("query %d: last stage reports %d rows, drained %d", i, last.RowsOut, len(plainRows[i]))
+		}
+		if qt.IO.BytesRead == 0 {
+			t.Errorf("query %d: trace reports no I/O", i)
+		}
+	}
+}
+
+// TestExplainAnalyze pins the report shape: the plan, the per-stage
+// actuals, and the predicted-versus-actual comparisons must all render.
+func TestExplainAnalyze(t *testing.T) {
+	tbl := loadOrders(t, ColumnLayout, 4000)
+	q := traceQuery(t, tbl)
+	out, err := tbl.ExplainAnalyze(q, Hardware{CPUs: 1, ClockGHz: 3.2, Disks: 2, DiskMBps: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"actual (traced run):",
+		"scan", "hash-agg", "top-n",
+		"result rows", "io:", "predicted", "pages touched",
+		"scan rate:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ExplainAnalyze output missing %q:\n%s", want, out)
+		}
+	}
+}
