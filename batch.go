@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/readoptdb/readopt/internal/clock"
 	"github.com/readoptdb/readopt/internal/cpumodel"
 	"github.com/readoptdb/readopt/internal/exec"
 	"github.com/readoptdb/readopt/internal/schema"
@@ -178,12 +179,18 @@ func (t *Table) queryBatch(queries []Query, traced bool) ([]*Rows, error) {
 		}
 	}
 
-	passStart := time.Now()
+	var passStart time.Time
+	if traced {
+		passStart = btr.Clock().Now()
+	}
 	results, err := share.Run(src, sharedQs, &counters)
 	if err != nil {
 		return nil, err
 	}
-	passTime := time.Since(passStart)
+	var passTime time.Duration
+	if traced {
+		passTime = clock.Since(btr.Clock(), passStart)
+	}
 
 	out := make([]*Rows, len(results))
 	for i, res := range results {

@@ -1,0 +1,27 @@
+// Command readoptlint runs the engine's static invariant suite
+// (internal/lint) as a single multichecker over the module:
+//
+//	go run ./cmd/readoptlint ./...
+//
+// The suite enforces what the Go compiler cannot see: hot block-iterator
+// paths stay allocation-free (hotalloc), shift widths in the packing
+// kernels stay provably in [0,64] (bitwidth), page-offset arithmetic
+// uses the named trailer constants (pagebounds), engine time flows only
+// through the injected Clock (clockdiscipline), and every counter in
+// the pool reaches every conversion the conservation tests sum
+// (tracepool). Exit status: 0 clean, 1 findings, 2 load error.
+package main
+
+import (
+	"os"
+
+	"github.com/readoptdb/readopt/internal/lint"
+)
+
+func main() {
+	dir, err := os.Getwd()
+	if err != nil {
+		dir = "."
+	}
+	os.Exit(lint.RunCommand(dir, os.Args[1:], os.Stdout, os.Stderr))
+}

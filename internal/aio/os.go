@@ -4,7 +4,8 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"time"
+
+	"github.com/readoptdb/readopt/internal/clock"
 )
 
 // OSReader streams an operating-system file with a background prefetcher:
@@ -13,12 +14,21 @@ import (
 // AIO-based engine does.
 type OSReader struct {
 	f       *os.File
+	clk     clock.Clock
 	results chan osUnit
 	recycle chan []byte
 	stop    chan struct{}
 	done    chan struct{}
 	current []byte
 	stats   Stats
+}
+
+// SetClock replaces the clock that times prefetch stalls; tests inject a
+// fake to make StallNanos deterministic. Call before the first Next.
+func (r *OSReader) SetClock(c clock.Clock) {
+	if c != nil {
+		r.clk = c
+	}
 }
 
 type osUnit struct {
@@ -48,6 +58,7 @@ func NewOSReaderSection(f *os.File, unit int64, depth int, off, length int64) (*
 	}
 	r := &OSReader{
 		f:       f,
+		clk:     clock.Real{},
 		results: make(chan osUnit, depth),
 		recycle: make(chan []byte, depth+1),
 		stop:    make(chan struct{}),
@@ -126,9 +137,9 @@ func (r *OSReader) Next() ([]byte, error) {
 	case u, ok = <-r.results:
 	default:
 		stalled = true
-		t0 := time.Now()
+		t0 := r.clk.Now()
 		u, ok = <-r.results
-		r.stats.StallNanos += time.Since(t0).Nanoseconds()
+		r.stats.StallNanos += clock.Since(r.clk, t0).Nanoseconds()
 	}
 	if !ok {
 		return nil, io.EOF

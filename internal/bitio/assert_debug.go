@@ -1,0 +1,15 @@
+//go:build readoptdebug
+
+package bitio
+
+import "fmt"
+
+// assertWidth panics unless w is a legal shift distance for a 64-bit
+// packing word. The bitwidth analyzer (internal/lint) accepts a call to
+// this function as proof that an identifier stays in [0,64]; this build
+// verifies the same bound at run time.
+func assertWidth(w int) {
+	if w < 0 || w > 64 {
+		panic(fmt.Sprintf("bitio: shift width %d outside [0,64]", w))
+	}
+}

@@ -1,0 +1,24 @@
+//go:build readoptdebug
+
+package bitio
+
+import "testing"
+
+// The readoptdebug build compiles assertWidth into a real range check;
+// this test exists only under the tag and proves the assertion fires.
+func TestAssertWidthFires(t *testing.T) {
+	for _, w := range []int{-1, 65, 1 << 20} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("assertWidth(%d) did not panic under readoptdebug", w)
+				}
+			}()
+			assertWidth(w)
+		}()
+	}
+	// In-range widths stay silent.
+	for _, w := range []int{0, 1, 32, 64} {
+		assertWidth(w)
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !readoptdebug
+
+package bitio
+
+// assertWidth is compiled out of release builds; build with
+// -tags readoptdebug to verify the [0,64] shift-width bound at run time.
+func assertWidth(int) {}

@@ -13,6 +13,8 @@ package bitio
 // WriteAt stores the low width bits of v into buf starting at bit offset
 // off. width must be in 1..64 and the destination range must lie within
 // buf; violations panic, as they indicate a page-layout bug.
+//
+//readopt:hotpath
 func WriteAt(buf []byte, off, width int, v uint64) {
 	if width < 1 || width > 64 {
 		panic("bitio: WriteAt width out of range")
@@ -54,6 +56,8 @@ func WriteAt(buf []byte, off, width int, v uint64) {
 // ReadAt returns width bits from buf starting at bit offset off, as the
 // low bits of the result. width must be in 1..64 and the source range must
 // lie within buf; violations panic.
+//
+//readopt:hotpath
 func ReadAt(buf []byte, off, width int) uint64 {
 	if width < 1 || width > 64 {
 		panic("bitio: ReadAt width out of range")
@@ -76,12 +80,16 @@ func ReadAt(buf []byte, off, width int) uint64 {
 		byteIdx++
 	}
 	for width >= 8 {
+		// shift+width never exceeds the 64-bit word, so shift stays below
+		// 64 while whole bytes remain; the debug build checks it.
+		assertWidth(shift)
 		v |= uint64(buf[byteIdx]) << shift
 		shift += 8
 		width -= 8
 		byteIdx++
 	}
 	if width > 0 {
+		assertWidth(shift)
 		v |= uint64(buf[byteIdx]&(1<<width-1)) << shift
 	}
 	return v
@@ -91,6 +99,8 @@ func ReadAt(buf []byte, off, width int) uint64 {
 // starting at bit offset dstOff. It handles arbitrary lengths, including
 // codes wider than 64 bits (the packed 28-byte L_COMMENT codes). Ranges
 // must lie within their buffers; violations panic.
+//
+//readopt:hotpath
 func CopyBits(dst []byte, dstOff int, src []byte, srcOff, n int) {
 	if n < 0 {
 		panic("bitio: CopyBits negative length")
@@ -147,6 +157,8 @@ func NewWriterAt(buf []byte, off int) *Writer {
 
 // WriteBits appends the low width bits of v. It panics if the buffer is
 // exhausted; callers size pages before packing.
+//
+//readopt:hotpath
 func (w *Writer) WriteBits(v uint64, width int) {
 	WriteAt(w.buf, w.off, width, v)
 	w.off += width
@@ -179,6 +191,8 @@ func NewReaderAt(buf []byte, off int) *Reader {
 }
 
 // ReadBits consumes and returns the next width bits.
+//
+//readopt:hotpath
 func (r *Reader) ReadBits(width int) uint64 {
 	v := ReadAt(r.buf, r.off, width)
 	r.off += width

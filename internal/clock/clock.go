@@ -1,0 +1,33 @@
+// Package clock is the engine's single doorway to wall-clock time.
+// Everything that reads or schedules against "now" — the server's
+// gather window and statistics, trace timings, prefetch stall
+// accounting — takes a Clock so tests drive time by hand instead of
+// sleeping. The clockdiscipline analyzer (internal/lint) enforces the
+// rule: package time's Now/Since/Sleep and friends are forbidden
+// outside implementations marked //readopt:clock.
+package clock
+
+import "time"
+
+// Clock is the injected view of time.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+// Real is the production Clock: the system clock.
+type Real struct{}
+
+// Now returns the current wall-clock time.
+//
+//readopt:clock
+func (Real) Now() time.Time { return time.Now() }
+
+// Sleep pauses the calling goroutine.
+//
+//readopt:clock
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// Since returns the time elapsed on c since t, the Clock-disciplined
+// spelling of time.Since.
+func Since(c Clock, t time.Time) time.Duration { return c.Now().Sub(t) }

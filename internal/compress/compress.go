@@ -90,6 +90,18 @@ func New(attr schema.Attribute, dict *Dictionary) (Codec, error) {
 func getInt32(b []byte) int32    { return int32(binary.LittleEndian.Uint32(b)) }
 func putInt32(b []byte, v int32) { binary.LittleEndian.PutUint32(b, uint32(v)) }
 
+// maxCode returns the largest code representable in the given width —
+// the overflow limit every encoder compares against. Code widths come
+// from schemas a caller may have written by hand, so the bound is
+// checked here unconditionally; the bitwidth analyzer requires exactly
+// this guard before the shift.
+func maxCode(bits int) uint64 {
+	if bits < 1 || bits > 63 {
+		panic(fmt.Sprintf("compress: code width %d outside [1,63]", bits))
+	}
+	return 1<<bits - 1
+}
+
 // rawCodec stores values verbatim.
 type rawCodec struct{ size int }
 
@@ -124,7 +136,7 @@ func (c *bitPackIntCodec) Bits() int                 { return c.bits }
 func (c *bitPackIntCodec) RandomAccess() bool        { return true }
 
 func (c *bitPackIntCodec) EncodePage(w *bitio.Writer, src []byte, stride, n int) (int32, error) {
-	max := int64(1)<<c.bits - 1
+	max := int64(maxCode(c.bits))
 	for i := 0; i < n; i++ {
 		v := getInt32(src[i*stride:])
 		if v < 0 || int64(v) > max {
@@ -208,10 +220,10 @@ func (c *dictCodec) Bits() int                 { return c.bits }
 func (c *dictCodec) RandomAccess() bool        { return true }
 
 func (c *dictCodec) EncodePage(w *bitio.Writer, src []byte, stride, n int) (int32, error) {
-	maxCode := uint32(1)<<c.bits - 1
+	limit := uint32(maxCode(c.bits))
 	for i := 0; i < n; i++ {
 		code := c.dict.Add(src[i*stride : i*stride+c.size])
-		if code > maxCode {
+		if code > limit {
 			return 0, fmt.Errorf("compress: dictionary overflow: %d distinct values exceed %d-bit index",
 				c.dict.Len(), c.bits)
 		}
@@ -259,7 +271,7 @@ func (c *forCodec) EncodePage(w *bitio.Writer, src []byte, stride, n int) (int32
 			base = v
 		}
 	}
-	max := int64(1)<<c.bits - 1
+	max := int64(maxCode(c.bits))
 	for i := 0; i < n; i++ {
 		d := int64(getInt32(src[i*stride:])) - int64(base)
 		if d > max {
@@ -298,7 +310,7 @@ func (c *forDeltaCodec) EncodePage(w *bitio.Writer, src []byte, stride, n int) (
 	}
 	base := getInt32(src)
 	prev := base
-	max := int64(1)<<c.bits - 1
+	max := int64(maxCode(c.bits))
 	for i := 0; i < n; i++ {
 		v := getInt32(src[i*stride:])
 		d := int64(v) - int64(prev)

@@ -195,6 +195,8 @@ func (b Breakdown) Total() float64 {
 // machine. Following the paper: sequential memory transfer time overlaps
 // with computation, so usr-L2 only counts the excess beyond usr-uop plus
 // the unoverlapped random-access stalls.
+//
+//readopt:ignore tracepool Pages carries no time cost; it prices page crossings, which the Instr/SeqBytes/RandLines charges already cover.
 func (m Machine) Breakdown(c Counters) Breakdown {
 	clock := m.ClockHz * float64(m.CPUs)
 	usrUop := float64(c.Instr) / m.UopsPerCycle / clock

@@ -1,0 +1,21 @@
+//go:build readoptdebug
+
+package exec
+
+import "fmt"
+
+// assertBlockLen panics when a block's length has escaped its capacity —
+// the invariant that makes reusing one block across Next calls safe.
+// This build verifies it at run time; release builds compile it out.
+func assertBlockLen(b *Block) {
+	if b.n < 0 || b.n*b.width > len(b.data) {
+		panic(fmt.Sprintf("exec: block length %d outside capacity %d", b.n, b.Cap()))
+	}
+}
+
+// assertTupleIndex panics when tuple i does not exist in b.
+func assertTupleIndex(b *Block, i int) {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("exec: tuple index %d outside block of %d", i, b.n))
+	}
+}

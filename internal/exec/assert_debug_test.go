@@ -1,0 +1,39 @@
+//go:build readoptdebug
+
+package exec
+
+import (
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+func debugTestBlock(t *testing.T) *Block {
+	t.Helper()
+	sch := schema.MustNew("t", []schema.Attribute{{Name: "a", Type: schema.IntType}})
+	return NewBlock(sch, 4)
+}
+
+// The readoptdebug build compiles the block assertions into real
+// checks; these tests exist only under the tag and prove they fire.
+func TestAssertTupleIndexFires(t *testing.T) {
+	b := debugTestBlock(t)
+	b.Alloc()
+	defer func() {
+		if recover() == nil {
+			t.Error("Tuple(1) on a 1-tuple block did not panic under readoptdebug")
+		}
+	}()
+	_ = b.Tuple(1)
+}
+
+func TestAssertBlockLenFires(t *testing.T) {
+	b := debugTestBlock(t)
+	b.n = b.Cap() + 1 // corrupt the invariant directly
+	defer func() {
+		if recover() == nil {
+			t.Error("assertBlockLen accepted an over-long block under readoptdebug")
+		}
+	}()
+	assertBlockLen(b)
+}

@@ -1,0 +1,8 @@
+//go:build !readoptdebug
+
+package exec
+
+// The debug assertions are compiled out of release builds; build with
+// -tags readoptdebug to verify block-length invariants at run time.
+func assertBlockLen(*Block)        {}
+func assertTupleIndex(*Block, int) {}

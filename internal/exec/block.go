@@ -57,26 +57,35 @@ func (b *Block) Full() bool { return b.n == b.Cap() }
 func (b *Block) Reset() { b.n = 0 }
 
 // Tuple returns tuple i. The slice aliases the block's buffer.
+//
+//readopt:hotpath
 func (b *Block) Tuple(i int) []byte {
+	assertTupleIndex(b, i)
 	return b.data[i*b.width : (i+1)*b.width]
 }
 
 // AppendTuple copies a tuple into the block. It panics when full; callers
 // check Full.
+//
+//readopt:hotpath
 func (b *Block) AppendTuple(t []byte) {
 	if b.Full() {
 		panic("exec: AppendTuple on full block")
 	}
+	assertBlockLen(b)
 	copy(b.data[b.n*b.width:], t)
 	b.n++
 }
 
 // Alloc returns the next free tuple slot and marks it used, letting
 // producers build tuples in place without an extra copy.
+//
+//readopt:hotpath
 func (b *Block) Alloc() []byte {
 	if b.Full() {
 		panic("exec: Alloc on full block")
 	}
+	assertBlockLen(b)
 	t := b.data[b.n*b.width : (b.n+1)*b.width]
 	b.n++
 	return t

@@ -45,6 +45,8 @@ func (f *Filter) Open() error { return f.child.Open() }
 func (f *Filter) Close() error { return f.child.Close() }
 
 // Next implements Operator.
+//
+//readopt:hotpath
 func (f *Filter) Next() (*Block, error) {
 	sch := f.child.Schema()
 	for {
@@ -105,6 +107,8 @@ func (l *Limit) Open() error {
 func (l *Limit) Close() error { return l.child.Close() }
 
 // Next implements Operator.
+//
+//readopt:hotpath
 func (l *Limit) Next() (*Block, error) {
 	if l.seen >= l.n {
 		return nil, nil

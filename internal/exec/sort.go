@@ -123,7 +123,7 @@ func (s *Sort) Open() error {
 // Next implements Operator.
 func (s *Sort) Next() (*Block, error) {
 	if !s.opened {
-		return nil, fmt.Errorf("exec: Next before Open")
+		return nil, errNextBeforeOpen
 	}
 	sch := s.child.Schema()
 	width := sch.Width()

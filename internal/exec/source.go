@@ -1,10 +1,16 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 
 	"github.com/readoptdb/readopt/internal/schema"
 )
+
+// errNextBeforeOpen is the protocol-violation error Next returns on an
+// unopened operator. A sentinel: Next runs once per block on the hot
+// path, and hotalloc forbids building the error there.
+var errNextBeforeOpen = errors.New("exec: Next before Open")
 
 // SliceSource is an Operator over an in-memory tuple slice. It backs
 // tests, examples and the write-optimized store's query path; table data
@@ -40,9 +46,11 @@ func (s *SliceSource) Open() error {
 }
 
 // Next implements Operator.
+//
+//readopt:hotpath
 func (s *SliceSource) Next() (*Block, error) {
 	if !s.opened {
-		return nil, fmt.Errorf("exec: Next before Open")
+		return nil, errNextBeforeOpen
 	}
 	width := s.sch.Width()
 	total := len(s.tuples) / width

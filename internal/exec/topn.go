@@ -179,7 +179,7 @@ func (t *TopN) Open() error {
 // Next implements Operator.
 func (t *TopN) Next() (*Block, error) {
 	if !t.opened {
-		return nil, fmt.Errorf("exec: Next before Open")
+		return nil, errNextBeforeOpen
 	}
 	sch := t.child.Schema()
 	width := sch.Width()

@@ -1,0 +1,128 @@
+// Package lint is readopt's static invariant suite: a set of custom
+// analyzers run over the module by cmd/readoptlint. The engine lives or
+// dies on invariants the Go compiler cannot see — fixed-width codes must
+// fit their declared bit widths, dense-packed pages must never be
+// addressed past their trailer, and the block-iterator hot loop must not
+// allocate — so this package machine-checks them on every build instead
+// of rediscovering them in benchmarks.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic) but is built on the standard library
+// only: packages are enumerated with `go list` and type-checked from
+// source with go/types, so the linter needs no dependencies beyond the
+// Go toolchain itself.
+//
+// The static layer pairs with the `readoptdebug` build tag, which
+// compiles in runtime assertions (page bounds, code width, block
+// length) that the analyzers reference in their diagnostics: the
+// analyzer proves the invariant where it can and points at the
+// assertion that guards it everywhere else.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant check. The shape deliberately matches
+// golang.org/x/tools/go/analysis.Analyzer so the checks could be ported
+// to a multichecker unchanged if the dependency ever becomes available.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics ("hotalloc").
+	Name string
+	// Doc is the one-paragraph description `readoptlint -help` prints.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// PkgPath is the package's import path; PkgName its package name.
+	// Analyzers scope themselves by name ("page", "bitio") so the same
+	// check applies to the real package and to its test fixtures.
+	PkgPath string
+	PkgName string
+
+	ignores ignoreIndex
+	report  func(Diagnostic)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless a `//readopt:ignore <name>`
+// directive covers that line or its enclosing declaration.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.ignores.covers(p.Analyzer.Name, position) {
+		return
+	}
+	p.report(Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Analyzers returns the full suite in its canonical order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		HotAlloc,
+		BitWidth,
+		PageBounds,
+		ClockDiscipline,
+		TracePool,
+	}
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// findings sorted by position then analyzer name.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		idx := buildIgnoreIndex(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				PkgPath:   pkg.PkgPath,
+				PkgName:   pkg.Name,
+				ignores:   idx,
+				report:    func(d Diagnostic) { diags = append(diags, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,318 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// BitWidth guards the packing kernels. Every fixed-length code in the
+// engine is moved with shift instructions; a shift whose width operand
+// can exceed 64 silently evaluates to a wrong mask in Go (1<<64 == 0 for
+// uint64), which is exactly the kind of mis-applied compression
+// invariant that destroys the tradeoff curves instead of crashing.
+//
+// In the bitio and compress packages, the width operand of every shift
+// must be provably in [0, 64]:
+//
+//   - a constant in range, or
+//   - a masked/mod expression (x & c with c <= 63, x % c with c <= 65), or
+//   - an identifier the function has validated: range-checked by an
+//     early `if w < lo || w > hi` guard (hi <= 64), passed to the
+//     readoptdebug assertion assertWidth/assertCodeWidth, or assigned
+//     only from already-validated expressions.
+//
+// Widening code paths (dictionary indexes, FOR deltas) that build masks
+// from a configured bit count must therefore route through a checked
+// helper; the readoptdebug build verifies the same bound at run time.
+var BitWidth = &Analyzer{
+	Name: "bitwidth",
+	Doc: "flags shift operands in bitio/compress not provably in [0,64]; validate the width " +
+		"with a range check or assertWidth (readoptdebug) before shifting",
+	Run: runBitWidth,
+}
+
+// widthAssertFuncs mark an identifier as validated when it is passed to
+// them; the readoptdebug build turns them into real range checks.
+var widthAssertFuncs = map[string]bool{
+	"assertWidth":     true,
+	"assertCodeWidth": true,
+}
+
+func runBitWidth(pass *Pass) error {
+	if pass.PkgName != "bitio" && pass.PkgName != "compress" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkShiftWidths(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkShiftWidths(pass *Pass, fd *ast.FuncDecl) {
+	validated := collectValidated(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var width ast.Expr
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			if n.Op == token.SHL || n.Op == token.SHR {
+				width = n.Y
+			}
+		case *ast.AssignStmt:
+			if n.Tok == token.SHL_ASSIGN || n.Tok == token.SHR_ASSIGN {
+				width = n.Rhs[0]
+			}
+		}
+		if width == nil {
+			return true
+		}
+		if !widthBounded(pass, width, validated) {
+			pass.Reportf(width.Pos(),
+				"shift width %s is not provably in [0,64]: range-check it or pass it through assertWidth (a readoptdebug assertion) before shifting",
+				exprString(pass, width))
+		}
+		return true
+	})
+}
+
+// widthBounded reports whether e is provably in [0, 64].
+func widthBounded(pass *Pass, e ast.Expr, validated map[types.Object]bool) bool {
+	e = unparen(e)
+	// Constants.
+	if tv, ok := pass.TypesInfo.Types[e]; ok && tv.Value != nil {
+		if v, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+			return v >= 0 && v <= 64
+		}
+		return false
+	}
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.AND: // x & c, c <= 63
+			return constAtMost(pass, e.X, 63) || constAtMost(pass, e.Y, 63)
+		case token.REM: // x % c, c <= 65 (result < c for non-negative x)
+			return constAtMost(pass, e.Y, 65)
+		case token.SUB: // c - bounded stays in range for c <= 64
+			return constAtMost(pass, e.X, 64) && widthBounded(pass, e.Y, validated)
+		}
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[e]; obj != nil && validated[obj] {
+			return true
+		}
+	case *ast.CallExpr:
+		// min(x, c) with any bounded argument is bounded.
+		if ident, ok := unparen(e.Fun).(*ast.Ident); ok {
+			if b, isBuiltin := pass.TypesInfo.Uses[ident].(*types.Builtin); isBuiltin && b.Name() == "min" {
+				for _, arg := range e.Args {
+					if widthBounded(pass, arg, validated) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// constAtMost reports whether e is an integer constant <= limit (and >= 0).
+func constAtMost(pass *Pass, e ast.Expr, limit int64) bool {
+	tv, ok := pass.TypesInfo.Types[unparen(e)]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	return exact && v >= 0 && v <= limit
+}
+
+// collectValidated walks the function once and gathers identifiers whose
+// value is known to be a legal shift width anywhere in the body:
+// range-check guards, assertWidth calls, and assignments from expressions
+// that are themselves bounded. An identifier later reassigned from an
+// unbounded expression loses its status.
+func collectValidated(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	validated := map[types.Object]bool{}
+	poisoned := map[types.Object]bool{}
+
+	markIdent := func(e ast.Expr, m map[types.Object]bool) {
+		if ident, ok := unparen(e).(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[ident]; obj != nil {
+				m[obj] = true
+			} else if obj := pass.TypesInfo.Defs[ident]; obj != nil {
+				m[obj] = true
+			}
+		}
+	}
+
+	// Pass 1: guards and assertions establish validated identifiers.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			for _, e := range rangeCheckedIdents(pass, n.Cond) {
+				markIdent(e, validated)
+			}
+		case *ast.CallExpr:
+			if ident, ok := unparen(n.Fun).(*ast.Ident); ok && widthAssertFuncs[ident.Name] {
+				for _, arg := range n.Args {
+					markIdent(arg, validated)
+				}
+			}
+		}
+		return true
+	})
+
+	// Pass 2 (iterate to a fixed point): assignments from bounded
+	// expressions extend the set; assignments from unbounded ones poison.
+	// growingAssignOps are compound assignments that can push a
+	// non-negative value past 64; shrinking ones (-=, >>=, &=, %=, /=)
+	// cannot and are left alone.
+	growingAssignOps := map[token.Token]bool{
+		token.ADD_ASSIGN: true, token.MUL_ASSIGN: true, token.SHL_ASSIGN: true,
+		token.OR_ASSIGN: true, token.XOR_ASSIGN: true,
+	}
+	poison := func(obj types.Object) bool {
+		if validated[obj] && !rangeGuardedLater(pass, fd, obj) {
+			// Mutated past the provable bound after being validated by
+			// assignment only: poison unless an explicit guard or
+			// assertion re-establishes the bound.
+			poisoned[obj] = true
+			delete(validated, obj)
+			return true
+		}
+		return false
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IncDecStmt:
+				if n.Tok == token.INC {
+					if ident, ok := unparen(n.X).(*ast.Ident); ok {
+						if obj := pass.TypesInfo.Uses[ident]; obj != nil && poison(obj) {
+							changed = true
+						}
+					}
+				}
+			case *ast.AssignStmt:
+				assign := n
+				if growingAssignOps[assign.Tok] {
+					for _, lhs := range assign.Lhs {
+						if ident, ok := unparen(lhs).(*ast.Ident); ok {
+							if obj := pass.TypesInfo.Uses[ident]; obj != nil && poison(obj) {
+								changed = true
+							}
+						}
+					}
+					return true
+				}
+				if len(assign.Lhs) != len(assign.Rhs) {
+					return true
+				}
+				for i, lhs := range assign.Lhs {
+					ident, ok := unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					obj := pass.TypesInfo.Defs[ident]
+					if obj == nil {
+						obj = pass.TypesInfo.Uses[ident]
+					}
+					if obj == nil || poisoned[obj] {
+						continue
+					}
+					switch assign.Tok {
+					case token.ASSIGN, token.DEFINE:
+						if widthBounded(pass, assign.Rhs[i], validated) {
+							if !validated[obj] {
+								validated[obj] = true
+								changed = true
+							}
+						} else if poison(obj) {
+							changed = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	for obj := range poisoned {
+		delete(validated, obj)
+	}
+	return validated
+}
+
+// rangeGuardedLater reports whether obj is covered by an explicit guard
+// or assertion (not just a bounded assignment), which keeps it validated
+// across reassignments like `width -= n` in a packing loop.
+func rangeGuardedLater(pass *Pass, fd *ast.FuncDecl, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			for _, e := range rangeCheckedIdents(pass, n.Cond) {
+				if ident, ok := unparen(e).(*ast.Ident); ok && pass.TypesInfo.Uses[ident] == obj {
+					found = true
+				}
+			}
+		case *ast.CallExpr:
+			if ident, ok := unparen(n.Fun).(*ast.Ident); ok && widthAssertFuncs[ident.Name] {
+				for _, arg := range n.Args {
+					if ai, ok := unparen(arg).(*ast.Ident); ok && pass.TypesInfo.Uses[ai] == obj {
+						found = true
+					}
+				}
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// rangeCheckedIdents extracts identifiers that a guard condition proves
+// in range when the guarded branch aborts: `w < lo || w > hi` (hi <= 64)
+// or `w > hi` alone. The caller treats the whole if statement as the
+// guard; the suite's convention is that such guards panic or return.
+func rangeCheckedIdents(pass *Pass, cond ast.Expr) []ast.Expr {
+	cond = unparen(cond)
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return nil
+	}
+	if be.Op == token.LOR {
+		return append(rangeCheckedIdents(pass, be.X), rangeCheckedIdents(pass, be.Y)...)
+	}
+	// w > hi  or  hi < w, with hi <= 64
+	if be.Op == token.GTR || be.Op == token.GEQ {
+		if constAtMost(pass, be.Y, 64) {
+			return []ast.Expr{be.X}
+		}
+	}
+	if be.Op == token.LSS || be.Op == token.LEQ {
+		if constAtMost(pass, be.X, 64) {
+			return []ast.Expr{be.Y}
+		}
+	}
+	return nil
+}
+
+func exprString(pass *Pass, e ast.Expr) string {
+	// Positions give the context; a compact rendering is enough.
+	switch e := unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if x, ok := e.X.(*ast.Ident); ok {
+			return x.Name + "." + e.Sel.Name
+		}
+		return "(...)." + e.Sel.Name
+	default:
+		return "expression"
+	}
+}

@@ -1,0 +1,74 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// forbiddenTimeFuncs are the package time entry points that read or
+// schedule against the real clock. Durations, formatting and the
+// time.Time arithmetic methods stay allowed — only acquiring "now" (or
+// sleeping against it) must go through the injected Clock.
+var forbiddenTimeFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+	"AfterFunc": true,
+}
+
+// ClockDiscipline enforces PR 2's determinism rule: engine code reads
+// time only through the injected Clock (internal/clock), never from
+// package time directly. A stray time.Now makes the scheduler's gather
+// window, the trace timings and the slow-query log untestable without
+// sleeping. Functions that ARE the clock carry //readopt:clock.
+//
+// package main binaries (cmd/, examples/) are exempt: a benchmark CLI
+// printing wall time is presentation, not engine behaviour.
+var ClockDiscipline = &Analyzer{
+	Name: "clockdiscipline",
+	Doc: "flags time.Now/time.Since/time.Sleep and friends outside the injected Clock; " +
+		"engine time must flow through internal/clock so tests can drive it deterministically",
+	Run: runClockDiscipline,
+}
+
+func runClockDiscipline(pass *Pass) error {
+	if pass.PkgName == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && hasDirective(fd.Doc, directiveClock) {
+				continue // this function is the clock
+			}
+			ast.Inspect(decl, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				ident, ok := sel.X.(*ast.Ident)
+				if !ok || !forbiddenTimeFuncs[sel.Sel.Name] {
+					return true
+				}
+				obj, ok := pass.TypesInfo.Uses[ident]
+				if !ok {
+					return true
+				}
+				pkgName, ok := obj.(*types.PkgName)
+				if !ok || pkgName.Imported().Path() != "time" {
+					return true
+				}
+				pass.Reportf(sel.Pos(),
+					"time.%s outside the injected Clock: route through internal/clock (or mark the clock implementation //readopt:clock) so tests can drive time deterministically",
+					sel.Sel.Name)
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"path/filepath"
+	"strings"
+)
+
+// RunCommand implements the readoptlint CLI over the analyzer suite and
+// returns the process exit code: 0 for a clean tree, 1 when findings
+// were reported, 2 on usage or load errors. dir is the working
+// directory for package resolution; file names in diagnostics are
+// printed relative to it so the output is stable across checkouts.
+func RunCommand(dir string, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("readoptlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	listOnly := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: readoptlint [-list] [packages]\n\n"+
+			"Runs the readopt invariant suite (a go/analysis-style multichecker)\n"+
+			"over the given package patterns (default ./...).\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listOnly {
+		for _, a := range Analyzers() {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := Check(dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "readoptlint: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, formatDiagnostic(dir, d))
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(stderr, "readoptlint: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}
+
+// Check loads the patterns rooted at dir and runs the full suite.
+func Check(dir string, patterns ...string) ([]Diagnostic, error) {
+	pkgs, err := NewLoader(dir).Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return RunAnalyzers(pkgs, Analyzers())
+}
+
+// formatDiagnostic renders one finding with a dir-relative path.
+func formatDiagnostic(dir string, d Diagnostic) string {
+	name := d.Pos.Filename
+	if dir != "" {
+		if rel, err := filepath.Rel(dir, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d: %s: %s", filepath.ToSlash(name), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}

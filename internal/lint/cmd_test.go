@@ -1,0 +1,77 @@
+package lint_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/lint"
+)
+
+// runCLI drives RunCommand the way cmd/readoptlint does, with the
+// fixture directory as the working directory so diagnostic paths come
+// out relative and stable.
+func runCLI(t *testing.T, dir string, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("abs %s: %v", dir, err)
+	}
+	var out, errOut bytes.Buffer
+	code = lint.RunCommand(abs, args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestCommandCleanTreeExitsZero(t *testing.T) {
+	code, stdout, stderr := runCLI(t, filepath.Join("testdata", "src", "hotalloc_clean"), ".")
+	if code != 0 {
+		t.Fatalf("exit code %d on clean fixture, stderr:\n%s", code, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("clean fixture printed diagnostics:\n%s", stdout)
+	}
+}
+
+// TestCommandDirtyTreeGolden pins the CLI's diagnostic format (path:
+// line:col: analyzer: message, one per line, sorted by position) against
+// a golden file, and the exit-code/stderr contract around it.
+func TestCommandDirtyTreeGolden(t *testing.T) {
+	code, stdout, stderr := runCLI(t, filepath.Join("testdata", "src", "tracepool"), ".")
+	if code != 1 {
+		t.Fatalf("exit code %d on dirty fixture, want 1; stderr:\n%s", code, stderr)
+	}
+	goldenPath := filepath.Join("testdata", "golden", "tracepool.txt")
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	if stdout != string(golden) {
+		t.Errorf("CLI output diverged from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, stdout, golden)
+	}
+	if !strings.Contains(stderr, "finding(s)") {
+		t.Errorf("stderr missing the finding count: %q", stderr)
+	}
+}
+
+func TestCommandListAnalyzers(t *testing.T) {
+	code, stdout, stderr := runCLI(t, ".", "-list")
+	if code != 0 {
+		t.Fatalf("exit code %d for -list, stderr:\n%s", code, stderr)
+	}
+	for _, name := range []string{"hotalloc", "bitwidth", "pagebounds", "clockdiscipline", "tracepool"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing analyzer %s:\n%s", name, stdout)
+		}
+	}
+}
+
+func TestCommandUsageErrors(t *testing.T) {
+	if code, _, _ := runCLI(t, ".", "-no-such-flag"); code != 2 {
+		t.Errorf("exit code %d for a bad flag, want 2", code)
+	}
+	if code, _, stderr := runCLI(t, ".", "./no/such/package"); code != 2 {
+		t.Errorf("exit code %d for a bad pattern, want 2; stderr: %s", code, stderr)
+	}
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// The suite's comment directives, written like compiler directives
+// (no space after //):
+//
+//	//readopt:hotpath        on a function: hotalloc checks its body
+//	//readopt:clock          on a function: it IS the injected clock,
+//	                         clockdiscipline lets it touch package time
+//	//readopt:ignore <name>  on a declaration or a line: suppress one
+//	                         analyzer's findings there (give a reason in
+//	                         the trailing text)
+const (
+	directiveHotPath = "readopt:hotpath"
+	directiveClock   = "readopt:clock"
+	directiveIgnore  = "readopt:ignore"
+)
+
+// hasDirective reports whether the comment group carries the directive
+// as a line of its own (arguments after the directive are allowed).
+func hasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		if text == name || strings.HasPrefix(text, name+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// ignoreSpan is one //readopt:ignore directive's coverage: an analyzer
+// name and a line range in one file (a whole declaration, or the
+// directive's own line plus the next).
+type ignoreSpan struct {
+	file      string
+	analyzer  string
+	startLine int
+	endLine   int
+}
+
+type ignoreIndex struct{ spans []ignoreSpan }
+
+func (ix ignoreIndex) covers(analyzer string, pos token.Position) bool {
+	for _, s := range ix.spans {
+		if s.analyzer == analyzer && s.file == pos.Filename &&
+			pos.Line >= s.startLine && pos.Line <= s.endLine {
+			return true
+		}
+	}
+	return false
+}
+
+// buildIgnoreIndex collects every //readopt:ignore directive in the
+// package. A directive in a declaration's doc comment covers the whole
+// declaration; any other placement covers its own line and the next
+// (so an end-of-line or line-above suppression both work).
+func buildIgnoreIndex(fset *token.FileSet, files []*ast.File) ignoreIndex {
+	var ix ignoreIndex
+	add := func(c *ast.Comment, start, end int) {
+		text := strings.TrimPrefix(c.Text, "//")
+		if !strings.HasPrefix(text, directiveIgnore+" ") {
+			return
+		}
+		args := strings.Fields(strings.TrimPrefix(text, directiveIgnore+" "))
+		if len(args) == 0 {
+			return
+		}
+		ix.spans = append(ix.spans, ignoreSpan{
+			file:      fset.Position(c.Pos()).Filename,
+			analyzer:  args[0],
+			startLine: start,
+			endLine:   end,
+		})
+	}
+	for _, f := range files {
+		docs := map[*ast.CommentGroup]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			var doc *ast.CommentGroup
+			var endPos token.Pos
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				doc, endPos = d.Doc, d.End()
+			case *ast.GenDecl:
+				doc, endPos = d.Doc, d.End()
+			}
+			if doc != nil {
+				docs[doc] = true
+				for _, c := range doc.List {
+					add(c, fset.Position(c.Pos()).Line, fset.Position(endPos).Line)
+				}
+			}
+			return true
+		})
+		for _, g := range f.Comments {
+			if docs[g] {
+				continue
+			}
+			for _, c := range g.List {
+				line := fset.Position(c.Pos()).Line
+				add(c, line, line+1)
+			}
+		}
+	}
+	return ix
+}

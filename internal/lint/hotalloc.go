@@ -1,0 +1,220 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotAlloc keeps the block-iterator hot loop allocation-free. The paper
+// sizes 100-tuple blocks for the L1 cache precisely so the per-tuple CPU
+// cost stays flat; one heap allocation per Next (an error wrapper, a
+// grown slice, a closure) puts the garbage collector back on that path
+// and bends the curves the engine reproduces.
+//
+// Functions annotated //readopt:hotpath are checked for:
+//
+//   - make/new and heap-bound composite literals (&T{...}, slice and map
+//     literals)
+//   - append (the backing array may grow mid-scan)
+//   - closures (a captured variable moves its frame to the heap)
+//   - defers (deferred call records are per-call work)
+//   - string<->[]byte conversions (always copy)
+//   - implicit conversions of concrete values to interface parameters
+//   - calls into fmt, errors.New, and friends (use package-level
+//     sentinel errors on cold branches instead)
+//
+// The runtime counterpart is the readoptdebug build tag, whose
+// assertions (assertBlockLen and friends) verify the invariants these
+// hot paths rely on without adding release-build work.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "flags heap allocations, append growth, closures, defers and interface conversions " +
+		"inside functions marked //readopt:hotpath",
+	Run: runHotAlloc,
+}
+
+// allocatingCalls maps "pkgpath.Func" to why it is banned on hot paths.
+var allocatingCalls = map[string]string{
+	"errors.New": "allocates a new error; hoist it to a package-level sentinel",
+	"fmt.Errorf": "allocates an error and boxes its arguments; hoist a sentinel error",
+}
+
+// allocatingPkgs are packages whose every call is considered allocating.
+var allocatingPkgs = map[string]string{
+	"fmt": "formats through reflection and allocates",
+}
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, directiveHotPath) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(), "closure in hot path %s: captured variables escape to the heap", fd.Name.Name)
+			return false // contents belong to the closure, not this path
+		case *ast.DeferStmt:
+			pass.Reportf(n.Pos(), "defer in hot path %s: per-call defer bookkeeping; restructure so cleanup happens in Close", fd.Name.Name)
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if _, ok := n.X.(*ast.CompositeLit); ok {
+					pass.Reportf(n.Pos(), "&composite literal in hot path %s allocates; reuse a field the way Block buffers are reused", fd.Name.Name)
+				}
+			}
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Slice, *types.Map:
+					pass.Reportf(n.Pos(), "%s literal in hot path %s allocates per call; hoist it to a field or package variable", typeKindName(tv.Type), fd.Name.Name)
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, fd, n)
+		}
+		return true
+	})
+}
+
+func typeKindName(t types.Type) string {
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		return "slice"
+	case *types.Map:
+		return "map"
+	default:
+		return "composite"
+	}
+}
+
+func checkHotCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	// Builtins: make/new/append allocate; conversions to string/[]byte copy.
+	if ident, ok := unparen(call.Fun).(*ast.Ident); ok {
+		if obj, isBuiltin := pass.TypesInfo.Uses[ident].(*types.Builtin); isBuiltin {
+			switch obj.Name() {
+			case "make":
+				pass.Reportf(call.Pos(), "make in hot path %s allocates per call; size the buffer in Open and reuse it (readoptdebug's assertBlockLen guards the reuse invariant)", fd.Name.Name)
+			case "new":
+				pass.Reportf(call.Pos(), "new in hot path %s allocates per call; reuse a field instead", fd.Name.Name)
+			case "append":
+				pass.Reportf(call.Pos(), "append in hot path %s may grow the backing array mid-scan; preallocate to capacity in Open", fd.Name.Name)
+			}
+			return
+		}
+	}
+	// Conversions T(x): string<->[]byte copies; concrete->interface boxes.
+	if tv, ok := pass.TypesInfo.Types[unparen(call.Fun)]; ok && tv.IsType() && len(call.Args) == 1 {
+		to := tv.Type
+		from := pass.TypesInfo.Types[call.Args[0]].Type
+		if from != nil {
+			if isStringByteConversion(from, to) {
+				pass.Reportf(call.Pos(), "string/[]byte conversion in hot path %s copies per call", fd.Name.Name)
+			}
+			if types.IsInterface(to.Underlying()) && !types.IsInterface(from.Underlying()) {
+				pass.Reportf(call.Pos(), "conversion to interface in hot path %s boxes the value on the heap", fd.Name.Name)
+			}
+		}
+		return
+	}
+	// Known allocating functions / packages.
+	if path, name, ok := calleePkgFunc(pass, call); ok {
+		if why, banned := allocatingCalls[path+"."+name]; banned {
+			pass.Reportf(call.Pos(), "%s.%s in hot path %s %s", path, name, fd.Name.Name, why)
+			return
+		}
+		if why, banned := allocatingPkgs[path]; banned {
+			pass.Reportf(call.Pos(), "%s.%s in hot path %s %s", path, name, fd.Name.Name, why)
+			return
+		}
+	}
+	// Implicit interface conversions at the call boundary.
+	sig := calleeSignature(pass, call)
+	if sig == nil || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil || !types.IsInterface(pt.Underlying()) {
+			continue
+		}
+		at := pass.TypesInfo.Types[arg].Type
+		if at == nil || types.IsInterface(at.Underlying()) || at == types.Typ[types.UntypedNil] {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "argument boxed into interface parameter in hot path %s; take a concrete type or hoist the value", fd.Name.Name)
+	}
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func isStringByteConversion(from, to types.Type) bool {
+	isStr := func(t types.Type) bool {
+		b, ok := t.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+	isBytes := func(t types.Type) bool {
+		s, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return false
+		}
+		e, ok := s.Elem().Underlying().(*types.Basic)
+		return ok && e.Kind() == types.Byte
+	}
+	return (isStr(from) && isBytes(to)) || (isBytes(from) && isStr(to))
+}
+
+// calleePkgFunc resolves a call to (package path, function name) for
+// direct package-level calls like fmt.Errorf.
+func calleePkgFunc(pass *Pass, call *ast.CallExpr) (string, string, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", "", false
+	}
+	ident, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", "", false
+	}
+	pkgName, ok := pass.TypesInfo.Uses[ident].(*types.PkgName)
+	if !ok {
+		return "", "", false
+	}
+	return pkgName.Imported().Path(), sel.Sel.Name, true
+}
+
+// calleeSignature returns the called function's signature when the
+// callee is a function or method (not a type conversion or builtin).
+func calleeSignature(pass *Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[unparen(call.Fun)]
+	if !ok || tv.IsType() {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}

@@ -1,0 +1,61 @@
+package lint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/lint"
+	"github.com/readoptdb/readopt/internal/lint/linttest"
+)
+
+// TestAnalyzerFixtures runs each analyzer over its dirty fixture (every
+// finding expected by a // want comment) and its clean fixture (no
+// findings at all). The clockdiscipline analyzer additionally has a
+// package-main fixture proving the CLI exemption.
+func TestAnalyzerFixtures(t *testing.T) {
+	cases := []struct {
+		dir      string
+		analyzer *lint.Analyzer
+		dirty    bool
+	}{
+		{"hotalloc", lint.HotAlloc, true},
+		{"hotalloc_clean", lint.HotAlloc, false},
+		{"bitwidth", lint.BitWidth, true},
+		{"bitwidth_clean", lint.BitWidth, false},
+		{"pagebounds", lint.PageBounds, true},
+		{"pagebounds_clean", lint.PageBounds, false},
+		{"clockdiscipline", lint.ClockDiscipline, true},
+		{"clockdiscipline_clean", lint.ClockDiscipline, false},
+		{"clockdiscipline_main", lint.ClockDiscipline, false},
+		{"tracepool", lint.TracePool, true},
+		{"tracepool_clean", lint.TracePool, false},
+	}
+	for _, c := range cases {
+		t.Run(c.dir, func(t *testing.T) {
+			diags := linttest.Run(t, filepath.Join("testdata", "src", c.dir), c.analyzer)
+			if c.dirty && len(diags) == 0 {
+				t.Errorf("dirty fixture %s produced no findings", c.dir)
+			}
+			if !c.dirty && len(diags) != 0 {
+				t.Errorf("clean fixture %s produced %d findings", c.dir, len(diags))
+			}
+		})
+	}
+}
+
+// TestFullSuiteOnCleanFixtures runs ALL analyzers together over the
+// clean fixtures: a clean fixture must not trip a different analyzer by
+// accident (e.g. a bitwidth fixture tripping hotalloc).
+func TestFullSuiteOnCleanFixtures(t *testing.T) {
+	for _, dir := range []string{
+		"hotalloc_clean", "bitwidth_clean", "pagebounds_clean",
+		"clockdiscipline_clean", "clockdiscipline_main", "tracepool_clean",
+	} {
+		t.Run(dir, func(t *testing.T) {
+			diags := linttest.Run(t, filepath.Join("testdata", "src", dir), lint.Analyzers()...)
+			for _, d := range diags {
+				t.Errorf("full suite on %s: %s", dir, d)
+			}
+		})
+	}
+}

@@ -1,0 +1,103 @@
+// Package linttest runs the invariant suite's analyzers over fixture
+// packages and compares their findings to expectations written in the
+// fixture source, in the style of golang.org/x/tools' analysistest
+// (built, like the suite itself, on the standard library only).
+//
+// An expectation is a comment on the offending line:
+//
+//	x := time.Now() // want "time.Now"
+//
+// Each quoted string is a substring that must appear in the rendered
+// diagnostic ("analyzer: message") reported on that line; several
+// strings expect several diagnostics. Every diagnostic must be
+// expected and every expectation must fire, so a clean fixture is
+// simply one with no want comments and no findings.
+package linttest
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/lint"
+)
+
+// wantRE matches one quoted expectation inside a // want comment.
+var (
+	wantCommentRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	wantStringRE  = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+)
+
+// expectation is one // want entry: a substring expected in a
+// diagnostic on a specific file line.
+type expectation struct {
+	file    string
+	line    int
+	substr  string
+	matched bool
+}
+
+// Run loads the fixture package rooted at dir (a directory inside the
+// module, typically under testdata/) and applies the analyzers,
+// failing the test on any mismatch between findings and expectations.
+// It returns the diagnostics for callers that want further checks.
+func Run(t *testing.T, dir string, analyzers ...*lint.Analyzer) []lint.Diagnostic {
+	t.Helper()
+	pkgs, err := lint.NewLoader(dir).Load(".")
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	diags, err := lint.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		t.Fatalf("running analyzers on %s: %v", dir, err)
+	}
+	wants := collectWants(pkgs)
+	for _, d := range diags {
+		rendered := fmt.Sprintf("%s: %s", d.Analyzer, d.Message)
+		if !claim(wants, d.Pos.Filename, d.Pos.Line, rendered) {
+			t.Errorf("unexpected diagnostic %s:%d: %s", d.Pos.Filename, d.Pos.Line, rendered)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected a diagnostic containing %q, got none", w.file, w.line, w.substr)
+		}
+	}
+	return diags
+}
+
+// claim marks the first unmatched expectation satisfied by the
+// diagnostic and reports whether one existed.
+func claim(wants []*expectation, file string, line int, rendered string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.substr != "" && strings.Contains(rendered, w.substr) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants gathers every // want expectation in the fixture's
+// parsed files.
+func collectWants(pkgs []*lint.Package) []*expectation {
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, group := range f.Comments {
+				for _, c := range group.List {
+					m := wantCommentRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					for _, q := range wantStringRE.FindAllStringSubmatch(m[1], -1) {
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, substr: q[1]})
+					}
+				}
+			}
+		}
+	}
+	return wants
+}

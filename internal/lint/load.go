@@ -1,0 +1,213 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath   string
+	Name      string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// Loader enumerates packages with `go list` and type-checks them from
+// source. Only non-test Go files are loaded: the invariants the suite
+// enforces live in production code, and tests are free to use the real
+// clock or partial counter literals.
+type Loader struct {
+	// Dir is the working directory for `go list` (anywhere inside the
+	// module). Empty means the process working directory.
+	Dir string
+
+	fset   *token.FileSet
+	pkgs   map[string]*Package
+	listed map[string]*listedPackage
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	Standard   bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// NewLoader returns a loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	return &Loader{
+		Dir:    dir,
+		fset:   token.NewFileSet(),
+		pkgs:   map[string]*Package{},
+		listed: map[string]*listedPackage{},
+	}
+}
+
+// goList runs `go list -json` with the given arguments and decodes the
+// stream of package objects. CGO is disabled so every listed file is
+// plain Go the type checker can read.
+func (l *Loader) goList(args ...string) ([]*listedPackage, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json=ImportPath,Name,Dir,Standard,GoFiles,Error"}, args...)...)
+	cmd.Dir = l.Dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(args, " "), err, errb.String())
+	}
+	dec := json.NewDecoder(&out)
+	var pkgs []*listedPackage
+	for {
+		p := new(listedPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// Load lists the given patterns (package patterns like ./... or plain
+// directory paths, which `go list` accepts inside a module) and returns
+// the matched packages type-checked, with their dependency graph
+// resolved from source.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	targets, err := l.goList(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	// One -deps listing primes the metadata cache; its output is in
+	// dependency order (dependencies before dependents), so checking in
+	// that order type-checks every package exactly once.
+	graph, err := l.goList(append([]string{"-deps"}, patterns...)...)
+	if err != nil {
+		return nil, err
+	}
+	isTarget := map[string]bool{}
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", t.ImportPath, t.Error.Err)
+		}
+		isTarget[t.ImportPath] = true
+	}
+	var out []*Package
+	for _, p := range graph {
+		if _, ok := l.listed[p.ImportPath]; !ok {
+			l.listed[p.ImportPath] = p
+		}
+		if !isTarget[p.ImportPath] || len(p.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := l.check(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// Import implements types.Importer over the loader's cache.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	meta, ok := l.listed[path]
+	if !ok {
+		// The standard library vendors its x/ dependencies: the source
+		// says golang.org/x/..., go list says vendor/golang.org/x/... .
+		meta, ok = l.listed["vendor/"+path]
+	}
+	if !ok {
+		// An import outside any graph loaded so far (fixture packages
+		// reach here): list it with its dependencies and cache them.
+		for _, candidate := range []string{path, "vendor/" + path} {
+			lp, err := l.goList("-deps", candidate)
+			if err != nil {
+				continue
+			}
+			for _, p := range lp {
+				if _, seen := l.listed[p.ImportPath]; !seen {
+					l.listed[p.ImportPath] = p
+				}
+			}
+			if meta, ok = l.listed[candidate]; ok {
+				break
+			}
+		}
+		if !ok {
+			return nil, fmt.Errorf("lint: import %q not found by go list", path)
+		}
+	}
+	pkg, err := l.check(meta)
+	if err != nil {
+		return nil, err
+	}
+	return pkg.Types, nil
+}
+
+// check parses and type-checks one listed package (dependencies load
+// recursively through Import). Results are cached by import path.
+func (l *Loader) check(meta *listedPackage) (*Package, error) {
+	if p, ok := l.pkgs[meta.ImportPath]; ok {
+		return p, nil
+	}
+	files := make([]*ast.File, 0, len(meta.GoFiles))
+	for _, name := range meta.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(meta.Dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+	}
+	tpkg, err := conf.Check(meta.ImportPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", meta.ImportPath, err)
+	}
+	pkg := &Package{
+		PkgPath:   meta.ImportPath,
+		Name:      meta.Name,
+		Dir:       meta.Dir,
+		Fset:      l.fset,
+		Files:     files,
+		Types:     tpkg,
+		TypesInfo: info,
+	}
+	l.pkgs[meta.ImportPath] = pkg
+	return pkg, nil
+}

@@ -1,0 +1,166 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+)
+
+// PageBounds keeps the dense-packed page arithmetic honest. A page is a
+// fixed-size byte array with a count header at the front and a fixed
+// trailer (page ID + compression base slots) at the end; every offset
+// computation must be phrased in the named layout constants (DefaultSize,
+// headerSize, pageIDSize, slotSize) and Geometry methods so the trailer
+// can never be silently addressed past. A literal 4096 or a bare `+ 4`
+// in offset arithmetic is exactly how the trailer discipline rots.
+//
+// In the page package the analyzer flags:
+//
+//   - integer literals that equal a page size (4096 and the usual
+//     powers) outside constant declarations
+//   - literal arithmetic against PageSize/TrailerSize/offsets instead
+//     of the named constants
+//   - literal bounds inside slice expressions over page buffers
+//
+// The readoptdebug build compiles assertPageLen/assertSlot into the
+// accessors as the runtime backstop for what the analyzer cannot prove.
+var PageBounds = &Analyzer{
+	Name: "pagebounds",
+	Doc: "flags page-offset arithmetic in internal/page that hardcodes sizes or trailer offsets " +
+		"instead of the named layout constants (runtime backstop: readoptdebug assertions)",
+	Run: runPageBounds,
+}
+
+// pageSizeLiterals are values that can only mean "a page size".
+var pageSizeLiterals = map[int64]bool{512: true, 1024: true, 2048: true, 4096: true, 8192: true, 16384: true, 65536: true}
+
+// layoutOffsetIdents are identifier/selector names whose arithmetic
+// neighborhood must use named constants.
+var layoutOffsetIdents = map[string]bool{"PageSize": true, "TrailerSize": true, "DataSize": true, "BaseSlots": true, "off": true}
+
+func runPageBounds(pass *Pass) error {
+	if pass.PkgName != "page" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		var inConstDecl []*ast.GenDecl
+		ast.Inspect(f, func(n ast.Node) bool {
+			if gd, ok := n.(*ast.GenDecl); ok && gd.Tok == token.CONST {
+				inConstDecl = append(inConstDecl, gd)
+			}
+			return true
+		})
+		withinConst := func(pos token.Pos) bool {
+			for _, gd := range inConstDecl {
+				if pos >= gd.Pos() && pos <= gd.End() {
+					return true
+				}
+			}
+			return false
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BasicLit:
+				if n.Kind == token.INT && !withinConst(n.Pos()) {
+					if v, ok := litValue(n); ok && pageSizeLiterals[v] {
+						pass.Reportf(n.Pos(), "hardcoded page size %d: use DefaultSize or Geometry.PageSize so non-default geometries keep the trailer in bounds", v)
+					}
+				}
+			case *ast.BinaryExpr:
+				checkOffsetArithmetic(pass, n, withinConst)
+			case *ast.SliceExpr:
+				checkSliceBounds(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func litValue(lit *ast.BasicLit) (int64, bool) {
+	v := constant.MakeFromLiteral(lit.Value, lit.Kind, 0)
+	if v.Kind() != constant.Int {
+		return 0, false
+	}
+	return constant.Int64Val(constant.ToInt(v))
+}
+
+// checkOffsetArithmetic flags `X op lit` / `lit op X` where X mentions a
+// layout quantity and lit is a small bare number (the header, page-ID or
+// slot width spelled as 4 instead of its name).
+func checkOffsetArithmetic(pass *Pass, be *ast.BinaryExpr, withinConst func(token.Pos) bool) {
+	if be.Op != token.ADD && be.Op != token.SUB && be.Op != token.MUL {
+		return
+	}
+	if withinConst(be.Pos()) {
+		return
+	}
+	check := func(lit, other ast.Expr) {
+		bl, ok := unparen(lit).(*ast.BasicLit)
+		if !ok || bl.Kind != token.INT {
+			return
+		}
+		v, ok := litValue(bl)
+		if !ok || v < 2 || v > 64 {
+			return
+		}
+		if mentionsLayoutIdent(other) {
+			pass.Reportf(bl.Pos(), "magic number %d in page-offset arithmetic: name it (headerSize/pageIDSize/slotSize) so the trailer discipline is visible to this check and to readoptdebug's assertions", v)
+		}
+	}
+	check(be.X, be.Y)
+	check(be.Y, be.X)
+}
+
+func mentionsLayoutIdent(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if layoutOffsetIdents[n.Name] {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if layoutOffsetIdents[n.Sel.Name] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// checkSliceBounds flags literal bounds >= 2 in slice expressions over
+// byte slices: p[0:4] hardcodes the header width, p[off:off+4] the
+// page-ID width.
+func checkSliceBounds(pass *Pass, se *ast.SliceExpr) {
+	t := pass.TypesInfo.Types[se.X].Type
+	if t == nil || !isByteSlice(t) {
+		return
+	}
+	for _, bound := range []ast.Expr{se.Low, se.High, se.Max} {
+		if bound == nil {
+			continue
+		}
+		ast.Inspect(bound, func(n ast.Node) bool {
+			bl, ok := n.(*ast.BasicLit)
+			if !ok || bl.Kind != token.INT {
+				return true
+			}
+			if v, ok := litValue(bl); ok && v >= 2 {
+				pass.Reportf(bl.Pos(), "literal %d in a page-buffer slice bound: use the named layout constants (headerSize/pageIDSize/slotSize) instead", v)
+			}
+			return true
+		})
+	}
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}

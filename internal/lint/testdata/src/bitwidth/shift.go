@@ -1,0 +1,44 @@
+// Package bitio is the dirty bitwidth fixture: shift widths the
+// analyzer cannot prove in [0,64], next to every accepted validation
+// form so the boundary is pinned down.
+package bitio
+
+// assertWidth stands in for the readoptdebug assertion; the analyzer
+// matches it by name.
+func assertWidth(int) {}
+
+func shiftUnchecked(w uint) uint64 {
+	return 1 << w // want "shift width w is not provably in [0,64]"
+}
+
+func maskUnchecked(bits int) uint64 {
+	return uint64(1)<<bits - 1 // want "shift width bits is not provably in [0,64]"
+}
+
+// poisoned starts from a constant but is grown past the provable bound
+// by a compound assignment with no guard to re-establish it.
+func poisoned() uint64 {
+	w := 8
+	w *= 16
+	return 1 << w // want "shift width w is not provably in [0,64]"
+}
+
+func masked(x uint) uint64 { return 1 << (x & 63) }
+
+func modded(x uint) uint64 { return 1 << (x % 64) }
+
+func remainder(x uint) uint64 { return 1 << (64 - (x & 63)) }
+
+func clamped(x int) uint64 { return 1 << min(x, 63) }
+
+func guarded(w int) uint64 {
+	if w < 0 || w > 64 {
+		return 0
+	}
+	return 1 << w
+}
+
+func asserted(w int) uint64 {
+	assertWidth(w)
+	return 1 << w
+}

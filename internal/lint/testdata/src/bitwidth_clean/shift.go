@@ -1,0 +1,27 @@
+// Package bitio is the clean bitwidth fixture: every shift width is
+// validated the way the packing kernels validate theirs.
+package bitio
+
+// assertWidth stands in for the readoptdebug assertion; the analyzer
+// matches it by name.
+func assertWidth(int) {}
+
+const codeBits = 12
+
+func constShift() uint64 { return 1 << codeBits }
+
+func maskOf(bits int) uint64 {
+	if bits < 1 || bits > 63 {
+		panic("bitio: code width out of range")
+	}
+	return uint64(1)<<bits - 1
+}
+
+func packLoop(words []uint64, width int) uint64 {
+	assertWidth(width)
+	var acc uint64
+	for _, w := range words {
+		acc |= w & (1<<width - 1)
+	}
+	return acc
+}

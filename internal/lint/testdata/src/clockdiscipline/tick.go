@@ -1,0 +1,31 @@
+// Package tick is the dirty clockdiscipline fixture: direct package
+// time calls in engine code, next to the two sanctioned escapes (a
+// //readopt:clock implementation and a //readopt:ignore line).
+package tick
+
+import "time"
+
+type record struct{ at time.Time }
+
+func stamp() time.Time {
+	return time.Now() // want "time.Now outside the injected Clock"
+}
+
+func wait() {
+	time.Sleep(time.Millisecond) // want "time.Sleep outside the injected Clock"
+}
+
+func age(r record) time.Duration {
+	return time.Since(r.at) // want "time.Since outside the injected Clock"
+}
+
+// Now is this fixture's clock implementation; the directive makes it
+// the one place allowed to touch package time.
+//
+//readopt:clock
+func Now() time.Time { return time.Now() }
+
+func tolerated() time.Time {
+	//readopt:ignore clockdiscipline fixture exercises the line-above escape hatch
+	return time.Now()
+}

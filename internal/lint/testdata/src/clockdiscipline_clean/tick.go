@@ -1,0 +1,21 @@
+// Package tick is the clean clockdiscipline fixture: all time flows
+// through an injected Clock; package time supplies only types and
+// arithmetic, which stay allowed.
+package tick
+
+import "time"
+
+// Clock mirrors internal/clock's interface.
+type Clock interface {
+	Now() time.Time
+	Sleep(d time.Duration)
+}
+
+type scheduler struct {
+	clk   Clock
+	start time.Time
+}
+
+func (s *scheduler) begin()                 { s.start = s.clk.Now() }
+func (s *scheduler) elapsed() time.Duration { return s.clk.Now().Sub(s.start) }
+func (s *scheduler) pause()                 { s.clk.Sleep(10 * time.Millisecond) }

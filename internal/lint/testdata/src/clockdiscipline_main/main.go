@@ -1,0 +1,15 @@
+// The clockdiscipline_main fixture proves the package main exemption:
+// a CLI printing wall time is presentation, not engine behaviour, so
+// the same calls that the dirty fixture flags produce no findings here.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	t0 := time.Now()
+	time.Sleep(time.Millisecond)
+	fmt.Println(time.Since(t0))
+}

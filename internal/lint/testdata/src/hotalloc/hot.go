@@ -1,0 +1,60 @@
+// Package hot is the dirty hotalloc fixture: one //readopt:hotpath
+// function per banned construct, each line carrying its expectation.
+package hot
+
+import "fmt"
+
+type iter struct {
+	buf []byte
+	out []int
+	err error
+}
+
+func takes(v any) { _ = v }
+
+var global any
+
+// next allocates in every way the analyzer bans.
+//
+//readopt:hotpath
+func (it *iter) next() error {
+	if it.buf == nil {
+		it.buf = make([]byte, 64) // want "make in hot path next"
+	}
+	it.out = append(it.out, 1) // want "append in hot path next"
+	it.err = fmt.Errorf("bad") // want "fmt.Errorf in hot path next"
+	return it.err
+}
+
+//readopt:hotpath
+func (it *iter) deferred() {
+	defer func() {}() // want "defer in hot path deferred" "closure in hot path deferred"
+}
+
+//readopt:hotpath
+func (it *iter) literals() *iter {
+	it.out = []int{1, 2} // want "slice literal in hot path literals"
+	return &iter{}       // want "composite literal in hot path literals"
+}
+
+//readopt:hotpath
+func (it *iter) str() string {
+	return string(it.buf) // want "conversion in hot path str copies"
+}
+
+//readopt:hotpath
+func (it *iter) boxExplicit(x int) {
+	global = any(x) // want "conversion to interface in hot path boxExplicit"
+}
+
+//readopt:hotpath
+func (it *iter) boxImplicit(x int) {
+	takes(x) // want "argument boxed into interface parameter in hot path boxImplicit"
+}
+
+// cold is not annotated, so the same constructs pass unflagged.
+func (it *iter) cold() error {
+	it.buf = make([]byte, 64)
+	it.out = append(it.out, 1)
+	return fmt.Errorf("cold paths may allocate")
+}

@@ -1,0 +1,35 @@
+// Package hot is the clean hotalloc fixture: a hot-path Next written
+// the way the engine writes them — reused buffer, sentinel error, no
+// allocation — producing zero findings.
+package hot
+
+import "errors"
+
+var errNextBeforeOpen = errors.New("hot: Next before Open")
+
+type iter struct {
+	buf    []byte
+	pos    int
+	opened bool
+}
+
+func (it *iter) open() {
+	it.buf = make([]byte, 64)
+	it.opened = true
+}
+
+// next reuses the buffer sized in open and returns a sentinel on the
+// cold protocol-violation branch.
+//
+//readopt:hotpath
+func (it *iter) next() ([]byte, error) {
+	if !it.opened {
+		return nil, errNextBeforeOpen
+	}
+	if it.pos >= len(it.buf) {
+		return nil, nil
+	}
+	b := it.buf[it.pos:]
+	it.pos = len(it.buf)
+	return b, nil
+}

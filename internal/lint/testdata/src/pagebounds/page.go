@@ -1,0 +1,28 @@
+// Package page is the dirty pagebounds fixture: page sizes and trailer
+// offsets spelled as bare numbers instead of the named layout constants.
+package page
+
+// Geometry mirrors the real package's layout descriptor.
+type Geometry struct {
+	PageSize  int
+	BaseSlots int
+}
+
+// Constant declarations are the one place a size literal is allowed.
+const defaultSize = 4096
+
+func alloc() []byte {
+	return make([]byte, 4096) // want "hardcoded page size 4096"
+}
+
+func trailerSize(g Geometry) int {
+	return 4 + 4*g.BaseSlots // want "magic number 4 in page-offset arithmetic" "magic number 4 in page-offset arithmetic"
+}
+
+func header(p []byte) []byte {
+	return p[0:4] // want "literal 4 in a page-buffer slice bound"
+}
+
+func pageID(p []byte, off int) []byte {
+	return p[off : off+4] // want "literal 4 in a page-buffer slice bound" "magic number 4 in page-offset arithmetic"
+}

@@ -1,0 +1,24 @@
+// Package page is the clean pagebounds fixture: the same accessors as
+// the dirty fixture, phrased in named layout constants throughout.
+package page
+
+const (
+	headerSize = 4
+	pageIDSize = 4
+	slotSize   = 4
+)
+
+// Geometry mirrors the real package's layout descriptor.
+type Geometry struct {
+	PageSize  int
+	BaseSlots int
+}
+
+func (g Geometry) TrailerSize() int { return pageIDSize + slotSize*g.BaseSlots }
+
+func header(p []byte) []byte { return p[0:headerSize] }
+
+func pageID(g Geometry, p []byte) []byte {
+	off := g.PageSize - g.TrailerSize()
+	return p[off : off+pageIDSize]
+}

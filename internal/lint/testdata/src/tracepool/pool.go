@@ -1,0 +1,33 @@
+// Package cpumodel is the dirty tracepool fixture: a four-field
+// counter pool whose aggregator, wire conversion and snapshot each
+// drop a counter.
+package cpumodel
+
+// Counters mirrors the real pool shape.
+type Counters struct {
+	Instr     int64
+	SeqBytes  int64
+	RandLines int64
+	Pages     int64
+}
+
+// Add drops Pages, so the conservation sums go blind to it. The leak
+// trips both the aggregator check and the conversion check.
+func (c *Counters) Add(o Counters) { // want "Counters.Add drops pool counters Pages" "Add reads 3 of 4 counter-pool fields"
+	c.Instr += o.Instr
+	c.SeqBytes += o.SeqBytes
+	c.RandLines += o.RandLines
+}
+
+type wire struct{ instr, seq, rand int64 }
+
+// toWire reads three of the four counters: a conversion, not a probe,
+// so it must be exhaustive.
+func toWire(c Counters) wire { // want "toWire reads 3 of 4 counter-pool fields"
+	return wire{instr: c.Instr, seq: c.SeqBytes, rand: c.RandLines}
+}
+
+// snapshot keys only two fields, leaving the rest zero in the copy.
+func snapshot(c *Counters) Counters {
+	return Counters{Instr: c.Instr, SeqBytes: c.SeqBytes} // want "partial copy of the counter pool"
+}

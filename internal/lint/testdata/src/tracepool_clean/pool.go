@@ -1,0 +1,39 @@
+// Package cpumodel is the clean tracepool fixture: every consumer of
+// the pool carries every counter, and the one deliberate subset reader
+// says so with //readopt:ignore.
+package cpumodel
+
+// Counters mirrors the real pool shape.
+type Counters struct {
+	Instr     int64
+	SeqBytes  int64
+	RandLines int64
+	Pages     int64
+}
+
+func (c *Counters) Add(o Counters) {
+	c.Instr += o.Instr
+	c.SeqBytes += o.SeqBytes
+	c.RandLines += o.RandLines
+	c.Pages += o.Pages
+}
+
+func (c *Counters) Scale(f float64) {
+	c.Instr = int64(float64(c.Instr) * f)
+	c.SeqBytes = int64(float64(c.SeqBytes) * f)
+	c.RandLines = int64(float64(c.RandLines) * f)
+	c.Pages = int64(float64(c.Pages) * f)
+}
+
+type wire struct{ instr, seq, rand, pages int64 }
+
+func toWire(c Counters) wire {
+	return wire{instr: c.Instr, seq: c.SeqBytes, rand: c.RandLines, pages: c.Pages}
+}
+
+// timeCharged deliberately prices only the time-bearing counters.
+//
+//readopt:ignore tracepool Pages carries no time cost in this fixture
+func timeCharged(c Counters) int64 {
+	return c.Instr + c.SeqBytes + c.RandLines
+}

@@ -1,0 +1,209 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TracePool guards the trace-conservation property: the per-stage
+// counter pools must sum to exactly what an untraced run charges its
+// single pool, and every consumer of the pool (the Add/Scale
+// aggregation, the wire-format conversions, the server's /metrics
+// accumulator) must carry every counter. The property tests can only
+// check the fields that exist at both ends — a counter added to
+// cpumodel.Counters but dropped by one conversion vanishes silently,
+// which is precisely how the "pools sum exactly to untraced totals"
+// invariant rots.
+//
+// The analyzer finds the counter pool (struct type Counters in a
+// package named cpumodel) and enforces:
+//
+//   - in the defining package, the Add and Scale methods mention every
+//     field
+//   - everywhere, a composite literal of the pool type that sets some
+//     but not all fields is flagged as a partial copy
+//   - everywhere, a function that reads several pool fields (three or
+//     more: a conversion, not a probe) must read all of them, or carry
+//     //readopt:ignore tracepool <reason> when the omission is the
+//     point (Breakdown deliberately prices no time for Pages)
+var TracePool = &Analyzer{
+	Name: "tracepool",
+	Doc: "every counter in cpumodel.Counters must flow through Add/Scale and every pool " +
+		"conversion, so the trace-conservation tests keep seeing the whole pool",
+	Run: runTracePool,
+}
+
+// poolReadThreshold: reading this many distinct fields marks a function
+// as a pool conversion that must be exhaustive.
+const poolReadThreshold = 3
+
+func runTracePool(pass *Pass) error {
+	pool := findCountersType(pass)
+	if pool == nil {
+		return nil
+	}
+	fields := poolFields(pool)
+	if pass.PkgName == "cpumodel" {
+		checkAggregators(pass, pool, fields)
+	}
+	checkCompositeLits(pass, pool, fields)
+	checkConversions(pass, pool, fields)
+	return nil
+}
+
+// findCountersType locates the counter pool: type Counters declared in a
+// package named cpumodel, visible from this package (either the package
+// itself or one of its imports).
+func findCountersType(pass *Pass) *types.Struct {
+	lookup := func(p *types.Package) *types.Struct {
+		if p.Name() != "cpumodel" {
+			return nil
+		}
+		obj := p.Scope().Lookup("Counters")
+		if obj == nil {
+			return nil
+		}
+		st, _ := obj.Type().Underlying().(*types.Struct)
+		return st
+	}
+	if st := lookup(pass.Pkg); st != nil {
+		return st
+	}
+	for _, imp := range pass.Pkg.Imports() {
+		if st := lookup(imp); st != nil {
+			return st
+		}
+	}
+	return nil
+}
+
+func poolFields(st *types.Struct) []string {
+	var out []string
+	for i := 0; i < st.NumFields(); i++ {
+		out = append(out, st.Field(i).Name())
+	}
+	return out
+}
+
+func isPoolType(t types.Type, pool *types.Struct) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Counters" || named.Obj().Pkg() == nil || named.Obj().Pkg().Name() != "cpumodel" {
+		return false
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	return ok && st == pool
+}
+
+// checkAggregators verifies Add and Scale on the pool touch every field.
+func checkAggregators(pass *Pass, pool *types.Struct, fields []string) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Name.Name != "Add" && fd.Name.Name != "Scale" {
+				continue
+			}
+			if len(fd.Recv.List) != 1 || !isPoolType(pass.TypesInfo.Types[fd.Recv.List[0].Type].Type, pool) {
+				continue
+			}
+			touched := poolFieldsMentioned(pass, fd.Body, pool)
+			if missing := missingFields(fields, touched); len(missing) > 0 {
+				pass.Reportf(fd.Pos(), "Counters.%s drops pool counters %s: every field must aggregate or the conservation tests go blind to it",
+					fd.Name.Name, strings.Join(missing, ", "))
+			}
+		}
+	}
+}
+
+// checkCompositeLits flags Counters{...} literals that set some but not
+// all fields.
+func checkCompositeLits(pass *Pass, pool *types.Struct, fields []string) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			cl, ok := n.(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[cl]
+			if !ok || !isPoolType(tv.Type, pool) || len(cl.Elts) == 0 {
+				return true
+			}
+			set := map[string]bool{}
+			for _, elt := range cl.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if ident, ok := kv.Key.(*ast.Ident); ok {
+						set[ident.Name] = true
+					}
+				}
+			}
+			if len(set) == 0 {
+				// Positional literal: the compiler already forces all fields.
+				return true
+			}
+			if missing := missingFields(fields, set); len(missing) > 0 {
+				pass.Reportf(cl.Pos(), "partial copy of the counter pool (missing %s): counters dropped here never reach the conservation sums",
+					strings.Join(missing, ", "))
+			}
+			return true
+		})
+	}
+}
+
+// checkConversions flags functions that read >= poolReadThreshold
+// distinct pool fields without reading all of them.
+func checkConversions(pass *Pass, pool *types.Struct, fields []string) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			read := poolFieldsMentioned(pass, fd.Body, pool)
+			if len(read) < poolReadThreshold || len(read) == len(fields) {
+				continue
+			}
+			pass.Reportf(fd.Pos(), "%s reads %d of %d counter-pool fields (missing %s): a pool conversion must be exhaustive, or carry //readopt:ignore tracepool <reason>",
+				fd.Name.Name, len(read), len(fields), strings.Join(missingFields(fields, read), ", "))
+		}
+	}
+}
+
+// poolFieldsMentioned collects names of pool fields selected anywhere in
+// the node (reads and writes both count as "carried").
+func poolFieldsMentioned(pass *Pass, root ast.Node, pool *types.Struct) map[string]bool {
+	out := map[string]bool{}
+	ast.Inspect(root, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		s, ok := pass.TypesInfo.Selections[sel]
+		if !ok || s.Kind() != types.FieldVal {
+			return true
+		}
+		if isPoolType(s.Recv(), pool) {
+			out[sel.Sel.Name] = true
+		}
+		return true
+	})
+	return out
+}
+
+func missingFields(all []string, have map[string]bool) []string {
+	var missing []string
+	for _, f := range all {
+		if !have[f] {
+			missing = append(missing, f)
+		}
+	}
+	return missing
+}

@@ -1,0 +1,15 @@
+//go:build readoptdebug
+
+package page
+
+import "fmt"
+
+// assertPageLen panics when p cannot hold one page of g's size — the
+// framing invariant every trailer computation depends on. The
+// pagebounds diagnostics (internal/lint) refer here; this build
+// verifies the invariant at run time.
+func assertPageLen(g Geometry, p []byte) {
+	if len(p) < g.PageSize {
+		panic(fmt.Sprintf("page: %d-byte buffer where the geometry needs a %d-byte page", len(p), g.PageSize))
+	}
+}

@@ -1,0 +1,22 @@
+//go:build readoptdebug
+
+package page
+
+import "testing"
+
+// The readoptdebug build compiles assertPageLen into a real size check;
+// this test exists only under the tag and proves the assertion fires.
+func TestAssertPageLenFires(t *testing.T) {
+	g := Geometry{PageSize: DefaultSize, EntryBits: 32, BaseSlots: 1}
+	defer func() {
+		if recover() == nil {
+			t.Error("assertPageLen accepted a short buffer under readoptdebug")
+		}
+	}()
+	assertPageLen(g, make([]byte, DefaultSize-1))
+}
+
+func TestAssertPageLenAcceptsFullPage(t *testing.T) {
+	g := Geometry{PageSize: DefaultSize, EntryBits: 32, BaseSlots: 1}
+	assertPageLen(g, make([]byte, DefaultSize))
+}

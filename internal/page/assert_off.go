@@ -1,0 +1,7 @@
+//go:build !readoptdebug
+
+package page
+
+// assertPageLen is compiled out of release builds; build with
+// -tags readoptdebug to verify page-buffer sizes at run time.
+func assertPageLen(Geometry, []byte) {}

@@ -24,8 +24,20 @@ import (
 // performance effect, but it remains a system parameter.
 const DefaultSize = 4096
 
-// headerSize is the page header: a uint32 entry count.
-const headerSize = 4
+// The fixed field widths of the page framing. Offset arithmetic below
+// must use these names — the pagebounds analyzer (internal/lint) flags
+// bare literals so a change to any width cannot miss a computation.
+const (
+	// headerSize is the page header: a uint32 entry count.
+	headerSize = 4
+	// pageIDSize is the trailer's leading uint32 page ID.
+	pageIDSize = 4
+	// baseSlotSize is one trailer base-value slot, a uint32.
+	baseSlotSize = 4
+	// bitsPerByte converts the data region's byte size into bit-packing
+	// capacity.
+	bitsPerByte = 8
+)
 
 // Geometry fixes the layout of every page of one stored entity: the page
 // size, the fixed entry width in bits, and how many per-page base values
@@ -56,40 +68,43 @@ func (g Geometry) Validate() error {
 }
 
 // TrailerSize returns the trailer size in bytes: page ID plus base slots.
-func (g Geometry) TrailerSize() int { return 4 + 4*g.BaseSlots }
+func (g Geometry) TrailerSize() int { return pageIDSize + baseSlotSize*g.BaseSlots }
 
 // DataSize returns the size of the data region in bytes.
 func (g Geometry) DataSize() int { return g.PageSize - headerSize - g.TrailerSize() }
 
 // Capacity returns the maximum number of entries per page.
-func (g Geometry) Capacity() int { return g.DataSize() * 8 / g.EntryBits }
+func (g Geometry) Capacity() int { return g.DataSize() * bitsPerByte / g.EntryBits }
 
 // Data returns the entry region of p.
 func (g Geometry) Data(p []byte) []byte {
+	assertPageLen(g, p)
 	return p[headerSize : g.PageSize-g.TrailerSize()]
 }
 
 // Count returns the entry count stored in the page header.
 func Count(p []byte) int {
-	return int(binary.LittleEndian.Uint32(p[0:4]))
+	return int(binary.LittleEndian.Uint32(p[0:headerSize]))
 }
 
 // SetCount stores the entry count in the page header.
 func SetCount(p []byte, n int) {
-	binary.LittleEndian.PutUint32(p[0:4], uint32(n))
+	binary.LittleEndian.PutUint32(p[0:headerSize], uint32(n))
 }
 
 // PageID returns the page ID from the trailer. Combined with an entry's
 // position in the page it forms the record ID.
 func (g Geometry) PageID(p []byte) uint32 {
+	assertPageLen(g, p)
 	off := g.PageSize - g.TrailerSize()
-	return binary.LittleEndian.Uint32(p[off : off+4])
+	return binary.LittleEndian.Uint32(p[off : off+pageIDSize])
 }
 
 // SetPageID stores the page ID in the trailer.
 func (g Geometry) SetPageID(p []byte, id uint32) {
+	assertPageLen(g, p)
 	off := g.PageSize - g.TrailerSize()
-	binary.LittleEndian.PutUint32(p[off:off+4], id)
+	binary.LittleEndian.PutUint32(p[off:off+pageIDSize], id)
 }
 
 // Base returns base value slot i from the trailer.
@@ -97,8 +112,9 @@ func (g Geometry) Base(p []byte, i int) int32 {
 	if i < 0 || i >= g.BaseSlots {
 		panic(fmt.Sprintf("page: base slot %d out of range (%d slots)", i, g.BaseSlots))
 	}
-	off := g.PageSize - g.TrailerSize() + 4 + 4*i
-	return int32(binary.LittleEndian.Uint32(p[off : off+4]))
+	assertPageLen(g, p)
+	off := g.PageSize - g.TrailerSize() + pageIDSize + baseSlotSize*i
+	return int32(binary.LittleEndian.Uint32(p[off : off+baseSlotSize]))
 }
 
 // SetBase stores base value slot i in the trailer.
@@ -106,6 +122,7 @@ func (g Geometry) SetBase(p []byte, i int, v int32) {
 	if i < 0 || i >= g.BaseSlots {
 		panic(fmt.Sprintf("page: base slot %d out of range (%d slots)", i, g.BaseSlots))
 	}
-	off := g.PageSize - g.TrailerSize() + 4 + 4*i
-	binary.LittleEndian.PutUint32(p[off:off+4], uint32(v))
+	assertPageLen(g, p)
+	off := g.PageSize - g.TrailerSize() + pageIDSize + baseSlotSize*i
+	binary.LittleEndian.PutUint32(p[off:off+baseSlotSize], uint32(v))
 }

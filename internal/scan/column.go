@@ -311,9 +311,11 @@ func (c *ColScanner) attach(n *scanNode) error {
 }
 
 // Next implements exec.Operator.
+//
+//readopt:hotpath
 func (c *ColScanner) Next() (*exec.Block, error) {
 	if !c.opened {
-		return nil, fmt.Errorf("scan: Next before Open")
+		return nil, errNextBeforeOpen
 	}
 	for {
 		if c.eof {

@@ -190,9 +190,11 @@ func (r *PAXScanner) project(i int, dst []byte) {
 }
 
 // Next implements exec.Operator.
+//
+//readopt:hotpath
 func (r *PAXScanner) Next() (*exec.Block, error) {
 	if !r.opened {
-		return nil, fmt.Errorf("scan: Next before Open")
+		return nil, errNextBeforeOpen
 	}
 	r.block.Reset()
 	for !r.block.Full() {

@@ -292,9 +292,11 @@ func (r *RowScanner) project(i int, rawTuple []byte, dst []byte) {
 }
 
 // Next implements exec.Operator.
+//
+//readopt:hotpath
 func (r *RowScanner) Next() (*exec.Block, error) {
 	if !r.opened {
-		return nil, fmt.Errorf("scan: Next before Open")
+		return nil, errNextBeforeOpen
 	}
 	r.block.Reset()
 	for !r.block.Full() {

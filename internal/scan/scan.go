@@ -16,6 +16,7 @@
 package scan
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
@@ -27,6 +28,11 @@ import (
 	"github.com/readoptdb/readopt/internal/page"
 	"github.com/readoptdb/readopt/internal/schema"
 )
+
+// errNextBeforeOpen is the protocol-violation error Next returns on an
+// unopened scanner. A sentinel: Next runs once per block on the hot
+// path, and hotalloc forbids building the error there.
+var errNextBeforeOpen = errors.New("scan: Next before Open")
 
 // splitPreds validates predicates against the schema and groups them by
 // attribute.

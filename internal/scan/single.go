@@ -1,7 +1,6 @@
 package scan
 
 import (
-	"fmt"
 	"io"
 
 	"github.com/readoptdb/readopt/internal/exec"
@@ -84,9 +83,11 @@ func (s *SingleIterScanner) Close() error {
 }
 
 // Next implements exec.Operator.
+//
+//readopt:hotpath
 func (s *SingleIterScanner) Next() (*exec.Block, error) {
 	if !s.opened {
-		return nil, fmt.Errorf("scan: Next before Open")
+		return nil, errNextBeforeOpen
 	}
 	if s.eof {
 		return nil, nil

@@ -1,18 +1,10 @@
 package server
 
-import "time"
+import "github.com/readoptdb/readopt/internal/clock"
 
 // Clock abstracts the scheduler's and statistics' view of time so tests
 // can drive the gather window deterministically instead of sleeping.
-// The production server uses the real clock; a test injects a fake one
-// through Config.Clock and advances it by hand.
-type Clock interface {
-	Now() time.Time
-	Sleep(d time.Duration)
-}
-
-// realClock is the production Clock.
-type realClock struct{}
-
-func (realClock) Now() time.Time        { return time.Now() }
-func (realClock) Sleep(d time.Duration) { time.Sleep(d) }
+// It is the engine-wide injected clock (internal/clock); the production
+// server uses the real clock, and a test injects a fake one through
+// Config.Clock and advances it by hand.
+type Clock = clock.Clock

@@ -44,6 +44,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("readopt_io_requests_total", "I/O requests issued by the engine.", st.Work.IORequests)
 	counter("readopt_pages_touched_total", "Pages touched by scans.", st.Work.Pages)
 	counter("readopt_instructions_total", "Modeled instructions executed by the engine.", st.Work.Instructions)
+	counter("readopt_seq_mem_bytes_total", "Modeled bytes moved by sequential access.", st.Work.SeqMemBytes)
+	counter("readopt_rand_mem_lines_total", "Modeled cache lines moved by random access.", st.Work.RandMemLines)
+	counter("readopt_l1_mem_bytes_total", "Modeled L2-to-L1 bytes moved by the engine.", st.Work.L1MemBytes)
 
 	writeHistogram(&b, "readopt_queue_wait_seconds", "Time queries spent waiting for dispatch.", &view.queueWaitHist)
 	writeHistogram(&b, "readopt_exec_seconds", "Time queries spent executing.", &view.execHist)

@@ -1,0 +1,132 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/readoptdb/readopt"
+	"github.com/readoptdb/readopt/internal/server"
+)
+
+// TestServerSchedulerRaceStress drives the scheduler the way the race
+// detector wants it driven: many goroutines issue overlapping batched
+// queries against one table while other goroutines scrape /metrics and
+// /stats the whole time. The assertions are deliberately limited to
+// invariants that hold under every interleaving (no lost queries, no
+// malformed scrapes); the test's real product is the interleavings it
+// hands to -race in CI.
+func TestServerSchedulerRaceStress(t *testing.T) {
+	tbl := loadOrders(t, 8_000)
+	s := server.New(server.Config{
+		Workers:      4,
+		QueueDepth:   256, // deep enough that admission never sheds the burst
+		GatherWindow: 2 * time.Millisecond,
+	})
+	if err := s.AddTable("orders", tbl); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := readopt.NewClient(ts.URL, ts.Client())
+
+	th, err := tbl.SelectivityThreshold(0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []readopt.Query{
+		{Select: []string{"O_ORDERKEY", "O_TOTALPRICE"},
+			Where: []readopt.Cond{{Column: "O_ORDERDATE", Op: "<", Value: th}}},
+		{GroupBy: []string{"O_ORDERSTATUS"},
+			Aggs: []readopt.Agg{{Func: "count"}, {Func: "avg", Column: "O_TOTALPRICE"}}},
+		{Aggs: []readopt.Agg{{Func: "count"}}},
+		{Select: []string{"O_TOTALPRICE", "O_ORDERKEY"},
+			OrderBy: []readopt.Order{{Column: "O_TOTALPRICE", Desc: true}},
+			Limit:   7},
+	}
+
+	const (
+		queryWorkers = 8
+		iterations   = 6
+		scrapers     = 3
+	)
+	errCh := make(chan error, queryWorkers*iterations)
+	var queriers sync.WaitGroup
+	for w := 0; w < queryWorkers; w++ {
+		w := w
+		queriers.Add(1)
+		go func() {
+			defer queriers.Done()
+			for i := 0; i < iterations; i++ {
+				q := queries[(w+i)%len(queries)]
+				resp, err := client.Query(context.Background(), "orders", q)
+				if err != nil {
+					errCh <- fmt.Errorf("worker %d query %d: %w", w, i, err)
+					return
+				}
+				if resp.BatchSize < 1 {
+					errCh <- fmt.Errorf("worker %d query %d: batch size %d", w, i, resp.BatchSize)
+					return
+				}
+			}
+		}()
+	}
+
+	// Scrapers hammer the observability endpoints until the queriers are
+	// done, so stats aggregation races against query completion.
+	done := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	for g := 0; g < scrapers; g++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := ts.Client().Get(ts.URL + "/metrics")
+				if err != nil {
+					errCh <- fmt.Errorf("metrics scrape: %w", err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errCh <- fmt.Errorf("metrics body: %w", err)
+					return
+				}
+				if !strings.Contains(string(body), "readopt_queries_total") {
+					errCh <- fmt.Errorf("metrics scrape missing counters:\n%s", body)
+					return
+				}
+				if _, err := client.Stats(context.Background()); err != nil {
+					errCh <- fmt.Errorf("stats scrape: %w", err)
+					return
+				}
+			}
+		}()
+	}
+
+	queriers.Wait()
+	close(done)
+	scrapeWG.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	st := s.Stats()
+	if want := int64(queryWorkers * iterations); st.Completed != want {
+		t.Errorf("completed %d of %d queries", st.Completed, want)
+	}
+	if st.Failed != 0 || st.Rejected != 0 {
+		t.Errorf("stress run shed or failed queries: %+v", st)
+	}
+}

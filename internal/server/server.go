@@ -35,6 +35,7 @@ import (
 	"time"
 
 	"github.com/readoptdb/readopt"
+	"github.com/readoptdb/readopt/internal/clock"
 )
 
 // Config tunes the server. The zero value is usable: every field falls
@@ -88,7 +89,7 @@ func (c Config) withDefaults() Config {
 		c.SlowQueryLog = log.Default()
 	}
 	if c.Clock == nil {
-		c.Clock = realClock{}
+		c.Clock = clock.Real{}
 	}
 	return c
 }

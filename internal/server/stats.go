@@ -136,6 +136,7 @@ func (r *statsRecorder) addWorkLocked(work readopt.ScanStats) {
 		Instr:      work.Instructions,
 		SeqBytes:   work.SeqMemBytes,
 		RandLines:  work.RandMemLines,
+		L1Bytes:    work.L1MemBytes,
 		IORequests: work.IORequests,
 		IOBytes:    work.IOBytes,
 		Pages:      work.Pages,
@@ -162,6 +163,7 @@ func (r *statsRecorder) snapshot() readopt.ServerStats {
 			Instructions: r.work.Instr,
 			SeqMemBytes:  r.work.SeqBytes,
 			RandMemLines: r.work.RandLines,
+			L1MemBytes:   r.work.L1Bytes,
 			IORequests:   r.work.IORequests,
 			IOBytes:      r.work.IOBytes,
 			Pages:        r.work.Pages,

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"github.com/readoptdb/readopt/internal/aio"
+	"github.com/readoptdb/readopt/internal/clock"
 	"github.com/readoptdb/readopt/internal/cpumodel"
 	"github.com/readoptdb/readopt/internal/exec"
 	"github.com/readoptdb/readopt/internal/schema"
@@ -44,6 +45,17 @@ type Stage struct {
 	// shared-scan results): its Time does not include the previous
 	// stage's, so exclusive-time rendering must not subtract it.
 	Root bool
+
+	clk clock.Clock
+}
+
+// clock returns the stage's injected clock; a zero-value Stage (one not
+// made by NewStage) times against the real clock.
+func (st *Stage) clock() clock.Clock {
+	if st.clk == nil {
+		return clock.Real{}
+	}
+	return st.clk
 }
 
 // ReaderStats is the slice of aio readers a trace snapshots: both
@@ -59,18 +71,34 @@ type Trace struct {
 	// IO is the merged reader statistics, valid after Finish.
 	IO aio.Stats
 
+	clk      clock.Clock
 	start    time.Time
 	elapsed  time.Duration
 	readers  []ReaderStats
 	finished bool
 }
 
-// New starts a trace; the clock for Elapsed starts now.
-func New() *Trace { return &Trace{start: time.Now()} }
+// New starts a trace against the real clock; the clock for Elapsed
+// starts now.
+func New() *Trace { return NewWithClock(clock.Real{}) }
 
-// NewStage appends a stage to the plan.
+// NewWithClock starts a trace whose stage and elapsed times are read
+// from c, so tests (and the server, which already injects a Clock) can
+// drive trace timings deterministically.
+func NewWithClock(c clock.Clock) *Trace {
+	if c == nil {
+		c = clock.Real{}
+	}
+	return &Trace{clk: c, start: c.Now()}
+}
+
+// Clock returns the trace's injected clock.
+func (t *Trace) Clock() clock.Clock { return t.clk }
+
+// NewStage appends a stage to the plan; the stage times itself against
+// the trace's clock.
 func (t *Trace) NewStage(op, detail string) *Stage {
-	st := &Stage{Op: op, Detail: detail}
+	st := &Stage{Op: op, Detail: detail, clk: t.clk}
 	t.Stages = append(t.Stages, st)
 	return st
 }
@@ -85,6 +113,7 @@ func (t *Trace) AddReader(r ReaderStats) { t.readers = append(t.readers, r) }
 func (t *Trace) Fork() *Trace {
 	return &Trace{
 		Stages:  append([]*Stage(nil), t.Stages...),
+		clk:     t.clk,
 		start:   t.start,
 		readers: t.readers,
 	}
@@ -99,7 +128,7 @@ func (t *Trace) Finish() {
 		return
 	}
 	t.finished = true
-	t.elapsed = time.Since(t.start)
+	t.elapsed = clock.Since(t.clk, t.start)
 	var io aio.Stats
 	for _, r := range t.readers {
 		io.Add(r.Stats())
@@ -115,7 +144,7 @@ func (t *Trace) Elapsed() time.Duration {
 	if t.finished {
 		return t.elapsed
 	}
-	return time.Since(t.start)
+	return clock.Since(t.clk, t.start)
 }
 
 // Total sums the stages' counters: the query's whole accounting, equal
@@ -142,16 +171,22 @@ type stageOp struct {
 func (s *stageOp) Schema() *schema.Schema { return s.op.Schema() }
 
 func (s *stageOp) Open() error {
-	t0 := time.Now()
+	clk := s.st.clock()
+	t0 := clk.Now()
 	err := s.op.Open()
-	s.st.Time += time.Since(t0)
+	s.st.Time += clock.Since(clk, t0)
 	return err
 }
 
+// Next pulls one block through the wrapped operator, charging its wall
+// time and emitted rows to the stage.
+//
+//readopt:hotpath
 func (s *stageOp) Next() (*exec.Block, error) {
-	t0 := time.Now()
+	clk := s.st.clock()
+	t0 := clk.Now()
 	b, err := s.op.Next()
-	s.st.Time += time.Since(t0)
+	s.st.Time += clock.Since(clk, t0)
 	if b != nil {
 		s.st.Blocks++
 		s.st.RowsOut += int64(b.Len())
@@ -160,8 +195,9 @@ func (s *stageOp) Next() (*exec.Block, error) {
 }
 
 func (s *stageOp) Close() error {
-	t0 := time.Now()
+	clk := s.st.clock()
+	t0 := clk.Now()
 	err := s.op.Close()
-	s.st.Time += time.Since(t0)
+	s.st.Time += clock.Since(clk, t0)
 	return err
 }

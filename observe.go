@@ -79,6 +79,7 @@ func scanStatsOf(c cpumodel.Counters) ScanStats {
 		Instructions: c.Instr,
 		SeqMemBytes:  c.SeqBytes,
 		RandMemLines: c.RandLines,
+		L1MemBytes:   c.L1Bytes,
 		IORequests:   c.IORequests,
 		IOBytes:      c.IOBytes,
 		Pages:        c.Pages,

@@ -470,6 +470,7 @@ func (r *Rows) Stats() ScanStats {
 		Instructions: c.Instr,
 		SeqMemBytes:  c.SeqBytes,
 		RandMemLines: c.RandLines,
+		L1MemBytes:   c.L1Bytes,
 		IORequests:   c.IORequests,
 		IOBytes:      c.IOBytes,
 		Pages:        c.Pages,

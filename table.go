@@ -153,8 +153,12 @@ type ScanStats struct {
 	Instructions int64 `json:"instructions"`
 	SeqMemBytes  int64 `json:"seq_mem_bytes"`
 	RandMemLines int64 `json:"rand_mem_lines"`
-	IORequests   int64 `json:"io_requests"`
-	IOBytes      int64 `json:"io_bytes"`
+	// L1MemBytes is the modeled L2-to-L1 traffic (cpumodel's L1Bytes
+	// counter); the tracepool analyzer keeps it from being dropped on
+	// any conversion out of the pool.
+	L1MemBytes int64 `json:"l1_mem_bytes"`
+	IORequests int64 `json:"io_requests"`
+	IOBytes    int64 `json:"io_bytes"`
 	// Pages counts the storage pages the scan crossed.
 	Pages int64 `json:"pages,omitempty"`
 }

@@ -143,6 +143,7 @@ func TestTraceConservation(t *testing.T) {
 				sum.Instructions += st.Work.Instructions
 				sum.SeqMemBytes += st.Work.SeqMemBytes
 				sum.RandMemLines += st.Work.RandMemLines
+				sum.L1MemBytes += st.Work.L1MemBytes
 				sum.IORequests += st.Work.IORequests
 				sum.IOBytes += st.Work.IOBytes
 				sum.Pages += st.Work.Pages
