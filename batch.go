@@ -7,7 +7,7 @@ import (
 	"github.com/readoptdb/readopt/internal/clock"
 	"github.com/readoptdb/readopt/internal/cpumodel"
 	"github.com/readoptdb/readopt/internal/exec"
-	"github.com/readoptdb/readopt/internal/schema"
+	"github.com/readoptdb/readopt/internal/plan"
 	"github.com/readoptdb/readopt/internal/share"
 	"github.com/readoptdb/readopt/internal/trace"
 )
@@ -21,7 +21,7 @@ import (
 // shape Query accepts can join a batch; results match solo execution.
 // The returned result iterators are fully materialized and independent.
 func (t *Table) QueryBatch(queries []Query) ([]*Rows, error) {
-	return t.queryBatch(queries, false)
+	return t.queryBatch(queries, ExecOptions{})
 }
 
 // QueryBatchTraced runs the batch like QueryBatch with per-query
@@ -29,10 +29,20 @@ func (t *Table) QueryBatch(queries []Query) ([]*Rows, error) {
 // stage (the I/O and decode work the whole batch paid once) and
 // continues with that query's own shared-pass and post-pass stages.
 func (t *Table) QueryBatchTraced(queries []Query) ([]*Rows, error) {
-	return t.queryBatch(queries, true)
+	return t.queryBatch(queries, ExecOptions{Trace: true})
 }
 
-func (t *Table) queryBatch(queries []Query, traced bool) ([]*Rows, error) {
+// QueryBatchExec runs the batch with explicit execution options. A Dop
+// above 1 parallelizes the shared scan itself — the one pass every
+// batch member consumes is produced by partitioned workers and
+// concatenated in partition order — so batching and parallelism
+// compose.
+func (t *Table) QueryBatchExec(queries []Query, opts ExecOptions) ([]*Rows, error) {
+	return t.queryBatch(queries, opts)
+}
+
+func (t *Table) queryBatch(queries []Query, opts ExecOptions) ([]*Rows, error) {
+	traced := opts.Trace
 	if len(queries) == 0 {
 		return nil, nil
 	}
@@ -88,22 +98,24 @@ func (t *Table) queryBatch(queries []Query, traced bool) ([]*Rows, error) {
 		proj[i], _ = t.resolve(c)
 	}
 	var counters cpumodel.Counters
-	scanCtr := &counters
 	var btr *trace.Trace
-	var scanStage *trace.Stage
 	if traced {
 		btr = trace.New()
-		scanStage = btr.NewStage("shared-scan",
-			fmt.Sprintf("%s layout, %d queries, %d columns", t.Layout(), len(queries), len(unionCols)))
-		scanStage.RowsIn = t.Rows()
-		scanCtr = &scanStage.Counters
 	}
-	src, err := t.scanOperator(nil, proj, scanCtr, btr)
+	// The shared scan is itself a compiled plan — a bare projection scan,
+	// parallelized across partitions when the batch runs at dop > 1.
+	p, err := plan.Compile(t.t, plan.Spec{Proj: proj, Dop: opts.Dop})
 	if err != nil {
 		return nil, err
 	}
-	if traced {
-		src = trace.Wrap(src, scanStage)
+	src, err := p.Operator(plan.ExecOpts{
+		Counters:   &counters,
+		Trace:      btr,
+		ScanStage:  "shared-scan",
+		ScanDetail: fmt.Sprintf("%s layout, %d queries, %d columns", t.Layout(), len(queries), len(unionCols)),
+	})
+	if err != nil {
+		return nil, err
 	}
 	// Translate each facade query into a share.Query against the shared
 	// schema.
@@ -204,7 +216,15 @@ func (t *Table) queryBatch(queries []Query, traced bool) ([]*Rows, error) {
 			passStages[i].Time = passTime
 			passStages[i].RowsOut = int64(res.NumTuples())
 		}
-		op, err := batchPostPass(res.Schema, res.Tuples, queries[i], &counters, tri)
+		// The post-pass (ORDER BY, LIMIT) is the plan layer's batch
+		// tail: per-query Root stages over the materialized pass result.
+		// ORDER BY + LIMIT fuse into a bounded-heap top-n as in the solo
+		// planner; neither prevents a query from sharing the scan.
+		orderBy := make([]plan.SortSpec, len(queries[i].OrderBy))
+		for k, o := range queries[i].OrderBy {
+			orderBy[k] = plan.SortSpec{Column: o.Column, Desc: o.Desc}
+		}
+		op, err := plan.Post(res.Schema, res.Tuples, orderBy, queries[i].Limit, &counters, tri)
 		if err != nil {
 			return nil, fmt.Errorf("readopt: batch query %d: %w", i, err)
 		}
@@ -212,65 +232,9 @@ func (t *Table) queryBatch(queries []Query, traced bool) ([]*Rows, error) {
 			op.Close()
 			return nil, err
 		}
-		out[i] = &Rows{op: op, sch: op.Schema(), counters: &counters, tr: tri}
+		out[i] = &Rows{op: op, sch: op.Schema(), dop: p.Dop(), counters: &counters, tr: tri}
 	}
 	return out, nil
-}
-
-// batchPostPass wraps one shared-scan result with the query's ORDER BY
-// and LIMIT. Both are per-query concerns that run over the materialized
-// qualifying tuples, so they never prevent a query from sharing the
-// scan; ORDER BY + LIMIT fuse into a bounded-heap top-n as in the solo
-// planner. A non-nil tr gives each post-pass operator its own stage,
-// marked Root: its input is the materialized pass result, not a live
-// pull from the previous stage.
-func batchPostPass(sch *schema.Schema, tuples []byte, q Query, counters *cpumodel.Counters, tr *trace.Trace) (exec.Operator, error) {
-	stage := func(name, detail string) (*cpumodel.Counters, func(exec.Operator) exec.Operator) {
-		if tr == nil {
-			return counters, func(op exec.Operator) exec.Operator { return op }
-		}
-		st := tr.NewStage(name, detail)
-		st.Root = true
-		return &st.Counters, func(op exec.Operator) exec.Operator { return trace.Wrap(op, st) }
-	}
-	var op exec.Operator
-	op, err := exec.NewSliceSource(sch, tuples, 0)
-	if err != nil {
-		return nil, err
-	}
-	if len(q.OrderBy) > 0 {
-		keys := make([]exec.SortKey, len(q.OrderBy))
-		for i, o := range q.OrderBy {
-			attr := sch.AttrIndex(o.Column)
-			if attr < 0 {
-				return nil, fmt.Errorf("readopt: order-by column %q not in result", o.Column)
-			}
-			keys[i] = exec.SortKey{Attr: attr, Desc: o.Desc}
-		}
-		if q.Limit > 0 {
-			ctr, wrap := stage("top-n", fmt.Sprintf("%d keys, limit %d", len(keys), q.Limit))
-			op, err = exec.NewTopN(op, keys, q.Limit, ctr)
-			if err != nil {
-				return nil, err
-			}
-			return wrap(op), nil
-		}
-		ctr, wrap := stage("sort", fmt.Sprintf("%d keys", len(keys)))
-		op, err = exec.NewSort(op, keys, ctr)
-		if err != nil {
-			return nil, err
-		}
-		return wrap(op), nil
-	}
-	if q.Limit > 0 {
-		_, wrap := stage("limit", fmt.Sprintf("limit %d", q.Limit))
-		op, err = exec.NewLimit(op, q.Limit)
-		if err != nil {
-			return nil, err
-		}
-		return wrap(op), nil
-	}
-	return op, nil
 }
 
 // condToPred converts a facade condition to an engine predicate on the

@@ -7,11 +7,15 @@
 //	readoptd -listen :8077 -table orders=/tmp/ord
 //	curl -s localhost:8077/query -d '{"table":"orders","query":{"select":["O_ORDERKEY"],"limit":3}}'
 //	curl -s localhost:8077/query -d '{"table":"orders","trace":true,"query":{"aggs":[{"func":"count"}]}}'
+//	curl -s localhost:8077/query -d '{"table":"orders","dop":4,"query":{"aggs":[{"func":"count"}]}}'
 //	curl -s localhost:8077/stats
 //	curl -s localhost:8077/metrics
 //
 // A request with "trace": true gets a per-query trace in the response:
-// per-stage timings, rows in/out, modeled work and I/O. /metrics serves
+// per-stage timings, rows in/out, modeled work and I/O. A request with
+// "dop": N asks for a morsel-parallel scan; the server clamps it to
+// -max-dop and to the worker slots free at dispatch time, and the
+// response's "dop" reports what actually ran. /metrics serves
 // the aggregate statistics in Prometheus text format, and -slow-query
 // logs any query whose execution time crosses the threshold.
 //
@@ -37,6 +41,7 @@ import (
 func main() {
 	listen := flag.String("listen", ":8077", "address to serve on")
 	workers := flag.Int("workers", 4, "max concurrently executing scans")
+	maxDop := flag.Int("max-dop", 0, "cap on a request's per-query degree of parallelism (0 = same as -workers)")
 	queue := flag.Int("queue", 64, "max queries waiting beyond the executing ones; more are rejected")
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-query deadline")
 	gather := flag.Duration("gather", 0, "pause before each dispatch so concurrent queries coalesce into one shared scan")
@@ -54,6 +59,7 @@ func main() {
 
 	s := server.New(server.Config{
 		Workers:            *workers,
+		MaxDop:             *maxDop,
 		QueueDepth:         *queue,
 		DefaultTimeout:     *timeout,
 		GatherWindow:       *gather,

@@ -1,4 +1,4 @@
-// Command scanbench runs one real scan query against a loaded table and
+// Command scanbench runs one real scan query against loaded tables and
 // reports wall-clock time, throughput, and the engine's work accounting —
 // a benchmarking tool for measuring the performance limit of TPC-H-style
 // selection queries on this machine, in the spirit of the paper's
@@ -6,73 +6,191 @@
 //
 //	dbgen -table orders -layout column -rows 2000000 -dir /tmp/ord
 //	scanbench -dir /tmp/ord -cols 3 -selectivity 0.1
+//
+// With -dops, each table is swept across the listed degrees of
+// parallelism (morsel-driven scans through the plan layer) and the
+// speedup over the dop-1 run is reported; -json writes the sweep as a
+// machine-readable report:
+//
+//	scanbench -dir /tmp/row,/tmp/col,/tmp/pax -dops 1,2,4,8 -json results/BENCH_parallel.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/readoptdb/readopt"
 )
 
-func main() {
-	dir := flag.String("dir", "", "table directory (required)")
-	cols := flag.Int("cols", 1, "number of leading columns to select")
-	selectivity := flag.Float64("selectivity", 0.10, "predicate selectivity on the first column (1 = no predicate)")
-	repeat := flag.Int("repeat", 1, "number of scan repetitions")
-	flag.Parse()
+// runReport is one (table, dop) measurement in the JSON report.
+type runReport struct {
+	Dop          int     `json:"dop"`
+	EffectiveDop int     `json:"effective_dop"`
+	Micros       int64   `json:"micros"`
+	TuplesPerSec float64 `json:"tuples_per_sec"`
+	// Speedup is the dop-1 wall time divided by this run's (1.0 for the
+	// serial run itself).
+	Speedup    float64 `json:"speedup"`
+	Qualifying int64   `json:"qualifying"`
+	IOBytes    int64   `json:"io_bytes"`
+}
 
-	if *dir == "" {
-		fmt.Fprintln(os.Stderr, "scanbench: -dir is required")
-		flag.Usage()
-		os.Exit(2)
-	}
-	tbl, err := readopt.OpenTable(*dir)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "scanbench: %v\n", err)
-		os.Exit(1)
-	}
-	all := tbl.Schema().Columns()
-	if *cols < 1 || *cols > len(all) {
-		fmt.Fprintf(os.Stderr, "scanbench: -cols must be in 1..%d\n", len(all))
-		os.Exit(2)
-	}
-	q := readopt.Query{Select: all[:*cols]}
-	if *selectivity < 1 {
-		th, err := tbl.SelectivityThreshold(*selectivity)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "scanbench: %v\n", err)
-			os.Exit(1)
+// tableReport is one table's sweep in the JSON report.
+type tableReport struct {
+	Table       string         `json:"table"`
+	Layout      readopt.Layout `json:"layout"`
+	Rows        int64          `json:"rows"`
+	DataBytes   int64          `json:"data_bytes"`
+	Cols        int            `json:"cols"`
+	Selectivity float64        `json:"selectivity"`
+	Agg         bool           `json:"agg"`
+	Runs        []runReport    `json:"runs"`
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "scanbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+func parseDops(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		d, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || d < 1 {
+			return nil, fmt.Errorf("bad dop %q", f)
 		}
-		q.Where = []readopt.Cond{{Column: all[0], Op: "<", Value: th}}
+		out = append(out, d)
 	}
+	return out, nil
+}
 
-	fmt.Printf("table %s (%s layout, %d rows, %d data bytes)\n",
-		tbl.Schema().Name(), tbl.Layout(), tbl.Rows(), tbl.DataBytes())
-	fmt.Printf("query: select %d cols, selectivity %.4f\n", *cols, *selectivity)
-
-	for i := 0; i < *repeat; i++ {
+// bench runs q against tbl at the given dop, repeat times, and returns
+// the best run.
+func bench(tbl *readopt.Table, q readopt.Query, dop, repeat int) (runReport, error) {
+	best := runReport{Dop: dop, Micros: 1<<63 - 1}
+	for i := 0; i < repeat; i++ {
 		start := time.Now()
-		rows, err := tbl.Query(q)
+		rows, err := tbl.QueryExec(q, readopt.ExecOptions{Dop: dop})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "scanbench: %v\n", err)
-			os.Exit(1)
+			return best, err
 		}
 		var n int64
 		for rows.Next() {
 			n++
 		}
 		if err := rows.Err(); err != nil {
-			fmt.Fprintf(os.Stderr, "scanbench: %v\n", err)
-			os.Exit(1)
+			rows.Close()
+			return best, err
 		}
 		elapsed := time.Since(start)
 		stats := rows.Stats()
+		eff := rows.Dop()
 		rows.Close()
-		rate := float64(tbl.Rows()) / elapsed.Seconds()
-		fmt.Printf("run %d: %v, %.0f tuples/sec, %d qualifying, io %d bytes in %d requests, %d modelled instructions\n",
-			i+1, elapsed.Round(time.Millisecond), rate, n, stats.IOBytes, stats.IORequests, stats.Instructions)
+		if us := elapsed.Microseconds(); us < best.Micros {
+			best.Micros = us
+			best.EffectiveDop = eff
+			best.TuplesPerSec = float64(tbl.Rows()) / elapsed.Seconds()
+			best.Qualifying = n
+			best.IOBytes = stats.IOBytes
+		}
+	}
+	return best, nil
+}
+
+func main() {
+	dirs := flag.String("dir", "", "table directory, or comma-separated list of directories (required)")
+	cols := flag.Int("cols", 1, "number of leading columns to select")
+	selectivity := flag.Float64("selectivity", 0.10, "predicate selectivity on the first column (1 = no predicate)")
+	repeat := flag.Int("repeat", 1, "number of scan repetitions per dop (best run is reported)")
+	dops := flag.String("dops", "1", "comma-separated degrees of parallelism to sweep")
+	agg := flag.Bool("agg", false, "aggregate (count + sum of the first column) instead of projecting — exercises the partial-agg/merge path, where parallel workers exchange tiny states instead of result blocks")
+	jsonPath := flag.String("json", "", "write the sweep report as JSON to this path")
+	flag.Parse()
+
+	if *dirs == "" {
+		fmt.Fprintln(os.Stderr, "scanbench: -dir is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	sweep, err := parseDops(*dops)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	var reports []tableReport
+	for _, dir := range strings.Split(*dirs, ",") {
+		dir = strings.TrimSpace(dir)
+		tbl, err := readopt.OpenTable(dir)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		all := tbl.Schema().Columns()
+		if *cols < 1 || *cols > len(all) {
+			fatalf("-cols must be in 1..%d", len(all))
+		}
+		var q readopt.Query
+		if *agg {
+			q.Aggs = []readopt.Agg{{Func: "count"}, {Func: "sum", Column: all[0]}}
+		} else {
+			q.Select = all[:*cols]
+		}
+		if *selectivity < 1 {
+			th, err := tbl.SelectivityThreshold(*selectivity)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			q.Where = []readopt.Cond{{Column: all[0], Op: "<", Value: th}}
+		}
+
+		fmt.Printf("table %s (%s layout, %d rows, %d data bytes)\n",
+			tbl.Schema().Name(), tbl.Layout(), tbl.Rows(), tbl.DataBytes())
+		if *agg {
+			fmt.Printf("query: count + sum(%s), selectivity %.4f\n", all[0], *selectivity)
+		} else {
+			fmt.Printf("query: select %d cols, selectivity %.4f\n", *cols, *selectivity)
+		}
+
+		rep := tableReport{
+			Table:       tbl.Schema().Name(),
+			Layout:      tbl.Layout(),
+			Rows:        tbl.Rows(),
+			DataBytes:   tbl.DataBytes(),
+			Cols:        *cols,
+			Selectivity: *selectivity,
+			Agg:         *agg,
+		}
+		var serialMicros int64
+		for _, dop := range sweep {
+			r, err := bench(tbl, q, dop, *repeat)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if dop == 1 {
+				serialMicros = r.Micros
+			}
+			if serialMicros > 0 {
+				r.Speedup = float64(serialMicros) / float64(r.Micros)
+			}
+			rep.Runs = append(rep.Runs, r)
+			fmt.Printf("dop %d (effective %d): %v, %.0f tuples/sec, speedup %.2fx, %d qualifying, io %d bytes\n",
+				dop, r.EffectiveDop, time.Duration(r.Micros)*time.Microsecond, r.TuplesPerSec, r.Speedup, r.Qualifying, r.IOBytes)
+		}
+		reports = append(reports, rep)
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(reports, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(data, '\n'), 0o644); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
 	}
 }

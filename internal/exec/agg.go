@@ -84,6 +84,14 @@ func aggOutputSchema(in *schema.Schema, groupBy []int, aggs []AggSpec) (*schema.
 	return schema.New(in.Name+"/agg", attrs)
 }
 
+// AggOutputSchema returns the result schema an aggregation over in
+// produces: the group-by attributes followed by one int32 per aggregate,
+// named like "SUM(O_TOTALPRICE)" or "COUNT(*)". The planner resolves
+// ORDER BY columns against it before building operators.
+func AggOutputSchema(in *schema.Schema, groupBy []int, aggs []AggSpec) (*schema.Schema, error) {
+	return aggOutputSchema(in, groupBy, aggs)
+}
+
 // groupKeyWidth returns the concatenated width of the group-by attributes.
 func groupKeyWidth(in *schema.Schema, groupBy []int) int {
 	w := 0

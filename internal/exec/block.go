@@ -91,6 +91,22 @@ func (b *Block) Alloc() []byte {
 	return t
 }
 
+// CopyFrom replaces the block's contents with a copy of src's tuples.
+// It panics when src holds more tuples than the block's capacity;
+// callers size transfer blocks to their producers' block size. The
+// exchange operator uses it to hand blocks across goroutines without
+// aliasing a producer's reused buffer.
+//
+//readopt:hotpath
+func (b *Block) CopyFrom(src *Block) {
+	if src.n > b.Cap() {
+		panic("exec: CopyFrom overflows block capacity")
+	}
+	assertBlockLen(src)
+	b.n = src.n
+	copy(b.data, src.data[:src.n*src.width])
+}
+
 // Truncate shrinks the block to n tuples (compaction after filtering).
 func (b *Block) Truncate(n int) {
 	if n < 0 || n > b.n {

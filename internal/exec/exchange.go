@@ -1,0 +1,215 @@
+package exec
+
+import (
+	"errors"
+	"sync"
+
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// errExchangeSchema is returned when an exchange's children disagree on
+// their output tuples.
+var errExchangeSchema = errors.New("exec: exchange children have mismatched schemas")
+
+// Exchange concatenates the streams of several children in child order —
+// the plan layer's parallelism point. Each child is drained by its own
+// goroutine into a bounded queue of transfer blocks, so partitioned
+// scans overlap while the consumer still sees a deterministic,
+// partition-ordered stream, and memory stays bounded at
+// children × (depth+1) blocks instead of materialized partitions.
+//
+// The consumer (Next/Close) must be a single goroutine, as for every
+// Operator. Close cancels the producers and waits for them, so the
+// children's work accounting is final when it returns.
+type Exchange struct {
+	children []Operator
+	sch      *schema.Schema
+	blockCap int
+	depth    int
+
+	queues    []exchQueue
+	closeErrs []error
+	cur       int
+	pending   *Block // block handed out by the previous Next, recycled on the next
+	pendingQ  int
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	opened    bool
+	stopped   bool
+	closed    bool
+}
+
+type exchItem struct {
+	blk *Block
+	err error
+}
+
+type exchQueue struct {
+	out  chan exchItem
+	free chan *Block
+}
+
+// NewExchange builds an exchange over children. blockCap is the
+// transfer-block capacity in tuples (it must cover the children's block
+// size; 0 means DefaultBlockTuples) and depth is the per-child queue
+// depth (0 means 4).
+func NewExchange(children []Operator, blockCap, depth int) (*Exchange, error) {
+	if len(children) == 0 {
+		return nil, errors.New("exec: exchange needs at least one child")
+	}
+	if blockCap <= 0 {
+		blockCap = DefaultBlockTuples
+	}
+	if depth <= 0 {
+		depth = 4
+	}
+	sch := children[0].Schema()
+	for _, c := range children[1:] {
+		if c.Schema().Width() != sch.Width() || c.Schema().NumAttrs() != sch.NumAttrs() {
+			return nil, errExchangeSchema
+		}
+	}
+	return &Exchange{children: children, sch: sch, blockCap: blockCap, depth: depth}, nil
+}
+
+// Schema implements Operator.
+func (e *Exchange) Schema() *schema.Schema { return e.sch }
+
+// Open starts one producer goroutine per child. It does not wait for
+// data: the partitions stream.
+func (e *Exchange) Open() error {
+	e.queues = make([]exchQueue, len(e.children))
+	e.closeErrs = make([]error, len(e.children))
+	e.stop = make(chan struct{})
+	e.cur = 0
+	e.pending = nil
+	e.stopped = false
+	e.closed = false
+	for i := range e.queues {
+		e.queues[i] = exchQueue{
+			out:  make(chan exchItem, e.depth),
+			free: make(chan *Block, e.depth+1),
+		}
+		for b := 0; b < e.depth+1; b++ {
+			e.queues[i].free <- NewBlock(e.sch, e.blockCap)
+		}
+	}
+	e.opened = true
+	for i := range e.children {
+		e.wg.Add(1)
+		go e.produce(i)
+	}
+	return nil
+}
+
+// produce drains child i into its queue, copying each block into a
+// transfer block from the free list. It owns the child's Close, so the
+// child's counters are final before the queue closes.
+func (e *Exchange) produce(i int) {
+	defer e.wg.Done()
+	c := e.children[i]
+	q := &e.queues[i]
+	defer close(q.out)
+	if err := c.Open(); err != nil {
+		e.send(q, exchItem{err: err})
+		e.closeErrs[i] = c.Close()
+		return
+	}
+	for {
+		b, err := c.Next()
+		if err != nil {
+			e.send(q, exchItem{err: err})
+			break
+		}
+		if b == nil {
+			break
+		}
+		var t *Block
+		select {
+		case t = <-q.free:
+		case <-e.stop:
+			e.closeErrs[i] = c.Close()
+			return
+		}
+		t.CopyFrom(b)
+		if !e.send(q, exchItem{blk: t}) {
+			e.closeErrs[i] = c.Close()
+			return
+		}
+	}
+	e.closeErrs[i] = c.Close()
+}
+
+// send delivers an item unless the exchange is being closed.
+func (e *Exchange) send(q *exchQueue, it exchItem) bool {
+	select {
+	case q.out <- it:
+		return true
+	case <-e.stop:
+		return false
+	}
+}
+
+// Next returns the next block, draining the children in child order so
+// the concatenation is deterministic. The block is valid until the
+// following Next or Close (it is recycled to its producer then).
+//
+//readopt:hotpath
+func (e *Exchange) Next() (*Block, error) {
+	if !e.opened {
+		return nil, errNextBeforeOpen
+	}
+	if e.pending != nil {
+		// Hand the previously returned block back to its producer; the
+		// free list's capacity covers every block, so this never blocks.
+		e.queues[e.pendingQ].free <- e.pending
+		e.pending = nil
+	}
+	for e.cur < len(e.queues) {
+		it, ok := <-e.queues[e.cur].out
+		if !ok {
+			e.cur++
+			continue
+		}
+		if it.err != nil {
+			return nil, it.err
+		}
+		e.pending = it.blk
+		e.pendingQ = e.cur
+		return it.blk, nil
+	}
+	return nil, nil
+}
+
+// Close cancels the producers, waits for them to finish closing their
+// children, and reports the first child Close error. An exchange that
+// was never opened closes its children directly (they may hold open
+// readers from plan construction).
+func (e *Exchange) Close() error {
+	if e.closed {
+		return nil
+	}
+	e.closed = true
+	if !e.opened {
+		var first error
+		for _, c := range e.children {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	if !e.stopped {
+		e.stopped = true
+		close(e.stop)
+	}
+	e.wg.Wait()
+	e.opened = false
+	var first error
+	for _, err := range e.closeErrs {
+		if err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,289 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// Parallel aggregation splits the engine's hash aggregation into two
+// operators: every worker runs a PartialAgg over its partition and ships
+// per-group accumulator states, and one AggMerge above the exchange
+// folds the states and emits final tuples. Because both sides share
+// aggState and its emit routine with HashAggregate, the merged result is
+// byte-identical to a serial hash aggregation of the same input — the
+// same int32 truncation, the same truncating Avg division, the same
+// sorted-key emission order.
+//
+// A state tuple is one fixed-width value: the group key bytes, the
+// group's 64-bit row count, then {sum int64, min int32, max int32} per
+// aggregate, all little-endian.
+const (
+	stateCountBytes  = 8
+	statePerAggBytes = 16
+)
+
+// PartialStateSchema returns the single-column transport schema for
+// partial-aggregation states over in, validating groupBy and aggs
+// exactly as a full aggregation would.
+func PartialStateSchema(in *schema.Schema, groupBy []int, aggs []AggSpec) (*schema.Schema, error) {
+	if _, err := aggOutputSchema(in, groupBy, aggs); err != nil {
+		return nil, err
+	}
+	w := groupKeyWidth(in, groupBy) + stateCountBytes + statePerAggBytes*len(aggs)
+	return schema.New(in.Name+"/partial", []schema.Attribute{
+		{Name: "__AGG_STATE", Type: schema.TextType(w)},
+	})
+}
+
+// encodeState writes one group's accumulator into dst.
+func encodeState(dst []byte, st *aggState, keyW int, aggs []AggSpec) {
+	copy(dst[:keyW], st.key)
+	binary.LittleEndian.PutUint64(dst[keyW:], uint64(st.count))
+	off := keyW + stateCountBytes
+	for i := range aggs {
+		binary.LittleEndian.PutUint64(dst[off:], uint64(st.sums[i]))
+		binary.LittleEndian.PutUint32(dst[off+8:], uint32(st.mins[i]))
+		binary.LittleEndian.PutUint32(dst[off+12:], uint32(st.maxs[i]))
+		off += statePerAggBytes
+	}
+}
+
+// PartialAgg is the worker half of a parallel aggregation: a hash
+// aggregation over its child that emits accumulator states instead of
+// final values, in sorted key order.
+type PartialAgg struct {
+	child    Operator
+	groupBy  []int
+	aggs     []AggSpec
+	out      *schema.Schema
+	keyW     int
+	counters *cpumodel.Counters
+	costs    cpumodel.Costs
+
+	groups  map[string]*aggState
+	ordered []*aggState
+	emitPos int
+	block   *Block
+	opened  bool
+}
+
+// NewPartialAgg builds the worker half of a parallel aggregation over
+// child. counters may be nil.
+func NewPartialAgg(child Operator, groupBy []int, aggs []AggSpec, counters *cpumodel.Counters) (*PartialAgg, error) {
+	out, err := PartialStateSchema(child.Schema(), groupBy, aggs)
+	if err != nil {
+		return nil, err
+	}
+	return &PartialAgg{
+		child: child, groupBy: groupBy, aggs: aggs, out: out,
+		keyW:     groupKeyWidth(child.Schema(), groupBy),
+		counters: counters, costs: cpumodel.DefaultCosts(),
+		block: NewBlock(out, DefaultBlockTuples),
+	}, nil
+}
+
+// Schema implements Operator.
+func (p *PartialAgg) Schema() *schema.Schema { return p.out }
+
+// Open drains the child and builds this worker's groups, charging the
+// same per-tuple probe and update work as HashAggregate.
+func (p *PartialAgg) Open() error {
+	if err := p.child.Open(); err != nil {
+		return err
+	}
+	in := p.child.Schema()
+	p.groups = make(map[string]*aggState)
+	keyBuf := make([]byte, 0, p.keyW)
+	for {
+		b, err := p.child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.Len(); i++ {
+			t := b.Tuple(i)
+			keyBuf = extractKey(in, p.groupBy, t, keyBuf)
+			p.counters.AddInstr(p.costs.GroupProbe + p.costs.AggUpdate)
+			st, ok := p.groups[string(keyBuf)]
+			if !ok {
+				st = newAggState(p.keyW, p.aggs)
+				copy(st.key, keyBuf)
+				p.groups[string(keyBuf)] = st
+			}
+			st.update(in, p.aggs, t)
+		}
+	}
+	p.ordered = p.ordered[:0]
+	keys := make([]string, 0, len(p.groups))
+	for k := range p.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		p.ordered = append(p.ordered, p.groups[k])
+	}
+	p.emitPos = 0
+	p.opened = true
+	return nil
+}
+
+// Next implements Operator, emitting encoded states.
+//
+//readopt:hotpath
+func (p *PartialAgg) Next() (*Block, error) {
+	if !p.opened {
+		return nil, errNextBeforeOpen
+	}
+	if p.emitPos >= len(p.ordered) {
+		return nil, nil
+	}
+	p.block.Reset()
+	for p.emitPos < len(p.ordered) && !p.block.Full() {
+		encodeState(p.block.Alloc(), p.ordered[p.emitPos], p.keyW, p.aggs)
+		p.emitPos++
+	}
+	p.counters.AddInstr(p.costs.BlockOverhead)
+	return p.block, nil
+}
+
+// Close implements Operator.
+func (p *PartialAgg) Close() error {
+	p.groups = nil
+	p.ordered = nil
+	p.opened = false
+	return p.child.Close()
+}
+
+// AggMerge is the serial half of a parallel aggregation: it folds the
+// accumulator states PartialAgg workers emit (delivered through an
+// exchange) and produces the final aggregate tuples — byte-identical to
+// a serial HashAggregate over the same input.
+type AggMerge struct {
+	child    Operator // stream of __AGG_STATE tuples
+	in       *schema.Schema
+	groupBy  []int
+	aggs     []AggSpec
+	out      *schema.Schema
+	keyW     int
+	counters *cpumodel.Counters
+	costs    cpumodel.Costs
+
+	groups  map[string]*aggState
+	ordered []*aggState
+	emitPos int
+	block   *Block
+	opened  bool
+}
+
+// NewAggMerge builds the merge over child, a stream of state tuples for
+// an aggregation of groupBy/aggs over the pre-aggregation schema in.
+// counters may be nil.
+func NewAggMerge(child Operator, in *schema.Schema, groupBy []int, aggs []AggSpec, counters *cpumodel.Counters) (*AggMerge, error) {
+	out, err := aggOutputSchema(in, groupBy, aggs)
+	if err != nil {
+		return nil, err
+	}
+	keyW := groupKeyWidth(in, groupBy)
+	wantW := keyW + stateCountBytes + statePerAggBytes*len(aggs)
+	if got := child.Schema().Width(); got != wantW {
+		return nil, fmt.Errorf("exec: AggMerge input width %d, want %d-byte states", got, wantW)
+	}
+	return &AggMerge{
+		child: child, in: in, groupBy: groupBy, aggs: aggs, out: out,
+		keyW: keyW, counters: counters, costs: cpumodel.DefaultCosts(),
+		block: NewBlock(out, DefaultBlockTuples),
+	}, nil
+}
+
+// Schema implements Operator.
+func (m *AggMerge) Schema() *schema.Schema { return m.out }
+
+// Open drains the child and folds every state into its group.
+func (m *AggMerge) Open() error {
+	if err := m.child.Open(); err != nil {
+		return err
+	}
+	m.groups = make(map[string]*aggState)
+	for {
+		b, err := m.child.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.Len(); i++ {
+			m.counters.AddInstr(m.costs.GroupProbe + m.costs.AggUpdate)
+			m.fold(b.Tuple(i))
+		}
+	}
+	m.ordered = m.ordered[:0]
+	keys := make([]string, 0, len(m.groups))
+	for k := range m.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		m.ordered = append(m.ordered, m.groups[k])
+	}
+	m.emitPos = 0
+	m.opened = true
+	return nil
+}
+
+// fold merges one encoded state into the group table.
+func (m *AggMerge) fold(state []byte) {
+	key := state[:m.keyW]
+	st, ok := m.groups[string(key)]
+	if !ok {
+		st = newAggState(m.keyW, m.aggs)
+		copy(st.key, key)
+		m.groups[string(key)] = st
+	}
+	st.count += int64(binary.LittleEndian.Uint64(state[m.keyW:]))
+	off := m.keyW + stateCountBytes
+	for i := range m.aggs {
+		st.sums[i] += int64(binary.LittleEndian.Uint64(state[off:]))
+		if v := int32(binary.LittleEndian.Uint32(state[off+8:])); v < st.mins[i] {
+			st.mins[i] = v
+		}
+		if v := int32(binary.LittleEndian.Uint32(state[off+12:])); v > st.maxs[i] {
+			st.maxs[i] = v
+		}
+		off += statePerAggBytes
+	}
+}
+
+// Next implements Operator, emitting final tuples exactly as
+// HashAggregate does.
+//
+//readopt:hotpath
+func (m *AggMerge) Next() (*Block, error) {
+	if !m.opened {
+		return nil, errNextBeforeOpen
+	}
+	if m.emitPos >= len(m.ordered) {
+		return nil, nil
+	}
+	m.block.Reset()
+	for m.emitPos < len(m.ordered) && !m.block.Full() {
+		m.ordered[m.emitPos].emit(m.out, len(m.groupBy), m.aggs, m.block.Alloc())
+		m.emitPos++
+	}
+	m.counters.AddInstr(m.costs.BlockOverhead)
+	return m.block, nil
+}
+
+// Close implements Operator.
+func (m *AggMerge) Close() error {
+	m.groups = nil
+	m.ordered = nil
+	m.opened = false
+	return m.child.Close()
+}

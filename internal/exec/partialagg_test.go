@@ -1,0 +1,205 @@
+package exec
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+)
+
+// partialChain builds PartialAgg per partition, an Exchange over them,
+// and an AggMerge on top — the parallel aggregation shape the plan
+// layer compiles. As in the plan layer, every concurrent worker charges
+// its own counters pool; only the merge above the exchange shares ctr.
+func partialChain(t *testing.T, parts [][]byte, groupBy []int, aggs []AggSpec, ctr *cpumodel.Counters) Operator {
+	t.Helper()
+	s := pairSchema("T")
+	workerCtrs := make([]cpumodel.Counters, len(parts))
+	children := make([]Operator, len(parts))
+	for i, p := range parts {
+		src, err := NewSliceSource(s, p, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pa, err := NewPartialAgg(src, groupBy, aggs, &workerCtrs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		children[i] = pa
+	}
+	ex, err := NewExchange(children, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewAggMerge(ex, s, groupBy, aggs, ctr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestPartialAggMergeMatchesHashAggregate: splitting the input into
+// partitions, partially aggregating each, and merging the partial
+// states produces byte-identical output to one serial HashAggregate —
+// including the serial path's int32 truncation and sorted group order.
+func TestPartialAggMergeMatchesHashAggregate(t *testing.T) {
+	s := pairSchema("T")
+	all := pairs(s,
+		3, 10, 1, 5, 2, 7, 1, 6, 3, -4, 2, 0,
+		1, 1000, 3, 2, 2, 9, 1, 3, 1, 8, 3, 11)
+	w := s.Width()
+	cases := []struct {
+		name    string
+		groupBy []int
+		aggs    []AggSpec
+	}{
+		{"grouped", []int{0}, []AggSpec{
+			{Func: Count}, {Func: Sum, Attr: 1}, {Func: Min, Attr: 1}, {Func: Max, Attr: 1}, {Func: Avg, Attr: 1}}},
+		{"global", nil, []AggSpec{{Func: Count}, {Func: Sum, Attr: 1}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			src, err := NewSliceSource(s, all, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var serialCtr cpumodel.Counters
+			serial, err := NewHashAggregate(src, tc.groupBy, tc.aggs, &serialCtr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Collect(serial)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Three uneven partitions, including row counts that do not
+			// divide the block size.
+			parts := [][]byte{all[:3*w], all[3*w : 4*w], all[4*w:]}
+			var ctr cpumodel.Counters
+			got, err := Collect(partialChain(t, parts, tc.groupBy, tc.aggs, &ctr))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("partial+merge != serial: %d vs %d bytes", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestPartialAggMergeEmptyInput: zero input rows produce zero output
+// rows through the partial path, matching the serial aggregate.
+func TestPartialAggMergeEmptyInput(t *testing.T) {
+	var ctr cpumodel.Counters
+	got, err := Collect(partialChain(t, [][]byte{nil, nil}, nil, []AggSpec{{Func: Count}}, &ctr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty input produced %d bytes", len(got))
+	}
+}
+
+// TestAggMergeRejectsWrongWidth: AggMerge refuses a child whose schema
+// is not the partial-state transport for its spec.
+func TestAggMergeRejectsWrongWidth(t *testing.T) {
+	s := pairSchema("T")
+	src, err := NewSliceSource(s, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ctr cpumodel.Counters
+	if _, err := NewAggMerge(src, s, []int{0}, []AggSpec{{Func: Count}}, &ctr); err == nil {
+		t.Error("AggMerge accepted a non-state child schema")
+	}
+}
+
+// TestExchangeConcatsInPartitionOrder: the exchange returns its
+// children's blocks in child order, byte-identical to sequential
+// drains, regardless of producer interleaving.
+func TestExchangeConcatsInPartitionOrder(t *testing.T) {
+	s := pairSchema("T")
+	var parts [][]byte
+	var want []byte
+	for p := int32(0); p < 4; p++ {
+		var kv []int32
+		for i := int32(0); i < 40+p*13; i++ {
+			kv = append(kv, p*1000+i, i)
+		}
+		buf := pairs(s, kv...)
+		parts = append(parts, buf)
+		want = append(want, buf...)
+	}
+	children := make([]Operator, len(parts))
+	for i, p := range parts {
+		src, err := NewSliceSource(s, p, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		children[i] = src
+	}
+	ex, err := NewExchange(children, 9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Collect(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("exchange output differs: %d vs %d bytes", len(got), len(want))
+	}
+}
+
+// TestExchangeEarlyClose: closing an exchange before draining it (a
+// LIMIT above the exchange does this) stops the producers cleanly.
+func TestExchangeEarlyClose(t *testing.T) {
+	s := pairSchema("T")
+	var kv []int32
+	for i := int32(0); i < 500; i++ {
+		kv = append(kv, i, i)
+	}
+	buf := pairs(s, kv...)
+	children := make([]Operator, 3)
+	for i := range children {
+		src, err := NewSliceSource(s, buf, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		children[i] = src
+	}
+	ex, err := NewExchange(children, 11, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Open(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ex.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Close again is a no-op.
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExchangeCloseWithoutOpen: an exchange that was never opened still
+// closes its children (which may hold live readers).
+func TestExchangeCloseWithoutOpen(t *testing.T) {
+	s := pairSchema("T")
+	src, err := NewSliceSource(s, pairs(s, 1, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex, err := NewExchange([]Operator{src}, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ex.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,45 @@
+package plan
+
+import (
+	"github.com/readoptdb/readopt/internal/page"
+	"github.com/readoptdb/readopt/internal/store"
+)
+
+// PartitionBounds splits [0, total) into ascending row boundaries for a
+// partitioned scan: at most dop ranges, every range non-empty, aligned
+// so single-file layouts split at page boundaries (column layouts align
+// per column inside the range scanners, so their bounds are row-exact).
+//
+// Degenerate inputs degrade to serial instead of to empty workers: a
+// zero-row table, dop <= 1, or a table smaller than two aligned
+// partitions all return nil, which callers treat as "run serial".
+func PartitionBounds(tbl *store.Table, total int64, dop int) []int64 {
+	if total <= 0 || dop <= 1 {
+		return nil
+	}
+	align := int64(1)
+	if tbl.Layout == store.Row || tbl.Layout == store.PAX {
+		align = int64(page.RowGeometry(tbl.Schema, tbl.PageSize).Capacity())
+		if align < 1 {
+			align = 1
+		}
+	}
+	// Partition size: rows per worker, rounded up to the alignment. The
+	// rounding keeps ranges page-aligned and, because per >= the exact
+	// share, the range count never exceeds dop; because the loop stops
+	// strictly before total, no range is empty.
+	per := (total + int64(dop) - 1) / int64(dop)
+	per = (per + align - 1) / align * align
+	if per < align {
+		per = align
+	}
+	bounds := []int64{0}
+	for cur := per; cur < total; cur += per {
+		bounds = append(bounds, cur)
+	}
+	bounds = append(bounds, total)
+	if len(bounds) < 3 {
+		return nil // one range: serial execution
+	}
+	return bounds
+}

@@ -1,0 +1,69 @@
+package plan
+
+import (
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/page"
+	"github.com/readoptdb/readopt/internal/schema"
+	"github.com/readoptdb/readopt/internal/store"
+)
+
+func boundsTable(layout store.Layout) *store.Table {
+	sch := schema.MustNew("B", []schema.Attribute{
+		{Name: "K", Type: schema.IntType},
+		{Name: "PAD", Type: schema.TextType(25)},
+	})
+	return &store.Table{Schema: sch, Layout: layout, PageSize: page.DefaultSize}
+}
+
+// TestPartitionBoundsProperty: over a grid of degenerate and ordinary
+// (total, dop) inputs, PartitionBounds either degrades to serial (nil)
+// or returns bounds that start at 0, end at total, strictly increase
+// (no empty range), split at page-aligned interior points for
+// single-file layouts, and never exceed dop ranges.
+func TestPartitionBoundsProperty(t *testing.T) {
+	for _, layout := range []store.Layout{store.Row, store.Column, store.PAX} {
+		tbl := boundsTable(layout)
+		align := int64(1)
+		if layout == store.Row || layout == store.PAX {
+			align = int64(page.RowGeometry(tbl.Schema, tbl.PageSize).Capacity())
+			if align < 2 {
+				t.Fatalf("degenerate page capacity %d", align)
+			}
+		}
+		totals := []int64{-5, 0, 1, 2, align - 1, align, align + 1,
+			3*align - 1, 1000, 4321, 100_000}
+		dops := []int{-1, 0, 1, 2, 3, 5, 8, 33, 1 << 20}
+		for _, total := range totals {
+			for _, dop := range dops {
+				bounds := PartitionBounds(tbl, total, dop)
+				if total <= 0 || dop <= 1 {
+					if bounds != nil {
+						t.Fatalf("%s total=%d dop=%d: degenerate input got bounds %v", layout, total, dop, bounds)
+					}
+					continue
+				}
+				if bounds == nil {
+					continue // one range: serial execution
+				}
+				if len(bounds) < 3 {
+					t.Fatalf("%s total=%d dop=%d: non-nil bounds with %d entries", layout, total, dop, len(bounds))
+				}
+				if bounds[0] != 0 || bounds[len(bounds)-1] != total {
+					t.Fatalf("%s total=%d dop=%d: bounds %v do not cover [0, total)", layout, total, dop, bounds)
+				}
+				if got := len(bounds) - 1; got > dop {
+					t.Fatalf("%s total=%d dop=%d: %d ranges exceed dop", layout, total, dop, got)
+				}
+				for i := 1; i < len(bounds); i++ {
+					if bounds[i] <= bounds[i-1] {
+						t.Fatalf("%s total=%d dop=%d: empty or descending range in %v", layout, total, dop, bounds)
+					}
+					if i < len(bounds)-1 && bounds[i]%align != 0 {
+						t.Fatalf("%s total=%d dop=%d: interior bound %d not aligned to %d", layout, total, dop, bounds[i], align)
+					}
+				}
+			}
+		}
+	}
+}

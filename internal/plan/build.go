@@ -1,0 +1,254 @@
+package plan
+
+import (
+	"fmt"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/schema"
+	"github.com/readoptdb/readopt/internal/trace"
+)
+
+// exchangeDepth is the per-worker queue depth of the parallel plan's
+// exchange: enough to keep workers streaming ahead of the consumer,
+// small enough that a plan's buffered memory stays bounded at
+// dop × (depth+1) blocks.
+const exchangeDepth = 4
+
+// Operator instantiates the compiled plan as an operator tree. Serial
+// plans build exactly the tree the engine has always run; parallel
+// plans build one worker chain per partition under an exchange.
+func (p *Plan) Operator(o ExecOpts) (exec.Operator, error) {
+	name := o.ScanStage
+	if name == "" {
+		name = "scan"
+	}
+	if n := p.Dop(); n > 1 {
+		return p.parallelOperator(o, name, n)
+	}
+	return p.serialOperator(o, name)
+}
+
+// scanDetail renders the scan stage's detail line.
+func (p *Plan) scanDetail(o ExecOpts) string {
+	if o.ScanDetail != "" {
+		return o.ScanDetail
+	}
+	return fmt.Sprintf("%s layout, %d columns, %d predicates", p.tbl.Layout, len(p.spec.Proj), len(p.spec.Preds))
+}
+
+// stage hands an operator its counters pool and decorator: the
+// query-wide pool and the identity when untraced, a per-stage pool and
+// the timing wrapper when traced.
+func stage(o ExecOpts, name, detail string) (*cpumodel.Counters, func(exec.Operator) exec.Operator) {
+	if o.Trace == nil {
+		return o.Counters, func(op exec.Operator) exec.Operator { return op }
+	}
+	st := o.Trace.NewStage(name, detail)
+	return &st.Counters, func(op exec.Operator) exec.Operator { return trace.Wrap(op, st) }
+}
+
+// serialOperator builds the single-chain plan.
+func (p *Plan) serialOperator(o ExecOpts, stageName string) (exec.Operator, error) {
+	ctr := o.Counters
+	var scanStage *trace.Stage
+	if o.Trace != nil {
+		scanStage = o.Trace.NewStage(stageName, p.scanDetail(o))
+		scanStage.RowsIn = p.tbl.Tuples
+		ctr = &scanStage.Counters
+	}
+	op, err := p.scanOperator(ctr, o.Trace)
+	if err != nil {
+		return nil, err
+	}
+	if o.Trace != nil {
+		op = trace.Wrap(op, scanStage)
+	}
+	if len(p.spec.Aggs) > 0 {
+		ctr, wrap := stage(o, "hash-agg", fmt.Sprintf("%d group-by keys, %d aggregates", len(p.spec.GroupBy), len(p.spec.Aggs)))
+		agg, err := exec.NewHashAggregate(op, p.spec.GroupBy, p.spec.Aggs, ctr)
+		if err != nil {
+			op.Close()
+			return nil, err
+		}
+		op = wrap(agg)
+	}
+	return p.orderAndLimit(op, o)
+}
+
+// parallelOperator builds the morsel-driven plan: n worker chains (a
+// range-bounded scan, plus a partial aggregation when the plan
+// aggregates) concatenated by a bounded exchange in partition order,
+// then the serial tail (aggregate merge, sort/top-n, limit).
+func (p *Plan) parallelOperator(o ExecOpts, stageName string, n int) (exec.Operator, error) {
+	traced := o.Trace != nil
+	aggregated := len(p.spec.Aggs) > 0
+
+	// Plan stages are appended now, in plan order; the workers' own
+	// stages stay out of the chain and are absorbed when they finish.
+	var scanStage, partialStage *trace.Stage
+	if traced {
+		scanStage = o.Trace.NewStage(stageName, p.scanDetail(o)+fmt.Sprintf(", dop %d", n))
+		scanStage.RowsIn = p.tbl.Tuples
+		if aggregated {
+			partialStage = o.Trace.NewStage("partial-agg",
+				fmt.Sprintf("%d group-by keys, %d aggregates, dop %d", len(p.spec.GroupBy), len(p.spec.Aggs), n))
+		}
+	}
+
+	workerCtrs := make([]cpumodel.Counters, n)
+	workerScan := make([]*trace.Stage, n)
+	workerAgg := make([]*trace.Stage, n)
+	children := make([]exec.Operator, n)
+	closeBuilt := func() {
+		for _, c := range children {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		ctr := &workerCtrs[i]
+		if traced {
+			workerScan[i] = o.Trace.WorkerStage(stageName, fmt.Sprintf("worker %d", i))
+			ctr = &workerScan[i].Counters
+		}
+		op, err := p.scanRange(ctr, o.Trace, p.bounds[i], p.bounds[i+1])
+		if err != nil {
+			closeBuilt()
+			return nil, err
+		}
+		if traced {
+			op = trace.Wrap(op, workerScan[i])
+		}
+		if aggregated {
+			actr := ctr
+			if traced {
+				workerAgg[i] = o.Trace.WorkerStage("partial-agg", fmt.Sprintf("worker %d", i))
+				actr = &workerAgg[i].Counters
+			}
+			pa, err := exec.NewPartialAgg(op, p.spec.GroupBy, p.spec.Aggs, actr)
+			if err != nil {
+				op.Close()
+				closeBuilt()
+				return nil, err
+			}
+			op = pa
+			if traced {
+				op = trace.Wrap(op, workerAgg[i])
+			}
+		}
+		children[i] = op
+	}
+	ex, err := exec.NewExchange(children, exec.DefaultBlockTuples, exchangeDepth)
+	if err != nil {
+		closeBuilt()
+		return nil, err
+	}
+
+	// merge folds the workers' accounting into the plan, in partition
+	// order so the result is deterministic at any interleaving; gather
+	// runs it exactly once, after the exchange guarantees the workers
+	// are finished (end of stream or Close).
+	merge := func() {
+		for i := 0; i < n; i++ {
+			if traced {
+				scanStage.Absorb(workerScan[i])
+				if partialStage != nil {
+					partialStage.Absorb(workerAgg[i])
+				}
+			} else {
+				o.Counters.Add(workerCtrs[i])
+			}
+		}
+	}
+	var op exec.Operator = &gather{op: ex, merge: merge}
+
+	if aggregated {
+		mctr, wrap := stage(o, "agg-merge", fmt.Sprintf("%d partial streams", n))
+		m, err := exec.NewAggMerge(op, p.scanSchema, p.spec.GroupBy, p.spec.Aggs, mctr)
+		if err != nil {
+			op.Close()
+			return nil, err
+		}
+		op = wrap(m)
+	}
+	return p.orderAndLimit(op, o)
+}
+
+// orderAndLimit appends the plan's ORDER BY (fused with LIMIT into a
+// top-n when both are present) and LIMIT, identically for serial and
+// parallel plans.
+func (p *Plan) orderAndLimit(op exec.Operator, o ExecOpts) (exec.Operator, error) {
+	if len(p.keys) > 0 {
+		if p.spec.Limit > 0 {
+			// ORDER BY + LIMIT fuse into a bounded-heap top-n, which keeps
+			// only the requested rows in memory.
+			ctr, wrap := stage(o, "top-n", fmt.Sprintf("%d keys, limit %d", len(p.keys), p.spec.Limit))
+			tn, err := exec.NewTopN(op, p.keys, p.spec.Limit, ctr)
+			if err != nil {
+				op.Close()
+				return nil, err
+			}
+			return wrap(tn), nil
+		}
+		ctr, wrap := stage(o, "sort", fmt.Sprintf("%d keys", len(p.keys)))
+		srt, err := exec.NewSort(op, p.keys, ctr)
+		if err != nil {
+			op.Close()
+			return nil, err
+		}
+		op = wrap(srt)
+	}
+	if p.spec.Limit > 0 {
+		_, wrap := stage(o, "limit", fmt.Sprintf("limit %d", p.spec.Limit))
+		lim, err := exec.NewLimit(op, p.spec.Limit)
+		if err != nil {
+			op.Close()
+			return nil, err
+		}
+		op = wrap(lim)
+	}
+	return op, nil
+}
+
+// gather sits directly above a parallel plan's exchange and runs the
+// plan's merge exactly once, at end of stream or Close — the two points
+// where the exchange guarantees every worker has finished, so absorbing
+// their counters and stages is race-free.
+type gather struct {
+	op     exec.Operator
+	merge  func()
+	merged bool
+}
+
+// Schema implements exec.Operator.
+func (g *gather) Schema() *schema.Schema { return g.op.Schema() }
+
+// Open implements exec.Operator.
+func (g *gather) Open() error {
+	g.merged = false
+	return g.op.Open()
+}
+
+// Next implements exec.Operator.
+//
+//readopt:hotpath
+func (g *gather) Next() (*exec.Block, error) {
+	b, err := g.op.Next()
+	if b == nil && err == nil && !g.merged {
+		g.merged = true
+		g.merge()
+	}
+	return b, err
+}
+
+// Close implements exec.Operator.
+func (g *gather) Close() error {
+	err := g.op.Close()
+	if !g.merged {
+		g.merged = true
+		g.merge()
+	}
+	return err
+}

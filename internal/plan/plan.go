@@ -1,0 +1,203 @@
+// Package plan is the engine's physical-plan layer: one representation
+// of a scan-shaped query — scan → filter/project (inside the scanners) →
+// aggregate → sort/top-n → limit, with an explicit exchange point — that
+// every execution path compiles to. The facade's Query, QueryParallel
+// and QueryBatch, EXPLAIN ANALYZE's traced runs, and the server's
+// scheduler all build a Spec and hand it to Compile; nothing above this
+// package constructs operator trees.
+//
+// Parallelism is a property of the plan, not a wrapper around it: a
+// Spec with Dop > 1 compiles to morsel-style execution where each worker
+// owns a range-bounded scan (page-aligned partitions from
+// PartitionBounds) feeding a worker-local operator chain, and the
+// partitions meet at a bounded exchange that concatenates blocks in
+// partition order without materializing partition outputs. Aggregations
+// run as a partial aggregation per worker plus one ordered merge above
+// the exchange, which keeps results byte-identical to serial execution
+// at any dop. Per-worker counters and trace stages merge
+// deterministically (in partition order) when the workers finish.
+package plan
+
+import (
+	"fmt"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/schema"
+	"github.com/readoptdb/readopt/internal/store"
+	"github.com/readoptdb/readopt/internal/trace"
+)
+
+// SortSpec is one ORDER BY key, named against the plan's output schema
+// (aggregate columns are spelled like "SUM(O_TOTALPRICE)").
+type SortSpec struct {
+	Column string
+	Desc   bool
+}
+
+// Spec is the physical plan of one scan-shaped query, fully resolved
+// against a table: attribute indexes, engine predicates and aggregate
+// specs, plus the degree of parallelism.
+type Spec struct {
+	// Proj lists the table attributes the scan emits, in output order.
+	Proj []int
+	// Preds are the conjunctive predicates the scan applies.
+	Preds []exec.Predicate
+	// GroupBy and Aggs describe the aggregation; positions index the
+	// scan's output (Proj), not the table. Both empty means no
+	// aggregation; GroupBy requires Aggs.
+	GroupBy []int
+	Aggs    []exec.AggSpec
+	// OrderBy and Limit shape the result; ORDER BY + LIMIT fuse into a
+	// bounded-heap top-n.
+	OrderBy []SortSpec
+	Limit   int64
+	// Dop is the requested degree of parallelism (<= 1 means serial).
+	// The compiled plan may run at a lower effective dop when the table
+	// has fewer page-aligned partitions than workers.
+	Dop int
+}
+
+// Plan is a compiled physical plan, ready to instantiate operators.
+type Plan struct {
+	tbl        *store.Table
+	spec       Spec
+	scanSchema *schema.Schema // the scan's output (projection of Proj)
+	outSchema  *schema.Schema // the plan's output (after aggregation)
+	keys       []exec.SortKey
+	bounds     []int64 // partition bounds; nil or one range means serial
+}
+
+// ExecOpts parameterize one execution of a compiled plan.
+type ExecOpts struct {
+	// Counters is the query-wide pool untraced operators charge; a
+	// parallel plan also merges its per-worker pools into it, in
+	// partition order.
+	Counters *cpumodel.Counters
+	// Trace, when non-nil, gives every plan stage its own trace stage
+	// (with its own counters) and registers the scan's I/O readers.
+	Trace *trace.Trace
+	// ScanStage overrides the scan stage's name (default "scan"); the
+	// batch path labels its shared scan "shared-scan".
+	ScanStage string
+	// ScanDetail overrides the scan stage's detail line.
+	ScanDetail string
+}
+
+// Compile validates spec against tbl and resolves the plan's schemas
+// and sort keys. The same compiled plan can be executed several times
+// with different ExecOpts.
+func Compile(tbl *store.Table, spec Spec) (*Plan, error) {
+	if tbl == nil {
+		return nil, fmt.Errorf("plan: nil table")
+	}
+	if len(spec.Proj) == 0 {
+		return nil, fmt.Errorf("plan: empty projection")
+	}
+	if len(spec.Aggs) == 0 && len(spec.GroupBy) > 0 {
+		return nil, fmt.Errorf("plan: group-by without aggregates")
+	}
+	scanSchema, err := tbl.Schema.Project(spec.Proj)
+	if err != nil {
+		return nil, err
+	}
+	out := scanSchema
+	if len(spec.Aggs) > 0 {
+		out, err = exec.AggOutputSchema(scanSchema, spec.GroupBy, spec.Aggs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	var keys []exec.SortKey
+	if len(spec.OrderBy) > 0 {
+		keys = make([]exec.SortKey, len(spec.OrderBy))
+		for i, o := range spec.OrderBy {
+			attr := out.AttrIndex(o.Column)
+			if attr < 0 {
+				return nil, fmt.Errorf("readopt: order-by column %q not in result (have %v)", o.Column, columnNames(out))
+			}
+			keys[i] = exec.SortKey{Attr: attr, Desc: o.Desc}
+		}
+	}
+	return &Plan{
+		tbl:        tbl,
+		spec:       spec,
+		scanSchema: scanSchema,
+		outSchema:  out,
+		keys:       keys,
+		bounds:     PartitionBounds(tbl, tbl.Tuples, spec.Dop),
+	}, nil
+}
+
+// Schema returns the plan's output schema.
+func (p *Plan) Schema() *schema.Schema { return p.outSchema }
+
+// Dop returns the effective degree of parallelism the plan executes
+// with: the number of scan partitions, or 1 for a serial plan.
+func (p *Plan) Dop() int {
+	if len(p.bounds) > 2 {
+		return len(p.bounds) - 1
+	}
+	return 1
+}
+
+func columnNames(s *schema.Schema) []string {
+	out := make([]string, s.NumAttrs())
+	for i, a := range s.Attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Post builds a batch member's post-pass: ORDER BY and LIMIT over the
+// materialized tuples a shared scan delivered. A non-nil tr gives each
+// operator its own stage, marked Root: its input is the materialized
+// pass result, not a live pull from the previous stage.
+func Post(sch *schema.Schema, tuples []byte, orderBy []SortSpec, limit int64, counters *cpumodel.Counters, tr *trace.Trace) (exec.Operator, error) {
+	stage := func(name, detail string) (*cpumodel.Counters, func(exec.Operator) exec.Operator) {
+		if tr == nil {
+			return counters, func(op exec.Operator) exec.Operator { return op }
+		}
+		st := tr.NewStage(name, detail)
+		st.Root = true
+		return &st.Counters, func(op exec.Operator) exec.Operator { return trace.Wrap(op, st) }
+	}
+	var op exec.Operator
+	op, err := exec.NewSliceSource(sch, tuples, 0)
+	if err != nil {
+		return nil, err
+	}
+	if len(orderBy) > 0 {
+		keys := make([]exec.SortKey, len(orderBy))
+		for i, o := range orderBy {
+			attr := sch.AttrIndex(o.Column)
+			if attr < 0 {
+				return nil, fmt.Errorf("readopt: order-by column %q not in result", o.Column)
+			}
+			keys[i] = exec.SortKey{Attr: attr, Desc: o.Desc}
+		}
+		if limit > 0 {
+			ctr, wrap := stage("top-n", fmt.Sprintf("%d keys, limit %d", len(keys), limit))
+			op, err = exec.NewTopN(op, keys, limit, ctr)
+			if err != nil {
+				return nil, err
+			}
+			return wrap(op), nil
+		}
+		ctr, wrap := stage("sort", fmt.Sprintf("%d keys", len(keys)))
+		op, err = exec.NewSort(op, keys, ctr)
+		if err != nil {
+			return nil, err
+		}
+		return wrap(op), nil
+	}
+	if limit > 0 {
+		_, wrap := stage("limit", fmt.Sprintf("limit %d", limit))
+		op, err = exec.NewLimit(op, limit)
+		if err != nil {
+			return nil, err
+		}
+		return wrap(op), nil
+	}
+	return op, nil
+}

@@ -1,0 +1,213 @@
+package plan
+
+import (
+	"os"
+
+	"github.com/readoptdb/readopt/internal/aio"
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/page"
+	"github.com/readoptdb/readopt/internal/scan"
+	"github.com/readoptdb/readopt/internal/store"
+	"github.com/readoptdb/readopt/internal/trace"
+)
+
+// ioUnit and ioDepth are the engine defaults: a 128KB I/O unit with a
+// 48-unit prefetch window, the paper's configuration.
+const (
+	ioUnit  = 128 << 10
+	ioDepth = 48
+)
+
+// tableReader wires a data file behind the prefetching OS reader.
+type tableReader struct {
+	*aio.OSReader
+	f *os.File
+}
+
+func (r *tableReader) Close() error {
+	err := r.OSReader.Close()
+	if cerr := r.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+func openReader(path string) (aio.Reader, error) {
+	return openSection(path, 0, -1)
+}
+
+// openSection opens a page-aligned byte range of a data file behind the
+// prefetching reader; a negative length reads to the end of the file.
+func openSection(path string, off, length int64) (aio.Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r, err := aio.NewOSReaderSection(f, ioUnit, ioDepth, off, length)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &tableReader{OSReader: r, f: f}, nil
+}
+
+// addReader registers a reader's statistics with the trace, so prefetch
+// behaviour is snapshotted when the query finishes.
+func addReader(tr *trace.Trace, r aio.Reader) {
+	if tr == nil {
+		return
+	}
+	if rs, ok := r.(trace.ReaderStats); ok {
+		tr.AddReader(rs)
+	}
+}
+
+// scanOperator builds the full-table physical scan. A non-nil tr
+// registers the scan's I/O readers with the trace.
+func (p *Plan) scanOperator(counters *cpumodel.Counters, tr *trace.Trace) (exec.Operator, error) {
+	t := p.tbl
+	if t.Layout == store.Row || t.Layout == store.PAX {
+		reader, err := openReader(t.DataPath())
+		if err != nil {
+			return nil, err
+		}
+		addReader(tr, reader)
+		cfg := scan.RowConfig{
+			Schema:   t.Schema,
+			PageSize: t.PageSize,
+			Reader:   reader,
+			Dicts:    t.Dicts,
+			Preds:    p.spec.Preds,
+			Proj:     p.spec.Proj,
+			Counters: counters,
+		}
+		var op exec.Operator
+		if t.Layout == store.PAX {
+			op, err = scan.NewPAXScanner(cfg)
+		} else {
+			op, err = scan.NewRowScanner(cfg)
+		}
+		if err != nil {
+			reader.Close()
+			return nil, err
+		}
+		return op, nil
+	}
+	readers, err := p.openColumnReaders(tr, func(int64) (int64, int64) { return 0, -1 })
+	if err != nil {
+		return nil, err
+	}
+	op, err := scan.NewColScanner(scan.ColConfig{
+		Schema:   t.Schema,
+		PageSize: t.PageSize,
+		Readers:  readers,
+		Dicts:    t.Dicts,
+		Preds:    p.spec.Preds,
+		Proj:     p.spec.Proj,
+		Counters: counters,
+	})
+	if err != nil {
+		for _, r := range readers {
+			r.Close()
+		}
+		return nil, err
+	}
+	return op, nil
+}
+
+// scanRange builds the physical scan for the row range [startRow,
+// endRow) — one parallel worker's morsel source.
+func (p *Plan) scanRange(counters *cpumodel.Counters, tr *trace.Trace, startRow, endRow int64) (exec.Operator, error) {
+	t := p.tbl
+	if t.Layout == store.Row || t.Layout == store.PAX {
+		// Page-aligned partition: slice the single data file by pages and
+		// run the ordinary scanner over the section.
+		capacity := int64(page.RowGeometry(t.Schema, t.PageSize).Capacity())
+		startPage := startRow / capacity
+		endPage := (endRow + capacity - 1) / capacity
+		reader, err := openSection(t.DataPath(), startPage*int64(t.PageSize), (endPage-startPage)*int64(t.PageSize))
+		if err != nil {
+			return nil, err
+		}
+		addReader(tr, reader)
+		cfg := scan.RowConfig{
+			Schema:   t.Schema,
+			PageSize: t.PageSize,
+			Reader:   reader,
+			Dicts:    t.Dicts,
+			Preds:    p.spec.Preds,
+			Proj:     p.spec.Proj,
+			Counters: counters,
+		}
+		var op exec.Operator
+		if t.Layout == store.PAX {
+			op, err = scan.NewPAXScanner(cfg)
+		} else {
+			op, err = scan.NewRowScanner(cfg)
+		}
+		if err != nil {
+			reader.Close()
+			return nil, err
+		}
+		return op, nil
+	}
+
+	// Column layout: every needed column streams from the page containing
+	// startRow; the scanner trims to the exact row range.
+	readers, err := p.openColumnReaders(tr, func(attrCap int64) (int64, int64) {
+		startPage := startRow / attrCap
+		endPage := (endRow + attrCap - 1) / attrCap
+		return startPage * int64(t.PageSize), (endPage - startPage) * int64(t.PageSize)
+	})
+	if err != nil {
+		return nil, err
+	}
+	op, err := scan.NewColScanner(scan.ColConfig{
+		Schema:   t.Schema,
+		PageSize: t.PageSize,
+		Readers:  readers,
+		Dicts:    t.Dicts,
+		Preds:    p.spec.Preds,
+		Proj:     p.spec.Proj,
+		Counters: counters,
+		StartRow: startRow,
+		EndRow:   endRow,
+	})
+	if err != nil {
+		for _, r := range readers {
+			r.Close()
+		}
+		return nil, err
+	}
+	return op, nil
+}
+
+// openColumnReaders opens one reader per column the scan touches.
+// section maps a column's page capacity to its (offset, length) file
+// section; the full-table scan uses (0, -1).
+func (p *Plan) openColumnReaders(tr *trace.Trace, section func(attrCap int64) (int64, int64)) (map[int]aio.Reader, error) {
+	t := p.tbl
+	need := map[int]bool{}
+	for _, pr := range p.spec.Preds {
+		need[pr.Attr] = true
+	}
+	for _, a := range p.spec.Proj {
+		need[a] = true
+	}
+	readers := map[int]aio.Reader{}
+	for a := range need {
+		capacity := int64(page.ColGeometry(t.Schema.Attrs[a], t.PageSize).Capacity())
+		off, length := section(capacity)
+		r, err := openSection(t.ColumnPath(a), off, length)
+		if err != nil {
+			for _, open := range readers {
+				open.Close()
+			}
+			return nil, err
+		}
+		addReader(tr, r)
+		readers[a] = r
+	}
+	return readers, nil
+}

@@ -38,6 +38,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("readopt_batched_queries_total", "Queries answered from a shared scan.", st.BatchedQueries)
 	gauge("readopt_batch_size_max", "Largest shared-scan batch so far.", st.MaxBatchSize)
 	counter("readopt_singleton_runs_total", "Queries dispatched alone.", st.SingletonRuns)
+	counter("readopt_parallel_runs_total", "Dispatches whose scan ran morsel-parallel (dop > 1).", st.ParallelRuns)
 	counter("readopt_slow_queries_total", "Queries over the slow-query threshold.", st.SlowQueries)
 
 	counter("readopt_bytes_scanned_total", "Bytes read from storage by the engine.", st.Work.IOBytes)

@@ -1,0 +1,179 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"github.com/readoptdb/readopt"
+	"github.com/readoptdb/readopt/internal/server"
+)
+
+// TestServerParallelDopStress drives the scheduler's dop routing under
+// concurrency: goroutines issue queries asking for a parallel scan
+// against one table while scrapers hammer /metrics, so slot
+// accounting, worker-counter merging and stats aggregation all race.
+// With a single table, the dispatcher holds one of the four worker
+// slots, so extra parallel slots are always available and at least one
+// dispatch must run at dop > 1.
+func TestServerParallelDopStress(t *testing.T) {
+	tbl := loadOrders(t, 8_000)
+	s := server.New(server.Config{
+		Workers:    4,
+		MaxDop:     3,
+		QueueDepth: 256,
+	})
+	if err := s.AddTable("orders", tbl); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := readopt.NewClient(ts.URL, ts.Client())
+
+	th, err := tbl.SelectivityThreshold(0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []readopt.Query{
+		{Select: []string{"O_ORDERKEY", "O_TOTALPRICE"},
+			Where: []readopt.Cond{{Column: "O_ORDERDATE", Op: "<", Value: th}}},
+		{GroupBy: []string{"O_ORDERSTATUS"},
+			Aggs: []readopt.Agg{{Func: "count"}, {Func: "avg", Column: "O_TOTALPRICE"}}},
+		{Aggs: []readopt.Agg{{Func: "count"}}},
+		{Select: []string{"O_TOTALPRICE", "O_ORDERKEY"},
+			OrderBy: []readopt.Order{{Column: "O_TOTALPRICE", Desc: true}},
+			Limit:   7},
+	}
+
+	const (
+		queryWorkers = 6
+		iterations   = 5
+		scrapers     = 2
+	)
+	errCh := make(chan error, queryWorkers*iterations)
+	var queriers sync.WaitGroup
+	for w := 0; w < queryWorkers; w++ {
+		w := w
+		queriers.Add(1)
+		go func() {
+			defer queriers.Done()
+			for i := 0; i < iterations; i++ {
+				req := readopt.QueryRequest{
+					Table: "orders",
+					Query: queries[(w+i)%len(queries)],
+					Dop:   2 + (w+i)%2, // request dop 2 or 3; the server clamps to slots
+					Trace: (w+i)%3 == 0,
+				}
+				resp, err := client.Do(context.Background(), req)
+				if err != nil {
+					errCh <- fmt.Errorf("worker %d query %d: %w", w, i, err)
+					return
+				}
+				// A co-batched query runs at the largest dop any batch member
+				// asked for, so the bound is the server ceiling, not req.Dop.
+				if resp.Dop < 1 || resp.Dop > 3 {
+					errCh <- fmt.Errorf("worker %d query %d: effective dop %d outside [1, MaxDop]", w, i, resp.Dop)
+					return
+				}
+				if req.Trace && resp.Trace == nil {
+					errCh <- fmt.Errorf("worker %d query %d: traced request got no trace", w, i)
+					return
+				}
+			}
+		}()
+	}
+
+	done := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	for g := 0; g < scrapers; g++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				resp, err := ts.Client().Get(ts.URL + "/metrics")
+				if err != nil {
+					errCh <- fmt.Errorf("metrics scrape: %w", err)
+					return
+				}
+				body, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					errCh <- fmt.Errorf("metrics body: %w", err)
+					return
+				}
+				if !strings.Contains(string(body), "readopt_parallel_runs_total") {
+					errCh <- fmt.Errorf("metrics scrape missing parallel counter:\n%s", body)
+					return
+				}
+			}
+		}()
+	}
+
+	queriers.Wait()
+	close(done)
+	scrapeWG.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+
+	st := s.Stats()
+	if want := int64(queryWorkers * iterations); st.Completed != want {
+		t.Errorf("completed %d of %d queries", st.Completed, want)
+	}
+	if st.Failed != 0 || st.Rejected != 0 {
+		t.Errorf("stress run shed or failed queries: %+v", st)
+	}
+	// One table means one dispatcher: it holds a single worker slot, so
+	// planDop always finds a free extra slot and every dispatch of this
+	// run is eligible to go parallel.
+	if st.ParallelRuns < 1 {
+		t.Errorf("no dispatch ran parallel: %+v", st)
+	}
+}
+
+// TestServerDopSerialEquivalence: the same query answered at dop 1 and
+// at dop 4 returns identical rows through the wire format, and the
+// response reports the effective dop.
+func TestServerDopSerialEquivalence(t *testing.T) {
+	tbl := loadOrders(t, 6_000)
+	s := server.New(server.Config{Workers: 4})
+	if err := s.AddTable("orders", tbl); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	client := readopt.NewClient(ts.URL, ts.Client())
+
+	q := readopt.Query{
+		GroupBy: []string{"O_ORDERSTATUS"},
+		Aggs:    []readopt.Agg{{Func: "count"}, {Func: "sum", Column: "O_TOTALPRICE"}},
+		OrderBy: []readopt.Order{{Column: "O_ORDERSTATUS"}},
+	}
+	serial, err := client.Do(context.Background(), readopt.QueryRequest{Table: "orders", Query: q})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.Dop > 1 {
+		t.Errorf("serial request reports dop %d", serial.Dop)
+	}
+	parallel, err := client.Do(context.Background(), readopt.QueryRequest{Table: "orders", Query: q, Dop: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parallel.Dop <= 1 {
+		t.Errorf("parallel request ran at dop %d", parallel.Dop)
+	}
+	if fmt.Sprint(parallel.Rows) != fmt.Sprint(serial.Rows) {
+		t.Errorf("dop changed the result:\nserial   %v\nparallel %v", serial.Rows, parallel.Rows)
+	}
+}

@@ -94,17 +94,28 @@ func (s *Server) runBatch(ts *tableState, jobs []*job) {
 
 	if len(live) == 1 {
 		j := live[0]
-		rows, err := s.runSingle(ts.tbl, j)
+		eff, extra := s.planDop(j.dop)
+		rows, err := s.runSingle(ts.tbl, j, eff)
 		if err != nil {
+			s.releaseExtra(extra)
 			j.deliver(nil, err)
 			s.stats.ran(1, queueWait, s.clock.Now().Sub(start), readopt.ScanStats{})
 			return
 		}
 		resp, err := s.materialize(rows, 1, start.Sub(j.enqueued), start, j.traced)
+		// The scan executes inside materialize's drain, so the extra
+		// parallel workers stay reserved until here.
+		s.releaseExtra(extra)
 		if err != nil {
 			j.deliver(nil, err)
 			s.stats.ran(1, queueWait, s.clock.Now().Sub(start), readopt.ScanStats{})
 			return
+		}
+		// The plan may have run below the granted dop (small table);
+		// report what actually happened.
+		resp.Dop = rows.Dop()
+		if resp.Dop > 1 {
+			s.stats.parallel()
 		}
 		j.deliver(resp, nil)
 		s.finishQuery(ts.name, resp)
@@ -114,20 +125,23 @@ func (s *Server) runBatch(ts *tableState, jobs []*job) {
 
 	queries := make([]readopt.Query, len(live))
 	traced := false
+	maxDop := 0
 	for i, j := range live {
 		queries[i] = j.q
-		traced = traced || j.traced
-	}
-	var batch []*readopt.Rows
-	var err error
-	if traced {
 		// One traced member puts the whole dispatch on the traced batch
 		// path: tracing splits the accounting without changing results, so
-		// untraced members just don't get the trace attached.
-		batch, err = ts.tbl.QueryBatchTraced(queries)
-	} else {
-		batch, err = ts.tbl.QueryBatch(queries)
+		// untraced members just don't get the trace attached. Likewise the
+		// shared scan runs at the largest dop any member asked for.
+		traced = traced || j.traced
+		if j.dop > maxDop {
+			maxDop = j.dop
+		}
 	}
+	eff, extra := s.planDop(maxDop)
+	batch, err := ts.tbl.QueryBatchExec(queries, readopt.ExecOptions{Dop: eff, Trace: traced})
+	// The shared pass materializes inside QueryBatchExec; only per-query
+	// post-passes remain, so the extra workers free up here.
+	s.releaseExtra(extra)
 	if err != nil {
 		// A query the shared pass cannot run (admission validation does
 		// not cover everything, e.g. order-by column resolution) must
@@ -136,8 +150,12 @@ func (s *Server) runBatch(ts *tableState, jobs []*job) {
 		s.runFallback(ts, live, start, queueWait)
 		return
 	}
+	if len(batch) > 0 && batch[0].Dop() > 1 {
+		s.stats.parallel()
+	}
 	var work readopt.ScanStats
 	for i, rows := range batch {
+		sharedDop := rows.Dop()
 		resp, err := s.materialize(rows, len(live), start.Sub(live[i].enqueued), start, live[i].traced)
 		if err != nil {
 			live[i].deliver(nil, err)
@@ -146,41 +164,74 @@ func (s *Server) runBatch(ts *tableState, jobs []*job) {
 		// Every batch member shares the scan's counters, so record the
 		// work once, not per query.
 		work = resp.Stats
+		resp.Dop = sharedDop
 		live[i].deliver(resp, nil)
 		s.finishQuery(ts.name, resp)
 	}
 	s.stats.ranBatch(len(live), queueWait, s.clock.Now().Sub(start), work)
 }
 
-// runSingle executes one query alone: a plain serial scan, a traced
-// serial scan when the request asked for a trace, or a partitioned
-// parallel scan when it asked for one (tracing wins over dop — the
-// partitioned path is untraced).
-func (s *Server) runSingle(tbl *readopt.Table, j *job) (*readopt.Rows, error) {
-	if j.traced {
-		return tbl.QueryTraced(j.q)
+// planDop turns a request's dop into the dop a dispatch may actually
+// run at: clamped to the configured ceiling, then funded by worker
+// slots. The dispatch's own slot covers the first worker; each
+// additional worker takes a pool slot only if one is free right now, so
+// a busy server degrades to a lower dop instead of queueing for slots
+// (which could deadlock dispatches against each other) or
+// oversubscribing the pool.
+func (s *Server) planDop(requested int) (eff, extra int) {
+	if requested > s.cfg.MaxDop {
+		requested = s.cfg.MaxDop
 	}
-	if j.dop > 1 {
-		return tbl.QueryParallel(j.q, j.dop)
+	if requested <= 1 {
+		return 1, 0
 	}
-	return tbl.Query(j.q)
+	for extra < requested-1 {
+		select {
+		case s.workers <- struct{}{}:
+			extra++
+		default:
+			return 1 + extra, extra
+		}
+	}
+	return 1 + extra, extra
+}
+
+// releaseExtra returns the extra worker slots a parallel dispatch held.
+func (s *Server) releaseExtra(extra int) {
+	for i := 0; i < extra; i++ {
+		<-s.workers
+	}
+}
+
+// runSingle executes one query alone through the plan layer, at the
+// dispatch's effective dop and with tracing when the request asked for
+// it — the options compose.
+func (s *Server) runSingle(tbl *readopt.Table, j *job, dop int) (*readopt.Rows, error) {
+	return tbl.QueryExec(j.q, readopt.ExecOptions{Dop: dop, Trace: j.traced})
 }
 
 // runFallback runs each job of a failed batch on its own, delivering
 // per-query errors instead of one collective failure.
 func (s *Server) runFallback(ts *tableState, jobs []*job, start time.Time, queueWait time.Duration) {
 	for _, j := range jobs {
-		rows, err := s.runSingle(ts.tbl, j)
+		eff, extra := s.planDop(j.dop)
+		rows, err := s.runSingle(ts.tbl, j, eff)
 		if err != nil {
+			s.releaseExtra(extra)
 			j.deliver(nil, err)
 			s.stats.ran(1, 0, 0, readopt.ScanStats{})
 			continue
 		}
 		resp, err := s.materialize(rows, 1, start.Sub(j.enqueued), start, j.traced)
+		s.releaseExtra(extra)
 		if err != nil {
 			j.deliver(nil, err)
 			s.stats.ran(1, 0, 0, readopt.ScanStats{})
 			continue
+		}
+		resp.Dop = rows.Dop()
+		if resp.Dop > 1 {
+			s.stats.parallel()
 		}
 		j.deliver(resp, nil)
 		s.finishQuery(ts.name, resp)

@@ -15,8 +15,9 @@
 // queries found waiting when a table's dispatcher comes around are
 // dispatched together as one Table.QueryBatch shared scan — N concurrent
 // scans of the same table cost one scan's I/O. A query that finds its
-// table idle runs alone (Table.Query, or Table.QueryParallel when the
-// request asks for a partitioned scan). Per-query and aggregate
+// table idle runs alone. Either way the request's dop field routes
+// through admission control: a parallel scan's extra workers are taken
+// from the worker pool only when slots are free. Per-query and aggregate
 // statistics — queue wait, execution time, bytes scanned, batch sizes,
 // rejections — accumulate through the engine's cpumodel.Counters and are
 // served from /stats.
@@ -44,6 +45,12 @@ type Config struct {
 	// Workers bounds how many scans execute concurrently across all
 	// tables (default 4).
 	Workers int
+	// MaxDop caps the per-query degree of parallelism a request's dop
+	// field can ask for (default: Workers). A parallel scan's extra
+	// workers come from the same pool that bounds concurrent scans, and
+	// only when slots are free at dispatch time — under load the server
+	// degrades to lower dop instead of oversubscribing or deadlocking.
+	MaxDop int
 	// QueueDepth bounds how many admitted queries may wait for dispatch
 	// beyond the Workers executing; requests past the bound are rejected
 	// with readopt.CodeQueueFull (default 64).
@@ -75,6 +82,9 @@ type Config struct {
 func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = 4
+	}
+	if c.MaxDop <= 0 {
+		c.MaxDop = c.Workers
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 64

@@ -49,6 +49,7 @@ type statsRecorder struct {
 
 	batches, batchedQueries, singletons int64
 	maxBatch                            int64
+	parallelRuns                        int64
 
 	queueWait, exec time.Duration
 	work            cpumodel.Counters
@@ -82,6 +83,13 @@ func (r *statsRecorder) fail() {
 	r.mu.Lock()
 	r.admitted++
 	r.failed++
+	r.mu.Unlock()
+}
+
+// parallel records one dispatch whose scan ran at effective dop > 1.
+func (r *statsRecorder) parallel() {
+	r.mu.Lock()
+	r.parallelRuns++
 	r.mu.Unlock()
 }
 
@@ -156,6 +164,7 @@ func (r *statsRecorder) snapshot() readopt.ServerStats {
 		BatchedQueries:  r.batchedQueries,
 		MaxBatchSize:    r.maxBatch,
 		SingletonRuns:   r.singletons,
+		ParallelRuns:    r.parallelRuns,
 		QueueWaitMicros: r.queueWait.Microseconds(),
 		ExecMicros:      r.exec.Microseconds(),
 		SlowQueries:     r.slowQueries,

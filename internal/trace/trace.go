@@ -106,6 +106,30 @@ func (t *Trace) NewStage(op, detail string) *Stage {
 // AddReader registers an I/O reader whose statistics Finish snapshots.
 func (t *Trace) AddReader(r ReaderStats) { t.readers = append(t.readers, r) }
 
+// WorkerStage returns a stage that times against the trace's clock but
+// is not part of the plan's stage chain: a parallel plan gives every
+// worker's operators their own worker stages, and absorbs them into one
+// aggregate plan stage (via Stage.Absorb) when the workers finish — so
+// traces stay deterministic at any dop while per-worker accounting
+// still happens without cross-goroutine contention.
+func (t *Trace) WorkerStage(op, detail string) *Stage {
+	return &Stage{Op: op, Detail: detail, clk: t.clk}
+}
+
+// Absorb folds a finished worker stage into st: counters, rows and
+// blocks add (the work is a disjoint partition of the stage's), while
+// Time takes the maximum — workers run concurrently, so the slowest
+// worker approximates the stage's inclusive wall-clock time. The caller
+// must not absorb a stage whose operators may still be running.
+func (st *Stage) Absorb(w *Stage) {
+	st.Counters.Add(w.Counters)
+	st.RowsOut += w.RowsOut
+	st.Blocks += w.Blocks
+	if w.Time > st.Time {
+		st.Time = w.Time
+	}
+}
+
 // Fork returns a trace that shares this trace's stages and readers so
 // far but accumulates its own continuation — how a shared-scan batch
 // gives every member query a trace that starts with the one common scan

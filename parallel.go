@@ -1,213 +1,19 @@
 package readopt
 
-import (
-	"fmt"
-	"os"
-	"sync"
-
-	"github.com/readoptdb/readopt/internal/aio"
-	"github.com/readoptdb/readopt/internal/cpumodel"
-	"github.com/readoptdb/readopt/internal/exec"
-	"github.com/readoptdb/readopt/internal/page"
-	"github.com/readoptdb/readopt/internal/scan"
-	"github.com/readoptdb/readopt/internal/store"
-)
-
-// QueryParallel executes q with a partitioned scan: the table's rows are
-// split into dop contiguous ranges, each scanned (with predicates and
-// projection applied) by its own goroutine over its own page-aligned file
-// section, and the qualifying tuples are concatenated in partition order
-// before aggregation, ordering and limits run. This is the paper's
-// "degree of parallelism" knob (Section 4, capacity planning): the paper
-// keeps its engine single-threaded and notes the results trivially extend
-// to multiple CPUs — this is that extension.
+// QueryParallel executes q with a morsel-driven parallel plan: the
+// table's rows are split into up to dop contiguous page-aligned ranges,
+// each scanned (with predicates, projection and — when the query
+// aggregates — a partial aggregation) by its own worker, and the worker
+// streams are concatenated in partition order by a bounded exchange
+// before the serial tail (aggregate merge, ordering, limits) runs. This
+// is the paper's "degree of parallelism" knob (Section 4, capacity
+// planning): the paper keeps its engine single-threaded and notes the
+// results trivially extend to multiple CPUs — this is that extension.
 //
-// Results are identical to Query's for any dop. Partition outputs are
-// materialized, so a low-selectivity or aggregate-shaped query is the
-// intended workload.
+// Results are byte-identical to Query's for any dop. Unlike earlier
+// versions, partition outputs are streamed through the exchange rather
+// than materialized, so high-selectivity scans no longer buffer the
+// whole qualifying set in memory.
 func (t *Table) QueryParallel(q Query, dop int) (*Rows, error) {
-	if dop <= 1 {
-		return t.Query(q)
-	}
-	if err := q.validate(); err != nil {
-		return nil, err
-	}
-	scanCols, proj, err := t.scanPlan(q)
-	if err != nil {
-		return nil, err
-	}
-	preds, err := t.buildPreds(q.Where)
-	if err != nil {
-		return nil, err
-	}
-	total := t.t.Tuples
-	bounds := t.partitionBounds(total, dop)
-
-	outSchema, err := t.t.Schema.Project(proj)
-	if err != nil {
-		return nil, err
-	}
-	type part struct {
-		tuples   []byte
-		counters cpumodel.Counters
-		err      error
-	}
-	parts := make([]part, len(bounds)-1)
-	var wg sync.WaitGroup
-	for i := 0; i < len(bounds)-1; i++ {
-		i := i
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			op, err := t.scanRange(preds, proj, &parts[i].counters, bounds[i], bounds[i+1])
-			if err != nil {
-				parts[i].err = err
-				return
-			}
-			tuples, err := exec.Collect(op)
-			if err != nil {
-				parts[i].err = err
-				return
-			}
-			parts[i].tuples = tuples
-		}()
-	}
-	wg.Wait()
-
-	var counters cpumodel.Counters
-	var merged []byte
-	for i := range parts {
-		if parts[i].err != nil {
-			return nil, fmt.Errorf("readopt: partition %d: %w", i, parts[i].err)
-		}
-		counters.Add(parts[i].counters)
-		merged = append(merged, parts[i].tuples...)
-	}
-	src, err := exec.NewSliceSource(outSchema, merged, 0)
-	if err != nil {
-		return nil, err
-	}
-	op, err := t.finishPlan(src, scanCols, q, &counters, nil)
-	if err != nil {
-		return nil, err
-	}
-	if err := op.Open(); err != nil {
-		op.Close()
-		return nil, err
-	}
-	return &Rows{op: op, sch: op.Schema(), counters: &counters}, nil
-}
-
-// partitionBounds splits [0, total) into ascending row boundaries, at
-// most dop ranges, aligned so single-file layouts split at page
-// boundaries.
-func (t *Table) partitionBounds(total int64, dop int) []int64 {
-	align := int64(1)
-	if t.t.Layout == store.Row || t.t.Layout == store.PAX {
-		align = int64(page.RowGeometry(t.t.Schema, t.t.PageSize).Capacity())
-	}
-	per := (total + int64(dop) - 1) / int64(dop)
-	per = (per + align - 1) / align * align
-	if per < align {
-		per = align
-	}
-	bounds := []int64{0}
-	for cur := per; cur < total; cur += per {
-		bounds = append(bounds, cur)
-	}
-	return append(bounds, total)
-}
-
-// scanRange builds the physical scan for the row range [startRow,
-// endRow).
-func (t *Table) scanRange(preds []exec.Predicate, proj []int, counters *cpumodel.Counters, startRow, endRow int64) (exec.Operator, error) {
-	if t.t.Layout == store.Row || t.t.Layout == store.PAX {
-		// Page-aligned partition: slice the single data file by pages and
-		// run the ordinary scanner over the section.
-		capacity := int64(page.RowGeometry(t.t.Schema, t.t.PageSize).Capacity())
-		startPage := startRow / capacity
-		endPage := (endRow + capacity - 1) / capacity
-		reader, err := openSection(t.t.DataPath(), startPage*int64(t.t.PageSize), (endPage-startPage)*int64(t.t.PageSize))
-		if err != nil {
-			return nil, err
-		}
-		cfg := scan.RowConfig{
-			Schema:   t.t.Schema,
-			PageSize: t.t.PageSize,
-			Reader:   reader,
-			Dicts:    t.t.Dicts,
-			Preds:    preds,
-			Proj:     proj,
-			Counters: counters,
-		}
-		var op exec.Operator
-		if t.t.Layout == store.PAX {
-			op, err = scan.NewPAXScanner(cfg)
-		} else {
-			op, err = scan.NewRowScanner(cfg)
-		}
-		if err != nil {
-			reader.Close()
-			return nil, err
-		}
-		return op, nil
-	}
-
-	// Column layout: every needed column streams from the page containing
-	// startRow; the scanner trims to the exact row range.
-	need := map[int]bool{}
-	for _, p := range preds {
-		need[p.Attr] = true
-	}
-	for _, a := range proj {
-		need[a] = true
-	}
-	readers := map[int]aio.Reader{}
-	closeAll := func() {
-		for _, r := range readers {
-			r.Close()
-		}
-	}
-	for a := range need {
-		capacity := int64(page.ColGeometry(t.t.Schema.Attrs[a], t.t.PageSize).Capacity())
-		startPage := startRow / capacity
-		endPage := (endRow + capacity - 1) / capacity
-		r, err := openSection(t.t.ColumnPath(a), startPage*int64(t.t.PageSize), (endPage-startPage)*int64(t.t.PageSize))
-		if err != nil {
-			closeAll()
-			return nil, err
-		}
-		readers[a] = r
-	}
-	op, err := scan.NewColScanner(scan.ColConfig{
-		Schema:   t.t.Schema,
-		PageSize: t.t.PageSize,
-		Readers:  readers,
-		Dicts:    t.t.Dicts,
-		Preds:    preds,
-		Proj:     proj,
-		Counters: counters,
-		StartRow: startRow,
-		EndRow:   endRow,
-	})
-	if err != nil {
-		closeAll()
-		return nil, err
-	}
-	return op, nil
-}
-
-// openSection opens a page-aligned byte range of a data file behind the
-// prefetching reader.
-func openSection(path string, off, length int64) (aio.Reader, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	r, err := aio.NewOSReaderSection(f, ioUnit, ioDepth, off, length)
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	return &tableReader{OSReader: r, f: f}, nil
+	return t.QueryExec(q, ExecOptions{Dop: dop})
 }

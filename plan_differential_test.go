@@ -1,0 +1,200 @@
+package readopt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// differentialQueries is the query grid the differential suite runs:
+// every plan shape the physical-plan layer compiles — bare projection,
+// selective scans, global and grouped aggregation, order-by with and
+// without limit — against the ORDERS schema.
+func differentialQueries(t *testing.T, tbl *Table) []Query {
+	t.Helper()
+	th10, err := tbl.SelectivityThreshold(0.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th50, err := tbl.SelectivityThreshold(0.50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Query{
+		{Select: []string{"O_ORDERKEY"}},
+		{Select: []string{"O_ORDERKEY", "O_ORDERSTATUS"}, Where: []Cond{{Column: "O_ORDERDATE", Op: "<", Value: th10}}},
+		{Select: []string{"O_TOTALPRICE"}, Where: []Cond{{Column: "O_ORDERDATE", Op: ">=", Value: th50}}},
+		{Aggs: []Agg{{Func: "count"}}},
+		{Aggs: []Agg{{Func: "sum", Column: "O_TOTALPRICE"}, {Func: "avg", Column: "O_TOTALPRICE"}},
+			Where: []Cond{{Column: "O_ORDERDATE", Op: "<", Value: th50}}},
+		{GroupBy: []string{"O_ORDERSTATUS"}, Aggs: []Agg{
+			{Func: "count"}, {Func: "min", Column: "O_TOTALPRICE"}, {Func: "max", Column: "O_TOTALPRICE"}}},
+		{GroupBy: []string{"O_ORDERSTATUS"}, Aggs: []Agg{{Func: "avg", Column: "O_TOTALPRICE"}},
+			OrderBy: []Order{{Column: "O_ORDERSTATUS", Desc: true}}},
+		{Select: []string{"O_ORDERKEY", "O_TOTALPRICE"},
+			OrderBy: []Order{{Column: "O_TOTALPRICE", Desc: true}, {Column: "O_ORDERKEY"}}, Limit: 17},
+		{Select: []string{"O_ORDERKEY"}, Limit: 5},
+	}
+}
+
+// TestPlanDifferential is the unification contract: for every layout,
+// query shape, dop and tracing mode, QueryExec and QueryBatchExec
+// return byte-identical tuples to the serial Query baseline — one plan
+// layer, one answer.
+func TestPlanDifferential(t *testing.T) {
+	for _, layout := range []Layout{RowLayout, ColumnLayout, PAXLayout} {
+		t.Run(string(layout), func(t *testing.T) {
+			tbl := loadOrders(t, layout, 4321) // deliberately not a page multiple
+			queries := differentialQueries(t, tbl)
+
+			wants := make([][]byte, len(queries))
+			for qi, q := range queries {
+				serial, err := tbl.Query(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wants[qi] = rawTuples(t, serial)
+			}
+
+			for _, dop := range []int{1, 2, 8} {
+				for _, traced := range []bool{false, true} {
+					for qi, q := range queries {
+						rows, err := tbl.QueryExec(q, ExecOptions{Dop: dop, Trace: traced})
+						if err != nil {
+							t.Fatalf("q%d dop=%d traced=%v: %v", qi, dop, traced, err)
+						}
+						got := rawTuples(t, rows)
+						if !bytes.Equal(got, wants[qi]) {
+							t.Errorf("q%d dop=%d traced=%v: QueryExec differs from serial (%d vs %d bytes)",
+								qi, dop, traced, len(got), len(wants[qi]))
+						}
+						if traced && rows.Trace() == nil {
+							t.Errorf("q%d dop=%d: traced run returned no trace", qi, dop)
+						}
+						if !traced && rows.Trace() != nil {
+							t.Errorf("q%d dop=%d: untraced run returned a trace", qi, dop)
+						}
+					}
+
+					batch, err := tbl.QueryBatchExec(queries, ExecOptions{Dop: dop, Trace: traced})
+					if err != nil {
+						t.Fatalf("batch dop=%d traced=%v: %v", dop, traced, err)
+					}
+					for qi, rows := range batch {
+						got := rawTuples(t, rows)
+						if !bytes.Equal(got, wants[qi]) {
+							t.Errorf("q%d dop=%d traced=%v: QueryBatchExec differs from serial (%d vs %d bytes)",
+								qi, dop, traced, len(got), len(wants[qi]))
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPlanDifferentialStats: at a fixed dop, tracing never changes the
+// counted work — the per-stage pools (including the per-worker pools a
+// parallel plan merges) sum to exactly what the untraced run charges.
+func TestPlanDifferentialStats(t *testing.T) {
+	for _, layout := range []Layout{RowLayout, ColumnLayout, PAXLayout} {
+		t.Run(string(layout), func(t *testing.T) {
+			tbl := loadOrders(t, layout, 4000)
+			q := traceQuery(t, tbl)
+			for _, dop := range []int{1, 2, 8} {
+				plain, err := tbl.QueryExec(q, ExecOptions{Dop: dop})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rawTuples(t, plain)
+				traced, err := tbl.QueryExec(q, ExecOptions{Dop: dop, Trace: true})
+				if err != nil {
+					t.Fatal(err)
+				}
+				rawTuples(t, traced)
+				if got, want := traced.Stats(), plain.Stats(); got != want {
+					t.Errorf("dop %d: traced stats differ from untraced:\nplain  %+v\ntraced %+v", dop, want, got)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelTraceConservation: the flow invariants TestTraceConservation
+// checks for serial traces hold at dop > 1 — the per-worker stages merge
+// into the plan's scan and partial-agg stages without losing rows, work
+// or I/O.
+func TestParallelTraceConservation(t *testing.T) {
+	for _, layout := range []Layout{RowLayout, ColumnLayout, PAXLayout} {
+		t.Run(string(layout), func(t *testing.T) {
+			tbl := loadOrders(t, layout, 4000)
+			q := traceQuery(t, tbl)
+			rows, err := tbl.QueryExec(q, ExecOptions{Dop: 8, Trace: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rows.Dop() <= 1 {
+				t.Fatalf("plan ran serially (dop %d)", rows.Dop())
+			}
+			drained := int64(len(drainAll(t, rows)))
+			rows.Close()
+			qt := rows.Trace()
+			if qt == nil {
+				t.Fatal("no trace")
+			}
+
+			ops := make([]string, len(qt.Stages))
+			for i, st := range qt.Stages {
+				ops[i] = st.Op
+			}
+			joined := strings.Join(ops, ",")
+			if !strings.HasPrefix(joined, "scan,partial-agg,agg-merge") {
+				t.Fatalf("parallel aggregate stages = %v", ops)
+			}
+			if qt.Stages[0].RowsIn != tbl.Rows() {
+				t.Errorf("scan stage saw %d of %d rows", qt.Stages[0].RowsIn, tbl.Rows())
+			}
+			if !strings.Contains(qt.Stages[0].Detail, "dop") {
+				t.Errorf("scan stage detail %q does not name the dop", qt.Stages[0].Detail)
+			}
+			for i := 1; i < len(qt.Stages); i++ {
+				if qt.Stages[i].RowsIn != qt.Stages[i-1].RowsOut {
+					t.Errorf("stage %d (%s) rows in %d != stage %d rows out %d",
+						i, qt.Stages[i].Op, qt.Stages[i].RowsIn, i-1, qt.Stages[i-1].RowsOut)
+				}
+			}
+			if last := qt.Stages[len(qt.Stages)-1]; last.RowsOut != drained {
+				t.Errorf("last stage reports %d rows out, client drained %d", last.RowsOut, drained)
+			}
+
+			stats := rows.Stats()
+			if qt.Total != stats {
+				t.Errorf("trace total %+v != query stats %+v", qt.Total, stats)
+			}
+			var sum ScanStats
+			for _, st := range qt.Stages {
+				sum.Instructions += st.Work.Instructions
+				sum.SeqMemBytes += st.Work.SeqMemBytes
+				sum.RandMemLines += st.Work.RandMemLines
+				sum.L1MemBytes += st.Work.L1MemBytes
+				sum.IORequests += st.Work.IORequests
+				sum.IOBytes += st.Work.IOBytes
+				sum.Pages += st.Work.Pages
+			}
+			if sum != qt.Total {
+				t.Errorf("stage counters sum %+v != total %+v", sum, qt.Total)
+			}
+
+			if qt.IO.BytesRead != stats.IOBytes {
+				t.Errorf("trace I/O %d bytes != counted I/O %d bytes", qt.IO.BytesRead, stats.IOBytes)
+			}
+			if qt.IO.BytesRead == 0 {
+				t.Error("trace reports no I/O")
+			}
+			if qt.IO.PrefetchHits+qt.IO.PrefetchStalls != qt.IO.Units {
+				t.Errorf("hits %d + stalls %d != units %d",
+					qt.IO.PrefetchHits, qt.IO.PrefetchStalls, qt.IO.Units)
+			}
+		})
+	}
+}

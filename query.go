@@ -5,6 +5,7 @@ import (
 
 	"github.com/readoptdb/readopt/internal/cpumodel"
 	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/plan"
 	"github.com/readoptdb/readopt/internal/schema"
 	"github.com/readoptdb/readopt/internal/trace"
 )
@@ -171,58 +172,19 @@ func (t *Table) scanPlan(q Query) (scanCols []string, proj []int, err error) {
 	return scanCols, proj, nil
 }
 
-// plan builds the operator tree for a query.
-func (t *Table) plan(q Query, counters *cpumodel.Counters) (exec.Operator, error) {
-	return t.planTraced(q, counters, nil)
-}
-
-// planTraced builds the operator tree, optionally giving every operator
-// its own trace stage (with its own counters) and wrapping it in the
-// trace decorator. With tr == nil this is exactly the untraced plan.
-func (t *Table) planTraced(q Query, counters *cpumodel.Counters, tr *trace.Trace) (exec.Operator, error) {
-	if err := q.validate(); err != nil {
-		return nil, err
-	}
+// buildSpec resolves a validated query into the physical-plan spec the
+// plan layer compiles: scan projection and predicates, aggregation
+// positions, sort keys and the degree of parallelism.
+func (t *Table) buildSpec(q Query, dop int) (plan.Spec, error) {
 	scanCols, proj, err := t.scanPlan(q)
 	if err != nil {
-		return nil, err
+		return plan.Spec{}, err
 	}
 	preds, err := t.buildPreds(q.Where)
 	if err != nil {
-		return nil, err
+		return plan.Spec{}, err
 	}
-	scanCtr := counters
-	var scanStage *trace.Stage
-	if tr != nil {
-		scanStage = tr.NewStage("scan",
-			fmt.Sprintf("%s layout, %d columns, %d predicates", t.Layout(), len(proj), len(preds)))
-		scanStage.RowsIn = t.Rows()
-		scanCtr = &scanStage.Counters
-	}
-	op, err := t.scanOperator(preds, proj, scanCtr, tr)
-	if err != nil {
-		return nil, err
-	}
-	if tr != nil {
-		op = trace.Wrap(op, scanStage)
-	}
-	return t.finishPlan(op, scanCols, q, counters, tr)
-}
-
-// finishPlan wraps a scan-shaped source (whose schema is the projection
-// of scanCols) with the query's aggregation, ordering and limit.
-func (t *Table) finishPlan(op exec.Operator, scanCols []string, q Query, counters *cpumodel.Counters, tr *trace.Trace) (exec.Operator, error) {
-	// stage hands each operator its counters pool and decorator: the
-	// query-wide pool and the identity when untraced, a per-stage pool
-	// and the timing wrapper when traced.
-	stage := func(name, detail string) (*cpumodel.Counters, func(exec.Operator) exec.Operator) {
-		if tr == nil {
-			return counters, func(op exec.Operator) exec.Operator { return op }
-		}
-		st := tr.NewStage(name, detail)
-		return &st.Counters, func(op exec.Operator) exec.Operator { return trace.Wrap(op, st) }
-	}
-	var err error
+	spec := plan.Spec{Proj: proj, Preds: preds, Limit: q.Limit, Dop: dop}
 	if len(q.Aggs) > 0 {
 		outIdx := func(col string) (int, error) {
 			for i, c := range scanCols {
@@ -232,81 +194,51 @@ func (t *Table) finishPlan(op exec.Operator, scanCols []string, q Query, counter
 			}
 			return 0, fmt.Errorf("readopt: aggregate column %q not in scan", col)
 		}
-		var groupBy []int
 		for _, g := range q.GroupBy {
 			i, err := outIdx(g)
 			if err != nil {
-				return nil, err
+				return plan.Spec{}, err
 			}
-			groupBy = append(groupBy, i)
+			spec.GroupBy = append(spec.GroupBy, i)
 		}
-		var aggs []exec.AggSpec
 		for _, a := range q.Aggs {
 			f, ok := aggFuncs[a.Func]
 			if !ok {
-				return nil, fmt.Errorf("readopt: unknown aggregate %q", a.Func)
+				return plan.Spec{}, fmt.Errorf("readopt: unknown aggregate %q", a.Func)
 			}
-			spec := exec.AggSpec{Func: f}
+			as := exec.AggSpec{Func: f}
 			if f != exec.Count {
 				i, err := outIdx(a.Column)
 				if err != nil {
-					return nil, err
+					return plan.Spec{}, err
 				}
-				spec.Attr = i
+				as.Attr = i
 			}
-			aggs = append(aggs, spec)
+			spec.Aggs = append(spec.Aggs, as)
 		}
-		ctr, wrap := stage("hash-agg", fmt.Sprintf("%d group-by keys, %d aggregates", len(groupBy), len(aggs)))
-		op, err = exec.NewHashAggregate(op, groupBy, aggs, ctr)
-		if err != nil {
-			return nil, err
-		}
-		op = wrap(op)
 	}
-	if len(q.OrderBy) > 0 {
-		keys := make([]exec.SortKey, len(q.OrderBy))
-		for i, o := range q.OrderBy {
-			attr := op.Schema().AttrIndex(o.Column)
-			if attr < 0 {
-				return nil, fmt.Errorf("readopt: order-by column %q not in result (have %v)", o.Column, resultColumns(op))
-			}
-			keys[i] = exec.SortKey{Attr: attr, Desc: o.Desc}
-		}
-		if q.Limit > 0 {
-			// ORDER BY + LIMIT fuse into a bounded-heap top-n, which keeps
-			// only the requested rows in memory.
-			ctr, wrap := stage("top-n", fmt.Sprintf("%d keys, limit %d", len(keys), q.Limit))
-			op, err = exec.NewTopN(op, keys, q.Limit, ctr)
-			if err != nil {
-				return nil, err
-			}
-			return wrap(op), nil
-		}
-		ctr, wrap := stage("sort", fmt.Sprintf("%d keys", len(keys)))
-		op, err = exec.NewSort(op, keys, ctr)
-		if err != nil {
-			return nil, err
-		}
-		op = wrap(op)
+	for _, o := range q.OrderBy {
+		spec.OrderBy = append(spec.OrderBy, plan.SortSpec{Column: o.Column, Desc: o.Desc})
 	}
-	if q.Limit > 0 {
-		_, wrap := stage("limit", fmt.Sprintf("limit %d", q.Limit))
-		op, err = exec.NewLimit(op, q.Limit)
-		if err != nil {
-			return nil, err
-		}
-		op = wrap(op)
-	}
-	return op, nil
+	return spec, nil
 }
 
-func resultColumns(op exec.Operator) []string {
-	s := op.Schema()
-	out := make([]string, s.NumAttrs())
-	for i, a := range s.Attrs {
-		out[i] = a.Name
+// plan compiles q through the physical-plan layer and returns the
+// serial operator tree, charging work to counters (the join facade
+// builds its inputs this way).
+func (t *Table) plan(q Query, counters *cpumodel.Counters) (exec.Operator, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
 	}
-	return out
+	spec, err := t.buildSpec(q, 0)
+	if err != nil {
+		return nil, err
+	}
+	p, err := plan.Compile(t.t, spec)
+	if err != nil {
+		return nil, err
+	}
+	return p.Operator(plan.ExecOpts{Counters: counters})
 }
 
 func appendMissing(cols []string, c string) []string {
@@ -327,14 +259,54 @@ type Rows struct {
 	err      error
 	done     bool
 	closed   bool
+	dop      int
 	counters *cpumodel.Counters
 	tr       *trace.Trace
 }
 
-// Query executes q against the table and returns a result iterator.
-func (t *Table) Query(q Query) (*Rows, error) {
+// Dop returns the effective degree of parallelism the query's plan
+// executed with: 1 for a serial plan, possibly lower than the requested
+// dop when the table has fewer page-aligned partitions than workers.
+func (r *Rows) Dop() int {
+	if r.dop < 1 {
+		return 1
+	}
+	return r.dop
+}
+
+// ExecOptions tune one query execution without changing its result:
+// the degree of parallelism and per-stage tracing.
+type ExecOptions struct {
+	// Dop is the requested degree of parallelism. Values <= 1 run the
+	// classic serial plan; higher values partition the scan into up to
+	// Dop page-aligned ranges executed by concurrent workers. Results
+	// are byte-identical at any dop.
+	Dop int
+	// Trace enables per-stage tracing (see QueryTraced).
+	Trace bool
+}
+
+// QueryExec executes q with explicit execution options and returns a
+// result iterator. Query, QueryTraced and QueryParallel are thin
+// wrappers over this single entry point.
+func (t *Table) QueryExec(q Query, opts ExecOptions) (*Rows, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	spec, err := t.buildSpec(q, opts.Dop)
+	if err != nil {
+		return nil, err
+	}
+	p, err := plan.Compile(t.t, spec)
+	if err != nil {
+		return nil, err
+	}
+	var tr *trace.Trace
+	if opts.Trace {
+		tr = trace.New()
+	}
 	var counters cpumodel.Counters
-	op, err := t.plan(q, &counters)
+	op, err := p.Operator(plan.ExecOpts{Counters: &counters, Trace: tr})
 	if err != nil {
 		return nil, err
 	}
@@ -342,7 +314,12 @@ func (t *Table) Query(q Query) (*Rows, error) {
 		op.Close()
 		return nil, err
 	}
-	return &Rows{op: op, sch: op.Schema(), counters: &counters}, nil
+	return &Rows{op: op, sch: op.Schema(), dop: p.Dop(), counters: &counters, tr: tr}, nil
+}
+
+// Query executes q against the table and returns a result iterator.
+func (t *Table) Query(q Query) (*Rows, error) {
+	return t.QueryExec(q, ExecOptions{})
 }
 
 // QueryTraced executes q like Query, but with per-stage tracing: every
@@ -351,17 +328,7 @@ func (t *Table) Query(q Query) (*Rows, error) {
 // is available from Rows.Trace (complete once the rows are closed).
 // Results are identical to Query's; tracing only splits the accounting.
 func (t *Table) QueryTraced(q Query) (*Rows, error) {
-	tr := trace.New()
-	var counters cpumodel.Counters
-	op, err := t.planTraced(q, &counters, tr)
-	if err != nil {
-		return nil, err
-	}
-	if err := op.Open(); err != nil {
-		op.Close()
-		return nil, err
-	}
-	return &Rows{op: op, sch: op.Schema(), counters: &counters, tr: tr}, nil
+	return t.QueryExec(q, ExecOptions{Trace: true})
 }
 
 // Columns returns the result column names.

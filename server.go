@@ -30,14 +30,19 @@ type QueryRequest struct {
 	// TimeoutMillis overrides the server's default per-request deadline
 	// (0 = use the default).
 	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
-	// Dop requests a partitioned parallel scan (QueryParallel) when the
-	// query runs alone; a query dispatched inside a shared-scan batch
-	// ignores it. 0 or 1 means a plain serial scan.
+	// Dop requests a morsel-parallel scan at the given degree of
+	// parallelism. The server clamps it to its configured ceiling and to
+	// the worker slots free at dispatch time, so the effective dop (the
+	// response's Dop field) may be lower. 0 or 1 means a serial scan. A
+	// query dispatched inside a shared-scan batch parallelizes the shared
+	// scan itself (the batch runs at the largest dop any member asked
+	// for).
 	Dop int `json:"dop,omitempty"`
 	// Trace asks the server to run the query traced and attach the
 	// per-stage trace to the response. Tracing never changes the result;
-	// it only splits the accounting (and forces a serial scan when the
-	// query runs alone, since the partitioned path is untraced).
+	// it only splits the accounting, and composes with Dop — a parallel
+	// trace reports the scan and partial-aggregation stages with their
+	// workers' merged counters.
 	Trace bool `json:"trace,omitempty"`
 }
 
@@ -56,6 +61,10 @@ type QueryResponse struct {
 	// BatchSize is the number of queries co-scheduled into the shared
 	// scan that produced this answer (1 = the query ran alone).
 	BatchSize int `json:"batch_size"`
+	// Dop is the effective degree of parallelism the scan behind this
+	// answer ran at (0 or 1 = serial) — at most the requested dop, lower
+	// when the table was too small or worker slots were busy.
+	Dop int `json:"dop,omitempty"`
 	// QueueWaitMicros and ExecMicros split the server-side latency into
 	// time spent waiting for dispatch and time executing.
 	QueueWaitMicros int64 `json:"queue_wait_us"`
@@ -124,10 +133,13 @@ type ServerStats struct {
 	// Batches counts multi-query shared-scan dispatches; BatchedQueries
 	// is how many queries they answered in total; MaxBatchSize is the
 	// largest batch so far; SingletonRuns counts queries that ran alone.
-	Batches         int64 `json:"batches"`
-	BatchedQueries  int64 `json:"batched_queries"`
-	MaxBatchSize    int64 `json:"max_batch_size"`
-	SingletonRuns   int64 `json:"singleton_runs"`
+	Batches        int64 `json:"batches"`
+	BatchedQueries int64 `json:"batched_queries"`
+	MaxBatchSize   int64 `json:"max_batch_size"`
+	SingletonRuns  int64 `json:"singleton_runs"`
+	// ParallelRuns counts dispatches whose scan ran morsel-parallel
+	// (effective dop > 1).
+	ParallelRuns    int64 `json:"parallel_runs"`
 	QueueWaitMicros int64 `json:"queue_wait_us"`
 	ExecMicros      int64 `json:"exec_us"`
 	// SlowQueries counts queries whose execution exceeded the server's

@@ -2,17 +2,11 @@ package readopt
 
 import (
 	"fmt"
-	"os"
 
-	"github.com/readoptdb/readopt/internal/aio"
-	"github.com/readoptdb/readopt/internal/cpumodel"
-	"github.com/readoptdb/readopt/internal/exec"
 	"github.com/readoptdb/readopt/internal/page"
-	"github.com/readoptdb/readopt/internal/scan"
 	"github.com/readoptdb/readopt/internal/schema"
 	"github.com/readoptdb/readopt/internal/store"
 	"github.com/readoptdb/readopt/internal/tpch"
-	"github.com/readoptdb/readopt/internal/trace"
 )
 
 // Layout selects the physical design of a table.
@@ -161,117 +155,6 @@ type ScanStats struct {
 	IOBytes    int64 `json:"io_bytes"`
 	// Pages counts the storage pages the scan crossed.
 	Pages int64 `json:"pages,omitempty"`
-}
-
-// openReader wires a data file behind the prefetching OS reader.
-type tableReader struct {
-	*aio.OSReader
-	f *os.File
-}
-
-func (r *tableReader) Close() error {
-	err := r.OSReader.Close()
-	if cerr := r.f.Close(); err == nil {
-		err = cerr
-	}
-	return err
-}
-
-// ioUnit and ioDepth are the engine defaults: a 128KB I/O unit with a
-// 48-unit prefetch window, the paper's configuration.
-const (
-	ioUnit  = 128 << 10
-	ioDepth = 48
-)
-
-func openReader(path string) (aio.Reader, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	r, err := aio.NewOSReader(f, ioUnit, ioDepth)
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	return &tableReader{OSReader: r, f: f}, nil
-}
-
-// scanOperator builds the physical scan for a validated query. A
-// non-nil tr registers the scan's I/O readers with the trace, so the
-// reader statistics (bytes, units, prefetch hits/stalls) are
-// snapshotted when the query finishes.
-func (t *Table) scanOperator(preds []exec.Predicate, proj []int, counters *cpumodel.Counters, tr *trace.Trace) (exec.Operator, error) {
-	addReader := func(r aio.Reader) {
-		if tr == nil {
-			return
-		}
-		if rs, ok := r.(trace.ReaderStats); ok {
-			tr.AddReader(rs)
-		}
-	}
-	if t.t.Layout == store.Row || t.t.Layout == store.PAX {
-		reader, err := openReader(t.t.DataPath())
-		if err != nil {
-			return nil, err
-		}
-		addReader(reader)
-		cfg := scan.RowConfig{
-			Schema:   t.t.Schema,
-			PageSize: t.t.PageSize,
-			Reader:   reader,
-			Dicts:    t.t.Dicts,
-			Preds:    preds,
-			Proj:     proj,
-			Counters: counters,
-		}
-		var op exec.Operator
-		if t.t.Layout == store.PAX {
-			op, err = scan.NewPAXScanner(cfg)
-		} else {
-			op, err = scan.NewRowScanner(cfg)
-		}
-		if err != nil {
-			reader.Close()
-			return nil, err
-		}
-		return op, nil
-	}
-	need := map[int]bool{}
-	for _, p := range preds {
-		need[p.Attr] = true
-	}
-	for _, a := range proj {
-		need[a] = true
-	}
-	readers := map[int]aio.Reader{}
-	for a := range need {
-		r, err := openReader(t.t.ColumnPath(a))
-		if err != nil {
-			for _, open := range readers {
-				open.Close()
-			}
-			return nil, err
-		}
-		addReader(r)
-		readers[a] = r
-	}
-	op, err := scan.NewColScanner(scan.ColConfig{
-		Schema:   t.t.Schema,
-		PageSize: t.t.PageSize,
-		Readers:  readers,
-		Dicts:    t.t.Dicts,
-		Preds:    preds,
-		Proj:     proj,
-		Counters: counters,
-	})
-	if err != nil {
-		for _, r := range readers {
-			r.Close()
-		}
-		return nil, err
-	}
-	return op, nil
 }
 
 // SelectivityThreshold returns the constant c such that the predicate
