@@ -109,6 +109,7 @@ func (t *Table) queryBatch(queries []Query, opts ExecOptions) ([]*Rows, error) {
 		return nil, err
 	}
 	src, err := p.Operator(plan.ExecOpts{
+		Ctx:        opts.Ctx,
 		Counters:   &counters,
 		Trace:      btr,
 		ScanStage:  "shared-scan",
@@ -117,6 +118,15 @@ func (t *Table) queryBatch(queries []Query, opts ExecOptions) ([]*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Until share.Run takes ownership (it closes src on every path), an
+	// error return must close the scan here or its prefetch goroutines
+	// leak.
+	srcOwned := true
+	defer func() {
+		if srcOwned {
+			_ = src.Close()
+		}
+	}()
 	// Translate each facade query into a share.Query against the shared
 	// schema.
 	sharedQs := make([]share.Query, len(queries))
@@ -195,6 +205,7 @@ func (t *Table) queryBatch(queries []Query, opts ExecOptions) ([]*Rows, error) {
 	if traced {
 		passStart = btr.Clock().Now()
 	}
+	srcOwned = false
 	results, err := share.Run(src, sharedQs, &counters)
 	if err != nil {
 		return nil, err
@@ -205,6 +216,13 @@ func (t *Table) queryBatch(queries []Query, opts ExecOptions) ([]*Rows, error) {
 	}
 
 	out := make([]*Rows, len(results))
+	closeOut := func() {
+		for _, r := range out {
+			if r != nil {
+				_ = r.Close()
+			}
+		}
+	}
 	for i, res := range results {
 		var tri *trace.Trace
 		if traced {
@@ -226,10 +244,12 @@ func (t *Table) queryBatch(queries []Query, opts ExecOptions) ([]*Rows, error) {
 		}
 		op, err := plan.Post(res.Schema, res.Tuples, orderBy, queries[i].Limit, &counters, tri)
 		if err != nil {
+			closeOut()
 			return nil, fmt.Errorf("readopt: batch query %d: %w", i, err)
 		}
 		if err := op.Open(); err != nil {
 			op.Close()
+			closeOut()
 			return nil, err
 		}
 		out[i] = &Rows{op: op, sch: op.Schema(), dop: p.Dop(), counters: &counters, tr: tri}

@@ -1,0 +1,184 @@
+package readopt
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/readoptdb/readopt/internal/fault"
+)
+
+// drainOrError drains rows at the tuple level, surfacing iteration and
+// close errors — the chaos suite's "what did the query actually say"
+// primitive.
+func drainOrError(rows *Rows) ([]byte, error) {
+	var out []byte
+	for rows.Next() {
+		out = append(out, rows.block.Tuple(rows.pos)...)
+	}
+	err := rows.Err()
+	if cerr := rows.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// typedFailure reports whether err carries the failure taxonomy — the
+// contract that a fault never surfaces as an anonymous error.
+func typedFailure(err error) bool {
+	return errors.Is(err, ErrTransient) || errors.Is(err, ErrCorrupt) || errors.Is(err, ErrCancelled)
+}
+
+// awaitGoroutines waits for the goroutine count to drop back to the
+// baseline (readers unwind asynchronously after Close) and fails with a
+// full stack dump if it does not.
+func awaitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	n := runtime.NumGoroutine()
+	for n > base && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+		n = runtime.NumGoroutine()
+	}
+	if n > base {
+		buf := make([]byte, 1<<20)
+		t.Errorf("goroutines leaked: %d running, baseline %d\n%s", n, base, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestChaosDifferential is the fault-tolerance acceptance test: under
+// seeded fault injection (transient read errors with retry, persistent
+// errors, torn reads, bit flips), every query at every layout and dop
+// either returns tuples byte-identical to the fault-free baseline or
+// fails with a typed error — never silently wrong data — and leaks no
+// goroutines. The injection is deterministic per (seed, file, offset),
+// so failures replay exactly.
+func TestChaosDifferential(t *testing.T) {
+	defer fault.DisableChaos()
+	for _, layout := range []Layout{RowLayout, ColumnLayout, PAXLayout} {
+		t.Run(string(layout), func(t *testing.T) {
+			tbl := loadOrders(t, layout, 30_000)
+			queries := differentialQueries(t, tbl)
+
+			fault.DisableChaos()
+			wants := make([][]byte, len(queries))
+			for qi, q := range queries {
+				rows, err := tbl.Query(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wants[qi], err = drainOrError(rows)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			base := runtime.NumGoroutine()
+
+			succeeded, failed := 0, 0
+			for _, seed := range []int64{1, 2, 3} {
+				for _, dop := range []int{1, 2, 8} {
+					fault.EnableChaos(fault.Config{
+						Seed:        seed,
+						ReadErrRate: 0.2,
+						PersistRate: 0.4,
+						TornRate:    0.03,
+						FlipRate:    0.03,
+					})
+					for qi, q := range queries {
+						rows, err := tbl.QueryExec(q, ExecOptions{Dop: dop})
+						var got []byte
+						if err == nil {
+							got, err = drainOrError(rows)
+						}
+						if err != nil {
+							failed++
+							if !typedFailure(err) {
+								t.Errorf("seed=%d dop=%d q%d: untyped failure: %v", seed, dop, qi, err)
+							}
+							continue
+						}
+						succeeded++
+						if !bytes.Equal(got, wants[qi]) {
+							t.Errorf("seed=%d dop=%d q%d: SILENT WRONG DATA: %d bytes, want %d",
+								seed, dop, qi, len(got), len(wants[qi]))
+						}
+					}
+					fault.DisableChaos()
+					awaitGoroutines(t, base)
+				}
+			}
+			// The rates are tuned so the suite exercises both paths; a
+			// one-sided run means the injection config rotted.
+			if succeeded == 0 || failed == 0 {
+				t.Errorf("degenerate chaos run: %d succeeded, %d failed", succeeded, failed)
+			}
+		})
+	}
+}
+
+// TestQueryCancellation: cancelling a query mid-iteration stops it with
+// the typed cancellation error (also matching context.Canceled) at every
+// dop, and the scan's prefetch goroutines unwind.
+func TestQueryCancellation(t *testing.T) {
+	tbl := loadOrders(t, ColumnLayout, 50_000)
+	base := runtime.NumGoroutine()
+	for _, dop := range []int{1, 2, 8} {
+		ctx, cancel := context.WithCancel(context.Background())
+		rows, err := tbl.QueryExec(Query{Select: []string{"O_ORDERKEY", "O_TOTALPRICE"}}, ExecOptions{Ctx: ctx, Dop: dop})
+		if err != nil {
+			cancel()
+			t.Fatalf("dop=%d: %v", dop, err)
+		}
+		if !rows.Next() {
+			t.Fatalf("dop=%d: no first row: %v", dop, rows.Err())
+		}
+		cancel()
+		for rows.Next() {
+		}
+		err = rows.Err()
+		if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+			t.Errorf("dop=%d: iteration ended with %v, want typed cancellation", dop, err)
+		}
+		if err := rows.Close(); err != nil {
+			t.Errorf("dop=%d: close after cancel: %v", dop, err)
+		}
+		awaitGoroutines(t, base)
+	}
+}
+
+// TestQueryPreCancelled: a context that is already dead fails the query
+// at build time, typed, without starting any I/O.
+func TestQueryPreCancelled(t *testing.T) {
+	tbl := loadOrders(t, RowLayout, 2_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	base := runtime.NumGoroutine()
+	_, err := tbl.QueryExec(Query{Select: []string{"O_ORDERKEY"}}, ExecOptions{Ctx: ctx, Dop: 4})
+	if !errors.Is(err, ErrCancelled) {
+		t.Errorf("QueryExec = %v, want typed cancellation", err)
+	}
+	awaitGoroutines(t, base)
+}
+
+// TestBatchCancellation: the context rides through the shared-scan batch
+// path too.
+func TestBatchCancellation(t *testing.T) {
+	tbl := loadOrders(t, ColumnLayout, 20_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	base := runtime.NumGoroutine()
+	_, err := tbl.QueryBatchExec([]Query{
+		{Select: []string{"O_ORDERKEY"}},
+		{Aggs: []Agg{{Func: "count"}}},
+	}, ExecOptions{Ctx: ctx, Dop: 2})
+	if !errors.Is(err, ErrCancelled) {
+		t.Errorf("QueryBatchExec = %v, want typed cancellation", err)
+	}
+	awaitGoroutines(t, base)
+}

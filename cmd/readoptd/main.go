@@ -19,6 +19,11 @@
 // the aggregate statistics in Prometheus text format, and -slow-query
 // logs any query whose execution time crosses the threshold.
 //
+// -fsck verifies every -table offline (whole-file checksums, then
+// per-page CRCs) and exits without serving. -chaos injects seeded
+// deterministic faults into every scan read — resilience testing only:
+// queries fail (with typed error codes) on purpose.
+//
 // On SIGINT/SIGTERM the daemon stops admitting queries, finishes the
 // ones in flight, and exits.
 package main
@@ -35,6 +40,8 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/readoptdb/readopt"
+	"github.com/readoptdb/readopt/internal/fault"
 	"github.com/readoptdb/readopt/internal/server"
 )
 
@@ -47,6 +54,9 @@ func main() {
 	gather := flag.Duration("gather", 0, "pause before each dispatch so concurrent queries coalesce into one shared scan")
 	grace := flag.Duration("grace", 30*time.Second, "shutdown grace period for draining in-flight queries")
 	slow := flag.Duration("slow-query", 0, "log queries whose execution time exceeds this (0 disables)")
+	fsck := flag.Bool("fsck", false, "verify every -table's integrity (whole-file checksums, then per-page CRCs) and exit")
+	chaosRate := flag.Float64("chaos", 0, "TESTING ONLY: inject faults into every scan read at this rate (0 disables)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for -chaos fault injection; the same seed replays the same faults")
 	var tables tableFlags
 	flag.Var(&tables, "table", "table to serve, as name=dir (repeatable)")
 	flag.Parse()
@@ -55,6 +65,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "readoptd: at least one -table name=dir is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	if *fsck {
+		os.Exit(runFsck(tables))
+	}
+	if *chaosRate > 0 {
+		// Fail-then-recover by default: a faulted read succeeds when the
+		// scan retries it at half the rate, exercising the retry path; the
+		// other half surfaces as a typed error.
+		fault.EnableChaos(fault.Config{
+			Seed:        *chaosSeed,
+			ReadErrRate: *chaosRate,
+			PersistRate: 0.5,
+			TornRate:    *chaosRate / 4,
+			FlipRate:    *chaosRate / 4,
+		})
+		log.Printf("readoptd: CHAOS MODE: injecting faults at rate %g (seed %d) — queries will fail; never use in production",
+			*chaosRate, *chaosSeed)
 	}
 
 	s := server.New(server.Config{
@@ -97,6 +125,27 @@ func main() {
 		log.Printf("readoptd: %v", err)
 	}
 	log.Printf("readoptd: drained, bye")
+}
+
+// runFsck verifies each table offline and reports per table; any
+// corruption makes the exit status 1.
+func runFsck(tables tableFlags) int {
+	status := 0
+	for _, t := range tables {
+		tbl, err := readopt.OpenTable(t.dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "readoptd: fsck %s: open: %v\n", t.name, err)
+			status = 1
+			continue
+		}
+		if err := tbl.Fsck(); err != nil {
+			fmt.Fprintf(os.Stderr, "readoptd: fsck %s: %v\n", t.name, err)
+			status = 1
+			continue
+		}
+		fmt.Printf("readoptd: fsck %s: ok\n", t.name)
+	}
+	return status
 }
 
 type tableSpec struct{ name, dir string }

@@ -1,0 +1,37 @@
+package readopt
+
+import "github.com/readoptdb/readopt/internal/fault"
+
+// The engine's failure taxonomy. Every error a query can end with is
+// classified into exactly one kind, and the sentinels below match via
+// errors.Is — so callers branch on the kind, not on error strings:
+//
+//	rows, err := tbl.QueryExec(q, readopt.ExecOptions{Ctx: ctx})
+//	switch {
+//	case errors.Is(err, readopt.ErrCancelled): // ctx timeout/disconnect
+//	case errors.Is(err, readopt.ErrCorrupt):   // data failed integrity checks
+//	case errors.Is(err, readopt.ErrTransient): // retries exhausted; retryable
+//	}
+//
+// The taxonomy is load-bearing for fault tolerance: a query under
+// injected faults must either return byte-identical results or fail with
+// one of these kinds — never silently wrong data.
+var (
+	// ErrTransient marks an I/O error that may succeed on retry (the scan
+	// already retried it with backoff before surfacing it).
+	ErrTransient = fault.ErrTransient
+	// ErrCorrupt marks data that failed an integrity check: a page CRC
+	// mismatch, a truncated file, a ragged I/O unit, or an impossible
+	// page header. Never retried — rereading corrupt data cannot fix it.
+	ErrCorrupt = fault.ErrCorrupt
+	// ErrCancelled marks an execution stopped by its context; it also
+	// matches context.Canceled or context.DeadlineExceeded, whichever
+	// caused it.
+	ErrCancelled = fault.ErrCancelled
+)
+
+// ErrorKind classifies err into the failure taxonomy for wire formats
+// and metrics: "transient", "corrupt", "cancelled", "other" — or "" for
+// nil. Plain context.Canceled / context.DeadlineExceeded classify as
+// "cancelled" even when untagged.
+func ErrorKind(err error) string { return string(fault.Classify(err)) }

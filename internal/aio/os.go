@@ -1,6 +1,7 @@
 package aio
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -15,6 +16,7 @@ import (
 type OSReader struct {
 	f       *os.File
 	clk     clock.Clock
+	ctx     context.Context
 	results chan osUnit
 	recycle chan []byte
 	stop    chan struct{}
@@ -39,7 +41,13 @@ type osUnit struct {
 // NewOSReader returns a prefetching reader over all of f. unit is the
 // I/O unit size in bytes; depth is how many units may be in flight.
 func NewOSReader(f *os.File, unit int64, depth int) (*OSReader, error) {
-	return NewOSReaderSection(f, unit, depth, 0, -1)
+	return NewOSReaderSectionCtx(context.Background(), f, unit, depth, 0, -1)
+}
+
+// NewOSReaderCtx is NewOSReader bound to ctx: when ctx is cancelled the
+// prefetcher stops issuing I/O and Next reports ctx's error.
+func NewOSReaderCtx(ctx context.Context, f *os.File, unit int64, depth int) (*OSReader, error) {
+	return NewOSReaderSectionCtx(ctx, f, unit, depth, 0, -1)
 }
 
 // NewOSReaderSection returns a prefetching reader over the byte range
@@ -47,6 +55,15 @@ func NewOSReader(f *os.File, unit int64, depth int) (*OSReader, error) {
 // file. Sections back partitioned (parallel) scans: each partition
 // streams its own page-aligned slice of a table file.
 func NewOSReaderSection(f *os.File, unit int64, depth int, off, length int64) (*OSReader, error) {
+	return NewOSReaderSectionCtx(context.Background(), f, unit, depth, off, length)
+}
+
+// NewOSReaderSectionCtx is NewOSReaderSection bound to ctx. A cancelled
+// ctx stops the prefetch loop between units — no further ReadAt is
+// issued — and the pending error slot delivers ctx.Err() to the
+// consumer, so a blocked Next wakes instead of waiting on I/O that will
+// never come.
+func NewOSReaderSectionCtx(ctx context.Context, f *os.File, unit int64, depth int, off, length int64) (*OSReader, error) {
 	if unit <= 0 {
 		return nil, fmt.Errorf("aio: unit size %d invalid", unit)
 	}
@@ -56,9 +73,13 @@ func NewOSReaderSection(f *os.File, unit int64, depth int, off, length int64) (*
 	if off < 0 {
 		return nil, fmt.Errorf("aio: negative section offset %d", off)
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	r := &OSReader{
 		f:       f,
 		clk:     clock.Real{},
+		ctx:     ctx,
 		results: make(chan osUnit, depth),
 		recycle: make(chan []byte, depth+1),
 		stop:    make(chan struct{}),
@@ -74,6 +95,10 @@ func NewOSReaderSection(f *os.File, unit int64, depth int, off, length int64) (*
 func (r *OSReader) prefetch(unit, off, remaining int64) {
 	defer close(r.done)
 	for {
+		if err := r.ctx.Err(); err != nil {
+			r.deliver(err)
+			return
+		}
 		if remaining == 0 {
 			select {
 			case r.results <- osUnit{err: io.EOF}:
@@ -85,6 +110,13 @@ func (r *OSReader) prefetch(unit, off, remaining int64) {
 		select {
 		case buf = <-r.recycle:
 		case <-r.stop:
+			return
+		case <-r.ctx.Done():
+			// Stop issuing I/O and hand the cancellation to the
+			// consumer so a blocked Next wakes. (Background's Done is
+			// a nil channel, so the case never fires in the common,
+			// uncancellable configuration.)
+			r.deliver(r.ctx.Err())
 			return
 		}
 		want := unit
@@ -101,18 +133,27 @@ func (r *OSReader) prefetch(unit, off, remaining int64) {
 				}
 			case <-r.stop:
 				return
+			case <-r.ctx.Done():
+				r.deliver(r.ctx.Err())
+				return
 			}
 		}
 		if err != nil {
 			if err == io.EOF && n > 0 {
 				err = io.EOF // deliver EOF on the next Next call
 			}
-			select {
-			case r.results <- osUnit{err: err}:
-			case <-r.stop:
-			}
+			r.deliver(err)
 			return
 		}
+	}
+}
+
+// deliver hands a terminal error to the consumer, giving up if the
+// reader is closed first.
+func (r *OSReader) deliver(err error) {
+	select {
+	case r.results <- osUnit{err: err}:
+	case <-r.stop:
 	}
 }
 

@@ -1,0 +1,43 @@
+package exec
+
+import (
+	"context"
+
+	"github.com/readoptdb/readopt/internal/fault"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// WithCancel bounds op by ctx: Next checks the context between blocks
+// and returns a typed cancellation error once it fires, so an operator
+// chain stops pulling (and its scanners stop issuing I/O) even when the
+// underlying readers were built without a context. A nil or Background
+// context returns op unchanged — the serial hot path pays nothing.
+func WithCancel(op Operator, ctx context.Context) Operator {
+	if ctx == nil || ctx.Done() == nil {
+		return op
+	}
+	return &cancelOp{op: op, ctx: ctx}
+}
+
+type cancelOp struct {
+	op  Operator
+	ctx context.Context
+}
+
+func (c *cancelOp) Open() error {
+	if err := c.ctx.Err(); err != nil {
+		return fault.Cancelled(err)
+	}
+	return c.op.Open()
+}
+
+func (c *cancelOp) Next() (*Block, error) {
+	if err := c.ctx.Err(); err != nil {
+		return nil, fault.Cancelled(err)
+	}
+	return c.op.Next()
+}
+
+func (c *cancelOp) Close() error { return c.op.Close() }
+
+func (c *cancelOp) Schema() *schema.Schema { return c.op.Schema() }

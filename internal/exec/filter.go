@@ -128,17 +128,20 @@ func (l *Limit) Next() (*Block, error) {
 // opens and closes the operator.
 func Drain(op Operator) (int64, error) {
 	if err := op.Open(); err != nil {
+		_ = op.Close()
 		return 0, err
 	}
-	defer op.Close()
 	var n int64
 	for {
 		b, err := op.Next()
 		if err != nil {
+			_ = op.Close()
 			return n, err
 		}
 		if b == nil {
-			return n, nil
+			// A clean drain still surfaces Close's error: a reader
+			// that failed to release is a real failure.
+			return n, op.Close()
 		}
 		n += int64(b.Len())
 	}
@@ -148,18 +151,19 @@ func Drain(op Operator) (int64, error) {
 // concatenated. Intended for tests and small results.
 func Collect(op Operator) ([]byte, error) {
 	if err := op.Open(); err != nil {
+		_ = op.Close()
 		return nil, err
 	}
-	defer op.Close()
 	width := op.Schema().Width()
 	var out []byte
 	for {
 		b, err := op.Next()
 		if err != nil {
+			_ = op.Close()
 			return nil, err
 		}
 		if b == nil {
-			return out, nil
+			return out, op.Close()
 		}
 		for i := 0; i < b.Len(); i++ {
 			out = append(out, b.Tuple(i)[:width]...)

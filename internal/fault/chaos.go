@@ -1,0 +1,33 @@
+package fault
+
+import (
+	"sync/atomic"
+
+	"github.com/readoptdb/readopt/internal/aio"
+)
+
+// chaos is the process-wide Injector behind readoptd -chaos and the
+// chaos test suite. nil (the default) means every ChaosWrap is a no-op,
+// so the production read path pays one atomic load per reader open.
+var chaos atomic.Pointer[Injector]
+
+// EnableChaos installs a process-wide fault injector. Intended for the
+// readoptd -chaos flag and tests; never enable it around data you care
+// about without a safety net.
+func EnableChaos(cfg Config) { chaos.Store(NewInjector(cfg)) }
+
+// DisableChaos removes the process-wide injector.
+func DisableChaos() { chaos.Store(nil) }
+
+// ChaosEnabled reports whether a process-wide injector is installed.
+func ChaosEnabled() bool { return chaos.Load() != nil }
+
+// ChaosWrap applies the process-wide injector to r, if one is
+// installed. name and off identify the file and the absolute byte
+// offset of r's first unit, as for Injector.Wrap.
+func ChaosWrap(name string, off int64, r aio.Reader) aio.Reader {
+	if in := chaos.Load(); in != nil {
+		return in.Wrap(name, off, r)
+	}
+	return r
+}

@@ -1,0 +1,99 @@
+// Package fault is the engine's failure taxonomy and fault-injection
+// layer. Every error a query can surface is classified into one of three
+// kinds — transient (a retryable I/O hiccup), corrupt (the data on disk
+// is wrong and retrying cannot help), cancelled (the caller gave up) —
+// so the layers above (the plan's retry logic, the server's wire codes
+// and /metrics counters, the trace) can react without string-matching.
+//
+// The package also provides the machinery that makes failure a tested
+// code path instead of a theoretical one: a scripted reader for unit
+// tests, a seeded deterministic fault injector usable from the chaos
+// suite and the readoptd -chaos flag, and a bounded retry-with-backoff
+// reader the plan layer wraps around every table section it opens.
+package fault
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// The three sentinels of the error taxonomy. Errors carrying them are
+// built with Transient, Corruptf and Cancelled and match via errors.Is;
+// never compare against them with ==, wrapping makes that always false.
+var (
+	// ErrTransient marks an I/O error that may succeed if retried (a
+	// device hiccup, a short read). The plan layer retries these with
+	// backoff before letting them surface.
+	ErrTransient = errors.New("fault: transient I/O error")
+	// ErrCorrupt marks data that failed an integrity check — a page CRC
+	// mismatch, a torn I/O unit, an impossible page header. Retrying
+	// cannot help; the query must fail rather than decode wrong values.
+	ErrCorrupt = errors.New("fault: data corruption")
+	// ErrCancelled marks a query stopped by its context: a timeout or a
+	// client disconnect, not an engine failure.
+	ErrCancelled = errors.New("fault: query cancelled")
+)
+
+// Kind names an error class for counters and wire formats.
+type Kind string
+
+const (
+	KindNone      Kind = ""
+	KindTransient Kind = "transient"
+	KindCorrupt   Kind = "corrupt"
+	KindCancelled Kind = "cancelled"
+	KindOther     Kind = "other"
+)
+
+// tagged pairs a taxonomy sentinel with the underlying cause so
+// errors.Is matches both (Go 1.20 multi-error unwrapping).
+type tagged struct {
+	kind  error
+	cause error
+}
+
+func (e *tagged) Error() string { return e.cause.Error() }
+
+func (e *tagged) Unwrap() []error { return []error{e.kind, e.cause} }
+
+// Transient tags err as retryable. A nil err returns nil.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &tagged{kind: ErrTransient, cause: err}
+}
+
+// Cancelled tags err as a cancellation. A nil err returns nil.
+func Cancelled(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &tagged{kind: ErrCancelled, cause: err}
+}
+
+// Corruptf builds an ErrCorrupt-tagged error from a format string.
+func Corruptf(format string, args ...any) error {
+	return &tagged{kind: ErrCorrupt, cause: fmt.Errorf(format, args...)}
+}
+
+// Classify maps an error onto the taxonomy. Context cancellation and
+// deadline errors classify as cancelled even when they were never
+// tagged, because they reach the engine raw from context.Context.
+func Classify(err error) Kind {
+	switch {
+	case err == nil:
+		return KindNone
+	case errors.Is(err, ErrCancelled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return KindCancelled
+	case errors.Is(err, ErrCorrupt):
+		return KindCorrupt
+	case errors.Is(err, ErrTransient):
+		return KindTransient
+	default:
+		return KindOther
+	}
+}

@@ -1,0 +1,139 @@
+package fault
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"github.com/readoptdb/readopt/internal/aio"
+	"github.com/readoptdb/readopt/internal/clock"
+)
+
+// Config tunes a deterministic Injector. Rates are probabilities in
+// [0,1] evaluated per I/O unit; every decision is a pure function of
+// (Seed, fault tag, file name, unit byte offset), so a schedule replays
+// identically across runs, layouts and worker interleavings — the same
+// page always fails the same way no matter which goroutine reads it.
+type Config struct {
+	Seed int64
+	// ReadErrRate injects a transient read error instead of delivering
+	// the unit. The reader's position does not advance, so a retry that
+	// reopens at the same offset hits the fail-then-recover logic below.
+	ReadErrRate float64
+	// PersistRate is the probability that an injected read error keeps
+	// failing on each retry (0 = always recovers on the first retry,
+	// 1 = permanent failure that exhausts the retry budget).
+	PersistRate float64
+	// TornRate truncates a unit by 1–7 bytes, simulating a torn write —
+	// never a whole page, so integrity checking must catch it.
+	TornRate float64
+	// FlipRate flips one bit somewhere in the unit, the silent
+	// corruption that only per-page checksums can catch.
+	FlipRate float64
+	// LatencyRate stalls a unit's delivery by Latency.
+	LatencyRate float64
+	Latency     time.Duration
+	// Clock drives injected latency; nil means the real clock.
+	Clock clock.Clock
+}
+
+// Injector wraps aio.Readers with seeded, deterministic faults. One
+// Injector is shared by all readers of a run; the only mutable state is
+// the per-(file, offset) attempt count behind fail-then-recover, so a
+// Wrap'd reader costs one mutex hit per injected failure, not per unit.
+type Injector struct {
+	cfg Config
+
+	mu       sync.Mutex
+	attempts map[string]int
+}
+
+// NewInjector returns an Injector for cfg.
+func NewInjector(cfg Config) *Injector {
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	return &Injector{cfg: cfg, attempts: make(map[string]int)}
+}
+
+// Wrap returns r with faults injected. name identifies the file and off
+// is the absolute byte offset of r's first unit, so decisions stay
+// aligned to file positions however the file is sectioned across
+// workers or reopened by retries.
+func (in *Injector) Wrap(name string, off int64, r aio.Reader) aio.Reader {
+	return &injectReader{in: in, name: name, off: off, inner: r}
+}
+
+// bump increments and returns the attempt count for a unit.
+func (in *Injector) bump(key string) int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.attempts[key]++
+	return in.attempts[key]
+}
+
+// roll maps (seed, tag, name, off) onto a uniform float in [0,1).
+func (in *Injector) roll(tag, name string, off int64) float64 {
+	return float64(in.hash(tag, name, off)>>11) / float64(1<<53)
+}
+
+// hash is FNV-64a over the decision coordinates.
+func (in *Injector) hash(tag, name string, off int64) uint64 {
+	h := fnv.New64a()
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(in.cfg.Seed))
+	_, _ = h.Write(b[:])
+	_, _ = h.Write([]byte(tag))
+	_, _ = h.Write([]byte(name))
+	binary.LittleEndian.PutUint64(b[:], uint64(off))
+	_, _ = h.Write(b[:])
+	return h.Sum64()
+}
+
+type injectReader struct {
+	in    *Injector
+	name  string
+	off   int64
+	inner aio.Reader
+}
+
+func (r *injectReader) Next() ([]byte, error) {
+	in := r.in
+	off := r.off
+	if in.cfg.LatencyRate > 0 && in.roll("lat", r.name, off) < in.cfg.LatencyRate {
+		in.cfg.Clock.Sleep(in.cfg.Latency)
+	}
+	if in.cfg.ReadErrRate > 0 && in.roll("err", r.name, off) < in.cfg.ReadErrRate {
+		attempt := in.bump(r.name + ":" + fmt.Sprint(off))
+		if attempt == 1 || in.roll("persist", r.name, off) < in.cfg.PersistRate {
+			return nil, Transient(fmt.Errorf("injected read error at %s+%d (attempt %d)", r.name, off, attempt))
+		}
+	}
+	buf, err := r.inner.Next()
+	if err != nil {
+		return buf, err
+	}
+	r.off += int64(len(buf))
+	if in.cfg.FlipRate > 0 && in.roll("flip", r.name, off) < in.cfg.FlipRate {
+		bit := in.hash("flipbit", r.name, off) % uint64(len(buf)*8)
+		buf[bit/8] ^= 1 << (bit % 8)
+	}
+	if in.cfg.TornRate > 0 && in.roll("torn", r.name, off) < in.cfg.TornRate {
+		k := int(in.hash("tornlen", r.name, off)%7) + 1
+		return buf[:len(buf)-k], nil
+	}
+	return buf, nil
+}
+
+func (r *injectReader) Close() error { return r.inner.Close() }
+
+// Stats forwards the inner reader's I/O accounting so trace snapshots
+// see through the injection layer.
+func (r *injectReader) Stats() aio.Stats {
+	if s, ok := r.inner.(interface{ Stats() aio.Stats }); ok {
+		return s.Stats()
+	}
+	return aio.Stats{}
+}

@@ -1,0 +1,92 @@
+package fault
+
+import (
+	"io"
+	"time"
+
+	"github.com/readoptdb/readopt/internal/aio"
+	"github.com/readoptdb/readopt/internal/clock"
+)
+
+// OpenFunc reopens the underlying reader with the first skip bytes of
+// its range already consumed. RetryReader calls it with the number of
+// bytes it has successfully delivered so far, which is always a whole
+// number of I/O units: transient errors never advance the position.
+type OpenFunc func(skip int64) (aio.Reader, error)
+
+// RetryReader retries transient read errors with linear backoff by
+// closing the failed reader and reopening at the last delivered offset.
+// Errors that classify as anything but transient — corruption,
+// cancellation, plain I/O state like io.EOF — pass through untouched,
+// as does a transient error once the per-read attempt budget is spent.
+type RetryReader struct {
+	open     OpenFunc
+	attempts int
+	backoff  time.Duration
+	clk      clock.Clock
+
+	inner     aio.Reader
+	delivered int64
+	// base accumulates the Stats of readers closed by retries so the
+	// trace's I/O accounting survives reopens.
+	base aio.Stats
+}
+
+// NewRetryReader opens the initial reader via open(0) and returns a
+// RetryReader allowing the given extra attempts per failed read.
+// backoff is the base of the linear backoff (attempt n sleeps n*backoff
+// on clk).
+func NewRetryReader(open OpenFunc, attempts int, backoff time.Duration, clk clock.Clock) (*RetryReader, error) {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	inner, err := open(0)
+	if err != nil {
+		return nil, err
+	}
+	return &RetryReader{open: open, attempts: attempts, backoff: backoff, clk: clk, inner: inner}, nil
+}
+
+// Next returns the next unit, transparently retrying transient errors.
+func (r *RetryReader) Next() ([]byte, error) {
+	for tries := 0; ; {
+		buf, err := r.inner.Next()
+		if err == nil {
+			r.delivered += int64(len(buf))
+			return buf, nil
+		}
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		tries++
+		if Classify(err) != KindTransient || tries > r.attempts {
+			return nil, err
+		}
+		r.foldStats()
+		_ = r.inner.Close()
+		r.clk.Sleep(time.Duration(tries) * r.backoff)
+		inner, oerr := r.open(r.delivered)
+		if oerr != nil {
+			return nil, oerr
+		}
+		r.inner = inner
+	}
+}
+
+// Close closes the current inner reader.
+func (r *RetryReader) Close() error { return r.inner.Close() }
+
+// Stats folds the accounting of every reader this RetryReader has used.
+func (r *RetryReader) Stats() aio.Stats {
+	s := r.base
+	if in, ok := r.inner.(interface{ Stats() aio.Stats }); ok {
+		s.Add(in.Stats())
+	}
+	return s
+}
+
+func (r *RetryReader) foldStats() {
+	if in, ok := r.inner.(interface{ Stats() aio.Stats }); ok {
+		r.base.Add(in.Stats())
+	}
+}

@@ -1,0 +1,44 @@
+package fault
+
+import "io"
+
+// ScriptReader is an aio.Reader that serves a fixed script: each Next
+// call delivers the next unit, and when the script runs out it returns
+// Err (io.EOF when Err is nil). It is the shared test double for
+// exercising scanner and plan failure paths — inject a read error after
+// k good units, a torn unit, or a corrupted page by scripting exactly
+// those bytes.
+type ScriptReader struct {
+	// Units are served in order, one per Next call.
+	Units [][]byte
+	// Err is returned once the units are exhausted; nil means io.EOF.
+	Err error
+	// CloseErr is returned by Close, for exercising close-error paths.
+	CloseErr error
+
+	pos    int
+	closed bool
+}
+
+// Next returns the next scripted unit, then Err (or io.EOF) forever.
+func (r *ScriptReader) Next() ([]byte, error) {
+	if r.pos < len(r.Units) {
+		u := r.Units[r.pos]
+		r.pos++
+		return u, nil
+	}
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	return nil, io.EOF
+}
+
+// Close returns CloseErr.
+func (r *ScriptReader) Close() error {
+	r.closed = true
+	return r.CloseErr
+}
+
+// Closed reports whether Close was called — lets tests assert readers
+// are not leaked on error paths.
+func (r *ScriptReader) Closed() bool { return r.closed }

@@ -85,6 +85,7 @@ func Analyzers() []*Analyzer {
 		PageBounds,
 		ClockDiscipline,
 		TracePool,
+		FaultCmp,
 	}
 }
 

@@ -1,0 +1,70 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// FaultCmp guards the failure taxonomy's matching contract. The
+// sentinels fault.ErrTransient, fault.ErrCorrupt and fault.ErrCancelled
+// never travel naked: the engine wraps them around causes (tagged
+// errors whose multi-error Unwrap exposes both the sentinel and the
+// cause), so a direct == or != against a sentinel compiles fine and
+// silently never matches — the exact bug shape that turns a typed
+// corruption error back into an anonymous failure. Callers must match
+// with errors.Is or classify with fault.Classify.
+var FaultCmp = &Analyzer{
+	Name: "faultcmp",
+	Doc: "the fault taxonomy sentinels (ErrTransient, ErrCorrupt, ErrCancelled) are always " +
+		"wrapped; == / != against them never matches — use errors.Is or fault.Classify",
+	Run: runFaultCmp,
+}
+
+// faultSentinels are the taxonomy sentinel names, flagged wherever they
+// appear (bare or selector-qualified) so the check covers the fault
+// package itself, engine code using fault.ErrX, and the facade's
+// re-exports readopt.ErrX alike.
+var faultSentinels = map[string]bool{
+	"ErrTransient": true,
+	"ErrCorrupt":   true,
+	"ErrCancelled": true,
+}
+
+func runFaultCmp(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			for _, e := range []ast.Expr{be.X, be.Y} {
+				if name, ok := sentinelName(e); ok {
+					pass.Reportf(be.Pos(), "%s %s %s: the sentinel is always wrapped, so this never matches; use errors.Is",
+						name, be.Op, "error")
+					break
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelName reports whether e names a taxonomy sentinel, bare
+// (ErrCorrupt) or qualified (fault.ErrCorrupt, readopt.ErrCorrupt).
+func sentinelName(e ast.Expr) (string, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if faultSentinels[x.Name] {
+			return x.Name, true
+		}
+	case *ast.SelectorExpr:
+		if faultSentinels[x.Sel.Name] {
+			if pkg, ok := x.X.(*ast.Ident); ok {
+				return pkg.Name + "." + x.Sel.Name, true
+			}
+			return x.Sel.Name, true
+		}
+	}
+	return "", false
+}

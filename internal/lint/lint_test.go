@@ -29,6 +29,8 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"clockdiscipline_main", lint.ClockDiscipline, false},
 		{"tracepool", lint.TracePool, true},
 		{"tracepool_clean", lint.TracePool, false},
+		{"faultcmp", lint.FaultCmp, true},
+		{"faultcmp_clean", lint.FaultCmp, false},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {
@@ -50,6 +52,7 @@ func TestFullSuiteOnCleanFixtures(t *testing.T) {
 	for _, dir := range []string{
 		"hotalloc_clean", "bitwidth_clean", "pagebounds_clean",
 		"clockdiscipline_clean", "clockdiscipline_main", "tracepool_clean",
+		"faultcmp_clean",
 	} {
 		t.Run(dir, func(t *testing.T) {
 			diags := linttest.Run(t, filepath.Join("testdata", "src", dir), lint.Analyzers()...)

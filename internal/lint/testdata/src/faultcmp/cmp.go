@@ -1,0 +1,47 @@
+// Package faultcmp is the dirty faultcmp fixture: direct equality
+// against the failure-taxonomy sentinels, which never matches because
+// the engine always wraps them. Local sentinel declarations keep the
+// fixture self-contained.
+package faultcmp
+
+import (
+	"errors"
+	"io"
+)
+
+var (
+	ErrTransient = errors.New("transient")
+	ErrCorrupt   = errors.New("corrupt")
+	ErrCancelled = errors.New("cancelled")
+	errOther     = errors.New("other")
+)
+
+func bareEq(err error) bool {
+	return err == ErrTransient // want "ErrTransient"
+}
+
+func bareNeq(err error) bool {
+	return ErrCorrupt != err // want "ErrCorrupt"
+}
+
+func switchCmp(err error) string {
+	switch {
+	case err == ErrCancelled: // want "ErrCancelled"
+		return "cancelled"
+	}
+	return ""
+}
+
+// notSentinels: equality against other errors stays legal — the check
+// must not outlaw err == io.EOF or comparisons with local errors.
+func notSentinels(err error) bool {
+	if err == io.EOF {
+		return true
+	}
+	return err == errOther
+}
+
+func tolerated(err error) bool {
+	//readopt:ignore faultcmp fixture exercises the line-above escape hatch
+	return err == ErrTransient
+}

@@ -1,0 +1,28 @@
+// Package faultcmp is the clean faultcmp fixture: every sentinel match
+// goes through errors.Is, and plain errors still compare directly.
+package faultcmp
+
+import (
+	"errors"
+	"io"
+)
+
+var (
+	ErrTransient = errors.New("transient")
+	ErrCorrupt   = errors.New("corrupt")
+	ErrCancelled = errors.New("cancelled")
+)
+
+func classify(err error) string {
+	switch {
+	case errors.Is(err, ErrCancelled):
+		return "cancelled"
+	case errors.Is(err, ErrCorrupt):
+		return "corrupt"
+	case errors.Is(err, ErrTransient):
+		return "transient"
+	case err == io.EOF:
+		return "eof"
+	}
+	return "other"
+}

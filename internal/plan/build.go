@@ -23,10 +23,19 @@ func (p *Plan) Operator(o ExecOpts) (exec.Operator, error) {
 	if name == "" {
 		name = "scan"
 	}
+	var op exec.Operator
+	var err error
 	if n := p.Dop(); n > 1 {
-		return p.parallelOperator(o, name, n)
+		op, err = p.parallelOperator(o, name, n)
+	} else {
+		op, err = p.serialOperator(o, name)
 	}
-	return p.serialOperator(o, name)
+	if err != nil {
+		return nil, err
+	}
+	// The root checks the context between blocks, so even a plan whose
+	// scan is buffered ahead stops promptly on cancellation.
+	return exec.WithCancel(op, o.Ctx), nil
 }
 
 // scanDetail renders the scan stage's detail line.
@@ -57,7 +66,7 @@ func (p *Plan) serialOperator(o ExecOpts, stageName string) (exec.Operator, erro
 		scanStage.RowsIn = p.tbl.Tuples
 		ctr = &scanStage.Counters
 	}
-	op, err := p.scanOperator(ctr, o.Trace)
+	op, err := p.scanOperator(o.Ctx, ctr, o.Trace)
 	if err != nil {
 		return nil, err
 	}
@@ -113,7 +122,7 @@ func (p *Plan) parallelOperator(o ExecOpts, stageName string, n int) (exec.Opera
 			workerScan[i] = o.Trace.WorkerStage(stageName, fmt.Sprintf("worker %d", i))
 			ctr = &workerScan[i].Counters
 		}
-		op, err := p.scanRange(ctr, o.Trace, p.bounds[i], p.bounds[i+1])
+		op, err := p.scanRange(o.Ctx, ctr, o.Trace, p.bounds[i], p.bounds[i+1])
 		if err != nil {
 			closeBuilt()
 			return nil, err
@@ -138,7 +147,9 @@ func (p *Plan) parallelOperator(o ExecOpts, stageName string, n int) (exec.Opera
 				op = trace.Wrap(op, workerAgg[i])
 			}
 		}
-		children[i] = op
+		// Each worker chain checks the context itself, so Exchange
+		// producers stop pulling even while the consumer is blocked.
+		children[i] = exec.WithCancel(op, o.Ctx)
 	}
 	ex, err := exec.NewExchange(children, exec.DefaultBlockTuples, exchangeDepth)
 	if err != nil {

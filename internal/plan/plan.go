@@ -19,6 +19,7 @@
 package plan
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/readoptdb/readopt/internal/cpumodel"
@@ -70,6 +71,10 @@ type Plan struct {
 
 // ExecOpts parameterize one execution of a compiled plan.
 type ExecOpts struct {
+	// Ctx bounds the execution: when it is cancelled the scan readers
+	// stop issuing I/O, every worker chain stops pulling, and the query
+	// fails with a typed cancellation error. Nil means unbounded.
+	Ctx context.Context
 	// Counters is the query-wide pool untraced operators charge; a
 	// parallel plan also merges its per-worker pools into it, in
 	// partition order.

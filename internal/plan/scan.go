@@ -1,11 +1,16 @@
 package plan
 
 import (
+	"context"
 	"os"
+	"path/filepath"
+	"time"
 
 	"github.com/readoptdb/readopt/internal/aio"
+	"github.com/readoptdb/readopt/internal/clock"
 	"github.com/readoptdb/readopt/internal/cpumodel"
 	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/fault"
 	"github.com/readoptdb/readopt/internal/page"
 	"github.com/readoptdb/readopt/internal/scan"
 	"github.com/readoptdb/readopt/internal/store"
@@ -17,6 +22,14 @@ import (
 const (
 	ioUnit  = 128 << 10
 	ioDepth = 48
+)
+
+// retryAttempts and retryBackoff bound the scan's tolerance of
+// transient read errors: each failed read is retried up to retryAttempts
+// times with linear backoff before the error surfaces as ErrTransient.
+const (
+	retryAttempts = 3
+	retryBackoff  = 2 * time.Millisecond
 )
 
 // tableReader wires a data file behind the prefetching OS reader.
@@ -33,23 +46,32 @@ func (r *tableReader) Close() error {
 	return err
 }
 
-func openReader(path string) (aio.Reader, error) {
-	return openSection(path, 0, -1)
-}
-
 // openSection opens a page-aligned byte range of a data file behind the
 // prefetching reader; a negative length reads to the end of the file.
-func openSection(path string, off, length int64) (aio.Reader, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
+// The reader stack, bottom to top: OS prefetcher (cancelled by ctx) →
+// chaos injector (no-op unless enabled) → transient-error retry, which
+// reopens the stack at the failed offset. Fault-injection decisions and
+// retries key on the file's base name and absolute byte offsets, so
+// they are deterministic across partitionings and reopens.
+func openSection(ctx context.Context, path string, off, length int64) (aio.Reader, error) {
+	name := filepath.Base(path)
+	open := func(skip int64) (aio.Reader, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		l := length
+		if l >= 0 {
+			l -= skip
+		}
+		r, err := aio.NewOSReaderSectionCtx(ctx, f, ioUnit, ioDepth, off+skip, l)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		return fault.ChaosWrap(name, off+skip, &tableReader{OSReader: r, f: f}), nil
 	}
-	r, err := aio.NewOSReaderSection(f, ioUnit, ioDepth, off, length)
-	if err != nil {
-		f.Close()
-		return nil, err
-	}
-	return &tableReader{OSReader: r, f: f}, nil
+	return fault.NewRetryReader(open, retryAttempts, retryBackoff, clock.Real{})
 }
 
 // addReader registers a reader's statistics with the trace, so prefetch
@@ -63,82 +85,63 @@ func addReader(tr *trace.Trace, r aio.Reader) {
 	}
 }
 
+// integrity builds the scan-side page-CRC view of a data file section:
+// startPage pages in, pages pages long (negative = to the end). Tables
+// without sidecars get nil, which disables checking.
+func (p *Plan) integrity(path string, startPage, pages int64) *scan.Integrity {
+	crcs := p.tbl.PageChecksums(filepath.Base(path))
+	if crcs == nil {
+		return nil
+	}
+	if pages < 0 {
+		pages = int64(len(crcs)) - startPage
+	}
+	return &scan.Integrity{CRCs: crcs, StartPage: startPage, Pages: pages}
+}
+
 // scanOperator builds the full-table physical scan. A non-nil tr
 // registers the scan's I/O readers with the trace.
-func (p *Plan) scanOperator(counters *cpumodel.Counters, tr *trace.Trace) (exec.Operator, error) {
-	t := p.tbl
-	if t.Layout == store.Row || t.Layout == store.PAX {
-		reader, err := openReader(t.DataPath())
-		if err != nil {
-			return nil, err
-		}
-		addReader(tr, reader)
-		cfg := scan.RowConfig{
-			Schema:   t.Schema,
-			PageSize: t.PageSize,
-			Reader:   reader,
-			Dicts:    t.Dicts,
-			Preds:    p.spec.Preds,
-			Proj:     p.spec.Proj,
-			Counters: counters,
-		}
-		var op exec.Operator
-		if t.Layout == store.PAX {
-			op, err = scan.NewPAXScanner(cfg)
-		} else {
-			op, err = scan.NewRowScanner(cfg)
-		}
-		if err != nil {
-			reader.Close()
-			return nil, err
-		}
-		return op, nil
-	}
-	readers, err := p.openColumnReaders(tr, func(int64) (int64, int64) { return 0, -1 })
-	if err != nil {
-		return nil, err
-	}
-	op, err := scan.NewColScanner(scan.ColConfig{
-		Schema:   t.Schema,
-		PageSize: t.PageSize,
-		Readers:  readers,
-		Dicts:    t.Dicts,
-		Preds:    p.spec.Preds,
-		Proj:     p.spec.Proj,
-		Counters: counters,
-	})
-	if err != nil {
-		for _, r := range readers {
-			r.Close()
-		}
-		return nil, err
-	}
-	return op, nil
+func (p *Plan) scanOperator(ctx context.Context, counters *cpumodel.Counters, tr *trace.Trace) (exec.Operator, error) {
+	return p.buildScan(ctx, counters, tr, 0, p.tbl.Tuples, false)
 }
 
 // scanRange builds the physical scan for the row range [startRow,
 // endRow) — one parallel worker's morsel source.
-func (p *Plan) scanRange(counters *cpumodel.Counters, tr *trace.Trace, startRow, endRow int64) (exec.Operator, error) {
+func (p *Plan) scanRange(ctx context.Context, counters *cpumodel.Counters, tr *trace.Trace, startRow, endRow int64) (exec.Operator, error) {
+	return p.buildScan(ctx, counters, tr, startRow, endRow, true)
+}
+
+// buildScan is the shared body: a full scan is a range scan over the
+// whole table whose readers stream the entire file.
+func (p *Plan) buildScan(ctx context.Context, counters *cpumodel.Counters, tr *trace.Trace, startRow, endRow int64, ranged bool) (exec.Operator, error) {
 	t := p.tbl
 	if t.Layout == store.Row || t.Layout == store.PAX {
 		// Page-aligned partition: slice the single data file by pages and
 		// run the ordinary scanner over the section.
-		capacity := int64(page.RowGeometry(t.Schema, t.PageSize).Capacity())
-		startPage := startRow / capacity
-		endPage := (endRow + capacity - 1) / capacity
-		reader, err := openSection(t.DataPath(), startPage*int64(t.PageSize), (endPage-startPage)*int64(t.PageSize))
+		startPage, pages := int64(0), int64(-1)
+		if ranged {
+			capacity := int64(page.RowGeometry(t.Schema, t.PageSize).Capacity())
+			startPage = startRow / capacity
+			pages = (endRow+capacity-1)/capacity - startPage
+		}
+		length := pages * int64(t.PageSize)
+		if pages < 0 {
+			length = -1
+		}
+		reader, err := openSection(ctx, t.DataPath(), startPage*int64(t.PageSize), length)
 		if err != nil {
 			return nil, err
 		}
 		addReader(tr, reader)
 		cfg := scan.RowConfig{
-			Schema:   t.Schema,
-			PageSize: t.PageSize,
-			Reader:   reader,
-			Dicts:    t.Dicts,
-			Preds:    p.spec.Preds,
-			Proj:     p.spec.Proj,
-			Counters: counters,
+			Schema:    t.Schema,
+			PageSize:  t.PageSize,
+			Reader:    reader,
+			Dicts:     t.Dicts,
+			Preds:     p.spec.Preds,
+			Proj:      p.spec.Proj,
+			Counters:  counters,
+			Integrity: p.integrity(t.DataPath(), startPage, pages),
 		}
 		var op exec.Operator
 		if t.Layout == store.PAX {
@@ -155,25 +158,32 @@ func (p *Plan) scanRange(counters *cpumodel.Counters, tr *trace.Trace, startRow,
 
 	// Column layout: every needed column streams from the page containing
 	// startRow; the scanner trims to the exact row range.
-	readers, err := p.openColumnReaders(tr, func(attrCap int64) (int64, int64) {
-		startPage := startRow / attrCap
-		endPage := (endRow + attrCap - 1) / attrCap
-		return startPage * int64(t.PageSize), (endPage - startPage) * int64(t.PageSize)
-	})
+	pageRange := func(int64) (int64, int64) { return 0, -1 }
+	if ranged {
+		pageRange = func(attrCap int64) (int64, int64) {
+			startPage := startRow / attrCap
+			return startPage, (endRow+attrCap-1)/attrCap - startPage
+		}
+	}
+	readers, integ, err := p.openColumnReaders(ctx, tr, pageRange)
 	if err != nil {
 		return nil, err
 	}
-	op, err := scan.NewColScanner(scan.ColConfig{
-		Schema:   t.Schema,
-		PageSize: t.PageSize,
-		Readers:  readers,
-		Dicts:    t.Dicts,
-		Preds:    p.spec.Preds,
-		Proj:     p.spec.Proj,
-		Counters: counters,
-		StartRow: startRow,
-		EndRow:   endRow,
-	})
+	cfg := scan.ColConfig{
+		Schema:    t.Schema,
+		PageSize:  t.PageSize,
+		Readers:   readers,
+		Dicts:     t.Dicts,
+		Preds:     p.spec.Preds,
+		Proj:      p.spec.Proj,
+		Counters:  counters,
+		Integrity: integ,
+	}
+	if ranged {
+		cfg.StartRow = startRow
+		cfg.EndRow = endRow
+	}
+	op, err := scan.NewColScanner(cfg)
 	if err != nil {
 		for _, r := range readers {
 			r.Close()
@@ -183,10 +193,11 @@ func (p *Plan) scanRange(counters *cpumodel.Counters, tr *trace.Trace, startRow,
 	return op, nil
 }
 
-// openColumnReaders opens one reader per column the scan touches.
-// section maps a column's page capacity to its (offset, length) file
-// section; the full-table scan uses (0, -1).
-func (p *Plan) openColumnReaders(tr *trace.Trace, section func(attrCap int64) (int64, int64)) (map[int]aio.Reader, error) {
+// openColumnReaders opens one reader per column the scan touches, with
+// that column's integrity view. pageRange maps a column's page capacity
+// to its (startPage, pages) file section; the full-table scan uses
+// (0, -1).
+func (p *Plan) openColumnReaders(ctx context.Context, tr *trace.Trace, pageRange func(attrCap int64) (int64, int64)) (map[int]aio.Reader, map[int]*scan.Integrity, error) {
 	t := p.tbl
 	need := map[int]bool{}
 	for _, pr := range p.spec.Preds {
@@ -196,18 +207,26 @@ func (p *Plan) openColumnReaders(tr *trace.Trace, section func(attrCap int64) (i
 		need[a] = true
 	}
 	readers := map[int]aio.Reader{}
+	integ := map[int]*scan.Integrity{}
 	for a := range need {
 		capacity := int64(page.ColGeometry(t.Schema.Attrs[a], t.PageSize).Capacity())
-		off, length := section(capacity)
-		r, err := openSection(t.ColumnPath(a), off, length)
+		startPage, pages := pageRange(capacity)
+		length := pages * int64(t.PageSize)
+		if pages < 0 {
+			length = -1
+		}
+		r, err := openSection(ctx, t.ColumnPath(a), startPage*int64(t.PageSize), length)
 		if err != nil {
 			for _, open := range readers {
 				open.Close()
 			}
-			return nil, err
+			return nil, nil, err
 		}
 		addReader(tr, r)
 		readers[a] = r
+		if in := p.integrity(t.ColumnPath(a), startPage, pages); in != nil {
+			integ[a] = in
+		}
 	}
-	return readers, nil
+	return readers, integ, nil
 }

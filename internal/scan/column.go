@@ -43,6 +43,10 @@ type ColConfig struct {
 	// which is how partitioned scans parallelize a table.
 	StartRow int64
 	EndRow   int64
+	// Integrity, keyed by attribute index, makes each column cursor
+	// verify its pages' CRCs against the store sidecar; nil or missing
+	// entries disable checking for that column.
+	Integrity map[int]*Integrity
 }
 
 func (cfg *ColConfig) fill() {
@@ -113,6 +117,7 @@ func buildNodes(cfg *ColConfig, out *schema.Schema, preds map[int][]exec.Predica
 		if err != nil {
 			return nil, err
 		}
+		cur.integ = cfg.Integrity[a]
 		if cfg.StartRow > 0 {
 			// The reader starts at the page containing StartRow.
 			cap64 := int64(cur.cr.Capacity())

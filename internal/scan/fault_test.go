@@ -8,31 +8,11 @@ import (
 
 	"github.com/readoptdb/readopt/internal/aio"
 	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/fault"
 	"github.com/readoptdb/readopt/internal/page"
 	"github.com/readoptdb/readopt/internal/schema"
 	"github.com/readoptdb/readopt/internal/store"
 )
-
-// faultReader serves canned buffers, then a failure.
-type faultReader struct {
-	units [][]byte
-	err   error
-	pos   int
-}
-
-func (r *faultReader) Next() ([]byte, error) {
-	if r.pos < len(r.units) {
-		u := r.units[r.pos]
-		r.pos++
-		return u, nil
-	}
-	if r.err != nil {
-		return nil, r.err
-	}
-	return nil, io.EOF
-}
-
-func (r *faultReader) Close() error { return nil }
 
 var errDisk = errors.New("injected disk failure")
 
@@ -65,6 +45,13 @@ func readUnits(t *testing.T, path string, unitPages int) [][]byte {
 	return units
 }
 
+// integrityOf builds the scan-side Integrity for a data file from the
+// store's sidecar.
+func integrityOf(tbl *store.Table, name string) *Integrity {
+	crcs := tbl.PageChecksums(name)
+	return &Integrity{CRCs: crcs, Pages: int64(len(crcs))}
+}
+
 // TestRowScannerPropagatesIOFailure: an error from the I/O layer reaches
 // the query as an error, not a truncated result.
 func TestRowScannerPropagatesIOFailure(t *testing.T) {
@@ -73,7 +60,7 @@ func TestRowScannerPropagatesIOFailure(t *testing.T) {
 	r, err := NewRowScanner(RowConfig{
 		Schema:   tbls.row.Schema,
 		PageSize: tbls.row.PageSize,
-		Reader:   &faultReader{units: units[:1], err: errDisk},
+		Reader:   &fault.ScriptReader{Units: units[:1], Err: errDisk},
 		Proj:     []int{0},
 	})
 	if err != nil {
@@ -94,8 +81,8 @@ func TestColumnScannerPropagatesIOFailure(t *testing.T) {
 		Schema:   tbls.col.Schema,
 		PageSize: tbls.col.PageSize,
 		Readers: map[int]aio.Reader{
-			0: &faultReader{units: goodUnits},
-			5: &faultReader{units: badUnits[:1], err: errDisk},
+			0: &fault.ScriptReader{Units: goodUnits},
+			5: &fault.ScriptReader{Units: badUnits[:1], Err: errDisk},
 		},
 		Proj: []int{0, 5},
 	})
@@ -108,10 +95,10 @@ func TestColumnScannerPropagatesIOFailure(t *testing.T) {
 }
 
 // TestScannersRejectRaggedUnits: an I/O unit that is not a whole number
-// of pages indicates corruption and must error.
+// of pages indicates corruption and must error — with the typed kind.
 func TestScannersRejectRaggedUnits(t *testing.T) {
 	tbls := loadBoth(t, schema.Orders())
-	ragged := &faultReader{units: [][]byte{make([]byte, 4096+13)}}
+	ragged := &fault.ScriptReader{Units: [][]byte{make([]byte, 4096+13)}}
 	r, err := NewRowScanner(RowConfig{
 		Schema:   tbls.row.Schema,
 		PageSize: tbls.row.PageSize,
@@ -121,8 +108,12 @@ func TestScannersRejectRaggedUnits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := exec.Drain(r); err == nil || !strings.Contains(err.Error(), "whole pages") {
+	_, err = exec.Drain(r)
+	if err == nil || !strings.Contains(err.Error(), "whole pages") {
 		t.Errorf("Drain error = %v, want whole-pages complaint", err)
+	}
+	if !errors.Is(err, fault.ErrCorrupt) {
+		t.Errorf("ragged-unit error is untyped: %v", err)
 	}
 }
 
@@ -136,7 +127,7 @@ func TestRowScannerRejectsCorruptCount(t *testing.T) {
 	r, err := NewRowScanner(RowConfig{
 		Schema:   tbls.row.Schema,
 		PageSize: tbls.row.PageSize,
-		Reader:   &faultReader{units: [][]byte{corrupt}},
+		Reader:   &fault.ScriptReader{Units: [][]byte{corrupt}},
 		Dicts:    tbls.row.Dicts,
 		Proj:     []int{0},
 	})
@@ -146,6 +137,9 @@ func TestRowScannerRejectsCorruptCount(t *testing.T) {
 	_, err = exec.Drain(r)
 	if err == nil {
 		t.Error("corrupt page count accepted")
+	}
+	if !errors.Is(err, fault.ErrCorrupt) {
+		t.Errorf("corrupt-count error is untyped: %v", err)
 	}
 }
 
@@ -159,16 +153,20 @@ func TestColumnCursorRejectsShortColumn(t *testing.T) {
 		Schema:   tbls.col.Schema,
 		PageSize: tbls.col.PageSize,
 		Readers: map[int]aio.Reader{
-			0: &faultReader{units: full},
-			5: &faultReader{units: short[:1]}, // only the first unit
+			0: &fault.ScriptReader{Units: full},
+			5: &fault.ScriptReader{Units: short[:1]}, // only the first unit
 		},
 		Proj: []int{0, 5},
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := exec.Drain(c); err == nil || !strings.Contains(err.Error(), "ended before row") {
+	_, err = exec.Drain(c)
+	if err == nil || !strings.Contains(err.Error(), "ended before row") {
 		t.Errorf("Drain error = %v, want short-column complaint", err)
+	}
+	if !errors.Is(err, fault.ErrCorrupt) {
+		t.Errorf("short-column error is untyped: %v", err)
 	}
 }
 
@@ -183,7 +181,7 @@ func TestPAXScannerPropagatesIOFailure(t *testing.T) {
 	s, err := NewPAXScanner(RowConfig{
 		Schema:   tbl.Schema,
 		PageSize: tbl.PageSize,
-		Reader:   &faultReader{units: units[:1], err: errDisk},
+		Reader:   &fault.ScriptReader{Units: units[:1], Err: errDisk},
 		Proj:     []int{0},
 	})
 	if err != nil {
@@ -191,5 +189,103 @@ func TestPAXScannerPropagatesIOFailure(t *testing.T) {
 	}
 	if _, err := exec.Drain(s); !errors.Is(err, errDisk) {
 		t.Errorf("Drain error = %v, want injected failure", err)
+	}
+}
+
+// TestRowScannerDetectsBitFlip: with the sidecar CRCs wired in, a single
+// flipped bit inside a page body fails the scan with a corruption error
+// instead of decoding a wrong value.
+func TestRowScannerDetectsBitFlip(t *testing.T) {
+	tbls := loadBoth(t, schema.Orders())
+	units := readUnits(t, tbls.row.RowPath(), 4)
+	// Flip one bit in the second page of the first unit.
+	corrupt := append([]byte(nil), units[0]...)
+	corrupt[4096+911] ^= 0x10
+	units[0] = corrupt
+	r, err := NewRowScanner(RowConfig{
+		Schema:    tbls.row.Schema,
+		PageSize:  tbls.row.PageSize,
+		Reader:    &fault.ScriptReader{Units: units},
+		Proj:      []int{0},
+		Integrity: integrityOf(tbls.row, "table.row"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = exec.Drain(r)
+	if !errors.Is(err, fault.ErrCorrupt) || err == nil || !strings.Contains(err.Error(), "page 1") {
+		t.Errorf("Drain error = %v, want corruption on page 1", err)
+	}
+}
+
+// TestRowScannerDetectsTruncation: a reader that ends early (torn file)
+// is truncation, not a clean EOF.
+func TestRowScannerDetectsTruncation(t *testing.T) {
+	tbls := loadBoth(t, schema.Orders())
+	units := readUnits(t, tbls.row.RowPath(), 4)
+	r, err := NewRowScanner(RowConfig{
+		Schema:    tbls.row.Schema,
+		PageSize:  tbls.row.PageSize,
+		Reader:    &fault.ScriptReader{Units: units[:1]}, // EOF after one unit
+		Proj:      []int{0},
+		Integrity: integrityOf(tbls.row, "table.row"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = exec.Drain(r)
+	if !errors.Is(err, fault.ErrCorrupt) || err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("Drain error = %v, want truncation complaint", err)
+	}
+}
+
+// TestColumnScannerDetectsBitFlip: the column cursor checks its pages
+// against the column file's sidecar.
+func TestColumnScannerDetectsBitFlip(t *testing.T) {
+	tbls := loadBoth(t, schema.Orders())
+	name0 := store.ColumnFileName(tbls.col.Schema, 0)
+	units := readUnits(t, tbls.col.ColumnPath(0), 4)
+	corrupt := append([]byte(nil), units[0]...)
+	corrupt[2048] ^= 0x01
+	units[0] = corrupt
+	c, err := NewColScanner(ColConfig{
+		Schema:   tbls.col.Schema,
+		PageSize: tbls.col.PageSize,
+		Readers: map[int]aio.Reader{
+			0: &fault.ScriptReader{Units: units},
+		},
+		Proj:      []int{0},
+		Integrity: map[int]*Integrity{0: integrityOf(tbls.col, name0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Drain(c); !errors.Is(err, fault.ErrCorrupt) {
+		t.Errorf("Drain error = %v, want typed corruption", err)
+	}
+}
+
+// TestPAXScannerDetectsBitFlip mirrors the row check for PAX pages.
+func TestPAXScannerDetectsBitFlip(t *testing.T) {
+	tbl, err := store.LoadSynthetic(t.TempDir()+"/pax", schema.Orders(), store.PAX, 4096, testSeed, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := readUnits(t, tbl.PAXPath(), 2)
+	corrupt := append([]byte(nil), units[0]...)
+	corrupt[300] ^= 0x80
+	units[0] = corrupt
+	s, err := NewPAXScanner(RowConfig{
+		Schema:    tbl.Schema,
+		PageSize:  tbl.PageSize,
+		Reader:    &fault.ScriptReader{Units: units},
+		Proj:      []int{0},
+		Integrity: integrityOf(tbl, "table.pax"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Drain(s); !errors.Is(err, fault.ErrCorrupt) {
+		t.Errorf("Drain error = %v, want typed corruption", err)
 	}
 }

@@ -1,0 +1,50 @@
+package scan
+
+import (
+	"hash/crc32"
+
+	"github.com/readoptdb/readopt/internal/fault"
+)
+
+// Integrity carries a data file's per-page CRCs (store sidecar) into a
+// scanner, which verifies every page as it is sliced out of an I/O unit
+// — before any value is decoded — so a bit flip in a packed code
+// surfaces as a typed corruption error instead of a silently wrong
+// answer. A nil *Integrity (tables written before sidecars existed)
+// disables checking.
+type Integrity struct {
+	// CRCs are the whole file's page checksums, indexed by global page.
+	CRCs []uint32
+	// StartPage is the global index of the first page the scanner's
+	// reader delivers; partitioned scans read a section of the file.
+	StartPage int64
+	// Pages is how many pages the reader must deliver before EOF.
+	// Seeing fewer means the file or section was truncated.
+	Pages int64
+}
+
+// verify checks the n-th page this scanner has read (0-based, relative
+// to StartPage).
+func (in *Integrity) verify(where string, pg []byte, n int64) error {
+	if in == nil {
+		return nil
+	}
+	global := in.StartPage + n
+	if global >= int64(len(in.CRCs)) {
+		return fault.Corruptf("scan: %s: page %d beyond the %d pages recorded at load", where, global, len(in.CRCs))
+	}
+	if got := crc32.ChecksumIEEE(pg); got != in.CRCs[global] {
+		return fault.Corruptf("scan: %s: page %d failed its checksum: crc %08x, recorded %08x",
+			where, global, got, in.CRCs[global])
+	}
+	return nil
+}
+
+// checkComplete runs at reader EOF: delivering fewer pages than the
+// sidecar promised is truncation, not end of data.
+func (in *Integrity) checkComplete(where string, pagesRead int64) error {
+	if in == nil || pagesRead >= in.Pages {
+		return nil
+	}
+	return fault.Corruptf("scan: %s: truncated: read %d of %d pages", where, pagesRead, in.Pages)
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/fault"
 	"github.com/readoptdb/readopt/internal/page"
 	"github.com/readoptdb/readopt/internal/schema"
 )
@@ -24,13 +25,14 @@ type PAXScanner struct {
 
 	block *exec.Block
 
-	unit    []byte
-	unitOff int
-	pg      []byte
-	pgPos   int
-	pgCount int
-	eof     bool
-	opened  bool
+	unit      []byte
+	unitOff   int
+	pg        []byte
+	pgPos     int
+	pgCount   int
+	pagesRead int64
+	eof       bool
+	opened    bool
 
 	// Whole-page value arrays for predicate attributes and for
 	// sequential-only (FOR-delta) projected attributes.
@@ -112,13 +114,16 @@ func (r *PAXScanner) nextPage() error {
 		buf, err := r.cfg.Reader.Next()
 		if err == io.EOF {
 			r.eof = true
+			if err := r.cfg.Integrity.checkComplete("PAX file", r.pagesRead); err != nil {
+				return err
+			}
 			return io.EOF
 		}
 		if err != nil {
 			return err
 		}
 		if len(buf)%r.cfg.PageSize != 0 {
-			return fmt.Errorf("scan: PAX file: I/O unit of %d bytes is not whole pages", len(buf))
+			return fault.Corruptf("scan: PAX file: I/O unit of %d bytes is not whole pages", len(buf))
 		}
 		r.cfg.Counters.AddIO(int64(len(buf)))
 		r.unit = buf
@@ -126,9 +131,13 @@ func (r *PAXScanner) nextPage() error {
 	}
 	r.pg = r.unit[r.unitOff : r.unitOff+r.cfg.PageSize]
 	r.unitOff += r.cfg.PageSize
+	if err := r.cfg.Integrity.verify("PAX file", r.pg, r.pagesRead); err != nil {
+		return err
+	}
+	r.pagesRead++
 	r.pgCount = page.Count(r.pg)
 	if r.pgCount < 0 || r.pgCount > r.pr.Capacity() {
-		return fmt.Errorf("scan: corrupt PAX page: count %d exceeds capacity %d", r.pgCount, r.pr.Capacity())
+		return fault.Corruptf("scan: corrupt PAX page: count %d exceeds capacity %d", r.pgCount, r.pr.Capacity())
 	}
 	r.pgPos = 0
 	r.cfg.Counters.AddInstr(r.cfg.Costs.PageOverhead)

@@ -9,6 +9,7 @@ import (
 	"github.com/readoptdb/readopt/internal/compress"
 	"github.com/readoptdb/readopt/internal/cpumodel"
 	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/fault"
 	"github.com/readoptdb/readopt/internal/page"
 	"github.com/readoptdb/readopt/internal/schema"
 )
@@ -36,6 +37,9 @@ type RowConfig struct {
 	// Machine supplies the cache line size for memory accounting
 	// (Paper2006 if zero).
 	LineBytes int
+	// Integrity, when non-nil, makes the scanner verify each page's
+	// CRC against the store sidecar and detect truncation at EOF.
+	Integrity *Integrity
 }
 
 func (cfg *RowConfig) fill() {
@@ -72,13 +76,14 @@ type RowScanner struct {
 	block *exec.Block
 
 	// Iteration state.
-	unit    []byte
-	unitOff int
-	pg      []byte
-	pgPos   int
-	pgCount int
-	eof     bool
-	opened  bool
+	unit      []byte
+	unitOff   int
+	pg        []byte
+	pgPos     int
+	pgCount   int
+	pagesRead int64
+	eof       bool
+	opened    bool
 
 	// Per-needed-attribute whole-page scratch (attr size × capacity),
 	// used for predicate attributes and FOR-delta projected attributes.
@@ -178,13 +183,16 @@ func (r *RowScanner) nextPage() error {
 		buf, err := r.cfg.Reader.Next()
 		if err == io.EOF {
 			r.eof = true
+			if err := r.cfg.Integrity.checkComplete("row file", r.pagesRead); err != nil {
+				return err
+			}
 			return io.EOF
 		}
 		if err != nil {
 			return err
 		}
 		if len(buf)%r.cfg.PageSize != 0 {
-			return fmt.Errorf("scan: row file: I/O unit of %d bytes is not whole pages", len(buf))
+			return fault.Corruptf("scan: row file: I/O unit of %d bytes is not whole pages", len(buf))
 		}
 		r.cfg.Counters.AddIO(int64(len(buf)))
 		r.unit = buf
@@ -192,9 +200,13 @@ func (r *RowScanner) nextPage() error {
 	}
 	r.pg = r.unit[r.unitOff : r.unitOff+r.cfg.PageSize]
 	r.unitOff += r.cfg.PageSize
+	if err := r.cfg.Integrity.verify("row file", r.pg, r.pagesRead); err != nil {
+		return err
+	}
+	r.pagesRead++
 	r.pgCount = page.Count(r.pg)
 	if r.pgCount < 0 || r.pgCount > r.geo.Capacity() {
-		return fmt.Errorf("scan: corrupt row page: count %d exceeds capacity %d", r.pgCount, r.geo.Capacity())
+		return fault.Corruptf("scan: corrupt row page: count %d exceeds capacity %d", r.pgCount, r.geo.Capacity())
 	}
 	r.pgPos = 0
 	r.cfg.Counters.AddInstr(r.cfg.Costs.PageOverhead)

@@ -25,6 +25,7 @@ import (
 	"github.com/readoptdb/readopt/internal/compress"
 	"github.com/readoptdb/readopt/internal/cpumodel"
 	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/fault"
 	"github.com/readoptdb/readopt/internal/page"
 	"github.com/readoptdb/readopt/internal/schema"
 )
@@ -79,13 +80,15 @@ type colCursor struct {
 	costs    cpumodel.Costs
 	lineB    int
 
-	unit     []byte
-	unitOff  int
-	pg       []byte
-	pgStart  int64 // global row index of the page's first value
-	pgCount  int
-	consumed int // values consumed by a driving (deepest) node
-	eof      bool
+	unit      []byte
+	unitOff   int
+	pg        []byte
+	pgStart   int64 // global row index of the page's first value
+	pgCount   int
+	pagesRead int64
+	consumed  int // values consumed by a driving (deepest) node
+	eof       bool
+	integ     *Integrity
 
 	decoded      []byte // whole-page decode scratch (sequential codecs)
 	decodedValid bool
@@ -142,13 +145,16 @@ func (c *colCursor) nextPage() error {
 		buf, err := c.reader.Next()
 		if err == io.EOF {
 			c.eof = true
+			if err := c.integ.checkComplete("column "+c.attr.Name, c.pagesRead); err != nil {
+				return err
+			}
 			return io.EOF
 		}
 		if err != nil {
 			return err
 		}
 		if len(buf)%c.pageSize != 0 {
-			return fmt.Errorf("scan: column %s: I/O unit of %d bytes is not whole pages", c.attr.Name, len(buf))
+			return fault.Corruptf("scan: column %s: I/O unit of %d bytes is not whole pages", c.attr.Name, len(buf))
 		}
 		c.counters.AddIO(int64(len(buf)))
 		c.unit = buf
@@ -157,9 +163,13 @@ func (c *colCursor) nextPage() error {
 	c.pgStart += int64(c.pgCount)
 	c.pg = c.unit[c.unitOff : c.unitOff+c.pageSize]
 	c.unitOff += c.pageSize
+	if err := c.integ.verify("column "+c.attr.Name, c.pg, c.pagesRead); err != nil {
+		return err
+	}
+	c.pagesRead++
 	c.pgCount = page.Count(c.pg)
 	if c.pgCount < 0 || c.pgCount > c.cr.Capacity() {
-		return fmt.Errorf("scan: corrupt column page in %s: count %d exceeds capacity %d",
+		return fault.Corruptf("scan: corrupt column page in %s: count %d exceeds capacity %d",
 			c.attr.Name, c.pgCount, c.cr.Capacity())
 	}
 	c.decodedValid = false
@@ -173,7 +183,7 @@ func (c *colCursor) advanceTo(pos int64) error {
 	for c.pgStart+int64(c.pgCount) <= pos {
 		if err := c.nextPage(); err != nil {
 			if err == io.EOF {
-				return fmt.Errorf("scan: column %s ended before row %d", c.attr.Name, pos)
+				return fault.Corruptf("scan: column %s ended before row %d", c.attr.Name, pos)
 			}
 			return err
 		}

@@ -1,0 +1,66 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/readoptdb/readopt"
+	"github.com/readoptdb/readopt/internal/fault"
+)
+
+// TestTimedOutParallelQueryReleasesSlots is the regression test for the
+// server's cancellation path: a parallel query whose deadline expires
+// mid-scan must abort the scan itself — not run to completion for
+// nobody — and release the dispatch's worker slot plus every extra dop
+// slot it reserved. Chaos-injected per-unit read latency makes the scan
+// deterministically slower than the deadline.
+func TestTimedOutParallelQueryReleasesSlots(t *testing.T) {
+	tbl, err := readopt.GenerateTPCH(filepath.Join(t.TempDir(), "orders"), readopt.Orders(),
+		readopt.ColumnLayout, 50_000, 7, readopt.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every I/O unit costs 20ms, so the scan cannot finish inside the
+	// 10ms deadline; only an aborted execution explains a prompt drain.
+	fault.EnableChaos(fault.Config{Seed: 1, LatencyRate: 1, Latency: 20 * time.Millisecond})
+	defer fault.DisableChaos()
+
+	s := New(Config{Workers: 4, MaxDop: 4})
+	if err := s.AddTable("orders", tbl); err != nil {
+		t.Fatal(err)
+	}
+	body, err := json.Marshal(readopt.QueryRequest{
+		Table:         "orders",
+		Query:         readopt.Query{Select: []string{"O_ORDERKEY"}},
+		Dop:           4,
+		TimeoutMillis: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/query", bytes.NewReader(body)))
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%s), want 504", rec.Code, rec.Body.String())
+	}
+
+	// The abandoned dispatch must finish promptly (the scan aborts on the
+	// dead context) and hand back every slot it held.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(s.workers); n != 0 {
+		t.Errorf("%d worker slots still held after the dispatchers drained", n)
+	}
+	if st := s.Stats(); st.CancelledErrors == 0 {
+		t.Errorf("stats = %+v, want the aborted execution counted as cancelled", st)
+	}
+}

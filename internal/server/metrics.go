@@ -33,6 +33,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "readopt_queries_total{outcome=\"failed\"} %d\n", st.Failed)
 	fmt.Fprintf(&b, "readopt_queries_total{outcome=\"timed_out\"} %d\n", st.TimedOut)
 
+	fmt.Fprintf(&b, "# HELP readopt_errors_total Delivered query failures by taxonomy kind.\n# TYPE readopt_errors_total counter\n")
+	fmt.Fprintf(&b, "readopt_errors_total{type=\"cancelled\"} %d\n", st.CancelledErrors)
+	fmt.Fprintf(&b, "readopt_errors_total{type=\"corrupt\"} %d\n", st.CorruptErrors)
+	fmt.Fprintf(&b, "readopt_errors_total{type=\"transient\"} %d\n", st.TransientErrors)
+	fmt.Fprintf(&b, "readopt_errors_total{type=\"other\"} %d\n", st.OtherErrors)
+
 	counter("readopt_rejected_total", "Queries shed at admission because the queue was full.", st.Rejected)
 	counter("readopt_batches_total", "Multi-query shared-scan dispatches.", st.Batches)
 	counter("readopt_batched_queries_total", "Queries answered from a shared scan.", st.BatchedQueries)

@@ -29,6 +29,34 @@ func (j *job) deliver(resp *readopt.QueryResponse, err error) {
 	j.done <- jobResult{resp: resp, err: err}
 }
 
+// deliverErr hands a failure to the job's handler and counts its
+// taxonomy kind — here rather than in the handler, because a handler
+// that already timed out and left never reads the result.
+func (s *Server) deliverErr(j *job, err error) {
+	s.stats.errorKind(readopt.ErrorKind(err))
+	j.deliver(nil, err)
+}
+
+// batchContext merges a batch's member contexts: the shared scan must
+// keep running while any member still wants its answer, so the merged
+// context cancels only once every member's context is done. The
+// returned stop releases the watcher when the dispatch finishes first.
+func batchContext(jobs []*job) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	finished := make(chan struct{})
+	go func() {
+		defer cancel()
+		for _, j := range jobs {
+			select {
+			case <-j.ctx.Done():
+			case <-finished:
+				return
+			}
+		}
+	}()
+	return ctx, func() { close(finished) }
+}
+
 // submit queues j on the table and ensures a dispatcher is running for
 // it. The dispatcher batches everything it finds waiting, so queries
 // that pile up behind a busy table ride one shared scan.
@@ -73,7 +101,7 @@ func (s *Server) runBatch(ts *tableState, jobs []*job) {
 	live := jobs[:0]
 	for _, j := range jobs {
 		if j.ctx.Err() != nil {
-			j.deliver(nil, j.ctx.Err())
+			s.deliverErr(j, j.ctx.Err())
 			continue
 		}
 		live = append(live, j)
@@ -98,7 +126,7 @@ func (s *Server) runBatch(ts *tableState, jobs []*job) {
 		rows, err := s.runSingle(ts.tbl, j, eff)
 		if err != nil {
 			s.releaseExtra(extra)
-			j.deliver(nil, err)
+			s.deliverErr(j, err)
 			s.stats.ran(1, queueWait, s.clock.Now().Sub(start), readopt.ScanStats{})
 			return
 		}
@@ -107,7 +135,7 @@ func (s *Server) runBatch(ts *tableState, jobs []*job) {
 		// parallel workers stay reserved until here.
 		s.releaseExtra(extra)
 		if err != nil {
-			j.deliver(nil, err)
+			s.deliverErr(j, err)
 			s.stats.ran(1, queueWait, s.clock.Now().Sub(start), readopt.ScanStats{})
 			return
 		}
@@ -138,10 +166,14 @@ func (s *Server) runBatch(ts *tableState, jobs []*job) {
 		}
 	}
 	eff, extra := s.planDop(maxDop)
-	batch, err := ts.tbl.QueryBatchExec(queries, readopt.ExecOptions{Dop: eff, Trace: traced})
+	// The shared scan runs under the merged context, so it aborts only
+	// when every member's deadline has expired or disconnected.
+	bctx, stop := batchContext(live)
+	batch, err := ts.tbl.QueryBatchExec(queries, readopt.ExecOptions{Ctx: bctx, Dop: eff, Trace: traced})
 	// The shared pass materializes inside QueryBatchExec; only per-query
 	// post-passes remain, so the extra workers free up here.
 	s.releaseExtra(extra)
+	stop()
 	if err != nil {
 		// A query the shared pass cannot run (admission validation does
 		// not cover everything, e.g. order-by column resolution) must
@@ -158,7 +190,7 @@ func (s *Server) runBatch(ts *tableState, jobs []*job) {
 		sharedDop := rows.Dop()
 		resp, err := s.materialize(rows, len(live), start.Sub(live[i].enqueued), start, live[i].traced)
 		if err != nil {
-			live[i].deliver(nil, err)
+			s.deliverErr(live[i], err)
 			continue
 		}
 		// Every batch member shares the scan's counters, so record the
@@ -205,9 +237,11 @@ func (s *Server) releaseExtra(extra int) {
 
 // runSingle executes one query alone through the plan layer, at the
 // dispatch's effective dop and with tracing when the request asked for
-// it — the options compose.
+// it — the options compose. The job's context rides along, so a
+// deadline or disconnect aborts the scan itself (freeing this dispatch's
+// worker slot) instead of letting an abandoned query run to completion.
 func (s *Server) runSingle(tbl *readopt.Table, j *job, dop int) (*readopt.Rows, error) {
-	return tbl.QueryExec(j.q, readopt.ExecOptions{Dop: dop, Trace: j.traced})
+	return tbl.QueryExec(j.q, readopt.ExecOptions{Ctx: j.ctx, Dop: dop, Trace: j.traced})
 }
 
 // runFallback runs each job of a failed batch on its own, delivering
@@ -218,14 +252,14 @@ func (s *Server) runFallback(ts *tableState, jobs []*job, start time.Time, queue
 		rows, err := s.runSingle(ts.tbl, j, eff)
 		if err != nil {
 			s.releaseExtra(extra)
-			j.deliver(nil, err)
+			s.deliverErr(j, err)
 			s.stats.ran(1, 0, 0, readopt.ScanStats{})
 			continue
 		}
 		resp, err := s.materialize(rows, 1, start.Sub(j.enqueued), start, j.traced)
 		s.releaseExtra(extra)
 		if err != nil {
-			j.deliver(nil, err)
+			s.deliverErr(j, err)
 			s.stats.ran(1, 0, 0, readopt.ScanStats{})
 			continue
 		}

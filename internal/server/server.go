@@ -289,7 +289,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case res := <-j.done:
 		if res.err != nil {
 			s.stats.fail()
-			writeError(w, http.StatusInternalServerError, readopt.CodeInternal, res.err.Error())
+			status, code := errorStatus(res.err)
+			writeError(w, status, code, res.err.Error())
 			return
 		}
 		s.stats.complete()
@@ -300,6 +301,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.stats.timeout()
 		writeError(w, http.StatusGatewayTimeout, readopt.CodeTimeout,
 			fmt.Sprintf("query did not finish within %s", timeout))
+	}
+}
+
+// errorStatus maps an execution failure onto the wire: the engine's
+// failure taxonomy picks the HTTP status and error code. Transient
+// failures answer 503 — the one kind worth the client retrying.
+func errorStatus(err error) (int, string) {
+	switch readopt.ErrorKind(err) {
+	case "cancelled":
+		return http.StatusGatewayTimeout, readopt.CodeCancelled
+	case "corrupt":
+		return http.StatusInternalServerError, readopt.CodeCorrupt
+	case "transient":
+		return http.StatusServiceUnavailable, readopt.CodeTransient
+	default:
+		return http.StatusInternalServerError, readopt.CodeInternal
 	}
 }
 

@@ -57,6 +57,25 @@ type statsRecorder struct {
 	slowQueries   int64
 	queueWaitHist histogram
 	execHist      histogram
+
+	errCancelled, errCorrupt, errTransient, errOther int64
+}
+
+// errorKind counts one delivered failure by its taxonomy kind (the
+// strings readopt.ErrorKind returns).
+func (r *statsRecorder) errorKind(kind string) {
+	r.mu.Lock()
+	switch kind {
+	case "cancelled":
+		r.errCancelled++
+	case "corrupt":
+		r.errCorrupt++
+	case "transient":
+		r.errTransient++
+	default:
+		r.errOther++
+	}
+	r.mu.Unlock()
 }
 
 func (r *statsRecorder) reject() {
@@ -168,6 +187,10 @@ func (r *statsRecorder) snapshot() readopt.ServerStats {
 		QueueWaitMicros: r.queueWait.Microseconds(),
 		ExecMicros:      r.exec.Microseconds(),
 		SlowQueries:     r.slowQueries,
+		CancelledErrors: r.errCancelled,
+		CorruptErrors:   r.errCorrupt,
+		TransientErrors: r.errTransient,
+		OtherErrors:     r.errOther,
 		Work: readopt.ScanStats{
 			Instructions: r.work.Instr,
 			SeqMemBytes:  r.work.SeqBytes,

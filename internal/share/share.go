@@ -91,12 +91,13 @@ func Run(src exec.Operator, queries []Query, counters *cpumodel.Counters) ([]Res
 	}
 
 	if err := src.Open(); err != nil {
+		_ = src.Close()
 		return nil, err
 	}
-	defer src.Close()
 	for {
 		b, err := src.Next()
 		if err != nil {
+			_ = src.Close()
 			return nil, err
 		}
 		if b == nil {
@@ -105,6 +106,12 @@ func Run(src exec.Operator, queries []Query, counters *cpumodel.Counters) ([]Res
 		for _, c := range compiledQs {
 			c.consume(in, b, costs)
 		}
+	}
+	// The pass is done and the results are materialized; a close failure
+	// (e.g. a propagated reader error) still fails the batch rather than
+	// being swallowed.
+	if err := src.Close(); err != nil {
+		return nil, err
 	}
 
 	results := make([]Result, len(queries))

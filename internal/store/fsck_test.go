@@ -1,0 +1,88 @@
+package store
+
+import (
+	"errors"
+	"os"
+	"strings"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/fault"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// TestPageChecksumsRecorded: every data file of a fresh table has a
+// sidecar with one CRC per page, and sidecars never count as data.
+func TestPageChecksumsRecorded(t *testing.T) {
+	for _, layout := range []Layout{Row, Column, PAX} {
+		tbl := loadTable(t, schema.Orders(), layout)
+		var total int64
+		for name, size := range tbl.fileSizes {
+			sums := tbl.PageChecksums(name)
+			if int64(len(sums)) != size/int64(tbl.PageSize) {
+				t.Fatalf("%s/%s: %d page checksums for %d pages", layout, name, len(sums), size/int64(tbl.PageSize))
+			}
+			if _, tracked := tbl.fileSizes[sidecarName(name)]; tracked {
+				t.Fatalf("%s: sidecar %s counted as a data file", layout, sidecarName(name))
+			}
+			total += size
+		}
+		if tbl.TotalDataBytes() != total {
+			t.Fatalf("%s: TotalDataBytes %d != sum of data files %d", layout, tbl.TotalDataBytes(), total)
+		}
+		if err := tbl.Fsck(); err != nil {
+			t.Fatalf("%s: pristine table failed fsck: %v", layout, err)
+		}
+	}
+}
+
+// TestVerifyPagesFindsCorruptPage: a single flipped bit is caught and
+// attributed to the right page, with a typed corruption error.
+func TestVerifyPagesFindsCorruptPage(t *testing.T) {
+	tbl := loadTable(t, schema.Orders(), Row)
+	f, err := os.OpenFile(tbl.RowPath(), os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one byte in the middle of page 3.
+	off := int64(3*tbl.PageSize + 100)
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0x01
+	if _, err := f.WriteAt(b, off); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	err = tbl.VerifyPages()
+	if err == nil {
+		t.Fatal("corrupt page not detected")
+	}
+	if !errors.Is(err, fault.ErrCorrupt) {
+		t.Fatalf("corruption error is untyped: %v", err)
+	}
+	if !strings.Contains(err.Error(), "page 3") {
+		t.Fatalf("error does not name the corrupt page: %v", err)
+	}
+	if err := tbl.Fsck(); !errors.Is(err, fault.ErrCorrupt) {
+		t.Fatalf("Fsck missed the corruption: %v", err)
+	}
+}
+
+// TestOpenRejectsTruncatedSidecar: a sidecar that disagrees with the
+// data file's page count fails at open time.
+func TestOpenRejectsTruncatedSidecar(t *testing.T) {
+	tbl := loadTable(t, schema.Orders(), Row)
+	side := tbl.RowPath() + ".crc"
+	blob, err := os.ReadFile(side)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(side, blob[:len(blob)-4], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(tbl.Dir); err == nil {
+		t.Fatal("truncated sidecar not rejected at open")
+	}
+}

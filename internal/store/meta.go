@@ -7,6 +7,7 @@
 package store
 
 import (
+	"encoding/binary"
 	"encoding/json"
 	"fmt"
 	"hash/crc32"
@@ -15,6 +16,7 @@ import (
 	"path/filepath"
 
 	"github.com/readoptdb/readopt/internal/compress"
+	"github.com/readoptdb/readopt/internal/fault"
 	"github.com/readoptdb/readopt/internal/schema"
 )
 
@@ -64,7 +66,14 @@ type Meta struct {
 	// Checksums records the CRC-32 of every data file at load time;
 	// Table.VerifyIntegrity checks them on demand.
 	Checksums map[string]uint32 `json:"checksums,omitempty"`
+	// PageCRC marks tables whose data files have per-page CRC-32
+	// sidecars (<file>.crc), letting scans verify each page as it is
+	// decoded. Tables written before sidecars existed scan unchecked.
+	PageCRC bool `json:"page_crc,omitempty"`
 }
+
+// sidecarName returns the per-page checksum sidecar for a data file.
+func sidecarName(name string) string { return name + ".crc" }
 
 var encByName = map[string]schema.Encoding{
 	"": schema.None, "raw": schema.None, "pack": schema.BitPack,
@@ -181,6 +190,7 @@ type Table struct {
 
 	fileSizes map[string]int64
 	checksums map[string]uint32
+	pageSums  map[string][]uint32
 }
 
 // Open loads a table's metadata and dictionaries and verifies the data
@@ -227,8 +237,42 @@ func Open(dir string) (*Table, error) {
 			return nil, fmt.Errorf("store: data file %s is %d bytes, metadata records %d", name, fi.Size(), want)
 		}
 	}
+	if m.PageCRC {
+		t.pageSums = make(map[string][]uint32, len(m.FileSizes))
+		for name, size := range m.FileSizes {
+			sums, err := readPageSums(dir, name, size, m.PageSize)
+			if err != nil {
+				return nil, err
+			}
+			t.pageSums[name] = sums
+		}
+	}
 	return t, nil
 }
+
+// readPageSums loads a data file's checksum sidecar and checks it holds
+// exactly one entry per page.
+func readPageSums(dir, name string, size int64, pageSize int) ([]uint32, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, sidecarName(name)))
+	if err != nil {
+		return nil, fmt.Errorf("store: reading page checksums: %w", err)
+	}
+	pages := size / int64(pageSize)
+	if int64(len(blob)) != 4*pages {
+		return nil, fmt.Errorf("store: checksum sidecar for %s holds %d bytes, want %d (%d pages)",
+			name, len(blob), 4*pages, pages)
+	}
+	sums := make([]uint32, pages)
+	for i := range sums {
+		sums[i] = binary.LittleEndian.Uint32(blob[i*4:])
+	}
+	return sums, nil
+}
+
+// PageChecksums returns the per-page CRCs of the named data file, or nil
+// for tables written before sidecars existed. The slice is shared — do
+// not mutate it.
+func (t *Table) PageChecksums(name string) []uint32 { return t.pageSums[name] }
 
 // RowPath returns the row data file path. It panics for column tables.
 func (t *Table) RowPath() string {
@@ -289,10 +333,47 @@ func (t *Table) VerifyIntegrity() error {
 			return fmt.Errorf("store: verify %s: %w", name, err)
 		}
 		if h.Sum32() != want {
-			return fmt.Errorf("store: data file %s is corrupt: crc %08x, recorded %08x", name, h.Sum32(), want)
+			return fault.Corruptf("store: data file %s is corrupt: crc %08x, recorded %08x", name, h.Sum32(), want)
 		}
 	}
 	return nil
+}
+
+// VerifyPages re-reads every data file page by page and checks each
+// against its sidecar CRC, returning the first mismatch with its page
+// index — the granularity VerifyIntegrity's whole-file checksum cannot
+// give. Tables without sidecars verify trivially.
+func (t *Table) VerifyPages() error {
+	for name, sums := range t.pageSums {
+		f, err := os.Open(filepath.Join(t.Dir, name))
+		if err != nil {
+			return fmt.Errorf("store: verify pages %s: %w", name, err)
+		}
+		buf := make([]byte, t.PageSize)
+		for i, want := range sums {
+			if _, err := io.ReadFull(f, buf); err != nil {
+				f.Close()
+				return fmt.Errorf("store: verify pages %s: page %d: %w", name, i, err)
+			}
+			if got := crc32.ChecksumIEEE(buf); got != want {
+				f.Close()
+				return fault.Corruptf("store: data file %s page %d is corrupt: crc %08x, recorded %08x",
+					name, i, got, want)
+			}
+		}
+		f.Close()
+	}
+	return nil
+}
+
+// Fsck is the full offline integrity check behind readoptd -fsck: the
+// whole-file checksums, then the per-page sidecars. Corruption findings
+// carry fault.ErrCorrupt.
+func (t *Table) Fsck() error {
+	if err := t.VerifyIntegrity(); err != nil {
+		return err
+	}
+	return t.VerifyPages()
 }
 
 // TotalDataBytes returns the combined size of all data files — the

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -14,13 +15,15 @@ import (
 )
 
 // writerFile pairs a buffered output file with its path, byte count and
-// running checksum.
+// running checksums: one CRC over the whole file, plus one per page —
+// every write call delivers exactly one dense-packed page.
 type writerFile struct {
-	name string
-	f    *os.File
-	w    *bufio.Writer
-	n    int64
-	crc  uint32
+	name  string
+	f     *os.File
+	w     *bufio.Writer
+	n     int64
+	crc   uint32
+	pages []uint32
 }
 
 func createFile(dir, name string) (*writerFile, error) {
@@ -35,6 +38,7 @@ func (wf *writerFile) write(p []byte) error {
 	n, err := wf.w.Write(p)
 	wf.n += int64(n)
 	wf.crc = crc32.Update(wf.crc, crc32.IEEETable, p[:n])
+	wf.pages = append(wf.pages, crc32.ChecksumIEEE(p[:n]))
 	return err
 }
 
@@ -196,6 +200,9 @@ func (w *Writer) Close() error {
 		if err := w.rowF.close(); err != nil {
 			return err
 		}
+		if err := writePageSums(w.dir, w.rowF); err != nil {
+			return err
+		}
 		sizes[w.rowF.name] = w.rowF.n
 		sums[w.rowF.name] = w.rowF.crc
 	case PAX:
@@ -209,6 +216,9 @@ func (w *Writer) Close() error {
 			}
 		}
 		if err := w.rowF.close(); err != nil {
+			return err
+		}
+		if err := writePageSums(w.dir, w.rowF); err != nil {
 			return err
 		}
 		sizes[w.rowF.name] = w.rowF.n
@@ -227,6 +237,9 @@ func (w *Writer) Close() error {
 			if err := w.colFs[i].close(); err != nil {
 				return err
 			}
+			if err := writePageSums(w.dir, w.colFs[i]); err != nil {
+				return err
+			}
 			sizes[w.colFs[i].name] = w.colFs[i].n
 			sums[w.colFs[i].name] = w.colFs[i].crc
 		}
@@ -242,7 +255,18 @@ func (w *Writer) Close() error {
 		Attrs:     schemaToMeta(w.sch),
 		FileSizes: sizes,
 		Checksums: sums,
+		PageCRC:   true,
 	})
+}
+
+// writePageSums records wf's per-page CRCs in a sidecar next to the
+// data file: a bare little-endian uint32 array, one entry per page.
+func writePageSums(dir string, wf *writerFile) error {
+	buf := make([]byte, 4*len(wf.pages))
+	for i, c := range wf.pages {
+		binary.LittleEndian.PutUint32(buf[i*4:], c)
+	}
+	return os.WriteFile(filepath.Join(dir, sidecarName(wf.name)), buf, 0o644)
 }
 
 // LoadSynthetic bulk-loads n tuples from a tpch generator matching the

@@ -17,6 +17,7 @@ import (
 	"github.com/readoptdb/readopt/internal/clock"
 	"github.com/readoptdb/readopt/internal/cpumodel"
 	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/fault"
 	"github.com/readoptdb/readopt/internal/schema"
 )
 
@@ -76,6 +77,8 @@ type Trace struct {
 	elapsed  time.Duration
 	readers  []ReaderStats
 	finished bool
+	errMsg   string
+	errKind  string
 }
 
 // New starts a trace against the real clock; the clock for Elapsed
@@ -162,6 +165,21 @@ func (t *Trace) Finish() {
 		t.Stages[i].RowsIn = t.Stages[i-1].RowsOut
 	}
 }
+
+// SetError records the error the query ended with, classified into the
+// fault taxonomy. Nil-safe; the first error wins, later calls are
+// ignored (a cancellation that follows a corruption must not mask it).
+func (t *Trace) SetError(err error) {
+	if t == nil || err == nil || t.errMsg != "" {
+		return
+	}
+	t.errMsg = err.Error()
+	t.errKind = string(fault.Classify(err))
+}
+
+// Error returns the recorded failure and its taxonomy kind; empty
+// strings for a query that succeeded.
+func (t *Trace) Error() (msg, kind string) { return t.errMsg, t.errKind }
 
 // Elapsed is the query's wall-clock time (running total until Finish).
 func (t *Trace) Elapsed() time.Duration {

@@ -61,6 +61,11 @@ type QueryTrace struct {
 	Total ScanStats `json:"total"`
 	// PagesTouched is the storage pages the query crossed.
 	PagesTouched int64 `json:"pages_touched"`
+	// Error and ErrorKind record how the query failed, if it did:
+	// ErrorKind is the taxonomy kind ("transient", "corrupt",
+	// "cancelled", "other"); both are empty for a successful query.
+	Error     string `json:"error,omitempty"`
+	ErrorKind string `json:"error_kind,omitempty"`
 }
 
 // Trace returns the query's trace, or nil if the query did not run
@@ -102,6 +107,7 @@ func traceView(tr *trace.Trace) *QueryTrace {
 			StallMicros:    tr.IO.StallNanos / 1e3,
 		},
 	}
+	qt.Error, qt.ErrorKind = tr.Error()
 	for i, st := range tr.Stages {
 		own := st.Time
 		if i > 0 && !st.Root {

@@ -1,6 +1,7 @@
 package readopt
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/readoptdb/readopt/internal/cpumodel"
@@ -277,6 +278,12 @@ func (r *Rows) Dop() int {
 // ExecOptions tune one query execution without changing its result:
 // the degree of parallelism and per-stage tracing.
 type ExecOptions struct {
+	// Ctx bounds the execution. When it is cancelled or times out, the
+	// scan's prefetching readers stop issuing I/O, every worker chain
+	// stops pulling, and iteration fails with an error matching
+	// ErrCancelled (and context.Canceled / context.DeadlineExceeded).
+	// Nil means unbounded.
+	Ctx context.Context
 	// Dop is the requested degree of parallelism. Values <= 1 run the
 	// classic serial plan; higher values partition the scan into up to
 	// Dop page-aligned ranges executed by concurrent workers. Results
@@ -306,7 +313,7 @@ func (t *Table) QueryExec(q Query, opts ExecOptions) (*Rows, error) {
 		tr = trace.New()
 	}
 	var counters cpumodel.Counters
-	op, err := p.Operator(plan.ExecOpts{Counters: &counters, Trace: tr})
+	op, err := p.Operator(plan.ExecOpts{Ctx: opts.Ctx, Counters: &counters, Trace: tr})
 	if err != nil {
 		return nil, err
 	}
@@ -350,6 +357,7 @@ func (r *Rows) Next() bool {
 		b, err := r.op.Next()
 		if err != nil {
 			r.err = err
+			r.tr.SetError(err)
 			return false
 		}
 		if b == nil {

@@ -87,6 +87,14 @@ const (
 	CodeBadRequest   = "bad_request"
 	CodeDraining     = "draining"
 	CodeInternal     = "internal"
+	// CodeCancelled, CodeCorrupt and CodeTransient carry the engine's
+	// failure taxonomy onto the wire (see ErrorKind): the execution was
+	// stopped by its deadline or disconnect, the data failed an integrity
+	// check, or retries were exhausted on a transient I/O error (the
+	// request is worth retrying).
+	CodeCancelled = "cancelled"
+	CodeCorrupt   = "corrupt"
+	CodeTransient = "transient"
 )
 
 // ErrServerBusy is reported (via errors.Is) by Client methods when the
@@ -145,6 +153,14 @@ type ServerStats struct {
 	// SlowQueries counts queries whose execution exceeded the server's
 	// slow-query threshold (0 when the threshold is off).
 	SlowQueries int64 `json:"slow_queries"`
+	// CancelledErrors, CorruptErrors, TransientErrors and OtherErrors
+	// classify every execution failure the dispatcher delivered by the
+	// engine's taxonomy (ErrorKind) — counted at dispatch, so failures
+	// whose handler already timed out and left are still recorded.
+	CancelledErrors int64 `json:"cancelled_errors"`
+	CorruptErrors   int64 `json:"corrupt_errors"`
+	TransientErrors int64 `json:"transient_errors"`
+	OtherErrors     int64 `json:"other_errors"`
 	// Work is the engine's aggregate work accounting; Work.IOBytes is
 	// the total bytes scanned off disk on behalf of clients.
 	Work ScanStats `json:"work"`

@@ -172,6 +172,17 @@ func (t *Table) SelectivityThreshold(fraction float64) (int, error) {
 // checksums recorded at load time, returning the first corruption found.
 func (t *Table) Verify() error { return t.t.VerifyIntegrity() }
 
+// VerifyPages re-reads the table's data files page by page and checks
+// each against its per-page CRC sidecar, naming the first corrupt page.
+// Tables loaded before sidecars existed verify trivially. The returned
+// error matches ErrCorrupt.
+func (t *Table) VerifyPages() error { return t.t.VerifyPages() }
+
+// Fsck runs every offline integrity check the store has: whole-file
+// checksums, then per-page CRCs. It is what `readoptd -fsck` runs per
+// table.
+func (t *Table) Fsck() error { return t.t.Fsck() }
+
 // ColumnStat describes one column's storage.
 type ColumnStat struct {
 	Name        string
