@@ -103,8 +103,13 @@ func (t *Table) queryBatch(queries []Query, opts ExecOptions) ([]*Rows, error) {
 		btr = trace.New()
 	}
 	// The shared scan is itself a compiled plan — a bare projection scan,
-	// parallelized across partitions when the batch runs at dop > 1.
-	p, err := plan.Compile(t.t, plan.Spec{Proj: proj, Dop: opts.Dop})
+	// parallelized across partitions when the batch runs at dop > 1. An
+	// ingest table's batch pins one snapshot for the whole pass, so every
+	// member sees the same epoch; the pass materializes before return, so
+	// releasing on exit is safe.
+	tbl, delta, release := t.pin()
+	defer release()
+	p, err := plan.Compile(tbl, plan.Spec{Proj: proj, Dop: opts.Dop})
 	if err != nil {
 		return nil, err
 	}
@@ -114,6 +119,7 @@ func (t *Table) queryBatch(queries []Query, opts ExecOptions) ([]*Rows, error) {
 		Trace:      btr,
 		ScanStage:  "shared-scan",
 		ScanDetail: fmt.Sprintf("%s layout, %d queries, %d columns", t.Layout(), len(queries), len(unionCols)),
+		Delta:      delta,
 	})
 	if err != nil {
 		return nil, err

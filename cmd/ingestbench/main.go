@@ -1,0 +1,299 @@
+// Command ingestbench measures the write path end to end: it drives
+// batched inserts into an ingest table (memtable → sorted runs →
+// background compaction) while a concurrent reader continuously checks
+// snapshot consistency, then measures the repo's original write path —
+// the deprecated WriteBuffer, whose MergeInto rewrites the whole table
+// per batch — on the same workload for comparison.
+//
+//	ingestbench -rows 1000000 -json results/BENCH_ingest.json
+//
+// By default both paths run the same row count, a true head-to-head.
+// MergeInto per batch is O(table size) per batch, so the baseline is
+// quadratic overall; -baseline-rows shrinks it for quick runs, in which
+// case the reported speedup is a lower bound at full scale (the old
+// path's throughput only falls as the table grows).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/readoptdb/readopt"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "ingestbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// valOf is the deterministic value function: cheap to prefix-sum, so
+// any (count, sum) pair maps back to a whole number of batches.
+func valOf(i int64) int64 { return i%97 + 1 }
+
+func kvSchema() *readopt.Schema {
+	s, err := readopt.NewSchema("KV", []readopt.Column{
+		{Name: "K", Type: readopt.Int32},
+		{Name: "V", Type: readopt.Int32},
+	})
+	if err != nil {
+		fatalf("schema: %v", err)
+	}
+	return s
+}
+
+// sideReport is one write path's measurement.
+type sideReport struct {
+	Rows       int64   `json:"rows"`
+	Batches    int64   `json:"batches"`
+	Micros     int64   `json:"micros"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+	Note       string  `json:"note,omitempty"`
+}
+
+// checkerReport summarizes the reader that raced the ingest.
+type checkerReport struct {
+	// Queries is the number of count+sum aggregates run while the
+	// writer was inserting; every one must have observed a whole number
+	// of batches with the matching prefix sum.
+	Queries int64 `json:"queries"`
+	// Torn counts consistency violations (must be 0).
+	Torn int64 `json:"torn"`
+}
+
+type report struct {
+	Layout   readopt.Layout      `json:"layout"`
+	Batch    int                 `json:"batch"`
+	Ingest   sideReport          `json:"ingest"`
+	Stats    readopt.IngestStats `json:"ingest_stats"`
+	Checker  checkerReport       `json:"concurrent_checker"`
+	Baseline sideReport          `json:"baseline_merge_into"`
+	// Speedup is ingest rows/sec over baseline rows/sec — a lower bound
+	// at full scale, since the baseline was measured on fewer rows.
+	Speedup float64 `json:"speedup"`
+}
+
+// runIngest drives rows inserts through an ingest table in batches,
+// with the background compactor on and a concurrent reader verifying
+// snapshot consistency the whole time.
+func runIngest(dir string, layout readopt.Layout, rows int64, batch int, memtable int) (sideReport, readopt.IngestStats, checkerReport) {
+	tbl, err := readopt.CreateIngest(dir, kvSchema(), layout, readopt.IngestOptions{
+		Key:           "K",
+		MemtableBytes: memtable,
+	})
+	if err != nil {
+		fatalf("CreateIngest: %v", err)
+	}
+	batches := rows / int64(batch)
+	prefix := make([]int64, batches+1)
+	for b := int64(0); b < batches; b++ {
+		prefix[b+1] = prefix[b]
+		for i := b * int64(batch); i < (b+1)*int64(batch); i++ {
+			prefix[b+1] += valOf(i)
+		}
+	}
+
+	var torn, queries atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		q := readopt.Query{Aggs: []readopt.Agg{{Func: "count"}, {Func: "sum", Column: "V"}}}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rs, err := tbl.QueryExec(q, readopt.ExecOptions{Dop: 2})
+			if err != nil {
+				fatalf("checker query: %v", err)
+			}
+			if rs.Next() {
+				vals, err := rs.Values()
+				if err != nil {
+					fatalf("checker values: %v", err)
+				}
+				count, sum := vals[0].(int64), vals[1].(int64)
+				if count%int64(batch) != 0 || sum != prefix[count/int64(batch)] {
+					torn.Add(1)
+				}
+			}
+			rs.Close()
+			queries.Add(1)
+		}
+	}()
+
+	start := time.Now()
+	buf := make([][]any, batch)
+	for b := int64(0); b < batches; b++ {
+		for j := 0; j < batch; j++ {
+			i := b*int64(batch) + int64(j)
+			buf[j] = []any{int(i), int(valOf(i))}
+		}
+		if err := tbl.InsertBatch(buf); err != nil {
+			fatalf("InsertBatch %d: %v", b, err)
+		}
+	}
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+
+	// Final exactness check, then fold any remaining runs down into the
+	// generation (outside the timed window) so the lifetime counters
+	// reflect a complete memtable → runs → merge cycle.
+	if got := tbl.Rows(); got != batches*int64(batch) {
+		fatalf("ingest table holds %d rows, want %d", got, batches*int64(batch))
+	}
+	if err := tbl.Flush(); err != nil {
+		fatalf("final flush: %v", err)
+	}
+	if tbl.IngestStats().LiveRuns > 0 {
+		if err := tbl.Compact(); err != nil {
+			fatalf("final compact: %v", err)
+		}
+	}
+	st := tbl.IngestStats()
+	if err := tbl.CloseIngest(); err != nil {
+		fatalf("CloseIngest: %v", err)
+	}
+	return sideReport{
+		Rows:       batches * int64(batch),
+		Batches:    batches,
+		Micros:     elapsed.Microseconds(),
+		RowsPerSec: float64(batches*int64(batch)) / elapsed.Seconds(),
+	}, st, checkerReport{Queries: queries.Load(), Torn: torn.Load()}
+}
+
+// runBaseline replays the repo's original write path: stage a batch in
+// a WriteBuffer, then MergeInto — which reads the whole current table,
+// folds the staged rows in, and writes a complete new table — once per
+// batch.
+func runBaseline(root string, layout readopt.Layout, rows int64, batch int) sideReport {
+	// Seed an empty table for the first merge to fold into.
+	seed := filepath.Join(root, "seed")
+	seedTbl, err := readopt.CreateIngest(seed, kvSchema(), layout, readopt.IngestOptions{Key: "K"})
+	if err != nil {
+		fatalf("baseline seed: %v", err)
+	}
+	if err := seedTbl.CloseIngest(); err != nil {
+		fatalf("baseline seed close: %v", err)
+	}
+	cur, err := readopt.OpenTable(seed)
+	if err != nil {
+		fatalf("baseline seed open: %v", err)
+	}
+
+	batches := rows / int64(batch)
+	wb := readopt.NewWriteBuffer(kvSchema())
+	start := time.Now()
+	prevDir := ""
+	for b := int64(0); b < batches; b++ {
+		for j := 0; j < batch; j++ {
+			i := b*int64(batch) + int64(j)
+			if err := wb.Insert(int(i), int(valOf(i))); err != nil {
+				fatalf("baseline insert: %v", err)
+			}
+		}
+		dir := filepath.Join(root, fmt.Sprintf("gen-%d", b))
+		next, err := wb.MergeInto(cur, dir, "K")
+		if err != nil {
+			fatalf("baseline MergeInto %d: %v", b, err)
+		}
+		if prevDir != "" {
+			os.RemoveAll(prevDir)
+		}
+		cur, prevDir = next, dir
+	}
+	elapsed := time.Since(start)
+	if got := cur.Rows(); got != batches*int64(batch) {
+		fatalf("baseline table holds %d rows, want %d", got, batches*int64(batch))
+	}
+	return sideReport{
+		Rows:       batches * int64(batch),
+		Batches:    batches,
+		Micros:     elapsed.Microseconds(),
+		RowsPerSec: float64(batches*int64(batch)) / elapsed.Seconds(),
+	}
+}
+
+func main() {
+	rows := flag.Int64("rows", 1_000_000, "rows to ingest through the write path")
+	baselineRows := flag.Int64("baseline-rows", 0, "rows for the MergeInto-per-batch baseline (default: same as -rows; it is quadratic, so shrink this for quick runs)")
+	batch := flag.Int("batch", 1_000, "rows per insert batch")
+	layoutName := flag.String("layout", "column", "table layout: row, column, or pax")
+	memtable := flag.Int("memtable", 1<<20, "ingest memtable bound in bytes")
+	dir := flag.String("dir", "", "working directory (default: a temp dir, removed afterwards)")
+	jsonPath := flag.String("json", "", "write the report as JSON to this path")
+	flag.Parse()
+	if *baselineRows <= 0 {
+		*baselineRows = *rows
+	}
+
+	var layout readopt.Layout
+	switch *layoutName {
+	case "row":
+		layout = readopt.RowLayout
+	case "column":
+		layout = readopt.ColumnLayout
+	case "pax":
+		layout = readopt.PAXLayout
+	default:
+		fatalf("unknown layout %q", *layoutName)
+	}
+	root := *dir
+	if root == "" {
+		tmp, err := os.MkdirTemp("", "ingestbench")
+		if err != nil {
+			fatalf("mkdtemp: %v", err)
+		}
+		defer os.RemoveAll(tmp)
+		root = tmp
+	}
+
+	ingest, stats, checker := runIngest(filepath.Join(root, "ingest"), layout, *rows, *batch, *memtable)
+	if checker.Torn > 0 {
+		fatalf("%d of %d concurrent queries observed a torn batch", checker.Torn, checker.Queries)
+	}
+	baseline := runBaseline(filepath.Join(root, "baseline"), layout, *baselineRows, *batch)
+	if *baselineRows < *rows {
+		baseline.Note = "MergeInto rewrites the whole table per batch (O(n) each), so this " +
+			"throughput, measured on fewer rows, is an upper bound on the old path at full scale"
+	}
+
+	rep := report{
+		Layout:   layout,
+		Batch:    *batch,
+		Ingest:   ingest,
+		Stats:    stats,
+		Checker:  checker,
+		Baseline: baseline,
+		Speedup:  ingest.RowsPerSec / baseline.RowsPerSec,
+	}
+	fmt.Printf("ingest:   %d rows in %.2fs (%.0f rows/s), %d spills, %d compactions, %d consistent concurrent queries\n",
+		ingest.Rows, float64(ingest.Micros)/1e6, ingest.RowsPerSec, stats.Spills, stats.Compactions, checker.Queries)
+	fmt.Printf("baseline: %d rows in %.2fs (%.0f rows/s) via MergeInto per batch\n",
+		baseline.Rows, float64(baseline.Micros)/1e6, baseline.RowsPerSec)
+	if *baselineRows < *rows {
+		fmt.Printf("speedup:  %.1fx (lower bound: baseline measured at %d rows)\n", rep.Speedup, *baselineRows)
+	} else {
+		fmt.Printf("speedup:  %.1fx\n", rep.Speedup)
+	}
+
+	if *jsonPath != "" {
+		out, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatalf("marshal: %v", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(out, '\n'), 0o644); err != nil {
+			fatalf("write %s: %v", *jsonPath, err)
+		}
+		fmt.Printf("report:   %s\n", *jsonPath)
+	}
+}

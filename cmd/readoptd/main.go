@@ -19,8 +19,17 @@
 // the aggregate statistics in Prometheus text format, and -slow-query
 // logs any query whose execution time crosses the threshold.
 //
+// Tables created with readopt.CreateIngest accept writes through
+// POST /insert (readopt.InsertRequest/InsertResponse); writes share
+// the admission gate with queries, and the write path's counters show
+// up in /stats and /metrics (memtable bytes, spills, compactions, per
+// table).
+//
+//	curl -s localhost:8077/insert -d '{"table":"orders","rows":[[42,17,"1-URGENT"]]}'
+//
 // -fsck verifies every -table offline (whole-file checksums, then
-// per-page CRCs) and exits without serving. -chaos injects seeded
+// per-page CRCs — and, for ingest tables, the manifest and every live
+// run file) and exits without serving. -chaos injects seeded
 // deterministic faults into every scan read — resilience testing only:
 // queries fail (with typed error codes) on purpose.
 //
@@ -124,6 +133,9 @@ func main() {
 	if err := s.Shutdown(shutdownCtx); err != nil {
 		log.Printf("readoptd: %v", err)
 	}
+	if err := s.CloseTables(); err != nil {
+		log.Printf("readoptd: %v", err)
+	}
 	log.Printf("readoptd: drained, bye")
 }
 
@@ -138,7 +150,11 @@ func runFsck(tables tableFlags) int {
 			status = 1
 			continue
 		}
-		if err := tbl.Fsck(); err != nil {
+		err = tbl.Fsck()
+		if cerr := tbl.CloseIngest(); err == nil {
+			err = cerr
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "readoptd: fsck %s: %v\n", t.name, err)
 			status = 1
 			continue

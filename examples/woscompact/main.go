@@ -1,8 +1,9 @@
 // Write path: the read-optimized store never takes single-row updates —
-// inserts land in a write-optimized staging buffer and move to the read
-// store in sorted bulk merges (the paper's Figure 1 architecture, as in
-// C-Store). This example ingests trickle inserts, merges them, and shows
-// the merged table stays dense-packed, sorted and queryable.
+// inserts land in a bounded memtable, spill as sorted immutable runs,
+// and a background compactor merges them into the read-optimized page
+// format (the paper's Figure 1 architecture, as in C-Store / LSM
+// stores). Rows are queryable the moment Insert returns, every query
+// sees one consistent snapshot, and compaction never blocks readers.
 //
 //	go run ./examples/woscompact
 package main
@@ -23,51 +24,50 @@ func main() {
 	}
 	defer os.RemoveAll(dir)
 
-	// The read-optimized store: ORDERS, bulk-loaded and clustered on the
-	// order key.
-	const rows = 100_000
-	base, err := readopt.GenerateTPCH(filepath.Join(dir, "base"), readopt.Orders(), readopt.ColumnLayout, rows, 1, readopt.LoadOptions{})
+	// An ingest table: ORDERS, clustered on the order key. A small
+	// memtable makes the spills visible at example scale.
+	sch := readopt.Orders()
+	tbl, err := readopt.CreateIngest(filepath.Join(dir, "orders"), sch,
+		readopt.ColumnLayout, readopt.IngestOptions{
+			Key:           "O_ORDERKEY",
+			MemtableBytes: 64 << 10,
+		})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("read store: %d orders, %d bytes\n", base.Rows(), base.DataBytes())
+	defer tbl.CloseIngest()
 
-	// Corrections arrive as individual inserts: the paper notes
-	// warehouses often fix data with compensating facts (e.g. a negative
-	// sale amount). They accumulate in the write-optimized store.
-	wos := readopt.NewWriteBuffer(readopt.Orders())
-	compensations := []struct {
-		key   int
-		price int
-	}{
-		{1205, -35000}, {77, -1200}, {88412, -560}, {1205, -99}, {240000, -7},
-	}
-	for i, c := range compensations {
+	// Trickle inserts: facts arrive in arrival order, not key order.
+	// The paper notes warehouses often fix data with compensating facts
+	// (e.g. a negative sale amount); here every 1000th order gets one.
+	const orders = 10_000
+	for i := 0; i < orders; i++ {
+		key := (i*7919 + 13) % 1_000_000 // arrival order ≠ key order
 		// date, orderkey, custkey, status, priority, totalprice, shipprio
-		if err := wos.Insert(100+i, c.key, 4242, "F", "1-URGENT", c.price, 0); err != nil {
+		if err := tbl.Insert(100+i%900, key, 4242, "O", "3-MEDIUM", 1000+i%5000, 0); err != nil {
 			log.Fatal(err)
 		}
+		if i%1000 == 999 {
+			if err := tbl.Insert(100+i%900, key, 4242, "F", "1-URGENT", -(i % 5000), 0); err != nil {
+				log.Fatal(err)
+			}
+		}
 	}
-	fmt.Printf("write store: %d compensating facts staged\n", wos.Len())
+	st := tbl.IngestStats()
+	fmt.Printf("ingested %d rows: %d in memtable, %d in %d sorted runs, %d merged (epoch %d, %d spills, %d compactions)\n",
+		tbl.Rows(), st.MemtableRows, st.RunRows, st.LiveRuns, st.GenRows, st.Epoch, st.Spills, st.Compactions)
 
-	// Periodic merge: rewrite the read store with the staged tuples
-	// folded in, still sorted on the key.
-	merged, err := wos.MergeInto(base, filepath.Join(dir, "merged"), "O_ORDERKEY")
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("merged store: %d orders (%d new), %d bytes, write store drained (%d left)\n\n",
-		merged.Rows(), merged.Rows()-base.Rows(), merged.DataBytes(), wos.Len())
-
-	// The merged store answers queries that see both old and new facts.
-	res, err := merged.Query(readopt.Query{
+	// Queries see memtable + runs + merged generation as one sorted,
+	// snapshot-consistent table — no flush needed first.
+	res, err := tbl.Query(readopt.Query{
 		Select: []string{"O_ORDERKEY", "O_TOTALPRICE", "O_ORDERPRIORITY"},
 		Where:  []readopt.Cond{{Column: "O_TOTALPRICE", Op: "<", Value: 0}},
+		Limit:  5,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("negative (compensating) order amounts now visible to scans:")
+	fmt.Println("negative (compensating) order amounts visible to scans immediately:")
 	for res.Next() {
 		var key, price int
 		var prio string
@@ -80,4 +80,16 @@ func main() {
 		log.Fatal(err)
 	}
 	res.Close()
+
+	// Force the remaining tail down into the read-optimized generation
+	// and show the lifecycle completed.
+	if err := tbl.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := tbl.Compact(); err != nil {
+		log.Fatal(err)
+	}
+	st = tbl.IngestStats()
+	fmt.Printf("\nafter final compaction: %d rows all in the read store (%d runs live), verified: %v\n",
+		st.GenRows, st.LiveRuns, tbl.Verify() == nil)
 }

@@ -1,0 +1,191 @@
+package readopt
+
+import (
+	"fmt"
+
+	"github.com/readoptdb/readopt/internal/page"
+	"github.com/readoptdb/readopt/internal/wos"
+)
+
+// IngestOptions tune an ingest table's write path. Zero values take the
+// defaults.
+type IngestOptions struct {
+	// Key names the int32 column the table is sorted on. Required at
+	// CreateIngest; recorded in the table's manifest thereafter.
+	Key string
+	// MemtableBytes bounds the in-memory insert buffer; reaching it
+	// spills a sorted run. Default 4MB.
+	MemtableBytes int
+	// RunPageSize is the page size of spilled run files. Default 64KB.
+	RunPageSize int
+	// CompactAfterRuns is the run count that wakes the background
+	// compactor. Default 4.
+	CompactAfterRuns int
+	// PageSize is the page size of merged generations. Default 4096.
+	PageSize int
+	// DisableCompactor turns the background merge off; runs then
+	// accumulate until Compact is called. Tests use this to drive the
+	// lifecycle deterministically.
+	DisableCompactor bool
+}
+
+func (o IngestOptions) internal() wos.Options {
+	return wos.Options{
+		Key:              o.Key,
+		MemtableBytes:    o.MemtableBytes,
+		RunPageSize:      o.RunPageSize,
+		CompactAfterRuns: o.CompactAfterRuns,
+		PageSize:         o.PageSize,
+		DisableCompactor: o.DisableCompactor,
+	}
+}
+
+// CreateIngest creates a writable table at dir: inserts accumulate in a
+// bounded memtable, spill as sorted immutable runs, and a background
+// compactor folds runs into the read-optimized generation queries scan.
+// Queries over the table see one consistent snapshot of generation,
+// runs and memtable — rows become visible the moment Insert returns.
+func CreateIngest(dir string, s *Schema, layout Layout, opts IngestOptions) (*Table, error) {
+	il, err := layout.internal()
+	if err != nil {
+		return nil, err
+	}
+	if opts.PageSize == 0 {
+		opts.PageSize = page.DefaultSize
+	}
+	w, err := wos.Create(dir, s.inner, il, opts.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &Table{t: w.Gen(), ing: w}, nil
+}
+
+// OpenIngest opens an ingest table created by CreateIngest. The key
+// column and schema come from the table's manifest; opts supply runtime
+// knobs only.
+func OpenIngest(dir string, opts IngestOptions) (*Table, error) {
+	w, err := wos.Open(dir, opts.internal())
+	if err != nil {
+		return nil, err
+	}
+	return &Table{t: w.Gen(), ing: w}, nil
+}
+
+// IsIngest reports whether the table accepts writes.
+func (t *Table) IsIngest() bool { return t.ing != nil }
+
+// Insert adds one row (values in column order, as for Loader.Append).
+// The row is immediately visible to queries. The insert that fills the
+// memtable pays for the spill — that back-pressure is what keeps an
+// insert storm from outrunning the disk.
+func (t *Table) Insert(values ...any) error {
+	if t.ing == nil {
+		return fmt.Errorf("readopt: table %s is read-only; create it with CreateIngest to insert", t.t.Schema.Name)
+	}
+	buf := make([]byte, t.t.Schema.Width())
+	if err := encodeRow(t.t.Schema, buf, values); err != nil {
+		return err
+	}
+	return t.ing.Insert(buf)
+}
+
+// InsertBatch adds rows atomically: no query observes part of the
+// batch. Each row is a values slice as for Insert.
+func (t *Table) InsertBatch(rows [][]any) error {
+	if t.ing == nil {
+		return fmt.Errorf("readopt: table %s is read-only; create it with CreateIngest to insert", t.t.Schema.Name)
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	width := t.t.Schema.Width()
+	buf := make([]byte, len(rows)*width)
+	for i, values := range rows {
+		if err := encodeRow(t.t.Schema, buf[i*width:(i+1)*width], values); err != nil {
+			return fmt.Errorf("readopt: batch row %d: %w", i, err)
+		}
+	}
+	return t.ing.InsertBatch(buf, len(rows))
+}
+
+// Flush spills the memtable to a sorted run regardless of size, making
+// every inserted row durable. A no-op when the memtable is empty.
+func (t *Table) Flush() error {
+	if t.ing == nil {
+		return fmt.Errorf("readopt: table %s is read-only", t.t.Schema.Name)
+	}
+	return t.ing.Flush()
+}
+
+// Compact merges the accumulated runs into a fresh read-optimized
+// generation synchronously. Queries running concurrently keep their
+// snapshot; new queries see the merged generation.
+func (t *Table) Compact() error {
+	if t.ing == nil {
+		return fmt.Errorf("readopt: table %s is read-only", t.t.Schema.Name)
+	}
+	return t.ing.Compact()
+}
+
+// CloseIngest flushes the memtable, stops the background compactor and
+// closes the write path. Queries started before the close finish
+// normally; further inserts fail. A no-op for read-only tables.
+func (t *Table) CloseIngest() error {
+	if t.ing == nil {
+		return nil
+	}
+	return t.ing.Close()
+}
+
+// IngestStats is a point-in-time snapshot of an ingest table's write
+// path, exported through the server's /stats and /metrics. The JSON
+// tags define the wire spelling.
+type IngestStats struct {
+	// Epoch identifies the current version; it advances on every spill
+	// and compaction.
+	Epoch int64 `json:"epoch"`
+	// GenRows, RunRows and MemtableRows partition the table's rows by
+	// where they currently live.
+	GenRows      int64 `json:"gen_rows"`
+	RunRows      int64 `json:"run_rows"`
+	MemtableRows int64 `json:"memtable_rows"`
+	// MemtableBytes is the insert buffer's current size; LiveRuns the
+	// number of spilled runs not yet compacted.
+	MemtableBytes int64 `json:"memtable_bytes"`
+	LiveRuns      int64 `json:"live_runs"`
+	// InsertedRows, Spills, SpilledBytes, Compactions, CompactedRuns and
+	// CompactFailures are lifetime counters.
+	InsertedRows    int64 `json:"inserted_rows"`
+	Spills          int64 `json:"spills"`
+	SpilledBytes    int64 `json:"spilled_bytes"`
+	Compactions     int64 `json:"compactions"`
+	CompactedRuns   int64 `json:"compacted_runs"`
+	CompactFailures int64 `json:"compact_failures"`
+	// SnapshotsOpen is the number of query snapshots currently pinning a
+	// version.
+	SnapshotsOpen int64 `json:"snapshots_open"`
+}
+
+// IngestStats reports the write path's counters; the zero value for
+// read-only tables.
+func (t *Table) IngestStats() IngestStats {
+	if t.ing == nil {
+		return IngestStats{}
+	}
+	m := t.ing.Metrics()
+	return IngestStats{
+		Epoch:           m.Epoch,
+		GenRows:         m.GenTuples,
+		RunRows:         m.RunTuples,
+		MemtableRows:    m.MemtableRows,
+		MemtableBytes:   m.MemtableBytes,
+		LiveRuns:        m.LiveRuns,
+		InsertedRows:    m.InsertedRows,
+		Spills:          m.Spills,
+		SpilledBytes:    m.SpilledBytes,
+		Compactions:     m.Compactions,
+		CompactedRuns:   m.CompactedRuns,
+		CompactFailures: m.CompactFails,
+		SnapshotsOpen:   m.SnapshotsOpen,
+	}
+}

@@ -1,0 +1,85 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// Concat unions its children sequentially: child 0 streams to
+// exhaustion, then child 1, and so on. It is the serial plan's union
+// point for the write path — the read store's scan followed by the
+// snapshot's run files and memtable — mirroring what the parallel plan
+// does by appending the delta chains to its exchange.
+type Concat struct {
+	children []Operator
+	cur      int
+	opened   bool
+}
+
+// NewConcat unions children, which must share a tuple width and
+// attribute count (the delta chains project to the scan's schema before
+// joining the union).
+func NewConcat(children []Operator) (*Concat, error) {
+	if len(children) == 0 {
+		return nil, fmt.Errorf("exec: Concat needs at least one child")
+	}
+	sch := children[0].Schema()
+	for i, c := range children[1:] {
+		o := c.Schema()
+		if o.Width() != sch.Width() || o.NumAttrs() != sch.NumAttrs() {
+			return nil, fmt.Errorf("exec: Concat child %d schema %s does not match %s", i+1, o, sch)
+		}
+	}
+	return &Concat{children: children}, nil
+}
+
+// Schema implements Operator.
+func (c *Concat) Schema() *schema.Schema { return c.children[0].Schema() }
+
+// Open implements Operator.
+func (c *Concat) Open() error {
+	c.cur = 0
+	for i, ch := range c.children {
+		if err := ch.Open(); err != nil {
+			for _, prev := range c.children[:i] {
+				prev.Close()
+			}
+			return err
+		}
+	}
+	c.opened = true
+	return nil
+}
+
+// Next implements Operator.
+//
+//readopt:hotpath
+func (c *Concat) Next() (*Block, error) {
+	if !c.opened {
+		return nil, errNextBeforeOpen
+	}
+	for c.cur < len(c.children) {
+		b, err := c.children[c.cur].Next()
+		if err != nil {
+			return nil, err
+		}
+		if b != nil {
+			return b, nil
+		}
+		c.cur++
+	}
+	return nil, nil
+}
+
+// Close implements Operator.
+func (c *Concat) Close() error {
+	c.opened = false
+	var first error
+	for _, ch := range c.children {
+		if err := ch.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -38,6 +38,13 @@ func NewFilter(child Operator, preds []Predicate, counters *cpumodel.Counters) (
 // Schema implements Operator.
 func (f *Filter) Schema() *schema.Schema { return f.child.Schema() }
 
+// Child returns the operator Filter pulls from, letting the plan layer
+// walk a chain to rebind counters.
+func (f *Filter) Child() Operator { return f.child }
+
+// SetCounters rebinds the counters pool charged by Next.
+func (f *Filter) SetCounters(c *cpumodel.Counters) { f.counters = c }
+
 // Open implements Operator.
 func (f *Filter) Open() error { return f.child.Open() }
 

@@ -1,0 +1,110 @@
+package exec
+
+import (
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// Project narrows each input tuple to the listed attributes, in output
+// order. The scanners project during the scan itself; this operator
+// exists for tuple sources that deliver full-width tuples — the write
+// path's memtable and run files — so their rows can be unioned into a
+// plan whose scan already projected.
+type Project struct {
+	child    Operator
+	proj     []int
+	in       *schema.Schema
+	out      *schema.Schema
+	block    *Block
+	pending  *Block // input block not fully consumed yet
+	pos      int    // next input tuple in pending
+	counters *cpumodel.Counters
+	costs    cpumodel.Costs
+}
+
+// NewProject wraps child so only the attributes in proj (indexes into
+// child's schema) survive, in the given order. counters may be nil.
+func NewProject(child Operator, proj []int, counters *cpumodel.Counters) (*Project, error) {
+	in := child.Schema()
+	out, err := in.Project(proj)
+	if err != nil {
+		return nil, err
+	}
+	return &Project{
+		child:    child,
+		proj:     append([]int(nil), proj...),
+		in:       in,
+		out:      out,
+		block:    NewBlock(out, DefaultBlockTuples),
+		counters: counters,
+		costs:    cpumodel.DefaultCosts(),
+	}, nil
+}
+
+// Schema implements Operator.
+func (p *Project) Schema() *schema.Schema { return p.out }
+
+// Child returns the operator Project pulls from, letting the plan layer
+// walk a chain to rebind counters.
+func (p *Project) Child() Operator { return p.child }
+
+// SetCounters rebinds the counters pool charged by Next.
+func (p *Project) SetCounters(c *cpumodel.Counters) { p.counters = c }
+
+// Open implements Operator.
+func (p *Project) Open() error {
+	p.pending, p.pos = nil, 0
+	return p.child.Open()
+}
+
+// Close implements Operator.
+func (p *Project) Close() error { return p.child.Close() }
+
+// Next implements Operator.
+//
+//readopt:hotpath
+func (p *Project) Next() (*Block, error) {
+	p.block.Reset()
+	for {
+		if p.pending == nil || p.pos >= p.pending.Len() {
+			in, err := p.child.Next()
+			if err != nil {
+				return nil, err
+			}
+			if in == nil {
+				if p.block.Len() > 0 {
+					p.charge(p.block.Len())
+					return p.block, nil
+				}
+				return nil, nil
+			}
+			p.pending, p.pos = in, 0
+			continue
+		}
+		for p.pos < p.pending.Len() && !p.block.Full() {
+			src := p.pending.Tuple(p.pos)
+			dst := p.block.Alloc()
+			for k, a := range p.proj {
+				size := p.in.Attrs[a].Type.Size
+				copy(dst[p.out.Offset(k):p.out.Offset(k)+size], src[p.in.Offset(a):p.in.Offset(a)+size])
+			}
+			p.pos++
+		}
+		if p.block.Full() {
+			p.charge(p.block.Len())
+			return p.block, nil
+		}
+	}
+}
+
+// charge accounts the copies of one delivered block.
+//
+//readopt:ignore tracepool charge adds new work to the pool rather than converting it; projection does no I/O or random access, so those counters have nothing to add.
+func (p *Project) charge(n int) {
+	if p.counters == nil {
+		return
+	}
+	p.counters.Instr += int64(n)*p.costs.TupleLoop + int64(n*p.out.Width())*p.costs.CopyPerByte
+	p.counters.SeqBytes += int64(n * p.out.Width())
+	p.counters.L1Bytes += int64(n * p.out.Width())
+}

@@ -86,6 +86,7 @@ func Analyzers() []*Analyzer {
 		ClockDiscipline,
 		TracePool,
 		FaultCmp,
+		RunCRC,
 	}
 }
 

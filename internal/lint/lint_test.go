@@ -31,6 +31,8 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"tracepool_clean", lint.TracePool, false},
 		{"faultcmp", lint.FaultCmp, true},
 		{"faultcmp_clean", lint.FaultCmp, false},
+		{"runcrc", lint.RunCRC, true},
+		{"runcrc_clean", lint.RunCRC, false},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {
@@ -52,7 +54,7 @@ func TestFullSuiteOnCleanFixtures(t *testing.T) {
 	for _, dir := range []string{
 		"hotalloc_clean", "bitwidth_clean", "pagebounds_clean",
 		"clockdiscipline_clean", "clockdiscipline_main", "tracepool_clean",
-		"faultcmp_clean",
+		"faultcmp_clean", "runcrc_clean",
 	} {
 		t.Run(dir, func(t *testing.T) {
 			diags := linttest.Run(t, filepath.Join("testdata", "src", dir), lint.Analyzers()...)

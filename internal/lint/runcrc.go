@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RunCRC guards the write path's integrity choke point. Every byte the
+// wos package persists — run files, manifests, the CURRENT pointer —
+// must flow through the CRC-sidecar writers in runio.go, because a file
+// written any other way has no sidecar and silently loses the per-page
+// (or whole-file) corruption detection fsck and every run scan depend
+// on. A bare os.WriteFile / os.Create / os.OpenFile in the package is
+// exactly that bug, so the analyzer outlaws them; the choke point
+// itself carries `//readopt:ignore runcrc` on its two sanctioned calls.
+var RunCRC = &Analyzer{
+	Name: "runcrc",
+	Doc: "in package wos every file write must go through the CRC-sidecar writers " +
+		"(writeFileWithCRC, writePagedFileWithCRC, writeCurrent); bare os.WriteFile, " +
+		"os.Create and os.OpenFile bypass the sidecar and break integrity checking",
+	Run: runRunCRC,
+}
+
+// runCRCBanned are the os entry points that produce a writable file.
+// os.Open and os.Stat stay legal — reads don't need a sidecar — and
+// os.Rename is how the choke point publishes CURRENT atomically.
+var runCRCBanned = map[string]bool{
+	"WriteFile": true,
+	"Create":    true,
+	"OpenFile":  true,
+}
+
+func runRunCRC(pass *Pass) error {
+	if pass.PkgName != "wos" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !runCRCBanned[sel.Sel.Name] {
+				return true
+			}
+			pkgIdent, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.TypesInfo.Uses[pkgIdent].(*types.PkgName)
+			if !ok || pkgName.Imported().Path() != "os" {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"os.%s bypasses the CRC-sidecar writer; persist through writeFileWithCRC/writePagedFileWithCRC/writeCurrent",
+				sel.Sel.Name)
+			return true
+		})
+	}
+	return nil
+}

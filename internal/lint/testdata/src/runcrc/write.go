@@ -1,0 +1,33 @@
+// Package wos is the dirty runcrc fixture: bare os file writes that
+// bypass the CRC-sidecar choke point. The fixture package is named wos
+// because the analyzer scopes itself to the real package's name.
+package wos
+
+import (
+	"os"
+	"path/filepath"
+)
+
+func bareWriteFile(dir string, data []byte) error {
+	return os.WriteFile(filepath.Join(dir, "run-0000001.run"), data, 0o644) // want "os.WriteFile"
+}
+
+func bareCreate(dir string) (*os.File, error) {
+	return os.Create(filepath.Join(dir, "manifest-0000001.json")) // want "os.Create"
+}
+
+func bareOpenFile(dir string) (*os.File, error) {
+	return os.OpenFile(filepath.Join(dir, "CURRENT"), os.O_WRONLY|os.O_CREATE, 0o644) // want "os.OpenFile"
+}
+
+// sanctioned is the choke-point shape: the one write the directive
+// exempts, plus the reads and renames that stay legal.
+func sanctioned(dir, name string, data []byte) error {
+	if err := os.WriteFile(filepath.Join(dir, name+".tmp"), data, 0o644); err != nil { //readopt:ignore runcrc
+		return err
+	}
+	if _, err := os.ReadFile(filepath.Join(dir, name+".tmp")); err != nil {
+		return err
+	}
+	return os.Rename(filepath.Join(dir, name+".tmp"), filepath.Join(dir, name))
+}

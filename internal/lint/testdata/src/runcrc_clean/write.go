@@ -1,0 +1,44 @@
+// Package wos is the clean runcrc fixture: every persisted byte flows
+// through a sidecar-writing choke point whose sanctioned calls carry
+// the ignore directive, and reads/renames are untouched.
+package wos
+
+import (
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// writeFileWithCRC is the fixture's stand-in for the real choke point:
+// sidecar first, then data, both exempted by the directive.
+func writeFileWithCRC(dir, name string, data []byte) error {
+	sum := crc32.ChecksumIEEE(data)
+	sidecar := []byte{byte(sum), byte(sum >> 8), byte(sum >> 16), byte(sum >> 24)}
+	if err := os.WriteFile(filepath.Join(dir, name+".crc"), sidecar, 0o644); err != nil { //readopt:ignore runcrc
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), data, 0o644) //readopt:ignore runcrc
+}
+
+func persistRun(dir string, data []byte) error {
+	return writeFileWithCRC(dir, "run-0000001.run", data)
+}
+
+func readBack(dir, name string) ([]byte, error) {
+	f, err := os.Open(filepath.Join(dir, name))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, fi.Size())
+	_, err = f.Read(out)
+	return out, err
+}
+
+func publish(dir, name string) error {
+	return os.Rename(filepath.Join(dir, name+".tmp"), filepath.Join(dir, name))
+}

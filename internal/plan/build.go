@@ -73,6 +73,38 @@ func (p *Plan) serialOperator(o ExecOpts, stageName string) (exec.Operator, erro
 	if o.Trace != nil {
 		op = trace.Wrap(op, scanStage)
 	}
+	if o.Delta != nil {
+		dctr := o.Counters
+		var deltaStage *trace.Stage
+		if o.Trace != nil {
+			deltaStage = o.Trace.NewStage("delta", deltaDetail(o))
+			deltaStage.RowsIn = o.Delta.DeltaRows()
+			dctr = &deltaStage.Counters
+		}
+		chains, err := p.deltaChains(o, dctr)
+		if err != nil {
+			op.Close()
+			return nil, err
+		}
+		if len(chains) > 0 {
+			overlay := chains[0]
+			if len(chains) > 1 {
+				if overlay, err = exec.NewConcat(chains); err != nil {
+					op.Close()
+					return nil, err
+				}
+			}
+			if o.Trace != nil {
+				overlay = trace.Wrap(overlay, deltaStage)
+			}
+			cc, err := exec.NewConcat([]exec.Operator{op, overlay})
+			if err != nil {
+				op.Close()
+				return nil, err
+			}
+			op = cc
+		}
+	}
 	if len(p.spec.Aggs) > 0 {
 		ctr, wrap := stage(o, "hash-agg", fmt.Sprintf("%d group-by keys, %d aggregates", len(p.spec.GroupBy), len(p.spec.Aggs)))
 		agg, err := exec.NewHashAggregate(op, p.spec.GroupBy, p.spec.Aggs, ctr)
@@ -151,6 +183,57 @@ func (p *Plan) parallelOperator(o ExecOpts, stageName string, n int) (exec.Opera
 		// producers stop pulling even while the consumer is blocked.
 		children[i] = exec.WithCancel(op, o.Ctx)
 	}
+
+	// The write path's overlay chains join the exchange as extra
+	// producers after the scan partitions: fixed child order keeps the
+	// result identical to the serial plan's scan-then-delta concat.
+	var deltaCtrs []cpumodel.Counters
+	var deltaScan, deltaAgg []*trace.Stage
+	var deltaStage *trace.Stage
+	if o.Delta != nil {
+		chains, err := p.deltaChains(o, nil)
+		if err != nil {
+			closeBuilt()
+			return nil, err
+		}
+		if traced && len(chains) > 0 {
+			deltaStage = o.Trace.NewStage("delta", deltaDetail(o))
+			deltaStage.RowsIn = o.Delta.DeltaRows()
+		}
+		deltaCtrs = make([]cpumodel.Counters, len(chains))
+		deltaScan = make([]*trace.Stage, len(chains))
+		deltaAgg = make([]*trace.Stage, len(chains))
+		for j, chain := range chains {
+			ctr := &deltaCtrs[j]
+			if traced {
+				deltaScan[j] = o.Trace.WorkerStage("delta", fmt.Sprintf("overlay %d", j))
+				ctr = &deltaScan[j].Counters
+			}
+			chainCounters(chain, ctr)
+			op := chain
+			if traced {
+				op = trace.Wrap(op, deltaScan[j])
+			}
+			if aggregated {
+				actr := ctr
+				if traced {
+					deltaAgg[j] = o.Trace.WorkerStage("partial-agg", fmt.Sprintf("overlay %d", j))
+					actr = &deltaAgg[j].Counters
+				}
+				pa, err := exec.NewPartialAgg(op, p.spec.GroupBy, p.spec.Aggs, actr)
+				if err != nil {
+					closeBuilt()
+					return nil, err
+				}
+				op = pa
+				if traced {
+					op = trace.Wrap(op, deltaAgg[j])
+				}
+			}
+			children = append(children, exec.WithCancel(op, o.Ctx))
+		}
+	}
+
 	ex, err := exec.NewExchange(children, exec.DefaultBlockTuples, exchangeDepth)
 	if err != nil {
 		closeBuilt()
@@ -170,6 +253,16 @@ func (p *Plan) parallelOperator(o ExecOpts, stageName string, n int) (exec.Opera
 				}
 			} else {
 				o.Counters.Add(workerCtrs[i])
+			}
+		}
+		for j := range deltaCtrs {
+			if traced {
+				deltaStage.Absorb(deltaScan[j])
+				if partialStage != nil {
+					partialStage.Absorb(deltaAgg[j])
+				}
+			} else {
+				o.Counters.Add(deltaCtrs[j])
 			}
 		}
 	}

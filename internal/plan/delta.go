@@ -1,0 +1,68 @@
+package plan
+
+import (
+	"fmt"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/exec"
+)
+
+// The write path's overlay joins the plan below its aggregation. Each
+// delta source (a run file scanner or the memtable capture) delivers
+// full-width tuples, so each gets its own filter → project chain to
+// reach the scan's output schema. A serial plan concatenates the chains
+// after the base scan; a parallel plan appends them as extra exchange
+// producers after the scan partitions — either way the child order is
+// fixed, so results stay byte-identical at any dop.
+
+// deltaChains builds one filter → project chain per overlay source.
+// Sources are unopened; closeErr closes any base operator the caller
+// already holds. ctr is the pool every chain charges; callers needing
+// per-chain pools rebind afterwards via chainCounters.
+func (p *Plan) deltaChains(o ExecOpts, ctr *cpumodel.Counters) ([]exec.Operator, error) {
+	if o.Delta == nil {
+		return nil, nil
+	}
+	srcs, err := o.Delta.OpenDelta(o.Ctx, ctr)
+	if err != nil {
+		return nil, err
+	}
+	chains := make([]exec.Operator, 0, len(srcs))
+	for i, src := range srcs {
+		op := src
+		if len(p.spec.Preds) > 0 {
+			f, err := exec.NewFilter(op, p.spec.Preds, ctr)
+			if err != nil {
+				return nil, fmt.Errorf("plan: delta source %d: %w", i, err)
+			}
+			op = f
+		}
+		pr, err := exec.NewProject(op, p.spec.Proj, ctr)
+		if err != nil {
+			return nil, fmt.Errorf("plan: delta source %d: %w", i, err)
+		}
+		chains = append(chains, pr)
+	}
+	return chains, nil
+}
+
+// chainCounters rebinds every counter-charging operator of one chain to
+// a fresh pool. The chain's operators all implement CounterSink except
+// the memtable's SliceSource, which charges nothing.
+func chainCounters(op exec.Operator, ctr *cpumodel.Counters) {
+	for cur := op; cur != nil; {
+		if cs, ok := cur.(CounterSink); ok {
+			cs.SetCounters(ctr)
+		}
+		child, ok := cur.(interface{ Child() exec.Operator })
+		if !ok {
+			return
+		}
+		cur = child.Child()
+	}
+}
+
+// deltaDetail renders the delta stage's detail line.
+func deltaDetail(o ExecOpts) string {
+	return fmt.Sprintf("%d overlay rows", o.Delta.DeltaRows())
+}

@@ -69,6 +69,30 @@ type Plan struct {
 	bounds     []int64 // partition bounds; nil or one range means serial
 }
 
+// DeltaOpener supplies the write path's overlay for one execution: the
+// rows living in run files and the memtable on top of the compiled
+// plan's base table. The interface is satisfied structurally by
+// wos.Snapshot, keeping the storage package free of plan imports. A
+// plan splices the delta in below its aggregation, so grouped and
+// ordered results over base+delta are exactly what a merged table would
+// produce.
+type DeltaOpener interface {
+	// OpenDelta returns one unopened operator per overlay source, each
+	// delivering full-width tuples of the base table's schema, in the
+	// fixed order that makes results deterministic (runs oldest first,
+	// then the memtable). The plan owns Open/Close.
+	OpenDelta(ctx context.Context, counters *cpumodel.Counters) ([]exec.Operator, error)
+	// DeltaRows is the total overlay row count, for trace accounting.
+	DeltaRows() int64
+}
+
+// CounterSink lets the plan rebind a delta operator's counters pool
+// after construction — parallel plans give each overlay chain its own
+// pool, merged in deterministic order when the workers finish.
+type CounterSink interface {
+	SetCounters(*cpumodel.Counters)
+}
+
 // ExecOpts parameterize one execution of a compiled plan.
 type ExecOpts struct {
 	// Ctx bounds the execution: when it is cancelled the scan readers
@@ -87,6 +111,10 @@ type ExecOpts struct {
 	ScanStage string
 	// ScanDetail overrides the scan stage's detail line.
 	ScanDetail string
+	// Delta, when non-nil, overlays the write path's unmerged rows on
+	// the scan: every plan shape (serial, parallel, aggregated, shared)
+	// sees base and overlay as one table at one instant.
+	Delta DeltaOpener
 }
 
 // Compile validates spec against tbl and resolves the plan's schemas

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"github.com/readoptdb/readopt"
+)
+
+// handleInsert applies one atomic insert batch to an ingest table.
+// Writes share the admission gate with queries: a server at capacity
+// sheds inserts with the same queue_full rejection, so an insert storm
+// cannot starve readers of slots (and vice versa). The engine adds its
+// own back-pressure underneath — the insert that fills the memtable
+// pays for the spill — so an admitted write is throttled by the disk,
+// not by unbounded buffering.
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, readopt.CodeBadRequest, "POST required")
+		return
+	}
+	var req readopt.InsertRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 64<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, readopt.CodeBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	ts := s.table(req.Table)
+	if ts == nil {
+		writeError(w, http.StatusNotFound, readopt.CodeTableMissing, fmt.Sprintf("no table %q in the catalog", req.Table))
+		return
+	}
+	if !ts.tbl.IsIngest() {
+		writeError(w, http.StatusConflict, readopt.CodeReadOnly,
+			fmt.Sprintf("table %q is read-only; serve a CreateIngest table to insert", req.Table))
+		return
+	}
+	if len(req.Rows) == 0 {
+		writeError(w, http.StatusBadRequest, readopt.CodeBadRequest, "empty rows")
+		return
+	}
+	if err := readopt.NormalizeRows(req.Rows); err != nil {
+		writeError(w, http.StatusBadRequest, readopt.CodeBadRequest, err.Error())
+		return
+	}
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, readopt.CodeDraining, "server is draining")
+		return
+	}
+	if !s.admit() {
+		s.stats.insertReject()
+		writeError(w, http.StatusTooManyRequests, readopt.CodeQueueFull,
+			fmt.Sprintf("admission queue full (%d executing + %d waiting)", s.cfg.Workers, s.cfg.QueueDepth))
+		return
+	}
+	defer s.admitted.Add(-1)
+
+	// An admitted write takes an execution slot like a dispatched scan:
+	// the memtable append is cheap, but the spill it may trigger is a
+	// full sorted-run write, and slots are how the server bounds
+	// concurrent disk work.
+	s.workers <- struct{}{}
+	err := ts.tbl.InsertBatch(req.Rows)
+	<-s.workers
+	if err != nil {
+		s.stats.insertFail()
+		status, code := errorStatus(err)
+		if readopt.ErrorKind(err) == "other" {
+			// Encoding errors (wrong arity, bad types) are the client's.
+			status, code = http.StatusBadRequest, readopt.CodeBadRequest
+		}
+		writeError(w, status, code, err.Error())
+		return
+	}
+	ist := ts.tbl.IngestStats()
+	s.stats.insert(int64(len(req.Rows)))
+	writeJSON(w, http.StatusOK, readopt.InsertResponse{
+		Inserted:  int64(len(req.Rows)),
+		TableRows: ts.tbl.Rows(),
+		Epoch:     ist.Epoch,
+	})
+}

@@ -1,0 +1,221 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/readoptdb/readopt"
+	"github.com/readoptdb/readopt/internal/server"
+)
+
+// loadKV serves an empty ingest table alongside the read-only orders
+// table, so one server exercises both the write path and its refusals.
+func loadKV(t *testing.T) *readopt.Table {
+	t.Helper()
+	sch, err := readopt.NewSchema("KV", []readopt.Column{
+		{Name: "K", Type: readopt.Int32},
+		{Name: "V", Type: readopt.Int32},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl, err := readopt.CreateIngest(filepath.Join(t.TempDir(), "kv"), sch,
+		readopt.ColumnLayout, readopt.IngestOptions{Key: "K", DisableCompactor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tbl.CloseIngest() })
+	return tbl
+}
+
+// TestServerInsert covers POST /insert end to end: rows inserted through
+// the wire are immediately queryable through the same server, the write
+// counters land in /stats and /metrics, and every refusal — read-only
+// table, unknown table, bad rows — answers with its distinct code.
+func TestServerInsert(t *testing.T) {
+	orders := loadOrders(t, 1_000)
+	kv := loadKV(t)
+	srv := server.New(server.Config{Workers: 2, QueueDepth: 8})
+	for name, tbl := range map[string]*readopt.Table{"orders": orders, "kv": kv} {
+		if err := srv.AddTable(name, tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	client := readopt.NewClient(ts.URL, ts.Client())
+	ctx := context.Background()
+
+	// Success: two batches, visible to a wire query between and after.
+	const batch = 500
+	rows := make([][]any, batch)
+	var wantSum int64
+	for i := range rows {
+		rows[i] = []any{i, i % 7}
+		wantSum += int64(i % 7)
+	}
+	resp, err := client.Insert(ctx, "kv", rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Inserted != batch || resp.TableRows != batch {
+		t.Fatalf("first insert answered %+v", resp)
+	}
+	for i := range rows {
+		rows[i] = []any{batch + i, i % 7}
+		wantSum += int64(i % 7)
+	}
+	if _, err := client.Insert(ctx, "kv", rows); err != nil {
+		t.Fatal(err)
+	}
+	q := readopt.Query{Aggs: []readopt.Agg{{Func: "count"}, {Func: "sum", Column: "V"}}}
+	qr, err := client.Query(ctx, "kv", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := normalizeWire(qr.Rows)
+	if len(got) != 1 || got[0][0].(int64) != 2*batch || got[0][1].(int64) != wantSum {
+		t.Fatalf("post-insert aggregate = %v, want [%d %d]", got, 2*batch, wantSum)
+	}
+
+	// The write counters are on the wire: /stats aggregates and the
+	// per-table ingest block.
+	st := srv.Stats()
+	if st.Inserts != 2 || st.InsertedRows != 2*batch {
+		t.Errorf("stats count %d inserts / %d rows, want 2 / %d", st.Inserts, st.InsertedRows, 2*batch)
+	}
+	ist, ok := st.Ingest["kv"]
+	if !ok || ist.InsertedRows != 2*batch {
+		t.Errorf("stats ingest block = %+v (present=%v)", ist, ok)
+	}
+	if _, ok := st.Ingest["orders"]; ok {
+		t.Error("read-only table has an ingest block")
+	}
+	wireStats, err := client.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wireStats.Inserts != st.Inserts || wireStats.Ingest["kv"].InsertedRows != ist.InsertedRows {
+		t.Errorf("wire stats %+v differ from in-process %+v", wireStats, st)
+	}
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics := string(mbody)
+	for _, series := range []string{
+		"readopt_inserts_total 2",
+		`readopt_ingest_inserted_rows_total{table="kv"} 1000`,
+		`readopt_ingest_epoch{table="kv"}`,
+	} {
+		if !strings.Contains(metrics, series) {
+			t.Errorf("metrics lack %q", series)
+		}
+	}
+
+	// Refusals, each with its distinct code.
+	var se *readopt.ServerError
+	if _, err := client.Insert(ctx, "orders", [][]any{{1, 2}}); !errors.As(err, &se) ||
+		se.Code != readopt.CodeReadOnly || se.StatusCode != http.StatusConflict {
+		t.Errorf("insert into read-only table gave %v", err)
+	}
+	if _, err := client.Insert(ctx, "nope", [][]any{{1, 2}}); !errors.As(err, &se) || se.Code != readopt.CodeTableMissing {
+		t.Errorf("insert into unknown table gave %v", err)
+	}
+	if _, err := client.Insert(ctx, "kv", nil); !errors.As(err, &se) || se.Code != readopt.CodeBadRequest {
+		t.Errorf("empty insert gave %v", err)
+	}
+	if _, err := client.Insert(ctx, "kv", [][]any{{1, 2.5}}); !errors.As(err, &se) || se.Code != readopt.CodeBadRequest {
+		t.Errorf("fractional value gave %v", err)
+	}
+	if _, err := client.Insert(ctx, "kv", [][]any{{1, 2, 3}}); !errors.As(err, &se) || se.Code != readopt.CodeBadRequest {
+		t.Errorf("wrong arity gave %v", err)
+	}
+	if after := srv.Stats(); after.Inserts != 2 || after.InsertedRows != 2*batch {
+		t.Errorf("refused inserts moved the success counters: %+v", after)
+	}
+
+	// Draining bounces writes like queries.
+	srv.Drain()
+	if _, err := client.Insert(ctx, "kv", [][]any{{9_999, 1}}); !errors.As(err, &se) || se.Code != readopt.CodeDraining {
+		t.Errorf("draining server accepted an insert: %v", err)
+	}
+	shutdownCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		t.Errorf("shutdown: %v", err)
+	}
+}
+
+// TestServerInsertQueueFull: writes share the admission gate with
+// queries, so a server saturated by a slow query sheds the insert burst
+// with the same distinct queue-full rejection, counted separately in
+// /stats.
+func TestServerInsertQueueFull(t *testing.T) {
+	orders := loadOrders(t, 5_000)
+	kv := loadKV(t)
+	srv, client := startServer(t, orders, server.Config{
+		Workers:      1,
+		QueueDepth:   1,
+		GatherWindow: 150 * time.Millisecond, // both queries hold admission for the whole window
+	})
+	if err := srv.AddTable("kv", kv); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two queries fill the two admission slots (1 worker + 1 queued) and
+	// hold them until the gather window elapses and the batch runs.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := client.Query(context.Background(), "orders",
+				readopt.Query{Select: []string{"O_ORDERKEY"}, Limit: 3}); err != nil {
+				t.Errorf("pilot query: %v", err)
+			}
+		}()
+	}
+	time.Sleep(50 * time.Millisecond) // well inside the gather window
+
+	// An insert arriving while the gate is full is shed, not queued
+	// behind the readers.
+	_, err := client.Insert(context.Background(), "kv", [][]any{{1, 1}})
+	if !errors.Is(err, readopt.ErrServerBusy) {
+		t.Fatalf("insert against a full admission gate gave %v, want ErrServerBusy", err)
+	}
+	var se *readopt.ServerError
+	if !errors.As(err, &se) || se.Code != readopt.CodeQueueFull || se.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("rejection is not the distinct queue-full error: %v", err)
+	}
+	wg.Wait()
+
+	// Gate cleared: the identical insert is admitted and applied.
+	resp, err := client.Insert(context.Background(), "kv", [][]any{{1, 1}})
+	if err != nil {
+		t.Fatalf("insert after the gate cleared: %v", err)
+	}
+	if resp.Inserted != 1 {
+		t.Fatalf("insert answered %+v", resp)
+	}
+	st := srv.Stats()
+	if st.InsertRejected != 1 {
+		t.Errorf("stats count %d insert rejections, want 1", st.InsertRejected)
+	}
+	if st.Inserts != 1 || st.InsertedRows != 1 {
+		t.Errorf("stats count %d/%d successful inserts, want 1/1", st.Inserts, st.InsertedRows)
+	}
+}

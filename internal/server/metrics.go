@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"sort"
 	"strings"
 
 	"github.com/readoptdb/readopt"
@@ -40,6 +41,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&b, "readopt_errors_total{type=\"other\"} %d\n", st.OtherErrors)
 
 	counter("readopt_rejected_total", "Queries shed at admission because the queue was full.", st.Rejected)
+	counter("readopt_inserts_total", "Insert batches applied to ingest tables.", st.Inserts)
+	counter("readopt_inserted_rows_total", "Rows added by applied insert batches.", st.InsertedRows)
+	counter("readopt_insert_rejected_total", "Insert batches shed at admission.", st.InsertRejected)
+	counter("readopt_insert_failed_total", "Insert batches that errored.", st.InsertFailed)
 	counter("readopt_batches_total", "Multi-query shared-scan dispatches.", st.Batches)
 	counter("readopt_batched_queries_total", "Queries answered from a shared scan.", st.BatchedQueries)
 	gauge("readopt_batch_size_max", "Largest shared-scan batch so far.", st.MaxBatchSize)
@@ -58,6 +63,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeHistogram(&b, "readopt_queue_wait_seconds", "Time queries spent waiting for dispatch.", &view.queueWaitHist)
 	writeHistogram(&b, "readopt_exec_seconds", "Time queries spent executing.", &view.execHist)
 
+	writeIngestMetrics(&b, s.ingestStats())
+
 	gauge("readopt_tables", "Tables in the catalog.", int64(len(s.Tables())))
 	var draining int64
 	if s.draining.Load() {
@@ -68,6 +75,51 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.WriteHeader(http.StatusOK)
 	_, _ = w.Write([]byte(b.String()))
+}
+
+// writeIngestMetrics renders each ingest table's write-path counters,
+// labelled by catalog name, in sorted order so scrapes are stable.
+func writeIngestMetrics(b *strings.Builder, ingest map[string]readopt.IngestStats) {
+	if len(ingest) == 0 {
+		return
+	}
+	names := make([]string, 0, len(ingest))
+	for name := range ingest {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	series := func(metric, help, kind string, v func(readopt.IngestStats) int64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", metric, help, metric, kind)
+		for _, name := range names {
+			fmt.Fprintf(b, "%s{table=%q} %d\n", metric, name, v(ingest[name]))
+		}
+	}
+	series("readopt_ingest_epoch", "Current ingest version; advances on spill and compaction.", "gauge",
+		func(s readopt.IngestStats) int64 { return s.Epoch })
+	series("readopt_ingest_memtable_bytes", "Bytes buffered in the memtable.", "gauge",
+		func(s readopt.IngestStats) int64 { return s.MemtableBytes })
+	series("readopt_ingest_memtable_rows", "Rows buffered in the memtable.", "gauge",
+		func(s readopt.IngestStats) int64 { return s.MemtableRows })
+	series("readopt_ingest_live_runs", "Spilled runs not yet compacted.", "gauge",
+		func(s readopt.IngestStats) int64 { return s.LiveRuns })
+	series("readopt_ingest_run_rows", "Rows in spilled runs.", "gauge",
+		func(s readopt.IngestStats) int64 { return s.RunRows })
+	series("readopt_ingest_gen_rows", "Rows in the read-optimized generation.", "gauge",
+		func(s readopt.IngestStats) int64 { return s.GenRows })
+	series("readopt_ingest_snapshots_open", "Query snapshots pinning a version.", "gauge",
+		func(s readopt.IngestStats) int64 { return s.SnapshotsOpen })
+	series("readopt_ingest_inserted_rows_total", "Rows inserted since open.", "counter",
+		func(s readopt.IngestStats) int64 { return s.InsertedRows })
+	series("readopt_ingest_spills_total", "Memtable spills to sorted runs.", "counter",
+		func(s readopt.IngestStats) int64 { return s.Spills })
+	series("readopt_ingest_spilled_bytes_total", "Bytes written by spills.", "counter",
+		func(s readopt.IngestStats) int64 { return s.SpilledBytes })
+	series("readopt_ingest_compactions_total", "Background merges into a fresh generation.", "counter",
+		func(s readopt.IngestStats) int64 { return s.Compactions })
+	series("readopt_ingest_compacted_runs_total", "Runs folded away by compactions.", "counter",
+		func(s readopt.IngestStats) int64 { return s.CompactedRuns })
+	series("readopt_ingest_compact_failures_total", "Compaction attempts that errored.", "counter",
+		func(s readopt.IngestStats) int64 { return s.CompactFailures })
 }
 
 func writeHistogram(b *strings.Builder, name, help string, h *histogram) {

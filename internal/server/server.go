@@ -183,8 +183,30 @@ func (s *Server) Tables() []readopt.TableInfo {
 	return out
 }
 
-// Stats snapshots the aggregate statistics.
-func (s *Server) Stats() readopt.ServerStats { return s.stats.snapshot() }
+// Stats snapshots the aggregate statistics, including each ingest
+// table's write-path counters.
+func (s *Server) Stats() readopt.ServerStats {
+	st := s.stats.snapshot()
+	st.Ingest = s.ingestStats()
+	return st
+}
+
+// ingestStats collects the write-path counters of every ingest table
+// in the catalog, or nil when there are none.
+func (s *Server) ingestStats() map[string]readopt.IngestStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out map[string]readopt.IngestStats
+	for name, ts := range s.tables {
+		if ts.tbl.IsIngest() {
+			if out == nil {
+				out = make(map[string]readopt.IngestStats)
+			}
+			out[name] = ts.tbl.IngestStats()
+		}
+	}
+	return out
+}
 
 // Drain stops admitting queries: /query answers 503 and /healthz goes
 // unhealthy, while queries already admitted run to completion.
@@ -208,9 +230,25 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
+// CloseTables closes the write path of every ingest table in the
+// catalog, flushing buffered rows to disk. Call after Shutdown; later
+// inserts fail, reads keep working.
+func (s *Server) CloseTables() error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var first error
+	for name, ts := range s.tables {
+		if err := ts.tbl.CloseIngest(); err != nil && first == nil {
+			first = fmt.Errorf("server: close table %s: %w", name, err)
+		}
+	}
+	return first
+}
+
 // Handler returns the server's HTTP API:
 //
 //	POST /query   — run one query (readopt.QueryRequest/QueryResponse)
+//	POST /insert  — apply one insert batch to an ingest table
 //	GET  /tables  — list the catalog
 //	GET  /stats   — aggregate statistics
 //	GET  /metrics — the same statistics in Prometheus text format
@@ -218,6 +256,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/insert", s.handleInsert)
 	mux.HandleFunc("/tables", s.handleTables)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)

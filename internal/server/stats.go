@@ -47,6 +47,8 @@ type statsRecorder struct {
 
 	admitted, completed, failed, rejected, timedOut int64
 
+	inserts, insertedRows, insertRejected, insertFailed int64
+
 	batches, batchedQueries, singletons int64
 	maxBatch                            int64
 	parallelRuns                        int64
@@ -102,6 +104,26 @@ func (r *statsRecorder) fail() {
 	r.mu.Lock()
 	r.admitted++
 	r.failed++
+	r.mu.Unlock()
+}
+
+// insert records one applied insert batch of n rows.
+func (r *statsRecorder) insert(n int64) {
+	r.mu.Lock()
+	r.inserts++
+	r.insertedRows += n
+	r.mu.Unlock()
+}
+
+func (r *statsRecorder) insertReject() {
+	r.mu.Lock()
+	r.insertRejected++
+	r.mu.Unlock()
+}
+
+func (r *statsRecorder) insertFail() {
+	r.mu.Lock()
+	r.insertFailed++
 	r.mu.Unlock()
 }
 
@@ -187,6 +209,10 @@ func (r *statsRecorder) snapshot() readopt.ServerStats {
 		QueueWaitMicros: r.queueWait.Microseconds(),
 		ExecMicros:      r.exec.Microseconds(),
 		SlowQueries:     r.slowQueries,
+		Inserts:         r.inserts,
+		InsertedRows:    r.insertedRows,
+		InsertRejected:  r.insertRejected,
+		InsertFailed:    r.insertFailed,
 		CancelledErrors: r.errCancelled,
 		CorruptErrors:   r.errCorrupt,
 		TransientErrors: r.errTransient,

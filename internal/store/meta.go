@@ -72,8 +72,13 @@ type Meta struct {
 	PageCRC bool `json:"page_crc,omitempty"`
 }
 
-// sidecarName returns the per-page checksum sidecar for a data file.
-func sidecarName(name string) string { return name + ".crc" }
+// SidecarName returns the per-page checksum sidecar for a data file.
+// The write path's run files use the same convention, so fsck and the
+// chaos tooling treat every page-structured file uniformly.
+func SidecarName(name string) string { return name + ".crc" }
+
+// sidecarName is the package-internal spelling.
+func sidecarName(name string) string { return SidecarName(name) }
 
 var encByName = map[string]schema.Encoding{
 	"": schema.None, "raw": schema.None, "pack": schema.BitPack,
@@ -253,6 +258,13 @@ func Open(dir string) (*Table, error) {
 // readPageSums loads a data file's checksum sidecar and checks it holds
 // exactly one entry per page.
 func readPageSums(dir, name string, size int64, pageSize int) ([]uint32, error) {
+	return ReadPageSums(dir, name, size, pageSize)
+}
+
+// ReadPageSums loads the checksum sidecar of a page-structured file and
+// checks it holds exactly one entry per page of the given size. The
+// write path's run files share the sidecar format with table data files.
+func ReadPageSums(dir, name string, size int64, pageSize int) ([]uint32, error) {
 	blob, err := os.ReadFile(filepath.Join(dir, sidecarName(name)))
 	if err != nil {
 		return nil, fmt.Errorf("store: reading page checksums: %w", err)
@@ -267,6 +279,39 @@ func readPageSums(dir, name string, size int64, pageSize int) ([]uint32, error) 
 		sums[i] = binary.LittleEndian.Uint32(blob[i*4:])
 	}
 	return sums, nil
+}
+
+// WritePageSums records per-page CRCs in the sidecar next to the named
+// data file: a bare little-endian uint32 array, one entry per page.
+func WritePageSums(dir, name string, sums []uint32) error {
+	buf := make([]byte, 4*len(sums))
+	for i, c := range sums {
+		binary.LittleEndian.PutUint32(buf[i*4:], c)
+	}
+	return os.WriteFile(filepath.Join(dir, sidecarName(name)), buf, 0o644)
+}
+
+// VerifyPagesFile re-reads a page-structured file page by page and
+// checks each against its sidecar CRC, returning the first mismatch
+// (tagged fault.ErrCorrupt) with its page index. It is the shared body
+// of Table.VerifyPages and the write path's run-file fsck.
+func VerifyPagesFile(path string, pageSize int, sums []uint32) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: verify pages %s: %w", filepath.Base(path), err)
+	}
+	defer f.Close()
+	buf := make([]byte, pageSize)
+	for i, want := range sums {
+		if _, err := io.ReadFull(f, buf); err != nil {
+			return fmt.Errorf("store: verify pages %s: page %d: %w", filepath.Base(path), i, err)
+		}
+		if got := crc32.ChecksumIEEE(buf); got != want {
+			return fault.Corruptf("store: data file %s page %d is corrupt: crc %08x, recorded %08x",
+				filepath.Base(path), i, got, want)
+		}
+	}
+	return nil
 }
 
 // PageChecksums returns the per-page CRCs of the named data file, or nil
@@ -345,23 +390,9 @@ func (t *Table) VerifyIntegrity() error {
 // give. Tables without sidecars verify trivially.
 func (t *Table) VerifyPages() error {
 	for name, sums := range t.pageSums {
-		f, err := os.Open(filepath.Join(t.Dir, name))
-		if err != nil {
-			return fmt.Errorf("store: verify pages %s: %w", name, err)
+		if err := VerifyPagesFile(filepath.Join(t.Dir, name), t.PageSize, sums); err != nil {
+			return err
 		}
-		buf := make([]byte, t.PageSize)
-		for i, want := range sums {
-			if _, err := io.ReadFull(f, buf); err != nil {
-				f.Close()
-				return fmt.Errorf("store: verify pages %s: page %d: %w", name, i, err)
-			}
-			if got := crc32.ChecksumIEEE(buf); got != want {
-				f.Close()
-				return fault.Corruptf("store: data file %s page %d is corrupt: crc %08x, recorded %08x",
-					name, i, got, want)
-			}
-		}
-		f.Close()
 	}
 	return nil
 }

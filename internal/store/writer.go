@@ -2,7 +2,6 @@ package store
 
 import (
 	"bufio"
-	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -260,13 +259,9 @@ func (w *Writer) Close() error {
 }
 
 // writePageSums records wf's per-page CRCs in a sidecar next to the
-// data file: a bare little-endian uint32 array, one entry per page.
+// data file.
 func writePageSums(dir string, wf *writerFile) error {
-	buf := make([]byte, 4*len(wf.pages))
-	for i, c := range wf.pages {
-		binary.LittleEndian.PutUint32(buf[i*4:], c)
-	}
-	return os.WriteFile(filepath.Join(dir, sidecarName(wf.name)), buf, 0o644)
+	return WritePageSums(dir, wf.name, wf.pages)
 }
 
 // LoadSynthetic bulk-loads n tuples from a tpch generator matching the

@@ -1,0 +1,25 @@
+//go:build readoptdebug
+
+package wos
+
+import (
+	"fmt"
+
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// assertSorted panics when a buffer about to become a run file is out
+// of key order — the invariant every downstream merge and sparse index
+// depends on. This build verifies it at run time; release builds
+// compile it out.
+func assertSorted(sch *schema.Schema, key int, tuples []byte) {
+	width := sch.Width()
+	n := len(tuples) / width
+	for i := 1; i < n; i++ {
+		prev := sch.Int32At(tuples[(i-1)*width:], key)
+		cur := sch.Int32At(tuples[i*width:], key)
+		if cur < prev {
+			panic(fmt.Sprintf("wos: run buffer unsorted at tuple %d: key %d after %d", i, cur, prev))
+		}
+	}
+}

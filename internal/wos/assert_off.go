@@ -1,0 +1,9 @@
+//go:build !readoptdebug
+
+package wos
+
+import "github.com/readoptdb/readopt/internal/schema"
+
+// The debug assertions are compiled out of release builds; build with
+// -tags readoptdebug to verify run-sortedness invariants at run time.
+func assertSorted(*schema.Schema, int, []byte) {}

@@ -1,0 +1,51 @@
+package wos
+
+import (
+	"path/filepath"
+
+	"github.com/readoptdb/readopt/internal/store"
+)
+
+// Fsck is the write path's offline integrity check, the ingest-table
+// body behind readoptd -fsck. It verifies the pinned epoch end to end:
+// the manifest against its sidecar, the generation's whole-file and
+// per-page checksums, and every live run page by page. Corruption
+// findings carry fault.ErrCorrupt, like the read store's.
+func (s *Store) Fsck() error {
+	sn := s.Snapshot()
+	defer sn.Release()
+	if err := verifyManifest(s.dir); err != nil {
+		return err
+	}
+	if err := sn.v.gen.tbl.Fsck(); err != nil {
+		return err
+	}
+	for _, r := range sn.v.runs {
+		if err := VerifyRun(r.dir, r.meta, r.sums); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyPages re-checks the per-page sidecars of the generation and
+// runs without the whole-file pass.
+func (s *Store) VerifyPages() error {
+	sn := s.Snapshot()
+	defer sn.Release()
+	if err := sn.v.gen.tbl.VerifyPages(); err != nil {
+		return err
+	}
+	for _, r := range sn.v.runs {
+		if err := VerifyRun(r.dir, r.meta, r.sums); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyRun re-reads one run file page by page against its sidecar
+// CRCs, sharing store.VerifyPagesFile with the read store's fsck.
+func VerifyRun(dir string, meta RunMeta, sums []uint32) error {
+	return store.VerifyPagesFile(filepath.Join(dir, meta.File), meta.PageSize, sums)
+}

@@ -1,0 +1,154 @@
+package wos
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/readoptdb/readopt/internal/fault"
+	"github.com/readoptdb/readopt/internal/store"
+)
+
+// The on-disk layout of an ingest table directory:
+//
+//	CURRENT                  → "manifest-0000042.json <crc>", atomic swap
+//	manifest-0000042.json    immutable epoch description (+ .crc sidecar)
+//	gen-0000017/             a read-optimized store.Table generation
+//	run-0000039.run          sorted immutable run (+ .crc page sidecar)
+//
+// Every epoch change — spill, compaction — writes a new immutable
+// manifest and then swaps CURRENT. Readers pin the version they opened;
+// files of superseded versions are deleted only when the last pinned
+// snapshot over them is released.
+
+const (
+	currentFile    = "CURRENT"
+	manifestPrefix = "manifest-"
+	genPrefix      = "gen-"
+	runPrefix      = "run-"
+	manifestFormat = 1
+)
+
+func manifestName(epoch int64) string { return fmt.Sprintf("%s%07d.json", manifestPrefix, epoch) }
+func genName(seq int64) string        { return fmt.Sprintf("%s%07d", genPrefix, seq) }
+func runName(seq int64) string        { return fmt.Sprintf("%s%07d.run", runPrefix, seq) }
+
+// RunMeta describes one immutable sorted run file, as recorded in the
+// manifest. Sparse is the run's sparse key index: the first key of each
+// page, enabling page-level key-range pruning without touching the file.
+type RunMeta struct {
+	File      string  `json:"file"`
+	Tuples    int64   `json:"tuples"`
+	Pages     int     `json:"pages"`
+	PageSize  int     `json:"page_size"`
+	MinKey    int32   `json:"min_key"`
+	MaxKey    int32   `json:"max_key"`
+	SchemaTag uint32  `json:"schema_tag"`
+	Sparse    []int32 `json:"sparse"`
+}
+
+// manifest is one epoch's immutable description of the table: which
+// generation holds the merged read-optimized data and which runs layer
+// on top of it, oldest first.
+type manifest struct {
+	Format     int       `json:"format"`
+	Epoch      int64     `json:"epoch"`
+	Key        string    `json:"key"`
+	Seq        int64     `json:"seq"` // next file sequence number
+	Generation string    `json:"generation"`
+	Runs       []RunMeta `json:"runs"`
+}
+
+// writeManifest persists m as an immutable manifest file with a CRC
+// sidecar and swaps CURRENT to it. The old manifest file stays on disk
+// until the version that referenced it drains.
+func writeManifest(dir string, m *manifest) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("wos: encoding manifest: %w", err)
+	}
+	name := manifestName(m.Epoch)
+	if err := writeFileWithCRC(dir, name, data); err != nil {
+		return err
+	}
+	return writeCurrent(dir, name)
+}
+
+// readManifest loads and verifies the manifest CURRENT points at.
+func readManifest(dir string) (*manifest, error) {
+	name, err := readCurrent(dir)
+	if err != nil {
+		return nil, err
+	}
+	data, err := readFileWithCRC(dir, name)
+	if err != nil {
+		return nil, err
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, corruptf("wos: decoding %s: %v", name, err)
+	}
+	if m.Format != manifestFormat {
+		return nil, corruptf("wos: manifest format %d, want %d", m.Format, manifestFormat)
+	}
+	return &m, nil
+}
+
+// verifyManifest re-reads the live manifest against its sidecar; used by
+// Fsck to cover the metadata path, not just data pages.
+func verifyManifest(dir string) error {
+	_, err := readManifest(dir)
+	return err
+}
+
+// IsIngestDir reports whether dir holds an ingest table (a CURRENT
+// pointer), as opposed to a plain read-only store.Table directory.
+func IsIngestDir(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, currentFile))
+	return err == nil
+}
+
+// gcOrphans removes files a crash may have left behind: *.tmp droppings,
+// and generations, runs or manifests not referenced by the live
+// manifest. Called once at Open, before any snapshot exists.
+func gcOrphans(dir string, m *manifest) error {
+	live := map[string]bool{
+		currentFile:                              true,
+		manifestName(m.Epoch):                    true,
+		m.Generation:                             true,
+		store.SidecarName(manifestName(m.Epoch)): true,
+	}
+	for _, r := range m.Runs {
+		live[r.File] = true
+		live[store.SidecarName(r.File)] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if live[name] {
+			continue
+		}
+		stale := strings.HasSuffix(name, ".tmp") ||
+			strings.HasPrefix(name, manifestPrefix) ||
+			strings.HasPrefix(name, genPrefix) ||
+			strings.HasPrefix(name, runPrefix)
+		if !stale {
+			continue
+		}
+		if err := os.RemoveAll(filepath.Join(dir, name)); err != nil {
+			return fmt.Errorf("wos: removing orphan %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// corruptf builds a corruption-tagged error; an alias keeping call sites
+// in this package short.
+func corruptf(format string, args ...any) error {
+	return fault.Corruptf(format, args...)
+}

@@ -1,0 +1,208 @@
+package wos
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/store"
+)
+
+// The compactor is the paper's background merge: it folds the
+// accumulated runs and the current generation into a fresh dense-packed,
+// key-sorted generation, off the insert path and without blocking
+// readers. The merge runs against a pinned version; only the final
+// install — swapping the current version and writing the manifest —
+// takes the store lock.
+
+// compactor is the background goroutine loop.
+func (s *Store) compactor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.compactCh:
+			if err := s.compactOnce(); err != nil {
+				s.compactFails.Add(1)
+			}
+		}
+	}
+}
+
+// Compact merges the current runs into a new generation synchronously.
+// A no-op when there are no runs. Safe to call concurrently with
+// inserts, queries and the background compactor.
+func (s *Store) Compact() error {
+	return s.compactOnce()
+}
+
+// compactOnce performs one merge cycle. Compactions serialize on
+// compactMu; inserts and snapshots proceed under mu in parallel with
+// the merge itself.
+func (s *Store) compactOnce() error {
+	s.compactMu.Lock()
+	defer s.compactMu.Unlock()
+
+	s.mu.Lock()
+	if s.closed || len(s.cur.runs) == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	v := s.cur
+	v.retain()
+	nRuns := len(v.runs)
+	seq := s.seq
+	s.seq++
+	s.mu.Unlock()
+	defer v.release()
+
+	gname := genName(seq)
+	genDir := filepath.Join(s.dir, gname)
+	tbl, err := s.merge(v, genDir)
+	if err != nil {
+		os.RemoveAll(genDir)
+		return err
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		os.RemoveAll(genDir)
+		return nil
+	}
+	// Runs spilled while the merge ran carry over to the new version.
+	newGen := &genRef{dir: genDir, tbl: tbl}
+	carried := append([]*runRef(nil), s.cur.runs[nRuns:]...)
+	nv := newVersion(s.dir, s.cur.epoch+1, newGen, carried)
+	if err := s.writeManifestLocked(nv); err != nil {
+		nv.obsolete.Store(true)
+		newGen.drop.Store(true)
+		nv.release()
+		os.RemoveAll(genDir)
+		return err
+	}
+	s.installLocked(nv)
+	s.compactions.Add(1)
+	s.compactedRuns.Add(int64(nRuns))
+	return nil
+}
+
+// mergeSource delivers one version input — the generation or a run — as
+// a stream of tuples. next returns nil at end of stream; the returned
+// slice is valid until the following next call on the same source.
+type mergeSource interface {
+	next() ([]byte, error)
+	close() error
+}
+
+// genSource streams the generation through store.Iterator.
+type genSource struct {
+	it  *store.Iterator
+	buf []byte
+}
+
+func (g *genSource) next() ([]byte, error) {
+	if g.it.Next(g.buf) {
+		return g.buf, nil
+	}
+	return nil, g.it.Err()
+}
+
+func (g *genSource) close() error { return g.it.Close() }
+
+// opSource streams an exec.Operator (a run scanner) tuple by tuple.
+type opSource struct {
+	op  exec.Operator
+	blk *exec.Block
+	pos int
+}
+
+func (o *opSource) next() ([]byte, error) {
+	for o.blk == nil || o.pos >= o.blk.Len() {
+		b, err := o.op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return nil, nil
+		}
+		o.blk, o.pos = b, 0
+	}
+	t := o.blk.Tuple(o.pos)
+	o.pos++
+	return t, nil
+}
+
+func (o *opSource) close() error { return o.op.Close() }
+
+// merge k-way merges v's generation and runs into a new read-optimized
+// table at dstDir. Sources are ordered generation first, then runs
+// oldest first; ties on the key take the earliest source, which keeps
+// the merged order identical to what a query over the unmerged version
+// observes.
+func (s *Store) merge(v *version, dstDir string) (*store.Table, error) {
+	srcs := make([]mergeSource, 0, len(v.runs)+1)
+	closeAll := func() {
+		for _, src := range srcs {
+			src.close()
+		}
+	}
+	it, err := store.NewIterator(v.gen.tbl)
+	if err != nil {
+		return nil, err
+	}
+	srcs = append(srcs, &genSource{it: it, buf: make([]byte, s.sch.Width())})
+	for _, r := range v.runs {
+		sc := newRunScanner(context.Background(), r.dir, r.meta, r.sums, s.sch, nil)
+		if err := sc.Open(); err != nil {
+			closeAll()
+			return nil, err
+		}
+		srcs = append(srcs, &opSource{op: sc})
+	}
+	defer closeAll()
+
+	w, err := store.Create(dstDir, s.sch, s.layout, s.opts.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	heads := make([][]byte, len(srcs))
+	for i, src := range srcs {
+		if heads[i], err = src.next(); err != nil {
+			return nil, fmt.Errorf("wos: merge source %d: %w", i, err)
+		}
+	}
+	var total, want int64
+	want = v.gen.tbl.Tuples + v.deltaRows()
+	for {
+		min := -1
+		for i, h := range heads {
+			if h == nil {
+				continue
+			}
+			if min < 0 || s.sch.Int32At(h, s.key) < s.sch.Int32At(heads[min], s.key) {
+				min = i
+			}
+		}
+		if min < 0 {
+			break
+		}
+		if err := w.Append(heads[min]); err != nil {
+			return nil, err
+		}
+		total++
+		if heads[min], err = srcs[min].next(); err != nil {
+			return nil, fmt.Errorf("wos: merge source %d: %w", min, err)
+		}
+	}
+	if total != want {
+		return nil, corruptf("wos: merge produced %d tuples, version holds %d", total, want)
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return store.Open(dstDir)
+}

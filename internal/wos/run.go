@@ -1,0 +1,332 @@
+package wos
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/readoptdb/readopt/internal/aio"
+	"github.com/readoptdb/readopt/internal/clock"
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/fault"
+	"github.com/readoptdb/readopt/internal/schema"
+	"github.com/readoptdb/readopt/internal/store"
+)
+
+// A run file is the simplest page format in the engine: fixed-size pages,
+// a 16-byte header (magic, page ID, tuple count, schema tag), then raw
+// decoded tuples, zero-padded to the page boundary. Runs are written
+// once, scanned a handful of times, and destroyed by the next
+// compaction, so they trade the read store's dense encodings for a
+// format a spill can produce in one memcpy pass. Integrity reuses the
+// read store's machinery: a per-page CRC-32 sidecar in the same format
+// store.VerifyPages checks.
+const (
+	runMagic      = 0x314e5252 // "RRN1" little-endian
+	runHeaderSize = 16
+)
+
+// runCapacity is the number of tuples a run page holds.
+func runCapacity(pageSize, width int) int { return (pageSize - runHeaderSize) / width }
+
+// schemaTag fingerprints the schema a run was written under, so a scan
+// over a stale or foreign run file fails loudly instead of decoding
+// garbage.
+func schemaTag(sch *schema.Schema) uint32 {
+	return crc32.ChecksumIEEE([]byte(sch.String()))
+}
+
+// SortTuples stable-sorts concatenated decoded tuples by the int32 key
+// attribute, returning a new buffer. Stability preserves insert order
+// among equal keys, which keeps scan results deterministic. The facade's
+// deprecated WriteBuffer shim shares it.
+func SortTuples(sch *schema.Schema, key int, tuples []byte) []byte {
+	width := sch.Width()
+	n := len(tuples) / width
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return sch.Int32At(tuples[idx[a]*width:], key) < sch.Int32At(tuples[idx[b]*width:], key)
+	})
+	out := make([]byte, len(tuples))
+	for pos, i := range idx {
+		copy(out[pos*width:], tuples[i*width:(i+1)*width])
+	}
+	return out
+}
+
+// writeRun persists already-sorted tuples as the named run file plus its
+// CRC sidecar and returns the manifest record and per-page checksums.
+func writeRun(dir, name string, sch *schema.Schema, key int, tuples []byte, pageSize int) (RunMeta, []uint32, error) {
+	assertSorted(sch, key, tuples)
+	width := sch.Width()
+	n := len(tuples) / width
+	capacity := runCapacity(pageSize, width)
+	pages := (n + capacity - 1) / capacity
+	tag := schemaTag(sch)
+
+	data := make([]byte, pages*pageSize)
+	sparse := make([]int32, pages)
+	for p := 0; p < pages; p++ {
+		lo, hi := p*capacity, (p+1)*capacity
+		if hi > n {
+			hi = n
+		}
+		pg := data[p*pageSize : (p+1)*pageSize]
+		binary.LittleEndian.PutUint32(pg[0:], runMagic)
+		binary.LittleEndian.PutUint32(pg[4:], uint32(p))
+		binary.LittleEndian.PutUint32(pg[8:], uint32(hi-lo))
+		binary.LittleEndian.PutUint32(pg[12:], tag)
+		copy(pg[runHeaderSize:], tuples[lo*width:hi*width])
+		sparse[p] = sch.Int32At(tuples[lo*width:], key)
+	}
+	sums, err := writePagedFileWithCRC(dir, name, data, pageSize)
+	if err != nil {
+		return RunMeta{}, nil, err
+	}
+	return RunMeta{
+		File:      name,
+		Tuples:    int64(n),
+		Pages:     pages,
+		PageSize:  pageSize,
+		MinKey:    sch.Int32At(tuples, key),
+		MaxKey:    sch.Int32At(tuples[(n-1)*width:], key),
+		SchemaTag: tag,
+		Sparse:    sparse,
+	}, sums, nil
+}
+
+// loadRunSums reads and sanity-checks a run's CRC sidecar at Open time.
+func loadRunSums(dir string, meta RunMeta) ([]uint32, error) {
+	fi, err := os.Stat(filepath.Join(dir, meta.File))
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() != int64(meta.Pages)*int64(meta.PageSize) {
+		return nil, corruptf("wos: run %s is %d bytes, want %d", meta.File, fi.Size(), int64(meta.Pages)*int64(meta.PageSize))
+	}
+	sums, err := store.ReadPageSums(dir, meta.File, fi.Size(), meta.PageSize)
+	if err != nil {
+		return nil, corruptf("wos: run %s CRC sidecar: %v", meta.File, err)
+	}
+	return sums, nil
+}
+
+// runReadDepth is the prefetch window for run scans. Runs are small (a
+// memtable's worth) and short-lived, so a shallow window suffices.
+const runReadDepth = 8
+
+// openRun opens a run file behind the same reader stack the plan layer
+// uses for table sections — OS prefetcher (one I/O unit per page) →
+// chaos injector → transient-error retry — so run reads share the
+// engine's fault taxonomy and injection points.
+func openRun(ctx context.Context, path string, pageSize int) (aio.Reader, error) {
+	name := filepath.Base(path)
+	open := func(skip int64) (aio.Reader, error) {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		r, err := aio.NewOSReaderSectionCtx(ctx, f, int64(pageSize), runReadDepth, skip, -1)
+		if err != nil {
+			f.Close()
+			return nil, err
+		}
+		return fault.ChaosWrap(name, skip, &runFile{OSReader: r, f: f}), nil
+	}
+	return fault.NewRetryReader(open, 3, 2*time.Millisecond, clock.Real{})
+}
+
+// runFile pairs the prefetching reader with its file for Close.
+type runFile struct {
+	*aio.OSReader
+	f *os.File
+}
+
+func (r *runFile) Close() error {
+	err := r.OSReader.Close()
+	if cerr := r.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// runScanner is the exec.Operator over one run file: it streams pages,
+// verifies each against the sidecar, checks the header, and emits the
+// raw tuples in blocks. It is the read half of the write path's delta —
+// what a snapshot splices into a query plan for each live run.
+type runScanner struct {
+	ctx      context.Context
+	dir      string
+	meta     RunMeta
+	sums     []uint32
+	sch      *schema.Schema
+	counters *cpumodel.Counters
+	costs    cpumodel.Costs
+
+	r       aio.Reader
+	block   *exec.Block
+	pageBuf []byte // tuples of the current page
+	pagePos int    // next tuple in pageBuf
+	pageN   int    // tuples in the current page
+	pageIdx int    // next page index to read
+	eof     bool   // reader delivered EOF; it must not be polled again
+	opened  bool
+}
+
+// newRunScanner builds a scanner over the run described by meta in dir.
+// counters may be nil. The reader opens lazily in Open.
+func newRunScanner(ctx context.Context, dir string, meta RunMeta, sums []uint32, sch *schema.Schema, counters *cpumodel.Counters) *runScanner {
+	return &runScanner{
+		ctx:      ctx,
+		dir:      dir,
+		meta:     meta,
+		sums:     sums,
+		sch:      sch,
+		counters: counters,
+		costs:    cpumodel.DefaultCosts(),
+		block:    exec.NewBlock(sch, exec.DefaultBlockTuples),
+	}
+}
+
+// Schema implements exec.Operator.
+func (s *runScanner) Schema() *schema.Schema { return s.sch }
+
+// SetCounters rebinds the scanner's counters pool; the plan layer uses
+// it to give each parallel overlay chain its own pool.
+func (s *runScanner) SetCounters(c *cpumodel.Counters) { s.counters = c }
+
+// Open implements exec.Operator.
+func (s *runScanner) Open() error {
+	r, err := openRun(s.ctx, filepath.Join(s.dir, s.meta.File), s.meta.PageSize)
+	if err != nil {
+		return err
+	}
+	s.r = r
+	s.pageIdx, s.pagePos, s.pageN = 0, 0, 0
+	s.eof = false
+	s.opened = true
+	return nil
+}
+
+// Next implements exec.Operator.
+//
+//readopt:hotpath
+func (s *runScanner) Next() (*exec.Block, error) {
+	if !s.opened {
+		return nil, errRunNextBeforeOpen
+	}
+	width := s.sch.Width()
+	s.block.Reset()
+	for {
+		if s.pagePos >= s.pageN {
+			// The EOF latch matters: the prefetching reader delivers io.EOF
+			// exactly once, and a further Next on it blocks forever.
+			if s.eof {
+				if s.block.Len() > 0 {
+					return s.block, nil
+				}
+				return nil, nil
+			}
+			done, err := s.nextPage()
+			if err != nil {
+				return nil, err
+			}
+			if done {
+				s.eof = true
+			}
+			continue
+		}
+		for s.pagePos < s.pageN && !s.block.Full() {
+			s.block.AppendTuple(s.pageBuf[s.pagePos*width : (s.pagePos+1)*width])
+			s.pagePos++
+		}
+		if s.block.Full() {
+			return s.block, nil
+		}
+	}
+}
+
+// nextPage pulls, verifies and decodes the next run page; done reports
+// a clean end of file.
+func (s *runScanner) nextPage() (done bool, err error) {
+	unit, err := s.r.Next()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			if s.pageIdx != s.meta.Pages {
+				return false, corruptf("wos: run %s truncated at page %d of %d", s.meta.File, s.pageIdx, s.meta.Pages)
+			}
+			return true, nil
+		}
+		return false, err
+	}
+	if s.pageIdx >= s.meta.Pages {
+		return false, corruptf("wos: run %s longer than its %d manifest pages", s.meta.File, s.meta.Pages)
+	}
+	if len(unit) != s.meta.PageSize {
+		return false, corruptf("wos: run %s page %d torn: %d bytes, want %d", s.meta.File, s.pageIdx, len(unit), s.meta.PageSize)
+	}
+	if got := crc32.ChecksumIEEE(unit); got != s.sums[s.pageIdx] {
+		return false, corruptf("wos: run %s page %d CRC %08x, sidecar records %08x", s.meta.File, s.pageIdx, got, s.sums[s.pageIdx])
+	}
+	if magic := binary.LittleEndian.Uint32(unit[0:]); magic != runMagic {
+		return false, corruptf("wos: run %s page %d has magic %08x", s.meta.File, s.pageIdx, magic)
+	}
+	if id := binary.LittleEndian.Uint32(unit[4:]); id != uint32(s.pageIdx) {
+		return false, corruptf("wos: run %s page %d carries ID %d", s.meta.File, s.pageIdx, id)
+	}
+	if tag := binary.LittleEndian.Uint32(unit[12:]); tag != s.meta.SchemaTag {
+		return false, corruptf("wos: run %s page %d schema tag %08x, want %08x", s.meta.File, s.pageIdx, tag, s.meta.SchemaTag)
+	}
+	width := s.sch.Width()
+	count := int(binary.LittleEndian.Uint32(unit[8:]))
+	if count <= 0 || count > runCapacity(s.meta.PageSize, width) {
+		return false, corruptf("wos: run %s page %d claims %d tuples", s.meta.File, s.pageIdx, count)
+	}
+	s.pageBuf = unit[runHeaderSize : runHeaderSize+count*width]
+	s.pagePos, s.pageN = 0, count
+	s.pageIdx++
+	s.charge(count, width)
+	return false, nil
+}
+
+// charge accounts one decoded page against the cost model: a sequential
+// unit of I/O, one page crossed, and the tuple loop over its rows.
+//
+//readopt:ignore tracepool charge adds new work to the pool rather than converting it; a run scan is purely sequential, so RandLines has nothing to add.
+func (s *runScanner) charge(count, width int) {
+	c := s.counters
+	if c == nil {
+		return
+	}
+	c.IORequests++
+	c.IOBytes += int64(s.meta.PageSize)
+	c.Pages++
+	c.SeqBytes += int64(count * width)
+	c.L1Bytes += int64(count * width)
+	c.Instr += int64(count) * s.costs.TupleLoop
+}
+
+// Close implements exec.Operator.
+func (s *runScanner) Close() error {
+	s.opened = false
+	if s.r == nil {
+		return nil
+	}
+	err := s.r.Close()
+	s.r = nil
+	return err
+}
+
+// errRunNextBeforeOpen mirrors exec's protocol sentinel for this
+// package's operator.
+var errRunNextBeforeOpen = errors.New("wos: Next before Open")

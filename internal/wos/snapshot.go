@@ -1,0 +1,83 @@
+package wos
+
+import (
+	"context"
+	"sync/atomic"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/store"
+)
+
+// Snapshot pins one consistent view of the table: the generation and
+// runs of a single epoch plus the memtable rows present when it was
+// taken. Everything a query reads through a snapshot is immutable —
+// versions are refcounted and the memtable is append-only between
+// spills, so the captured slice never changes underneath the reader.
+//
+// Snapshot satisfies the plan layer's delta-source interface
+// structurally: Table is the read-optimized base the plan scans, and
+// OpenDelta supplies one operator per overlay source (runs oldest
+// first, then the memtable) delivering full-width tuples.
+type Snapshot struct {
+	st       *Store
+	v        *version
+	mem      []byte
+	memRows  int
+	released atomic.Bool
+}
+
+// Snapshot pins the store's current version and memtable contents.
+// Release it when the query finishes; files it references survive until
+// then, whatever spills and compactions happen in between.
+func (s *Store) Snapshot() *Snapshot {
+	s.mu.Lock()
+	v := s.cur
+	v.retain()
+	mem := s.mem[:s.memRows*s.sch.Width()]
+	rows := s.memRows
+	s.mu.Unlock()
+	s.snapshots.Add(1)
+	return &Snapshot{st: s, v: v, mem: mem, memRows: rows}
+}
+
+// Release unpins the snapshot. Idempotent.
+func (sn *Snapshot) Release() {
+	if !sn.released.CompareAndSwap(false, true) {
+		return
+	}
+	sn.v.release()
+	sn.st.snapshots.Add(-1)
+}
+
+// Epoch identifies the pinned version. Two result sets from the same
+// epoch with the same memtable length are byte-identical.
+func (sn *Snapshot) Epoch() int64 { return sn.v.epoch }
+
+// Table returns the snapshot's read-optimized generation, the base the
+// plan layer compiles its scan against.
+func (sn *Snapshot) Table() *store.Table { return sn.v.gen.tbl }
+
+// DeltaRows returns the number of rows the delta operators deliver on
+// top of the base table.
+func (sn *Snapshot) DeltaRows() int64 {
+	return sn.v.deltaRows() + int64(sn.memRows)
+}
+
+// OpenDelta returns one unopened operator per delta source: each run of
+// the pinned version oldest first, then the memtable capture. The
+// caller owns Open/Close. counters may be nil.
+func (sn *Snapshot) OpenDelta(ctx context.Context, counters *cpumodel.Counters) ([]exec.Operator, error) {
+	ops := make([]exec.Operator, 0, len(sn.v.runs)+1)
+	for _, r := range sn.v.runs {
+		ops = append(ops, newRunScanner(ctx, r.dir, r.meta, r.sums, sn.st.sch, counters))
+	}
+	if sn.memRows > 0 {
+		src, err := exec.NewSliceSource(sn.st.sch, sn.mem, 0)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, src)
+	}
+	return ops, nil
+}

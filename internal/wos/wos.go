@@ -1,0 +1,510 @@
+// Package wos is the engine's write-optimized store — the left half of
+// the paper's Figure 1 architecture, grown from a sketch into a real
+// ingest path. Inserts land in a bounded in-memory memtable; when it
+// fills, the memtable is sorted by key and spilled as an immutable run
+// file; a background compactor merges the accumulated runs with the
+// current read-optimized generation into a fresh generation, restoring
+// the dense-packed sorted format every query scans.
+//
+// Readers never block on writers and never see a half-applied epoch. A
+// Snapshot pins one version — generation + runs + a frozen view of the
+// memtable — for its whole query; versions are refcounted, and the files
+// of a superseded version are deleted only after the last snapshot over
+// them is released. The memtable is append-only between spills, so a
+// snapshot's view is a zero-copy slice capture.
+package wos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"github.com/readoptdb/readopt/internal/page"
+	"github.com/readoptdb/readopt/internal/schema"
+	"github.com/readoptdb/readopt/internal/store"
+)
+
+// Options tune a write-optimized store. Zero values take the defaults;
+// Key is required at Create and recorded in the manifest thereafter.
+type Options struct {
+	// Key names the int32 column runs and generations are sorted on.
+	Key string
+	// MemtableBytes bounds the in-memory buffer; reaching it triggers a
+	// spill. Default 4MB.
+	MemtableBytes int
+	// RunPageSize is the page size of spilled run files. Default 64KB.
+	RunPageSize int
+	// CompactAfterRuns is the run count that wakes the compactor.
+	// Default 4.
+	CompactAfterRuns int
+	// PageSize is the page size of merged generations. Default
+	// page.DefaultSize.
+	PageSize int
+	// DisableCompactor turns off the background goroutine; compactions
+	// then happen only through explicit Compact calls. Tests use this to
+	// drive the lifecycle deterministically.
+	DisableCompactor bool
+}
+
+func (o *Options) defaults() {
+	if o.MemtableBytes <= 0 {
+		o.MemtableBytes = 4 << 20
+	}
+	if o.RunPageSize <= 0 {
+		o.RunPageSize = 64 << 10
+	}
+	if o.CompactAfterRuns <= 0 {
+		o.CompactAfterRuns = 4
+	}
+	if o.PageSize <= 0 {
+		o.PageSize = page.DefaultSize
+	}
+}
+
+// genRef is a refcounted handle on one read-optimized generation
+// directory. The directory is removed when the last version referencing
+// it releases, if a newer generation has superseded it.
+type genRef struct {
+	dir  string
+	tbl  *store.Table
+	refs atomic.Int64
+	drop atomic.Bool
+}
+
+func (g *genRef) retain() { g.refs.Add(1) }
+
+func (g *genRef) release() {
+	if g.refs.Add(-1) == 0 && g.drop.Load() {
+		os.RemoveAll(g.dir)
+	}
+}
+
+// runRef is the same for one run file and its CRC sidecar.
+type runRef struct {
+	dir  string
+	meta RunMeta
+	sums []uint32
+	refs atomic.Int64
+	drop atomic.Bool
+}
+
+func (r *runRef) retain() { r.refs.Add(1) }
+
+func (r *runRef) release() {
+	if r.refs.Add(-1) == 0 && r.drop.Load() {
+		os.Remove(filepath.Join(r.dir, r.meta.File))
+		os.Remove(filepath.Join(r.dir, store.SidecarName(r.meta.File)))
+	}
+}
+
+// version is one immutable epoch of the table: a generation plus the
+// runs layered on it, oldest first. The store's current version holds
+// one reference; each open snapshot holds another. Releasing the last
+// reference releases the underlying resources and deletes the epoch's
+// manifest if it has been superseded.
+type version struct {
+	epoch    int64
+	dir      string
+	gen      *genRef
+	runs     []*runRef
+	refs     atomic.Int64
+	obsolete atomic.Bool
+}
+
+func newVersion(dir string, epoch int64, gen *genRef, runs []*runRef) *version {
+	v := &version{epoch: epoch, dir: dir, gen: gen, runs: runs}
+	v.refs.Store(1)
+	gen.retain()
+	for _, r := range runs {
+		r.retain()
+	}
+	return v
+}
+
+func (v *version) retain() { v.refs.Add(1) }
+
+func (v *version) release() {
+	if v.refs.Add(-1) != 0 {
+		return
+	}
+	v.gen.release()
+	for _, r := range v.runs {
+		r.release()
+	}
+	if v.obsolete.Load() {
+		name := manifestName(v.epoch)
+		os.Remove(filepath.Join(v.dir, name))
+		os.Remove(filepath.Join(v.dir, store.SidecarName(name)))
+	}
+}
+
+// deltaRows is the tuple count of a version's runs.
+func (v *version) deltaRows() int64 {
+	var n int64
+	for _, r := range v.runs {
+		n += r.meta.Tuples
+	}
+	return n
+}
+
+// Store is a write-optimized table: a memtable over refcounted immutable
+// versions. All mutation happens under mu; queries pin a Snapshot and
+// run lock-free against immutable state.
+type Store struct {
+	dir    string
+	sch    *schema.Schema
+	layout store.Layout
+	opts   Options
+	key    int // index of the sort-key attribute
+
+	mu      sync.Mutex
+	mem     []byte // append-only between spills; snapshots slice it
+	memRows int
+	cur     *version
+	seq     int64 // next file sequence number
+	closed  bool
+
+	// Lifetime counters. Those read or written outside mu are atomic.
+	insertedRows  int64
+	spills        int64
+	spilledBytes  int64
+	compactions   atomic.Int64
+	compactedRuns atomic.Int64
+	compactFails  atomic.Int64
+	snapshots     atomic.Int64
+
+	compactMu sync.Mutex // serializes compactions, not queries
+	compactCh chan struct{}
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// Create initialises a new write-optimized table at dir: an empty
+// generation, a manifest, and a CURRENT pointer. opts.Key must name an
+// int32 column of sch.
+func Create(dir string, sch *schema.Schema, layout store.Layout, opts Options) (*Store, error) {
+	opts.defaults()
+	key, err := resolveKey(sch, opts.Key)
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wos: creating %s: %w", dir, err)
+	}
+	if IsIngestDir(dir) {
+		return nil, fmt.Errorf("wos: ingest table already exists in %s", dir)
+	}
+	gname := genName(0)
+	w, err := store.Create(filepath.Join(dir, gname), sch, layout, opts.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	tbl, err := store.Open(filepath.Join(dir, gname))
+	if err != nil {
+		return nil, err
+	}
+	m := &manifest{Format: manifestFormat, Epoch: 1, Key: opts.Key, Seq: 1, Generation: gname}
+	if err := writeManifest(dir, m); err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:    dir,
+		sch:    sch,
+		layout: layout,
+		opts:   opts,
+		key:    key,
+		seq:    1,
+	}
+	s.cur = newVersion(dir, 1, &genRef{dir: filepath.Join(dir, gname), tbl: tbl}, nil)
+	s.start()
+	return s, nil
+}
+
+// Open loads an existing write-optimized table. Schema, layout and key
+// come from the manifest and generation; opts supply runtime knobs
+// only (Key, if set, must agree with the manifest). Orphan files from a
+// crashed spill or compaction are removed.
+func Open(dir string, opts Options) (*Store, error) {
+	opts.defaults()
+	m, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Key != "" && opts.Key != m.Key {
+		return nil, fmt.Errorf("wos: key %q does not match manifest key %q", opts.Key, m.Key)
+	}
+	opts.Key = m.Key
+	if err := gcOrphans(dir, m); err != nil {
+		return nil, err
+	}
+	tbl, err := store.Open(filepath.Join(dir, m.Generation))
+	if err != nil {
+		return nil, err
+	}
+	key, err := resolveKey(tbl.Schema, m.Key)
+	if err != nil {
+		return nil, err
+	}
+	tag := schemaTag(tbl.Schema)
+	runs := make([]*runRef, 0, len(m.Runs))
+	for _, rm := range m.Runs {
+		if rm.SchemaTag != tag {
+			return nil, corruptf("wos: run %s schema tag %08x does not match generation %08x", rm.File, rm.SchemaTag, tag)
+		}
+		sums, err := loadRunSums(dir, rm)
+		if err != nil {
+			return nil, err
+		}
+		runs = append(runs, &runRef{dir: dir, meta: rm, sums: sums})
+	}
+	s := &Store{
+		dir:    dir,
+		sch:    tbl.Schema,
+		layout: tbl.Layout,
+		opts:   opts,
+		key:    key,
+		seq:    m.Seq,
+	}
+	s.cur = newVersion(dir, m.Epoch, &genRef{dir: filepath.Join(dir, m.Generation), tbl: tbl}, runs)
+	s.start()
+	return s, nil
+}
+
+func (s *Store) start() {
+	s.compactCh = make(chan struct{}, 1)
+	s.done = make(chan struct{})
+	if !s.opts.DisableCompactor {
+		s.wg.Add(1)
+		go s.compactor()
+	}
+}
+
+// resolveKey finds the named int32 attribute in sch.
+func resolveKey(sch *schema.Schema, name string) (int, error) {
+	if name == "" {
+		return 0, fmt.Errorf("wos: a sort-key column is required")
+	}
+	for i, a := range sch.Attrs {
+		if a.Name == name {
+			if a.Type.Kind != schema.Int32 {
+				return 0, fmt.Errorf("wos: key column %s is %s, want int32", name, a.Type.Kind)
+			}
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("wos: schema %s has no column %s", sch.Name, name)
+}
+
+// Schema returns the table's schema.
+func (s *Store) Schema() *schema.Schema { return s.sch }
+
+// Dir returns the table directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Key returns the index of the sort-key attribute.
+func (s *Store) Key() int { return s.key }
+
+// Gen returns the current read-optimized generation. Unlike a Snapshot
+// it pins nothing: use it for informational reads of in-memory metadata
+// (schema, layout, file sizes), not for scanning files.
+func (s *Store) Gen() *store.Table {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur.gen.tbl
+}
+
+// Insert adds one decoded tuple (Schema.Width bytes), copying it into
+// the memtable. Reaching the memtable bound spills synchronously: the
+// caller of the overflowing insert pays for the spill, which is the
+// admission control that stops an insert storm from outrunning the
+// disk.
+func (s *Store) Insert(tuple []byte) error {
+	if len(tuple) != s.sch.Width() {
+		return fmt.Errorf("wos: insert of %d bytes, schema %s wants %d", len(tuple), s.sch.Name, s.sch.Width())
+	}
+	return s.insert(tuple, 1)
+}
+
+// InsertBatch adds n tuples (concatenated, n*Schema.Width bytes)
+// atomically: no snapshot observes a prefix of the batch.
+func (s *Store) InsertBatch(tuples []byte, n int) error {
+	if n <= 0 || len(tuples) != n*s.sch.Width() {
+		return fmt.Errorf("wos: batch of %d bytes does not hold %d tuples of schema %s", len(tuples), n, s.sch.Name)
+	}
+	return s.insert(tuples, n)
+}
+
+func (s *Store) insert(tuples []byte, n int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("wos: insert into closed store %s", s.sch.Name)
+	}
+	s.mem = append(s.mem, tuples...)
+	s.memRows += n
+	s.insertedRows += int64(n)
+	if len(s.mem) >= s.opts.MemtableBytes {
+		return s.spillLocked()
+	}
+	return nil
+}
+
+// spillLocked sorts the memtable and persists it as a new run under a
+// new epoch, then resets the memtable to a fresh buffer — never the old
+// array, which live snapshots may still be reading. Caller holds mu.
+func (s *Store) spillLocked() error {
+	if s.memRows == 0 {
+		return nil
+	}
+	sorted := SortTuples(s.sch, s.key, s.mem)
+	name := runName(s.seq)
+	meta, sums, err := writeRun(s.dir, name, s.sch, s.key, sorted, s.opts.RunPageSize)
+	if err != nil {
+		return fmt.Errorf("wos: spilling memtable: %w", err)
+	}
+	run := &runRef{dir: s.dir, meta: meta, sums: sums}
+	runs := append(append([]*runRef(nil), s.cur.runs...), run)
+	nv := newVersion(s.dir, s.cur.epoch+1, s.cur.gen, runs)
+	if err := s.writeManifestLocked(nv); err != nil {
+		nv.obsolete.Store(true)
+		run.drop.Store(true)
+		nv.release()
+		return err
+	}
+	s.installLocked(nv)
+	s.mem = make([]byte, 0, s.opts.MemtableBytes+s.sch.Width())
+	s.memRows = 0
+	s.seq++
+	s.spills++
+	s.spilledBytes += int64(len(sorted))
+	if len(runs) >= s.opts.CompactAfterRuns {
+		s.kickCompactor()
+	}
+	return nil
+}
+
+// writeManifestLocked persists nv's manifest and swaps CURRENT.
+func (s *Store) writeManifestLocked(nv *version) error {
+	m := &manifest{
+		Format:     manifestFormat,
+		Epoch:      nv.epoch,
+		Key:        s.opts.Key,
+		Seq:        s.seq + 1,
+		Generation: filepath.Base(nv.gen.dir),
+	}
+	for _, r := range nv.runs {
+		m.Runs = append(m.Runs, r.meta)
+	}
+	return writeManifest(s.dir, m)
+}
+
+// installLocked swaps the current version to nv, marking resources nv no
+// longer carries for deletion once their last reader drains.
+func (s *Store) installLocked(nv *version) {
+	old := s.cur
+	if old.gen != nv.gen {
+		old.gen.drop.Store(true)
+	}
+	carried := make(map[*runRef]bool, len(nv.runs))
+	for _, r := range nv.runs {
+		carried[r] = true
+	}
+	for _, r := range old.runs {
+		if !carried[r] {
+			r.drop.Store(true)
+		}
+	}
+	old.obsolete.Store(true)
+	s.cur = nv
+	old.release()
+}
+
+// kickCompactor nudges the background compactor without blocking.
+func (s *Store) kickCompactor() {
+	if s.opts.DisableCompactor {
+		return
+	}
+	select {
+	case s.compactCh <- struct{}{}:
+	default:
+	}
+}
+
+// Flush spills the memtable to a run regardless of size. A no-op when
+// the memtable is empty.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("wos: flush of closed store %s", s.sch.Name)
+	}
+	return s.spillLocked()
+}
+
+// Rows returns the store's total row count across generation, runs and
+// memtable.
+func (s *Store) Rows() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cur.gen.tbl.Tuples + s.cur.deltaRows() + int64(s.memRows)
+}
+
+// Close flushes the memtable, stops the compactor and marks the store
+// closed. Snapshots taken before Close remain valid.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	err := s.spillLocked()
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	s.wg.Wait()
+	return err
+}
+
+// Metrics is a point-in-time snapshot of the store's ingest counters,
+// exported through /metrics and the stats endpoints.
+type Metrics struct {
+	Epoch         int64
+	GenTuples     int64
+	LiveRuns      int64
+	RunTuples     int64
+	MemtableRows  int64
+	MemtableBytes int64
+	InsertedRows  int64
+	Spills        int64
+	SpilledBytes  int64
+	Compactions   int64
+	CompactedRuns int64
+	CompactFails  int64
+	SnapshotsOpen int64
+}
+
+// Metrics reports the store's current counters.
+func (s *Store) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Metrics{
+		Epoch:         s.cur.epoch,
+		GenTuples:     s.cur.gen.tbl.Tuples,
+		LiveRuns:      int64(len(s.cur.runs)),
+		RunTuples:     s.cur.deltaRows(),
+		MemtableRows:  int64(s.memRows),
+		MemtableBytes: int64(len(s.mem)),
+		InsertedRows:  s.insertedRows,
+		Spills:        s.spills,
+		SpilledBytes:  s.spilledBytes,
+		Compactions:   s.compactions.Load(),
+		CompactedRuns: s.compactedRuns.Load(),
+		CompactFails:  s.compactFails.Load(),
+		SnapshotsOpen: s.snapshots.Load(),
+	}
+}

@@ -1,0 +1,407 @@
+package wos
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/fault"
+	"github.com/readoptdb/readopt/internal/schema"
+	"github.com/readoptdb/readopt/internal/store"
+)
+
+func testSchema() *schema.Schema {
+	return schema.MustNew("kv", []schema.Attribute{
+		{Name: "K", Type: schema.IntType},
+		{Name: "V", Type: schema.IntType},
+	})
+}
+
+// smallOpts spill every few rows and leave compaction to the test.
+func smallOpts(width int) Options {
+	return Options{
+		Key:              "K",
+		MemtableBytes:    8 * width, // spill every 8 rows
+		RunPageSize:      256,
+		CompactAfterRuns: 1 << 30,
+		PageSize:         4096,
+		DisableCompactor: true,
+	}
+}
+
+func mkTuple(sch *schema.Schema, k, v int32) []byte {
+	t := make([]byte, sch.Width())
+	sch.PutInt32At(t, 0, k)
+	sch.PutInt32At(t, 1, v)
+	return t
+}
+
+// drain reads every row a snapshot sees — generation first, then the
+// delta operators in order — as (key, value) pairs.
+func drain(t *testing.T, sn *Snapshot) [][2]int32 {
+	t.Helper()
+	sch := sn.st.sch
+	var out [][2]int32
+	it, err := store.NewIterator(sn.Table())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuple := make([]byte, sch.Width())
+	for it.Next(tuple) {
+		out = append(out, [2]int32{sch.Int32At(tuple, 0), sch.Int32At(tuple, 1)})
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	it.Close()
+	ops, err := sn.OpenDelta(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range ops {
+		if err := op.Open(); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			blk, err := op.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if blk == nil {
+				break
+			}
+			for i := 0; i < blk.Len(); i++ {
+				tu := blk.Tuple(i)
+				out = append(out, [2]int32{sch.Int32At(tu, 0), sch.Int32At(tu, 1)})
+			}
+		}
+		op.Close()
+	}
+	return out
+}
+
+func TestInsertSpillSnapshot(t *testing.T) {
+	sch := testSchema()
+	s, err := Create(t.TempDir(), sch, store.Row, smallOpts(sch.Width()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	// 20 rows, keys descending so sorting is observable; value = key*10.
+	for i := 19; i >= 0; i-- {
+		if err := s.Insert(mkTuple(sch, int32(i), int32(i*10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Rows(); got != 20 {
+		t.Fatalf("Rows = %d, want 20", got)
+	}
+	m := s.Metrics()
+	if m.Spills == 0 || m.LiveRuns == 0 {
+		t.Fatalf("expected spills after 20 inserts over an 8-row memtable, got %+v", m)
+	}
+	if m.MemtableRows+m.RunTuples != 20 || m.GenTuples != 0 {
+		t.Fatalf("row partition %+v does not sum to 20 in runs+memtable", m)
+	}
+
+	sn := s.Snapshot()
+	defer sn.Release()
+	rows := drain(t, sn)
+	if len(rows) != 20 {
+		t.Fatalf("snapshot sees %d rows, want 20", len(rows))
+	}
+	seen := map[int32]int32{}
+	for _, r := range rows {
+		seen[r[0]] = r[1]
+	}
+	for i := int32(0); i < 20; i++ {
+		if seen[i] != i*10 {
+			t.Fatalf("key %d has value %d, want %d", i, seen[i], i*10)
+		}
+	}
+}
+
+func TestCompactFoldsRunsIntoGeneration(t *testing.T) {
+	for _, layout := range []store.Layout{store.Row, store.Column, store.PAX} {
+		t.Run(string(layout), func(t *testing.T) {
+			sch := testSchema()
+			s, err := Create(t.TempDir(), sch, layout, smallOpts(sch.Width()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			for i := 0; i < 40; i++ {
+				// Non-monotone keys: i*7 mod 40 visits every residue once.
+				k := int32(i * 7 % 40)
+				if err := s.Insert(mkTuple(sch, k, k+1000)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := s.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Compact(); err != nil {
+				t.Fatal(err)
+			}
+			m := s.Metrics()
+			if m.Compactions != 1 || m.LiveRuns != 0 || m.GenTuples != 40 || m.MemtableRows != 0 {
+				t.Fatalf("after compact: %+v", m)
+			}
+			sn := s.Snapshot()
+			defer sn.Release()
+			rows := drain(t, sn)
+			if len(rows) != 40 {
+				t.Fatalf("see %d rows, want 40", len(rows))
+			}
+			for i, r := range rows {
+				if r[0] != int32(i) || r[1] != int32(i)+1000 {
+					t.Fatalf("row %d = %v, want sorted {%d %d}", i, r, i, i+1000)
+				}
+			}
+		})
+	}
+}
+
+func TestSnapshotIsolationAndRunReclaim(t *testing.T) {
+	sch := testSchema()
+	dir := t.TempDir()
+	s, err := Create(dir, sch, store.Row, smallOpts(sch.Width()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 16; i++ {
+		if err := s.Insert(mkTuple(sch, int32(i), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sn := s.Snapshot()
+	epoch := sn.Epoch()
+	runFiles, _ := filepath.Glob(filepath.Join(dir, "run-*.run"))
+	if len(runFiles) == 0 {
+		t.Fatal("no run files after 16 inserts")
+	}
+
+	// Mutate past the snapshot: more inserts and a compaction.
+	for i := 16; i < 32; i++ {
+		if err := s.Insert(mkTuple(sch, int32(i), 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Snapshot(); got.Epoch() == epoch {
+		t.Fatalf("epoch did not advance past %d", epoch)
+	} else {
+		got.Release()
+	}
+
+	// The pinned snapshot still reads its own epoch: exactly the first 16
+	// rows, and its run files still exist despite the compaction.
+	if rows := drain(t, sn); len(rows) != 16 {
+		t.Fatalf("pinned snapshot sees %d rows, want 16", len(rows))
+	}
+	for _, f := range runFiles {
+		if _, err := os.Stat(f); err != nil {
+			t.Fatalf("run %s deleted while a snapshot pinned it: %v", f, err)
+		}
+	}
+
+	// Releasing the last pin reclaims the superseded runs.
+	sn.Release()
+	for _, f := range runFiles {
+		if _, err := os.Stat(f); !os.IsNotExist(err) {
+			t.Fatalf("run %s survives with no snapshot pinning it (err=%v)", f, err)
+		}
+	}
+}
+
+func TestReopenRecoversAndCollectsOrphans(t *testing.T) {
+	sch := testSchema()
+	dir := t.TempDir()
+	s, err := Create(dir, sch, store.Row, smallOpts(sch.Width()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.Insert(mkTuple(sch, int32(i), int32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Close flushes the tail of the memtable, so nothing is lost.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fake a crashed spill and a torn manifest swap: an orphan run with no
+	// manifest entry, and a stray tmp file.
+	orphan := filepath.Join(dir, "run-9999999.run")
+	if err := os.WriteFile(orphan, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, "CURRENT.tmp")
+	if err := os.WriteFile(tmp, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{DisableCompactor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Rows(); got != 20 {
+		t.Fatalf("reopened store has %d rows, want 20", got)
+	}
+	if s2.Key() != 0 {
+		t.Fatalf("key index %d after reopen, want 0", s2.Key())
+	}
+	for _, f := range []string{orphan, tmp} {
+		if _, err := os.Stat(f); !os.IsNotExist(err) {
+			t.Fatalf("orphan %s survived reopen (err=%v)", f, err)
+		}
+	}
+	sn := s2.Snapshot()
+	defer sn.Release()
+	if rows := drain(t, sn); len(rows) != 20 {
+		t.Fatalf("reopened snapshot sees %d rows, want 20", len(rows))
+	}
+	// Key mismatch at open is rejected.
+	if _, err := Open(dir, Options{Key: "V"}); err == nil {
+		t.Fatal("Open with wrong key succeeded")
+	}
+}
+
+func TestFsckAndCorruptionTaxonomy(t *testing.T) {
+	sch := testSchema()
+	dir := t.TempDir()
+	s, err := Create(dir, sch, store.Row, smallOpts(sch.Width()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 16; i++ {
+		if err := s.Insert(mkTuple(sch, int32(i), int32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Fsck(); err != nil {
+		t.Fatalf("clean store fails fsck: %v", err)
+	}
+	if err := s.VerifyPages(); err != nil {
+		t.Fatalf("clean store fails VerifyPages: %v", err)
+	}
+
+	// Flip a byte inside a run page; fsck and a scan must both fail with
+	// a corrupt-classified error.
+	runs, _ := filepath.Glob(filepath.Join(dir, "run-*.run"))
+	if len(runs) == 0 {
+		t.Fatal("no run files")
+	}
+	f, err := os.OpenFile(runs[0], os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{0xff}, 20); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	if err := s.Fsck(); fault.Classify(err) != fault.KindCorrupt {
+		t.Fatalf("fsck on flipped run: err=%v classify=%q, want corrupt", err, fault.Classify(err))
+	}
+	sn := s.Snapshot()
+	defer sn.Release()
+	ops, err := sn.OpenDelta(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := ops[0]
+	if err := op.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer op.Close()
+	var scanErr error
+	for {
+		blk, err := op.Next()
+		if err != nil {
+			scanErr = err
+			break
+		}
+		if blk == nil {
+			break
+		}
+	}
+	if fault.Classify(scanErr) != fault.KindCorrupt {
+		t.Fatalf("scan of flipped run: err=%v classify=%q, want corrupt", scanErr, fault.Classify(scanErr))
+	}
+}
+
+func TestManifestCorruptionDetected(t *testing.T) {
+	sch := testSchema()
+	dir := t.TempDir()
+	s, err := Create(dir, sch, store.Row, smallOpts(sch.Width()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Insert(mkTuple(sch, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	manifests, _ := filepath.Glob(filepath.Join(dir, "manifest-*.json"))
+	if len(manifests) == 0 {
+		t.Fatal("no manifest files")
+	}
+	// Find the live manifest via CURRENT and flip a byte in it.
+	cur, err := os.ReadFile(filepath.Join(dir, "CURRENT"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := filepath.Join(dir, string(cur[:len("manifest-0000000.json")]))
+	f, err := os.OpenFile(live, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteAt([]byte{'~'}, 2); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if _, err := Open(dir, Options{}); fault.Classify(err) != fault.KindCorrupt {
+		t.Fatalf("open over corrupt manifest: err=%v classify=%q, want corrupt", err, fault.Classify(err))
+	}
+}
+
+func TestBackgroundCompactorKicksIn(t *testing.T) {
+	sch := testSchema()
+	opts := smallOpts(sch.Width())
+	opts.CompactAfterRuns = 2
+	opts.DisableCompactor = false
+	s, err := Create(t.TempDir(), sch, store.Row, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if err := s.Insert(mkTuple(sch, int32(i%50), int32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Close waits for the compactor goroutine, so reading the counters
+	// afterwards is race-free.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	m := s.Metrics()
+	if m.Compactions == 0 {
+		t.Fatalf("background compactor never ran: %+v", m)
+	}
+	if m.CompactFails != 0 {
+		t.Fatalf("compact failures: %+v", m)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"github.com/readoptdb/readopt/internal/exec"
 	"github.com/readoptdb/readopt/internal/plan"
 	"github.com/readoptdb/readopt/internal/schema"
+	"github.com/readoptdb/readopt/internal/store"
 	"github.com/readoptdb/readopt/internal/trace"
 )
 
@@ -224,6 +225,32 @@ func (t *Table) buildSpec(q Query, dop int) (plan.Spec, error) {
 	return spec, nil
 }
 
+// pin captures one consistent view of the table for a query: the base
+// table to compile against, the delta overlay (nil for read-only
+// tables), and an idempotent release. An ingest table's snapshot keeps
+// every file of its version alive until released, whatever spills and
+// compactions happen while the query runs.
+func (t *Table) pin() (tbl *store.Table, delta plan.DeltaOpener, release func()) {
+	if t.ing == nil {
+		return t.t, nil, func() {}
+	}
+	sn := t.ing.Snapshot()
+	return sn.Table(), sn, sn.Release
+}
+
+// releaseOp runs a release hook after its operator closes — how the
+// join facade's inputs unpin their snapshots.
+type releaseOp struct {
+	exec.Operator
+	release func()
+}
+
+func (r *releaseOp) Close() error {
+	err := r.Operator.Close()
+	r.release()
+	return err
+}
+
 // plan compiles q through the physical-plan layer and returns the
 // serial operator tree, charging work to counters (the join facade
 // builds its inputs this way).
@@ -235,11 +262,18 @@ func (t *Table) plan(q Query, counters *cpumodel.Counters) (exec.Operator, error
 	if err != nil {
 		return nil, err
 	}
-	p, err := plan.Compile(t.t, spec)
+	tbl, delta, release := t.pin()
+	p, err := plan.Compile(tbl, spec)
 	if err != nil {
+		release()
 		return nil, err
 	}
-	return p.Operator(plan.ExecOpts{Counters: counters})
+	op, err := p.Operator(plan.ExecOpts{Counters: counters, Delta: delta})
+	if err != nil {
+		release()
+		return nil, err
+	}
+	return &releaseOp{Operator: op, release: release}, nil
 }
 
 func appendMissing(cols []string, c string) []string {
@@ -263,6 +297,7 @@ type Rows struct {
 	dop      int
 	counters *cpumodel.Counters
 	tr       *trace.Trace
+	release  func() // unpins an ingest table's snapshot; may be nil
 }
 
 // Dop returns the effective degree of parallelism the query's plan
@@ -304,8 +339,10 @@ func (t *Table) QueryExec(q Query, opts ExecOptions) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
-	p, err := plan.Compile(t.t, spec)
+	tbl, delta, release := t.pin()
+	p, err := plan.Compile(tbl, spec)
 	if err != nil {
+		release()
 		return nil, err
 	}
 	var tr *trace.Trace
@@ -313,15 +350,17 @@ func (t *Table) QueryExec(q Query, opts ExecOptions) (*Rows, error) {
 		tr = trace.New()
 	}
 	var counters cpumodel.Counters
-	op, err := p.Operator(plan.ExecOpts{Ctx: opts.Ctx, Counters: &counters, Trace: tr})
+	op, err := p.Operator(plan.ExecOpts{Ctx: opts.Ctx, Counters: &counters, Trace: tr, Delta: delta})
 	if err != nil {
+		release()
 		return nil, err
 	}
 	if err := op.Open(); err != nil {
 		op.Close()
+		release()
 		return nil, err
 	}
-	return &Rows{op: op, sch: op.Schema(), dop: p.Dop(), counters: &counters, tr: tr}, nil
+	return &Rows{op: op, sch: op.Schema(), dop: p.Dop(), counters: &counters, tr: tr, release: release}, nil
 }
 
 // Query executes q against the table and returns a result iterator.
@@ -429,6 +468,9 @@ func (r *Rows) Close() error {
 	r.closed = true
 	r.done = true
 	err := r.op.Close()
+	if r.release != nil {
+		r.release()
+	}
 	r.tr.Finish()
 	return err
 }

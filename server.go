@@ -161,9 +161,20 @@ type ServerStats struct {
 	CorruptErrors   int64 `json:"corrupt_errors"`
 	TransientErrors int64 `json:"transient_errors"`
 	OtherErrors     int64 `json:"other_errors"`
+	// Inserts counts applied insert batches and InsertedRows the rows
+	// they added; InsertRejected counts batches shed by the admission
+	// queue and InsertFailed batches that errored. Writes share the
+	// admission gate with queries, so an overloaded server sheds both.
+	Inserts        int64 `json:"inserts"`
+	InsertedRows   int64 `json:"inserted_rows"`
+	InsertRejected int64 `json:"insert_rejected"`
+	InsertFailed   int64 `json:"insert_failed"`
 	// Work is the engine's aggregate work accounting; Work.IOBytes is
 	// the total bytes scanned off disk on behalf of clients.
 	Work ScanStats `json:"work"`
+	// Ingest reports each ingest table's write path, keyed by catalog
+	// name (absent when the catalog has no ingest tables).
+	Ingest map[string]IngestStats `json:"ingest,omitempty"`
 }
 
 // ColumnTypes returns the result column types, aligned with Columns —
@@ -312,6 +323,34 @@ func (c *Client) Stats(ctx context.Context) (*ServerStats, error) {
 // Healthy reports whether the server answers /healthz with 200.
 func (c *Client) Healthy(ctx context.Context) error {
 	return c.get(ctx, "/healthz", &struct{}{})
+}
+
+// post sends a JSON body and decodes the JSON answer; non-200 answers
+// become a ServerError carrying the envelope's code.
+func (c *Client) post(ctx context.Context, path string, body []byte, out any) error {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hres, err := c.http.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer hres.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(hres.Body, 1<<30))
+	if err != nil {
+		return err
+	}
+	if hres.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+			Code  string `json:"code"`
+		}
+		_ = json.Unmarshal(data, &e)
+		return &ServerError{StatusCode: hres.StatusCode, Code: e.Code, Message: e.Error}
+	}
+	return json.Unmarshal(data, out)
 }
 
 func (c *Client) get(ctx context.Context, path string, out any) error {

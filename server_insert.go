@@ -1,0 +1,79 @@
+package readopt
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+)
+
+// This file is the write side of the wire: the message types behind
+// POST /insert and the client call that drives it. Inserts only apply
+// to ingest tables (CreateIngest); a plain table answers CodeReadOnly.
+
+// InsertRequest is the JSON body of POST /insert.
+type InsertRequest struct {
+	// Table names an ingest table in the server's catalog.
+	Table string `json:"table"`
+	// Rows are the rows to insert, each a values slice in column order
+	// (integers for int32 columns, strings for text columns). The batch
+	// is atomic: no query observes part of it.
+	Rows [][]any `json:"rows"`
+}
+
+// InsertResponse is the JSON body answering POST /insert.
+type InsertResponse struct {
+	// Inserted is the number of rows the batch added.
+	Inserted int64 `json:"inserted"`
+	// TableRows is the table's row count after the insert.
+	TableRows int64 `json:"table_rows"`
+	// Epoch is the table's ingest epoch after the insert; it advances
+	// when the insert triggered a spill or compaction.
+	Epoch int64 `json:"epoch"`
+	// Error and Code are set instead of a result when the request fails.
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+}
+
+// CodeReadOnly answers an insert against a table that was not created
+// with CreateIngest.
+const CodeReadOnly = "read_only"
+
+// NormalizeRows repairs rows that crossed a JSON boundary, in place:
+// encoding/json decodes every number as float64, while integer columns
+// need integer values, so integral floats collapse back to int. A
+// fractional value is an error — no engine column can hold it.
+func NormalizeRows(rows [][]any) error {
+	for i, row := range rows {
+		for j, v := range row {
+			switch x := v.(type) {
+			case float64:
+				n := int(x)
+				if float64(n) != x {
+					return fmt.Errorf("readopt: non-integer value %v in row %d column %d", x, i, j)
+				}
+				rows[i][j] = n
+			case json.Number:
+				n, err := x.Int64()
+				if err != nil {
+					return fmt.Errorf("readopt: non-integer value %v in row %d column %d", x, i, j)
+				}
+				rows[i][j] = int(n)
+			}
+		}
+	}
+	return nil
+}
+
+// Insert sends rows to the named ingest table on the server. Admission
+// rejections satisfy errors.Is(err, ErrServerBusy).
+func (c *Client) Insert(ctx context.Context, table string, rows [][]any) (*InsertResponse, error) {
+	body, err := json.Marshal(InsertRequest{Table: table, Rows: rows})
+	if err != nil {
+		return nil, err
+	}
+	var resp InsertResponse
+	if err := c.post(ctx, "/insert", body, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/readoptdb/readopt/internal/schema"
 	"github.com/readoptdb/readopt/internal/store"
 	"github.com/readoptdb/readopt/internal/tpch"
+	"github.com/readoptdb/readopt/internal/wos"
 )
 
 // Layout selects the physical design of a table.
@@ -36,9 +37,24 @@ func (l Layout) internal() (store.Layout, error) {
 	}
 }
 
-// Table is an opened read-optimized table.
+// Table is an opened table: a plain read-optimized directory written by
+// a Loader or GenerateTPCH, or an ingest table created by CreateIngest,
+// which accepts writes through Insert/InsertBatch while staying
+// queryable. For ingest tables t is the generation current at open time
+// and is used only for schema resolution (the schema never changes);
+// queries pin the live generation through a snapshot.
 type Table struct {
-	t *store.Table
+	t   *store.Table
+	ing *wos.Store
+}
+
+// base returns the live read-optimized generation: the open-time table
+// for plain tables, the current generation for ingest tables.
+func (t *Table) base() *store.Table {
+	if t.ing != nil {
+		return t.ing.Gen()
+	}
+	return t.t
 }
 
 // LoadOptions configure a bulk load.
@@ -47,9 +63,12 @@ type LoadOptions struct {
 	PageSize int
 }
 
-// OpenTable opens a table directory written by a Loader or by
-// GenerateTPCH.
+// OpenTable opens a table directory written by a Loader, by
+// GenerateTPCH, or by CreateIngest (detected by its CURRENT file).
 func OpenTable(dir string) (*Table, error) {
+	if wos.IsIngestDir(dir) {
+		return OpenIngest(dir, IngestOptions{})
+	}
 	t, err := store.Open(dir)
 	if err != nil {
 		return nil, err
@@ -130,15 +149,26 @@ func (t *Table) Layout() Layout {
 	}
 }
 
-// Rows returns the table's tuple count.
-func (t *Table) Rows() int64 { return t.t.Tuples }
+// Rows returns the table's tuple count. For ingest tables this spans
+// generation, runs and memtable — every row a query would see.
+func (t *Table) Rows() int64 {
+	if t.ing != nil {
+		return t.ing.Rows()
+	}
+	return t.t.Tuples
+}
 
 // DataBytes returns the total on-disk size of the table's data files —
 // what a full scan must read.
-func (t *Table) DataBytes() int64 { return t.t.TotalDataBytes() }
+func (t *Table) DataBytes() int64 { return t.base().TotalDataBytes() }
 
 // Dir returns the table directory.
-func (t *Table) Dir() string { return t.t.Dir }
+func (t *Table) Dir() string {
+	if t.ing != nil {
+		return t.ing.Dir()
+	}
+	return t.t.Dir
+}
 
 // ScanStats reports the work a query performed, in the units of the
 // paper's analysis. The JSON tags define how the server wire format
@@ -170,18 +200,29 @@ func (t *Table) SelectivityThreshold(fraction float64) (int, error) {
 
 // Verify re-reads the table's data files and checks them against the
 // checksums recorded at load time, returning the first corruption found.
-func (t *Table) Verify() error { return t.t.VerifyIntegrity() }
+func (t *Table) Verify() error { return t.base().VerifyIntegrity() }
 
 // VerifyPages re-reads the table's data files page by page and checks
 // each against its per-page CRC sidecar, naming the first corrupt page.
+// For ingest tables the check covers the generation and every live run.
 // Tables loaded before sidecars existed verify trivially. The returned
 // error matches ErrCorrupt.
-func (t *Table) VerifyPages() error { return t.t.VerifyPages() }
+func (t *Table) VerifyPages() error {
+	if t.ing != nil {
+		return t.ing.VerifyPages()
+	}
+	return t.t.VerifyPages()
+}
 
 // Fsck runs every offline integrity check the store has: whole-file
-// checksums, then per-page CRCs. It is what `readoptd -fsck` runs per
-// table.
-func (t *Table) Fsck() error { return t.t.Fsck() }
+// checksums, then per-page CRCs — and, for ingest tables, the manifest
+// and every live run file. It is what `readoptd -fsck` runs per table.
+func (t *Table) Fsck() error {
+	if t.ing != nil {
+		return t.ing.Fsck()
+	}
+	return t.t.Fsck()
+}
 
 // ColumnStat describes one column's storage.
 type ColumnStat struct {
@@ -208,16 +249,17 @@ type TableStats struct {
 // Stats reports the table's storage footprint per column — what the paper
 // calls the physical design, in numbers.
 func (t *Table) Stats() TableStats {
-	sch := t.t.Schema
+	b := t.base()
+	sch := b.Schema
 	st := TableStats{
-		Rows:      t.t.Tuples,
-		DataBytes: t.DataBytes(),
+		Rows:      b.Tuples,
+		DataBytes: b.TotalDataBytes(),
 	}
-	if t.t.Tuples > 0 {
-		st.BytesPerRow = float64(st.DataBytes) / float64(t.t.Tuples)
+	if b.Tuples > 0 {
+		st.BytesPerRow = float64(st.DataBytes) / float64(b.Tuples)
 	}
 	if st.DataBytes > 0 {
-		st.CompressionRate = float64(sch.Width()) * float64(t.t.Tuples) / float64(st.DataBytes)
+		st.CompressionRate = float64(sch.Width()) * float64(b.Tuples) / float64(st.DataBytes)
 	}
 	totalBits := sch.TotalBits()
 	for i, a := range sch.Attrs {
@@ -231,8 +273,8 @@ func (t *Table) Stats() TableStats {
 			cs.Type = Text(a.Type.Size)
 		}
 		cs.Compression = encToCompression[a.Enc.String()]
-		if t.t.Layout == store.Column {
-			if n, ok := t.t.DataFileSize(store.ColumnFileName(sch, i)); ok {
+		if b.Layout == store.Column {
+			if n, ok := b.DataFileSize(store.ColumnFileName(sch, i)); ok {
 				cs.DiskBytes = n
 			}
 		} else if totalBits > 0 {

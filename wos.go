@@ -1,22 +1,33 @@
 package readopt
 
 import (
+	"fmt"
+
 	"github.com/readoptdb/readopt/internal/store"
+	"github.com/readoptdb/readopt/internal/wos"
 )
 
-// WriteBuffer is the write-optimized store of the paper's Figure 1: the
-// staging area where individual inserts accumulate before being merged in
-// bulk into a read-optimized table. The read store never sees single-row
-// updates — it stays dense-packed and sorted.
+// WriteBuffer is the original write-path sketch, kept as a thin shim so
+// existing callers compile: a staging buffer whose MergeInto rewrites a
+// whole table with the staged rows folded in.
+//
+// Deprecated: use CreateIngest. An ingest table absorbs inserts into a
+// bounded memtable, spills sorted runs, and compacts in the background —
+// rows are queryable the moment Insert returns, and nothing rewrites
+// the full table per merge. This shim materializes the source table in
+// memory on MergeInto; it is for small tables and old examples only.
 type WriteBuffer struct {
-	s   *Schema
-	w   *store.WOS
-	buf []byte
+	s      *Schema
+	tuples []byte
+	n      int
+	buf    []byte
 }
 
 // NewWriteBuffer returns an empty staging buffer for the given schema.
+//
+// Deprecated: use CreateIngest.
 func NewWriteBuffer(s *Schema) *WriteBuffer {
-	return &WriteBuffer{s: s, w: store.NewWOS(s.inner), buf: make([]byte, s.inner.Width())}
+	return &WriteBuffer{s: s, buf: make([]byte, s.inner.Width())}
 }
 
 // Insert stages one row (values in column order, as for Loader.Append).
@@ -24,24 +35,70 @@ func (b *WriteBuffer) Insert(values ...any) error {
 	if err := encodeRow(b.s.inner, b.buf, values); err != nil {
 		return err
 	}
-	return b.w.Insert(b.buf)
+	b.tuples = append(b.tuples, b.buf...)
+	b.n++
+	return nil
 }
 
 // Len returns the number of staged rows.
-func (b *WriteBuffer) Len() int { return b.w.Len() }
+func (b *WriteBuffer) Len() int { return b.n }
 
 // MergeInto writes a new table at dstDir holding src's rows plus the
-// staged rows, merged in sorted order on the given integer key column,
-// and drains the buffer. src must be sorted on that key (bulk-loaded
-// tables are).
+// staged rows, sorted on the given integer key column, and drains the
+// buffer. Neither src nor the staged rows need to arrive sorted: the
+// merge sorts internally (stably, so src rows precede staged rows among
+// equal keys).
 func (b *WriteBuffer) MergeInto(src *Table, dstDir, keyColumn string) (*Table, error) {
 	key, err := src.resolve(keyColumn)
 	if err != nil {
 		return nil, err
 	}
-	merged, err := b.w.Merge(src.t, dstDir, key)
+	srcT := src.base()
+	sch := srcT.Schema
+	if sch.Name != b.s.inner.Name || sch.NumAttrs() != b.s.inner.NumAttrs() {
+		return nil, fmt.Errorf("readopt: write buffer schema %s does not match table %s", b.s.inner.Name, sch.Name)
+	}
+	if sch.Attrs[key].Type.Kind != b.s.inner.Attrs[key].Type.Kind {
+		return nil, fmt.Errorf("readopt: merge key %s differs between buffer and table", keyColumn)
+	}
+
+	width := sch.Width()
+	all := make([]byte, 0, int(srcT.Tuples)*width+len(b.tuples))
+	it, err := store.NewIterator(srcT)
 	if err != nil {
 		return nil, err
 	}
-	return &Table{t: merged}, nil
+	tuple := make([]byte, width)
+	for it.Next(tuple) {
+		all = append(all, tuple...)
+	}
+	if err := it.Err(); err != nil {
+		it.Close()
+		return nil, err
+	}
+	if err := it.Close(); err != nil {
+		return nil, err
+	}
+	all = append(all, b.tuples...)
+	sorted := wos.SortTuples(sch, key, all)
+
+	w, err := store.Create(dstDir, sch, srcT.Layout, srcT.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	for off := 0; off < len(sorted); off += width {
+		if err := w.Append(sorted[off : off+width]); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	merged, err := OpenTable(dstDir)
+	if err != nil {
+		return nil, err
+	}
+	b.tuples = nil
+	b.n = 0
+	return merged, nil
 }
