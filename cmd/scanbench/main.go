@@ -13,6 +13,11 @@
 // machine-readable report:
 //
 //	scanbench -dir /tmp/row,/tmp/col,/tmp/pax -dops 1,2,4,8 -json results/BENCH_parallel.json
+//
+// -scalar disables the vectorized operate-on-compressed kernels, so the
+// kernels' effect is the ratio of two runs. -guard runs the regression
+// guard against a checked-in floor file instead of printing a sweep; see
+// guard() for the policy.
 package main
 
 import (
@@ -20,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -49,7 +55,43 @@ type tableReport struct {
 	Cols        int            `json:"cols"`
 	Selectivity float64        `json:"selectivity"`
 	Agg         bool           `json:"agg"`
-	Runs        []runReport    `json:"runs"`
+	// ScalarMicros is the best dop-1 wall time with the vectorized
+	// kernels disabled, and KernelSpeedup that divided by the dop-1
+	// vectorized time — the operate-on-compressed win, independent of
+	// core count.
+	ScalarMicros  int64       `json:"scalar_micros,omitempty"`
+	KernelSpeedup float64     `json:"kernel_speedup,omitempty"`
+	Runs          []runReport `json:"runs"`
+}
+
+// report is the top of the JSON file: the environment the numbers were
+// measured in, then the per-table sweeps. Wall-clock speedup at dop N is
+// bounded by the host's core count, so a report is only comparable to
+// another taken on a host with the same cpus.
+type report struct {
+	Cpus       int           `json:"cpus"`
+	Gomaxprocs int           `json:"gomaxprocs"`
+	Scalar     bool          `json:"scalar"`
+	Tables     []tableReport `json:"tables"`
+}
+
+// floorFile is the checked-in regression floor -guard compares against.
+type floorFile struct {
+	// MinDop4Speedup is the wall-clock speedup floor at dop 4 on hosts
+	// with at least 4 CPUs.
+	MinDop4Speedup float64 `json:"min_dop4_speedup"`
+	// MinDop4SpeedupSmallHost is the dop-4 floor on hosts with fewer
+	// than 4 CPUs, where parallel wall-clock gains are impossible and
+	// the guard only catches the parallel path becoming slower than
+	// serial.
+	MinDop4SpeedupSmallHost float64 `json:"min_dop4_speedup_small_host"`
+	// MinKernelSpeedup is the floor on scalar-time / vectorized-time at
+	// dop 1 — the operate-on-compressed win, which no core count can
+	// mask.
+	MinKernelSpeedup float64 `json:"min_kernel_speedup"`
+	// RegressionMargin is the fraction of each floor a run may fall
+	// short by before the guard fails (0.20 = fail on >20% regression).
+	RegressionMargin float64 `json:"regression_margin"`
 }
 
 func fatalf(format string, args ...any) {
@@ -71,11 +113,11 @@ func parseDops(s string) ([]int, error) {
 
 // bench runs q against tbl at the given dop, repeat times, and returns
 // the best run.
-func bench(tbl *readopt.Table, q readopt.Query, dop, repeat int) (runReport, error) {
+func bench(tbl *readopt.Table, q readopt.Query, dop, repeat int, scalar bool) (runReport, error) {
 	best := runReport{Dop: dop, Micros: 1<<63 - 1}
 	for i := 0; i < repeat; i++ {
 		start := time.Now()
-		rows, err := tbl.QueryExec(q, readopt.ExecOptions{Dop: dop})
+		rows, err := tbl.QueryExec(q, readopt.ExecOptions{Dop: dop, Scalar: scalar})
 		if err != nil {
 			return best, err
 		}
@@ -102,6 +144,104 @@ func bench(tbl *readopt.Table, q readopt.Query, dop, repeat int) (runReport, err
 	return best, nil
 }
 
+// buildQuery assembles the benchmark query for one table.
+func buildQuery(tbl *readopt.Table, cols int, selectivity float64, agg bool) (readopt.Query, error) {
+	all := tbl.Schema().Columns()
+	if cols < 1 || cols > len(all) {
+		return readopt.Query{}, fmt.Errorf("-cols must be in 1..%d", len(all))
+	}
+	var q readopt.Query
+	if agg {
+		q.Aggs = []readopt.Agg{{Func: "count"}, {Func: "sum", Column: all[0]}}
+	} else {
+		q.Select = all[:cols]
+	}
+	if selectivity < 1 {
+		th, err := tbl.SelectivityThreshold(selectivity)
+		if err != nil {
+			return readopt.Query{}, err
+		}
+		q.Where = []readopt.Cond{{Column: all[0], Op: "<", Value: th}}
+	}
+	return q, nil
+}
+
+// sweepTable runs one table's dop sweep and, when kernelRatio is set,
+// the extra scalar dop-1 run that measures the kernels' effect.
+func sweepTable(tbl *readopt.Table, q readopt.Query, sweep []int, repeat int, scalar, kernelRatio bool) (tableReport, error) {
+	rep := tableReport{
+		Table:     tbl.Schema().Name(),
+		Layout:    tbl.Layout(),
+		Rows:      tbl.Rows(),
+		DataBytes: tbl.DataBytes(),
+	}
+	var serialMicros int64
+	for _, dop := range sweep {
+		r, err := bench(tbl, q, dop, repeat, scalar)
+		if err != nil {
+			return rep, err
+		}
+		if dop == 1 {
+			serialMicros = r.Micros
+		}
+		if serialMicros > 0 {
+			r.Speedup = float64(serialMicros) / float64(r.Micros)
+		}
+		rep.Runs = append(rep.Runs, r)
+		fmt.Printf("dop %d (effective %d): %v, %.0f tuples/sec, speedup %.2fx, %d qualifying, io %d bytes\n",
+			dop, r.EffectiveDop, time.Duration(r.Micros)*time.Microsecond, r.TuplesPerSec, r.Speedup, r.Qualifying, r.IOBytes)
+	}
+	// Only column tables have a vectorized kernel path; row/PAX scans
+	// run identically either way, so a kernel ratio there is noise.
+	if kernelRatio && !scalar && serialMicros > 0 && tbl.Layout() == readopt.ColumnLayout {
+		r, err := bench(tbl, q, 1, repeat, true)
+		if err != nil {
+			return rep, err
+		}
+		rep.ScalarMicros = r.Micros
+		rep.KernelSpeedup = float64(r.Micros) / float64(serialMicros)
+		fmt.Printf("dop 1 scalar: %v, kernel speedup %.2fx\n",
+			time.Duration(r.Micros)*time.Microsecond, rep.KernelSpeedup)
+	}
+	return rep, nil
+}
+
+// guard enforces the checked-in regression floors over the measured
+// sweeps and returns the verdicts, one line per check. The dop-4
+// wall-clock floor applies in full only on hosts with at least 4 CPUs;
+// smaller hosts (like 1-2 core CI runners) physically cannot speed up
+// wall-clock with dop, so they get the small-host floor, which catches
+// the parallel path regressing below serial. The kernel floor compares
+// scalar to vectorized time at dop 1 and applies everywhere.
+func guard(floors floorFile, reports []tableReport, cpus int) (lines []string, failed bool) {
+	margin := 1 - floors.RegressionMargin
+	check := func(name string, got, floor float64) {
+		verdict := "ok"
+		if got < floor*margin {
+			verdict = "FAIL"
+			failed = true
+		}
+		lines = append(lines, fmt.Sprintf("%-4s %s: %.2fx (floor %.2fx, margin %.0f%%)",
+			verdict, name, got, floor, floors.RegressionMargin*100))
+	}
+	for _, rep := range reports {
+		for _, r := range rep.Runs {
+			if r.Dop != 4 || r.Speedup == 0 {
+				continue
+			}
+			floor := floors.MinDop4Speedup
+			if cpus < 4 {
+				floor = floors.MinDop4SpeedupSmallHost
+			}
+			check(fmt.Sprintf("%s/%s dop-4 speedup", rep.Table, rep.Layout), r.Speedup, floor)
+		}
+		if rep.KernelSpeedup > 0 {
+			check(fmt.Sprintf("%s/%s kernel speedup", rep.Table, rep.Layout), rep.KernelSpeedup, floors.MinKernelSpeedup)
+		}
+	}
+	return lines, failed
+}
+
 func main() {
 	dirs := flag.String("dir", "", "table directory, or comma-separated list of directories (required)")
 	cols := flag.Int("cols", 1, "number of leading columns to select")
@@ -109,7 +249,9 @@ func main() {
 	repeat := flag.Int("repeat", 1, "number of scan repetitions per dop (best run is reported)")
 	dops := flag.String("dops", "1", "comma-separated degrees of parallelism to sweep")
 	agg := flag.Bool("agg", false, "aggregate (count + sum of the first column) instead of projecting — exercises the partial-agg/merge path, where parallel workers exchange tiny states instead of result blocks")
+	scalar := flag.Bool("scalar", false, "disable the vectorized operate-on-compressed kernels (value-at-a-time reference path)")
 	jsonPath := flag.String("json", "", "write the sweep report as JSON to this path")
+	guardPath := flag.String("guard", "", "enforce the regression floors in this JSON file; exit 1 on >margin regression")
 	flag.Parse()
 
 	if *dirs == "" {
@@ -122,69 +264,50 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	var reports []tableReport
+	var floors floorFile
+	if *guardPath != "" {
+		data, err := os.ReadFile(*guardPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := json.Unmarshal(data, &floors); err != nil {
+			fatalf("guard file %s: %v", *guardPath, err)
+		}
+	}
+
+	out := report{Cpus: runtime.NumCPU(), Gomaxprocs: runtime.GOMAXPROCS(0), Scalar: *scalar}
+	fmt.Printf("host: %d cpus, gomaxprocs %d\n", out.Cpus, out.Gomaxprocs)
 	for _, dir := range strings.Split(*dirs, ",") {
 		dir = strings.TrimSpace(dir)
 		tbl, err := readopt.OpenTable(dir)
 		if err != nil {
 			fatalf("%v", err)
 		}
-		all := tbl.Schema().Columns()
-		if *cols < 1 || *cols > len(all) {
-			fatalf("-cols must be in 1..%d", len(all))
-		}
-		var q readopt.Query
-		if *agg {
-			q.Aggs = []readopt.Agg{{Func: "count"}, {Func: "sum", Column: all[0]}}
-		} else {
-			q.Select = all[:*cols]
-		}
-		if *selectivity < 1 {
-			th, err := tbl.SelectivityThreshold(*selectivity)
-			if err != nil {
-				fatalf("%v", err)
-			}
-			q.Where = []readopt.Cond{{Column: all[0], Op: "<", Value: th}}
+		q, err := buildQuery(tbl, *cols, *selectivity, *agg)
+		if err != nil {
+			fatalf("%v", err)
 		}
 
 		fmt.Printf("table %s (%s layout, %d rows, %d data bytes)\n",
 			tbl.Schema().Name(), tbl.Layout(), tbl.Rows(), tbl.DataBytes())
 		if *agg {
-			fmt.Printf("query: count + sum(%s), selectivity %.4f\n", all[0], *selectivity)
+			fmt.Printf("query: count + sum(%s), selectivity %.4f\n", tbl.Schema().Columns()[0], *selectivity)
 		} else {
 			fmt.Printf("query: select %d cols, selectivity %.4f\n", *cols, *selectivity)
 		}
 
-		rep := tableReport{
-			Table:       tbl.Schema().Name(),
-			Layout:      tbl.Layout(),
-			Rows:        tbl.Rows(),
-			DataBytes:   tbl.DataBytes(),
-			Cols:        *cols,
-			Selectivity: *selectivity,
-			Agg:         *agg,
+		rep, err := sweepTable(tbl, q, sweep, *repeat, *scalar, *jsonPath != "" || *guardPath != "")
+		if err != nil {
+			fatalf("%v", err)
 		}
-		var serialMicros int64
-		for _, dop := range sweep {
-			r, err := bench(tbl, q, dop, *repeat)
-			if err != nil {
-				fatalf("%v", err)
-			}
-			if dop == 1 {
-				serialMicros = r.Micros
-			}
-			if serialMicros > 0 {
-				r.Speedup = float64(serialMicros) / float64(r.Micros)
-			}
-			rep.Runs = append(rep.Runs, r)
-			fmt.Printf("dop %d (effective %d): %v, %.0f tuples/sec, speedup %.2fx, %d qualifying, io %d bytes\n",
-				dop, r.EffectiveDop, time.Duration(r.Micros)*time.Microsecond, r.TuplesPerSec, r.Speedup, r.Qualifying, r.IOBytes)
-		}
-		reports = append(reports, rep)
+		rep.Cols = *cols
+		rep.Selectivity = *selectivity
+		rep.Agg = *agg
+		out.Tables = append(out.Tables, rep)
 	}
 
 	if *jsonPath != "" {
-		data, err := json.MarshalIndent(reports, "", "  ")
+		data, err := json.MarshalIndent(out, "", "  ")
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -192,5 +315,16 @@ func main() {
 			fatalf("%v", err)
 		}
 		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+
+	if *guardPath != "" {
+		lines, failed := guard(floors, out.Tables, out.Cpus)
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		if failed {
+			fatalf("bench regression guard failed")
+		}
+		fmt.Println("bench regression guard passed")
 	}
 }

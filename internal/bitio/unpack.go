@@ -1,0 +1,88 @@
+package bitio
+
+import "encoding/binary"
+
+// This file holds the word-at-a-time batch unpacking kernels behind the
+// engine's vectorized scan path. ReadAt decodes one code per call with a
+// byte loop; the kernels below decode a whole run of fixed-width codes
+// with one unaligned 64-bit load per code, which is what makes
+// operate-on-compressed predicate evaluation cheaper than tuple-at-a-time
+// decoding.
+
+// UnpackBlock unpacks n fixed-width codes from buf, starting at bit
+// offset off, into dst[0:n]. width must be in 1..64 and the source range
+// must lie within buf; violations panic, as for ReadAt. dst must hold at
+// least n entries.
+//
+// Codes of up to 57 bits are read with a single unaligned 64-bit load
+// each (any bit phase 0..7 still fits the word); wider codes, and the
+// last few codes of a buffer where a full word would read past the end,
+// fall back to ReadAt.
+//
+//readopt:hotpath
+func UnpackBlock(buf []byte, off, width, n int, dst []uint64) {
+	if width < 1 || width > 64 {
+		panic("bitio: UnpackBlock width out of range")
+	}
+	if n < 0 || off < 0 || off+n*width > len(buf)*8 {
+		panic("bitio: UnpackBlock out of bounds")
+	}
+	if len(dst) < n {
+		panic("bitio: UnpackBlock destination too small")
+	}
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = 1<<width - 1
+	}
+	i := 0
+	if width <= 57 {
+		for ; i < n; i++ {
+			o := off + i*width
+			b := o >> 3
+			if b+8 > len(buf) {
+				break
+			}
+			dst[i] = binary.LittleEndian.Uint64(buf[b:]) >> (o & 7) & mask
+		}
+	}
+	for ; i < n; i++ {
+		dst[i] = ReadAt(buf, off+i*width, width)
+	}
+}
+
+// UnpackInt32 unpacks n fixed-width codes from buf, starting at bit
+// offset off, adds base to each, and stores the results as little-endian
+// int32 values into dst at the given stride — the fused decode kernel of
+// the bit-packed and frame-of-reference codecs. width must be in 1..32;
+// dst must hold n values at the stride; stride must cover an int32.
+//
+//readopt:hotpath
+func UnpackInt32(buf []byte, off, width, n int, base int32, dst []byte, stride int) {
+	if width < 1 || width > 32 {
+		panic("bitio: UnpackInt32 width out of range")
+	}
+	if n < 0 || off < 0 || off+n*width > len(buf)*8 {
+		panic("bitio: UnpackInt32 out of bounds")
+	}
+	if stride < 4 {
+		panic("bitio: UnpackInt32 stride too small")
+	}
+	if n > 0 && (n-1)*stride+4 > len(dst) {
+		panic("bitio: UnpackInt32 destination too small")
+	}
+	mask := uint64(1)<<width - 1
+	i := 0
+	for ; i < n; i++ {
+		o := off + i*width
+		b := o >> 3
+		if b+8 > len(buf) {
+			break
+		}
+		v := binary.LittleEndian.Uint64(buf[b:]) >> (o & 7) & mask
+		binary.LittleEndian.PutUint32(dst[i*stride:], uint32(base)+uint32(v))
+	}
+	for ; i < n; i++ {
+		v := ReadAt(buf, off+i*width, width)
+		binary.LittleEndian.PutUint32(dst[i*stride:], uint32(base)+uint32(v))
+	}
+}

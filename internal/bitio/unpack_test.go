@@ -1,0 +1,145 @@
+package bitio
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// TestUnpackBlockDifferential: UnpackBlock must agree with the scalar
+// ReadAt reference for every width 1..64, across offsets that exercise
+// both the word-at-a-time fast loop and the tail fallback.
+func TestUnpackBlockDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	buf := make([]byte, 4096)
+	rng.Read(buf)
+	for width := 1; width <= 64; width++ {
+		for _, off := range []int{0, 1, 7, 8, 13, 63, 64, 1000} {
+			n := (len(buf)*8 - off) / width
+			if n > 300 {
+				n = 300
+			}
+			if n <= 0 {
+				continue
+			}
+			dst := make([]uint64, n)
+			UnpackBlock(buf, off, width, n, dst)
+			for i := 0; i < n; i++ {
+				want := ReadAt(buf, off+i*width, width)
+				if dst[i] != want {
+					t.Fatalf("width=%d off=%d i=%d: got %#x want %#x", width, off, i, dst[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestUnpackBlockTail: the fast loop must hand off to the ReadAt
+// fallback when the next 8-byte load would run past the buffer — codes
+// near the end of a short buffer must still decode correctly.
+func TestUnpackBlockTail(t *testing.T) {
+	buf := make([]byte, 11) // too short for a word load near the end
+	for i := range buf {
+		buf[i] = byte(0xA5 ^ i)
+	}
+	for width := 1; width <= 57; width++ {
+		n := len(buf) * 8 / width
+		dst := make([]uint64, n)
+		UnpackBlock(buf, 0, width, n, dst)
+		for i := 0; i < n; i++ {
+			if want := ReadAt(buf, i*width, width); dst[i] != want {
+				t.Fatalf("width=%d i=%d: got %#x want %#x", width, i, dst[i], want)
+			}
+		}
+	}
+}
+
+// TestUnpackInt32Differential: UnpackInt32 must place base+code at each
+// stride step, matching ReadAt, including negative bases (frame of
+// reference) and stride > 4 (decoding into a wider tuple slot).
+func TestUnpackInt32Differential(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	buf := make([]byte, 1024)
+	rng.Read(buf)
+	for width := 1; width <= 32; width++ {
+		for _, base := range []int32{0, -1000, 1 << 20, -(1 << 30)} {
+			for _, stride := range []int{4, 9, 34} {
+				n := len(buf) * 8 / width
+				if n > 200 {
+					n = 200
+				}
+				dst := make([]byte, (n-1)*stride+4)
+				UnpackInt32(buf, 0, width, n, base, dst, stride)
+				for i := 0; i < n; i++ {
+					code := ReadAt(buf, i*width, width)
+					want := uint32(base) + uint32(code)
+					got := binary.LittleEndian.Uint32(dst[i*stride:])
+					if got != want {
+						t.Fatalf("width=%d base=%d stride=%d i=%d: got %#x want %#x", width, base, stride, i, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestUnpackPanics: both unpackers must reject out-of-range widths and
+// out-of-bounds reads loudly rather than decode garbage.
+func TestUnpackPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	buf := make([]byte, 16)
+	dst64 := make([]uint64, 8)
+	expectPanic("width 0", func() { UnpackBlock(buf, 0, 0, 1, dst64) })
+	expectPanic("width 65", func() { UnpackBlock(buf, 0, 65, 1, dst64) })
+	expectPanic("past end", func() { UnpackBlock(buf, 0, 64, 3, dst64) })
+	expectPanic("dst small", func() { UnpackBlock(buf, 0, 8, 9, dst64) })
+	dst := make([]byte, 64)
+	expectPanic("int32 width 33", func() { UnpackInt32(buf, 0, 33, 1, 0, dst, 4) })
+	expectPanic("int32 stride 3", func() { UnpackInt32(buf, 0, 8, 1, 0, dst, 3) })
+	expectPanic("int32 dst small", func() { UnpackInt32(buf, 0, 8, 16, 0, dst[:8], 4) })
+}
+
+func BenchmarkUnpackBlock(b *testing.B) {
+	buf := make([]byte, 64<<10)
+	rand.New(rand.NewSource(7)).Read(buf)
+	for _, width := range []int{5, 13, 21} {
+		n := len(buf) * 8 / width
+		dst := make([]uint64, n)
+		b.Run("word/"+itoa(width), func(b *testing.B) {
+			b.SetBytes(int64(n * 8))
+			for i := 0; i < b.N; i++ {
+				UnpackBlock(buf, 0, width, n, dst)
+			}
+		})
+		b.Run("scalar/"+itoa(width), func(b *testing.B) {
+			b.SetBytes(int64(n * 8))
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < n; j++ {
+					dst[j] = ReadAt(buf, j*width, width)
+				}
+			}
+		})
+	}
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}

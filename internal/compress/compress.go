@@ -60,7 +60,7 @@ func New(attr schema.Attribute, dict *Dictionary) (Codec, error) {
 	}
 	switch attr.Enc {
 	case schema.None:
-		return &rawCodec{size: attr.Type.Size}, nil
+		return &rawCodec{size: attr.Type.Size, kind: attr.Type.Kind}, nil
 	case schema.BitPack:
 		if attr.Type.Kind == schema.Int32 {
 			return &bitPackIntCodec{bits: attr.Bits}, nil
@@ -102,8 +102,13 @@ func maxCode(bits int) uint64 {
 	return 1<<bits - 1
 }
 
-// rawCodec stores values verbatim.
-type rawCodec struct{ size int }
+// rawCodec stores values verbatim. The type kind is kept for the
+// operate-on-compressed kernel: raw int32 codes compare by sign-biased
+// unsigned order, raw text codes only for equality.
+type rawCodec struct {
+	size int
+	kind schema.Kind
+}
 
 func (c *rawCodec) Encoding() schema.Encoding { return schema.None }
 func (c *rawCodec) Bits() int                 { return 8 * c.size }

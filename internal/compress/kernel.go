@@ -1,0 +1,379 @@
+package compress
+
+import (
+	"github.com/readoptdb/readopt/internal/bitio"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// This file is the operate-on-compressed layer: predicates translated
+// into code space and evaluated on packed codes without decoding, plus
+// batch block decoders that replace the sequential bit reader with the
+// word-at-a-time kernels in bitio. The techniques follow "Revisiting
+// Data Compression in Column-Stores": fixed-width codes preserve enough
+// structure that comparisons move across the encoding — dictionary codes
+// compare for equality by code, bit-packed and frame-of-reference codes
+// compare by range once the literal's bounds are translated.
+
+// CmpOp mirrors the engine's comparison operators. compress sits below
+// the exec package in the dependency order, so it declares its own copy;
+// the scan layer converts.
+type CmpOp uint8
+
+const (
+	CmpLt CmpOp = iota
+	CmpLe
+	CmpEq
+	CmpNe
+	CmpGe
+	CmpGt
+)
+
+// CodeMatch is one SARGable predicate translated into code space: a
+// packed code qualifies iff ((code ^ Xor) in [Lo, Hi]) != Negate.
+//
+// The shape covers every translation the codecs produce: contiguous
+// ranges for order-preserving codes (bit packing, FOR), single codes for
+// dictionary equality, Negate for <>, and Xor for codes whose unsigned
+// order differs from value order (raw int32 codes are sign-biased with
+// Xor = 1<<31). Lo > Hi encodes the empty interval, so "no code
+// qualifies" (and, negated, "every code qualifies") needs no special
+// case in the kernel loop.
+type CodeMatch struct {
+	Lo, Hi uint64
+	Xor    uint64
+	Negate bool
+}
+
+// MatchAll returns the match every code satisfies.
+func MatchAll() CodeMatch { return CodeMatch{Lo: 0, Hi: ^uint64(0)} }
+
+// MatchNone returns the match no code satisfies.
+func MatchNone() CodeMatch { return CodeMatch{Lo: 1, Hi: 0} }
+
+// Matches reports whether one packed code satisfies the match.
+func (m CodeMatch) Matches(code uint64) bool {
+	q := code ^ m.Xor
+	return (q >= m.Lo && q <= m.Hi) != m.Negate
+}
+
+// EvalPredicate is the vectorized selection kernel shared by every
+// codec: it evaluates m over codes[0:n] and writes the indexes of the
+// qualifying codes into sel, returning the selection length. sel must
+// hold at least n entries.
+//
+//readopt:hotpath
+func EvalPredicate(codes []uint64, n int, m CodeMatch, sel []int32) int {
+	if n < 0 || n > len(codes) {
+		panic("compress: EvalPredicate count out of range")
+	}
+	if len(sel) < n {
+		panic("compress: EvalPredicate selection vector too small")
+	}
+	k := 0
+	for i := 0; i < n; i++ {
+		q := codes[i] ^ m.Xor
+		if (q >= m.Lo && q <= m.Hi) != m.Negate {
+			sel[k] = int32(i)
+			k++
+		}
+	}
+	return k
+}
+
+// RefineSel evaluates a further translated predicate over an existing
+// selection, compacting sel in place and returning the new length —
+// conjunctions evaluate predicate k only on the survivors of the first
+// k-1, exactly like the scalar path's short-circuit.
+//
+//readopt:hotpath
+func RefineSel(codes []uint64, m CodeMatch, sel []int32) int {
+	k := 0
+	for _, i := range sel {
+		q := codes[i] ^ m.Xor
+		if (q >= m.Lo && q <= m.Hi) != m.Negate {
+			sel[k] = i
+			k++
+		}
+	}
+	return k
+}
+
+// Kernel is a codec's operate-on-compressed fast path. A codec that
+// implements it can translate predicates into code space (so selection
+// runs on packed codes via EvalPredicate/RefineSel without decoding) and
+// materialize just the selected codes back into raw values. Codecs
+// without a kernel — packed text ranges, FOR-delta's chained codes,
+// codes wider than 64 bits — take the decode-then-evaluate fallback.
+type Kernel interface {
+	// Translate maps the comparison `value op literal` into code space
+	// for a page with the given base value. intLit carries the literal
+	// for integer attributes, textLit (attribute-width, space-padded)
+	// for text attributes. ok=false means this predicate cannot be
+	// evaluated on codes and the caller must fall back to decoding.
+	Translate(op CmpOp, intLit int32, textLit []byte, base int32) (m CodeMatch, ok bool)
+	// Materialize decodes the selected codes into raw values: the value
+	// of codes[sel[i]] is written to dst[i*stride : i*stride+size].
+	Materialize(codes []uint64, sel []int32, base int32, dst []byte, stride int) error
+}
+
+// KernelFor returns the codec's operate-on-compressed kernel, or nil
+// when the codec (or its configured code width) cannot evaluate
+// predicates on packed codes.
+func KernelFor(c Codec) Kernel {
+	k, ok := c.(Kernel)
+	if !ok || c.Bits() > 64 {
+		return nil
+	}
+	return k
+}
+
+// BlockDecoder is implemented by codecs whose pages decode with the
+// word-at-a-time batch kernel instead of the sequential bit reader.
+// data is the page's code region, start the first value index.
+type BlockDecoder interface {
+	DecodeBlock(data []byte, start, n int, base int32, dst []byte, stride int) error
+}
+
+// rangeMatch translates `code op lc` into an inclusive code interval
+// clipped to [0, max], for codecs whose code order equals value order.
+// lc may fall outside [0, max] (a literal below the page base or beyond
+// the packed domain); clipping turns those into the all/none matches the
+// comparison semantics require.
+func rangeMatch(op CmpOp, lc, max int64) (CodeMatch, bool) {
+	lo, hi := int64(0), max
+	switch op {
+	case CmpLt:
+		hi = lc - 1
+	case CmpLe:
+		hi = lc
+	case CmpEq, CmpNe:
+		lo, hi = lc, lc
+	case CmpGe:
+		lo = lc
+	case CmpGt:
+		lo = lc + 1
+	default:
+		return CodeMatch{}, false
+	}
+	neg := op == CmpNe
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > max {
+		hi = max
+	}
+	if lo > hi {
+		m := MatchNone()
+		m.Negate = neg
+		return m, true
+	}
+	return CodeMatch{Lo: uint64(lo), Hi: uint64(hi), Negate: neg}, true
+}
+
+// --- raw ---
+
+// rawSignBias maps int32 order onto unsigned code order: flipping the
+// sign bit turns two's-complement comparison into unsigned comparison.
+const rawSignBias = uint64(1) << 31
+
+func (c *rawCodec) Translate(op CmpOp, intLit int32, textLit []byte, _ int32) (CodeMatch, bool) {
+	if c.kind == schema.Int32 {
+		m, ok := rangeMatch(op, int64(uint64(uint32(intLit))^rawSignBias), int64(^uint32(0)))
+		if !ok {
+			return CodeMatch{}, false
+		}
+		m.Xor = rawSignBias
+		return m, true
+	}
+	// Raw text codes load little-endian, so unsigned code order is not
+	// lexicographic order — only equality survives the encoding.
+	if op != CmpEq && op != CmpNe {
+		return CodeMatch{}, false
+	}
+	if len(textLit) != c.size || c.size > 8 {
+		return CodeMatch{}, false
+	}
+	code := packTextCode(textLit)
+	return CodeMatch{Lo: code, Hi: code, Negate: op == CmpNe}, true
+}
+
+func (c *rawCodec) Materialize(codes []uint64, sel []int32, _ int32, dst []byte, stride int) error {
+	if c.kind == schema.Int32 {
+		for i, s := range sel {
+			putInt32(dst[i*stride:], int32(uint32(codes[s])))
+		}
+		return nil
+	}
+	for i, s := range sel {
+		unpackTextCode(codes[s], dst[i*stride:i*stride+c.size])
+	}
+	return nil
+}
+
+func (c *rawCodec) DecodeBlock(data []byte, start, n int, _ int32, dst []byte, stride int) error {
+	off := start * c.size
+	if stride == c.size {
+		copy(dst[:n*c.size], data[off:off+n*c.size])
+		return nil
+	}
+	for i := 0; i < n; i++ {
+		copy(dst[i*stride:i*stride+c.size], data[off+i*c.size:])
+	}
+	return nil
+}
+
+// packTextCode packs up to 8 text bytes into a code, LSB-first — the
+// same layout ReadAt produces for byte-aligned codes.
+func packTextCode(v []byte) uint64 {
+	var code uint64
+	for i := len(v) - 1; i >= 0; i-- {
+		code = code<<8 | uint64(v[i])
+	}
+	return code
+}
+
+// unpackTextCode writes a packed text code back as raw bytes.
+func unpackTextCode(code uint64, dst []byte) {
+	for i := range dst {
+		dst[i] = byte(code)
+		code >>= 8
+	}
+}
+
+// --- bit-packed integers ---
+
+func (c *bitPackIntCodec) Translate(op CmpOp, intLit int32, _ []byte, _ int32) (CodeMatch, bool) {
+	return rangeMatch(op, int64(intLit), int64(maxCode(c.bits)))
+}
+
+func (c *bitPackIntCodec) Materialize(codes []uint64, sel []int32, _ int32, dst []byte, stride int) error {
+	for i, s := range sel {
+		putInt32(dst[i*stride:], int32(codes[s]))
+	}
+	return nil
+}
+
+func (c *bitPackIntCodec) DecodeBlock(data []byte, start, n int, _ int32, dst []byte, stride int) error {
+	bitio.UnpackInt32(data, start*c.bits, c.bits, n, 0, dst, stride)
+	return nil
+}
+
+// --- bit-packed text ---
+
+func (c *bitPackTextCodec) Translate(op CmpOp, _ int32, textLit []byte, _ int32) (CodeMatch, bool) {
+	// Packed text keeps the first bits/8 bytes; stored values always have
+	// an all-space tail (the encoder rejects anything else), so order
+	// predicates would need the decoded bytes but equality translates:
+	// a literal with a non-space tail equals no stored value.
+	if op != CmpEq && op != CmpNe {
+		return CodeMatch{}, false
+	}
+	keep := c.bits / 8
+	if len(textLit) != c.size || keep > 8 {
+		return CodeMatch{}, false
+	}
+	for _, b := range textLit[keep:] {
+		if b != ' ' {
+			m := MatchNone()
+			m.Negate = op == CmpNe
+			return m, true
+		}
+	}
+	code := packTextCode(textLit[:keep])
+	return CodeMatch{Lo: code, Hi: code, Negate: op == CmpNe}, true
+}
+
+func (c *bitPackTextCodec) Materialize(codes []uint64, sel []int32, _ int32, dst []byte, stride int) error {
+	keep := c.bits / 8
+	for i, s := range sel {
+		out := dst[i*stride : i*stride+c.size]
+		unpackTextCode(codes[s], out[:keep])
+		for j := keep; j < c.size; j++ {
+			out[j] = ' '
+		}
+	}
+	return nil
+}
+
+func (c *bitPackTextCodec) DecodeBlock(data []byte, start, n int, _ int32, dst []byte, stride int) error {
+	keep := c.bits / 8 // bits is a whole-byte width, so codes stay byte-aligned
+	off := start * keep
+	for i := 0; i < n; i++ {
+		out := dst[i*stride : i*stride+c.size]
+		copy(out[:keep], data[off+i*keep:])
+		for j := keep; j < c.size; j++ {
+			out[j] = ' '
+		}
+	}
+	return nil
+}
+
+// --- dictionary ---
+
+func (c *dictCodec) Translate(op CmpOp, intLit int32, textLit []byte, _ int32) (CodeMatch, bool) {
+	// Dictionary codes are assigned in insertion order, so only equality
+	// survives the encoding; ranges fall back to decoding.
+	if op != CmpEq && op != CmpNe {
+		return CodeMatch{}, false
+	}
+	lit := textLit
+	if lit == nil {
+		var buf [4]byte
+		putInt32(buf[:], intLit)
+		lit = buf[:]
+	}
+	if len(lit) != c.size {
+		return CodeMatch{}, false
+	}
+	code, ok := c.dict.Code(lit)
+	if !ok {
+		// Literal absent from the dictionary: no stored value can equal it.
+		m := MatchNone()
+		m.Negate = op == CmpNe
+		return m, true
+	}
+	return CodeMatch{Lo: uint64(code), Hi: uint64(code), Negate: op == CmpNe}, true
+}
+
+func (c *dictCodec) Materialize(codes []uint64, sel []int32, _ int32, dst []byte, stride int) error {
+	for i, s := range sel {
+		v, err := c.dict.Value(uint32(codes[s]))
+		if err != nil {
+			return err
+		}
+		copy(dst[i*stride:i*stride+c.size], v)
+	}
+	return nil
+}
+
+func (c *dictCodec) DecodeBlock(data []byte, start, n int, _ int32, dst []byte, stride int) error {
+	for i := 0; i < n; i++ {
+		code := uint32(bitio.ReadAt(data, (start+i)*c.bits, c.bits))
+		v, err := c.dict.Value(code)
+		if err != nil {
+			return err
+		}
+		copy(dst[i*stride:i*stride+c.size], v)
+	}
+	return nil
+}
+
+// --- frame of reference ---
+
+func (c *forCodec) Translate(op CmpOp, intLit int32, _ []byte, base int32) (CodeMatch, bool) {
+	// code = value - base, which preserves order; a literal below the
+	// page base or beyond base+maxCode clips to the all/none match.
+	return rangeMatch(op, int64(intLit)-int64(base), int64(maxCode(c.bits)))
+}
+
+func (c *forCodec) Materialize(codes []uint64, sel []int32, base int32, dst []byte, stride int) error {
+	for i, s := range sel {
+		putInt32(dst[i*stride:], base+int32(codes[s]))
+	}
+	return nil
+}
+
+func (c *forCodec) DecodeBlock(data []byte, start, n int, base int32, dst []byte, stride int) error {
+	bitio.UnpackInt32(data, start*c.bits, c.bits, n, base, dst, stride)
+	return nil
+}

@@ -1,0 +1,170 @@
+package compress
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/bitio"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// kernelFuzzCodecs builds one codec of every encoding that carries an
+// operate-on-compressed kernel, plus the dictionary they share.
+func kernelFuzzCodecs(t interface{ Fatal(...any) }) []Codec {
+	dict := NewDictionary(4)
+	dict.Add([]byte("AAAA"))
+	dict.Add([]byte("BBBB"))
+	dict.Add([]byte("CCCC"))
+	attrs := []struct {
+		attr schema.Attribute
+		dict *Dictionary
+	}{
+		{schema.Attribute{Name: "A", Type: schema.IntType}, nil},
+		{schema.Attribute{Name: "A", Type: schema.TextType(5)}, nil},
+		{schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.BitPack, Bits: 7}, nil},
+		{schema.Attribute{Name: "A", Type: schema.TextType(5), Enc: schema.BitPack, Bits: 16}, nil},
+		{schema.Attribute{Name: "A", Type: schema.TextType(4), Enc: schema.Dict, Bits: 3}, dict},
+		{schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.FOR, Bits: 11}, nil},
+	}
+	out := make([]Codec, 0, len(attrs))
+	for _, a := range attrs {
+		c, err := New(a.attr, a.dict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// FuzzEvalPredicate: for every kernel codec and arbitrary packed codes,
+// the vectorized selection (Translate → EvalPredicate/RefineSel) must
+// agree element-wise with CodeMatch.Matches, and for integer codecs with
+// the decoded-value comparison — the same differential the scan layer
+// relies on, driven by arbitrary inputs instead of a fixed grid.
+func FuzzEvalPredicate(f *testing.F) {
+	f.Add([]byte{0xAA, 0x55, 0x01, 0xFF, 0x7E, 0x12, 0x34, 0x56}, uint8(0), int32(10), []byte("AAAA "), int32(-3))
+	f.Add([]byte{0, 0, 0, 0, 0xFF, 0xFF, 0xFF, 0xFF, 1, 2, 3, 4}, uint8(3), int32(-1), []byte("zz"), int32(1<<20))
+	f.Add([]byte{7}, uint8(5), int32(0), []byte{}, int32(0))
+	f.Fuzz(func(t *testing.T, codeBytes []byte, opRaw uint8, intLit int32, textLit []byte, base int32) {
+		if len(codeBytes) == 0 {
+			return
+		}
+		op := CmpOp(opRaw % 6)
+		for _, c := range kernelFuzzCodecs(t) {
+			k := KernelFor(c)
+			if k == nil {
+				t.Fatal("fuzz codec without kernel")
+			}
+			bits := c.Bits()
+			n := len(codeBytes) * 8 / bits
+			if n == 0 {
+				continue
+			}
+			if n > 64 {
+				n = 64
+			}
+			codes := make([]uint64, n)
+			bitio.UnpackBlock(codeBytes, 0, bits, n, codes)
+			m, ok := k.Translate(op, intLit, textLit, base)
+			if !ok {
+				continue // untranslatable predicates fall back to decoding
+			}
+			sel := make([]int32, n)
+			got := EvalPredicate(codes, n, m, sel)
+			want := 0
+			for i, code := range codes {
+				if !m.Matches(code) {
+					continue
+				}
+				if want >= got || sel[want] != int32(i) {
+					t.Fatalf("%v: EvalPredicate disagrees with Matches at code %d", c.Encoding(), i)
+				}
+				want++
+			}
+			if got != want {
+				t.Fatalf("%v: EvalPredicate selected %d, Matches says %d", c.Encoding(), got, want)
+			}
+			// Integer codecs decode every code, so the match must equal the
+			// decoded-value comparison exactly.
+			var value func(uint64) (int32, bool)
+			switch cc := c.(type) {
+			case *rawCodec:
+				if cc.kind == schema.Int32 {
+					value = func(code uint64) (int32, bool) { return int32(uint32(code)), true }
+				}
+			case *bitPackIntCodec:
+				value = func(code uint64) (int32, bool) { return int32(code), true }
+			case *forCodec:
+				value = func(code uint64) (int32, bool) { return base + int32(code), true }
+			}
+			if value == nil {
+				continue
+			}
+			for i, code := range codes {
+				v, _ := value(code)
+				if m.Matches(code) != evalRefInt(op, v, intLit) {
+					t.Fatalf("%v: code %d (value %d) op %d lit %d: match %v, decoded eval %v",
+						c.Encoding(), i, v, op, intLit, m.Matches(code), evalRefInt(op, v, intLit))
+				}
+			}
+			// RefineSel over the full identity selection must reproduce
+			// EvalPredicate.
+			ident := make([]int32, n)
+			for i := range ident {
+				ident[i] = int32(i)
+			}
+			if rn := RefineSel(codes, m, ident); rn != got {
+				t.Fatalf("%v: RefineSel = %d, EvalPredicate = %d", c.Encoding(), rn, got)
+			}
+		}
+	})
+}
+
+// FuzzDecodeBlock: the word-at-a-time block decoders must produce
+// byte-identical output to the sequential DecodePage reader on arbitrary
+// code bytes — and must error, never panic, on undecodable input (e.g.
+// out-of-range dictionary codes).
+func FuzzDecodeBlock(f *testing.F) {
+	f.Add([]byte{0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF, 0x11, 0x22}, uint8(6), int32(100))
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11}, uint8(12), int32(-50))
+	f.Add([]byte{0xFF}, uint8(1), int32(0))
+	f.Fuzz(func(t *testing.T, data []byte, nRaw uint8, base int32) {
+		if len(data) == 0 {
+			return
+		}
+		for _, c := range kernelFuzzCodecs(t) {
+			bd, ok := c.(BlockDecoder)
+			if !ok {
+				t.Fatalf("%v: fuzz codec without block decoder", c.Encoding())
+			}
+			size := 4
+			if tc, okT := c.(*rawCodec); okT && tc.kind != schema.Int32 {
+				size = tc.size
+			}
+			if tc, okT := c.(*bitPackTextCodec); okT {
+				size = tc.size
+			}
+			if tc, okT := c.(*dictCodec); okT {
+				size = tc.size
+			}
+			n := int(nRaw)
+			if max := len(data) * 8 / c.Bits(); n > max {
+				n = max
+			}
+			if n == 0 {
+				continue
+			}
+			blockDst := make([]byte, n*size)
+			pageDst := make([]byte, n*size)
+			blockErr := bd.DecodeBlock(data, 0, n, base, blockDst, size)
+			pageErr := c.DecodePage(bitio.NewReader(data), pageDst, size, n, base)
+			if (blockErr == nil) != (pageErr == nil) {
+				t.Fatalf("%v: DecodeBlock err %v, DecodePage err %v", c.Encoding(), blockErr, pageErr)
+			}
+			if blockErr == nil && !bytes.Equal(blockDst, pageDst) {
+				t.Fatalf("%v: DecodeBlock differs from DecodePage\nblock %x\npage  %x", c.Encoding(), blockDst, pageDst)
+			}
+		}
+	})
+}

@@ -1,0 +1,371 @@
+package compress
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/bitio"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+var allOps = []CmpOp{CmpLt, CmpLe, CmpEq, CmpNe, CmpGe, CmpGt}
+
+// evalRefInt is the decoded-value reference the kernels must match.
+func evalRefInt(op CmpOp, v, lit int32) bool {
+	switch op {
+	case CmpLt:
+		return v < lit
+	case CmpLe:
+		return v <= lit
+	case CmpEq:
+		return v == lit
+	case CmpNe:
+		return v != lit
+	case CmpGe:
+		return v >= lit
+	default:
+		return v > lit
+	}
+}
+
+// encodeCodes runs a codec's encoder and reads back the packed codes —
+// exactly what the scan layer's code path sees.
+func encodeCodes(t *testing.T, c Codec, src []byte, stride, n int) ([]uint64, int32) {
+	t.Helper()
+	buf := make([]byte, bitio.SizeBytes(n*c.Bits()))
+	w := bitio.NewWriter(buf)
+	base, err := c.EncodePage(w, src, stride, n)
+	if err != nil {
+		t.Fatalf("EncodePage: %v", err)
+	}
+	codes := make([]uint64, n)
+	bitio.UnpackBlock(buf, 0, c.Bits(), n, codes)
+	return codes, base
+}
+
+// TestKernelFor pins which codecs carry an operate-on-compressed
+// kernel: everything except FOR-delta (whose codes chain on the
+// previous value, so no per-code predicate exists).
+func TestKernelFor(t *testing.T) {
+	dict := NewDictionary(4)
+	dict.Add([]byte("AAAA"))
+	attrs := []struct {
+		attr schema.Attribute
+		dict *Dictionary
+		want bool
+	}{
+		{schema.Attribute{Name: "A", Type: schema.IntType}, nil, true},
+		{schema.Attribute{Name: "A", Type: schema.TextType(5)}, nil, true},
+		{schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.BitPack, Bits: 10}, nil, true},
+		{schema.Attribute{Name: "A", Type: schema.TextType(5), Enc: schema.BitPack, Bits: 24}, nil, true},
+		{schema.Attribute{Name: "A", Type: schema.TextType(4), Enc: schema.Dict, Bits: 8}, dict, true},
+		{schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.FOR, Bits: 6}, nil, true},
+		{schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.FORDelta, Bits: 8}, nil, false},
+	}
+	for _, tc := range attrs {
+		c, err := New(tc.attr, tc.dict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := KernelFor(c) != nil; got != tc.want {
+			t.Errorf("%v/%v: KernelFor non-nil = %v, want %v", tc.attr.Enc, tc.attr.Type.Kind, got, tc.want)
+		}
+	}
+}
+
+// TestTranslateIntBoundaries: for every order-preserving integer codec,
+// the translated match evaluated on packed codes must agree with the
+// decoded-value reference for every operator at every boundary literal —
+// below the domain, at its min and max, one inside each end, and past
+// the max (the off-by-one traps of code-space translation).
+func TestTranslateIntBoundaries(t *testing.T) {
+	cases := []struct {
+		name string
+		attr schema.Attribute
+		vals []int32
+		lits []int32
+	}{
+		{
+			name: "raw-int",
+			attr: schema.Attribute{Name: "A", Type: schema.IntType},
+			vals: []int32{math.MinInt32, math.MinInt32 + 1, -7, -1, 0, 1, 42, math.MaxInt32 - 1, math.MaxInt32},
+			lits: []int32{math.MinInt32, math.MinInt32 + 1, -1, 0, 1, 42, math.MaxInt32 - 1, math.MaxInt32},
+		},
+		{
+			name: "bitpack-int-10",
+			attr: schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.BitPack, Bits: 10},
+			vals: []int32{0, 1, 7, 512, 1022, 1023},
+			lits: []int32{-1, 0, 1, 512, 1022, 1023, 1024},
+		},
+		{
+			name: "bitpack-int-1",
+			attr: schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.BitPack, Bits: 1},
+			vals: []int32{0, 1, 1, 0},
+			lits: []int32{-1, 0, 1, 2},
+		},
+		{
+			name: "for-6",
+			attr: schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.FOR, Bits: 6},
+			vals: []int32{1000, 1001, 1031, 1062, 1063},
+			lits: []int32{999, 1000, 1001, 1031, 1062, 1063, 1064},
+		},
+		{
+			name: "for-negative-base",
+			attr: schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.FOR, Bits: 5},
+			vals: []int32{-50, -49, -30, -20, -19},
+			lits: []int32{-51, -50, -49, -30, -20, -19, -18},
+		},
+	}
+	for _, tc := range cases {
+		c, err := New(tc.attr, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		k := KernelFor(c)
+		if k == nil {
+			t.Fatalf("%s: no kernel", tc.name)
+		}
+		codes, base := encodeCodes(t, c, intsToBytes(tc.vals), 4, len(tc.vals))
+		for _, op := range allOps {
+			for _, lit := range tc.lits {
+				m, ok := k.Translate(op, lit, nil, base)
+				if !ok {
+					t.Fatalf("%s: op %d lit %d did not translate", tc.name, op, lit)
+				}
+				for i, v := range tc.vals {
+					want := evalRefInt(op, v, lit)
+					if got := m.Matches(codes[i]); got != want {
+						t.Errorf("%s: %d op%d %d = %v, want %v (code %#x match %+v)",
+							tc.name, v, op, lit, got, want, codes[i], m)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTranslateAllNoneQualify: literals outside the packed domain must
+// clip to all-match or none-match pages, in both polarities.
+func TestTranslateAllNoneQualify(t *testing.T) {
+	c, err := New(schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.BitPack, Bits: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := KernelFor(c)
+	vals := []int32{0, 3, 7, 12, 15}
+	codes, base := encodeCodes(t, c, intsToBytes(vals), 4, len(vals))
+	sel := make([]int32, len(vals))
+	check := func(op CmpOp, lit int32, want int) {
+		t.Helper()
+		m, ok := k.Translate(op, lit, nil, base)
+		if !ok {
+			t.Fatalf("op %d lit %d did not translate", op, lit)
+		}
+		if got := EvalPredicate(codes, len(vals), m, sel); got != want {
+			t.Errorf("op %d lit %d: %d qualify, want %d", op, lit, got, want)
+		}
+	}
+	check(CmpLt, 100, len(vals)) // everything below an out-of-domain literal
+	check(CmpGt, 100, 0)
+	check(CmpGe, -5, len(vals))
+	check(CmpLt, -5, 0)
+	check(CmpEq, 100, 0)
+	check(CmpNe, 100, len(vals))
+	check(CmpEq, 0, 1)  // min code still reachable
+	check(CmpEq, 15, 1) // max code still reachable
+}
+
+// TestTranslateText: equality is the only predicate that survives text
+// encodings, and literals that cannot be stored (absent from the
+// dictionary, non-space packed tail) become none-match — negated for <>.
+func TestTranslateText(t *testing.T) {
+	pad := func(s string, n int) []byte {
+		b := bytes.Repeat([]byte{' '}, n)
+		copy(b, s)
+		return b
+	}
+
+	t.Run("raw", func(t *testing.T) {
+		c, _ := New(schema.Attribute{Name: "A", Type: schema.TextType(5)}, nil)
+		k := KernelFor(c)
+		vals := append(append([]byte{}, pad("ab", 5)...), pad("cd", 5)...)
+		codes, base := encodeCodes(t, c, vals, 5, 2)
+		for _, op := range []CmpOp{CmpLt, CmpLe, CmpGe, CmpGt} {
+			if _, ok := k.Translate(op, 0, pad("ab", 5), base); ok {
+				t.Errorf("raw text translated order op %d; little-endian codes are not ordered", op)
+			}
+		}
+		m, ok := k.Translate(CmpEq, 0, pad("ab", 5), base)
+		if !ok || !m.Matches(codes[0]) || m.Matches(codes[1]) {
+			t.Errorf("raw text Eq: ok=%v m0=%v m1=%v", ok, m.Matches(codes[0]), m.Matches(codes[1]))
+		}
+		m, _ = k.Translate(CmpNe, 0, pad("ab", 5), base)
+		if m.Matches(codes[0]) || !m.Matches(codes[1]) {
+			t.Error("raw text Ne mismatch")
+		}
+	})
+
+	t.Run("bitpack", func(t *testing.T) {
+		c, _ := New(schema.Attribute{Name: "A", Type: schema.TextType(5), Enc: schema.BitPack, Bits: 24}, nil)
+		k := KernelFor(c)
+		vals := append(append([]byte{}, pad("abc", 5)...), pad("xy", 5)...)
+		codes, base := encodeCodes(t, c, vals, 5, 2)
+		m, ok := k.Translate(CmpEq, 0, pad("abc", 5), base)
+		if !ok || !m.Matches(codes[0]) || m.Matches(codes[1]) {
+			t.Errorf("bitpack text Eq: ok=%v", ok)
+		}
+		// A literal whose dropped tail is not all spaces equals no stored
+		// value: the encoder would have rejected it at load time.
+		m, ok = k.Translate(CmpEq, 0, []byte("abcde"), base)
+		if !ok || m.Matches(codes[0]) || m.Matches(codes[1]) {
+			t.Error("bitpack text Eq with non-space tail should match nothing")
+		}
+		m, ok = k.Translate(CmpNe, 0, []byte("abcde"), base)
+		if !ok || !m.Matches(codes[0]) || !m.Matches(codes[1]) {
+			t.Error("bitpack text Ne with non-space tail should match everything")
+		}
+		if _, ok := k.Translate(CmpLt, 0, pad("abc", 5), base); ok {
+			t.Error("bitpack text translated an order op")
+		}
+	})
+
+	t.Run("dict", func(t *testing.T) {
+		dict := NewDictionary(4)
+		dict.Add([]byte("AAAA"))
+		dict.Add([]byte("BBBB"))
+		c, _ := New(schema.Attribute{Name: "A", Type: schema.TextType(4), Enc: schema.Dict, Bits: 2}, dict)
+		k := KernelFor(c)
+		vals := []byte("BBBBAAAABBBB")
+		codes, base := encodeCodes(t, c, vals, 4, 3)
+		m, ok := k.Translate(CmpEq, 0, []byte("BBBB"), base)
+		if !ok || !m.Matches(codes[0]) || m.Matches(codes[1]) || !m.Matches(codes[2]) {
+			t.Error("dict Eq mismatch")
+		}
+		// Absent literal: Eq matches nothing, Ne matches everything.
+		m, ok = k.Translate(CmpEq, 0, []byte("ZZZZ"), base)
+		if !ok || m.Matches(codes[0]) || m.Matches(codes[1]) {
+			t.Error("dict Eq on absent literal should match nothing")
+		}
+		m, ok = k.Translate(CmpNe, 0, []byte("ZZZZ"), base)
+		if !ok || !m.Matches(codes[0]) || !m.Matches(codes[1]) {
+			t.Error("dict Ne on absent literal should match everything")
+		}
+		if _, ok := k.Translate(CmpLt, 0, []byte("AAAA"), base); ok {
+			t.Error("dict translated an order op; codes are insertion-ordered")
+		}
+	})
+}
+
+// TestMaterializeRoundTrip: materializing a selection from packed codes
+// must reproduce the raw values the page was encoded from.
+func TestMaterializeRoundTrip(t *testing.T) {
+	dict := NewDictionary(4)
+	for _, s := range []string{"AAAA", "BBBB", "CCCC"} {
+		dict.Add([]byte(s))
+	}
+	cases := []struct {
+		name string
+		attr schema.Attribute
+		dict *Dictionary
+		src  []byte
+		n    int
+	}{
+		{"raw-int", schema.Attribute{Name: "A", Type: schema.IntType}, nil, intsToBytes([]int32{-5, 0, 7, math.MaxInt32}), 4},
+		{"raw-text", schema.Attribute{Name: "A", Type: schema.TextType(3)}, nil, []byte("abcdefghi"), 3},
+		{"bitpack-int", schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.BitPack, Bits: 7}, nil, intsToBytes([]int32{0, 64, 127, 3}), 4},
+		{"bitpack-text", schema.Attribute{Name: "A", Type: schema.TextType(5), Enc: schema.BitPack, Bits: 16}, nil, []byte("ab   cd   ef   "), 3},
+		{"dict", schema.Attribute{Name: "A", Type: schema.TextType(4), Enc: schema.Dict, Bits: 4}, dict, []byte("CCCCAAAABBBB"), 3},
+		{"for", schema.Attribute{Name: "A", Type: schema.IntType, Enc: schema.FOR, Bits: 8}, nil, intsToBytes([]int32{-100, -50, 100, 0}), 4},
+	}
+	for _, tc := range cases {
+		c, err := New(tc.attr, tc.dict)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		k := KernelFor(c)
+		if k == nil {
+			t.Fatalf("%s: no kernel", tc.name)
+		}
+		size := tc.attr.Type.Size
+		codes, base := encodeCodes(t, c, tc.src, size, tc.n)
+		// Materialize every other value at a stride wider than the size,
+		// the layout a multi-column output block presents.
+		sel := []int32{}
+		for i := 0; i < tc.n; i += 2 {
+			sel = append(sel, int32(i))
+		}
+		stride := size + 3
+		dst := make([]byte, len(sel)*stride)
+		if err := k.Materialize(codes, sel, base, dst, stride); err != nil {
+			t.Fatalf("%s: Materialize: %v", tc.name, err)
+		}
+		for i, s := range sel {
+			want := tc.src[int(s)*size : (int(s)+1)*size]
+			got := dst[i*stride : i*stride+size]
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s: sel %d = %q, want %q", tc.name, s, got, want)
+			}
+		}
+	}
+}
+
+// TestEvalPredicateRefineSel: the selection kernels must agree with
+// Matches element-wise, and RefineSel must behave as a conjunction over
+// an existing selection.
+func TestEvalPredicateRefineSel(t *testing.T) {
+	codes := []uint64{5, 1, 9, 3, 7, 2, 8, 0}
+	sel := make([]int32, len(codes))
+	m1 := CodeMatch{Lo: 2, Hi: 8}
+	n1 := EvalPredicate(codes, len(codes), m1, sel)
+	want := []int32{0, 3, 4, 5, 6}
+	if n1 != len(want) {
+		t.Fatalf("EvalPredicate = %d, want %d", n1, len(want))
+	}
+	for i, w := range want {
+		if sel[i] != w {
+			t.Fatalf("sel[%d] = %d, want %d", i, sel[i], w)
+		}
+	}
+	m2 := CodeMatch{Lo: 3, Hi: 7, Negate: true} // keep codes outside [3,7]
+	n2 := RefineSel(codes, m2, sel[:n1])
+	want2 := []int32{5, 6} // codes 2 and 8
+	if n2 != len(want2) {
+		t.Fatalf("RefineSel = %d, want %d", n2, len(want2))
+	}
+	for i, w := range want2 {
+		if sel[i] != w {
+			t.Fatalf("refined sel[%d] = %d, want %d", i, sel[i], w)
+		}
+	}
+
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	expectPanic("n too large", func() { EvalPredicate(codes, len(codes)+1, m1, sel) })
+	expectPanic("sel too small", func() { EvalPredicate(codes, len(codes), m1, sel[:2]) })
+}
+
+// TestMatchAllNone pins the sentinel intervals' semantics, including
+// that Lo > Hi is the empty interval at any Xor.
+func TestMatchAllNone(t *testing.T) {
+	for _, code := range []uint64{0, 1, 1 << 31, ^uint64(0)} {
+		if !MatchAll().Matches(code) {
+			t.Errorf("MatchAll rejected %#x", code)
+		}
+		if MatchNone().Matches(code) {
+			t.Errorf("MatchNone accepted %#x", code)
+		}
+		neg := MatchNone()
+		neg.Negate = true
+		if !neg.Matches(code) {
+			t.Errorf("negated MatchNone rejected %#x", code)
+		}
+	}
+}

@@ -91,6 +91,22 @@ func (b *Block) Alloc() []byte {
 	return t
 }
 
+// AllocN marks n tuple slots used and returns their raw backing bytes,
+// letting vectorized producers fill a whole run of tuples in one pass
+// instead of calling Alloc per row. It panics when fewer than n slots
+// remain; callers size their take against Cap() - Len().
+//
+//readopt:hotpath
+func (b *Block) AllocN(n int) []byte {
+	if n < 0 || b.n+n > b.Cap() {
+		panic("exec: AllocN beyond block capacity")
+	}
+	assertBlockLen(b)
+	t := b.data[b.n*b.width : (b.n+n)*b.width]
+	b.n += n
+	return t
+}
+
 // CopyFrom replaces the block's contents with a copy of src's tuples.
 // It panics when src holds more tuples than the block's capacity;
 // callers size transfer blocks to their producers' block size. The

@@ -49,6 +49,32 @@ type exchQueue struct {
 	free chan *Block
 }
 
+// transferPool recycles transfer-block buffers across exchanges — and
+// therefore across queries: a parallel plan's Open no longer allocates
+// children × (depth+1) block buffers per execution. Only the backing
+// byte slices are pooled; the small Block headers are rebuilt around
+// them, so a pooled buffer can serve any schema whose blocks fit it.
+var transferPool = sync.Pool{}
+
+// newTransferBlock builds a transfer block, reusing a pooled buffer
+// when one is large enough.
+func newTransferBlock(sch *schema.Schema, capacity int) *Block {
+	need := capacity * sch.Width()
+	if p, ok := transferPool.Get().(*[]byte); ok && cap(*p) >= need {
+		return &Block{sch: sch, width: sch.Width(), data: (*p)[:need]}
+	}
+	return NewBlock(sch, capacity)
+}
+
+// recycleTransferBlock returns a transfer block's buffer to the pool.
+func recycleTransferBlock(b *Block) {
+	if b == nil {
+		return
+	}
+	d := b.data
+	transferPool.Put(&d)
+}
+
 // NewExchange builds an exchange over children. blockCap is the
 // transfer-block capacity in tuples (it must cover the children's block
 // size; 0 means DefaultBlockTuples) and depth is the per-child queue
@@ -91,7 +117,7 @@ func (e *Exchange) Open() error {
 			free: make(chan *Block, e.depth+1),
 		}
 		for b := 0; b < e.depth+1; b++ {
-			e.queues[i].free <- NewBlock(e.sch, e.blockCap)
+			e.queues[i].free <- newTransferBlock(e.sch, e.blockCap)
 		}
 	}
 	e.opened = true
@@ -205,6 +231,25 @@ func (e *Exchange) Close() error {
 	}
 	e.wg.Wait()
 	e.opened = false
+	// Every producer has returned and closed its out channel, so all
+	// transfer blocks are parked in the queues (or in pending) — return
+	// their buffers to the pool for the next exchange.
+	recycleTransferBlock(e.pending)
+	e.pending = nil
+	for i := range e.queues {
+		for it := range e.queues[i].out {
+			recycleTransferBlock(it.blk)
+		}
+	drain:
+		for {
+			select {
+			case b := <-e.queues[i].free:
+				recycleTransferBlock(b)
+			default:
+				break drain
+			}
+		}
+	}
 	var first error
 	for _, err := range e.closeErrs {
 		if err != nil && first == nil {

@@ -138,6 +138,30 @@ func (r *ColReader) base(pg []byte) int32 {
 	return 0
 }
 
+// Base returns the page base value, or zero when the encoding has none —
+// the input the operate-on-compressed kernel needs to translate
+// predicates into a page's code space.
+func (r *ColReader) Base(pg []byte) int32 { return r.base(pg) }
+
+// Kernel returns the codec's operate-on-compressed kernel, or nil when
+// the encoding cannot evaluate predicates on packed codes.
+func (r *ColReader) Kernel() compress.Kernel { return compress.KernelFor(r.codec) }
+
+// DecodeRange decodes values [start, start+n) of a page into dst at the
+// attribute-size stride using the codec's batch decoder; it reports
+// ok=false when the codec only decodes sequentially from the page start
+// (FOR-delta), in which case the caller uses Decode.
+func (r *ColReader) DecodeRange(pg []byte, start, n int, dst []byte) (bool, error) {
+	bd, ok := r.codec.(compress.BlockDecoder)
+	if !ok {
+		return false, nil
+	}
+	if err := bd.DecodeBlock(r.geo.Data(pg), start, n, r.base(pg), dst, r.attr.Type.Size); err != nil {
+		return true, fmt.Errorf("page: column %s: %w", r.attr.Name, err)
+	}
+	return true, nil
+}
+
 // Decode unpacks all values of a page into dst (attribute-size stride)
 // and returns the value count.
 func (r *ColReader) Decode(pg, dst []byte) (int, error) {
@@ -148,6 +172,14 @@ func (r *ColReader) Decode(pg, dst []byte) (int, error) {
 	size := r.attr.Type.Size
 	if len(dst) < n*size {
 		return 0, fmt.Errorf("page: Decode destination too small: %d bytes for %d values", len(dst), n)
+	}
+	// Batch-capable codecs skip the sequential bit reader for the
+	// word-at-a-time kernel; FOR-delta must chain through every code.
+	if bd, ok := r.codec.(compress.BlockDecoder); ok {
+		if err := bd.DecodeBlock(r.geo.Data(pg), 0, n, r.base(pg), dst, size); err != nil {
+			return 0, fmt.Errorf("page: column %s: %w", r.attr.Name, err)
+		}
+		return n, nil
 	}
 	if err := r.codec.DecodePage(bitio.NewReader(r.geo.Data(pg)), dst, size, n, r.base(pg)); err != nil {
 		return 0, fmt.Errorf("page: column %s: %w", r.attr.Name, err)

@@ -5,17 +5,42 @@ import (
 	"github.com/readoptdb/readopt/internal/store"
 )
 
+// morselBytes is the decoded-bytes floor of one partition, sized to a
+// per-core L2 cache (256KB). Partitioning used to split by row count
+// alone, so a dop-8 query over a small table spawned eight workers whose
+// morsels each fit in a fraction of one L2 — all exchange and goroutine
+// overhead, no locality or bandwidth win. Sizing by the bytes a worker
+// actually decodes (touched columns only, not the table's full width)
+// caps the partition count so every worker gets at least an L2's worth
+// of work.
+const morselBytes = 256 << 10
+
 // PartitionBounds splits [0, total) into ascending row boundaries for a
 // partitioned scan: at most dop ranges, every range non-empty, aligned
 // so single-file layouts split at page boundaries (column layouts align
 // per column inside the range scanners, so their bounds are row-exact).
+// rowBytes is the decoded width of the rows the query touches; the
+// partition count is capped so each range covers at least morselBytes of
+// decoded data, but a dop > 1 request on a splittable table always gets
+// at least two ranges, so parallel I/O/decode overlap survives on
+// modest tables.
 //
 // Degenerate inputs degrade to serial instead of to empty workers: a
 // zero-row table, dop <= 1, or a table smaller than two aligned
 // partitions all return nil, which callers treat as "run serial".
-func PartitionBounds(tbl *store.Table, total int64, dop int) []int64 {
+func PartitionBounds(tbl *store.Table, total int64, dop int, rowBytes int) []int64 {
 	if total <= 0 || dop <= 1 {
 		return nil
+	}
+	if rowBytes < 1 {
+		rowBytes = 1
+	}
+	maxParts := total * int64(rowBytes) / morselBytes
+	if maxParts < 2 {
+		maxParts = 2
+	}
+	if int64(dop) > maxParts {
+		dop = int(maxParts)
 	}
 	align := int64(1)
 	if tbl.Layout == store.Row || tbl.Layout == store.PAX {

@@ -17,10 +17,11 @@ func boundsTable(layout store.Layout) *store.Table {
 }
 
 // TestPartitionBoundsProperty: over a grid of degenerate and ordinary
-// (total, dop) inputs, PartitionBounds either degrades to serial (nil)
-// or returns bounds that start at 0, end at total, strictly increase
-// (no empty range), split at page-aligned interior points for
-// single-file layouts, and never exceed dop ranges.
+// (total, dop, rowBytes) inputs, PartitionBounds either degrades to
+// serial (nil) or returns bounds that start at 0, end at total, strictly
+// increase (no empty range), split at page-aligned interior points for
+// single-file layouts, never exceed dop ranges, and never exceed the
+// morsel cap max(2, total*rowBytes/morselBytes) ranges.
 func TestPartitionBoundsProperty(t *testing.T) {
 	for _, layout := range []store.Layout{store.Row, store.Column, store.PAX} {
 		tbl := boundsTable(layout)
@@ -32,38 +33,84 @@ func TestPartitionBoundsProperty(t *testing.T) {
 			}
 		}
 		totals := []int64{-5, 0, 1, 2, align - 1, align, align + 1,
-			3*align - 1, 1000, 4321, 100_000}
+			3*align - 1, 1000, 4321, 100_000, 5_000_000}
 		dops := []int{-1, 0, 1, 2, 3, 5, 8, 33, 1 << 20}
+		rowBytes := []int{-3, 0, 1, 4, 30, 120, 4096}
 		for _, total := range totals {
 			for _, dop := range dops {
-				bounds := PartitionBounds(tbl, total, dop)
-				if total <= 0 || dop <= 1 {
-					if bounds != nil {
-						t.Fatalf("%s total=%d dop=%d: degenerate input got bounds %v", layout, total, dop, bounds)
+				for _, rb := range rowBytes {
+					bounds := PartitionBounds(tbl, total, dop, rb)
+					if total <= 0 || dop <= 1 {
+						if bounds != nil {
+							t.Fatalf("%s total=%d dop=%d rb=%d: degenerate input got bounds %v", layout, total, dop, rb, bounds)
+						}
+						continue
 					}
-					continue
-				}
-				if bounds == nil {
-					continue // one range: serial execution
-				}
-				if len(bounds) < 3 {
-					t.Fatalf("%s total=%d dop=%d: non-nil bounds with %d entries", layout, total, dop, len(bounds))
-				}
-				if bounds[0] != 0 || bounds[len(bounds)-1] != total {
-					t.Fatalf("%s total=%d dop=%d: bounds %v do not cover [0, total)", layout, total, dop, bounds)
-				}
-				if got := len(bounds) - 1; got > dop {
-					t.Fatalf("%s total=%d dop=%d: %d ranges exceed dop", layout, total, dop, got)
-				}
-				for i := 1; i < len(bounds); i++ {
-					if bounds[i] <= bounds[i-1] {
-						t.Fatalf("%s total=%d dop=%d: empty or descending range in %v", layout, total, dop, bounds)
+					if bounds == nil {
+						continue // one range: serial execution
 					}
-					if i < len(bounds)-1 && bounds[i]%align != 0 {
-						t.Fatalf("%s total=%d dop=%d: interior bound %d not aligned to %d", layout, total, dop, bounds[i], align)
+					if len(bounds) < 3 {
+						t.Fatalf("%s total=%d dop=%d rb=%d: non-nil bounds with %d entries", layout, total, dop, rb, len(bounds))
+					}
+					if bounds[0] != 0 || bounds[len(bounds)-1] != total {
+						t.Fatalf("%s total=%d dop=%d rb=%d: bounds %v do not cover [0, total)", layout, total, dop, rb, bounds)
+					}
+					if got := len(bounds) - 1; got > dop {
+						t.Fatalf("%s total=%d dop=%d rb=%d: %d ranges exceed dop", layout, total, dop, rb, got)
+					}
+					erb := int64(rb)
+					if erb < 1 {
+						erb = 1
+					}
+					cap := total * erb / morselBytes
+					if cap < 2 {
+						cap = 2
+					}
+					if got := int64(len(bounds) - 1); got > cap {
+						t.Fatalf("%s total=%d dop=%d rb=%d: %d ranges exceed morsel cap %d", layout, total, dop, rb, got, cap)
+					}
+					for i := 1; i < len(bounds); i++ {
+						if bounds[i] <= bounds[i-1] {
+							t.Fatalf("%s total=%d dop=%d rb=%d: empty or descending range in %v", layout, total, dop, rb, bounds)
+						}
+						if i < len(bounds)-1 && bounds[i]%align != 0 {
+							t.Fatalf("%s total=%d dop=%d rb=%d: interior bound %d not aligned to %d", layout, total, dop, rb, bounds[i], align)
+						}
 					}
 				}
 			}
+		}
+	}
+}
+
+// TestPartitionBoundsMorselSizing pins the L2 morsel cap's intent: a
+// small table at high requested dop serializes down to two ranges (not
+// dop empty-handed workers), while a table with morselBytes*dop of
+// decoded data still splits dop ways. Interior bounds stay page-aligned
+// for single-file layouts in both regimes.
+func TestPartitionBoundsMorselSizing(t *testing.T) {
+	tbl := boundsTable(store.Column)
+	// 4000 rows * 4 touched bytes = 16KB decoded — far under one morsel,
+	// but dop > 1 must still yield two ranges for I/O/decode overlap.
+	small := PartitionBounds(tbl, 4000, 8, 4)
+	if got := len(small) - 1; got != 2 {
+		t.Fatalf("small table at dop 8: want 2 ranges, got %d (%v)", got, small)
+	}
+	// 1M rows * 30 bytes = ~30MB decoded — over 8 morsels, full dop.
+	big := PartitionBounds(tbl, 1_000_000, 8, 30)
+	if got := len(big) - 1; got != 8 {
+		t.Fatalf("big table at dop 8: want 8 ranges, got %d (%v)", got, big)
+	}
+
+	row := boundsTable(store.Row)
+	align := int64(page.RowGeometry(row.Schema, row.PageSize).Capacity())
+	bounds := PartitionBounds(row, 1_000_000, 8, row.Schema.Width())
+	if len(bounds) < 3 {
+		t.Fatalf("row table: want parallel bounds, got %v", bounds)
+	}
+	for i := 1; i < len(bounds)-1; i++ {
+		if bounds[i]%align != 0 {
+			t.Fatalf("row table: interior bound %d not page-aligned to %d", bounds[i], align)
 		}
 	}
 }

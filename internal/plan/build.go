@@ -137,7 +137,14 @@ func (p *Plan) parallelOperator(o ExecOpts, stageName string, n int) (exec.Opera
 		}
 	}
 
-	workerCtrs := make([]cpumodel.Counters, n)
+	// Each worker's counter pool is heap-allocated individually: a shared
+	// []Counters slice put every worker's hottest write targets on the
+	// same cache lines, and the resulting false sharing serialized the
+	// scan loops the morsels were supposed to parallelize.
+	workerCtrs := make([]*cpumodel.Counters, n)
+	for i := range workerCtrs {
+		workerCtrs[i] = new(cpumodel.Counters)
+	}
 	workerScan := make([]*trace.Stage, n)
 	workerAgg := make([]*trace.Stage, n)
 	children := make([]exec.Operator, n)
@@ -149,7 +156,7 @@ func (p *Plan) parallelOperator(o ExecOpts, stageName string, n int) (exec.Opera
 		}
 	}
 	for i := 0; i < n; i++ {
-		ctr := &workerCtrs[i]
+		ctr := workerCtrs[i]
 		if traced {
 			workerScan[i] = o.Trace.WorkerStage(stageName, fmt.Sprintf("worker %d", i))
 			ctr = &workerScan[i].Counters
@@ -187,7 +194,7 @@ func (p *Plan) parallelOperator(o ExecOpts, stageName string, n int) (exec.Opera
 	// The write path's overlay chains join the exchange as extra
 	// producers after the scan partitions: fixed child order keeps the
 	// result identical to the serial plan's scan-then-delta concat.
-	var deltaCtrs []cpumodel.Counters
+	var deltaCtrs []*cpumodel.Counters
 	var deltaScan, deltaAgg []*trace.Stage
 	var deltaStage *trace.Stage
 	if o.Delta != nil {
@@ -200,11 +207,14 @@ func (p *Plan) parallelOperator(o ExecOpts, stageName string, n int) (exec.Opera
 			deltaStage = o.Trace.NewStage("delta", deltaDetail(o))
 			deltaStage.RowsIn = o.Delta.DeltaRows()
 		}
-		deltaCtrs = make([]cpumodel.Counters, len(chains))
+		deltaCtrs = make([]*cpumodel.Counters, len(chains))
+		for j := range deltaCtrs {
+			deltaCtrs[j] = new(cpumodel.Counters)
+		}
 		deltaScan = make([]*trace.Stage, len(chains))
 		deltaAgg = make([]*trace.Stage, len(chains))
 		for j, chain := range chains {
-			ctr := &deltaCtrs[j]
+			ctr := deltaCtrs[j]
 			if traced {
 				deltaScan[j] = o.Trace.WorkerStage("delta", fmt.Sprintf("overlay %d", j))
 				ctr = &deltaScan[j].Counters
@@ -252,7 +262,7 @@ func (p *Plan) parallelOperator(o ExecOpts, stageName string, n int) (exec.Opera
 					partialStage.Absorb(workerAgg[i])
 				}
 			} else {
-				o.Counters.Add(workerCtrs[i])
+				o.Counters.Add(*workerCtrs[i])
 			}
 		}
 		for j := range deltaCtrs {
@@ -262,7 +272,7 @@ func (p *Plan) parallelOperator(o ExecOpts, stageName string, n int) (exec.Opera
 					partialStage.Absorb(deltaAgg[j])
 				}
 			} else {
-				o.Counters.Add(deltaCtrs[j])
+				o.Counters.Add(*deltaCtrs[j])
 			}
 		}
 	}

@@ -55,8 +55,36 @@ type Spec struct {
 	Limit   int64
 	// Dop is the requested degree of parallelism (<= 1 means serial).
 	// The compiled plan may run at a lower effective dop when the table
-	// has fewer page-aligned partitions than workers.
+	// has fewer page-aligned partitions than workers, or when the query
+	// touches too few decoded bytes to fill that many L2-sized morsels.
 	Dop int
+	// Scalar disables the column scanners' vectorized
+	// operate-on-compressed kernels and runs the classic value-at-a-time
+	// path — the differential suites' reference, and an escape hatch.
+	Scalar bool
+}
+
+// scanRowBytes returns the decoded bytes per row the query touches: the
+// full tuple width for single-file layouts (their pages carry every
+// attribute), the touched columns' widths for column layout.
+func (s Spec) scanRowBytes(tbl *store.Table) int {
+	if tbl.Layout == store.Row || tbl.Layout == store.PAX {
+		return tbl.Schema.Width()
+	}
+	need := map[int]bool{}
+	for _, p := range s.Preds {
+		need[p.Attr] = true
+	}
+	for _, a := range s.Proj {
+		need[a] = true
+	}
+	w := 0
+	for a := range need {
+		if a >= 0 && a < tbl.Schema.NumAttrs() {
+			w += tbl.Schema.Attrs[a].Type.Size
+		}
+	}
+	return w
 }
 
 // Plan is a compiled physical plan, ready to instantiate operators.
@@ -158,7 +186,7 @@ func Compile(tbl *store.Table, spec Spec) (*Plan, error) {
 		scanSchema: scanSchema,
 		outSchema:  out,
 		keys:       keys,
-		bounds:     PartitionBounds(tbl, tbl.Tuples, spec.Dop),
+		bounds:     PartitionBounds(tbl, tbl.Tuples, spec.Dop, spec.scanRowBytes(tbl)),
 	}, nil
 }
 

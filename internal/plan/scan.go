@@ -178,6 +178,7 @@ func (p *Plan) buildScan(ctx context.Context, counters *cpumodel.Counters, tr *t
 		Proj:      p.spec.Proj,
 		Counters:  counters,
 		Integrity: integ,
+		Scalar:    p.spec.Scalar,
 	}
 	if ranged {
 		cfg.StartRow = startRow

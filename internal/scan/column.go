@@ -47,6 +47,10 @@ type ColConfig struct {
 	// verify its pages' CRCs against the store sidecar; nil or missing
 	// entries disable checking for that column.
 	Integrity map[int]*Integrity
+	// Scalar disables the vectorized operate-on-compressed drive and
+	// runs the classic value-at-a-time pipeline — the reference path the
+	// kernel differential suite compares against, and an escape hatch.
+	Scalar bool
 }
 
 func (cfg *ColConfig) fill() {
@@ -172,6 +176,7 @@ type ColScanner struct {
 	positions []int64
 	opened    bool
 	eof       bool
+	vecLast   bool // vectorized drive: current page is the range's last
 	valBuf    []byte
 }
 
@@ -196,14 +201,18 @@ func NewColScanner(cfg ColConfig) (*ColScanner, error) {
 			maxSize = n.size
 		}
 	}
-	return &ColScanner{
+	c := &ColScanner{
 		cfg:       cfg,
 		out:       out,
 		nodes:     nodes,
 		block:     exec.NewBlock(out, cfg.BlockTuples),
 		positions: make([]int64, 0, cfg.BlockTuples),
 		valBuf:    make([]byte, maxSize),
-	}, nil
+	}
+	if !cfg.Scalar {
+		c.initVector()
+	}
+	return c, nil
 }
 
 // Schema implements exec.Operator.
@@ -328,7 +337,13 @@ func (c *ColScanner) Next() (*exec.Block, error) {
 		}
 		c.block.Reset()
 		c.positions = c.positions[:0]
-		if err := c.driveDeepest(); err != nil {
+		var err error
+		if c.cfg.Scalar {
+			err = c.driveDeepest()
+		} else {
+			err = c.driveDeepestVec()
+		}
+		if err != nil {
 			return nil, err
 		}
 		for _, n := range c.nodes[1:] {

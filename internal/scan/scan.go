@@ -94,6 +94,19 @@ type colCursor struct {
 	decodedValid bool
 	touched      int64 // values touched in the current page
 	fullCharge   bool  // page already charged as fully streamed
+
+	// Vectorized drive state, allocated only for the deepest node of a
+	// vectorized column scan: the packed codes of the current page's
+	// in-range rows, the selection vector of qualifying rows, and the
+	// per-page predicate translations.
+	kern     compress.Kernel
+	codes    []uint64
+	sel      []int32
+	selOff   int  // next selection entry to consume
+	selN     int  // selection length for the current page
+	vecLo    int  // page row index codes[0] / selection index 0 refer to
+	vecCodes bool // current page prepared as packed codes (else decoded)
+	matches  []compress.CodeMatch
 }
 
 func newColCursor(s *schema.Schema, attrIdx, pageSize int, dict *compress.Dictionary,

@@ -326,6 +326,11 @@ type ExecOptions struct {
 	Dop int
 	// Trace enables per-stage tracing (see QueryTraced).
 	Trace bool
+	// Scalar disables the column scanners' vectorized
+	// operate-on-compressed kernels and runs the classic value-at-a-time
+	// path. Results are byte-identical either way; the flag exists for
+	// differential testing and benchmarking the kernels' effect.
+	Scalar bool
 }
 
 // QueryExec executes q with explicit execution options and returns a
@@ -339,6 +344,7 @@ func (t *Table) QueryExec(q Query, opts ExecOptions) (*Rows, error) {
 	if err != nil {
 		return nil, err
 	}
+	spec.Scalar = opts.Scalar
 	tbl, delta, release := t.pin()
 	p, err := plan.Compile(tbl, spec)
 	if err != nil {
