@@ -60,8 +60,14 @@ var transferPool = sync.Pool{}
 // when one is large enough.
 func newTransferBlock(sch *schema.Schema, capacity int) *Block {
 	need := capacity * sch.Width()
-	if p, ok := transferPool.Get().(*[]byte); ok && cap(*p) >= need {
-		return &Block{sch: sch, width: sch.Width(), data: (*p)[:need]}
+	if p, ok := transferPool.Get().(*[]byte); ok {
+		if cap(*p) >= need {
+			return &Block{sch: sch, width: sch.Width(), data: (*p)[:need]}
+		}
+		// Undersized for this schema: put it back for a narrower exchange
+		// rather than dropping it — a drop would silently drain the pool
+		// under mixed-width workloads.
+		transferPool.Put(p)
 	}
 	return NewBlock(sch, capacity)
 }

@@ -87,6 +87,11 @@ func Analyzers() []*Analyzer {
 		TracePool,
 		FaultCmp,
 		RunCRC,
+		EpochPin,
+		CloseLeak,
+		CtxLoop,
+		PoolPair,
+		SelBounds,
 	}
 }
 

@@ -1,0 +1,553 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// This file is the flow-sensitive half of the suite's engine: a
+// per-function control-flow graph over go/ast, consumed by the generic
+// dataflow solver in dataflow.go. The graph is deliberately small —
+// blocks of statements in source order, edges for every construct that
+// branches (if/for/range/switch/select/labeled break/continue/goto),
+// return and panic edges into a single exit block, and a side list of
+// defer statements, which the solver treats as executing at the defer's
+// program point (a defer guarantees its call on every path that passes
+// it, which is exactly the fact a release-on-all-paths analysis needs).
+//
+// Branch edges carry their controlling condition and the sense in which
+// it was taken, so the solver can refine facts on, say, the `err != nil`
+// arm of an acquire — the difference between flagging every
+// `r, err := Open(...)` and flagging only the paths where r is live.
+
+// CFG is one function body's control-flow graph.
+type CFG struct {
+	// Entry is the first block executed; Exit is the single synthetic
+	// block every return, panic and fall-off-the-end edge reaches.
+	Entry *CFGBlock
+	Exit  *CFGBlock
+	// Blocks lists every block in creation order (Entry first, Exit
+	// last); CFGBlock.Index is the position in this slice.
+	Blocks []*CFGBlock
+	// Defers lists the function's defer statements in registration
+	// order; they run in reverse at exit.
+	Defers []*ast.DeferStmt
+	// Loops maps each for/range statement to its blocks.
+	Loops map[ast.Stmt]*CFGLoop
+}
+
+// CFGLoop is the block structure of one for or range statement.
+type CFGLoop struct {
+	// Head is the block holding the loop condition (or the range
+	// statement); every iteration passes through it.
+	Head *CFGBlock
+	// Body is the first block of the loop body.
+	Body *CFGBlock
+	// Join is the block control reaches after the loop exits normally
+	// or via break.
+	Join *CFGBlock
+}
+
+// CFGBlock is a straight-line run of statements with no internal
+// control flow.
+type CFGBlock struct {
+	Index int
+	// Kind is a short structural tag ("entry", "if.then", "for.head",
+	// ...) used by the CFG unit tests and debug dumps.
+	Kind string
+	// Nodes holds the block's statements and branch conditions in
+	// execution order. Conditions appear as bare ast.Expr nodes at the
+	// end of the block that branches on them.
+	Nodes []ast.Node
+	// Succs are the outgoing edges in a deterministic order (true
+	// branch before false branch, cases in source order).
+	Succs []CFGEdge
+	// Panics marks a block that ends in panic / os.Exit / log.Fatal —
+	// control leaves through the exit block but the path is abnormal,
+	// and leak analyses forgive it.
+	Panics bool
+
+	terminated bool
+}
+
+// CFGEdge is one control transfer. Cond is nil for unconditional edges;
+// otherwise the edge is taken when Cond evaluates to Sense.
+type CFGEdge struct {
+	To    *CFGBlock
+	Cond  ast.Expr
+	Sense bool
+}
+
+// cfgBuilder carries the traversal state while lowering a body.
+type cfgBuilder struct {
+	cfg  *CFG
+	info *types.Info
+	cur  *CFGBlock
+	// frames is the stack of enclosing breakable/continuable constructs.
+	frames []ctrlFrame
+	// labels maps label names to their blocks for goto resolution;
+	// gotos that jump forward are resolved at the end.
+	labels map[string]*CFGBlock
+	gotos  []pendingGoto
+	// fallTarget is the next case block during switch lowering.
+	fallTarget *CFGBlock
+	// pendingLabel names the label attached to the next loop/switch.
+	pendingLabel string
+}
+
+type ctrlFrame struct {
+	label      string
+	isLoop     bool
+	breakTo    *CFGBlock
+	continueTo *CFGBlock
+}
+
+type pendingGoto struct {
+	from  *CFGBlock
+	label string
+}
+
+// buildCFG lowers one function body. info may be nil (panic detection
+// then falls back to matching the identifier "panic").
+func buildCFG(body *ast.BlockStmt, info *types.Info) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{Loops: map[ast.Stmt]*CFGLoop{}},
+		info:   info,
+		labels: map[string]*CFGBlock{},
+	}
+	entry := b.newBlock("entry")
+	exit := &CFGBlock{Kind: "exit"}
+	b.cfg.Entry, b.cfg.Exit = entry, exit
+	b.cur = entry
+	b.stmt(body)
+	b.jump(b.cur, exit) // fall off the end: implicit return
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			g.from.terminated = false
+			b.jump(g.from, target)
+			g.from.terminated = true
+		}
+	}
+	exit.Index = len(b.cfg.Blocks)
+	b.cfg.Blocks = append(b.cfg.Blocks, exit)
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock(kind string) *CFGBlock {
+	blk := &CFGBlock{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// jump adds an unconditional edge unless from already terminated.
+func (b *cfgBuilder) jump(from, to *CFGBlock) {
+	if from.terminated {
+		return
+	}
+	from.Succs = append(from.Succs, CFGEdge{To: to})
+}
+
+// branch adds a conditional edge.
+func (b *cfgBuilder) branch(from, to *CFGBlock, cond ast.Expr, sense bool) {
+	if from.terminated {
+		return
+	}
+	from.Succs = append(from.Succs, CFGEdge{To: to, Cond: cond, Sense: sense})
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	b.cur.Nodes = append(b.cur.Nodes, n)
+}
+
+// takeLabel consumes the label a LabeledStmt attached to the construct
+// being lowered.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+// findFrame locates the break/continue target: the innermost matching
+// frame, or the named one.
+func (b *cfgBuilder) findFrame(label string, needLoop bool) *ctrlFrame {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := &b.frames[i]
+		if needLoop && !f.isLoop {
+			continue
+		}
+		if label == "" || f.label == label {
+			return f
+		}
+	}
+	return nil
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			b.stmt(st)
+		}
+	case *ast.LabeledStmt:
+		// The label is both a goto target and, for loops/switches, the
+		// name labeled break/continue resolve against.
+		target := b.newBlock("label." + s.Label.Name)
+		b.jump(b.cur, target)
+		b.cur = target
+		b.labels[s.Label.Name] = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body, b.takeLabel())
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body, b.takeLabel())
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cur, b.cfg.Exit)
+		b.cur.terminated = true
+		b.cur = b.newBlock("dead")
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if b.isTerminalCall(s.X) {
+			b.cur.Panics = true
+			b.jump(b.cur, b.cfg.Exit)
+			b.cur.terminated = true
+			b.cur = b.newBlock("dead")
+		}
+	default:
+		// Assignments, declarations, sends, go statements, inc/dec,
+		// empty statements: straight-line nodes.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.cur
+	then := b.newBlock("if.then")
+	b.branch(cond, then, s.Cond, true)
+	b.cur = then
+	b.stmt(s.Body)
+	thenEnd := b.cur
+	var elseEnd *CFGBlock
+	if s.Else != nil {
+		els := b.newBlock("if.else")
+		b.branch(cond, els, s.Cond, false)
+		b.cur = els
+		b.stmt(s.Else)
+		elseEnd = b.cur
+	}
+	join := b.newBlock("if.join")
+	b.jump(thenEnd, join)
+	if elseEnd != nil {
+		b.jump(elseEnd, join)
+	} else {
+		b.branch(cond, join, s.Cond, false)
+	}
+	b.cur = join
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	if s.Init != nil {
+		b.add(s.Init)
+	}
+	head := b.newBlock("for.head")
+	b.jump(b.cur, head)
+	if s.Cond != nil {
+		head.Nodes = append(head.Nodes, s.Cond)
+	}
+	body := b.newBlock("for.body")
+	join := b.newBlock("for.join")
+	if s.Cond != nil {
+		b.branch(head, body, s.Cond, true)
+		b.branch(head, join, s.Cond, false)
+	} else {
+		b.jump(head, body) // for {}: join reachable only via break
+	}
+	continueTo := head
+	var post *CFGBlock
+	if s.Post != nil {
+		post = b.newBlock("for.post")
+		post.Nodes = append(post.Nodes, s.Post)
+		b.jump(post, head)
+		continueTo = post
+	}
+	b.cfg.Loops[s] = &CFGLoop{Head: head, Body: body, Join: join}
+	b.frames = append(b.frames, ctrlFrame{label: label, isLoop: true, breakTo: join, continueTo: continueTo})
+	b.cur = body
+	b.stmt(s.Body)
+	b.jump(b.cur, continueTo)
+	b.cur.terminated = true
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock("range.head")
+	b.jump(b.cur, head)
+	head.Nodes = append(head.Nodes, s)
+	body := b.newBlock("range.body")
+	join := b.newBlock("range.join")
+	b.branch(head, body, nil, true)
+	b.branch(head, join, nil, false)
+	b.cfg.Loops[s] = &CFGLoop{Head: head, Body: body, Join: join}
+	b.frames = append(b.frames, ctrlFrame{label: label, isLoop: true, breakTo: join, continueTo: head})
+	b.cur = body
+	b.stmt(s.Body)
+	b.jump(b.cur, head)
+	b.cur.terminated = true
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}
+
+// switchBody lowers the clause list shared by switch and type switch.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt, label string) {
+	src := b.cur
+	src.terminated = true // control continues only through the cases
+	join := b.newBlock("switch.join")
+	b.frames = append(b.frames, ctrlFrame{label: label, breakTo: join})
+	var caseBlocks []*CFGBlock
+	hasDefault := false
+	for _, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		kind := "case"
+		if cc.List == nil {
+			kind = "default"
+			hasDefault = true
+		}
+		blk := b.newBlock(kind)
+		for _, e := range cc.List {
+			blk.Nodes = append(blk.Nodes, e)
+		}
+		src.terminated = false
+		b.jump(src, blk)
+		src.terminated = true
+		caseBlocks = append(caseBlocks, blk)
+	}
+	if !hasDefault || len(caseBlocks) == 0 {
+		src.terminated = false
+		b.jump(src, join)
+		src.terminated = true
+	}
+	for i, c := range body.List {
+		cc := c.(*ast.CaseClause)
+		b.cur = caseBlocks[i]
+		savedFall := b.fallTarget
+		if i+1 < len(caseBlocks) {
+			b.fallTarget = caseBlocks[i+1]
+		} else {
+			b.fallTarget = join
+		}
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.fallTarget = savedFall
+		b.jump(b.cur, join)
+		b.cur.terminated = true
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	src := b.cur
+	join := b.newBlock("select.join")
+	b.frames = append(b.frames, ctrlFrame{label: label, breakTo: join})
+	if len(s.Body.List) == 0 {
+		// select {} blocks forever.
+		src.terminated = true
+		b.frames = b.frames[:len(b.frames)-1]
+		b.cur = join
+		return
+	}
+	var blocks []*CFGBlock
+	for _, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		kind := "select.case"
+		if cc.Comm == nil {
+			kind = "select.default"
+		}
+		blk := b.newBlock(kind)
+		if cc.Comm != nil {
+			blk.Nodes = append(blk.Nodes, cc.Comm)
+		}
+		b.jump(src, blk)
+		blocks = append(blocks, blk)
+	}
+	src.terminated = true
+	for i, c := range s.Body.List {
+		cc := c.(*ast.CommClause)
+		b.cur = blocks[i]
+		for _, st := range cc.Body {
+			b.stmt(st)
+		}
+		b.jump(b.cur, join)
+		b.cur.terminated = true
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = join
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		if f := b.findFrame(label, false); f != nil {
+			b.jump(b.cur, f.breakTo)
+		}
+	case token.CONTINUE:
+		if f := b.findFrame(label, true); f != nil {
+			b.jump(b.cur, f.continueTo)
+		}
+	case token.GOTO:
+		if target, ok := b.labels[label]; ok {
+			b.jump(b.cur, target)
+		} else {
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: label})
+		}
+	case token.FALLTHROUGH:
+		if b.fallTarget != nil {
+			b.jump(b.cur, b.fallTarget)
+		}
+	}
+	b.cur.terminated = true
+	b.cur = b.newBlock("dead")
+}
+
+// isTerminalCall reports whether the expression is a call that never
+// returns normally: the panic builtin, os.Exit, runtime.Goexit, or the
+// log.Fatal family. Paths through them are abnormal exits that leak
+// analyses forgive.
+func (b *cfgBuilder) isTerminalCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name != "panic" {
+			return false
+		}
+		if b.info != nil {
+			_, isBuiltin := b.info.Uses[fun].(*types.Builtin)
+			return isBuiltin
+		}
+		return true
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if b.info != nil {
+			if _, isPkg := b.info.Uses[pkg].(*types.PkgName); !isPkg {
+				return false
+			}
+		}
+		switch pkg.Name + "." + fun.Sel.Name {
+		case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+			return true
+		}
+	}
+	return false
+}
+
+// dump renders the graph for the CFG unit tests: one line per block,
+// "index kind[panics]: nodekinds -> succs", with conditional successors
+// annotated T/F.
+func (c *CFG) dump() string {
+	var sb strings.Builder
+	for _, blk := range c.Blocks {
+		if blk.Kind == "dead" && len(blk.Nodes) == 0 {
+			continue // unreachable placeholder after return/branch
+		}
+		fmt.Fprintf(&sb, "b%d %s", blk.Index, blk.Kind)
+		if blk.Panics {
+			sb.WriteString(" panics")
+		}
+		sb.WriteString(":")
+		for _, n := range blk.Nodes {
+			sb.WriteString(" " + nodeKind(n))
+		}
+		sb.WriteString(" ->")
+		if len(blk.Succs) == 0 {
+			sb.WriteString(" .")
+		}
+		for _, e := range blk.Succs {
+			tag := ""
+			if e.Cond != nil {
+				tag = "F"
+				if e.Sense {
+					tag = "T"
+				}
+			}
+			fmt.Fprintf(&sb, " b%d%s", e.To.Index, tag)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func nodeKind(n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		return "assign"
+	case *ast.DeclStmt:
+		return "decl"
+	case *ast.ExprStmt:
+		return "call"
+	case *ast.ReturnStmt:
+		return "return"
+	case *ast.DeferStmt:
+		return "defer"
+	case *ast.IncDecStmt:
+		return "incdec"
+	case *ast.SendStmt:
+		return "send"
+	case *ast.GoStmt:
+		return "go"
+	case *ast.RangeStmt:
+		return "range"
+	case ast.Expr:
+		_ = n
+		return "cond"
+	default:
+		return fmt.Sprintf("%T", n)
+	}
+}

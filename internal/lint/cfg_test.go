@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// The CFG builder tests pin the lowered block graph of each tricky
+// construct against a hand-written expected graph, via the dump()
+// renderer: one line per block, "bN kind: nodekinds -> succs", with
+// T/F tags on conditional edges and empty dead placeholders elided.
+// buildCFG is called with a nil *types.Info, which the builder
+// supports (panic detection falls back to the identifier).
+
+// buildFor parses src (a complete file) and lowers the body of the
+// named function.
+func buildFor(t *testing.T, src, fn string) *CFG {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg_test.go", src, 0)
+	if err != nil {
+		t.Fatalf("parsing test source: %v", err)
+	}
+	for _, decl := range file.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == fn {
+			return buildCFG(fd.Body, nil)
+		}
+	}
+	t.Fatalf("function %s not found", fn)
+	return nil
+}
+
+func expectDump(t *testing.T, cfg *CFG, want string) {
+	t.Helper()
+	got := strings.TrimSpace(cfg.dump())
+	want = strings.TrimSpace(want)
+	if got != want {
+		t.Errorf("CFG dump mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestCFGPanicEdge: a panicking arm still flows to exit but carries
+// the Panics mark, so leak analyses forgive the abnormal path.
+func TestCFGPanicEdge(t *testing.T) {
+	cfg := buildFor(t, `package p
+func f(x int) int {
+	if x > 0 {
+		panic("boom")
+	}
+	return x
+}`, "f")
+	expectDump(t, cfg, `
+b0 entry: cond -> b1T b3F
+b1 if.then panics: call -> b5
+b3 if.join: return -> b5
+b5 exit: -> .
+`)
+	if !cfg.Blocks[1].Panics {
+		t.Error("panic block not marked Panics")
+	}
+}
+
+// TestCFGSelectWithDefault: each arm gets its own block fed from the
+// select source; the default arm has no comm node.
+func TestCFGSelectWithDefault(t *testing.T) {
+	cfg := buildFor(t, `package p
+func g(ch chan int) int {
+	select {
+	case v := <-ch:
+		return v
+	default:
+		return 0
+	}
+}`, "g")
+	expectDump(t, cfg, `
+b0 entry: -> b2 b3
+b1 select.join: -> b6
+b2 select.case: assign return -> b6
+b3 select.default: return -> b6
+b6 exit: -> .
+`)
+}
+
+// TestCFGLabeledBreakContinue: continue outer targets the outer post
+// block, break outer the outer join — not the inner range's.
+func TestCFGLabeledBreakContinue(t *testing.T) {
+	cfg := buildFor(t, `package p
+func h(xs [][]int) int {
+	n := 0
+outer:
+	for i := 0; i < len(xs); i++ {
+		for _, v := range xs[i] {
+			if v < 0 {
+				continue outer
+			}
+			if v == 9 {
+				break outer
+			}
+			n += v
+		}
+	}
+	return n
+}`, "h")
+	expectDump(t, cfg, `
+b0 entry: assign -> b1
+b1 label.outer: assign -> b2
+b2 for.head: cond -> b3T b4F
+b3 for.body: -> b6
+b4 for.join: return -> b16
+b5 for.post: incdec -> b2
+b6 range.head: range -> b7 b8
+b7 range.body: cond -> b9T b11F
+b8 range.join: -> b5
+b9 if.then: -> b5
+b11 if.join: cond -> b12T b14F
+b12 if.then: -> b4
+b14 if.join: assign -> b6
+b16 exit: -> .
+`)
+	loops := 0
+	for range cfg.Loops {
+		loops++
+	}
+	if loops != 2 {
+		t.Errorf("registered %d loops, want 2", loops)
+	}
+}
+
+// TestCFGDeferOrdering: defers are recorded in registration order
+// (the solver applies them in reverse at exit), including one
+// registered inside a branch.
+func TestCFGDeferOrdering(t *testing.T) {
+	cfg := buildFor(t, `package p
+func d(a, b func(), flag bool) {
+	defer a()
+	if flag {
+		defer b()
+	}
+}`, "d")
+	expectDump(t, cfg, `
+b0 entry: defer cond -> b1T b2F
+b1 if.then: defer -> b2
+b2 if.join: -> b3
+b3 exit: -> .
+`)
+	if len(cfg.Defers) != 2 {
+		t.Fatalf("recorded %d defers, want 2", len(cfg.Defers))
+	}
+	names := make([]string, len(cfg.Defers))
+	for i, d := range cfg.Defers {
+		names[i] = d.Call.Fun.(*ast.Ident).Name
+	}
+	if names[0] != "a" || names[1] != "b" {
+		t.Errorf("defer registration order %v, want [a b]", names)
+	}
+}
+
+// TestCFGForeverLoop: `for {}` has no condition edge out of the head;
+// the join is reachable only through break.
+func TestCFGForeverLoop(t *testing.T) {
+	cfg := buildFor(t, `package p
+func l(stop func() bool) {
+	for {
+		if stop() {
+			break
+		}
+	}
+}`, "l")
+	expectDump(t, cfg, `
+b0 entry: -> b1
+b1 for.head: -> b2
+b2 for.body: cond -> b4T b6F
+b3 for.join: -> b7
+b4 if.then: -> b3
+b6 if.join: -> b1
+b7 exit: -> .
+`)
+}

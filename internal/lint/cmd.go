@@ -1,9 +1,11 @@
 package lint
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"os"
 	"path/filepath"
 	"strings"
 )
@@ -17,8 +19,10 @@ func RunCommand(dir string, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("readoptlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	listOnly := fs.Bool("list", false, "list the analyzers and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (the -baseline file format)")
+	baselinePath := fs.String("baseline", "", "suppress findings recorded in this baseline `file`\n(-json output of a previous run; matched on file+analyzer+message,\nso line drift does not resurrect a suppressed finding)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: readoptlint [-list] [packages]\n\n"+
+		fmt.Fprintf(stderr, "usage: readoptlint [-list] [-json] [-baseline file] [packages]\n\n"+
 			"Runs the readopt invariant suite (a go/analysis-style multichecker)\n"+
 			"over the given package patterns (default ./...).\n\n")
 		fs.PrintDefaults()
@@ -41,8 +45,33 @@ func RunCommand(dir string, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "readoptlint: %v\n", err)
 		return 2
 	}
-	for _, d := range diags {
-		fmt.Fprintln(stdout, formatDiagnostic(dir, d))
+	if *baselinePath != "" {
+		baseline, err := readBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintf(stderr, "readoptlint: %v\n", err)
+			return 2
+		}
+		kept := diags[:0]
+		for _, d := range diags {
+			if baseline[baselineKey(relPath(dir, d.Pos.Filename), d.Analyzer, d.Message)] {
+				continue
+			}
+			kept = append(kept, d)
+		}
+		if n := len(diags) - len(kept); n > 0 {
+			fmt.Fprintf(stderr, "readoptlint: %d finding(s) suppressed by baseline %s\n", n, *baselinePath)
+		}
+		diags = kept
+	}
+	if *jsonOut {
+		if err := writeJSON(stdout, dir, diags); err != nil {
+			fmt.Fprintf(stderr, "readoptlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, formatDiagnostic(dir, d))
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(stderr, "readoptlint: %d finding(s)\n", len(diags))
@@ -60,13 +89,70 @@ func Check(dir string, patterns ...string) ([]Diagnostic, error) {
 	return RunAnalyzers(pkgs, Analyzers())
 }
 
-// formatDiagnostic renders one finding with a dir-relative path.
-func formatDiagnostic(dir string, d Diagnostic) string {
-	name := d.Pos.Filename
+// jsonDiagnostic is the machine-readable finding, shared between -json
+// output and -baseline files: a baseline IS a previous run's -json
+// output, reviewed and checked in.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w io.Writer, dir string, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:     relPath(dir, d.Pos.Filename),
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// readBaseline loads a baseline file into a suppression set. Entries
+// match on file, analyzer and message only: line and column drift as
+// surrounding code moves, and a baseline that expires on every
+// unrelated edit trains people to regenerate it blindly.
+func readBaseline(path string) (map[string]bool, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("reading baseline: %w", err)
+	}
+	var entries []jsonDiagnostic
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	set := make(map[string]bool, len(entries))
+	for _, e := range entries {
+		set[baselineKey(e.File, e.Analyzer, e.Message)] = true
+	}
+	return set, nil
+}
+
+func baselineKey(file, analyzer, message string) string {
+	return file + "\x00" + analyzer + "\x00" + message
+}
+
+// relPath renders a diagnostic file name relative to dir (slash-
+// separated) when it lies inside it, so output and baselines are
+// stable across checkouts.
+func relPath(dir, name string) string {
 	if dir != "" {
 		if rel, err := filepath.Rel(dir, name); err == nil && !strings.HasPrefix(rel, "..") {
 			name = rel
 		}
 	}
-	return fmt.Sprintf("%s:%d:%d: %s: %s", filepath.ToSlash(name), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	return filepath.ToSlash(name)
+}
+
+// formatDiagnostic renders one finding with a dir-relative path.
+func formatDiagnostic(dir string, d Diagnostic) string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", relPath(dir, d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 }

@@ -2,6 +2,7 @@ package lint_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -60,10 +61,109 @@ func TestCommandListAnalyzers(t *testing.T) {
 	if code != 0 {
 		t.Fatalf("exit code %d for -list, stderr:\n%s", code, stderr)
 	}
-	for _, name := range []string{"hotalloc", "bitwidth", "pagebounds", "clockdiscipline", "tracepool"} {
+	for _, name := range []string{
+		"hotalloc", "bitwidth", "pagebounds", "clockdiscipline", "tracepool",
+		"faultcmp", "runcrc", "epochpin", "closeleak", "ctxloop", "poolpair", "selbounds",
+	} {
 		if !strings.Contains(stdout, name) {
 			t.Errorf("-list output missing analyzer %s:\n%s", name, stdout)
 		}
+	}
+}
+
+// TestCommandJSONGolden pins the machine-readable output (which is also
+// the -baseline file format) against a golden file.
+func TestCommandJSONGolden(t *testing.T) {
+	code, stdout, stderr := runCLI(t, filepath.Join("testdata", "src", "tracepool"), "-json", ".")
+	if code != 1 {
+		t.Fatalf("exit code %d on dirty fixture, want 1; stderr:\n%s", code, stderr)
+	}
+	goldenPath := filepath.Join("testdata", "golden", "tracepool.json")
+	golden, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	if stdout != string(golden) {
+		t.Errorf("-json output diverged from %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, stdout, golden)
+	}
+}
+
+func TestCommandJSONCleanTreeEmitsEmptyArray(t *testing.T) {
+	code, stdout, stderr := runCLI(t, filepath.Join("testdata", "src", "hotalloc_clean"), "-json", ".")
+	if code != 0 {
+		t.Fatalf("exit code %d on clean fixture, stderr:\n%s", code, stderr)
+	}
+	if strings.TrimSpace(stdout) != "[]" {
+		t.Errorf("clean -json output = %q, want an empty array", stdout)
+	}
+}
+
+// TestCommandBaselineSuppression checks the full baseline lifecycle: a
+// run's -json output checked in as the baseline silences exactly those
+// findings (exit 0), survives line drift, and leaves new findings fatal.
+func TestCommandBaselineSuppression(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "tracepool")
+	_, jsonOut, _ := runCLI(t, dir, "-json", ".")
+	var entries []map[string]any
+	if err := json.Unmarshal([]byte(jsonOut), &entries); err != nil {
+		t.Fatalf("parsing -json output: %v", err)
+	}
+	if len(entries) < 2 {
+		t.Fatalf("fixture produced %d findings, need at least 2", len(entries))
+	}
+	// Shift every recorded line: matching must ignore line/col so a
+	// baseline does not expire on unrelated edits.
+	for _, e := range entries {
+		e["line"] = float64(9999)
+	}
+	full, err := json.Marshal(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blFull := filepath.Join(t.TempDir(), "full.json")
+	if err := os.WriteFile(blFull, full, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := runCLI(t, dir, "-baseline", blFull, ".")
+	if code != 0 {
+		t.Errorf("exit code %d with a full baseline, want 0; stdout:\n%s", code, stdout)
+	}
+	if stdout != "" {
+		t.Errorf("full baseline still printed findings:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "suppressed") {
+		t.Errorf("stderr missing the suppression note: %q", stderr)
+	}
+
+	// A partial baseline must keep the unlisted findings fatal.
+	partial, err := json.Marshal(entries[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	blPartial := filepath.Join(t.TempDir(), "partial.json")
+	if err := os.WriteFile(blPartial, partial, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, _ = runCLI(t, dir, "-baseline", blPartial, ".")
+	if code != 1 {
+		t.Errorf("exit code %d with a partial baseline, want 1", code)
+	}
+	if got := len(strings.Split(strings.TrimSpace(stdout), "\n")); got != len(entries)-1 {
+		t.Errorf("partial baseline left %d findings, want %d:\n%s", got, len(entries)-1, stdout)
+	}
+}
+
+func TestCommandBaselineErrors(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "tracepool")
+	if code, _, _ := runCLI(t, dir, "-baseline", filepath.Join(t.TempDir(), "missing.json"), "."); code != 2 {
+		t.Errorf("exit code %d for a missing baseline, want 2", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runCLI(t, dir, "-baseline", bad, "."); code != 2 {
+		t.Errorf("exit code %d for a malformed baseline, want 2", code)
 	}
 }
 

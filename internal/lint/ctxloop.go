@@ -1,0 +1,242 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxLoop enforces the cancellation discipline PR 5 threaded through
+// the I/O layer: a `//readopt:hotpath` function that has a context in
+// scope and loops over I/O must observe that context once per
+// iteration — calling ctx.Err() or selecting on ctx.Done() — so a
+// timed-out client stops the scan within one unit of work instead of
+// after the whole file. The aio.OSReader prefetch loop is the house
+// pattern: ctx.Err() at the top of the loop, ctx.Done() in every
+// select.
+//
+// Scope is deliberately narrow to stay at zero false positives:
+// functions without the hotpath directive, without a reachable context
+// (parameter or receiver field), or whose loops do no I/O are skipped —
+// an in-memory tuple loop has nothing to cancel. The per-iteration
+// requirement is checked on the CFG: every path from the loop body back
+// to the loop head must pass a block containing a context check.
+var CtxLoop = &Analyzer{
+	Name: "ctxloop",
+	Doc: "hot-path I/O loops with a context in scope must check ctx.Err()/ctx.Done() every " +
+		"iteration, so cancellation takes effect within one unit of I/O",
+	Run: runCtxLoop,
+}
+
+// ioCallPrefixes marks a method call as I/O for this analyzer's
+// purposes (lowercased prefix match on the method name).
+var ioCallPrefixes = []string{
+	"next", "read", "write", "recv", "wait", "fetch", "load", "flush", "send", "open",
+}
+
+func runCtxLoop(pass *Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, directiveHotPath) {
+				continue
+			}
+			if !ctxInScope(pass, fd) {
+				continue
+			}
+			checkCtxLoops(pass, fd)
+		}
+	}
+	return nil
+}
+
+// ctxInScope reports whether fd can reach a context.Context: a
+// parameter of that type, or a field of the receiver's struct.
+func ctxInScope(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params != nil {
+		for _, p := range fd.Type.Params.List {
+			if tv, ok := pass.TypesInfo.Types[p.Type]; ok && isContextType(tv.Type) {
+				return true
+			}
+		}
+	}
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		tv, ok := pass.TypesInfo.Types[fd.Recv.List[0].Type]
+		if ok {
+			t := tv.Type
+			if p, isPtr := t.(*types.Pointer); isPtr {
+				t = p.Elem()
+			}
+			if st, isStruct := t.Underlying().(*types.Struct); isStruct {
+				for i := 0; i < st.NumFields(); i++ {
+					if isContextType(st.Field(i).Type()) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func checkCtxLoops(pass *Pass, fd *ast.FuncDecl) {
+	cfg := buildCFG(fd.Body, pass.TypesInfo)
+	checked := doneSelectNodes(pass, fd.Body)
+	for stmt, loop := range cfg.Loops {
+		var body *ast.BlockStmt
+		switch s := stmt.(type) {
+		case *ast.ForStmt:
+			body = s.Body
+		case *ast.RangeStmt:
+			body = s.Body
+		}
+		if body == nil || !containsIOCall(body) {
+			continue
+		}
+		if !everyIterationChecksCtx(pass, loop, checked) {
+			pass.Reportf(stmt.Pos(), "I/O loop in hot path %s never checks its context: call ctx.Err() or select on ctx.Done() each iteration so cancellation lands within one unit of I/O", fd.Name.Name)
+		}
+	}
+}
+
+// doneSelectNodes marks the clause nodes of every select that carries a
+// ctx.Done() arm: reaching ANY arm of such a select polled Done, so
+// every arm counts as a context check — the Done arm alone would wrongly
+// flag the other arms' paths back to the loop head.
+func doneSelectNodes(pass *Pass, body *ast.BlockStmt) map[ast.Node]bool {
+	checked := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDone := false
+		for _, c := range sel.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil && nodeChecksCtx(pass, cc.Comm) {
+				hasDone = true
+				break
+			}
+		}
+		if !hasDone {
+			return true
+		}
+		for _, c := range sel.Body.List {
+			cc := c.(*ast.CommClause)
+			if cc.Comm != nil {
+				checked[cc.Comm] = true
+			}
+			if len(cc.Body) > 0 {
+				checked[cc.Body[0]] = true
+			}
+		}
+		return true
+	})
+	return checked
+}
+
+// containsIOCall reports whether the loop body (excluding nested
+// function literals) calls an I/O-shaped method.
+func containsIOCall(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		lower := strings.ToLower(sel.Sel.Name)
+		for _, p := range ioCallPrefixes {
+			if strings.HasPrefix(lower, p) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// everyIterationChecksCtx walks the CFG from the loop body: if any path
+// reaches the loop head without crossing a block that checks the
+// context (and the head itself has no check), some iteration sequence
+// runs I/O unbounded by cancellation.
+func everyIterationChecksCtx(pass *Pass, loop *CFGLoop, checked map[ast.Node]bool) bool {
+	seen := map[int]bool{}
+	var uncheckedPathToHead func(b *CFGBlock) bool
+	uncheckedPathToHead = func(b *CFGBlock) bool {
+		if b == loop.Head {
+			return !blockChecksCtx(pass, b, checked)
+		}
+		if b == loop.Join || seen[b.Index] {
+			// Leaving the loop (break) ends the iteration sequence;
+			// re-entering later is a fresh loop, not this back edge.
+			return false
+		}
+		seen[b.Index] = true
+		if blockChecksCtx(pass, b, checked) {
+			return false // this path is covered; stop descending
+		}
+		for _, e := range b.Succs {
+			if uncheckedPathToHead(e.To) {
+				return true
+			}
+		}
+		return false
+	}
+	return !uncheckedPathToHead(loop.Body)
+}
+
+// blockChecksCtx reports whether any node in the block contains a
+// ctx.Err() call or a ctx.Done() reference on a context-typed value,
+// or belongs to a Done-carrying select.
+func blockChecksCtx(pass *Pass, b *CFGBlock, checked map[ast.Node]bool) bool {
+	for _, n := range b.Nodes {
+		if checked[n] || nodeChecksCtx(pass, n) {
+			return true
+		}
+	}
+	return false
+}
+
+// nodeChecksCtx reports whether the node contains a ctx.Err() / ctx.Done()
+// selector on a context-typed value.
+func nodeChecksCtx(pass *Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(nd ast.Node) bool {
+		if found {
+			return false
+		}
+		sel, ok := nd.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Err" && sel.Sel.Name != "Done" {
+			return true
+		}
+		if tv, ok := pass.TypesInfo.Types[sel.X]; ok && isContextType(tv.Type) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}

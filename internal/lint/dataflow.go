@@ -1,0 +1,819 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Generic forward dataflow over the CFG in cfg.go, specialised to
+// resource tracking: an analyzer describes how calls acquire and
+// release resources (resourceSpec) and the solver reports any resource
+// still abstractly "acquired" when control reaches the exit block.
+//
+// The lattice per resource object is a small powerset: a resource may
+// be Acquired, Released, Escaped, or any union of those when paths
+// merge. Join is set union, so the solver is a textbook Kildall
+// worklist and termination follows from monotone transfer functions
+// over a finite lattice (capped anyway, belt and braces).
+//
+// Two refinements keep the false-positive rate at zero on this repo:
+//
+//   - err/ok guards. `r, err := open(...)` records err as a guard for
+//     r; the edge taken when `err != nil` kills r's Acquired bit,
+//     because the resource was never handed to the caller on that
+//     path. Same for `v, ok := pool.Get().(*T)` with `!ok`. Without
+//     this every acquire that can fail would be a false leak on its
+//     error return.
+//
+//   - conservative escape. Assigning the resource to a field, passing
+//     it to a call, storing it in a composite, returning it — anything
+//     other than a small whitelist of known-local uses — marks it
+//     Escaped, and escaped resources are somebody else's to release.
+
+type absState uint8
+
+const (
+	stAcquired absState = 1 << iota
+	stReleased
+	stEscaped
+)
+
+// guardMode says how a guard variable's truth relates to the acquire
+// having failed.
+type guardMode uint8
+
+const (
+	guardErrNonNil guardMode = iota // guard != nil  =>  acquire failed
+	guardOKFalse                    // guard == false => acquire failed
+)
+
+type guardInfo struct {
+	res  types.Object
+	mode guardMode
+}
+
+// facts is the dataflow element at a program point.
+type facts struct {
+	state map[types.Object]absState
+	guard map[types.Object]guardInfo
+}
+
+func newFacts() *facts {
+	return &facts{state: map[types.Object]absState{}, guard: map[types.Object]guardInfo{}}
+}
+
+func (f *facts) clone() *facts {
+	n := newFacts()
+	for k, v := range f.state {
+		n.state[k] = v
+	}
+	for k, v := range f.guard {
+		n.guard[k] = v
+	}
+	return n
+}
+
+// join merges other into f (set union on states; guards survive only
+// where both sides agree). Reports whether f changed.
+func (f *facts) join(other *facts) bool {
+	changed := false
+	for k, v := range other.state {
+		old, ok := f.state[k]
+		if !ok || old|v != old {
+			f.state[k] = old | v
+			changed = true
+		}
+	}
+	for k, v := range f.guard {
+		ov, ok := other.guard[k]
+		if !ok || ov != v {
+			delete(f.guard, k)
+			changed = true
+		}
+	}
+	return changed
+}
+
+// callEffect describes what one call does to resource state.
+type effectKind uint8
+
+const (
+	effNone effectKind = iota
+	// effAcquire: a result of the call is a resource. resultIdx selects
+	// which result; the object comes from the assignment LHS.
+	effAcquire
+	// effAcquireRecv: the call retains its receiver (wos retain()).
+	effAcquireRecv
+	// effRelease: the call releases obj (receiver or argument).
+	effRelease
+)
+
+type callEffect struct {
+	kind      effectKind
+	resultIdx int
+	// obj is the released expression for effRelease / the receiver for
+	// effAcquireRecv.
+	obj ast.Expr
+	// desc names the resource kind in diagnostics ("snapshot", "reader",
+	// "pooled buffer").
+	desc string
+}
+
+// resourceSpec is the per-analyzer plug-in: classify calls, name the
+// analyzer's resource for diagnostics.
+type resourceSpec struct {
+	// classify inspects a call expression and reports its effect. It is
+	// called for every CallExpr in the function.
+	classify func(pass *Pass, call *ast.CallExpr) callEffect
+	// releasedBy, if non-nil, lets a spec treat extra expressions as
+	// releases (e.g. returning the resource counts as handing it off).
+	// Unused today but kept for symmetry with classify.
+	report func(pass *Pass, pos token.Pos, desc string)
+}
+
+// acquireSite remembers where a resource became acquired, for the
+// diagnostic position.
+type acquireSite struct {
+	pos  token.Pos
+	desc string
+}
+
+// runResourceAnalysis drives the solver over every function in the
+// pass and reports resources that reach exit still Acquired on some
+// normal path.
+func runResourceAnalysis(pass *Pass, spec *resourceSpec) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			analyzeFunc(pass, spec, fd)
+		}
+	}
+}
+
+type funcAnalysis struct {
+	pass     *Pass
+	spec     *resourceSpec
+	fd       *ast.FuncDecl
+	cfg      *CFG
+	sites    map[types.Object]acquireSite
+	parents  map[ast.Node]ast.Node
+	reported map[types.Object]bool
+	discards map[token.Pos]bool
+	// noRecvTrack holds objects whose receiver-acquires (retain) are
+	// not tracked: parameters and range variables. Retaining a
+	// parameter or each element of a ranged collection is the
+	// ownership-transfer idiom (the reference belongs to a structure
+	// the function is building, not to this frame).
+	noRecvTrack map[types.Object]bool
+}
+
+func analyzeFunc(pass *Pass, spec *resourceSpec, fd *ast.FuncDecl) {
+	// Cheap pre-scan: skip functions with no acquire site at all.
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if eff := spec.classify(pass, call); eff.kind == effAcquire || eff.kind == effAcquireRecv {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	if !found {
+		return
+	}
+
+	fa := &funcAnalysis{
+		pass:        pass,
+		spec:        spec,
+		fd:          fd,
+		cfg:         buildCFG(fd.Body, pass.TypesInfo),
+		sites:       map[types.Object]acquireSite{},
+		parents:     buildParents(fd),
+		reported:    map[types.Object]bool{},
+		noRecvTrack: map[types.Object]bool{},
+	}
+	addFieldObjs := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, name := range field.Names {
+				if obj := pass.TypesInfo.Defs[name]; obj != nil {
+					fa.noRecvTrack[obj] = true
+				}
+			}
+		}
+	}
+	addFieldObjs(fd.Recv)
+	addFieldObjs(fd.Type.Params)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		for _, e := range []ast.Expr{rs.Key, rs.Value} {
+			if id, isID := e.(*ast.Ident); isID {
+				if obj := pass.TypesInfo.Defs[id]; obj != nil {
+					fa.noRecvTrack[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	fa.solve()
+}
+
+// buildParents maps every node in the function to its syntactic parent
+// so transfer functions can classify the context of an identifier use.
+func buildParents(fd *ast.FuncDecl) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+func (fa *funcAnalysis) solve() {
+	in := make([]*facts, len(fa.cfg.Blocks))
+	in[fa.cfg.Entry.Index] = newFacts()
+
+	// Worklist over block indices; the iteration cap is a safety valve
+	// (the lattice is finite so this terminates regardless, but a bug
+	// in the CFG builder must not hang the lint run).
+	work := []int{fa.cfg.Entry.Index}
+	inWork := map[int]bool{fa.cfg.Entry.Index: true}
+	steps := 0
+	const maxSteps = 1 << 16
+	for len(work) > 0 && steps < maxSteps {
+		steps++
+		idx := work[0]
+		work = work[1:]
+		inWork[idx] = false
+		blk := fa.cfg.Blocks[idx]
+		f := in[idx].clone()
+		for _, n := range blk.Nodes {
+			fa.transfer(f, n)
+		}
+		if blk.Panics {
+			// Abnormal exit: forgive everything on this path.
+			continue
+		}
+		for _, e := range blk.Succs {
+			out := f.clone()
+			if e.Cond != nil {
+				fa.refine(out, e.Cond, e.Sense)
+			}
+			ti := e.To.Index
+			if in[ti] == nil {
+				in[ti] = out
+				if !inWork[ti] {
+					work = append(work, ti)
+					inWork[ti] = true
+				}
+			} else if in[ti].join(out) {
+				if !inWork[ti] {
+					work = append(work, ti)
+					inWork[ti] = true
+				}
+			}
+		}
+	}
+
+	// Check each path into the exit separately: joining the exit facts
+	// first would union an escape on one return path (op returned to
+	// the caller) with a leak on another (early error return) and
+	// forgive the leak. Blocks that panic are abnormal exits and are
+	// forgiven wholesale. Defers run after the block, in reverse
+	// registration order (applying all of them is slightly forgiving
+	// for conditionally-registered defers, but it is what makes the
+	// declare-defer-then-acquire closure idiom clean).
+	for _, blk := range fa.cfg.Blocks {
+		if blk.Panics || in[blk.Index] == nil {
+			continue
+		}
+		toExit := false
+		for _, e := range blk.Succs {
+			if e.To == fa.cfg.Exit {
+				toExit = true
+				break
+			}
+		}
+		if !toExit {
+			continue
+		}
+		f := in[blk.Index].clone()
+		for _, n := range blk.Nodes {
+			fa.transfer(f, n)
+		}
+		for i := len(fa.cfg.Defers) - 1; i >= 0; i-- {
+			fa.applyDefer(f, fa.cfg.Defers[i])
+		}
+		for obj, st := range f.state {
+			if st&stAcquired != 0 && st&stEscaped == 0 && !fa.reported[obj] {
+				fa.reported[obj] = true
+				site := fa.sites[obj]
+				fa.spec.report(fa.pass, site.pos, site.desc+" "+obj.Name())
+			}
+		}
+	}
+}
+
+// refine applies an edge condition to the facts: if taking this edge
+// proves an acquire failed, drop the resource's Acquired bit.
+func (fa *funcAnalysis) refine(f *facts, cond ast.Expr, sense bool) {
+	cond = unparen(cond)
+	switch e := cond.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.LAND:
+			if sense { // both conjuncts true
+				fa.refine(f, e.X, true)
+				fa.refine(f, e.Y, true)
+			}
+			return
+		case token.LOR:
+			if !sense { // both disjuncts false
+				fa.refine(f, e.X, false)
+				fa.refine(f, e.Y, false)
+			}
+			return
+		case token.NEQ, token.EQL:
+			// Look for `guard != nil` / `guard == nil`.
+			id, isNil := nilComparison(e)
+			if id == nil {
+				return
+			}
+			obj := fa.pass.TypesInfo.Uses[id]
+			gi, ok := f.guard[obj]
+			if !ok || gi.mode != guardErrNonNil {
+				return
+			}
+			// guardNonNilHolds: does this edge assert guard != nil?
+			nonNil := (e.Op == token.NEQ) == sense
+			_ = isNil
+			if nonNil {
+				// err != nil on this path: acquire failed, resource
+				// never materialised.
+				fa.killAcquired(f, gi.res)
+			}
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			fa.refine(f, e.X, !sense)
+		}
+	case *ast.Ident:
+		// Bare boolean guard: `if ok { ... }` from comma-ok.
+		obj := fa.pass.TypesInfo.Uses[e]
+		gi, ok := f.guard[obj]
+		if !ok || gi.mode != guardOKFalse {
+			return
+		}
+		if !sense {
+			// ok == false: the type assertion / map read missed, no
+			// resource came out.
+			fa.killAcquired(f, gi.res)
+		}
+	}
+}
+
+func (fa *funcAnalysis) killAcquired(f *facts, res types.Object) {
+	if st, ok := f.state[res]; ok {
+		f.state[res] = st &^ stAcquired
+	}
+}
+
+// nilComparison matches `x != nil` / `nil != x` and returns the
+// non-nil side if it is a plain identifier.
+func nilComparison(e *ast.BinaryExpr) (*ast.Ident, bool) {
+	if isNilIdent(e.Y) {
+		id, _ := unparen(e.X).(*ast.Ident)
+		return id, true
+	}
+	if isNilIdent(e.X) {
+		id, _ := unparen(e.Y).(*ast.Ident)
+		return id, true
+	}
+	return nil, false
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// transfer applies one block node to the facts.
+func (fa *funcAnalysis) transfer(f *facts, n ast.Node) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		fa.transferAssign(f, n)
+	case *ast.DeferStmt:
+		fa.applyDefer(f, n)
+	case *ast.ReturnStmt:
+		for _, res := range n.Results {
+			fa.markReturned(f, res)
+		}
+		fa.scanUses(f, n)
+	case *ast.ExprStmt:
+		if call, ok := unparen(n.X).(*ast.CallExpr); ok {
+			fa.transferCall(f, call, nil)
+			return
+		}
+		fa.scanUses(f, n)
+	case *ast.RangeStmt:
+		// A range statement is a loop-head node; its body belongs to
+		// other blocks. Only the ranged expression is evaluated here.
+		fa.scanUses(f, n.X)
+	default:
+		if st, ok := n.(ast.Stmt); ok {
+			fa.scanUses(f, st)
+			return
+		}
+		if e, ok := n.(ast.Expr); ok {
+			fa.scanUses(f, e)
+		}
+	}
+}
+
+// transferAssign handles acquire-by-assignment and tracks guards.
+func (fa *funcAnalysis) transferAssign(f *facts, as *ast.AssignStmt) {
+	// Single RHS call: classify it against the LHS.
+	if len(as.Rhs) == 1 {
+		rhs := unparen(as.Rhs[0])
+		// Unwrap comma-ok over a type assertion: `v, ok := call().(*T)`.
+		var okGuard *ast.Ident
+		if ta, isTA := rhs.(*ast.TypeAssertExpr); isTA && len(as.Lhs) == 2 {
+			rhs = unparen(ta.X)
+			if id, isID := as.Lhs[1].(*ast.Ident); isID && id.Name != "_" {
+				okGuard = id
+			}
+		}
+		if call, isCall := rhs.(*ast.CallExpr); isCall {
+			eff := fa.spec.classify(fa.pass, call)
+			switch eff.kind {
+			case effAcquire:
+				// Arguments are evaluated before the assignment: a
+				// tracked resource passed into the acquiring call (the
+				// op = Wrap(op) chain) escapes as its OLD value, before
+				// the strong update below replaces it.
+				for _, arg := range call.Args {
+					fa.scanUses(f, arg)
+				}
+				if eff.resultIdx < len(as.Lhs) {
+					if id, isID := as.Lhs[eff.resultIdx].(*ast.Ident); isID && id.Name != "_" {
+						obj := fa.lhsObject(id)
+						if obj != nil {
+							// Strong update: a reassignment replaces
+							// whatever the variable held. If it held a
+							// live resource, that is itself a leak.
+							if st, had := f.state[obj]; had && st&stAcquired != 0 && st&stEscaped == 0 && !fa.reported[obj] {
+								fa.reported[obj] = true
+								site := fa.sites[obj]
+								fa.spec.report(fa.pass, site.pos, site.desc+" "+obj.Name())
+							}
+							f.state[obj] = stAcquired
+							fa.sites[obj] = acquireSite{pos: id.Pos(), desc: eff.desc}
+							// err guard: last LHS of a multi-assign
+							// whose type is error.
+							fa.recordErrGuard(f, as, obj, eff.resultIdx)
+							if okGuard != nil {
+								if gobj := fa.lhsObject(okGuard); gobj != nil {
+									f.guard[gobj] = guardInfo{res: obj, mode: guardOKFalse}
+								}
+							}
+						}
+					}
+				}
+				return
+			case effAcquireRecv, effRelease:
+				fa.transferCall(f, call, as)
+				return
+			}
+			// Not a resource call: fall through to generic handling,
+			// but still look inside for nested calls.
+		}
+	}
+	// Generic assignment: RHS identifiers escape unless whitelisted;
+	// an acquired variable on the LHS being overwritten loses tracking.
+	for _, rhs := range as.Rhs {
+		fa.scanUses(f, rhs)
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := unparen(lhs).(*ast.Ident); ok && id.Name != "_" {
+			obj := fa.lhsObject(id)
+			if obj == nil {
+				continue
+			}
+			if st, had := f.state[obj]; had && st&stAcquired != 0 {
+				// Overwritten while acquired and never released: the
+				// old value is gone. Treat as escape rather than leak —
+				// `x = nil` after a hand-off is a common idiom
+				// (srcOwned pattern) and the hand-off itself already
+				// marked it escaped or released.
+				f.state[obj] = st &^ stAcquired
+				_ = had
+			}
+		} else {
+			// Assignment through a selector/index: anything on the RHS
+			// already escaped above; the LHS expression may also use a
+			// tracked resource (e.g. r.file = f) — scan it.
+			fa.scanUses(f, lhs)
+		}
+	}
+}
+
+// recordErrGuard records `err` as a failure guard for obj if the
+// assignment has a trailing error result.
+func (fa *funcAnalysis) recordErrGuard(f *facts, as *ast.AssignStmt, obj types.Object, resultIdx int) {
+	for i, lhs := range as.Lhs {
+		if i == resultIdx {
+			continue
+		}
+		id, ok := unparen(lhs).(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		gobj := fa.lhsObject(id)
+		if gobj == nil {
+			continue
+		}
+		if named, isNamed := gobj.Type().(*types.Named); isNamed && named.Obj().Name() == "error" && named.Obj().Pkg() == nil {
+			f.guard[gobj] = guardInfo{res: obj, mode: guardErrNonNil}
+		} else if iface, isIface := gobj.Type().Underlying().(*types.Interface); isIface && iface.NumMethods() == 1 && iface.Method(0).Name() == "Error" {
+			f.guard[gobj] = guardInfo{res: obj, mode: guardErrNonNil}
+		}
+	}
+}
+
+// lhsObject resolves an identifier on an assignment LHS to its object,
+// covering both := definitions and = uses.
+func (fa *funcAnalysis) lhsObject(id *ast.Ident) types.Object {
+	if obj := fa.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return fa.pass.TypesInfo.Uses[id]
+}
+
+// transferCall applies a call's effect: releases clear Acquired,
+// receiver-acquires set it, and arguments that are tracked resources
+// escape unless the call is the release itself.
+func (fa *funcAnalysis) transferCall(f *facts, call *ast.CallExpr, as *ast.AssignStmt) {
+	eff := fa.spec.classify(fa.pass, call)
+	switch eff.kind {
+	case effRelease:
+		if obj := fa.exprObject(eff.obj); obj != nil {
+			if st, ok := f.state[obj]; ok {
+				f.state[obj] = (st &^ stAcquired) | stReleased
+			}
+		}
+		// Other arguments still count as uses.
+		for _, arg := range call.Args {
+			if fa.sameExpr(arg, eff.obj) {
+				continue
+			}
+			fa.scanUses(f, arg)
+		}
+		return
+	case effAcquireRecv:
+		if obj := fa.exprObject(eff.obj); obj != nil && !fa.noRecvTrack[obj] {
+			f.state[obj] = stAcquired | (f.state[obj] & stEscaped)
+			fa.sites[obj] = acquireSite{pos: call.Pos(), desc: eff.desc}
+		}
+		return
+	case effAcquire:
+		// Acquire whose result is discarded (bare call statement): the
+		// resource is unassignable and leaks immediately...unless it is
+		// returned/passed, which a bare ExprStmt can't do. Report at
+		// the call.
+		if as == nil && !fa.reportedAt(call.Pos()) {
+			fa.spec.report(fa.pass, call.Pos(), eff.desc+" result discarded")
+		}
+		for _, arg := range call.Args {
+			fa.scanUses(f, arg)
+		}
+		return
+	}
+	// Ordinary call: every argument use is scanned (tracked resources
+	// passed along escape); the callee expression too for method calls
+	// on tracked receivers.
+	fa.scanUses(f, call)
+}
+
+// reportedAt dedups discard reports: the fixed-point iteration can
+// visit the same call node several times.
+func (fa *funcAnalysis) reportedAt(pos token.Pos) bool {
+	if fa.discards == nil {
+		fa.discards = map[token.Pos]bool{}
+	}
+	if fa.discards[pos] {
+		return true
+	}
+	fa.discards[pos] = true
+	return false
+}
+
+// applyDefer executes a defer's release effect at the defer site (the
+// defer guarantees the call on every subsequent path).
+func (fa *funcAnalysis) applyDefer(f *facts, d *ast.DeferStmt) {
+	// defer x.Close() / defer sn.Release()
+	eff := fa.spec.classify(fa.pass, d.Call)
+	if eff.kind == effRelease {
+		if obj := fa.exprObject(eff.obj); obj != nil {
+			if st, ok := f.state[obj]; ok {
+				f.state[obj] = (st &^ stAcquired) | stReleased
+			}
+		}
+		return
+	}
+	// defer func() { ... x.Close() ... }(): scan the closure body for
+	// release calls; any other capture of a tracked resource escapes.
+	if fl, ok := unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		released := map[types.Object]bool{}
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			call, isCall := n.(*ast.CallExpr)
+			if !isCall {
+				return true
+			}
+			e := fa.spec.classify(fa.pass, call)
+			if e.kind == effRelease {
+				if obj := fa.exprObject(e.obj); obj != nil {
+					released[obj] = true
+				}
+			}
+			return true
+		})
+		for obj := range released {
+			if st, ok := f.state[obj]; ok {
+				f.state[obj] = (st &^ stAcquired) | stReleased
+			}
+		}
+		// Captures that are not releases escape.
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			id, isID := n.(*ast.Ident)
+			if !isID {
+				return true
+			}
+			obj := fa.pass.TypesInfo.Uses[id]
+			if obj == nil || released[obj] {
+				return true
+			}
+			if st, ok := f.state[obj]; ok && st&stAcquired != 0 {
+				f.state[obj] = st | stEscaped
+			}
+			return true
+		})
+		return
+	}
+	// defer of some other call: its arguments escape.
+	f2 := f
+	for _, arg := range d.Call.Args {
+		fa.scanUses(f2, arg)
+	}
+}
+
+// markReturned marks resources in a return expression as escaped:
+// returning the resource hands ownership to the caller.
+func (fa *funcAnalysis) markReturned(f *facts, e ast.Expr) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := fa.pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if st, tracked := f.state[obj]; tracked && st&stAcquired != 0 {
+			f.state[obj] = st | stEscaped
+		}
+		return true
+	})
+}
+
+// scanUses walks a node and applies the conservative escape rule to
+// every use of a tracked resource. Whitelist of non-escaping uses:
+//   - receiver of a method call (r.Read(...), sn.Table())
+//   - operand of a nil comparison
+//   - the release call itself (handled before we get here)
+//
+// Everything else — call argument, composite literal element, field
+// store, channel send, closure capture — escapes.
+func (fa *funcAnalysis) scanUses(f *facts, n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(nd ast.Node) bool {
+		// A release call nested inside the scanned node still releases.
+		if call, ok := nd.(*ast.CallExpr); ok {
+			eff := fa.spec.classify(fa.pass, call)
+			if eff.kind == effRelease {
+				if obj := fa.exprObject(eff.obj); obj != nil {
+					if st, tracked := f.state[obj]; tracked {
+						f.state[obj] = (st &^ stAcquired) | stReleased
+					}
+				}
+			}
+		}
+		id, ok := nd.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := fa.pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return true
+		}
+		st, tracked := f.state[obj]
+		if !tracked || st&stAcquired == 0 {
+			return true
+		}
+		if fa.isNonEscapingUse(id) {
+			return true
+		}
+		f.state[obj] = st | stEscaped
+		return true
+	})
+}
+
+// isNonEscapingUse reports whether this identifier use keeps the
+// resource local: method-call receiver or nil comparison.
+func (fa *funcAnalysis) isNonEscapingUse(id *ast.Ident) bool {
+	p := fa.parents[id]
+	// Unwrap parens.
+	for {
+		pe, ok := p.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		p = fa.parents[pe]
+	}
+	switch pp := p.(type) {
+	case *ast.StarExpr:
+		// Dereference read (*p, cap(*p)): inspects the value, doesn't
+		// take ownership of it.
+		return true
+	case *ast.CallExpr:
+		// len/cap measure without consuming.
+		if fn, ok := unparen(pp.Fun).(*ast.Ident); ok && (fn.Name == "len" || fn.Name == "cap") {
+			return true
+		}
+	case *ast.SelectorExpr:
+		// r.Method(...) — receiver position of a call keeps it local;
+		// r.field anywhere is a read, also local.
+		if pp.X != nil {
+			if gp, ok := fa.parents[pp].(*ast.CallExpr); ok && unparen(gp.Fun) == pp {
+				return true
+			}
+			// Bare field read (r.buf, sn.epoch): local.
+			if _, isCall := fa.parents[pp].(*ast.CallExpr); !isCall {
+				return true
+			}
+		}
+	case *ast.BinaryExpr:
+		if pp.Op == token.EQL || pp.Op == token.NEQ {
+			return true // nil checks and comparisons don't take ownership
+		}
+	case *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt:
+		return true // condition position
+	}
+	return false
+}
+
+// exprObject resolves a (possibly &-wrapped, parenthesised) identifier
+// expression to its object.
+func (fa *funcAnalysis) exprObject(e ast.Expr) types.Object {
+	if e == nil {
+		return nil
+	}
+	e = unparen(e)
+	if ue, ok := e.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		e = unparen(ue.X)
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := fa.pass.TypesInfo.Uses[id]; obj != nil {
+		return obj
+	}
+	return fa.pass.TypesInfo.Defs[id]
+}
+
+func (fa *funcAnalysis) sameExpr(a, b ast.Expr) bool {
+	return a == b
+}

@@ -15,10 +15,14 @@ import (
 //	//readopt:ignore <name>  on a declaration or a line: suppress one
 //	                         analyzer's findings there (give a reason in
 //	                         the trailing text)
+//	//readopt:selconsumer    on a function: it is a declared consumer of
+//	                         raw selection-vector indices and carries its
+//	                         own bounds checks (selbounds trusts it)
 const (
-	directiveHotPath = "readopt:hotpath"
-	directiveClock   = "readopt:clock"
-	directiveIgnore  = "readopt:ignore"
+	directiveHotPath     = "readopt:hotpath"
+	directiveClock       = "readopt:clock"
+	directiveIgnore      = "readopt:ignore"
+	directiveSelConsumer = "readopt:selconsumer"
 )
 
 // hasDirective reports whether the comment group carries the directive

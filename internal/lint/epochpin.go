@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// EpochPin enforces the write path's snapshot/refcount discipline: a
+// query pins exactly one epoch by taking a refcounted snapshot, and
+// replaced runs are deleted only after the last reader drains — which
+// holds only if every acquire is balanced by a release on every path,
+// error returns included. The refcount has no runtime safety net: a
+// leaked pin silently keeps dead generations on disk forever, and an
+// extra release frees pages under a live scan.
+//
+// The analyzer tracks, with the CFG + dataflow engine:
+//
+//   - results of 0-arg Snapshot() methods whose type has a Release()
+//     method (the wos.Store.Snapshot shape)
+//   - results of new*/acquire* constructors returning a type with
+//     unexported retain/release refcount methods (wos's version,
+//     genRef, runRef shape)
+//   - receivers of bare retain() calls
+//
+// and requires each to be released (Release/release), returned, or
+// otherwise handed off on every path reaching the function exit.
+var EpochPin = &Analyzer{
+	Name: "epochpin",
+	Doc: "every snapshot/refcount acquire (Snapshot(), retain(), refcounted constructors) must be " +
+		"released on all paths including error returns, or escape to a caller that will",
+	Run: runEpochPin,
+}
+
+func runEpochPin(pass *Pass) error {
+	spec := &resourceSpec{
+		classify: classifyEpochCall,
+		report: func(p *Pass, pos token.Pos, desc string) {
+			p.Reportf(pos, "%s is not released on every path: a leaked pin keeps its epoch's runs on disk forever (release it, defer the release, or return it)", desc)
+		},
+	}
+	runResourceAnalysis(pass, spec)
+	return nil
+}
+
+func classifyEpochCall(pass *Pass, call *ast.CallExpr) callEffect {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		// Package-local constructor: newVersion(...), newSnapshot(...).
+		if id, isID := unparen(call.Fun).(*ast.Ident); isID {
+			return classifyEpochConstructor(pass, call, id.Name)
+		}
+		return callEffect{}
+	}
+	name := sel.Sel.Name
+	switch {
+	case (name == "Release" || name == "release") && len(call.Args) == 0:
+		if isMethodCall(pass, sel) {
+			return callEffect{kind: effRelease, obj: sel.X, desc: "refcount release"}
+		}
+	case name == "retain" && len(call.Args) == 0:
+		if isMethodCall(pass, sel) && hasRefcountMethods(receiverType(pass, sel)) {
+			return callEffect{kind: effAcquireRecv, obj: sel.X, desc: "retained refcount on"}
+		}
+	case name == "Snapshot" && len(call.Args) == 0:
+		if rt := callResultType(pass, call, 0); rt != nil && hasMethodNamed(rt, "Release") {
+			return callEffect{kind: effAcquire, resultIdx: 0, desc: "snapshot"}
+		}
+	default:
+		// Qualified constructor: wos.NewVersion style.
+		return classifyEpochConstructor(pass, call, name)
+	}
+	return callEffect{}
+}
+
+// classifyEpochConstructor matches new*/acquire* calls returning a
+// refcounted type (one with both retain and release in its method set).
+func classifyEpochConstructor(pass *Pass, call *ast.CallExpr, name string) callEffect {
+	lower := strings.ToLower(name)
+	if !strings.HasPrefix(lower, "new") && !strings.HasPrefix(lower, "acquire") {
+		return callEffect{}
+	}
+	sig := calleeSignature(pass, call)
+	if sig == nil {
+		return callEffect{}
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		rt := sig.Results().At(i).Type()
+		if hasRefcountMethods(rt) {
+			return callEffect{kind: effAcquire, resultIdx: i, desc: "refcounted " + name + " result"}
+		}
+	}
+	return callEffect{}
+}
+
+// isMethodCall reports whether sel.X is a value expression (a real
+// method call receiver), not a package qualifier or a type.
+func isMethodCall(pass *Pass, sel *ast.SelectorExpr) bool {
+	if id, ok := unparen(sel.X).(*ast.Ident); ok {
+		if _, isPkg := pass.TypesInfo.Uses[id].(*types.PkgName); isPkg {
+			return false
+		}
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	return ok && tv.IsValue()
+}
+
+func receiverType(pass *Pass, sel *ast.SelectorExpr) types.Type {
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return nil
+	}
+	return tv.Type
+}
+
+// callResultType returns the type of result i of the call, or nil.
+func callResultType(pass *Pass, call *ast.CallExpr, i int) types.Type {
+	sig := calleeSignature(pass, call)
+	if sig == nil || i >= sig.Results().Len() {
+		return nil
+	}
+	return sig.Results().At(i).Type()
+}
+
+// hasRefcountMethods reports whether t's method set carries both retain
+// and release (the wos refcount shape).
+func hasRefcountMethods(t types.Type) bool {
+	return hasMethodNamed(t, "retain") && hasMethodNamed(t, "release")
+}
+
+// hasMethodNamed reports whether name is in the method set of t or *t,
+// taking no arguments.
+func hasMethodNamed(t types.Type, name string) bool {
+	if t == nil {
+		return false
+	}
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		ms := types.NewMethodSet(typ)
+		for i := 0; i < ms.Len(); i++ {
+			f, ok := ms.At(i).Obj().(*types.Func)
+			if !ok || f.Name() != name {
+				continue
+			}
+			if sig, ok := f.Type().(*types.Signature); ok && sig.Params().Len() == 0 {
+				return true
+			}
+		}
+	}
+	return false
+}

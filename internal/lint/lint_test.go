@@ -33,6 +33,16 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"faultcmp_clean", lint.FaultCmp, false},
 		{"runcrc", lint.RunCRC, true},
 		{"runcrc_clean", lint.RunCRC, false},
+		{"epochpin", lint.EpochPin, true},
+		{"epochpin_clean", lint.EpochPin, false},
+		{"closeleak", lint.CloseLeak, true},
+		{"closeleak_clean", lint.CloseLeak, false},
+		{"ctxloop", lint.CtxLoop, true},
+		{"ctxloop_clean", lint.CtxLoop, false},
+		{"poolpair", lint.PoolPair, true},
+		{"poolpair_clean", lint.PoolPair, false},
+		{"selbounds", lint.SelBounds, true},
+		{"selbounds_clean", lint.SelBounds, false},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {
@@ -55,6 +65,8 @@ func TestFullSuiteOnCleanFixtures(t *testing.T) {
 		"hotalloc_clean", "bitwidth_clean", "pagebounds_clean",
 		"clockdiscipline_clean", "clockdiscipline_main", "tracepool_clean",
 		"faultcmp_clean", "runcrc_clean",
+		"epochpin_clean", "closeleak_clean", "ctxloop_clean",
+		"poolpair_clean", "selbounds_clean",
 	} {
 		t.Run(dir, func(t *testing.T) {
 			diags := linttest.Run(t, filepath.Join("testdata", "src", dir), lint.Analyzers()...)

@@ -1,0 +1,152 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolPair enforces sync.Pool Get/Put pairing. The Exchange transfer
+// pool and the per-worker counter pools exist to keep parallel plans
+// allocation-free across queries; every Get whose value is neither Put
+// back nor handed off quietly drains the pool, which shows up not as a
+// failure but as the allocation rate creeping back to the pre-pool
+// numbers — exactly the regression the bench guard exists to catch,
+// several PRs too late.
+//
+// Two checks:
+//
+//   - flow-sensitive (CFG + dataflow): a value from pool.Get() —
+//     including the idiomatic comma-ok type assertion — must reach
+//     pool.Put, escape (stored, returned, passed on), or be proven
+//     absent (the ok==false arm) on every path
+//   - structural: a sync.Pool variable whose package calls Get but
+//     never Put (or vice versa) is flagged at its declaration — the
+//     flow check can't see a pairing that never exists
+var PoolPair = &Analyzer{
+	Name: "poolpair",
+	Doc: "sync.Pool Get and Put must pair: a Get whose value is dropped on some path silently " +
+		"drains the pool and reintroduces the allocation rate the pool removed",
+	Run: runPoolPair,
+}
+
+func runPoolPair(pass *Pass) error {
+	spec := &resourceSpec{
+		classify: classifyPoolCall,
+		report: func(p *Pass, pos token.Pos, desc string) {
+			p.Reportf(pos, "%s is not returned to its pool on every path (Put it back, hand it off, or store it)", desc)
+		},
+	}
+	runResourceAnalysis(pass, spec)
+	checkPoolVars(pass)
+	return nil
+}
+
+func classifyPoolCall(pass *Pass, call *ast.CallExpr) callEffect {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !isSyncPool(receiverType(pass, sel)) || !isMethodCall(pass, sel) {
+		return callEffect{}
+	}
+	switch sel.Sel.Name {
+	case "Get":
+		if len(call.Args) == 0 {
+			return callEffect{kind: effAcquire, resultIdx: 0, desc: "pooled value"}
+		}
+	case "Put":
+		if len(call.Args) == 1 {
+			return callEffect{kind: effRelease, obj: call.Args[0], desc: "pool put"}
+		}
+	}
+	return callEffect{}
+}
+
+// isSyncPool reports whether t is sync.Pool or *sync.Pool.
+func isSyncPool(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}
+
+// checkPoolVars flags package-level sync.Pool variables with one-sided
+// usage in their defining package.
+func checkPoolVars(pass *Pass) {
+	type usage struct {
+		pos  token.Pos
+		name string
+		get  bool
+		put  bool
+	}
+	pools := map[types.Object]*usage{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, nameID := range vs.Names {
+					obj := pass.TypesInfo.Defs[nameID]
+					if obj == nil || !isSyncPool(obj.Type()) {
+						continue
+					}
+					pools[obj] = &usage{pos: nameID.Pos(), name: nameID.Name}
+				}
+			}
+		}
+	}
+	if len(pools) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			base := unparen(sel.X)
+			if ue, isAddr := base.(*ast.UnaryExpr); isAddr && ue.Op == token.AND {
+				base = unparen(ue.X)
+			}
+			id, ok := base.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			u, tracked := pools[pass.TypesInfo.Uses[id]]
+			if !tracked {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Get":
+				u.get = true
+			case "Put":
+				u.put = true
+			}
+			return true
+		})
+	}
+	for _, u := range pools {
+		switch {
+		case u.get && !u.put:
+			pass.Reportf(u.pos, "pool %s has Get calls but no Put anywhere in the package: nothing is ever recycled", u.name)
+		case u.put && !u.get:
+			pass.Reportf(u.pos, "pool %s has Put calls but no Get anywhere in the package: the pooled values are never reused", u.name)
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SelBounds guards the vectorized scan's trust boundary. The selection
+// kernels (compress.EvalPredicate / RefineSel) emit page-row indices as
+// raw int32s; the consumers that index with them — Materialize's
+// per-codec loops, Block.AllocN's region math — carry the bounds
+// checks (and readoptdebug assertions) that make a corrupt or stale
+// selection vector fail loudly instead of reading the wrong tuple. Any
+// OTHER code that turns a sel element into a slice index silently
+// bypasses those checks: a page shorter than the vector (torn read,
+// clipped range) becomes an out-of-bounds panic at best and wrong
+// query results at worst.
+//
+// The analyzer taints every value passed as a selection vector to
+// EvalPredicate/RefineSel (fields taint package-wide, since producer
+// and consumer are usually different methods), propagates through
+// slicing and element reads, and reports:
+//
+//   - a sel element used inside an index or slice-bound expression
+//   - a sel vector passed to a call that is not a known bounds-checked
+//     consumer (Materialize, AllocN, the kernels themselves, append/
+//     copy/len/cap)
+//
+// A function named Materialize or AllocN, or one marked
+// `//readopt:selconsumer`, is a declared consumer: it owns the bounds
+// check and may index freely.
+var SelBounds = &Analyzer{
+	Name: "selbounds",
+	Doc: "selection-vector indices from EvalPredicate/RefineSel may only become slice indices " +
+		"inside bounds-checked consumers (Materialize/AllocN or //readopt:selconsumer)",
+	Run: runSelBounds,
+}
+
+// selProducers emit selection vectors; selConsumers are the call names
+// allowed to receive one.
+var (
+	selProducers = map[string]bool{"EvalPredicate": true, "RefineSel": true}
+	selConsumers = map[string]bool{
+		"EvalPredicate": true, "RefineSel": true, "Materialize": true, "AllocN": true,
+		"append": true, "copy": true, "len": true, "cap": true, "min": true, "max": true,
+	}
+)
+
+func runSelBounds(pass *Pass) error {
+	tainted := collectSelVectors(pass)
+	if len(tainted) == 0 {
+		return nil
+	}
+	declared := declaredSelConsumers(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if selConsumers[fd.Name.Name] || declared[fd.Name.Name] {
+				continue
+			}
+			checkSelUses(pass, fd, tainted, declared)
+		}
+	}
+	return nil
+}
+
+// declaredSelConsumers collects the package's //readopt:selconsumer
+// functions: their bodies may index with sel elements, and passing a
+// vector TO them is allowed — the directive asserts they carry their
+// own bounds checks.
+func declaredSelConsumers(pass *Pass) map[string]bool {
+	out := map[string]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && hasDirective(fd.Doc, directiveSelConsumer) {
+				out[fd.Name.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+// collectSelVectors finds every object (variable or struct field)
+// passed as an []int32 argument to a selection kernel anywhere in the
+// package. Field objects make the taint flow across methods: prepPage
+// fills cur.sel, driveDeepestVec consumes it.
+func collectSelVectors(pass *Pass) map[types.Object]bool {
+	tainted := map[types.Object]bool{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !selProducers[calleeName(call)] {
+				return true
+			}
+			for _, arg := range call.Args {
+				if !isInt32Slice(pass.TypesInfo.Types[arg].Type) {
+					continue
+				}
+				if obj := selBaseObject(pass, arg); obj != nil {
+					tainted[obj] = true
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+func isInt32Slice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Int32
+}
+
+// selBaseObject resolves an expression to the variable or field object
+// it reads, unwrapping slicing: `cur.sel[:n]` resolves to the sel
+// field, `sel[lo:hi]` to the sel variable.
+func selBaseObject(pass *Pass, e ast.Expr) types.Object {
+	for {
+		e = unparen(e)
+		if se, ok := e.(*ast.SliceExpr); ok {
+			e = se.X
+			continue
+		}
+		break
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		if obj := pass.TypesInfo.Uses[e]; obj != nil {
+			return obj
+		}
+		return pass.TypesInfo.Defs[e]
+	case *ast.SelectorExpr:
+		if s, ok := pass.TypesInfo.Selections[e]; ok && s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+	}
+	return nil
+}
+
+// checkSelUses runs the per-function taint propagation and reports
+// violations.
+func checkSelUses(pass *Pass, fd *ast.FuncDecl, global map[types.Object]bool, declared map[string]bool) {
+	// slices: objects holding a (slice of a) selection vector.
+	// elems: objects holding one element of one.
+	slices := map[types.Object]bool{}
+	elems := map[types.Object]bool{}
+	for o := range global {
+		slices[o] = true
+	}
+	isTaintedSliceExpr := func(e ast.Expr) bool {
+		obj := selBaseObject(pass, e)
+		return obj != nil && slices[obj]
+	}
+	// isTaintedElemExpr: an expression whose value is a sel element — a
+	// read of an element-tainted variable, or an inline index into a
+	// tainted vector.
+	var isTaintedElemExpr func(e ast.Expr) bool
+	isTaintedElemExpr = func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			switch n := n.(type) {
+			case *ast.Ident:
+				if obj := pass.TypesInfo.Uses[n]; obj != nil && elems[obj] {
+					found = true
+					return false
+				}
+			case *ast.IndexExpr:
+				if isTaintedSliceExpr(n.X) {
+					found = true
+					return false
+				}
+			}
+			return true
+		})
+		return found
+	}
+
+	// Propagate to a fixpoint: assignments and ranges create new
+	// tainted objects, which can feed further assignments.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					obj := selBaseObject(pass, lhs)
+					if obj == nil {
+						continue
+					}
+					rhs := unparen(n.Rhs[i])
+					if ie, ok := rhs.(*ast.IndexExpr); ok && isTaintedSliceExpr(ie.X) {
+						if !elems[obj] {
+							elems[obj] = true
+							changed = true
+						}
+					} else if isTaintedSliceExpr(rhs) && !slices[obj] {
+						slices[obj] = true
+						changed = true
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil && isTaintedSliceExpr(n.X) {
+					if obj := selBaseObject(pass, n.Value); obj != nil && !elems[obj] {
+						elems[obj] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Violations.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IndexExpr:
+			// Indexing the vector itself is the producer's own
+			// read/write; the danger is a sel ELEMENT indexing
+			// something else.
+			if !isTaintedSliceExpr(n.X) && isTaintedElemExpr(n.Index) {
+				pass.Reportf(n.Index.Pos(), "selection-vector element used as a slice index outside a bounds-checked consumer: route this through Materialize/AllocN or mark the function //readopt:selconsumer with its own bounds check")
+			}
+		case *ast.SliceExpr:
+			for _, bound := range []ast.Expr{n.Low, n.High, n.Max} {
+				if bound != nil && !isTaintedSliceExpr(n.X) && isTaintedElemExpr(bound) {
+					pass.Reportf(bound.Pos(), "selection-vector element used as a slice bound outside a bounds-checked consumer: route this through Materialize/AllocN or mark the function //readopt:selconsumer with its own bounds check")
+					break
+				}
+			}
+		case *ast.CallExpr:
+			name := calleeName(n)
+			if selConsumers[name] || declared[name] {
+				return true
+			}
+			if isConversion(pass, n) {
+				return true
+			}
+			for _, arg := range n.Args {
+				if isTaintedSliceExpr(arg) {
+					pass.Reportf(arg.Pos(), "selection vector passed to %s, which is not a known bounds-checked consumer: use Materialize/AllocN or mark the callee //readopt:selconsumer", name)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isConversion reports whether the call is a type conversion
+// (int64(s), int(x)) rather than a function call.
+func isConversion(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[unparen(call.Fun)]
+	return ok && tv.IsType()
+}

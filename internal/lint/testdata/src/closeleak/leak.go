@@ -1,0 +1,60 @@
+// Package closeleak is the dirty closeleak fixture: opened files and
+// custom closers dropped on some path — early returns, reassignment
+// over a live handle, and a discarded open.
+package closeleak
+
+import (
+	"errors"
+	"os"
+)
+
+var errEarly = errors.New("early")
+
+type scanner struct{ open bool }
+
+func (s *scanner) Close() error { return nil }
+
+func openScanner() (*scanner, error) { return &scanner{open: true}, nil }
+
+// leakOnBranch closes only on the happy path; the flag arm leaks f.
+func leakOnBranch(path string, flag bool) error {
+	f, err := os.Open(path) // want "file from os.Open f is not closed on every path"
+	if err != nil {
+		return err
+	}
+	if flag {
+		return errEarly
+	}
+	return f.Close()
+}
+
+// leakCustomCloser does the same through a package-local open.
+func leakCustomCloser(flag bool) error {
+	sc, err := openScanner() // want "closer from openScanner sc is not closed on every path"
+	if err != nil {
+		return err
+	}
+	if flag {
+		return nil
+	}
+	return sc.Close()
+}
+
+// reassigned opens twice into the same variable: the first handle is
+// overwritten while still live.
+func reassigned(p1, p2 string) error {
+	f, err := os.Open(p1) // want "file from os.Open f is not closed on every path"
+	if err != nil {
+		return err
+	}
+	f, err = os.Open(p2)
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// discarded never binds the handle at all.
+func discarded(path string) {
+	os.Open(path) // want "result discarded"
+}

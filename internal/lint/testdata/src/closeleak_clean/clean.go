@@ -1,0 +1,94 @@
+// Package closeleakclean is the clean closeleak fixture: every idiom
+// that must not be flagged — defer, defer-closure, direct return,
+// hand-off into a wrapper, the Abort error-path teardown, and the
+// err-guard on a failed open.
+package closeleakclean
+
+import (
+	"errors"
+	"os"
+)
+
+var errStub = errors.New("stub")
+
+type wrapper struct{ f *os.File }
+
+func (w *wrapper) Close() error { return w.f.Close() }
+
+func newWrapper(f *os.File) (*wrapper, error) { return &wrapper{f: f}, nil }
+
+type writer struct{ done bool }
+
+func (w *writer) Close() error { return nil }
+func (w *writer) Abort()       {}
+
+func newWriter() (*writer, error) { return &writer{}, nil }
+
+// deferred is the canonical open-check-defer shape.
+func deferred(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var buf [8]byte
+	_, err = f.Read(buf[:])
+	return err
+}
+
+// deferClosure releases through a deferred closure.
+func deferClosure(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer func() { _ = f.Close() }()
+	return nil
+}
+
+// handedOff wraps the file: ownership moves to the wrapper, and on the
+// wrap failing the file is closed here.
+func handedOff(path string) (*wrapper, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	w, err := newWrapper(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// returned hands the open file straight to the caller.
+func returned(path string) (*os.File, error) {
+	return os.Open(path)
+}
+
+// abortOnError exercises the Abort release verb: the error path tears
+// the writer down without finalizing.
+func abortOnError(fail bool) error {
+	w, err := newWriter()
+	if err != nil {
+		return err
+	}
+	if fail {
+		w.Abort()
+		return errStub
+	}
+	return w.Close()
+}
+
+// closedBothArms closes on each branch separately.
+func closedBothArms(path string, flag bool) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	if flag {
+		return f.Close()
+	}
+	err = f.Close()
+	return err
+}

@@ -1,0 +1,58 @@
+// Package ctxloop is the dirty ctxloop fixture: hot-path I/O loops
+// with a context in scope (receiver field or parameter) that never
+// observe it, so cancellation waits for the whole file.
+package ctxloop
+
+import (
+	"context"
+	"io"
+)
+
+type reader struct {
+	ctx context.Context
+	src io.Reader
+}
+
+// drainUnchecked loops over Read with r.ctx in scope and never checks
+// it.
+//
+//readopt:hotpath
+func (r *reader) drainUnchecked(buf []byte) (int, error) {
+	total := 0
+	for { // want "I/O loop in hot path drainUnchecked never checks its context"
+		n, err := r.src.Read(buf)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+// drainHalfChecked checks the context on one arm only: the deep=false
+// iterations run unbounded.
+//
+//readopt:hotpath
+func (r *reader) drainHalfChecked(buf []byte, deep bool) error {
+	for { // want "I/O loop in hot path drainHalfChecked never checks its context"
+		if deep {
+			if err := r.ctx.Err(); err != nil {
+				return err
+			}
+		}
+		if _, err := r.src.Read(buf); err != nil {
+			return err
+		}
+	}
+}
+
+// pumpParam takes the context as a parameter and still skips the check.
+//
+//readopt:hotpath
+func pumpParam(ctx context.Context, src io.Reader, buf []byte) error {
+	for i := 0; i < 1024; i++ { // want "I/O loop in hot path pumpParam never checks its context"
+		if _, err := src.Read(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,81 @@
+// Package ctxloopclean is the clean ctxloop fixture: the house
+// patterns — ctx.Err() at the top of the loop, a Done arm in a select
+// (any arm of such a select counts: the select itself polls Done) —
+// plus the deliberate skips: no directive, no context in scope, no I/O
+// in the loop.
+package ctxloopclean
+
+import (
+	"context"
+	"io"
+)
+
+type reader struct {
+	ctx context.Context
+	src io.Reader
+}
+
+// drainChecked polls the context once per iteration.
+//
+//readopt:hotpath
+func (r *reader) drainChecked(buf []byte) (int, error) {
+	total := 0
+	for {
+		if err := r.ctx.Err(); err != nil {
+			return total, err
+		}
+		n, err := r.src.Read(buf)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+}
+
+// pump selects on Done each iteration: the data arm also counts,
+// because reaching it means Done was polled and not ready.
+//
+//readopt:hotpath
+func pump(ctx context.Context, src io.Reader, ch chan []byte) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case buf := <-ch:
+			if _, err := src.Read(buf); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// noContext has nothing in scope to check against.
+//
+//readopt:hotpath
+func noContext(src io.Reader, buf []byte) error {
+	for {
+		if _, err := src.Read(buf); err != nil {
+			return err
+		}
+	}
+}
+
+// noIO loops over memory only: nothing to cancel.
+//
+//readopt:hotpath
+func (r *reader) noIO(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// notHot lacks the directive: cold paths may poll however they like.
+func (r *reader) notHot(buf []byte) error {
+	for {
+		if _, err := r.src.Read(buf); err != nil {
+			return err
+		}
+	}
+}

@@ -1,0 +1,68 @@
+// Package epochpin is the dirty epochpin fixture: snapshot and
+// refcount acquires that miss their release on some path. The types
+// mirror the wos shapes the analyzer keys on — a Snapshot() method
+// whose result has Release(), and new* constructors returning a type
+// with unexported retain/release.
+package epochpin
+
+import "errors"
+
+type Store struct{ epoch uint64 }
+
+type Snap struct{ epoch uint64 }
+
+func (s *Store) Snapshot() *Snap { return &Snap{epoch: s.epoch} }
+func (sn *Snap) Release()        {}
+func (sn *Snap) Epoch() uint64   { return sn.epoch }
+
+type version struct{ refs int }
+
+func (v *version) retain()  { v.refs++ }
+func (v *version) release() { v.refs-- }
+
+var shared = &version{refs: 1}
+
+func newVersion() *version { return &version{refs: 1} }
+
+func newVersionErr(fail bool) (*version, error) {
+	if fail {
+		return nil, errors.New("no version")
+	}
+	return &version{refs: 1}, nil
+}
+
+// leakOnEarlyReturn drops the snapshot's pin on the n > 0 path.
+func leakOnEarlyReturn(st *Store, n int) int {
+	sn := st.Snapshot() // want "snapshot sn is not released on every path"
+	if n > 0 {
+		return n
+	}
+	sn.Release()
+	return 0
+}
+
+// leakConstructor drops the refcounted constructor result when cond
+// holds.
+func leakConstructor(cond bool) {
+	v := newVersion() // want "refcounted newVersion result v is not released"
+	if cond {
+		return
+	}
+	v.release()
+}
+
+// leakRetain takes an extra reference and forgets it on the early
+// return.
+func leakRetain(cond bool) {
+	w := shared
+	w.retain() // want "retained refcount on w is not released"
+	if cond {
+		return
+	}
+	w.release()
+}
+
+// discardSnapshot never even binds the pin.
+func discardSnapshot(st *Store) {
+	st.Snapshot() // want "snapshot result discarded"
+}

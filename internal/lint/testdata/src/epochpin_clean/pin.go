@@ -1,0 +1,76 @@
+// Package epochpinclean is the clean epochpin fixture: every idiom
+// the analyzer must NOT flag — defers, direct returns, error-guarded
+// constructors, the ownership-transfer retain on a parameter, and the
+// declare-defer-then-release closure.
+package epochpinclean
+
+import "errors"
+
+type Store struct{ epoch uint64 }
+
+type Snap struct{ epoch uint64 }
+
+func (s *Store) Snapshot() *Snap { return &Snap{epoch: s.epoch} }
+func (sn *Snap) Release()        {}
+func (sn *Snap) Epoch() uint64   { return sn.epoch }
+
+type version struct{ refs int }
+
+func (v *version) retain()  { v.refs++ }
+func (v *version) release() { v.refs-- }
+
+type holder struct{ gen *version }
+
+func newVersionErr(fail bool) (*version, error) {
+	if fail {
+		return nil, errors.New("no version")
+	}
+	return &version{refs: 1}, nil
+}
+
+// deferred releases through a defer registered right after the acquire.
+func deferred(st *Store) uint64 {
+	sn := st.Snapshot()
+	defer sn.Release()
+	return sn.Epoch()
+}
+
+// handedOff returns the pin to the caller, who owns the release.
+func handedOff(st *Store) *Snap {
+	return st.Snapshot()
+}
+
+// guarded exercises the err refinement: on the err != nil edge no
+// version materialized, so the early return is not a leak.
+func guarded(fail bool) (*version, error) {
+	v, err := newVersionErr(fail)
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// transfer retains a parameter: the reference belongs to the holder
+// being built, not to this frame (the wos newVersion idiom).
+func transfer(gen *version) *holder {
+	gen.retain()
+	return &holder{gen: gen}
+}
+
+// deferClosure releases inside a deferred closure.
+func deferClosure(st *Store) uint64 {
+	sn := st.Snapshot()
+	defer func() { sn.Release() }()
+	return sn.Epoch()
+}
+
+// branchBalanced releases on both arms.
+func branchBalanced(st *Store, n int) int {
+	sn := st.Snapshot()
+	if n > 0 {
+		sn.Release()
+		return n
+	}
+	sn.Release()
+	return 0
+}

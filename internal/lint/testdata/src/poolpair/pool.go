@@ -1,0 +1,35 @@
+// Package poolpair is the dirty poolpair fixture: Get values dropped
+// on some path, and a pool with no Put anywhere in the package.
+package poolpair
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { p := make([]byte, 0, 64); return &p }}
+
+// orphan is only ever Get from: nothing is ever recycled.
+var orphan sync.Pool // want "pool orphan has Get calls but no Put"
+
+func orphanGet() any { return orphan.Get() }
+
+// dropUndersized returns the pooled buffer when it fits but DROPS it
+// when it is too small — the exchange.go bug shape.
+func dropUndersized(need int) *[]byte {
+	if p, ok := bufPool.Get().(*[]byte); ok { // want "pooled value p is not returned to its pool"
+		if cap(*p) >= need {
+			return p
+		}
+	}
+	q := make([]byte, 0, need)
+	return &q
+}
+
+// leakPlain drops the value on the cond arm.
+func leakPlain(cond bool) {
+	v := bufPool.Get() // want "pooled value v is not returned to its pool"
+	if cond {
+		return
+	}
+	bufPool.Put(v)
+}
+
+func recycle(p *[]byte) { bufPool.Put(p) }

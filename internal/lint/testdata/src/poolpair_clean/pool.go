@@ -1,0 +1,58 @@
+// Package poolpairclean is the clean poolpair fixture: paired Get/Put
+// in every shape the engine uses — defer Put, put-back of an
+// undersized buffer, the ok==false guard, and hand-off.
+package poolpairclean
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { p := make([]byte, 0, 64); return &p }}
+
+type holder struct{ buf *[]byte }
+
+// roundTrip is the plain Get / defer Put pairing.
+func roundTrip() int {
+	v := bufPool.Get()
+	defer bufPool.Put(v)
+	p, ok := v.(*[]byte)
+	if !ok {
+		return 0
+	}
+	return cap(*p)
+}
+
+// undersizedPutBack returns a fitting buffer and puts a small one back
+// instead of dropping it — the fixed exchange.go shape.
+func undersizedPutBack(need int) []byte {
+	if p, ok := bufPool.Get().(*[]byte); ok {
+		if cap(*p) >= need {
+			return (*p)[:need]
+		}
+		bufPool.Put(p)
+	}
+	return make([]byte, need)
+}
+
+// missGuard proves the ok==false arm is not a leak: no value came out.
+func missGuard() {
+	p, ok := bufPool.Get().(*[]byte)
+	if !ok {
+		return
+	}
+	bufPool.Put(p)
+}
+
+// handOff stores the value: ownership moves to the holder.
+func handOff() *holder {
+	p, ok := bufPool.Get().(*[]byte)
+	if !ok {
+		return nil
+	}
+	return &holder{buf: p}
+}
+
+func (h *holder) release() {
+	if h.buf != nil {
+		bufPool.Put(h.buf)
+		h.buf = nil
+	}
+}

@@ -1,0 +1,51 @@
+// Package selbounds is the dirty selbounds fixture: raw selection
+// vector elements escaping the bounds-checked consumers — indexing,
+// slice bounds, and handing the vector to an unvetted helper.
+package selbounds
+
+// EvalPredicate mimics the compress kernel shape: it fills sel with
+// matching row indices and returns the count. Its own body is exempt
+// by name — it is the producer.
+func EvalPredicate(codes []byte, sel []int32) int {
+	n := 0
+	for i := range codes {
+		if codes[i] != 0 {
+			sel[n] = int32(i)
+			n++
+		}
+	}
+	return n
+}
+
+type page struct {
+	sel     []int32
+	decoded []byte
+}
+
+func (p *page) fill(codes []byte) {
+	p.sel = p.sel[:cap(p.sel)]
+	n := EvalPredicate(codes, p.sel)
+	p.sel = p.sel[:n]
+}
+
+// indexWithElement turns a raw sel element into a slice index with no
+// bounds check between them.
+func (p *page) indexWithElement(out []byte) {
+	for i, s := range p.sel {
+		out[i] = p.decoded[s] // want "selection-vector element used as a slice index"
+	}
+}
+
+// sliceWithElement uses an element as a slice bound.
+func (p *page) sliceWithElement(size int) []byte {
+	s := p.sel[0]
+	return p.decoded[int(s)*size:] // want "selection-vector element used as a slice bound"
+}
+
+// passToUnchecked hands the whole vector to a helper that neither has
+// a consumer name nor the directive.
+func (p *page) passToUnchecked() {
+	shuffle(p.sel) // want "selection vector passed to shuffle"
+}
+
+func shuffle(v []int32) {}

@@ -1,0 +1,73 @@
+// Package selboundsclean is the clean selbounds fixture: vectors flow
+// only into declared consumers — the kernels themselves, Materialize
+// and AllocN by name, a //readopt:selconsumer function — and through
+// the allowed builtins.
+package selboundsclean
+
+// EvalPredicate is the producer (exempt by name).
+func EvalPredicate(codes []byte, sel []int32) int {
+	n := 0
+	for i := range codes {
+		if codes[i] != 0 {
+			sel[n] = int32(i)
+			n++
+		}
+	}
+	return n
+}
+
+// RefineSel is the second producer shape.
+func RefineSel(codes []byte, sel []int32) int { return len(sel) }
+
+type page struct {
+	sel     []int32
+	decoded []byte
+}
+
+func (p *page) fill(codes []byte) {
+	p.sel = p.sel[:cap(p.sel)]
+	n := EvalPredicate(codes, p.sel)
+	n = RefineSel(codes, p.sel[:n])
+	p.sel = p.sel[:n]
+}
+
+// Materialize is a consumer by name: it owns the bounds check.
+func Materialize(decoded []byte, sel []int32, out []byte, size int) int {
+	rows := len(decoded) / size
+	done := 0
+	for i, s := range sel {
+		if int(s) >= rows {
+			return done
+		}
+		copy(out[i*size:(i+1)*size], decoded[int(s)*size:(int(s)+1)*size])
+		done++
+	}
+	return done
+}
+
+// gather carries the directive and its own bounds check.
+//
+//readopt:selconsumer
+func gather(decoded []byte, sel []int32, out []byte) int {
+	done := 0
+	for i, s := range sel {
+		if int(s) >= len(decoded) {
+			return done
+		}
+		out[i] = decoded[s]
+		done++
+	}
+	return done
+}
+
+// drive routes the vector only through declared consumers and the
+// allowed builtins.
+func (p *page) drive(out []byte) int {
+	total := Materialize(p.decoded, p.sel, out, 1)
+	total += gather(p.decoded, p.sel, out)
+	total += len(p.sel)
+	spare := make([]int32, 0, len(p.sel))
+	spare = append(spare, p.sel...)
+	copy(spare, p.sel)
+	return total + cap(spare)
+}

@@ -233,32 +233,36 @@ func Post(sch *schema.Schema, tuples []byte, orderBy []SortSpec, limit int64, co
 		for i, o := range orderBy {
 			attr := sch.AttrIndex(o.Column)
 			if attr < 0 {
+				_ = op.Close()
 				return nil, fmt.Errorf("readopt: order-by column %q not in result", o.Column)
 			}
 			keys[i] = exec.SortKey{Attr: attr, Desc: o.Desc}
 		}
 		if limit > 0 {
 			ctr, wrap := stage("top-n", fmt.Sprintf("%d keys, limit %d", len(keys), limit))
-			op, err = exec.NewTopN(op, keys, limit, ctr)
+			top, err := exec.NewTopN(op, keys, limit, ctr)
 			if err != nil {
+				_ = op.Close()
 				return nil, err
 			}
-			return wrap(op), nil
+			return wrap(top), nil
 		}
 		ctr, wrap := stage("sort", fmt.Sprintf("%d keys", len(keys)))
-		op, err = exec.NewSort(op, keys, ctr)
+		sorted, err := exec.NewSort(op, keys, ctr)
 		if err != nil {
+			_ = op.Close()
 			return nil, err
 		}
-		return wrap(op), nil
+		return wrap(sorted), nil
 	}
 	if limit > 0 {
 		_, wrap := stage("limit", fmt.Sprintf("limit %d", limit))
-		op, err = exec.NewLimit(op, limit)
+		lim, err := exec.NewLimit(op, limit)
 		if err != nil {
+			_ = op.Close()
 			return nil, err
 		}
-		return wrap(op), nil
+		return wrap(lim), nil
 	}
 	return op, nil
 }

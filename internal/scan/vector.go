@@ -6,6 +6,7 @@ import (
 	"github.com/readoptdb/readopt/internal/bitio"
 	"github.com/readoptdb/readopt/internal/compress"
 	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/fault"
 )
 
 // This file is the vectorized, operate-on-compressed drive of the
@@ -192,15 +193,33 @@ func (c *ColScanner) driveDeepestVec() error {
 				}
 				c.cfg.Counters.AddInstr(int64(take) * (c.cfg.Costs.DecodeCost(cur.attr.Enc) + int64(n0.size)*c.cfg.Costs.CopyPerByte))
 			} else {
-				lo := cur.vecLo
-				for i, s := range chunk {
-					src := cur.decoded[(lo+int(s))*n0.size : (lo+int(s)+1)*n0.size]
-					copy(region[i*width+n0.outOff:i*width+n0.outOff+n0.size], src)
+				if err := materializeDecoded(cur.decoded, chunk, cur.vecLo, n0.size, region, width, n0.outOff); err != nil {
+					return err
 				}
 				c.cfg.Counters.AddInstr(int64(take) * int64(n0.size) * c.cfg.Costs.CopyPerByte)
 			}
 		}
 		cur.selOff += take
+	}
+	return nil
+}
+
+// materializeDecoded copies the selected rows of a decoded page into the
+// output region; it is the decoded-fallback twin of Kernel.Materialize
+// and carries the same contract: every selection index is range-checked
+// against the decoded page before use, so a corrupt selection vector
+// fails as a typed integrity error instead of reading a neighbor's
+// bytes.
+//
+//readopt:selconsumer
+func materializeDecoded(decoded []byte, sel []int32, lo, size int, region []byte, width, outOff int) error {
+	rows := len(decoded) / size
+	for i, s := range sel {
+		row := lo + int(s)
+		if s < 0 || row >= rows {
+			return fault.Corruptf("scan: selection index %d outside decoded page of %d rows", row, rows)
+		}
+		copy(region[i*width+outOff:i*width+outOff+size], decoded[row*size:(row+1)*size])
 	}
 	return nil
 }

@@ -114,9 +114,11 @@ func Create(dir string, sch *schema.Schema, layout Layout, pageSize int) (*Write
 				w.dicts[i] = d
 			}
 			if w.colBs[i], err = page.NewColBuilder(a, pageSize, d); err != nil {
+				w.Abort()
 				return nil, err
 			}
 			if w.colFs[i], err = createFile(dir, ColumnFileName(sch, i)); err != nil {
+				w.Abort()
 				return nil, err
 			}
 		}
@@ -176,13 +178,52 @@ func (w *Writer) Append(tuple []byte) error {
 	return nil
 }
 
+// Abort tears the writer down without finalizing the table: open file
+// handles are closed, no partial pages are flushed, and no metadata is
+// written, so the destination directory never looks like a complete
+// table. It is the error-path counterpart of Close and a no-op after
+// either.
+func (w *Writer) Abort() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	w.closeFiles()
+}
+
+// closeFiles closes every data file handle, ignoring errors: by the
+// time it runs the load has already failed and the partial files are
+// garbage.
+func (w *Writer) closeFiles() {
+	if w.rowF != nil {
+		_ = w.rowF.close()
+		w.rowF = nil
+	}
+	for i, wf := range w.colFs {
+		if wf != nil {
+			_ = wf.close()
+			w.colFs[i] = nil
+		}
+	}
+}
+
 // Close flushes partial pages, writes dictionaries and metadata, and
-// finalizes the table.
+// finalizes the table. On failure the writer's remaining file handles
+// are closed before returning, so an abandoned half-finalized load
+// does not leak descriptors.
 func (w *Writer) Close() error {
 	if w.closed {
 		return nil
 	}
 	w.closed = true
+	if err := w.finish(); err != nil {
+		w.closeFiles()
+		return err
+	}
+	return nil
+}
+
+func (w *Writer) finish() error {
 	sizes := make(map[string]int64)
 	sums := make(map[string]uint32)
 	switch w.layout {
@@ -280,6 +321,7 @@ func LoadSynthetic(dir string, sch *schema.Schema, layout Layout, pageSize int, 
 	for i := int64(0); i < n; i++ {
 		gen.Next(tuple)
 		if err := w.Append(tuple); err != nil {
+			w.Abort()
 			return nil, err
 		}
 	}

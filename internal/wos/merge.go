@@ -158,6 +158,7 @@ func (s *Store) merge(v *version, dstDir string) (*store.Table, error) {
 	for _, r := range v.runs {
 		sc := newRunScanner(context.Background(), r.dir, r.meta, r.sums, s.sch, nil)
 		if err := sc.Open(); err != nil {
+			_ = sc.Close()
 			closeAll()
 			return nil, err
 		}
@@ -169,6 +170,12 @@ func (s *Store) merge(v *version, dstDir string) (*store.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	merged := false
+	defer func() {
+		if !merged {
+			w.Abort()
+		}
+	}()
 	heads := make([][]byte, len(srcs))
 	for i, src := range srcs {
 		if heads[i], err = src.next(); err != nil {
@@ -201,6 +208,7 @@ func (s *Store) merge(v *version, dstDir string) (*store.Table, error) {
 	if total != want {
 		return nil, corruptf("wos: merge produced %d tuples, version holds %d", total, want)
 	}
+	merged = true
 	if err := w.Close(); err != nil {
 		return nil, err
 	}

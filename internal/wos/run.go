@@ -186,6 +186,9 @@ type runScanner struct {
 // newRunScanner builds a scanner over the run described by meta in dir.
 // counters may be nil. The reader opens lazily in Open.
 func newRunScanner(ctx context.Context, dir string, meta RunMeta, sums []uint32, sch *schema.Schema, counters *cpumodel.Counters) *runScanner {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return &runScanner{
 		ctx:      ctx,
 		dir:      dir,
@@ -228,6 +231,11 @@ func (s *runScanner) Next() (*exec.Block, error) {
 	width := s.sch.Width()
 	s.block.Reset()
 	for {
+		// A cancelled query must stop between pages even when every page
+		// decodes cleanly — the prefetcher only observes ctx on I/O waits.
+		if err := s.ctx.Err(); err != nil {
+			return nil, fault.Cancelled(err)
+		}
 		if s.pagePos >= s.pageN {
 			// The EOF latch matters: the prefetching reader delivers io.EOF
 			// exactly once, and a further Next on it blocks forever.

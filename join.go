@@ -38,27 +38,39 @@ func JoinTables(left *Table, lq Query, right *Table, rq Query, spec JoinSpec) (*
 	}
 	rop, err := right.plan(rq, &counters)
 	if err != nil {
+		// The left plan holds a snapshot pin through its releaseOp
+		// wrapper; dropping it unclosed would pin the epoch forever.
+		_ = lop.Close()
 		return nil, err
 	}
 	lk := lop.Schema().AttrIndex(spec.LeftKey)
 	if lk < 0 {
+		_ = lop.Close()
+		_ = rop.Close()
 		return nil, fmt.Errorf("readopt: left key %q not among selected columns", spec.LeftKey)
 	}
 	rk := rop.Schema().AttrIndex(spec.RightKey)
 	if rk < 0 {
+		_ = lop.Close()
+		_ = rop.Close()
 		return nil, fmt.Errorf("readopt: right key %q not among selected columns", spec.RightKey)
 	}
 	var op exec.Operator
 	op, err = exec.NewMergeJoin(lop, rop, lk, rk, &counters)
 	if err != nil {
+		_ = lop.Close()
+		_ = rop.Close()
 		return nil, err
 	}
+	// From here on op owns both inputs: closing it (the merge join or
+	// whatever wraps it) closes lop and rop and releases their pins.
 	if len(spec.Aggs) > 0 {
 		sch := op.Schema()
 		var groupBy []int
 		for _, g := range spec.GroupBy {
 			i := sch.AttrIndex(g)
 			if i < 0 {
+				_ = op.Close()
 				return nil, fmt.Errorf("readopt: group-by column %q not in joined schema", g)
 			}
 			groupBy = append(groupBy, i)
@@ -67,28 +79,34 @@ func JoinTables(left *Table, lq Query, right *Table, rq Query, spec JoinSpec) (*
 		for _, a := range spec.Aggs {
 			f, ok := aggFuncs[a.Func]
 			if !ok {
+				_ = op.Close()
 				return nil, fmt.Errorf("readopt: unknown aggregate %q", a.Func)
 			}
 			s := exec.AggSpec{Func: f}
 			if f != exec.Count {
 				i := sch.AttrIndex(a.Column)
 				if i < 0 {
+					_ = op.Close()
 					return nil, fmt.Errorf("readopt: aggregate column %q not in joined schema", a.Column)
 				}
 				s.Attr = i
 			}
 			aggs = append(aggs, s)
 		}
-		op, err = exec.NewHashAggregate(op, groupBy, aggs, &counters)
+		agg, err := exec.NewHashAggregate(op, groupBy, aggs, &counters)
 		if err != nil {
+			_ = op.Close()
 			return nil, err
 		}
+		op = agg
 	}
 	if spec.Limit > 0 {
-		op, err = exec.NewLimit(op, spec.Limit)
+		lim, err := exec.NewLimit(op, spec.Limit)
 		if err != nil {
+			_ = op.Close()
 			return nil, err
 		}
+		op = lim
 	}
 	if err := op.Open(); err != nil {
 		op.Close()

@@ -88,6 +88,7 @@ func (b *WriteBuffer) MergeInto(src *Table, dstDir, keyColumn string) (*Table, e
 	}
 	for off := 0; off < len(sorted); off += width {
 		if err := w.Append(sorted[off : off+width]); err != nil {
+			w.Abort()
 			return nil, err
 		}
 	}
