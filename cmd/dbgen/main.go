@@ -25,6 +25,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "generator seed")
 	dir := flag.String("dir", "", "output directory (required)")
 	pageSize := flag.Int("pagesize", 4096, "page size in bytes")
+	cluster := flag.String("cluster", "", "sort the load by this int32 column (clustered table; lets zone maps prune selective scans)")
 	flag.Parse()
 
 	if *dir == "" {
@@ -46,7 +47,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dbgen: unknown table %q\n", *table)
 		os.Exit(2)
 	}
-	tbl, err := readopt.GenerateTPCH(*dir, sch, readopt.Layout(*layout), *rows, *seed, readopt.LoadOptions{PageSize: *pageSize})
+	tbl, err := readopt.GenerateTPCH(*dir, sch, readopt.Layout(*layout), *rows, *seed,
+		readopt.LoadOptions{PageSize: *pageSize, ClusterBy: *cluster})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "dbgen: %v\n", err)
 		os.Exit(1)

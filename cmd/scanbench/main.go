@@ -46,6 +46,21 @@ type runReport struct {
 	IOBytes    int64   `json:"io_bytes"`
 }
 
+// selReport is one selectivity point of a -sel sweep: the scan's wall
+// time against the I/O it did and — the point of zone maps — the I/O it
+// provably avoided.
+type selReport struct {
+	// Selectivity is the requested fraction; -1 marks the point query.
+	Selectivity      float64 `json:"selectivity"`
+	Micros           int64   `json:"micros"`
+	Qualifying       int64   `json:"qualifying"`
+	IOBytes          int64   `json:"io_bytes"`
+	BytesSkipped     int64   `json:"bytes_skipped"`
+	PagesTouched     int64   `json:"pages_touched"`
+	PagesPruned      int64   `json:"pages_pruned"`
+	PagesLateSkipped int64   `json:"pages_late_skipped"`
+}
+
 // tableReport is one table's sweep in the JSON report.
 type tableReport struct {
 	Table       string         `json:"table"`
@@ -61,7 +76,9 @@ type tableReport struct {
 	// core count.
 	ScalarMicros  int64       `json:"scalar_micros,omitempty"`
 	KernelSpeedup float64     `json:"kernel_speedup,omitempty"`
-	Runs          []runReport `json:"runs"`
+	Runs          []runReport `json:"runs,omitempty"`
+	// Sel is the -sel selectivity sweep, most selective first.
+	Sel []selReport `json:"sel,omitempty"`
 }
 
 // report is the top of the JSON file: the environment the numbers were
@@ -89,6 +106,11 @@ type floorFile struct {
 	// dop 1 — the operate-on-compressed win, which no core count can
 	// mask.
 	MinKernelSpeedup float64 `json:"min_kernel_speedup"`
+	// MinSelectiveIOReduction is the floor on full-scan I/O bytes
+	// divided by point-query I/O bytes in a -sel sweep over a clustered
+	// table — how much reading the zone maps must save at the selective
+	// end. Sweeps are only guarded when this floor is set.
+	MinSelectiveIOReduction float64 `json:"min_selective_io_reduction,omitempty"`
 	// RegressionMargin is the fraction of each floor a run may fall
 	// short by before the guard fails (0.20 = fail on >20% regression).
 	RegressionMargin float64 `json:"regression_margin"`
@@ -206,6 +228,105 @@ func sweepTable(tbl *readopt.Table, q readopt.Query, sweep []int, repeat int, sc
 	return rep, nil
 }
 
+// parseSels parses the -sel list: "point" (an equality query on the
+// median key, reported as selectivity -1) or a fraction in (0, 1].
+func parseSels(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "point" {
+			out = append(out, -1)
+			continue
+		}
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil || v <= 0 || v > 1 {
+			return nil, fmt.Errorf("bad selectivity %q (want \"point\" or a fraction in (0, 1])", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// buildSelQuery assembles one selectivity point's query: the -cols
+// projection with a range predicate on the first column, or an equality
+// probe of its median value for the point query.
+func buildSelQuery(tbl *readopt.Table, cols int, sel float64) (readopt.Query, error) {
+	all := tbl.Schema().Columns()
+	if cols < 1 || cols > len(all) {
+		return readopt.Query{}, fmt.Errorf("-cols must be in 1..%d", len(all))
+	}
+	q := readopt.Query{Select: all[:cols]}
+	if sel < 0 {
+		th, err := tbl.SelectivityThreshold(0.5)
+		if err != nil {
+			return readopt.Query{}, err
+		}
+		q.Where = []readopt.Cond{{Column: all[0], Op: "=", Value: th}}
+		return q, nil
+	}
+	if sel < 1 {
+		th, err := tbl.SelectivityThreshold(sel)
+		if err != nil {
+			return readopt.Query{}, err
+		}
+		q.Where = []readopt.Cond{{Column: all[0], Op: "<", Value: th}}
+	} else {
+		// The full scan keeps a (vacuous) predicate so every sweep point
+		// runs the same plan shape; zone maps cannot prune it.
+		q.Where = []readopt.Cond{{Column: all[0], Op: ">=", Value: int32(-1 << 31)}}
+	}
+	return q, nil
+}
+
+// sweepSelectivity measures one table across the -sel selectivity
+// points at the given dop, best of repeat runs per point.
+func sweepSelectivity(tbl *readopt.Table, cols int, sels []float64, dop, repeat int, scalar bool) ([]selReport, error) {
+	var out []selReport
+	for _, sel := range sels {
+		q, err := buildSelQuery(tbl, cols, sel)
+		if err != nil {
+			return nil, err
+		}
+		best := selReport{Selectivity: sel, Micros: 1<<63 - 1}
+		for i := 0; i < repeat; i++ {
+			start := time.Now()
+			rows, err := tbl.QueryExec(q, readopt.ExecOptions{Dop: dop, Scalar: scalar})
+			if err != nil {
+				return nil, err
+			}
+			var n int64
+			for rows.Next() {
+				n++
+			}
+			if err := rows.Err(); err != nil {
+				rows.Close()
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			stats := rows.Stats()
+			rows.Close()
+			if us := elapsed.Microseconds(); us < best.Micros {
+				best.Micros = us
+				best.Qualifying = n
+				best.IOBytes = stats.IOBytes
+				best.BytesSkipped = stats.BytesSkipped
+				best.PagesTouched = stats.Pages
+				best.PagesPruned = stats.PagesPruned
+				best.PagesLateSkipped = stats.PagesLateSkipped
+			}
+		}
+		name := fmt.Sprintf("%.4f", sel)
+		if sel < 0 {
+			name = "point"
+		}
+		fmt.Printf("sel %s: %v, %d qualifying, io %d bytes, skipped %d bytes (%d pruned, %d late-skipped, %d touched pages)\n",
+			name, time.Duration(best.Micros)*time.Microsecond, best.Qualifying,
+			best.IOBytes, best.BytesSkipped, best.PagesPruned, best.PagesLateSkipped, best.PagesTouched)
+		out = append(out, best)
+	}
+	return out, nil
+}
+
 // guard enforces the checked-in regression floors over the measured
 // sweeps and returns the verdicts, one line per check. The dop-4
 // wall-clock floor applies in full only on hosts with at least 4 CPUs;
@@ -238,6 +359,24 @@ func guard(floors floorFile, reports []tableReport, cpus int) (lines []string, f
 		if rep.KernelSpeedup > 0 {
 			check(fmt.Sprintf("%s/%s kernel speedup", rep.Table, rep.Layout), rep.KernelSpeedup, floors.MinKernelSpeedup)
 		}
+		// A -sel sweep (most selective point first, full scan last) is
+		// guarded on the I/O saving at the selective end, plus the
+		// structural requirement that bytes read never fall as
+		// selectivity grows.
+		if floors.MinSelectiveIOReduction > 0 && len(rep.Sel) >= 2 {
+			first, last := rep.Sel[0], rep.Sel[len(rep.Sel)-1]
+			if first.IOBytes > 0 {
+				check(fmt.Sprintf("%s/%s selective I/O reduction", rep.Table, rep.Layout),
+					float64(last.IOBytes)/float64(first.IOBytes), floors.MinSelectiveIOReduction)
+			}
+			for i := 1; i < len(rep.Sel); i++ {
+				if rep.Sel[i].IOBytes < rep.Sel[i-1].IOBytes {
+					failed = true
+					lines = append(lines, fmt.Sprintf("FAIL %s/%s sel sweep: io bytes fell from %d to %d between points %d and %d",
+						rep.Table, rep.Layout, rep.Sel[i-1].IOBytes, rep.Sel[i].IOBytes, i-1, i))
+				}
+			}
+		}
 	}
 	return lines, failed
 }
@@ -250,6 +389,7 @@ func main() {
 	dops := flag.String("dops", "1", "comma-separated degrees of parallelism to sweep")
 	agg := flag.Bool("agg", false, "aggregate (count + sum of the first column) instead of projecting — exercises the partial-agg/merge path, where parallel workers exchange tiny states instead of result blocks")
 	scalar := flag.Bool("scalar", false, "disable the vectorized operate-on-compressed kernels (value-at-a-time reference path)")
+	sels := flag.String("sel", "", "sweep these selectivities instead of dops, most selective first (e.g. point,0.001,0.01,0.1,1); best on a table loaded with dbgen -cluster")
 	jsonPath := flag.String("json", "", "write the sweep report as JSON to this path")
 	guardPath := flag.String("guard", "", "enforce the regression floors in this JSON file; exit 1 on >margin regression")
 	flag.Parse()
@@ -262,6 +402,12 @@ func main() {
 	sweep, err := parseDops(*dops)
 	if err != nil {
 		fatalf("%v", err)
+	}
+	var selSweep []float64
+	if *sels != "" {
+		if selSweep, err = parseSels(*sels); err != nil {
+			fatalf("%v", err)
+		}
 	}
 
 	var floors floorFile
@@ -283,22 +429,34 @@ func main() {
 		if err != nil {
 			fatalf("%v", err)
 		}
-		q, err := buildQuery(tbl, *cols, *selectivity, *agg)
-		if err != nil {
-			fatalf("%v", err)
-		}
-
 		fmt.Printf("table %s (%s layout, %d rows, %d data bytes)\n",
 			tbl.Schema().Name(), tbl.Layout(), tbl.Rows(), tbl.DataBytes())
-		if *agg {
-			fmt.Printf("query: count + sum(%s), selectivity %.4f\n", tbl.Schema().Columns()[0], *selectivity)
-		} else {
-			fmt.Printf("query: select %d cols, selectivity %.4f\n", *cols, *selectivity)
-		}
 
-		rep, err := sweepTable(tbl, q, sweep, *repeat, *scalar, *jsonPath != "" || *guardPath != "")
-		if err != nil {
-			fatalf("%v", err)
+		var rep tableReport
+		if selSweep != nil {
+			fmt.Printf("query: select %d cols, selectivity sweep at dop %d\n", *cols, sweep[0])
+			rep = tableReport{
+				Table: tbl.Schema().Name(), Layout: tbl.Layout(),
+				Rows: tbl.Rows(), DataBytes: tbl.DataBytes(),
+			}
+			rep.Sel, err = sweepSelectivity(tbl, *cols, selSweep, sweep[0], *repeat, *scalar)
+			if err != nil {
+				fatalf("%v", err)
+			}
+		} else {
+			q, err := buildQuery(tbl, *cols, *selectivity, *agg)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if *agg {
+				fmt.Printf("query: count + sum(%s), selectivity %.4f\n", tbl.Schema().Columns()[0], *selectivity)
+			} else {
+				fmt.Printf("query: select %d cols, selectivity %.4f\n", *cols, *selectivity)
+			}
+			rep, err = sweepTable(tbl, q, sweep, *repeat, *scalar, *jsonPath != "" || *guardPath != "")
+			if err != nil {
+				fatalf("%v", err)
+			}
 		}
 		rep.Cols = *cols
 		rep.Selectivity = *selectivity

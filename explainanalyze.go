@@ -69,6 +69,10 @@ func (t *Table) ExplainAnalyze(q Query, hw Hardware) (string, error) {
 		fmt.Fprintf(&b, " (%s stalled)", (time.Duration(qt.IO.StallMicros) * time.Microsecond).Round(time.Microsecond))
 	}
 	fmt.Fprintf(&b, "\n  pages touched: %d\n", qt.PagesTouched)
+	if qt.PagesPruned > 0 || qt.PagesLateSkipped > 0 {
+		fmt.Fprintf(&b, "  pages pruned: %d (zone maps), late-skipped: %d; %d bytes never read\n",
+			qt.PagesPruned, qt.PagesLateSkipped, qt.BytesSkipped)
+	}
 
 	// The model's time for the counted work, on the given hardware — the
 	// paper's Section 4.1 conversion applied to this run's events.

@@ -106,6 +106,17 @@ type Counters struct {
 	// already in Instr — but observability reports it, and pages touched
 	// per tuple is one of the paper's layout-distinguishing quantities.
 	Pages int64
+	// PagesPruned counts pages a selective scan proved irrelevant from
+	// zone maps and never decoded. PagesLateSkipped counts payload-column
+	// pages that survived zone pruning but were crossed without a probe
+	// because no qualifying position landed on them (late
+	// materialization). BytesSkipped is the storage bytes those pruned
+	// pages represent that the scan did not request from the I/O layer.
+	// Like Pages, they carry no time cost — they exist so observability
+	// can report the work NOT done against the Section 5 prediction.
+	PagesPruned      int64
+	PagesLateSkipped int64
+	BytesSkipped     int64
 }
 
 // AddInstr charges n instructions.
@@ -148,6 +159,27 @@ func (c *Counters) AddPage() {
 	}
 }
 
+// AddPrunedPages counts n pages excluded by zone-map pruning.
+func (c *Counters) AddPrunedPages(n int64) {
+	if c != nil {
+		c.PagesPruned += n
+	}
+}
+
+// AddLateSkippedPages counts n payload pages crossed without a probe.
+func (c *Counters) AddLateSkippedPages(n int64) {
+	if c != nil {
+		c.PagesLateSkipped += n
+	}
+}
+
+// AddBytesSkipped counts n storage bytes the scan avoided reading.
+func (c *Counters) AddBytesSkipped(n int64) {
+	if c != nil {
+		c.BytesSkipped += n
+	}
+}
+
 // Add accumulates other counters into c.
 func (c *Counters) Add(o Counters) {
 	if c == nil {
@@ -160,6 +192,9 @@ func (c *Counters) Add(o Counters) {
 	c.IORequests += o.IORequests
 	c.IOBytes += o.IOBytes
 	c.Pages += o.Pages
+	c.PagesPruned += o.PagesPruned
+	c.PagesLateSkipped += o.PagesLateSkipped
+	c.BytesSkipped += o.BytesSkipped
 }
 
 // Scale multiplies every counter by f, used to extrapolate a measured
@@ -174,6 +209,10 @@ func (c Counters) Scale(f float64) Counters {
 		IORequests: int64(float64(c.IORequests) * f),
 		IOBytes:    int64(float64(c.IOBytes) * f),
 		Pages:      int64(float64(c.Pages) * f),
+
+		PagesPruned:      int64(float64(c.PagesPruned) * f),
+		PagesLateSkipped: int64(float64(c.PagesLateSkipped) * f),
+		BytesSkipped:     int64(float64(c.BytesSkipped) * f),
 	}
 }
 

@@ -18,11 +18,16 @@ import (
 //	//readopt:selconsumer    on a function: it is a declared consumer of
 //	                         raw selection-vector indices and carries its
 //	                         own bounds checks (selbounds trusts it)
+//	//readopt:posconsumer    on a function: it consumes late-materialization
+//	                         row positions (int64) and bounds-checks them
+//	                         against the page before any fetch (selbounds
+//	                         trusts it, and verifies the check exists)
 const (
 	directiveHotPath     = "readopt:hotpath"
 	directiveClock       = "readopt:clock"
 	directiveIgnore      = "readopt:ignore"
 	directiveSelConsumer = "readopt:selconsumer"
+	directivePosConsumer = "readopt:posconsumer"
 )
 
 // hasDirective reports whether the comment group carries the directive

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -29,53 +30,82 @@ import (
 // A function named Materialize or AllocN, or one marked
 // `//readopt:selconsumer`, is a declared consumer: it owns the bounds
 // check and may index freely.
+//
+// Late materialization adds a second tier: row POSITIONS. The vector
+// drive turns each sel element into a global row position
+// (rowBase+int64(s)) and accumulates them in an []int64 position
+// vector; payload cursors later seek and fetch by position. That
+// arithmetic step launders the sel taint past the rules above, so the
+// analyzer tracks it as its own taint kind: any value computed from a
+// sel element, and any []int64 that accumulates such values, is a
+// position. Positions cross pages, so nothing but a cursor that knows
+// the current page bounds can safely index with one. Reports:
+//
+//   - a position used inside an index or slice-bound expression
+//   - a position, or the position vector, passed to a call that is not
+//     a `//readopt:posconsumer` (or an allowed builtin / conversion)
+//
+// and, independently of any taint, validates the directive's contract:
+// a //readopt:posconsumer function with an int64 parameter must
+// compare that parameter (or a value derived from it) somewhere in its
+// body — the bounds check it claims to own.
 var SelBounds = &Analyzer{
 	Name: "selbounds",
 	Doc: "selection-vector indices from EvalPredicate/RefineSel may only become slice indices " +
-		"inside bounds-checked consumers (Materialize/AllocN or //readopt:selconsumer)",
+		"inside bounds-checked consumers (Materialize/AllocN or //readopt:selconsumer); " +
+		"row positions derived from them may only reach //readopt:posconsumer functions, " +
+		"which must bounds-check them",
 	Run: runSelBounds,
 }
 
 // selProducers emit selection vectors; selConsumers are the call names
-// allowed to receive one.
+// allowed to receive one. posBuiltins are the builtins a position
+// vector (or element) may flow through — named functions need the
+// //readopt:posconsumer directive instead.
 var (
 	selProducers = map[string]bool{"EvalPredicate": true, "RefineSel": true}
 	selConsumers = map[string]bool{
 		"EvalPredicate": true, "RefineSel": true, "Materialize": true, "AllocN": true,
 		"append": true, "copy": true, "len": true, "cap": true, "min": true, "max": true,
 	}
+	posBuiltins = map[string]bool{
+		"append": true, "copy": true, "len": true, "cap": true, "min": true, "max": true,
+	}
 )
 
 func runSelBounds(pass *Pass) error {
+	checkPosConsumerDecls(pass)
 	tainted := collectSelVectors(pass)
 	if len(tainted) == 0 {
 		return nil
 	}
-	declared := declaredSelConsumers(pass)
+	declaredSel := declaredDirectiveFuncs(pass, directiveSelConsumer)
+	declaredPos := declaredDirectiveFuncs(pass, directivePosConsumer)
+	posVecs := collectPosVectors(pass, tainted)
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil {
 				continue
 			}
-			if selConsumers[fd.Name.Name] || declared[fd.Name.Name] {
+			if selConsumers[fd.Name.Name] || declaredSel[fd.Name.Name] || declaredPos[fd.Name.Name] {
 				continue
 			}
-			checkSelUses(pass, fd, tainted, declared)
+			checkSelUses(pass, fd, tainted, posVecs, declaredSel, declaredPos)
 		}
 	}
 	return nil
 }
 
-// declaredSelConsumers collects the package's //readopt:selconsumer
-// functions: their bodies may index with sel elements, and passing a
-// vector TO them is allowed — the directive asserts they carry their
-// own bounds checks.
-func declaredSelConsumers(pass *Pass) map[string]bool {
+// declaredDirectiveFuncs collects the package's functions carrying the
+// directive. For selconsumer their bodies may index with sel elements
+// and vectors may be passed TO them; likewise posconsumer for
+// positions — the directive asserts they carry their own bounds checks.
+func declaredDirectiveFuncs(pass *Pass, directive string) map[string]bool {
 	out := map[string]bool{}
 	for _, file := range pass.Files {
 		for _, decl := range file.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && hasDirective(fd.Doc, directiveSelConsumer) {
+			if fd, ok := decl.(*ast.FuncDecl); ok && hasDirective(fd.Doc, directive) {
 				out[fd.Name.Name] = true
 			}
 		}
@@ -109,7 +139,45 @@ func collectSelVectors(pass *Pass) map[types.Object]bool {
 	return tainted
 }
 
-func isInt32Slice(t types.Type) bool {
+// collectPosVectors finds every []int64 object that accumulates values
+// derived from selection-vector elements — the late-materialization
+// position vectors (ColScanner.positions). As with sel vectors, field
+// objects carry the taint across methods: driveDeepestVec fills
+// c.positions, attach drains it.
+func collectPosVectors(pass *Pass, selGlobal map[types.Object]bool) map[types.Object]bool {
+	pos := map[types.Object]bool{}
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			slices, elems := propagateSelTaint(pass, fd, selGlobal)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || calleeName(call) != "append" || len(call.Args) < 2 {
+					return true
+				}
+				dst := selBaseObject(pass, call.Args[0])
+				if dst == nil || !isInt64Slice(dst.Type()) {
+					return true
+				}
+				for _, arg := range call.Args[1:] {
+					if taintedElemExpr(pass, arg, slices, elems) {
+						pos[dst] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return pos
+}
+
+func isInt32Slice(t types.Type) bool { return isSliceOf(t, types.Int32) }
+func isInt64Slice(t types.Type) bool { return isSliceOf(t, types.Int64) }
+
+func isSliceOf(t types.Type, kind types.BasicKind) bool {
 	if t == nil {
 		return false
 	}
@@ -118,7 +186,7 @@ func isInt32Slice(t types.Type) bool {
 		return false
 	}
 	b, ok := s.Elem().Underlying().(*types.Basic)
-	return ok && b.Kind() == types.Int32
+	return ok && b.Kind() == kind
 }
 
 // selBaseObject resolves an expression to the variable or field object
@@ -147,49 +215,47 @@ func selBaseObject(pass *Pass, e ast.Expr) types.Object {
 	return nil
 }
 
-// checkSelUses runs the per-function taint propagation and reports
-// violations.
-func checkSelUses(pass *Pass, fd *ast.FuncDecl, global map[types.Object]bool, declared map[string]bool) {
-	// slices: objects holding a (slice of a) selection vector.
-	// elems: objects holding one element of one.
-	slices := map[types.Object]bool{}
-	elems := map[types.Object]bool{}
+// taintedSliceOf reports whether e reads (a slice of) an object in set.
+func taintedSliceOf(pass *Pass, e ast.Expr, set map[types.Object]bool) bool {
+	obj := selBaseObject(pass, e)
+	return obj != nil && set[obj]
+}
+
+// taintedElemExpr reports whether e's value involves one element of a
+// tainted vector — a read of an element-tainted variable, or an inline
+// index into a tainted vector, anywhere inside e.
+func taintedElemExpr(pass *Pass, e ast.Expr, slices, elems map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if obj := pass.TypesInfo.Uses[n]; obj != nil && elems[obj] {
+				found = true
+				return false
+			}
+		case *ast.IndexExpr:
+			if taintedSliceOf(pass, n.X, slices) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// propagateSelTaint runs the per-function sel fixpoint alone (no
+// position tier) — enough for collectPosVectors to see which appended
+// values are element-derived.
+func propagateSelTaint(pass *Pass, fd *ast.FuncDecl, global map[types.Object]bool) (slices, elems map[types.Object]bool) {
+	slices = map[types.Object]bool{}
+	elems = map[types.Object]bool{}
 	for o := range global {
 		slices[o] = true
 	}
-	isTaintedSliceExpr := func(e ast.Expr) bool {
-		obj := selBaseObject(pass, e)
-		return obj != nil && slices[obj]
-	}
-	// isTaintedElemExpr: an expression whose value is a sel element — a
-	// read of an element-tainted variable, or an inline index into a
-	// tainted vector.
-	var isTaintedElemExpr func(e ast.Expr) bool
-	isTaintedElemExpr = func(e ast.Expr) bool {
-		found := false
-		ast.Inspect(e, func(n ast.Node) bool {
-			if found {
-				return false
-			}
-			switch n := n.(type) {
-			case *ast.Ident:
-				if obj := pass.TypesInfo.Uses[n]; obj != nil && elems[obj] {
-					found = true
-					return false
-				}
-			case *ast.IndexExpr:
-				if isTaintedSliceExpr(n.X) {
-					found = true
-					return false
-				}
-			}
-			return true
-		})
-		return found
-	}
-
-	// Propagate to a fixpoint: assignments and ranges create new
-	// tainted objects, which can feed further assignments.
 	for changed := true; changed; {
 		changed = false
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
@@ -204,21 +270,106 @@ func checkSelUses(pass *Pass, fd *ast.FuncDecl, global map[types.Object]bool, de
 						continue
 					}
 					rhs := unparen(n.Rhs[i])
-					if ie, ok := rhs.(*ast.IndexExpr); ok && isTaintedSliceExpr(ie.X) {
+					if ie, ok := rhs.(*ast.IndexExpr); ok && taintedSliceOf(pass, ie.X, slices) {
 						if !elems[obj] {
 							elems[obj] = true
 							changed = true
 						}
-					} else if isTaintedSliceExpr(rhs) && !slices[obj] {
+					} else if taintedSliceOf(pass, rhs, slices) && !slices[obj] {
 						slices[obj] = true
 						changed = true
 					}
 				}
 			case *ast.RangeStmt:
-				if n.Value != nil && isTaintedSliceExpr(n.X) {
+				if n.Value != nil && taintedSliceOf(pass, n.X, slices) {
 					if obj := selBaseObject(pass, n.Value); obj != nil && !elems[obj] {
 						elems[obj] = true
 						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return slices, elems
+}
+
+// checkSelUses runs the per-function taint propagation across both
+// tiers and reports violations.
+func checkSelUses(pass *Pass, fd *ast.FuncDecl, selGlobal, posGlobal map[types.Object]bool, declaredSel, declaredPos map[string]bool) {
+	// slices/elems: (elements of) a selection vector.
+	// posSlices/posElems: (elements of) a position vector.
+	slices := map[types.Object]bool{}
+	elems := map[types.Object]bool{}
+	posSlices := map[types.Object]bool{}
+	posElems := map[types.Object]bool{}
+	for o := range selGlobal {
+		slices[o] = true
+	}
+	for o := range posGlobal {
+		posSlices[o] = true
+	}
+	selSlice := func(e ast.Expr) bool { return taintedSliceOf(pass, e, slices) }
+	posSlice := func(e ast.Expr) bool { return taintedSliceOf(pass, e, posSlices) }
+	selElem := func(e ast.Expr) bool { return taintedElemExpr(pass, e, slices, elems) }
+	posElem := func(e ast.Expr) bool { return taintedElemExpr(pass, e, posSlices, posElems) }
+
+	// Propagate to a fixpoint: assignments and ranges create new
+	// tainted objects, which can feed further assignments. A value
+	// COMPUTED from a sel element (rowBase+int64(s)) is no longer a
+	// page-row index but a row position, so arithmetic derivation moves
+	// the taint to the position tier instead of dropping it.
+	for changed := true; changed; {
+		changed = false
+		mark := func(m map[types.Object]bool, obj types.Object) {
+			if obj != nil && !m[obj] {
+				m[obj] = true
+				changed = true
+			}
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) != len(n.Rhs) {
+					return true
+				}
+				for i, lhs := range n.Lhs {
+					obj := selBaseObject(pass, lhs)
+					if obj == nil {
+						continue
+					}
+					rhs := unparen(n.Rhs[i])
+					if ie, ok := rhs.(*ast.IndexExpr); ok {
+						if selSlice(ie.X) {
+							mark(elems, obj)
+						} else if posSlice(ie.X) {
+							mark(posElems, obj)
+						}
+					} else if robj := selBaseObject(pass, rhs); robj != nil {
+						// Plain copy (possibly through slicing): the
+						// taint kind is preserved.
+						if elems[robj] {
+							mark(elems, obj)
+						}
+						if posElems[robj] {
+							mark(posElems, obj)
+						}
+						if slices[robj] {
+							mark(slices, obj)
+						}
+						if posSlices[robj] {
+							mark(posSlices, obj)
+						}
+					} else if selElem(rhs) || posElem(rhs) {
+						mark(posElems, obj)
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if selSlice(n.X) {
+						mark(elems, selBaseObject(pass, n.Value))
+					} else if posSlice(n.X) {
+						mark(posElems, selBaseObject(pass, n.Value))
 					}
 				}
 			}
@@ -231,34 +382,159 @@ func checkSelUses(pass *Pass, fd *ast.FuncDecl, global map[types.Object]bool, de
 		switch n := n.(type) {
 		case *ast.IndexExpr:
 			// Indexing the vector itself is the producer's own
-			// read/write; the danger is a sel ELEMENT indexing
-			// something else.
-			if !isTaintedSliceExpr(n.X) && isTaintedElemExpr(n.Index) {
+			// read/write; the danger is an ELEMENT indexing something
+			// else.
+			if selSlice(n.X) || posSlice(n.X) {
+				return true
+			}
+			if selElem(n.Index) {
 				pass.Reportf(n.Index.Pos(), "selection-vector element used as a slice index outside a bounds-checked consumer: route this through Materialize/AllocN or mark the function //readopt:selconsumer with its own bounds check")
+			} else if posElem(n.Index) {
+				pass.Reportf(n.Index.Pos(), "position-vector element used as a slice index before a bounds check: positions cross pages — fetch through a //readopt:posconsumer that validates the position against the current page")
 			}
 		case *ast.SliceExpr:
+			if selSlice(n.X) || posSlice(n.X) {
+				return true
+			}
 			for _, bound := range []ast.Expr{n.Low, n.High, n.Max} {
-				if bound != nil && !isTaintedSliceExpr(n.X) && isTaintedElemExpr(bound) {
+				if bound == nil {
+					continue
+				}
+				if selElem(bound) {
 					pass.Reportf(bound.Pos(), "selection-vector element used as a slice bound outside a bounds-checked consumer: route this through Materialize/AllocN or mark the function //readopt:selconsumer with its own bounds check")
+					break
+				}
+				if posElem(bound) {
+					pass.Reportf(bound.Pos(), "position-vector element used as a slice bound before a bounds check: positions cross pages — fetch through a //readopt:posconsumer that validates the position against the current page")
 					break
 				}
 			}
 		case *ast.CallExpr:
-			name := calleeName(n)
-			if selConsumers[name] || declared[name] {
-				return true
-			}
 			if isConversion(pass, n) {
 				return true
 			}
+			name := calleeName(n)
+			selOK := selConsumers[name] || declaredSel[name]
+			posOK := posBuiltins[name] || declaredPos[name]
 			for _, arg := range n.Args {
-				if isTaintedSliceExpr(arg) {
+				if !selOK && selSlice(arg) {
 					pass.Reportf(arg.Pos(), "selection vector passed to %s, which is not a known bounds-checked consumer: use Materialize/AllocN or mark the callee //readopt:selconsumer", name)
+				}
+				if posOK {
+					continue
+				}
+				if posSlice(arg) {
+					pass.Reportf(arg.Pos(), "position vector passed to %s, which is not a declared //readopt:posconsumer: only a cursor that bounds-checks positions against its page may consume them", name)
+				} else if posElem(arg) {
+					pass.Reportf(arg.Pos(), "position passed to %s, which is not a declared //readopt:posconsumer: only a cursor that bounds-checks positions against its page may consume them", name)
 				}
 			}
 		}
 		return true
 	})
+}
+
+// checkPosConsumerDecls validates the contract behind the directive: a
+// //readopt:posconsumer function owns the bounds check for its int64
+// position parameter, so its body must compare the parameter (or a
+// value derived from it) against something — otherwise the directive
+// is a lie and every caller's trust is misplaced.
+func checkPosConsumerDecls(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, directivePosConsumer) {
+				continue
+			}
+			params := int64Params(pass, fd)
+			if len(params) == 0 {
+				continue
+			}
+			if !comparesAny(pass, fd.Body, params) {
+				pass.Reportf(fd.Pos(), "%s is marked //readopt:posconsumer but never bounds-checks its int64 position parameter", fd.Name.Name)
+			}
+		}
+	}
+}
+
+// int64Params collects a function's int64 parameters — the candidate
+// position arguments a posconsumer must validate.
+func int64Params(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, f := range fd.Type.Params.List {
+		for _, name := range f.Names {
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Kind() == types.Int64 {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// comparesAny reports whether the body contains an ordered comparison
+// (< > <= >=) mentioning one of the seed objects or a value derived
+// from one by assignment — `i := int(pos - start); if i < 0 …` counts.
+func comparesAny(pass *Pass, body *ast.BlockStmt, seed map[types.Object]bool) bool {
+	tainted := map[types.Object]bool{}
+	for o := range seed {
+		tainted[o] = true
+	}
+	mentions := func(e ast.Expr) bool {
+		found := false
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.Uses[id]; obj != nil && tainted[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, lhs := range as.Lhs {
+				if !mentions(as.Rhs[i]) {
+					continue
+				}
+				if obj := selBaseObject(pass, lhs); obj != nil && !tainted[obj] {
+					tainted[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ:
+			if mentions(be.X) || mentions(be.Y) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
 }
 
 // isConversion reports whether the call is a type conversion

@@ -1,6 +1,9 @@
 // Package selbounds is the dirty selbounds fixture: raw selection
 // vector elements escaping the bounds-checked consumers — indexing,
-// slice bounds, and handing the vector to an unvetted helper.
+// slice bounds, and handing the vector to an unvetted helper — plus
+// the late-materialization position tier: row positions derived from
+// sel elements indexing payload without a bounds check, escaping to
+// undeclared helpers, and a posconsumer that never checks at all.
 package selbounds
 
 // EvalPredicate mimics the compress kernel shape: it fills sel with
@@ -18,8 +21,9 @@ func EvalPredicate(codes []byte, sel []int32) int {
 }
 
 type page struct {
-	sel     []int32
-	decoded []byte
+	sel       []int32
+	decoded   []byte
+	positions []int64
 }
 
 func (p *page) fill(codes []byte) {
@@ -49,3 +53,65 @@ func (p *page) passToUnchecked() {
 }
 
 func shuffle(v []int32) {}
+
+// buildPositions is the late-materialization shape: sel elements
+// become global row positions via arithmetic, accumulated in an
+// []int64 field. The appends themselves are fine — it is what happens
+// to the positions afterwards that the analyzer polices.
+func (p *page) buildPositions(rowBase int64) {
+	p.positions = p.positions[:0]
+	for _, s := range p.sel {
+		p.positions = append(p.positions, rowBase+int64(s))
+	}
+}
+
+// fetchWithPosition indexes a payload page with a raw row position —
+// positions cross pages, so this reads the wrong tuple the moment the
+// cursor and the vector disagree.
+func (p *page) fetchWithPosition(out []byte) {
+	for i, pos := range p.positions {
+		out[i] = p.decoded[pos] // want "position-vector element used as a slice index"
+	}
+}
+
+// sliceWithPosition uses a position as a slice bound.
+func (p *page) sliceWithPosition(size int) []byte {
+	pos := p.positions[0]
+	return p.decoded[int(pos)*size:] // want "position-vector element used as a slice bound"
+}
+
+// launderThroughArithmetic derives a position from a sel element by
+// arithmetic — which strips the sel-element taint — and indexes with
+// it anyway.
+func (p *page) launderThroughArithmetic(rowBase int64, out []byte) {
+	s := p.sel[0]
+	pos := rowBase + int64(s)
+	out[pos] = 1 // want "position-vector element used as a slice index"
+}
+
+// handOffVector passes the whole position vector to a helper with no
+// directive.
+func (p *page) handOffVector() {
+	walk(p.positions) // want "position vector passed to walk"
+}
+
+// handOffElement passes a single position to an undeclared helper.
+func (p *page) handOffElement() byte {
+	var b byte
+	for _, pos := range p.positions {
+		b = fetchRaw(p.decoded, pos) // want "position passed to fetchRaw"
+	}
+	return b
+}
+
+func walk(v []int64) {}
+
+func fetchRaw(decoded []byte, pos int64) byte { return 0 }
+
+// fetchUnchecked claims the posconsumer directive but never compares
+// its position parameter against anything — the directive is a lie.
+//
+//readopt:posconsumer
+func fetchUnchecked(decoded []byte, pos int64) byte { // want "never bounds-checks its int64 position parameter"
+	return decoded[pos]
+}

@@ -1,7 +1,8 @@
 // Package selboundsclean is the clean selbounds fixture: vectors flow
 // only into declared consumers — the kernels themselves, Materialize
 // and AllocN by name, a //readopt:selconsumer function — and through
-// the allowed builtins.
+// the allowed builtins. Positions derived from sel elements flow only
+// into a //readopt:posconsumer that really bounds-checks them.
 package selboundsclean
 
 // EvalPredicate is the producer (exempt by name).
@@ -20,8 +21,9 @@ func EvalPredicate(codes []byte, sel []int32) int {
 func RefineSel(codes []byte, sel []int32) int { return len(sel) }
 
 type page struct {
-	sel     []int32
-	decoded []byte
+	sel       []int32
+	decoded   []byte
+	positions []int64
 }
 
 func (p *page) fill(codes []byte) {
@@ -70,4 +72,39 @@ func (p *page) drive(out []byte) int {
 	spare = append(spare, p.sel...)
 	copy(spare, p.sel)
 	return total + cap(spare)
+}
+
+// buildPositions is the late-materialization producer shape: sel
+// elements become global row positions, accumulated in an []int64
+// field through the append builtin.
+func (p *page) buildPositions(rowBase int64) {
+	p.positions = p.positions[:0]
+	for _, s := range p.sel {
+		p.positions = append(p.positions, rowBase+int64(s))
+	}
+}
+
+// fetch carries the posconsumer directive and honours its contract: the
+// position is bounds-checked (via a derived index) before the payload
+// read.
+//
+//readopt:posconsumer
+func fetch(decoded []byte, pos int64, rowBase int64) byte {
+	i := int(pos - rowBase)
+	if i < 0 || i >= len(decoded) {
+		return 0
+	}
+	return decoded[i]
+}
+
+// drain routes positions only through the declared posconsumer and the
+// allowed builtins.
+func (p *page) drain(rowBase int64, out []byte) int {
+	for i, pos := range p.positions {
+		out[i] = fetch(p.decoded, pos, rowBase)
+	}
+	spare := make([]int64, 0, len(p.positions))
+	spare = append(spare, p.positions...)
+	copy(spare, p.positions)
+	return len(p.positions) + cap(spare)
 }

@@ -2,6 +2,7 @@ package plan
 
 import (
 	"github.com/readoptdb/readopt/internal/page"
+	"github.com/readoptdb/readopt/internal/scan"
 	"github.com/readoptdb/readopt/internal/store"
 )
 
@@ -65,6 +66,67 @@ func PartitionBounds(tbl *store.Table, total int64, dop int, rowBytes int) []int
 	bounds = append(bounds, total)
 	if len(bounds) < 3 {
 		return nil // one range: serial execution
+	}
+	return bounds
+}
+
+// keepBounds is PartitionBounds for a zone-pruned scan: partitions are
+// weighted by the keep set's surviving rows, not the table's total, so
+// workers split the pages a pruned scan actually reads. A selective
+// query over a sorted table clusters its survivors in one region;
+// splitting by raw row count would give most workers nothing but pages
+// their scan immediately prunes. Boundaries stay page-aligned for the
+// single-file layouts and together still cover [0, total) exactly, so
+// partition-order merging and the pruning-conservation identity hold
+// unchanged.
+func keepBounds(tbl *store.Table, total int64, dop int, rowBytes int, keep []scan.RowRange) []int64 {
+	kept := scan.KeepRows(keep)
+	if total <= 0 || dop <= 1 || kept <= 0 {
+		return nil
+	}
+	if rowBytes < 1 {
+		rowBytes = 1
+	}
+	maxParts := kept * int64(rowBytes) / morselBytes
+	if maxParts < 2 {
+		maxParts = 2
+	}
+	if int64(dop) > maxParts {
+		dop = int(maxParts)
+	}
+	align := int64(1)
+	if tbl.Layout == store.Row || tbl.Layout == store.PAX {
+		align = int64(page.RowGeometry(tbl.Schema, tbl.PageSize).Capacity())
+		if align < 1 {
+			align = 1
+		}
+	}
+	// Walk the keep ranges accumulating surviving rows; every time the
+	// running count crosses a worker's share, cut a boundary at the
+	// global row where the crossing happens, rounded up to alignment.
+	// Rounding and clamping only ever merge adjacent cuts, so bounds stay
+	// strictly ascending and the range count never exceeds dop.
+	per := (kept + int64(dop) - 1) / int64(dop)
+	bounds := []int64{0}
+	acc := int64(0) // kept rows before the current keep range
+	next := per     // kept-row count at which the next cut falls
+	for _, r := range keep {
+		for next <= acc+(r.Hi-r.Lo) {
+			cut := r.Lo + (next - acc)
+			cut = (cut + align - 1) / align * align
+			next += per
+			if cut >= total {
+				continue
+			}
+			if cut > bounds[len(bounds)-1] {
+				bounds = append(bounds, cut)
+			}
+		}
+		acc += r.Hi - r.Lo
+	}
+	bounds = append(bounds, total)
+	if len(bounds) < 3 {
+		return nil
 	}
 	return bounds
 }

@@ -197,13 +197,18 @@ func (p *Plan) parallelOperator(o ExecOpts, stageName string, n int) (exec.Opera
 	var deltaCtrs []*cpumodel.Counters
 	var deltaScan, deltaAgg []*trace.Stage
 	var deltaStage *trace.Stage
+	var deltaOpen *cpumodel.Counters
 	if o.Delta != nil {
-		chains, err := p.deltaChains(o, nil)
+		// Open-time accounting (key-range run pruning) lands in its own
+		// pool, merged with the workers at gather; the chains themselves
+		// are rebound to per-chain pools below.
+		deltaOpen = new(cpumodel.Counters)
+		chains, err := p.deltaChains(o, deltaOpen)
 		if err != nil {
 			closeBuilt()
 			return nil, err
 		}
-		if traced && len(chains) > 0 {
+		if traced && (len(chains) > 0 || deltaOpen.PagesPruned > 0) {
 			deltaStage = o.Trace.NewStage("delta", deltaDetail(o))
 			deltaStage.RowsIn = o.Delta.DeltaRows()
 		}
@@ -273,6 +278,13 @@ func (p *Plan) parallelOperator(o ExecOpts, stageName string, n int) (exec.Opera
 				}
 			} else {
 				o.Counters.Add(*deltaCtrs[j])
+			}
+		}
+		if deltaOpen != nil {
+			if deltaStage != nil {
+				deltaStage.Counters.Add(*deltaOpen)
+			} else if !traced {
+				o.Counters.Add(*deltaOpen)
 			}
 		}
 	}

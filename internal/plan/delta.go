@@ -2,9 +2,11 @@ package plan
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/readoptdb/readopt/internal/cpumodel"
 	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/schema"
 )
 
 // The write path's overlay joins the plan below its aggregation. Each
@@ -23,7 +25,7 @@ func (p *Plan) deltaChains(o ExecOpts, ctr *cpumodel.Counters) ([]exec.Operator,
 	if o.Delta == nil {
 		return nil, nil
 	}
-	srcs, err := o.Delta.OpenDelta(o.Ctx, ctr)
+	srcs, err := p.openDeltaSources(o, ctr)
 	if err != nil {
 		return nil, err
 	}
@@ -44,6 +46,74 @@ func (p *Plan) deltaChains(o ExecOpts, ctr *cpumodel.Counters) ([]exec.Operator,
 		chains = append(chains, pr)
 	}
 	return chains, nil
+}
+
+// openDeltaSources opens the overlay, routing through the key-range
+// path when the opener supports it and the query's predicates constrain
+// the overlay's sort key. Runs and run pages outside the key interval
+// are skipped at open time and charged to ctr as pruned.
+func (p *Plan) openDeltaSources(o ExecOpts, ctr *cpumodel.Counters) ([]exec.Operator, error) {
+	if kd, ok := o.Delta.(KeyRangeDelta); ok {
+		if lo, hi, ok := keyBounds(p.spec.Preds, kd.KeyAttr(), p.tbl.Schema); ok {
+			return kd.OpenDeltaRange(o.Ctx, ctr, lo, hi)
+		}
+	}
+	return o.Delta.OpenDelta(o.Ctx, ctr)
+}
+
+// keyBounds derives the closed interval [lo, hi] the conjunctive
+// predicates imply for the int32 attribute key. ok is false when the
+// predicates leave the key unconstrained (or key is not an int32
+// attribute), in which case the caller opens the overlay unpruned. A
+// contradictory predicate set yields lo > hi with ok true: every
+// key-sorted source is skipped, and the plan's exact filters empty
+// whatever remains. Ne constrains nothing — a sorted run can hold
+// values on both sides of the excluded point.
+func keyBounds(preds []exec.Predicate, key int, sch *schema.Schema) (lo, hi int32, ok bool) {
+	if key < 0 || key >= sch.NumAttrs() || sch.Attrs[key].Type.Kind != schema.Int32 {
+		return 0, 0, false
+	}
+	lo, hi = math.MinInt32, math.MaxInt32
+	for _, pr := range preds {
+		if pr.Attr != key {
+			continue
+		}
+		switch pr.Op {
+		case exec.Eq:
+			if pr.Int > lo {
+				lo = pr.Int
+			}
+			if pr.Int < hi {
+				hi = pr.Int
+			}
+		case exec.Le:
+			if pr.Int < hi {
+				hi = pr.Int
+			}
+		case exec.Lt:
+			if pr.Int == math.MinInt32 {
+				return 1, 0, true // v < MinInt32: impossible
+			}
+			if pr.Int-1 < hi {
+				hi = pr.Int - 1
+			}
+		case exec.Ge:
+			if pr.Int > lo {
+				lo = pr.Int
+			}
+		case exec.Gt:
+			if pr.Int == math.MaxInt32 {
+				return 1, 0, true // v > MaxInt32: impossible
+			}
+			if pr.Int+1 > lo {
+				lo = pr.Int + 1
+			}
+		default:
+			continue
+		}
+		ok = true
+	}
+	return lo, hi, ok
 }
 
 // chainCounters rebinds every counter-charging operator of one chain to

@@ -24,6 +24,7 @@ import (
 
 	"github.com/readoptdb/readopt/internal/cpumodel"
 	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/scan"
 	"github.com/readoptdb/readopt/internal/schema"
 	"github.com/readoptdb/readopt/internal/store"
 	"github.com/readoptdb/readopt/internal/trace"
@@ -95,6 +96,12 @@ type Plan struct {
 	outSchema  *schema.Schema // the plan's output (after aggregation)
 	keys       []exec.SortKey
 	bounds     []int64 // partition bounds; nil or one range means serial
+
+	// keep is the zone-map keep set: the global row ranges that can hold
+	// qualifying tuples, from intersecting SARGable predicates with the
+	// table's per-page zone maps. nil means scan unpruned (no zone maps,
+	// no SARGable predicate, or nothing pruned).
+	keep []scan.RowRange
 }
 
 // DeltaOpener supplies the write path's overlay for one execution: the
@@ -112,6 +119,23 @@ type DeltaOpener interface {
 	OpenDelta(ctx context.Context, counters *cpumodel.Counters) ([]exec.Operator, error)
 	// DeltaRows is the total overlay row count, for trace accounting.
 	DeltaRows() int64
+}
+
+// KeyRangeDelta is the optional extension a DeltaOpener implements when
+// its overlay is sorted on one int32 key column: the plan pushes the key
+// interval its predicates imply, and the opener skips whole runs and run
+// pages that cannot intersect it. wos.Snapshot implements it.
+type KeyRangeDelta interface {
+	DeltaOpener
+	// KeyAttr is the table attribute index of the overlay's sort key.
+	KeyAttr() int
+	// OpenDeltaRange is OpenDelta restricted to overlay rows whose key
+	// may fall in [lo, hi]; pages proven out of range are charged to
+	// counters as pruned and never read. lo > hi means the predicates
+	// are contradictory: every key-sorted source is skipped and only
+	// unsortable sources (the memtable) are returned, to be emptied by
+	// the plan's exact filters.
+	OpenDeltaRange(ctx context.Context, counters *cpumodel.Counters, lo, hi int32) ([]exec.Operator, error)
 }
 
 // CounterSink lets the plan rebind a delta operator's counters pool
@@ -180,14 +204,35 @@ func Compile(tbl *store.Table, spec Spec) (*Plan, error) {
 			keys[i] = exec.SortKey{Attr: attr, Desc: o.Desc}
 		}
 	}
+	keep := computeKeep(tbl, spec)
+	bounds := PartitionBounds(tbl, tbl.Tuples, spec.Dop, spec.scanRowBytes(tbl))
+	if keep != nil {
+		// Pruned scans partition by surviving rows, not table rows, so
+		// workers get even shares of the pages actually read.
+		bounds = keepBounds(tbl, tbl.Tuples, spec.Dop, spec.scanRowBytes(tbl), keep)
+	}
 	return &Plan{
 		tbl:        tbl,
 		spec:       spec,
 		scanSchema: scanSchema,
 		outSchema:  out,
 		keys:       keys,
-		bounds:     PartitionBounds(tbl, tbl.Tuples, spec.Dop, spec.scanRowBytes(tbl)),
+		bounds:     bounds,
+		keep:       keep,
 	}, nil
+}
+
+// neededAttrs is the set of table attributes the scan touches:
+// predicate columns plus projected columns.
+func (p *Plan) neededAttrs() map[int]bool {
+	need := map[int]bool{}
+	for _, pr := range p.spec.Preds {
+		need[pr.Attr] = true
+	}
+	for _, a := range p.spec.Proj {
+		need[a] = true
+	}
+	return need
 }
 
 // Schema returns the plan's output schema.

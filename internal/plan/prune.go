@@ -1,0 +1,201 @@
+package plan
+
+import (
+	"path/filepath"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/page"
+	"github.com/readoptdb/readopt/internal/scan"
+	"github.com/readoptdb/readopt/internal/schema"
+	"github.com/readoptdb/readopt/internal/store"
+)
+
+// This file computes the plan's keep set: the global row ranges that
+// can contain qualifying tuples, derived by testing every SARGable
+// predicate against the store's per-page zone maps. A predicate is
+// SARGable for pruning when it compares an int32 attribute against a
+// constant AND the table persisted a zone map for that attribute; text
+// predicates and pre-zone-map tables never prune. The keep set is
+// conservative — a page outside it provably contains no qualifying row,
+// a page inside it may — so the scanners still evaluate predicates
+// exactly and results are byte-identical to an unpruned scan.
+
+// zoneMaybeMatch reports whether a page whose values span [min, max]
+// can contain a value v satisfying `v op c`.
+func zoneMaybeMatch(op exec.CmpOp, c, min, max int32) bool {
+	switch op {
+	case exec.Lt:
+		return min < c
+	case exec.Le:
+		return min <= c
+	case exec.Eq:
+		return min <= c && c <= max
+	case exec.Ne:
+		return min != c || max != c
+	case exec.Ge:
+		return max >= c
+	default: // Gt
+		return max > c
+	}
+}
+
+// zoneFor finds the zone map of attribute a, resolving the layout's
+// file naming: one file per column for Column, the single data file for
+// Row and PAX. Returns nil when the table carries none.
+func zoneFor(t *store.Table, a int) *store.ZoneMap {
+	var name string
+	if t.Layout == store.Column {
+		name = filepath.Base(t.ColumnPath(a))
+	} else {
+		name = filepath.Base(t.DataPath())
+	}
+	for i := range t.Zones(name) {
+		if z := &t.Zones(name)[i]; z.Attr == a {
+			return z
+		}
+	}
+	return nil
+}
+
+// attrPageCapacity returns the rows per page of attribute a's data file.
+func attrPageCapacity(t *store.Table, a int) int64 {
+	if t.Layout == store.Column {
+		return int64(page.ColGeometry(t.Schema.Attrs[a], t.PageSize).Capacity())
+	}
+	return int64(page.RowGeometry(t.Schema, t.PageSize).Capacity())
+}
+
+// computeKeep intersects the spec's predicates with the table's zone
+// maps and returns the surviving global row ranges: sorted, disjoint,
+// merged. It returns nil — meaning "scan unpruned" — when nothing can
+// prune: a scalar-path run, a table without zone maps, no predicate
+// over a zone-mapped attribute, or a keep set that survives whole (so
+// full scans report zero pages pruned).
+func computeKeep(t *store.Table, spec Spec) []scan.RowRange {
+	if spec.Scalar || !t.HasZones() || len(spec.Preds) == 0 {
+		return nil
+	}
+	byAttr := map[int][]exec.Predicate{}
+	for _, p := range spec.Preds {
+		if p.Attr < 0 || p.Attr >= t.Schema.NumAttrs() {
+			return nil // Compile-time validation rejects this later.
+		}
+		if t.Schema.Attrs[p.Attr].Type.Kind != schema.Int32 {
+			continue
+		}
+		byAttr[p.Attr] = append(byAttr[p.Attr], p)
+	}
+	var keep []scan.RowRange
+	pruned := false
+	for a, preds := range byAttr {
+		z := zoneFor(t, a)
+		if z == nil {
+			continue
+		}
+		ranges := attrKeepRanges(z, preds, attrPageCapacity(t, a), t.Tuples)
+		if keep == nil && !pruned {
+			keep = ranges
+			pruned = true
+		} else {
+			keep = intersectRanges(keep, ranges)
+		}
+	}
+	if !pruned {
+		return nil
+	}
+	if len(keep) == 1 && keep[0].Lo == 0 && keep[0].Hi == t.Tuples {
+		return nil // nothing pruned: stay on the unpruned path
+	}
+	return keep
+}
+
+// attrKeepRanges builds one attribute's surviving row ranges: page p
+// survives iff every predicate on the attribute may match its zone,
+// and adjacent surviving pages merge into one range.
+func attrKeepRanges(z *store.ZoneMap, preds []exec.Predicate, capacity, tuples int64) []scan.RowRange {
+	out := []scan.RowRange{}
+	for p := range z.Min {
+		ok := true
+		for i := range preds {
+			if !zoneMaybeMatch(preds[i].Op, preds[i].Int, z.Min[p], z.Max[p]) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		lo := int64(p) * capacity
+		hi := lo + capacity
+		if hi > tuples {
+			hi = tuples
+		}
+		if n := len(out); n > 0 && out[n-1].Hi == lo {
+			out[n-1].Hi = hi
+		} else {
+			out = append(out, scan.RowRange{Lo: lo, Hi: hi})
+		}
+	}
+	return out
+}
+
+// intersectRanges intersects two sorted, disjoint range sets.
+func intersectRanges(a, b []scan.RowRange) []scan.RowRange {
+	out := []scan.RowRange{}
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := a[i].Lo
+		if b[j].Lo > lo {
+			lo = b[j].Lo
+		}
+		hi := a[i].Hi
+		if b[j].Hi < hi {
+			hi = b[j].Hi
+		}
+		if lo < hi {
+			if n := len(out); n > 0 && out[n-1].Hi == lo {
+				out[n-1].Hi = hi
+			} else {
+				out = append(out, scan.RowRange{Lo: lo, Hi: hi})
+			}
+		}
+		if a[i].Hi < b[j].Hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// keySection maps a partition's keep set onto one file's page space:
+// the contiguous page window [Start, Start+Pages) covering every kept
+// row, clipped to the partition's own page range [partStart,
+// partEnd). The prefix and suffix pages outside the window are the
+// statically pruned pages the scan never requests from the I/O layer.
+func keepSection(keep []scan.RowRange, capacity, partStart, partEnd int64) (sec scan.PageSection, prunedBefore, prunedAfter int64) {
+	if len(keep) == 0 {
+		return scan.PageSection{Start: partStart, Pages: 0}, partEnd - partStart, 0
+	}
+	first := keep[0].Lo / capacity
+	last := (keep[len(keep)-1].Hi - 1) / capacity
+	if first < partStart {
+		first = partStart
+	}
+	if last >= partEnd {
+		last = partEnd - 1
+	}
+	return scan.PageSection{Start: first, Pages: last - first + 1}, first - partStart, partEnd - 1 - last
+}
+
+// chargeSkipped accounts pages the plan pruned statically — clipped out
+// of the file section before any reader opened, so their bytes are
+// never requested from the I/O layer.
+func chargeSkipped(c *cpumodel.Counters, pages int64, pageSize int) {
+	if pages <= 0 {
+		return
+	}
+	c.AddPrunedPages(pages)
+	c.AddBytesSkipped(pages * int64(pageSize))
+}

@@ -115,14 +115,33 @@ func (p *Plan) scanRange(ctx context.Context, counters *cpumodel.Counters, tr *t
 // whole table whose readers stream the entire file.
 func (p *Plan) buildScan(ctx context.Context, counters *cpumodel.Counters, tr *trace.Trace, startRow, endRow int64, ranged bool) (exec.Operator, error) {
 	t := p.tbl
+	// The partition's keep set: nil when the plan prunes nothing; empty
+	// (non-nil) when zone maps prove the whole partition holds no
+	// qualifying row, in which case no file is opened at all.
+	keep := scan.ClipKeep(p.keep, startRow, endRow)
 	if t.Layout == store.Row || t.Layout == store.PAX {
 		// Page-aligned partition: slice the single data file by pages and
 		// run the ordinary scanner over the section.
+		capacity := int64(page.RowGeometry(t.Schema, t.PageSize).Capacity())
 		startPage, pages := int64(0), int64(-1)
 		if ranged {
-			capacity := int64(page.RowGeometry(t.Schema, t.PageSize).Capacity())
 			startPage = startRow / capacity
 			pages = (endRow+capacity-1)/capacity - startPage
+		}
+		if keep != nil {
+			partStart, partEnd := startPage, startPage+pages
+			if pages < 0 {
+				partStart, partEnd = 0, (t.Tuples+capacity-1)/capacity
+			}
+			if len(keep) == 0 {
+				chargeSkipped(counters, partEnd-partStart, t.PageSize)
+				return exec.NewSliceSource(p.scanSchema, nil, 0)
+			}
+			// Clip the file section to the pages covering kept rows; the
+			// prefix and suffix are pruned without ever being requested.
+			sec, before, after := keepSection(keep, capacity, partStart, partEnd)
+			chargeSkipped(counters, before+after, t.PageSize)
+			startPage, pages = sec.Start, sec.Pages
 		}
 		length := pages * int64(t.PageSize)
 		if pages < 0 {
@@ -143,6 +162,11 @@ func (p *Plan) buildScan(ctx context.Context, counters *cpumodel.Counters, tr *t
 			Counters:  counters,
 			Integrity: p.integrity(t.DataPath(), startPage, pages),
 		}
+		if keep != nil {
+			cfg.Keep = keep
+			cfg.StartPage = startPage
+			cfg.SecPages = pages
+		}
 		var op exec.Operator
 		if t.Layout == store.PAX {
 			op, err = scan.NewPAXScanner(cfg)
@@ -158,12 +182,36 @@ func (p *Plan) buildScan(ctx context.Context, counters *cpumodel.Counters, tr *t
 
 	// Column layout: every needed column streams from the page containing
 	// startRow; the scanner trims to the exact row range.
-	pageRange := func(int64) (int64, int64) { return 0, -1 }
-	if ranged {
-		pageRange = func(attrCap int64) (int64, int64) {
+	if keep != nil && len(keep) == 0 {
+		for a := range p.neededAttrs() {
+			capacity := int64(page.ColGeometry(t.Schema.Attrs[a], t.PageSize).Capacity())
+			partStart, partEnd := int64(0), (t.Tuples+capacity-1)/capacity
+			if ranged {
+				partStart = startRow / capacity
+				partEnd = (endRow + capacity - 1) / capacity
+			}
+			chargeSkipped(counters, partEnd-partStart, t.PageSize)
+		}
+		return exec.NewSliceSource(p.scanSchema, nil, 0)
+	}
+	sections := map[int]scan.PageSection{}
+	pageRange := func(a int, attrCap int64) (int64, int64) {
+		if keep == nil {
+			if !ranged {
+				return 0, -1
+			}
 			startPage := startRow / attrCap
 			return startPage, (endRow+attrCap-1)/attrCap - startPage
 		}
+		partStart, partEnd := int64(0), (t.Tuples+attrCap-1)/attrCap
+		if ranged {
+			partStart = startRow / attrCap
+			partEnd = (endRow + attrCap - 1) / attrCap
+		}
+		sec, before, after := keepSection(keep, attrCap, partStart, partEnd)
+		chargeSkipped(counters, before+after, t.PageSize)
+		sections[a] = sec
+		return sec.Start, sec.Pages
 	}
 	readers, integ, err := p.openColumnReaders(ctx, tr, pageRange)
 	if err != nil {
@@ -180,6 +228,10 @@ func (p *Plan) buildScan(ctx context.Context, counters *cpumodel.Counters, tr *t
 		Integrity: integ,
 		Scalar:    p.spec.Scalar,
 	}
+	if keep != nil {
+		cfg.Keep = keep
+		cfg.Sections = sections
+	}
 	if ranged {
 		cfg.StartRow = startRow
 		cfg.EndRow = endRow
@@ -195,23 +247,16 @@ func (p *Plan) buildScan(ctx context.Context, counters *cpumodel.Counters, tr *t
 }
 
 // openColumnReaders opens one reader per column the scan touches, with
-// that column's integrity view. pageRange maps a column's page capacity
-// to its (startPage, pages) file section; the full-table scan uses
-// (0, -1).
-func (p *Plan) openColumnReaders(ctx context.Context, tr *trace.Trace, pageRange func(attrCap int64) (int64, int64)) (map[int]aio.Reader, map[int]*scan.Integrity, error) {
+// that column's integrity view. pageRange maps a column and its page
+// capacity to the (startPage, pages) file section; the full-table scan
+// uses (0, -1).
+func (p *Plan) openColumnReaders(ctx context.Context, tr *trace.Trace, pageRange func(a int, attrCap int64) (int64, int64)) (map[int]aio.Reader, map[int]*scan.Integrity, error) {
 	t := p.tbl
-	need := map[int]bool{}
-	for _, pr := range p.spec.Preds {
-		need[pr.Attr] = true
-	}
-	for _, a := range p.spec.Proj {
-		need[a] = true
-	}
 	readers := map[int]aio.Reader{}
 	integ := map[int]*scan.Integrity{}
-	for a := range need {
+	for a := range p.neededAttrs() {
 		capacity := int64(page.ColGeometry(t.Schema.Attrs[a], t.PageSize).Capacity())
-		startPage, pages := pageRange(capacity)
+		startPage, pages := pageRange(a, capacity)
 		length := pages * int64(t.PageSize)
 		if pages < 0 {
 			length = -1

@@ -47,6 +47,17 @@ type ColConfig struct {
 	// verify its pages' CRCs against the store sidecar; nil or missing
 	// entries disable checking for that column.
 	Integrity map[int]*Integrity
+	// Keep, when non-nil, holds the global row ranges that survive
+	// zone-map pruning, sorted, disjoint, and already clipped to
+	// [StartRow, EndRow). Pages with no keep overlap are crossed without
+	// decoding and counted as pruned; payload pages inside keep that no
+	// qualifying position lands on are counted as late-skipped.
+	Keep []RowRange
+	// Sections, keyed by attribute index, clips each column reader to
+	// the page window it actually delivers (the plan layer opens the
+	// file section covering only the kept pages). Required per column
+	// whenever Keep is non-nil.
+	Sections map[int]PageSection
 	// Scalar disables the vectorized operate-on-compressed drive and
 	// runs the classic value-at-a-time pipeline — the reference path the
 	// kernel differential suite compares against, and an escape hatch.
@@ -122,10 +133,19 @@ func buildNodes(cfg *ColConfig, out *schema.Schema, preds map[int][]exec.Predica
 			return nil, err
 		}
 		cur.integ = cfg.Integrity[a]
-		if cfg.StartRow > 0 {
+		if sec, ok := cfg.Sections[a]; ok {
+			// The reader delivers only the section's page window.
+			cur.pgStart = sec.Start * int64(cur.cr.Capacity())
+			cur.secStartPg = sec.Start
+			cur.secPages = sec.Pages
+		} else if cfg.StartRow > 0 {
 			// The reader starts at the page containing StartRow.
 			cap64 := int64(cur.cr.Capacity())
 			cur.pgStart = cfg.StartRow / cap64 * cap64
+		}
+		if cfg.Keep != nil {
+			cur.keep = cfg.Keep
+			cur.prune = true
 		}
 		off := -1
 		if o, ok := outOff[a]; ok {

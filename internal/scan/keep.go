@@ -1,0 +1,109 @@
+package scan
+
+import (
+	"sort"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+)
+
+// This file holds the row-range ("keep set") machinery of selective
+// scans. The plan layer intersects SARGable predicates with the store's
+// per-page zone maps and hands every scanner the surviving global row
+// ranges; the scanners use them to skip decoding pages that cannot
+// contain a qualifying row. Ranges are expressed in global row space —
+// not page space — because the column layout gives every column file
+// its own page capacity: one keep set prunes all of them.
+
+// RowRange is a half-open interval [Lo, Hi) of global row indexes.
+type RowRange struct {
+	Lo int64
+	Hi int64
+}
+
+// PageSection is the contiguous page window of one file a selective
+// scan actually reads: Start is the global page index of the first page
+// delivered by the reader, Pages the number of delivered pages. Pages
+// outside the section are never requested from the I/O layer.
+type PageSection struct {
+	Start int64
+	Pages int64
+}
+
+// KeepIntersects reports whether any keep range overlaps [lo, hi). The
+// keep set must be sorted and disjoint (the plan layer guarantees it).
+func KeepIntersects(keep []RowRange, lo, hi int64) bool {
+	i := sort.Search(len(keep), func(i int) bool { return keep[i].Hi > lo })
+	return i < len(keep) && keep[i].Lo < hi
+}
+
+// ClipKeep intersects a keep set with [start, end), returning a new
+// sorted, disjoint set. A nil input stays nil (no pruning); a non-nil
+// input may clip to an empty, non-nil set (nothing survives).
+func ClipKeep(keep []RowRange, start, end int64) []RowRange {
+	if keep == nil {
+		return nil
+	}
+	out := make([]RowRange, 0, len(keep))
+	for _, r := range keep {
+		lo, hi := r.Lo, r.Hi
+		if lo < start {
+			lo = start
+		}
+		if end > 0 && hi > end {
+			hi = end
+		}
+		if lo < hi {
+			out = append(out, RowRange{Lo: lo, Hi: hi})
+		}
+	}
+	return out
+}
+
+// KeepRows returns the total number of rows in the keep set.
+func KeepRows(keep []RowRange) int64 {
+	var n int64
+	for _, r := range keep {
+		n += r.Hi - r.Lo
+	}
+	return n
+}
+
+// settleUnreadPages classifies the delivered-section pages a scanner
+// never pulled from its reader (the consumer stopped early): pruned if
+// the keep set excludes them, late-skipped otherwise. Keeps the page
+// conservation identity — touched + pruned + late-skipped covers the
+// section — even on early exit.
+func settleUnreadPages(counters *cpumodel.Counters, keep []RowRange, startPage, pagesRead, secPages int64, capacity int) {
+	for p := startPage + pagesRead; p < startPage+secPages; p++ {
+		lo := p * int64(capacity)
+		if KeepIntersects(keep, lo, lo+int64(capacity)) {
+			counters.AddLateSkippedPages(1)
+		} else {
+			counters.AddPrunedPages(1)
+		}
+	}
+}
+
+// filterSelKeep compacts a page's selection vector in place, retaining
+// only entries whose global row (base + sel[i]) falls inside the keep
+// set, and returns the new length. Both the selection vector and the
+// keep set are ascending, so one merge walk suffices.
+//
+//readopt:selconsumer
+func filterSelKeep(sel []int32, keep []RowRange, base int64) int {
+	k, ri := 0, 0
+	for _, s := range sel {
+		pos := base + int64(s)
+		for ri < len(keep) && keep[ri].Hi <= pos {
+			ri++
+		}
+		if ri == len(keep) {
+			break
+		}
+		if pos >= keep[ri].Lo {
+			sel[k] = s
+			k++
+		}
+	}
+	return k
+}

@@ -103,6 +103,9 @@ func (r *PAXScanner) Open() error {
 // Close implements exec.Operator.
 func (r *PAXScanner) Close() error {
 	r.opened = false
+	if r.cfg.Keep != nil {
+		settleUnreadPages(r.cfg.Counters, r.cfg.Keep, r.cfg.StartPage, r.pagesRead, r.cfg.SecPages, r.pr.Capacity())
+	}
 	return r.cfg.Reader.Close()
 }
 
@@ -140,6 +143,15 @@ func (r *PAXScanner) nextPage() error {
 		return fault.Corruptf("scan: corrupt PAX page: count %d exceeds capacity %d", r.pgCount, r.pr.Capacity())
 	}
 	r.pgPos = 0
+	if r.cfg.Keep != nil && r.pgCount > 0 {
+		base := (r.cfg.StartPage + r.pagesRead - 1) * int64(r.pr.Capacity())
+		if !KeepIntersects(r.cfg.Keep, base, base+int64(r.pgCount)) {
+			// Zone-pruned page: cross it without decoding any minipages.
+			r.cfg.Counters.AddPrunedPages(1)
+			r.pgPos = r.pgCount
+			return nil
+		}
+	}
 	r.cfg.Counters.AddInstr(r.cfg.Costs.PageOverhead)
 	r.cfg.Counters.AddPage()
 

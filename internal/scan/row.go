@@ -40,6 +40,16 @@ type RowConfig struct {
 	// Integrity, when non-nil, makes the scanner verify each page's
 	// CRC against the store sidecar and detect truncation at EOF.
 	Integrity *Integrity
+	// Keep, when non-nil, holds the global row ranges that survive
+	// zone-map pruning (sorted, disjoint); delivered pages with no
+	// overlap are crossed without decoding and counted as pruned.
+	Keep []RowRange
+	// StartPage is the global page index of the first page the Reader
+	// delivers and SecPages the number of delivered pages; both are
+	// consulted only when Keep is non-nil (the plan layer clips the
+	// file section to the kept page window).
+	StartPage int64
+	SecPages  int64
 }
 
 func (cfg *RowConfig) fill() {
@@ -171,6 +181,9 @@ func (r *RowScanner) Open() error {
 // Close implements exec.Operator.
 func (r *RowScanner) Close() error {
 	r.opened = false
+	if r.cfg.Keep != nil {
+		settleUnreadPages(r.cfg.Counters, r.cfg.Keep, r.cfg.StartPage, r.pagesRead, r.cfg.SecPages, r.geo.Capacity())
+	}
 	return r.cfg.Reader.Close()
 }
 
@@ -209,6 +222,15 @@ func (r *RowScanner) nextPage() error {
 		return fault.Corruptf("scan: corrupt row page: count %d exceeds capacity %d", r.pgCount, r.geo.Capacity())
 	}
 	r.pgPos = 0
+	if r.cfg.Keep != nil && r.pgCount > 0 {
+		base := (r.cfg.StartPage + r.pagesRead - 1) * int64(r.geo.Capacity())
+		if !KeepIntersects(r.cfg.Keep, base, base+int64(r.pgCount)) {
+			// Zone-pruned page: cross it without decoding any tuples.
+			r.cfg.Counters.AddPrunedPages(1)
+			r.pgPos = r.pgCount
+			return nil
+		}
+	}
 	r.cfg.Counters.AddInstr(r.cfg.Costs.PageOverhead)
 	r.cfg.Counters.AddPage()
 	// The row store streams every tuple byte through the cache.

@@ -95,6 +95,21 @@ type colCursor struct {
 	touched      int64 // values touched in the current page
 	fullCharge   bool  // page already charged as fully streamed
 
+	// Selective-scan state. When prune is set, keep holds the global row
+	// ranges that can qualify (sorted, disjoint, already clipped to the
+	// partition); pages with no keep overlap are crossed without
+	// decoding. active marks the current page as probed; pages left
+	// inactive are classified at page-leave as pruned (outside keep) or
+	// late-skipped (inside keep, but no qualifying position landed on
+	// them). secStartPg/secPages describe the delivered page section so
+	// close can classify trailing pages the cursor never pulled.
+	keep       []RowRange
+	prune      bool
+	active     bool
+	settled    bool // current page already classified (settleLeave ran)
+	secStartPg int64
+	secPages   int64
+
 	// Vectorized drive state, allocated only for the deepest node of a
 	// vectorized column scan: the packed codes of the current page's
 	// in-range rows, the selection vector of qualifying rows, and the
@@ -147,13 +162,46 @@ func (c *colCursor) chargePage() {
 	c.fullCharge = false
 }
 
+// markActive records that the current page is being probed or decoded,
+// charging the per-page entry costs a non-pruning scan pays in
+// nextPage. Idempotent per page.
+func (c *colCursor) markActive() {
+	if !c.prune || c.active {
+		return
+	}
+	c.active = true
+	c.counters.AddInstr(c.costs.PageOverhead)
+	c.counters.AddPage()
+}
+
+// settleLeave settles the accounting for the page being left: memory
+// charges always, and — under pruning — the page's classification if it
+// was crossed without a probe.
+func (c *colCursor) settleLeave() {
+	c.chargePage()
+	if !c.prune || c.pgCount == 0 || c.settled {
+		return
+	}
+	// settleLeave runs both when nextPage hits EOF and again from close;
+	// the settled latch keeps the classification to once per page.
+	c.settled = true
+	if !c.active {
+		if KeepIntersects(c.keep, c.pgStart, c.pgStart+int64(c.pgCount)) {
+			c.counters.AddLateSkippedPages(1)
+		} else {
+			c.counters.AddPrunedPages(1)
+		}
+	}
+	c.active = false
+}
+
 // nextPage advances to the following page, returning io.EOF past the last
 // one.
 func (c *colCursor) nextPage() error {
 	if c.eof {
 		return io.EOF
 	}
-	c.chargePage()
+	c.settleLeave()
 	if c.unitOff >= len(c.unit) {
 		buf, err := c.reader.Next()
 		if err == io.EOF {
@@ -186,12 +234,20 @@ func (c *colCursor) nextPage() error {
 			c.attr.Name, c.pgCount, c.cr.Capacity())
 	}
 	c.decodedValid = false
-	c.counters.AddInstr(c.costs.PageOverhead)
-	c.counters.AddPage()
+	c.settled = false
+	if !c.prune {
+		c.counters.AddInstr(c.costs.PageOverhead)
+		c.counters.AddPage()
+	}
 	return nil
 }
 
 // advanceTo positions the cursor on the page containing global row pos.
+// Crossed pages are settled (and, under pruning, classified) but never
+// decoded — this is what makes late materialization skip whole payload
+// pages.
+//
+//readopt:posconsumer
 func (c *colCursor) advanceTo(pos int64) error {
 	for c.pgStart+int64(c.pgCount) <= pos {
 		if err := c.nextPage(); err != nil {
@@ -216,6 +272,7 @@ func (c *colCursor) ensureDecoded() error {
 	if _, err := c.cr.Decode(c.pg, c.decoded); err != nil {
 		return err
 	}
+	c.markActive()
 	c.decodedValid = true
 	c.fullCharge = true
 	c.counters.AddInstr(int64(c.pgCount) * c.costs.DecodeCost(c.attr.Enc))
@@ -223,9 +280,18 @@ func (c *colCursor) ensureDecoded() error {
 }
 
 // value writes the value at global row pos into dst (attr size bytes).
-// The cursor must already be positioned on pos's page.
+// The cursor must already be positioned on pos's page; the position is
+// bounds-checked against the page before any fetch, so a corrupt
+// position vector fails as a typed integrity error.
+//
+//readopt:posconsumer
 func (c *colCursor) value(pos int64, dst []byte) error {
 	i := int(pos - c.pgStart)
+	if i < 0 || i >= c.pgCount {
+		return fault.Corruptf("scan: column %s: position %d outside page rows [%d, %d)",
+			c.attr.Name, pos, c.pgStart, c.pgStart+int64(c.pgCount))
+	}
+	c.markActive()
 	size := c.attr.Type.Size
 	if !c.cr.RandomAccess() {
 		if err := c.ensureDecoded(); err != nil {
@@ -240,7 +306,12 @@ func (c *colCursor) value(pos int64, dst []byte) error {
 	return nil
 }
 
-// close settles pending charges.
+// close settles pending charges, classifying the section pages the
+// cursor never pulled (the drive ran out of qualifying positions before
+// reaching them).
 func (c *colCursor) close() {
-	c.chargePage()
+	c.settleLeave()
+	if c.prune {
+		settleUnreadPages(c.counters, c.keep, c.secStartPg, c.pagesRead, c.secPages, c.cr.Capacity())
+	}
 }

@@ -95,6 +95,15 @@ func (c *ColScanner) prepPage(n0 *scanNode) (last bool, err error) {
 	if n <= 0 {
 		return last, nil
 	}
+	if cur.prune {
+		// Zone-map pruning: a page with no keep overlap cannot contain
+		// a qualifying row — cross it without unpacking or decoding.
+		if !KeepIntersects(cur.keep, cur.pgStart+int64(lo), cur.pgStart+int64(hi)) {
+			return last, nil
+		}
+		cur.markActive()
+		cur.fullCharge = true
+	}
 	c.cfg.Counters.AddInstr(int64(n) * c.cfg.Costs.ValueLoop)
 
 	useCodes := cur.kern != nil
@@ -168,10 +177,18 @@ func (c *ColScanner) driveDeepestVec() error {
 			} else if err != nil {
 				return err
 			}
-			cur.fullCharge = true // the deepest node streams everything
+			if !cur.prune {
+				cur.fullCharge = true // the deepest node streams everything
+			}
 			last, err := c.prepPage(n0)
 			if err != nil {
 				return err
+			}
+			if cur.prune && cur.selN > 0 {
+				// Clip to the keep set: every emitted position must fall
+				// inside it, or a payload column could be asked for a row
+				// before its clipped section starts.
+				cur.selN = filterSelKeep(cur.sel[:cur.selN], cur.keep, cur.pgStart+int64(cur.vecLo))
 			}
 			c.vecLast = last
 			continue

@@ -55,6 +55,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("readopt_bytes_scanned_total", "Bytes read from storage by the engine.", st.Work.IOBytes)
 	counter("readopt_io_requests_total", "I/O requests issued by the engine.", st.Work.IORequests)
 	counter("readopt_pages_touched_total", "Pages touched by scans.", st.Work.Pages)
+	counter("readopt_pages_pruned_total", "Pages zone maps proved free of qualifying rows and skipped.", st.Work.PagesPruned)
+	counter("readopt_pages_late_skipped_total", "Payload pages skipped by late materialization.", st.Work.PagesLateSkipped)
+	counter("readopt_bytes_skipped_total", "Bytes of pruned pages never requested from storage.", st.Work.BytesSkipped)
 	counter("readopt_instructions_total", "Modeled instructions executed by the engine.", st.Work.Instructions)
 	counter("readopt_seq_mem_bytes_total", "Modeled bytes moved by sequential access.", st.Work.SeqMemBytes)
 	counter("readopt_rand_mem_lines_total", "Modeled cache lines moved by random access.", st.Work.RandMemLines)

@@ -284,8 +284,9 @@ func (s *Server) finishQuery(table string, resp *readopt.QueryResponse) {
 	if th := s.cfg.SlowQueryThreshold; th > 0 && exec >= th {
 		s.stats.slow()
 		s.cfg.SlowQueryLog.Printf(
-			"slow query: table=%s exec=%s wait=%s rows=%d batch=%d io_bytes=%d io_requests=%d",
-			table, exec, wait, len(resp.Rows), resp.BatchSize, resp.Stats.IOBytes, resp.Stats.IORequests)
+			"slow query: table=%s exec=%s wait=%s rows=%d batch=%d io_bytes=%d io_requests=%d pages_pruned=%d",
+			table, exec, wait, len(resp.Rows), resp.BatchSize, resp.Stats.IOBytes, resp.Stats.IORequests,
+			resp.Stats.PagesPruned)
 	}
 }
 

@@ -182,13 +182,16 @@ func (r *statsRecorder) addLatency(queueWait, exec time.Duration) {
 
 func (r *statsRecorder) addWorkLocked(work readopt.ScanStats) {
 	r.work.Add(cpumodel.Counters{
-		Instr:      work.Instructions,
-		SeqBytes:   work.SeqMemBytes,
-		RandLines:  work.RandMemLines,
-		L1Bytes:    work.L1MemBytes,
-		IORequests: work.IORequests,
-		IOBytes:    work.IOBytes,
-		Pages:      work.Pages,
+		Instr:            work.Instructions,
+		SeqBytes:         work.SeqMemBytes,
+		RandLines:        work.RandMemLines,
+		L1Bytes:          work.L1MemBytes,
+		IORequests:       work.IORequests,
+		IOBytes:          work.IOBytes,
+		Pages:            work.Pages,
+		PagesPruned:      work.PagesPruned,
+		PagesLateSkipped: work.PagesLateSkipped,
+		BytesSkipped:     work.BytesSkipped,
 	})
 }
 
@@ -218,13 +221,16 @@ func (r *statsRecorder) snapshot() readopt.ServerStats {
 		TransientErrors: r.errTransient,
 		OtherErrors:     r.errOther,
 		Work: readopt.ScanStats{
-			Instructions: r.work.Instr,
-			SeqMemBytes:  r.work.SeqBytes,
-			RandMemLines: r.work.RandLines,
-			L1MemBytes:   r.work.L1Bytes,
-			IORequests:   r.work.IORequests,
-			IOBytes:      r.work.IOBytes,
-			Pages:        r.work.Pages,
+			Instructions:     r.work.Instr,
+			SeqMemBytes:      r.work.SeqBytes,
+			RandMemLines:     r.work.RandLines,
+			L1MemBytes:       r.work.L1Bytes,
+			IORequests:       r.work.IORequests,
+			IOBytes:          r.work.IOBytes,
+			Pages:            r.work.Pages,
+			PagesPruned:      r.work.PagesPruned,
+			PagesLateSkipped: r.work.PagesLateSkipped,
+			BytesSkipped:     r.work.BytesSkipped,
 		},
 	}
 }

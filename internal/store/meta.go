@@ -70,6 +70,11 @@ type Meta struct {
 	// sidecars (<file>.crc), letting scans verify each page as it is
 	// decoded. Tables written before sidecars existed scan unchecked.
 	PageCRC bool `json:"page_crc,omitempty"`
+	// Zones holds per-page min/max zone maps for every int32 attribute,
+	// keyed by data file name (one entry per column file for the column
+	// layout; every int32 attribute under the single file for Row and
+	// PAX). Tables written before zone maps existed scan unpruned.
+	Zones map[string][]ZoneMap `json:"zones,omitempty"`
 }
 
 // SidecarName returns the per-page checksum sidecar for a data file.
@@ -196,6 +201,7 @@ type Table struct {
 	fileSizes map[string]int64
 	checksums map[string]uint32
 	pageSums  map[string][]uint32
+	zones     map[string][]ZoneMap
 }
 
 // Open loads a table's metadata and dictionaries and verifies the data
@@ -232,6 +238,12 @@ func Open(dir string) (*Table, error) {
 		Dicts:     dicts,
 		fileSizes: m.FileSizes,
 		checksums: m.Checksums,
+	}
+	if len(m.Zones) > 0 {
+		if err := checkZoneLengths(&m); err != nil {
+			return nil, err
+		}
+		t.zones = m.Zones
 	}
 	for name, want := range m.FileSizes {
 		fi, err := os.Stat(filepath.Join(dir, name))
@@ -398,13 +410,17 @@ func (t *Table) VerifyPages() error {
 }
 
 // Fsck is the full offline integrity check behind readoptd -fsck: the
-// whole-file checksums, then the per-page sidecars. Corruption findings
-// carry fault.ErrCorrupt.
+// whole-file checksums, the per-page sidecars, then the zone maps
+// recomputed from decoded pages. Corruption findings carry
+// fault.ErrCorrupt.
 func (t *Table) Fsck() error {
 	if err := t.VerifyIntegrity(); err != nil {
 		return err
 	}
-	return t.VerifyPages()
+	if err := t.VerifyPages(); err != nil {
+		return err
+	}
+	return t.VerifyZones()
 }
 
 // TotalDataBytes returns the combined size of all data files — the

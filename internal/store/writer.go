@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
 
 	"github.com/readoptdb/readopt/internal/compress"
 	"github.com/readoptdb/readopt/internal/page"
@@ -69,6 +70,12 @@ type Writer struct {
 	tuples int64
 	pageID uint32 // next row page ID
 	closed bool
+
+	// zones tracks per-page min/max for every int32 attribute (nil
+	// entries for text attributes). Row and PAX trackers flush on the
+	// shared page cadence; column trackers flush on their own column's
+	// cadence, since capacities differ per column.
+	zones []*zoneTracker
 }
 
 // Create prepares a bulk load into dir (created if needed, must be empty
@@ -86,6 +93,7 @@ func Create(dir string, sch *schema.Schema, layout Layout, pageSize int) (*Write
 		layout:   layout,
 		pageSize: pageSize,
 		dicts:    make(map[int]*compress.Dictionary),
+		zones:    newZoneTrackers(sch),
 	}
 	var err error
 	switch layout {
@@ -136,6 +144,7 @@ func (w *Writer) Append(tuple []byte) error {
 	switch w.layout {
 	case Row:
 		w.rowB.Add(tuple)
+		w.trackZones(tuple)
 		if w.rowB.Full() {
 			pg, err := w.rowB.Flush(w.pageID)
 			if err != nil {
@@ -145,9 +154,11 @@ func (w *Writer) Append(tuple []byte) error {
 			if err := w.rowF.write(pg); err != nil {
 				return err
 			}
+			w.flushZonePages()
 		}
 	case PAX:
 		w.paxB.Add(tuple)
+		w.trackZones(tuple)
 		if w.paxB.Full() {
 			pg, err := w.paxB.Flush(w.pageID)
 			if err != nil {
@@ -157,11 +168,15 @@ func (w *Writer) Append(tuple []byte) error {
 			if err := w.rowF.write(pg); err != nil {
 				return err
 			}
+			w.flushZonePages()
 		}
 	case Column:
 		for i, b := range w.colBs {
 			off := w.sch.Offset(i)
 			b.Add(tuple[off : off+w.sch.Attrs[i].Type.Size])
+			if z := w.zones[i]; z != nil {
+				z.add(int32At(tuple[off:]))
+			}
 			if b.Full() {
 				pg, err := b.Flush(w.colIDs[i])
 				if err != nil {
@@ -170,6 +185,9 @@ func (w *Writer) Append(tuple []byte) error {
 				w.colIDs[i]++
 				if err := w.colFs[i].write(pg); err != nil {
 					return err
+				}
+				if z := w.zones[i]; z != nil {
+					z.flushPage()
 				}
 			}
 		}
@@ -223,6 +241,26 @@ func (w *Writer) Close() error {
 	return nil
 }
 
+// trackZones feeds one decoded tuple's int32 values to the shared-
+// cadence (Row/PAX) zone trackers.
+func (w *Writer) trackZones(tuple []byte) {
+	for i, z := range w.zones {
+		if z != nil {
+			z.add(int32At(tuple[w.sch.Offset(i):]))
+		}
+	}
+}
+
+// flushZonePages seals the current page's zone entries on the shared
+// page cadence.
+func (w *Writer) flushZonePages() {
+	for _, z := range w.zones {
+		if z != nil {
+			z.flushPage()
+		}
+	}
+}
+
 func (w *Writer) finish() error {
 	sizes := make(map[string]int64)
 	sums := make(map[string]uint32)
@@ -236,6 +274,7 @@ func (w *Writer) finish() error {
 			if err := w.rowF.write(pg); err != nil {
 				return err
 			}
+			w.flushZonePages()
 		}
 		if err := w.rowF.close(); err != nil {
 			return err
@@ -254,6 +293,7 @@ func (w *Writer) finish() error {
 			if err := w.rowF.write(pg); err != nil {
 				return err
 			}
+			w.flushZonePages()
 		}
 		if err := w.rowF.close(); err != nil {
 			return err
@@ -272,6 +312,9 @@ func (w *Writer) finish() error {
 				}
 				if err := w.colFs[i].write(pg); err != nil {
 					return err
+				}
+				if z := w.zones[i]; z != nil {
+					z.flushPage()
 				}
 			}
 			if err := w.colFs[i].close(); err != nil {
@@ -296,7 +339,35 @@ func (w *Writer) finish() error {
 		FileSizes: sizes,
 		Checksums: sums,
 		PageCRC:   true,
+		Zones:     w.zoneMaps(),
 	})
+}
+
+// zoneMaps assembles the persisted zone maps, keyed by data file name.
+func (w *Writer) zoneMaps() map[string][]ZoneMap {
+	out := make(map[string][]ZoneMap)
+	switch w.layout {
+	case Row, PAX:
+		var zs []ZoneMap
+		for _, z := range w.zones {
+			if z != nil && len(z.min) > 0 {
+				zs = append(zs, z.zoneMap())
+			}
+		}
+		if len(zs) > 0 {
+			out[w.rowF.name] = zs
+		}
+	case Column:
+		for i, z := range w.zones {
+			if z != nil && len(z.min) > 0 {
+				out[ColumnFileName(w.sch, i)] = []ZoneMap{z.zoneMap()}
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
 }
 
 // writePageSums records wf's per-page CRCs in a sidecar next to the
@@ -321,6 +392,46 @@ func LoadSynthetic(dir string, sch *schema.Schema, layout Layout, pageSize int, 
 	for i := int64(0); i < n; i++ {
 		gen.Next(tuple)
 		if err := w.Append(tuple); err != nil {
+			w.Abort()
+			return nil, err
+		}
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return Open(dir)
+}
+
+// LoadSyntheticClustered is LoadSynthetic with the tuples sorted by the
+// given int32 attribute before loading — the clustered-table case zone
+// maps prune best on. The whole generation is buffered in memory, so it
+// is meant for tool and benchmark table sizes, not production loads.
+func LoadSyntheticClustered(dir string, sch *schema.Schema, layout Layout, pageSize int, seed int64, n int64, attr int) (*Table, error) {
+	if attr < 0 || attr >= sch.NumAttrs() || sch.Attrs[attr].Type.Kind != schema.Int32 {
+		return nil, fmt.Errorf("store: cluster attribute %d is not an int32 column", attr)
+	}
+	gen, err := tpch.ForSchema(sch, seed)
+	if err != nil {
+		return nil, err
+	}
+	width := sch.Width()
+	buf := make([]byte, n*int64(width))
+	for i := int64(0); i < n; i++ {
+		gen.Next(buf[i*int64(width) : (i+1)*int64(width)])
+	}
+	idx := make([]int64, n)
+	for i := range idx {
+		idx[i] = int64(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return sch.Int32At(buf[idx[a]*int64(width):], attr) < sch.Int32At(buf[idx[b]*int64(width):], attr)
+	})
+	w, err := Create(dir, sch, layout, pageSize)
+	if err != nil {
+		return nil, err
+	}
+	for _, i := range idx {
+		if err := w.Append(buf[i*int64(width) : (i+1)*int64(width)]); err != nil {
 			w.Abort()
 			return nil, err
 		}

@@ -1,0 +1,205 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/readoptdb/readopt/internal/fault"
+	"github.com/readoptdb/readopt/internal/page"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// ZoneMap records, for one int32 attribute of one data file, the
+// minimum and maximum value stored on each page. Zone maps are computed
+// at write time in decoded value space — never in code space — so the
+// plan layer can test SARGable predicate constants against them without
+// touching dictionaries or page bases. Text attributes carry no zone
+// maps and are never pruned on.
+type ZoneMap struct {
+	Attr int     `json:"attr"`
+	Min  []int32 `json:"min"`
+	Max  []int32 `json:"max"`
+}
+
+// zoneTracker accumulates one attribute's per-page min/max while the
+// writer packs pages.
+type zoneTracker struct {
+	attr     int
+	min, max []int32
+	curMin   int32
+	curMax   int32
+	n        int // values in the current (unflushed) page
+}
+
+func (z *zoneTracker) add(v int32) {
+	if z.n == 0 {
+		z.curMin, z.curMax = v, v
+	} else {
+		if v < z.curMin {
+			z.curMin = v
+		}
+		if v > z.curMax {
+			z.curMax = v
+		}
+	}
+	z.n++
+}
+
+// flushPage seals the current page's zone entry; call exactly when the
+// page builder flushes.
+func (z *zoneTracker) flushPage() {
+	if z.n == 0 {
+		return
+	}
+	z.min = append(z.min, z.curMin)
+	z.max = append(z.max, z.curMax)
+	z.n = 0
+}
+
+func (z *zoneTracker) zoneMap() ZoneMap {
+	return ZoneMap{Attr: z.attr, Min: z.min, Max: z.max}
+}
+
+// newZoneTrackers returns one tracker per int32 attribute (nil entries
+// for text attributes).
+func newZoneTrackers(s *schema.Schema) []*zoneTracker {
+	out := make([]*zoneTracker, s.NumAttrs())
+	for i, a := range s.Attrs {
+		if a.Type.Kind == schema.Int32 {
+			out[i] = &zoneTracker{attr: i}
+		}
+	}
+	return out
+}
+
+// int32At reads the decoded little-endian int32 of attribute value v.
+func int32At(v []byte) int32 {
+	return int32(binary.LittleEndian.Uint32(v))
+}
+
+// checkZoneLengths validates that every zone map in m covers exactly
+// one entry per page of its file — the cheap open-time check; Fsck does
+// the deep recomputation.
+func checkZoneLengths(m *Meta) error {
+	for name, zones := range m.Zones {
+		size, ok := m.FileSizes[name]
+		if !ok {
+			return fmt.Errorf("store: zone maps for unknown data file %s", name)
+		}
+		pages := int(size / int64(m.PageSize))
+		for _, z := range zones {
+			if z.Attr < 0 || z.Attr >= len(m.Attrs) {
+				return fmt.Errorf("store: zone map for %s names attribute %d of %d", name, z.Attr, len(m.Attrs))
+			}
+			if len(z.Min) != pages || len(z.Max) != pages {
+				return fmt.Errorf("store: zone map for %s attribute %d holds %d/%d entries, want %d pages",
+					name, z.Attr, len(z.Min), len(z.Max), pages)
+			}
+		}
+	}
+	return nil
+}
+
+// Zones returns the zone maps of the named data file, or nil for tables
+// written before zone maps existed (they scan unpruned). The slices are
+// shared — do not mutate them.
+func (t *Table) Zones(name string) []ZoneMap { return t.zones[name] }
+
+// HasZones reports whether the table carries any zone maps.
+func (t *Table) HasZones() bool { return len(t.zones) > 0 }
+
+// VerifyZones re-reads every data file page by page, recomputes each
+// int32 attribute's per-page min/max from the decoded values, and
+// checks them against the persisted zone maps. A mismatch means a scan
+// could silently prune pages holding qualifying rows, so findings are
+// tagged fault.ErrCorrupt. Tables without zone maps verify trivially.
+func (t *Table) VerifyZones() error {
+	for name, zones := range t.zones {
+		if len(zones) == 0 {
+			continue
+		}
+		if err := t.verifyFileZones(name, zones); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Table) verifyFileZones(name string, zones []ZoneMap) error {
+	f, err := os.Open(filepath.Join(t.Dir, name))
+	if err != nil {
+		return fmt.Errorf("store: verify zones %s: %w", name, err)
+	}
+	defer f.Close()
+
+	// One whole-page decoder per layout; decoded holds either the
+	// column page's value array or the page's full decoded tuples.
+	var decodePage func(pg []byte) (n int, err error)
+	var valueAt func(i, attr int) int32
+	switch t.Layout {
+	case Column:
+		attr := zones[0].Attr
+		cr, err := page.NewColReader(t.Schema.Attrs[attr], t.PageSize, t.Dicts[attr])
+		if err != nil {
+			return err
+		}
+		size := t.Schema.Attrs[attr].Type.Size
+		decoded := make([]byte, cr.Capacity()*size)
+		decodePage = func(pg []byte) (int, error) { return cr.Decode(pg, decoded) }
+		valueAt = func(i, _ int) int32 { return int32At(decoded[i*size:]) }
+	case Row:
+		rr, err := page.NewRowReader(t.Schema, t.PageSize, t.Dicts)
+		if err != nil {
+			return err
+		}
+		decoded := make([]byte, rr.Capacity()*t.Schema.Width())
+		decodePage = func(pg []byte) (int, error) { return rr.Decode(pg, decoded) }
+		valueAt = func(i, attr int) int32 {
+			return int32At(decoded[i*t.Schema.Width()+t.Schema.Offset(attr):])
+		}
+	case PAX:
+		pr, err := page.NewPAXReader(t.Schema, t.PageSize, t.Dicts)
+		if err != nil {
+			return err
+		}
+		decoded := make([]byte, pr.Capacity()*t.Schema.Width())
+		decodePage = func(pg []byte) (int, error) { return pr.Decode(pg, decoded) }
+		valueAt = func(i, attr int) int32 {
+			return int32At(decoded[i*t.Schema.Width()+t.Schema.Offset(attr):])
+		}
+	}
+
+	pg := make([]byte, t.PageSize)
+	for p := 0; p < len(zones[0].Min); p++ {
+		if _, err := io.ReadFull(f, pg); err != nil {
+			return fmt.Errorf("store: verify zones %s: page %d: %w", name, p, err)
+		}
+		n, err := decodePage(pg)
+		if err != nil {
+			return fmt.Errorf("store: verify zones %s: page %d: %w", name, p, err)
+		}
+		if n == 0 {
+			return fault.Corruptf("store: verify zones %s: page %d is empty but has a zone entry", name, p)
+		}
+		for _, z := range zones {
+			lo, hi := valueAt(0, z.Attr), valueAt(0, z.Attr)
+			for i := 1; i < n; i++ {
+				v := valueAt(i, z.Attr)
+				if v < lo {
+					lo = v
+				}
+				if v > hi {
+					hi = v
+				}
+			}
+			if lo != z.Min[p] || hi != z.Max[p] {
+				return fault.Corruptf("store: zone map for %s attribute %d page %d records [%d, %d], data holds [%d, %d]",
+					name, z.Attr, p, z.Min[p], z.Max[p], lo, hi)
+			}
+		}
+	}
+	return nil
+}

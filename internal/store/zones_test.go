@@ -1,0 +1,160 @@
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/fault"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// readMetaFile round-trips the persisted meta.json for tampering.
+func readMetaFile(t *testing.T, dir string) *Meta {
+	t.Helper()
+	blob, err := os.ReadFile(filepath.Join(dir, metaFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m Meta
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatal(err)
+	}
+	return &m
+}
+
+// TestZoneMapsWrittenPerLayout: a fresh table of every layout carries a
+// zone map for each int32 attribute covering every page of its file,
+// with no entries for text attributes, and passes the deep fsck that
+// recomputes them from decoded pages.
+func TestZoneMapsWrittenPerLayout(t *testing.T) {
+	sch := schema.Orders()
+	for _, layout := range []Layout{Row, Column, PAX} {
+		t.Run(string(layout), func(t *testing.T) {
+			tbl := loadTable(t, sch, layout)
+			if !tbl.HasZones() {
+				t.Fatal("fresh table has no zone maps")
+			}
+			intAttrs := 0
+			for _, a := range sch.Attrs {
+				if a.Type.Kind == schema.Int32 {
+					intAttrs++
+				}
+			}
+			covered := map[int]bool{}
+			for name, zones := range tbl.zones {
+				pages := int(tbl.fileSizes[name] / int64(tbl.PageSize))
+				for _, z := range zones {
+					if sch.Attrs[z.Attr].Type.Kind != schema.Int32 {
+						t.Fatalf("%s: zone map for non-int attribute %d", name, z.Attr)
+					}
+					if len(z.Min) != pages || len(z.Max) != pages {
+						t.Fatalf("%s attr %d: %d/%d zone entries for %d pages", name, z.Attr, len(z.Min), len(z.Max), pages)
+					}
+					for p := range z.Min {
+						if z.Min[p] > z.Max[p] {
+							t.Fatalf("%s attr %d page %d: min %d above max %d", name, z.Attr, p, z.Min[p], z.Max[p])
+						}
+					}
+					covered[z.Attr] = true
+				}
+			}
+			if len(covered) != intAttrs {
+				t.Fatalf("zone maps cover %d attributes, schema has %d int32 attributes", len(covered), intAttrs)
+			}
+			if err := tbl.Fsck(); err != nil {
+				t.Fatalf("pristine table failed fsck: %v", err)
+			}
+		})
+	}
+}
+
+// TestFsckFindsTamperedZones: a zone entry that disagrees with the data
+// is caught by the deep verification with a typed corruption error — a
+// lying zone map would make scans silently drop qualifying rows.
+func TestFsckFindsTamperedZones(t *testing.T) {
+	tbl := loadTable(t, schema.Orders(), Column)
+	dir := tbl.Dir
+	m := readMetaFile(t, dir)
+	tampered := false
+	for _, zones := range m.Zones {
+		for _, z := range zones {
+			if len(z.Min) > 0 {
+				z.Min[0]++ // narrows the page's range: data now falls outside it
+				tampered = true
+				break
+			}
+		}
+		if tampered {
+			break
+		}
+	}
+	if !tampered {
+		t.Fatal("no zone entry to tamper with")
+	}
+	if err := writeMeta(dir, m); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(dir)
+	if err != nil {
+		t.Fatalf("tampered zone values must open (only fsck recomputes): %v", err)
+	}
+	err = reopened.VerifyZones()
+	if err == nil {
+		t.Fatal("tampered zone map not detected")
+	}
+	if !errors.Is(err, fault.ErrCorrupt) {
+		t.Fatalf("zone corruption error is untyped: %v", err)
+	}
+	if !strings.Contains(err.Error(), "zone map") {
+		t.Fatalf("error does not name the zone map: %v", err)
+	}
+	if err := reopened.Fsck(); !errors.Is(err, fault.ErrCorrupt) {
+		t.Fatalf("Fsck missed the tampered zone map: %v", err)
+	}
+}
+
+// TestOpenRejectsShortZoneMap: a zone map with fewer entries than the
+// file has pages fails the cheap open-time length check.
+func TestOpenRejectsShortZoneMap(t *testing.T) {
+	tbl := loadTable(t, schema.Orders(), Row)
+	m := readMetaFile(t, tbl.Dir)
+	for name, zones := range m.Zones {
+		if len(zones) > 0 && len(zones[0].Min) > 1 {
+			zones[0].Min = zones[0].Min[:len(zones[0].Min)-1]
+			m.Zones[name] = zones
+			break
+		}
+	}
+	if err := writeMeta(tbl.Dir, m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(tbl.Dir); err == nil || !strings.Contains(err.Error(), "zone map") {
+		t.Fatalf("truncated zone map not rejected at open: %v", err)
+	}
+}
+
+// TestOpenWithoutZones: a meta written before zone maps existed (no
+// zones key) opens cleanly, reports HasZones false, and fsck passes —
+// the table simply scans unpruned.
+func TestOpenWithoutZones(t *testing.T) {
+	tbl := loadTable(t, schema.Orders(), PAX)
+	m := readMetaFile(t, tbl.Dir)
+	m.Zones = nil
+	if err := writeMeta(tbl.Dir, m); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(tbl.Dir)
+	if err != nil {
+		t.Fatalf("pre-zone-map table failed to open: %v", err)
+	}
+	if reopened.HasZones() {
+		t.Fatal("table without persisted zones reports HasZones")
+	}
+	if err := reopened.Fsck(); err != nil {
+		t.Fatalf("fsck of zone-free table: %v", err)
+	}
+}

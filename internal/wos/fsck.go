@@ -1,8 +1,12 @@
 package wos
 
 import (
+	"encoding/binary"
+	"io"
+	"os"
 	"path/filepath"
 
+	"github.com/readoptdb/readopt/internal/schema"
 	"github.com/readoptdb/readopt/internal/store"
 )
 
@@ -22,6 +26,9 @@ func (s *Store) Fsck() error {
 	}
 	for _, r := range sn.v.runs {
 		if err := VerifyRun(r.dir, r.meta, r.sums); err != nil {
+			return err
+		}
+		if err := verifyRunSparse(r.dir, r.meta, s.sch, s.key); err != nil {
 			return err
 		}
 	}
@@ -48,4 +55,62 @@ func (s *Store) VerifyPages() error {
 // CRCs, sharing store.VerifyPagesFile with the read store's fsck.
 func VerifyRun(dir string, meta RunMeta, sums []uint32) error {
 	return store.VerifyPagesFile(filepath.Join(dir, meta.File), meta.PageSize, sums)
+}
+
+// verifyRunSparse re-reads one run file and checks the manifest's sparse
+// key index against the data: Sparse[p] must be the first key actually
+// on page p, SparseMax[p] (when recorded) its last, keys must be sorted
+// within and across pages, and MinKey/MaxKey must match the run's ends.
+// A wrong entry would make key-range pruning skip pages holding
+// qualifying rows, so every finding is tagged corruption.
+func verifyRunSparse(dir string, meta RunMeta, sch *schema.Schema, key int) error {
+	if len(meta.Sparse) != meta.Pages {
+		return corruptf("wos: run %s sparse index holds %d entries, want %d pages", meta.File, len(meta.Sparse), meta.Pages)
+	}
+	if len(meta.SparseMax) != 0 && len(meta.SparseMax) != meta.Pages {
+		return corruptf("wos: run %s sparse-max index holds %d entries, want %d pages", meta.File, len(meta.SparseMax), meta.Pages)
+	}
+	f, err := os.Open(filepath.Join(dir, meta.File))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	width := sch.Width()
+	capacity := runCapacity(meta.PageSize, width)
+	pg := make([]byte, meta.PageSize)
+	var prev int32
+	for p := 0; p < meta.Pages; p++ {
+		if _, err := io.ReadFull(f, pg); err != nil {
+			return corruptf("wos: run %s page %d: %v", meta.File, p, err)
+		}
+		count := int(binary.LittleEndian.Uint32(pg[8:]))
+		if count <= 0 || count > capacity {
+			return corruptf("wos: run %s page %d claims %d tuples", meta.File, p, count)
+		}
+		tuples := pg[runHeaderSize:]
+		first := sch.Int32At(tuples, key)
+		last := sch.Int32At(tuples[(count-1)*width:], key)
+		for i := 1; i < count; i++ {
+			if sch.Int32At(tuples[i*width:], key) < sch.Int32At(tuples[(i-1)*width:], key) {
+				return corruptf("wos: run %s page %d keys out of order at row %d", meta.File, p, i)
+			}
+		}
+		if meta.Sparse[p] != first {
+			return corruptf("wos: run %s sparse[%d] records %d, page starts with key %d", meta.File, p, meta.Sparse[p], first)
+		}
+		if len(meta.SparseMax) == meta.Pages && meta.SparseMax[p] != last {
+			return corruptf("wos: run %s sparse_max[%d] records %d, page ends with key %d", meta.File, p, meta.SparseMax[p], last)
+		}
+		if p > 0 && first < prev {
+			return corruptf("wos: run %s page %d starts with key %d below page %d's last key %d", meta.File, p, first, p-1, prev)
+		}
+		if p == 0 && meta.MinKey != first {
+			return corruptf("wos: run %s min_key records %d, run starts with key %d", meta.File, meta.MinKey, first)
+		}
+		if p == meta.Pages-1 && meta.MaxKey != last {
+			return corruptf("wos: run %s max_key records %d, run ends with key %d", meta.File, meta.MaxKey, last)
+		}
+		prev = last
+	}
+	return nil
 }

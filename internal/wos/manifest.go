@@ -37,7 +37,11 @@ func runName(seq int64) string        { return fmt.Sprintf("%s%07d.run", runPref
 
 // RunMeta describes one immutable sorted run file, as recorded in the
 // manifest. Sparse is the run's sparse key index: the first key of each
-// page, enabling page-level key-range pruning without touching the file.
+// page, enabling page-level key-range pruning without touching the
+// file. SparseMax is its companion — the last key of each page — which
+// makes the lower end of a key-range window exact even when duplicate
+// keys straddle a page boundary. Runs written before SparseMax existed
+// carry none; their windows fall back to the Sparse-only bound.
 type RunMeta struct {
 	File      string  `json:"file"`
 	Tuples    int64   `json:"tuples"`
@@ -47,6 +51,7 @@ type RunMeta struct {
 	MaxKey    int32   `json:"max_key"`
 	SchemaTag uint32  `json:"schema_tag"`
 	Sparse    []int32 `json:"sparse"`
+	SparseMax []int32 `json:"sparse_max,omitempty"`
 }
 
 // manifest is one epoch's immutable description of the table: which

@@ -76,6 +76,7 @@ func writeRun(dir, name string, sch *schema.Schema, key int, tuples []byte, page
 
 	data := make([]byte, pages*pageSize)
 	sparse := make([]int32, pages)
+	sparseMax := make([]int32, pages)
 	for p := 0; p < pages; p++ {
 		lo, hi := p*capacity, (p+1)*capacity
 		if hi > n {
@@ -88,6 +89,7 @@ func writeRun(dir, name string, sch *schema.Schema, key int, tuples []byte, page
 		binary.LittleEndian.PutUint32(pg[12:], tag)
 		copy(pg[runHeaderSize:], tuples[lo*width:hi*width])
 		sparse[p] = sch.Int32At(tuples[lo*width:], key)
+		sparseMax[p] = sch.Int32At(tuples[(hi-1)*width:], key)
 	}
 	sums, err := writePagedFileWithCRC(dir, name, data, pageSize)
 	if err != nil {
@@ -102,6 +104,7 @@ func writeRun(dir, name string, sch *schema.Schema, key int, tuples []byte, page
 		MaxKey:    sch.Int32At(tuples[(n-1)*width:], key),
 		SchemaTag: tag,
 		Sparse:    sparse,
+		SparseMax: sparseMax,
 	}, sums, nil
 }
 
@@ -125,23 +128,29 @@ func loadRunSums(dir string, meta RunMeta) ([]uint32, error) {
 // memtable's worth) and short-lived, so a shallow window suffices.
 const runReadDepth = 8
 
-// openRun opens a run file behind the same reader stack the plan layer
-// uses for table sections — OS prefetcher (one I/O unit per page) →
-// chaos injector → transient-error retry — so run reads share the
-// engine's fault taxonomy and injection points.
-func openRun(ctx context.Context, path string, pageSize int) (aio.Reader, error) {
+// openRun opens pages [startPage, startPage+pages) of a run file behind
+// the same reader stack the plan layer uses for table sections — OS
+// prefetcher (one I/O unit per page) → chaos injector → transient-error
+// retry — so run reads share the engine's fault taxonomy and injection
+// points. Negative pages reads to the end of the file.
+func openRun(ctx context.Context, path string, pageSize, startPage, pages int) (aio.Reader, error) {
 	name := filepath.Base(path)
+	base := int64(startPage) * int64(pageSize)
 	open := func(skip int64) (aio.Reader, error) {
 		f, err := os.Open(path)
 		if err != nil {
 			return nil, err
 		}
-		r, err := aio.NewOSReaderSectionCtx(ctx, f, int64(pageSize), runReadDepth, skip, -1)
+		length := int64(-1)
+		if pages >= 0 {
+			length = int64(pages)*int64(pageSize) - skip
+		}
+		r, err := aio.NewOSReaderSectionCtx(ctx, f, int64(pageSize), runReadDepth, base+skip, length)
 		if err != nil {
 			f.Close()
 			return nil, err
 		}
-		return fault.ChaosWrap(name, skip, &runFile{OSReader: r, f: f}), nil
+		return fault.ChaosWrap(name, base+skip, &runFile{OSReader: r, f: f}), nil
 	}
 	return fault.NewRetryReader(open, 3, 2*time.Millisecond, clock.Real{})
 }
@@ -178,9 +187,15 @@ type runScanner struct {
 	pageBuf []byte // tuples of the current page
 	pagePos int    // next tuple in pageBuf
 	pageN   int    // tuples in the current page
-	pageIdx int    // next page index to read
+	pageIdx int    // next (absolute) page index to read
 	eof     bool   // reader delivered EOF; it must not be polled again
 	opened  bool
+
+	// The scanner's page window, absolute page indexes [winStart,
+	// winEnd). The default is the whole run; OpenDeltaRange narrows it
+	// to the pages that can hold the pushed key range.
+	winStart int
+	winEnd   int
 }
 
 // newRunScanner builds a scanner over the run described by meta in dir.
@@ -198,7 +213,15 @@ func newRunScanner(ctx context.Context, dir string, meta RunMeta, sums []uint32,
 		counters: counters,
 		costs:    cpumodel.DefaultCosts(),
 		block:    exec.NewBlock(sch, exec.DefaultBlockTuples),
+		winEnd:   meta.Pages,
 	}
+}
+
+// window restricts the scanner to the absolute page range [first, last]
+// (inclusive); pages outside it are never requested from the I/O layer.
+func (s *runScanner) window(first, last int) *runScanner {
+	s.winStart, s.winEnd = first, last+1
+	return s
 }
 
 // Schema implements exec.Operator.
@@ -210,12 +233,16 @@ func (s *runScanner) SetCounters(c *cpumodel.Counters) { s.counters = c }
 
 // Open implements exec.Operator.
 func (s *runScanner) Open() error {
-	r, err := openRun(s.ctx, filepath.Join(s.dir, s.meta.File), s.meta.PageSize)
+	pages := -1
+	if s.winStart > 0 || s.winEnd < s.meta.Pages {
+		pages = s.winEnd - s.winStart
+	}
+	r, err := openRun(s.ctx, filepath.Join(s.dir, s.meta.File), s.meta.PageSize, s.winStart, pages)
 	if err != nil {
 		return err
 	}
 	s.r = r
-	s.pageIdx, s.pagePos, s.pageN = 0, 0, 0
+	s.pageIdx, s.pagePos, s.pageN = s.winStart, 0, 0
 	s.eof = false
 	s.opened = true
 	return nil
@@ -270,15 +297,15 @@ func (s *runScanner) nextPage() (done bool, err error) {
 	unit, err := s.r.Next()
 	if err != nil {
 		if errors.Is(err, io.EOF) {
-			if s.pageIdx != s.meta.Pages {
-				return false, corruptf("wos: run %s truncated at page %d of %d", s.meta.File, s.pageIdx, s.meta.Pages)
+			if s.pageIdx != s.winEnd {
+				return false, corruptf("wos: run %s truncated at page %d of %d", s.meta.File, s.pageIdx, s.winEnd)
 			}
 			return true, nil
 		}
 		return false, err
 	}
-	if s.pageIdx >= s.meta.Pages {
-		return false, corruptf("wos: run %s longer than its %d manifest pages", s.meta.File, s.meta.Pages)
+	if s.pageIdx >= s.winEnd {
+		return false, corruptf("wos: run %s longer than its %d-page window", s.meta.File, s.winEnd-s.winStart)
 	}
 	if len(unit) != s.meta.PageSize {
 		return false, corruptf("wos: run %s page %d torn: %d bytes, want %d", s.meta.File, s.pageIdx, len(unit), s.meta.PageSize)

@@ -2,6 +2,7 @@ package wos
 
 import (
 	"context"
+	"sort"
 	"sync/atomic"
 
 	"github.com/readoptdb/readopt/internal/cpumodel"
@@ -80,4 +81,73 @@ func (sn *Snapshot) OpenDelta(ctx context.Context, counters *cpumodel.Counters) 
 		ops = append(ops, src)
 	}
 	return ops, nil
+}
+
+// KeyAttr implements the plan layer's key-range delta extension: the
+// attribute runs and generations are sorted on.
+func (sn *Snapshot) KeyAttr() int { return sn.st.key }
+
+// OpenDeltaRange is OpenDelta restricted to overlay rows whose key may
+// fall in [lo, hi]. Runs are key-sorted, so the manifest alone skips
+// whole runs (MinKey/MaxKey) and narrows survivors to a page window
+// (Sparse/SparseMax); skipped pages are charged to counters as pruned
+// and their bytes as never read. The memtable is unsorted and always
+// included — the plan's exact filters drop its non-qualifying rows.
+// Pruning is conservative, so the rows delivered are a superset of the
+// qualifying rows and a strict subset of what OpenDelta delivers;
+// results after filtering are byte-identical. counters may be nil.
+func (sn *Snapshot) OpenDeltaRange(ctx context.Context, counters *cpumodel.Counters, lo, hi int32) ([]exec.Operator, error) {
+	ops := make([]exec.Operator, 0, len(sn.v.runs)+1)
+	for _, r := range sn.v.runs {
+		m := r.meta
+		if lo > hi || m.MaxKey < lo || m.MinKey > hi {
+			chargeRunSkip(counters, m, m.Pages)
+			continue
+		}
+		first, last := runPageWindow(m, lo, hi)
+		if first > last {
+			chargeRunSkip(counters, m, m.Pages)
+			continue
+		}
+		chargeRunSkip(counters, m, m.Pages-(last-first+1))
+		sc := newRunScanner(ctx, r.dir, m, r.sums, sn.st.sch, counters)
+		if first > 0 || last < m.Pages-1 {
+			sc.window(first, last)
+		}
+		ops = append(ops, sc)
+	}
+	if sn.memRows > 0 {
+		src, err := exec.NewSliceSource(sn.st.sch, sn.mem, 0)
+		if err != nil {
+			return nil, err
+		}
+		ops = append(ops, src)
+	}
+	return ops, nil
+}
+
+// chargeRunSkip accounts n run pages proven out of the key range.
+func chargeRunSkip(c *cpumodel.Counters, m RunMeta, n int) {
+	if n <= 0 {
+		return
+	}
+	c.AddPrunedPages(int64(n))
+	c.AddBytesSkipped(int64(n) * int64(m.PageSize))
+}
+
+// runPageWindow returns the inclusive page window of a sorted run that
+// can hold keys in [lo, hi]. Both ends are binary searches over the
+// sparse index: SparseMax (last key per page) bounds the front exactly;
+// manifests written before it existed fall back to the next page's
+// first key, which over-approximates by at most one page when duplicate
+// keys straddle a boundary.
+func runPageWindow(m RunMeta, lo, hi int32) (first, last int) {
+	n := m.Pages
+	if len(m.SparseMax) == n {
+		first = sort.Search(n, func(p int) bool { return m.SparseMax[p] >= lo })
+	} else {
+		first = sort.Search(n, func(p int) bool { return p == n-1 || m.Sparse[p+1] >= lo })
+	}
+	last = sort.Search(n, func(p int) bool { return m.Sparse[p] > hi }) - 1
+	return first, last
 }

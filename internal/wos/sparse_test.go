@@ -1,0 +1,207 @@
+package wos
+
+import (
+	"context"
+	"encoding/binary"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/schema"
+	"github.com/readoptdb/readopt/internal/store"
+)
+
+// checkSparseAgainstFile re-reads every live run of the store's current
+// version and asserts the manifest's sparse index is exactly what the
+// data says: Sparse[p] is the first key on page p, SparseMax[p] the
+// last, and pages are key-sorted end to end. It is the property the
+// key-range pruning path relies on, checked from the raw file bytes —
+// independently of the production verifier.
+func checkSparseAgainstFile(t *testing.T, s *Store) {
+	t.Helper()
+	sn := s.Snapshot()
+	defer sn.Release()
+	sch := s.sch
+	width := sch.Width()
+	for _, r := range sn.v.runs {
+		m := r.meta
+		if len(m.Sparse) != m.Pages || len(m.SparseMax) != m.Pages {
+			t.Fatalf("run %s: sparse %d / sparse_max %d entries, want %d pages",
+				m.File, len(m.Sparse), len(m.SparseMax), m.Pages)
+		}
+		f, err := os.Open(filepath.Join(r.dir, m.File))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pg := make([]byte, m.PageSize)
+		var prevLast int32
+		for p := 0; p < m.Pages; p++ {
+			if _, err := io.ReadFull(f, pg); err != nil {
+				t.Fatalf("run %s page %d: %v", m.File, p, err)
+			}
+			count := int(binary.LittleEndian.Uint32(pg[8:]))
+			if count <= 0 {
+				t.Fatalf("run %s page %d holds %d tuples", m.File, p, count)
+			}
+			tuples := pg[runHeaderSize:]
+			first := sch.Int32At(tuples, s.key)
+			last := sch.Int32At(tuples[(count-1)*width:], s.key)
+			for i := 1; i < count; i++ {
+				if sch.Int32At(tuples[i*width:], s.key) < sch.Int32At(tuples[(i-1)*width:], s.key) {
+					t.Fatalf("run %s page %d: keys out of order at row %d", m.File, p, i)
+				}
+			}
+			if m.Sparse[p] != first {
+				t.Fatalf("run %s sparse[%d] = %d, page starts with %d", m.File, p, m.Sparse[p], first)
+			}
+			if m.SparseMax[p] != last {
+				t.Fatalf("run %s sparse_max[%d] = %d, page ends with %d", m.File, p, m.SparseMax[p], last)
+			}
+			if p > 0 && first < prevLast {
+				t.Fatalf("run %s page %d starts with %d below previous page's last %d", m.File, p, first, prevLast)
+			}
+			prevLast = last
+		}
+		f.Close()
+		if m.MinKey != m.Sparse[0] || m.MaxKey != prevLast {
+			t.Fatalf("run %s min/max [%d, %d] disagree with pages [%d, %d]",
+				m.File, m.MinKey, m.MaxKey, m.Sparse[0], prevLast)
+		}
+	}
+}
+
+// TestSparseIndexProperty drives the full run lifecycle — spills from
+// random inserts, an explicit flush, a compaction, then more spills —
+// and checks the sparse-index property after every phase, plus the
+// production verifier via Fsck.
+func TestSparseIndexProperty(t *testing.T) {
+	sch := testSchema()
+	s, err := Create(t.TempDir(), sch, store.Row, smallOpts(sch.Width()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	rng := rand.New(rand.NewSource(7))
+
+	insert := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			k := int32(rng.Intn(64)) // duplicates likely: the straddle case
+			if err := s.Insert(mkTuple(sch, k, k)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	insert(100) // several 8-row spills
+	checkSparseAgainstFile(t, s)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	checkSparseAgainstFile(t, s)
+	if err := s.Fsck(); err != nil {
+		t.Fatalf("fsck after spills: %v", err)
+	}
+
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	insert(50)
+	checkSparseAgainstFile(t, s)
+	if err := s.Fsck(); err != nil {
+		t.Fatalf("fsck after compaction and fresh spills: %v", err)
+	}
+}
+
+// rangeRows drains a set of delta operators into (key, value) pairs.
+func rangeRows(t *testing.T, ops []exec.Operator, sch *schema.Schema) [][2]int32 {
+	t.Helper()
+	var out [][2]int32
+	for _, op := range ops {
+		if err := op.Open(); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			blk, err := op.Next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if blk == nil {
+				break
+			}
+			for i := 0; i < blk.Len(); i++ {
+				tu := blk.Tuple(i)
+				out = append(out, [2]int32{sch.Int32At(tu, 0), sch.Int32At(tu, 1)})
+			}
+		}
+		if err := op.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out
+}
+
+// TestOpenDeltaRangeEquivalence checks the key-range open against the
+// plain open: for any window, the ranged rows restricted to [lo, hi]
+// must equal the full rows restricted to [lo, hi] in order, pages must
+// actually be pruned for narrow windows, and a run is charged entirely
+// when the window misses it.
+func TestOpenDeltaRangeEquivalence(t *testing.T) {
+	sch := testSchema()
+	s, err := Create(t.TempDir(), sch, store.Row, smallOpts(sch.Width()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 97; i++ { // several runs plus a memtable remainder
+		if err := s.Insert(mkTuple(sch, int32(i%50), int32(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sn := s.Snapshot()
+	defer sn.Release()
+
+	filter := func(rows [][2]int32, lo, hi int32) [][2]int32 {
+		var out [][2]int32
+		for _, r := range rows {
+			if r[0] >= lo && r[0] <= hi {
+				out = append(out, r)
+			}
+		}
+		return out
+	}
+	windows := [][2]int32{{0, 49}, {10, 12}, {25, 25}, {48, 60}, {-5, -1}, {7, 3}}
+	for _, w := range windows {
+		lo, hi := w[0], w[1]
+		fullOps, err := sn.OpenDelta(context.Background(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := filter(rangeRows(t, fullOps, sch), lo, hi)
+		ctr := new(cpumodel.Counters)
+		rangedOps, err := sn.OpenDeltaRange(context.Background(), ctr, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ranged := filter(rangeRows(t, rangedOps, sch), lo, hi)
+		if len(full) != len(ranged) {
+			t.Fatalf("window [%d, %d]: ranged open sees %d rows, full open %d", lo, hi, len(ranged), len(full))
+		}
+		for i := range full {
+			if full[i] != ranged[i] {
+				t.Fatalf("window [%d, %d]: row %d differs: %v vs %v", lo, hi, i, ranged[i], full[i])
+			}
+		}
+		narrow := hi < lo || hi-lo < 40
+		if narrow && ctr.PagesPruned == 0 {
+			t.Errorf("window [%d, %d]: no pages pruned", lo, hi)
+		}
+		if ctr.BytesSkipped != ctr.PagesPruned*int64(s.opts.RunPageSize) {
+			t.Errorf("window [%d, %d]: skipped %d bytes for %d pruned pages", lo, hi, ctr.BytesSkipped, ctr.PagesPruned)
+		}
+	}
+}

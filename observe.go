@@ -59,8 +59,15 @@ type QueryTrace struct {
 	IO     TraceIO      `json:"io"`
 	// Total is the whole query's counted work (the sum of the stages).
 	Total ScanStats `json:"total"`
-	// PagesTouched is the storage pages the query crossed.
-	PagesTouched int64 `json:"pages_touched"`
+	// PagesTouched is the storage pages the query crossed. PagesPruned
+	// and PagesLateSkipped are the pages a selective scan proved it could
+	// skip (zone maps, late materialization); BytesSkipped is the bytes
+	// of pruned pages never requested from the I/O layer. For a full
+	// scan all three are zero.
+	PagesTouched     int64 `json:"pages_touched"`
+	PagesPruned      int64 `json:"pages_pruned,omitempty"`
+	PagesLateSkipped int64 `json:"pages_late_skipped,omitempty"`
+	BytesSkipped     int64 `json:"bytes_skipped,omitempty"`
 	// Error and ErrorKind record how the query failed, if it did:
 	// ErrorKind is the taxonomy kind ("transient", "corrupt",
 	// "cancelled", "other"); both are empty for a successful query.
@@ -81,23 +88,29 @@ func (r *Rows) Trace() *QueryTrace {
 
 func scanStatsOf(c cpumodel.Counters) ScanStats {
 	return ScanStats{
-		Instructions: c.Instr,
-		SeqMemBytes:  c.SeqBytes,
-		RandMemLines: c.RandLines,
-		L1MemBytes:   c.L1Bytes,
-		IORequests:   c.IORequests,
-		IOBytes:      c.IOBytes,
-		Pages:        c.Pages,
+		Instructions:     c.Instr,
+		SeqMemBytes:      c.SeqBytes,
+		RandMemLines:     c.RandLines,
+		L1MemBytes:       c.L1Bytes,
+		IORequests:       c.IORequests,
+		IOBytes:          c.IOBytes,
+		Pages:            c.Pages,
+		PagesPruned:      c.PagesPruned,
+		PagesLateSkipped: c.PagesLateSkipped,
+		BytesSkipped:     c.BytesSkipped,
 	}
 }
 
 // traceView converts a finished internal trace to the wire shape.
 func traceView(tr *trace.Trace) *QueryTrace {
-	total := tr.Total()
+	total := scanStatsOf(tr.Total())
 	qt := &QueryTrace{
-		ElapsedMicros: tr.Elapsed().Microseconds(),
-		Total:         scanStatsOf(total),
-		PagesTouched:  total.Pages,
+		ElapsedMicros:    tr.Elapsed().Microseconds(),
+		Total:            total,
+		PagesTouched:     total.Pages,
+		PagesPruned:      total.PagesPruned,
+		PagesLateSkipped: total.PagesLateSkipped,
+		BytesSkipped:     total.BytesSkipped,
 		IO: TraceIO{
 			BytesRead:      tr.IO.BytesRead,
 			Units:          tr.IO.Units,

@@ -490,13 +490,16 @@ func (r *Rows) Stats() ScanStats {
 		c.Add(r.tr.Total())
 	}
 	return ScanStats{
-		Instructions: c.Instr,
-		SeqMemBytes:  c.SeqBytes,
-		RandMemLines: c.RandLines,
-		L1MemBytes:   c.L1Bytes,
-		IORequests:   c.IORequests,
-		IOBytes:      c.IOBytes,
-		Pages:        c.Pages,
+		Instructions:     c.Instr,
+		SeqMemBytes:      c.SeqBytes,
+		RandMemLines:     c.RandLines,
+		L1MemBytes:       c.L1Bytes,
+		IORequests:       c.IORequests,
+		IOBytes:          c.IOBytes,
+		Pages:            c.Pages,
+		PagesPruned:      c.PagesPruned,
+		PagesLateSkipped: c.PagesLateSkipped,
+		BytesSkipped:     c.BytesSkipped,
 	}
 }
 

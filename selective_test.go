@@ -1,0 +1,262 @@
+package readopt
+
+import (
+	"bytes"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"github.com/readoptdb/readopt/internal/fault"
+)
+
+// loadSortedKV builds a table whose key column K is strictly ascending
+// — the clustered case zone maps are built for. V and TAG are payload:
+// V rides along in projections (the late-materialization target), TAG
+// keeps a text column in the schema so the unprunable-type path stays
+// exercised.
+func loadSortedKV(t *testing.T, layout Layout, n int) *Table {
+	t.Helper()
+	s, err := NewSchema("KV", []Column{
+		{Name: "K", Type: Int32},
+		{Name: "V", Type: Int32},
+		{Name: "TAG", Type: Text(4)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(filepath.Join(t.TempDir(), "kv"), s, layout, LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tags := []string{"aaaa", "bbbb", "cccc"}
+	for i := 0; i < n; i++ {
+		if err := l.Append(i, (i*7)%1000, tags[i%len(tags)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tbl, err := l.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// selectiveQueries spans the selectivity spectrum over the sorted key,
+// with an identical projection so every query needs the same column
+// set. selective marks the queries whose key range excludes most pages
+// — the ones zone maps must visibly prune.
+func selectiveQueries(n int) []struct {
+	name      string
+	q         Query
+	selective bool
+} {
+	sel := []string{"K", "V"}
+	return []struct {
+		name      string
+		q         Query
+		selective bool
+	}{
+		{"point", Query{Select: sel, Where: []Cond{{Column: "K", Op: "=", Value: int32(n / 2)}}}, true},
+		{"0.1pct", Query{Select: sel, Where: []Cond{{Column: "K", Op: "<", Value: int32(n / 1000)}}}, true},
+		{"1pct", Query{Select: sel, Where: []Cond{{Column: "K", Op: "<", Value: int32(n / 100)}}}, true},
+		{"10pct", Query{Select: sel, Where: []Cond{{Column: "K", Op: "<", Value: int32(n / 10)}}}, true},
+		{"full", Query{Select: sel, Where: []Cond{{Column: "K", Op: ">=", Value: int32(0)}}}, false},
+	}
+}
+
+// TestSelectiveScanDifferential is the pruning acceptance test: at every
+// layout, dop and selectivity, the pruned vectorized scan returns tuples
+// byte-identical to the unpruned scalar baseline; selective queries
+// prune pages, full scans prune none; and at dop 1 the conservation
+// identity holds — pages touched, pruned and late-skipped together
+// account for exactly the pages the unpruned scan of the same column
+// set reads.
+func TestSelectiveScanDifferential(t *testing.T) {
+	const n = 20_000
+	for _, layout := range []Layout{RowLayout, ColumnLayout, PAXLayout} {
+		t.Run(string(layout), func(t *testing.T) {
+			tbl := loadSortedKV(t, layout, n)
+			cases := selectiveQueries(n)
+
+			// The unpruned page universe: what the full scan of the same
+			// projection touches when nothing is skippable.
+			fullRows, err := tbl.QueryExec(cases[len(cases)-1].q, ExecOptions{Dop: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rawTuples(t, fullRows)
+			unprunedPages := fullRows.Stats().Pages
+
+			for _, c := range cases {
+				baseline, err := tbl.QueryExec(c.q, ExecOptions{Dop: 1, Scalar: true})
+				if err != nil {
+					t.Fatalf("%s scalar baseline: %v", c.name, err)
+				}
+				want := rawTuples(t, baseline)
+				if st := baseline.Stats(); st.PagesPruned != 0 || st.PagesLateSkipped != 0 {
+					t.Errorf("%s: scalar baseline pruned pages (%d/%d)", c.name, st.PagesPruned, st.PagesLateSkipped)
+				}
+
+				for _, dop := range []int{1, 2, 8} {
+					for _, traced := range []bool{false, true} {
+						rows, err := tbl.QueryExec(c.q, ExecOptions{Dop: dop, Trace: traced})
+						if err != nil {
+							t.Fatalf("%s dop=%d traced=%v: %v", c.name, dop, traced, err)
+						}
+						got := rawTuples(t, rows)
+						if !bytes.Equal(got, want) {
+							t.Errorf("%s dop=%d traced=%v: pruned scan differs from scalar baseline (%d vs %d bytes)",
+								c.name, dop, traced, len(got), len(want))
+						}
+						st := rows.Stats()
+						if c.selective && st.PagesPruned == 0 {
+							t.Errorf("%s dop=%d traced=%v: selective query pruned no pages", c.name, dop, traced)
+						}
+						if !c.selective && (st.PagesPruned != 0 || st.PagesLateSkipped != 0) {
+							t.Errorf("%s dop=%d traced=%v: full scan skipped pages (%d pruned, %d late)",
+								c.name, dop, traced, st.PagesPruned, st.PagesLateSkipped)
+						}
+						if st.PagesPruned > 0 && st.BytesSkipped == 0 {
+							t.Errorf("%s dop=%d: pruned %d pages but skipped no bytes", c.name, dop, st.PagesPruned)
+						}
+						if dop == 1 {
+							accounted := st.Pages + st.PagesPruned + st.PagesLateSkipped
+							if accounted != unprunedPages {
+								t.Errorf("%s dop=1 traced=%v: touched %d + pruned %d + late %d = %d pages, unpruned scan reads %d",
+									c.name, traced, st.Pages, st.PagesPruned, st.PagesLateSkipped, accounted, unprunedPages)
+							}
+						}
+						if traced {
+							qt := rows.Trace()
+							if qt == nil {
+								t.Fatalf("%s dop=%d: traced run returned no trace", c.name, dop)
+							}
+							if qt.PagesPruned != st.PagesPruned || qt.PagesLateSkipped != st.PagesLateSkipped || qt.BytesSkipped != st.BytesSkipped {
+								t.Errorf("%s dop=%d: trace skip counters (%d, %d, %d) differ from stats (%d, %d, %d)",
+									c.name, dop, qt.PagesPruned, qt.PagesLateSkipped, qt.BytesSkipped,
+									st.PagesPruned, st.PagesLateSkipped, st.BytesSkipped)
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSelectiveScanIOBytesMonotone: on a clustered key, the bytes a scan
+// actually reads must fall as selectivity falls — the observable I/O
+// saving the pruning exists for.
+func TestSelectiveScanIOBytesMonotone(t *testing.T) {
+	const n = 20_000
+	tbl := loadSortedKV(t, ColumnLayout, n)
+	cases := selectiveQueries(n)
+	var prev int64 = -1
+	// Walk from the point query up to the full scan: I/O may only grow.
+	for _, c := range cases {
+		rows, err := tbl.QueryExec(c.q, ExecOptions{Dop: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rawTuples(t, rows)
+		io := rows.Stats().IOBytes
+		if io < prev {
+			t.Errorf("%s reads %d bytes, below the more selective query's %d", c.name, io, prev)
+		}
+		prev = io
+	}
+	point, err := tbl.QueryExec(cases[0].q, ExecOptions{Dop: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawTuples(t, point)
+	if point.Stats().IOBytes*2 > prev {
+		t.Errorf("point query reads %d of the full scan's %d bytes — pruning saved almost nothing",
+			point.Stats().IOBytes, prev)
+	}
+}
+
+// TestExplainAnalyzeShowsPruning: the skip line appears exactly when
+// pages were skipped — nonzero pruning for a selective query, no line
+// for a full scan.
+func TestExplainAnalyzeShowsPruning(t *testing.T) {
+	const n = 20_000
+	tbl := loadSortedKV(t, ColumnLayout, n)
+	cases := selectiveQueries(n)
+
+	out, err := tbl.ExplainAnalyze(cases[1].q, PaperHardware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "pages pruned:") {
+		t.Errorf("selective EXPLAIN ANALYZE shows no pruning:\n%s", out)
+	}
+	full, err := tbl.ExplainAnalyze(cases[len(cases)-1].q, PaperHardware())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(full, "pages pruned:") {
+		t.Errorf("full-scan EXPLAIN ANALYZE claims pruning:\n%s", full)
+	}
+}
+
+// TestSelectiveScanChaos: pruning under fault injection keeps the chaos
+// contract — every run either matches the fault-free baseline
+// byte-for-byte or fails typed, and no goroutines leak. A zone map that
+// mispruned under a torn read would surface here as silent wrong data.
+func TestSelectiveScanChaos(t *testing.T) {
+	defer fault.DisableChaos()
+	const n = 20_000
+	for _, layout := range []Layout{RowLayout, ColumnLayout, PAXLayout} {
+		t.Run(string(layout), func(t *testing.T) {
+			tbl := loadSortedKV(t, layout, n)
+			cases := selectiveQueries(n)
+
+			fault.DisableChaos()
+			wants := make([][]byte, len(cases))
+			for i, c := range cases {
+				rows, err := tbl.QueryExec(c.q, ExecOptions{Dop: 1})
+				if err != nil {
+					t.Fatal(err)
+				}
+				wants[i], err = drainOrError(rows)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			base := runtime.NumGoroutine()
+
+			for _, seed := range []int64{1, 2, 3} {
+				for _, dop := range []int{1, 8} {
+					fault.EnableChaos(fault.Config{
+						Seed:        seed,
+						ReadErrRate: 0.2,
+						PersistRate: 0.4,
+						TornRate:    0.03,
+						FlipRate:    0.03,
+					})
+					for i, c := range cases {
+						rows, err := tbl.QueryExec(c.q, ExecOptions{Dop: dop})
+						var got []byte
+						if err == nil {
+							got, err = drainOrError(rows)
+						}
+						if err != nil {
+							if !typedFailure(err) {
+								t.Errorf("seed=%d dop=%d %s: untyped failure: %v", seed, dop, c.name, err)
+							}
+							continue
+						}
+						if !bytes.Equal(got, wants[i]) {
+							t.Errorf("seed=%d dop=%d %s: SILENT WRONG DATA: %d bytes, want %d",
+								seed, dop, c.name, len(got), len(wants[i]))
+						}
+					}
+					fault.DisableChaos()
+					awaitGoroutines(t, base)
+				}
+			}
+		})
+	}
+}

@@ -61,6 +61,11 @@ func (t *Table) base() *store.Table {
 type LoadOptions struct {
 	// PageSize defaults to 4096.
 	PageSize int
+	// ClusterBy names an int32 column to sort the load by. A clustered
+	// table keeps each key range on few pages, which is what lets zone
+	// maps prune selective scans down to those pages. Empty loads in
+	// generation order. Only GenerateTPCH honours it.
+	ClusterBy string
 }
 
 // OpenTable opens a table directory written by a Loader, by
@@ -86,7 +91,16 @@ func GenerateTPCH(dir string, s *Schema, layout Layout, n int64, seed int64, opt
 	if opts.PageSize == 0 {
 		opts.PageSize = page.DefaultSize
 	}
-	t, err := store.LoadSynthetic(dir, s.inner, il, opts.PageSize, seed, n)
+	var t *store.Table
+	if opts.ClusterBy != "" {
+		attr := s.inner.AttrIndex(opts.ClusterBy)
+		if attr < 0 {
+			return nil, fmt.Errorf("readopt: cluster column %q not in schema %s", opts.ClusterBy, s.inner.Name)
+		}
+		t, err = store.LoadSyntheticClustered(dir, s.inner, il, opts.PageSize, seed, n, attr)
+	} else {
+		t, err = store.LoadSynthetic(dir, s.inner, il, opts.PageSize, seed, n)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -185,6 +199,15 @@ type ScanStats struct {
 	IOBytes    int64 `json:"io_bytes"`
 	// Pages counts the storage pages the scan crossed.
 	Pages int64 `json:"pages,omitempty"`
+	// PagesPruned counts pages zone maps proved free of qualifying rows
+	// — skipped without decoding, most never read at all. PagesLateSkipped
+	// counts payload pages late materialization skipped because no
+	// qualifying row fell on them. BytesSkipped is the bytes of
+	// statically pruned pages the I/O layer was never asked for. All
+	// three measure work *not* done; they carry no time cost.
+	PagesPruned      int64 `json:"pages_pruned,omitempty"`
+	PagesLateSkipped int64 `json:"pages_late_skipped,omitempty"`
+	BytesSkipped     int64 `json:"bytes_skipped,omitempty"`
 }
 
 // SelectivityThreshold returns the constant c such that the predicate
