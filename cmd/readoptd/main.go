@@ -35,6 +35,19 @@
 //
 // On SIGINT/SIGTERM the daemon stops admitting queries, finishes the
 // ones in flight, and exits.
+//
+// -coordinator turns the daemon into a shard coordinator: instead of
+// serving tables itself, it scatters every query across the -shard
+// partitions (each a comma-separated replica list, preferred first)
+// and merges the results, byte-identical to a single server holding
+// the whole table. Transient shard failures retry onto replicas with
+// jittered exponential backoff, stragglers are hedged, and per-endpoint
+// circuit breakers with health probes route around dead replicas; see
+// /stats and /metrics for retries, hedges and breaker states.
+//
+//	readoptd -coordinator -listen :8080 \
+//	    -shard http://127.0.0.1:8081,http://127.0.0.1:8091 \
+//	    -shard http://127.0.0.1:8082,http://127.0.0.1:8092
 package main
 
 import (
@@ -52,6 +65,7 @@ import (
 	"github.com/readoptdb/readopt"
 	"github.com/readoptdb/readopt/internal/fault"
 	"github.com/readoptdb/readopt/internal/server"
+	"github.com/readoptdb/readopt/internal/shard"
 )
 
 func main() {
@@ -66,9 +80,30 @@ func main() {
 	fsck := flag.Bool("fsck", false, "verify every -table's integrity (whole-file checksums, then per-page CRCs) and exit")
 	chaosRate := flag.Float64("chaos", 0, "TESTING ONLY: inject faults into every scan read at this rate (0 disables)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for -chaos fault injection; the same seed replays the same faults")
+	coordinator := flag.Bool("coordinator", false, "run as a shard coordinator over the -shard partitions instead of serving tables")
+	retryBudget := flag.Int("retry-budget", 3, "coordinator: max transient retries per query across all partitions")
+	hedgeAfter := flag.Duration("hedge-after", 0, "coordinator: hedge a shard request onto a replica after this delay (0 = adaptive from observed latency, negative disables)")
+	probeInterval := flag.Duration("probe-interval", 2*time.Second, "coordinator: health-probe period per shard endpoint (negative disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", time.Second, "coordinator: how long an open circuit breaker rejects an endpoint before a half-open trial")
 	var tables tableFlags
 	flag.Var(&tables, "table", "table to serve, as name=dir (repeatable)")
+	var shards shardFlags
+	flag.Var(&shards, "shard", "coordinator: one partition's replica URLs, comma-separated, preferred first (repeatable)")
 	flag.Parse()
+
+	if *coordinator {
+		os.Exit(runCoordinator(coordinatorOpts{
+			listen:          *listen,
+			shards:          shards,
+			maxInflight:     *workers + *queue,
+			timeout:         *timeout,
+			grace:           *grace,
+			retryBudget:     *retryBudget,
+			hedgeAfter:      *hedgeAfter,
+			probeInterval:   *probeInterval,
+			breakerCooldown: *breakerCooldown,
+		}))
+	}
 
 	if len(tables) == 0 {
 		fmt.Fprintln(os.Stderr, "readoptd: at least one -table name=dir is required")
@@ -139,6 +174,70 @@ func main() {
 	log.Printf("readoptd: drained, bye")
 }
 
+type coordinatorOpts struct {
+	listen          string
+	shards          shardFlags
+	maxInflight     int
+	timeout         time.Duration
+	grace           time.Duration
+	retryBudget     int
+	hedgeAfter      time.Duration
+	probeInterval   time.Duration
+	breakerCooldown time.Duration
+}
+
+// runCoordinator serves the scatter-gather tier until SIGINT/SIGTERM,
+// then drains like the plain server: stop admitting, finish in-flight
+// queries, exit.
+func runCoordinator(o coordinatorOpts) int {
+	if len(o.shards) == 0 {
+		fmt.Fprintln(os.Stderr, "readoptd: -coordinator needs at least one -shard url[,url...]")
+		flag.Usage()
+		return 2
+	}
+	c, err := shard.New(shard.Config{
+		Partitions:      o.shards,
+		MaxInflight:     o.maxInflight,
+		DefaultTimeout:  o.timeout,
+		RetryBudget:     o.retryBudget,
+		HedgeAfter:      o.hedgeAfter,
+		ProbeInterval:   o.probeInterval,
+		BreakerCooldown: o.breakerCooldown,
+	})
+	if err != nil {
+		log.Printf("readoptd: %v", err)
+		return 1
+	}
+	defer c.Close()
+	httpSrv := &http.Server{Addr: o.listen, Handler: c.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("readoptd: coordinating %d partitions on %s", c.Partitions(), o.listen)
+	for i, urls := range o.shards {
+		log.Printf("readoptd: partition %d: %s", i, strings.Join(urls, ", "))
+	}
+
+	select {
+	case err := <-errc:
+		log.Printf("readoptd: %v", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	log.Printf("readoptd: draining coordinator (grace %s)", o.grace)
+	c.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), o.grace)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("readoptd: shutdown: %v", err)
+	}
+	log.Printf("readoptd: drained, bye")
+	return 0
+}
+
 // runFsck verifies each table offline and reports per table; any
 // corruption makes the exit status 1.
 func runFsck(tables tableFlags) int {
@@ -182,5 +281,32 @@ func (f *tableFlags) Set(v string) error {
 		return fmt.Errorf("want name=dir, got %q", v)
 	}
 	*f = append(*f, tableSpec{name: name, dir: dir})
+	return nil
+}
+
+// shardFlags parses repeated -shard flags: each occurrence is one
+// partition's replica URLs, comma-separated.
+type shardFlags [][]string
+
+func (f *shardFlags) String() string {
+	parts := make([]string, len(*f))
+	for i, urls := range *f {
+		parts[i] = strings.Join(urls, ",")
+	}
+	return strings.Join(parts, " ")
+}
+
+func (f *shardFlags) Set(v string) error {
+	var urls []string
+	for _, u := range strings.Split(v, ",") {
+		u = strings.TrimSpace(u)
+		if u != "" {
+			urls = append(urls, u)
+		}
+	}
+	if len(urls) == 0 {
+		return fmt.Errorf("want url[,url...], got %q", v)
+	}
+	*f = append(*f, urls)
 	return nil
 }

@@ -1,0 +1,348 @@
+package main
+
+// Multi-process integration test for the scatter-gather tier: real
+// readoptd shard processes (spawned from a freshly built binary), a
+// real readoptd coordinator process over them, and a replica killed
+// with SIGKILL mid-query-stream and later restarted. The invariant
+// under fire: every query answers byte-identical to the local engine
+// or fails with a typed transient code — never a wrong answer.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/readoptdb/readopt"
+)
+
+const integRows = 3000
+
+// buildDaemon compiles the readoptd binary once per test run, race-
+// instrumented so the spawned processes hunt races too.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "readoptd")
+	cmd := exec.Command("go", "build", "-race", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build readoptd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// freePort grabs an ephemeral port and releases it for the daemon.
+func freePort(t *testing.T) int {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := l.Addr().(*net.TCPAddr).Port
+	l.Close()
+	return port
+}
+
+// daemon is one spawned readoptd process.
+type daemon struct {
+	t    *testing.T
+	bin  string
+	args []string
+	url  string
+	cmd  *exec.Cmd
+}
+
+func (d *daemon) start() {
+	d.t.Helper()
+	cmd := exec.Command(d.bin, d.args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		d.t.Fatalf("start %v: %v", d.args, err)
+	}
+	d.cmd = cmd
+	d.t.Cleanup(func() { d.kill() })
+}
+
+// kill sends SIGKILL — the unclean death the failover path must absorb.
+func (d *daemon) kill() {
+	if d.cmd != nil && d.cmd.Process != nil {
+		_ = d.cmd.Process.Kill()
+		_, _ = d.cmd.Process.Wait()
+		d.cmd = nil
+	}
+}
+
+func (d *daemon) awaitHealthy(deadline time.Duration) error {
+	client := readopt.NewClient(d.url, &http.Client{Timeout: time.Second})
+	stop := time.Now().Add(deadline)
+	for time.Now().Before(stop) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		err := client.Healthy(ctx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return fmt.Errorf("%s not healthy after %s", d.url, deadline)
+}
+
+func startShardProc(t *testing.T, bin, dir string, port int) *daemon {
+	t.Helper()
+	d := &daemon{
+		t: t, bin: bin,
+		args: []string{"-listen", fmt.Sprintf("127.0.0.1:%d", port), "-table", "orders=" + dir},
+		url:  fmt.Sprintf("http://127.0.0.1:%d", port),
+	}
+	d.start()
+	if err := d.awaitHealthy(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// splitDirs loads tbl's rows into nParts contiguous-range table dirs.
+func splitDirs(t *testing.T, tbl *readopt.Table, nParts int) []string {
+	t.Helper()
+	cols := tbl.Schema().Columns()
+	rows, err := tbl.Query(readopt.Query{Select: cols})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all [][]any
+	for rows.Next() {
+		vals, verr := rows.Values()
+		if verr != nil {
+			t.Fatal(verr)
+		}
+		all = append(all, vals)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rows.Close()
+	dirs := make([]string, nParts)
+	per := (len(all) + nParts - 1) / nParts
+	for i := range dirs {
+		lo, hi := i*per, (i+1)*per
+		if hi > len(all) {
+			hi = len(all)
+		}
+		dirs[i] = filepath.Join(t.TempDir(), fmt.Sprintf("part%d", i))
+		l, err := readopt.NewLoader(dirs[i], readopt.Orders(), readopt.ColumnLayout, readopt.LoadOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, vals := range all[lo:hi] {
+			if err := l.Append(vals...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, err := l.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dirs
+}
+
+// engineRows computes the reference answer through the local engine, in
+// wire value shapes.
+func engineRows(t *testing.T, tbl *readopt.Table, q readopt.Query) [][]any {
+	t.Helper()
+	rows, err := tbl.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rows.Close()
+	out := [][]any{}
+	for rows.Next() {
+		vals, verr := rows.Values()
+		if verr != nil {
+			t.Fatal(verr)
+		}
+		out = append(out, vals)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// wireToEngine collapses a JSON response's float64s to int64 so wire
+// rows compare against engine values.
+func wireToEngine(rows [][]any) [][]any {
+	out := make([][]any, len(rows))
+	for i, r := range rows {
+		out[i] = make([]any, len(r))
+		for j, v := range r {
+			if f, ok := v.(float64); ok {
+				out[i][j] = int64(f)
+			} else {
+				out[i][j] = v
+			}
+		}
+	}
+	return out
+}
+
+func TestShardProcessFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process integration test")
+	}
+	bin := buildDaemon(t)
+	tbl, err := readopt.GenerateTPCH(filepath.Join(t.TempDir(), "orders"), readopt.Orders(),
+		readopt.ColumnLayout, integRows, 7, readopt.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := splitDirs(t, tbl, 2)
+
+	// Partition 0 runs two replicas over the same (read-only) data dir;
+	// partition 1 runs one. Remember the primary's port — phase 4
+	// restarts it there, where the coordinator's static config points.
+	port0a := freePort(t)
+	p0a := startShardProc(t, bin, dirs[0], port0a)
+	p0b := startShardProc(t, bin, dirs[0], freePort(t))
+	p1 := startShardProc(t, bin, dirs[1], freePort(t))
+
+	coordPort := freePort(t)
+	coord := &daemon{
+		t: t, bin: bin,
+		args: []string{
+			"-coordinator",
+			"-listen", fmt.Sprintf("127.0.0.1:%d", coordPort),
+			"-shard", p0a.url + "," + p0b.url,
+			"-shard", p1.url,
+			"-probe-interval", "100ms",
+			"-breaker-cooldown", "200ms",
+			"-retry-budget", "4",
+		},
+		url: fmt.Sprintf("http://127.0.0.1:%d", coordPort),
+	}
+	coord.start()
+	if err := coord.awaitHealthy(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	client := readopt.NewClient(coord.url, nil)
+
+	queries := []readopt.Query{
+		{GroupBy: []string{"O_ORDERSTATUS"}, Aggs: []readopt.Agg{{Func: "count"}, {Func: "avg", Column: "O_TOTALPRICE"}}},
+		{Select: []string{"O_ORDERKEY", "O_TOTALPRICE"},
+			OrderBy: []readopt.Order{{Column: "O_TOTALPRICE", Desc: true}, {Column: "O_ORDERKEY"}}, Limit: 20},
+		{Select: []string{"O_ORDERKEY"}, Where: []readopt.Cond{{Column: "O_ORDERKEY", Op: "<", Value: 300}}},
+	}
+	want := make([][][]any, len(queries))
+	for i, q := range queries {
+		want[i] = engineRows(t, tbl, q)
+	}
+
+	// Phase 1: healthy fleet answers correctly.
+	for i, q := range queries {
+		resp, err := client.Query(context.Background(), "orders", q)
+		if err != nil {
+			t.Fatalf("healthy query %d: %v", i, err)
+		}
+		if got := wireToEngine(resp.Rows); !reflect.DeepEqual(got, want[i]) {
+			t.Fatalf("healthy query %d diverged", i)
+		}
+	}
+
+	// Phase 2: SIGKILL partition 0's preferred replica while a query
+	// stream is in flight. Every in-stream answer must stay
+	// byte-identical or fail with a typed transient code; after the kill
+	// the stream must keep succeeding through the surviving replica.
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		time.Sleep(30 * time.Millisecond) // land mid-stream
+		p0a.kill()
+	}()
+	okAfterKill := 0
+	for i := 0; i < 60; i++ {
+		qi := i % len(queries)
+		resp, err := client.Query(context.Background(), "orders", queries[qi])
+		if err != nil {
+			var se *readopt.ServerError
+			if !errors.As(err, &se) ||
+				(se.Code != readopt.CodeTransient && se.Code != readopt.CodeCancelled && se.Code != readopt.CodeTimeout) {
+				t.Fatalf("query %d during kill: want typed transient failure, got %v", i, err)
+			}
+			continue
+		}
+		if got := wireToEngine(resp.Rows); !reflect.DeepEqual(got, want[qi]) {
+			t.Fatalf("query %d after kill returned a WRONG answer (not an error): got %d rows", i, len(resp.Rows))
+		}
+		select {
+		case <-killed:
+			okAfterKill++
+		default:
+		}
+	}
+	if okAfterKill < 10 {
+		t.Fatalf("only %d successful queries after replica kill", okAfterKill)
+	}
+
+	// Phase 3: kill the second replica too — partition 0 is now gone.
+	// Fail closed by default; AllowDegraded answers from partition 1.
+	p0b.kill()
+	deadline := time.Now().Add(15 * time.Second)
+	var lastErr error
+	for {
+		if time.Now().After(deadline) {
+			t.Fatalf("never saw fail-closed transient after killing partition 0: %v", lastErr)
+		}
+		_, err := client.Do(context.Background(), readopt.QueryRequest{
+			Table: "orders", Query: queries[2], TimeoutMillis: 2000,
+		})
+		var se *readopt.ServerError
+		if errors.As(err, &se) && se.Code == readopt.CodeTransient {
+			break
+		}
+		lastErr = err
+		time.Sleep(100 * time.Millisecond)
+	}
+	part1 := readopt.NewClient(p1.url, nil)
+	wantDeg, err := part1.Query(context.Background(), "orders", queries[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(context.Background(), readopt.QueryRequest{
+		Table: "orders", Query: queries[2], AllowDegraded: true, TimeoutMillis: 5000,
+	})
+	if err != nil {
+		t.Fatalf("AllowDegraded with one live partition: %v", err)
+	}
+	if !resp.Degraded || !reflect.DeepEqual(resp.DegradedPartitions, []int{0}) {
+		t.Fatalf("degraded flags wrong: degraded=%v partitions=%v", resp.Degraded, resp.DegradedPartitions)
+	}
+	if !reflect.DeepEqual(resp.Rows, wantDeg.Rows) {
+		t.Fatal("degraded answer does not match the live partition")
+	}
+
+	// Phase 4: restart the killed primary on its original port. The
+	// health probes close its breaker and full (non-degraded) answers
+	// come back without touching the coordinator.
+	p0a = startShardProc(t, bin, dirs[0], port0a)
+	deadline = time.Now().Add(15 * time.Second)
+	for {
+		if time.Now().After(deadline) {
+			t.Fatal("fleet never recovered after replica restart")
+		}
+		resp, err := client.Query(context.Background(), "orders", queries[0])
+		if err == nil && !resp.Degraded {
+			if got := wireToEngine(resp.Rows); !reflect.DeepEqual(got, want[0]) {
+				t.Fatal("post-recovery answer diverged")
+			}
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}

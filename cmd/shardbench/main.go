@@ -1,0 +1,465 @@
+// Command shardbench measures the scatter-gather serving tier: an
+// in-process fleet of real readopt servers on real listeners, a real
+// coordinator over them, and a mixed read workload (grouped
+// aggregation, top-n, filtered select) driven through the wire client.
+// It reports throughput and latency percentiles per shard count, plus
+// a degraded run — one partition's preferred replica dead — showing
+// what failover costs once the circuit breaker has routed around the
+// corpse.
+//
+//	shardbench -rows 200000 -queries 300 -json results/BENCH_shard.json
+//	shardbench -rows 50000 -queries 150 -guard results/BENCH_floor.json
+//
+// Every response is checked against a reference answer computed
+// through the local engine; a wrong answer fails the bench, so the
+// numbers can never come from a broken merge.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/readoptdb/readopt"
+	"github.com/readoptdb/readopt/internal/fault"
+	"github.com/readoptdb/readopt/internal/server"
+	"github.com/readoptdb/readopt/internal/shard"
+)
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "shardbench: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// runReport is one fleet configuration's measurement.
+type runReport struct {
+	Shards  int   `json:"shards"`
+	Queries int   `json:"queries"`
+	Micros  int64 `json:"micros"`
+	// QPS is end-to-end queries per second through coordinator HTTP,
+	// shard HTTP, scatter, and merge.
+	QPS float64 `json:"qps"`
+	P50 int64   `json:"p50_us"`
+	P95 int64   `json:"p95_us"`
+	P99 int64   `json:"p99_us"`
+	// Retries and Hedges are the coordinator's robustness counters for
+	// the run (nonzero only in the degraded run, normally).
+	Retries int64  `json:"retries,omitempty"`
+	Hedges  int64  `json:"hedges,omitempty"`
+	Note    string `json:"note,omitempty"`
+}
+
+type report struct {
+	Rows        int64       `json:"rows"`
+	Concurrency int         `json:"concurrency"`
+	Runs        []runReport `json:"runs"`
+	// Degraded is the 2-shard fleet with partition 0's preferred
+	// replica dead: every query pays failover until the breaker opens,
+	// then routes straight to the backup.
+	Degraded runReport `json:"degraded"`
+	// ScaleVsSingle maps shard count to its throughput relative to the
+	// 1-shard run — the scatter-gather overhead (or win) at a glance.
+	ScaleVsSingle map[string]float64 `json:"scale_vs_single"`
+	// DegradedVsHealthy is degraded-run QPS over the healthy 2-shard
+	// QPS: the cost of serving with a dead replica in rotation.
+	DegradedVsHealthy float64 `json:"degraded_vs_healthy"`
+}
+
+// floors are the keys shardbench enforces from results/BENCH_floor.json.
+type floors struct {
+	// MinShardScale bounds how much throughput a 2-shard scatter-gather
+	// may lose versus one shard (coordination overhead).
+	MinShardScale float64 `json:"min_shard_scale"`
+	// MinShardDegradedRatio bounds the throughput of a fleet with one
+	// dead replica versus the same fleet healthy — failover plus open
+	// breakers must keep serving, not crawl.
+	MinShardDegradedRatio float64 `json:"min_shard_degraded_ratio"`
+	RegressionMargin      float64 `json:"regression_margin"`
+}
+
+// fleet is a set of running shard servers plus their coordinator.
+type fleet struct {
+	client   *readopt.Client
+	coord    *shard.Coordinator
+	shutdown []func()
+}
+
+func (f *fleet) close() {
+	f.coord.Close()
+	for i := len(f.shutdown) - 1; i >= 0; i-- {
+		f.shutdown[i]()
+	}
+}
+
+// serve starts h on an ephemeral port and returns its URL and stopper.
+func serve(h http.Handler) (string, func()) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	srv := &http.Server{Handler: h}
+	go func() { _ = srv.Serve(l) }()
+	return "http://" + l.Addr().String(), func() { _ = srv.Close() }
+}
+
+// deadURL is an endpoint nothing listens on: instant connection refusal.
+func deadURL() string {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fatalf("listen: %v", err)
+	}
+	url := "http://" + l.Addr().String()
+	l.Close()
+	return url
+}
+
+// startFleet serves each partition table and a coordinator over them.
+// degradeFirst prepends a dead preferred replica to partition 0, so
+// every request there must fail over.
+func startFleet(parts []*readopt.Table, degradeFirst bool) *fleet {
+	f := &fleet{}
+	var partitions [][]string
+	for i, tbl := range parts {
+		s := server.New(server.Config{Workers: 2})
+		if err := s.AddTable("orders", tbl); err != nil {
+			fatalf("AddTable: %v", err)
+		}
+		url, stop := serve(s.Handler())
+		f.shutdown = append(f.shutdown, stop)
+		if i == 0 && degradeFirst {
+			partitions = append(partitions, []string{deadURL(), url})
+		} else {
+			partitions = append(partitions, []string{url})
+		}
+	}
+	c, err := shard.New(shard.Config{
+		Partitions:    partitions,
+		ProbeInterval: -1, // keep the run self-contained and deterministic
+		Backoff:       fault.Backoff{Base: time.Millisecond, Cap: 8 * time.Millisecond},
+	})
+	if err != nil {
+		fatalf("coordinator: %v", err)
+	}
+	f.coord = c
+	url, stop := serve(c.Handler())
+	f.shutdown = append(f.shutdown, stop)
+	f.client = readopt.NewClient(url, nil)
+	return f
+}
+
+// split cuts the reference rows into n contiguous-range tables. label
+// keeps fleet configurations in distinct directories.
+func split(baseDir, label string, all [][]any, n int) []*readopt.Table {
+	parts := make([]*readopt.Table, n)
+	per := (len(all) + n - 1) / n
+	for i := range parts {
+		lo, hi := i*per, (i+1)*per
+		if hi > len(all) {
+			hi = len(all)
+		}
+		dir := filepath.Join(baseDir, fmt.Sprintf("%s-shards%d-part%d", label, n, i))
+		l, err := readopt.NewLoader(dir, readopt.Orders(), readopt.ColumnLayout, readopt.LoadOptions{})
+		if err != nil {
+			fatalf("loader: %v", err)
+		}
+		for _, vals := range all[lo:hi] {
+			if err := l.Append(vals...); err != nil {
+				fatalf("append: %v", err)
+			}
+		}
+		parts[i], err = l.Close()
+		if err != nil {
+			fatalf("close loader: %v", err)
+		}
+	}
+	return parts
+}
+
+// workload is the query mix; answers precomputed through the engine.
+type workload struct {
+	queries []readopt.Query
+	want    [][][]any
+}
+
+func buildWorkload(tbl *readopt.Table) *workload {
+	w := &workload{queries: []readopt.Query{
+		{GroupBy: []string{"O_ORDERSTATUS"},
+			Aggs: []readopt.Agg{{Func: "count"}, {Func: "sum", Column: "O_TOTALPRICE"}, {Func: "avg", Column: "O_TOTALPRICE"}}},
+		{Select: []string{"O_ORDERKEY", "O_TOTALPRICE"},
+			OrderBy: []readopt.Order{{Column: "O_TOTALPRICE", Desc: true}, {Column: "O_ORDERKEY"}}, Limit: 20},
+		{Select: []string{"O_ORDERKEY", "O_CUSTKEY"},
+			Where: []readopt.Cond{{Column: "O_ORDERKEY", Op: "<", Value: 200}}},
+	}}
+	for _, q := range w.queries {
+		rows, err := tbl.Query(q)
+		if err != nil {
+			fatalf("reference query: %v", err)
+		}
+		var want [][]any
+		for rows.Next() {
+			vals, verr := rows.Values()
+			if verr != nil {
+				fatalf("reference values: %v", verr)
+			}
+			want = append(want, vals)
+		}
+		if err := rows.Err(); err != nil {
+			fatalf("reference rows: %v", err)
+		}
+		rows.Close()
+		w.want = append(w.want, want)
+	}
+	return w
+}
+
+// check verifies one wire answer against the engine reference.
+func (w *workload) check(qi int, rows [][]any) {
+	got := make([][]any, len(rows))
+	for i, r := range rows {
+		got[i] = make([]any, len(r))
+		for j, v := range r {
+			if f, ok := v.(float64); ok {
+				got[i][j] = int64(f)
+			} else {
+				got[i][j] = v
+			}
+		}
+	}
+	if !reflect.DeepEqual(got, w.want[qi]) {
+		fatalf("query %d answered WRONG under bench (got %d rows, want %d)", qi, len(got), len(w.want[qi]))
+	}
+}
+
+// drive runs n queries through the fleet at the given concurrency and
+// returns the latency samples.
+func drive(f *fleet, w *workload, n, concurrency int) []time.Duration {
+	lat := make([]time.Duration, n)
+	var next int
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for c := 0; c < concurrency; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				qi := i % len(w.queries)
+				start := time.Now()
+				resp, err := f.client.Query(context.Background(), "orders", w.queries[qi])
+				if err != nil {
+					fatalf("bench query %d: %v", i, err)
+				}
+				lat[i] = time.Since(start)
+				w.check(qi, resp.Rows)
+			}
+		}()
+	}
+	wg.Wait()
+	return lat
+}
+
+func percentile(sorted []time.Duration, p float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx].Microseconds()
+}
+
+func measure(shards int, f *fleet, w *workload, n, concurrency int, note string) runReport {
+	// A short warmup fills connection pools and, in the degraded run,
+	// lets the breaker open — steady state is what the numbers mean.
+	drive(f, w, len(w.queries)*2, concurrency)
+	start := time.Now()
+	lat := drive(f, w, n, concurrency)
+	elapsed := time.Since(start)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	stats := f.coord.Stats()
+	return runReport{
+		Shards:  shards,
+		Queries: n,
+		Micros:  elapsed.Microseconds(),
+		QPS:     float64(n) / elapsed.Seconds(),
+		P50:     percentile(lat, 0.50),
+		P95:     percentile(lat, 0.95),
+		P99:     percentile(lat, 0.99),
+		Retries: stats.Retries,
+		Hedges:  stats.Hedges,
+		Note:    note,
+	}
+}
+
+func main() {
+	rows := flag.Int64("rows", 200000, "rows in the reference orders table")
+	queries := flag.Int("queries", 300, "queries per fleet configuration")
+	concurrency := flag.Int("concurrency", 4, "concurrent client streams")
+	shardCounts := flag.String("shards", "1,2,4", "comma-separated shard counts to sweep")
+	jsonPath := flag.String("json", "", "write the report as JSON to this file")
+	guardPath := flag.String("guard", "", "enforce the floors in this BENCH_floor.json and exit nonzero on regression")
+	flag.Parse()
+
+	workDir, err := os.MkdirTemp("", "shardbench-")
+	if err != nil {
+		fatalf("tempdir: %v", err)
+	}
+	defer os.RemoveAll(workDir)
+
+	tbl, err := readopt.GenerateTPCH(filepath.Join(workDir, "orders"), readopt.Orders(),
+		readopt.ColumnLayout, *rows, 7, readopt.LoadOptions{})
+	if err != nil {
+		fatalf("generate: %v", err)
+	}
+	w := buildWorkload(tbl)
+	refRows, err := tbl.Query(readopt.Query{Select: tbl.Schema().Columns()})
+	if err != nil {
+		fatalf("read reference: %v", err)
+	}
+	var all [][]any
+	for refRows.Next() {
+		vals, verr := refRows.Values()
+		if verr != nil {
+			fatalf("reference values: %v", verr)
+		}
+		all = append(all, vals)
+	}
+	if err := refRows.Err(); err != nil {
+		fatalf("reference rows: %v", err)
+	}
+	refRows.Close()
+
+	rep := report{Rows: *rows, Concurrency: *concurrency, ScaleVsSingle: map[string]float64{}}
+	var counts []int
+	for _, s := range splitInts(*shardCounts) {
+		counts = append(counts, s)
+	}
+	var qps1 float64
+	var healthy2 float64
+	for _, n := range counts {
+		parts := split(workDir, "healthy", all, n)
+		f := startFleet(parts, false)
+		r := measure(n, f, w, *queries, *concurrency, "")
+		f.close()
+		rep.Runs = append(rep.Runs, r)
+		if n == 1 {
+			qps1 = r.QPS
+		}
+		if n == 2 {
+			healthy2 = r.QPS
+		}
+		if qps1 > 0 {
+			rep.ScaleVsSingle[fmt.Sprintf("%d", n)] = r.QPS / qps1
+		}
+		fmt.Printf("shards=%d  qps=%.1f  p50=%dus  p95=%dus  p99=%dus\n", n, r.QPS, r.P50, r.P95, r.P99)
+	}
+
+	// Degraded run: 2 shards, partition 0's preferred replica dead.
+	parts := split(workDir, "degraded", all, 2)
+	f := startFleet(parts, true)
+	rep.Degraded = measure(2, f, w, *queries, *concurrency,
+		"partition 0 preferred replica dead; breaker routes to backup")
+	f.close()
+	if healthy2 > 0 {
+		rep.DegradedVsHealthy = rep.Degraded.QPS / healthy2
+	}
+	fmt.Printf("degraded(2 shards, 1 dead replica)  qps=%.1f  p99=%dus  retries=%d\n",
+		rep.Degraded.QPS, rep.Degraded.P99, rep.Degraded.Retries)
+
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fatalf("marshal: %v", err)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fatalf("write %s: %v", *jsonPath, err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+
+	if *guardPath != "" {
+		guard(*guardPath, rep, healthy2)
+	}
+}
+
+// guard enforces the shard floors: scatter-gather overhead (2-shard
+// throughput vs 1) and degraded-mode throughput (vs healthy), each with
+// the shared regression margin.
+func guard(path string, rep report, healthy2 float64) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fatalf("read floors: %v", err)
+	}
+	var fl floors
+	if err := json.Unmarshal(buf, &fl); err != nil {
+		fatalf("parse floors: %v", err)
+	}
+	margin := 1 - fl.RegressionMargin
+	failed := false
+	check := func(name string, got, floor float64) {
+		if floor <= 0 {
+			return
+		}
+		limit := floor * margin
+		status := "ok"
+		if got < limit {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("guard %-26s got %.3f floor %.3f (margin-adjusted %.3f) %s\n", name, got, floor, limit, status)
+	}
+	if scale, ok := rep.ScaleVsSingle["2"]; ok {
+		check("shard_scale_2_vs_1", scale, fl.MinShardScale)
+	}
+	if healthy2 > 0 {
+		check("degraded_vs_healthy", rep.DegradedVsHealthy, fl.MinShardDegradedRatio)
+	}
+	if failed {
+		fatalf("regression guard failed")
+	}
+	fmt.Println("guard passed")
+}
+
+func splitInts(s string) []int {
+	var out []int
+	for _, part := range splitComma(s) {
+		var n int
+		if _, err := fmt.Sscanf(part, "%d", &n); err != nil || n <= 0 {
+			fatalf("bad -shards value %q", part)
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func splitComma(s string) []string {
+	var out []string
+	cur := ""
+	for _, r := range s {
+		if r == ',' {
+			if cur != "" {
+				out = append(out, cur)
+			}
+			cur = ""
+			continue
+		}
+		cur += string(r)
+	}
+	if cur != "" {
+		out = append(out, cur)
+	}
+	return out
+}

@@ -1,0 +1,105 @@
+package fault
+
+import (
+	"context"
+	"math/rand"
+	"time"
+
+	"github.com/readoptdb/readopt/internal/clock"
+)
+
+// Backoff is the retry delay policy shared by every retry loop in the
+// engine: the scan's RetryReader and the shard coordinator's
+// replica-failover loop both sleep through it. Delays grow exponentially
+// from Base, are capped at Cap, and are jittered downward so a fleet of
+// retriers that failed together does not retry together.
+//
+// Sleep is the only way a retry loop should wait: it polls ctx while
+// sleeping, so a query whose deadline expires mid-backoff stops there
+// with a typed cancellation instead of sleeping the budget out. The
+// retryctx lint check enforces this (bare time.Sleep or clock Sleep
+// calls in retry loops are flagged).
+type Backoff struct {
+	// Base is the first attempt's delay. Zero means no waiting at all —
+	// every Delay is 0 — which is what unit tests use.
+	Base time.Duration
+	// Cap bounds every delay; 0 defaults to 32×Base.
+	Cap time.Duration
+	// Jitter is the fraction of each delay that is randomized away:
+	// the actual delay is uniform in [(1-Jitter)·d, d]. Zero means the
+	// default 0.5; negative disables jitter (deterministic delays).
+	Jitter float64
+	// Rand supplies uniform floats in [0,1) for jitter; nil uses the
+	// global math/rand source. Tests inject a seeded source.
+	Rand func() float64
+}
+
+// Delay returns the backoff before retry attempt n (1-based): Base
+// doubling per attempt, capped, then jittered.
+func (b Backoff) Delay(attempt int) time.Duration {
+	if b.Base <= 0 {
+		return 0
+	}
+	lim := b.Cap
+	if lim <= 0 {
+		lim = 32 * b.Base
+	}
+	d := b.Base
+	for i := 1; i < attempt && d < lim; i++ {
+		d *= 2
+	}
+	if d > lim {
+		d = lim
+	}
+	j := b.Jitter
+	if j == 0 {
+		j = 0.5
+	}
+	if j < 0 {
+		j = 0
+	}
+	if j > 1 {
+		j = 1
+	}
+	if j > 0 {
+		r := b.Rand
+		if r == nil {
+			r = rand.Float64
+		}
+		d = d - time.Duration(j*r()*float64(d))
+	}
+	return d
+}
+
+// Sleep waits Delay(attempt) on clk while polling ctx: it returns nil
+// after the full delay, or a Cancelled-tagged error as soon as ctx is
+// done. A nil ctx never cancels; a nil clk uses the real clock.
+func (b Backoff) Sleep(ctx context.Context, clk clock.Clock, attempt int) error {
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return Cancelled(err)
+		}
+	}
+	d := b.Delay(attempt)
+	if d <= 0 {
+		return nil
+	}
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	if ctx == nil {
+		clk.Sleep(d)
+		return nil
+	}
+	done := make(chan struct{})
+	go func() {
+		clk.Sleep(d)
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return Cancelled(ctx.Err())
+	}
+}

@@ -1,0 +1,102 @@
+package fault
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/readoptdb/readopt/internal/aio"
+)
+
+func TestBackoffDelayExponentialAndCapped(t *testing.T) {
+	b := Backoff{Base: 2 * time.Millisecond, Cap: 10 * time.Millisecond, Jitter: -1}
+	want := []time.Duration{
+		2 * time.Millisecond, 4 * time.Millisecond, 8 * time.Millisecond,
+		10 * time.Millisecond, 10 * time.Millisecond,
+	}
+	for i, w := range want {
+		if got := b.Delay(i + 1); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffZeroBaseNeverSleeps(t *testing.T) {
+	b := Backoff{}
+	for attempt := 1; attempt <= 5; attempt++ {
+		if d := b.Delay(attempt); d != 0 {
+			t.Fatalf("zero Backoff Delay(%d) = %v, want 0", attempt, d)
+		}
+	}
+}
+
+func TestBackoffJitterStaysInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	b := Backoff{Base: 8 * time.Millisecond, Cap: 8 * time.Millisecond, Jitter: 0.5, Rand: rng.Float64}
+	for i := 0; i < 100; i++ {
+		d := b.Delay(1)
+		if d < 4*time.Millisecond || d > 8*time.Millisecond {
+			t.Fatalf("jittered delay %v outside [4ms, 8ms]", d)
+		}
+	}
+}
+
+func TestBackoffDefaultCap(t *testing.T) {
+	b := Backoff{Base: time.Millisecond, Jitter: -1}
+	if got := b.Delay(30); got != 32*time.Millisecond {
+		t.Fatalf("uncapped Delay(30) = %v, want the 32×Base default cap", got)
+	}
+}
+
+func TestBackoffSleepPollsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	b := Backoff{Base: time.Hour, Jitter: -1}
+	start := time.Now()
+	err := b.Sleep(ctx, nil, 1)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Sleep blocked %v on a cancelled context", elapsed)
+	}
+	if Classify(err) != KindCancelled {
+		t.Fatalf("Sleep on cancelled ctx = %v, want a cancelled-tagged error", err)
+	}
+}
+
+func TestBackoffSleepCancelledMidBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	b := Backoff{Base: time.Hour, Jitter: -1}
+	err := b.Sleep(ctx, nil, 1)
+	if Classify(err) != KindCancelled {
+		t.Fatalf("Sleep interrupted mid-backoff = %v, want cancelled", err)
+	}
+}
+
+// alwaysTransient is an aio.Reader whose every read fails transiently.
+type alwaysTransient struct{}
+
+func (alwaysTransient) Next() ([]byte, error) {
+	return nil, Transient(errors.New("injected"))
+}
+func (alwaysTransient) Close() error { return nil }
+
+func TestRetryReaderCtxStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	open := func(skip int64) (aio.Reader, error) { return alwaysTransient{}, nil }
+	r, err := NewRetryReaderCtx(ctx, open, 5, Backoff{Base: time.Hour, Jitter: -1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	_, err = r.Next()
+	if err == io.EOF || Classify(err) != KindCancelled {
+		t.Fatalf("Next under cancelled ctx = %v, want cancelled", err)
+	}
+}

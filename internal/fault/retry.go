@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"context"
 	"io"
 	"time"
 
@@ -14,16 +15,20 @@ import (
 // number of I/O units: transient errors never advance the position.
 type OpenFunc func(skip int64) (aio.Reader, error)
 
-// RetryReader retries transient read errors with linear backoff by
-// closing the failed reader and reopening at the last delivered offset.
-// Errors that classify as anything but transient — corruption,
-// cancellation, plain I/O state like io.EOF — pass through untouched,
-// as does a transient error once the per-read attempt budget is spent.
+// RetryReader retries transient read errors with capped
+// jittered-exponential backoff by closing the failed reader and
+// reopening at the last delivered offset. Errors that classify as
+// anything but transient — corruption, cancellation, plain I/O state
+// like io.EOF — pass through untouched, as does a transient error once
+// the per-read attempt budget is spent. When built with a context, the
+// backoff sleeps poll it: a deadline that expires mid-backoff surfaces
+// immediately as a typed cancellation.
 type RetryReader struct {
 	open     OpenFunc
 	attempts int
-	backoff  time.Duration
+	backoff  Backoff
 	clk      clock.Clock
+	ctx      context.Context // nil means never cancelled
 
 	inner     aio.Reader
 	delivered int64
@@ -34,9 +39,19 @@ type RetryReader struct {
 
 // NewRetryReader opens the initial reader via open(0) and returns a
 // RetryReader allowing the given extra attempts per failed read.
-// backoff is the base of the linear backoff (attempt n sleeps n*backoff
-// on clk).
+// backoff is the base of the exponential backoff. The reader is not
+// bound to a context; prefer NewRetryReaderCtx so retries stop when
+// the query does.
 func NewRetryReader(open OpenFunc, attempts int, backoff time.Duration, clk clock.Clock) (*RetryReader, error) {
+	return NewRetryReaderCtx(nil, open, attempts, Backoff{Base: backoff}, clk)
+}
+
+// NewRetryReaderCtx opens the initial reader via open(0) and returns a
+// RetryReader allowing the given extra attempts per failed read, sleeping
+// through b between attempts. ctx bounds the retries: when it is done,
+// the next retry (or a backoff in progress) returns a Cancelled-tagged
+// error instead of continuing. A nil ctx never cancels.
+func NewRetryReaderCtx(ctx context.Context, open OpenFunc, attempts int, b Backoff, clk clock.Clock) (*RetryReader, error) {
 	if clk == nil {
 		clk = clock.Real{}
 	}
@@ -44,7 +59,7 @@ func NewRetryReader(open OpenFunc, attempts int, backoff time.Duration, clk cloc
 	if err != nil {
 		return nil, err
 	}
-	return &RetryReader{open: open, attempts: attempts, backoff: backoff, clk: clk, inner: inner}, nil
+	return &RetryReader{open: open, attempts: attempts, backoff: b, clk: clk, ctx: ctx, inner: inner}, nil
 }
 
 // Next returns the next unit, transparently retrying transient errors.
@@ -64,7 +79,9 @@ func (r *RetryReader) Next() ([]byte, error) {
 		}
 		r.foldStats()
 		_ = r.inner.Close()
-		r.clk.Sleep(time.Duration(tries) * r.backoff)
+		if serr := r.backoff.Sleep(r.ctx, r.clk, tries); serr != nil {
+			return nil, serr
+		}
 		inner, oerr := r.open(r.delivered)
 		if oerr != nil {
 			return nil, oerr

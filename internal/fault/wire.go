@@ -1,0 +1,86 @@
+package fault
+
+// Wire-layer chaos: a deterministic fault-injecting http.RoundTripper
+// for exercising the shard coordinator's failover machinery. It reuses
+// the Injector's seeded hashing, so a schedule of wire faults replays
+// identically for a given seed — the same request in the same order
+// always fails (or stalls) the same way.
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/readoptdb/readopt/internal/clock"
+)
+
+// WireConfig tunes a WireChaos transport. Decisions are a pure function
+// of (Seed, endpoint host, path, per-endpoint request sequence), so
+// sequential request streams replay identically across runs.
+type WireConfig struct {
+	Seed int64
+	// DropRate fails the request before it leaves, with a typed
+	// transient error — the wire shape of a refused or reset connection.
+	DropRate float64
+	// LatencyRate stalls a request by Latency before sending it — the
+	// straggler generator behind hedging tests.
+	LatencyRate float64
+	Latency     time.Duration
+	// Clock drives injected latency; nil means the real clock.
+	Clock clock.Clock
+}
+
+// WireChaos is the injecting round-tripper. Wrap a shard coordinator's
+// HTTP client with it to make replicas flaky on purpose.
+type WireChaos struct {
+	cfg  WireConfig
+	base http.RoundTripper
+	inj  *Injector
+
+	mu  sync.Mutex
+	seq map[string]int64
+}
+
+// NewWireChaos wraps base (nil = http.DefaultTransport) with seeded
+// wire faults.
+func NewWireChaos(cfg WireConfig, base http.RoundTripper) *WireChaos {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = clock.Real{}
+	}
+	return &WireChaos{
+		cfg:  cfg,
+		base: base,
+		inj:  NewInjector(Config{Seed: cfg.Seed}),
+		seq:  make(map[string]int64),
+	}
+}
+
+// next returns the per-endpoint request sequence number, the injector's
+// "offset" coordinate: each request to the same host+path rolls its own
+// independent, replayable decision, so a retry (a new request) can
+// succeed where the original failed — fail-then-recover at the wire.
+func (w *WireChaos) next(name string) int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := w.seq[name]
+	w.seq[name] = n + 1
+	return n
+}
+
+// RoundTrip injects the configured faults, then forwards to the base
+// transport.
+func (w *WireChaos) RoundTrip(req *http.Request) (*http.Response, error) {
+	name := req.URL.Host + req.URL.Path
+	seq := w.next(name)
+	if w.cfg.LatencyRate > 0 && w.inj.roll("wirelat", name, seq) < w.cfg.LatencyRate {
+		w.cfg.Clock.Sleep(w.cfg.Latency)
+	}
+	if w.cfg.DropRate > 0 && w.inj.roll("wiredrop", name, seq) < w.cfg.DropRate {
+		return nil, Transient(fmt.Errorf("fault: injected wire error to %s (request %d)", name, seq))
+	}
+	return w.base.RoundTrip(req)
+}

@@ -92,6 +92,7 @@ func Analyzers() []*Analyzer {
 		CtxLoop,
 		PoolPair,
 		SelBounds,
+		RetryCtx,
 	}
 }
 

@@ -43,6 +43,8 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"poolpair_clean", lint.PoolPair, false},
 		{"selbounds", lint.SelBounds, true},
 		{"selbounds_clean", lint.SelBounds, false},
+		{"retryctx", lint.RetryCtx, true},
+		{"retryctx_clean", lint.RetryCtx, false},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {
@@ -66,7 +68,7 @@ func TestFullSuiteOnCleanFixtures(t *testing.T) {
 		"clockdiscipline_clean", "clockdiscipline_main", "tracepool_clean",
 		"faultcmp_clean", "runcrc_clean",
 		"epochpin_clean", "closeleak_clean", "ctxloop_clean",
-		"poolpair_clean", "selbounds_clean",
+		"poolpair_clean", "selbounds_clean", "retryctx_clean",
 	} {
 		t.Run(dir, func(t *testing.T) {
 			diags := linttest.Run(t, filepath.Join("testdata", "src", dir), lint.Analyzers()...)

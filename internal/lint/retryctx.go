@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// RetryCtx guards the retry discipline the sharded serving tier runs
+// on: a retry loop — one that consults the failure taxonomy to decide
+// whether to try again — must wait between attempts through the
+// ctx-aware backoff helper (fault.Backoff.Sleep(ctx, clk, attempt)),
+// never a bare time.Sleep or clock Sleep. A context-blind sleep in a
+// retry loop is exactly where a cancelled query keeps burning its
+// deadline: the caller gave up, the loop naps anyway, and the worker
+// slot stays held for the full backoff schedule.
+//
+// The check is name-based like the rest of the taxonomy suite: a
+// for/range loop counts as a retry loop when its body mentions the
+// taxonomy (Classify, IsTransient, ErrTransient, KindTransient). Inside
+// such a loop, every call to a function or method named Sleep must take
+// a context.Context as its first argument — the helper's signature —
+// so cancellation interrupts the wait. Goroutines launched from the
+// loop are exempt: they do not block the retry path. The fault package
+// itself, which defines the helper, is skipped.
+var RetryCtx = &Analyzer{
+	Name: "retryctx",
+	Doc: "retry loops (loops consulting the failure taxonomy) must wait via the ctx-aware " +
+		"backoff helper, not bare time.Sleep / clock Sleep, so cancellation interrupts the backoff",
+	Run: runRetryCtx,
+}
+
+// retryTaxonomyNames mark a loop body as retry logic wherever they
+// appear, bare or selector-qualified (Classify / fault.Classify /
+// readopt re-exports alike).
+var retryTaxonomyNames = map[string]bool{
+	"Classify":      true,
+	"IsTransient":   true,
+	"ErrTransient":  true,
+	"KindTransient": true,
+}
+
+func runRetryCtx(pass *Pass) error {
+	if strings.HasSuffix(pass.PkgPath, "internal/fault") {
+		return nil // the package that defines the backoff helper
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch s := n.(type) {
+			case *ast.ForStmt:
+				body = s.Body
+			case *ast.RangeStmt:
+				body = s.Body
+			default:
+				return true
+			}
+			if !mentionsRetryTaxonomy(body) {
+				return true
+			}
+			reportBlindSleeps(pass, body)
+			return true
+		})
+	}
+	return nil
+}
+
+// mentionsRetryTaxonomy reports whether the loop body (including nested
+// literals — a retry closure is still a retry loop) names the failure
+// taxonomy.
+func mentionsRetryTaxonomy(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.Ident:
+			if retryTaxonomyNames[x.Name] {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if retryTaxonomyNames[x.Sel.Name] {
+				found = true
+				return false
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// reportBlindSleeps flags every Sleep call in the loop body whose first
+// argument is not a context.Context. Function literals are skipped: a
+// goroutine's nap does not block the retry path.
+func reportBlindSleeps(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Sleep" {
+			return true
+		}
+		if len(call.Args) > 0 {
+			if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && isContextType(tv.Type) {
+				return true // the ctx-aware backoff helper
+			}
+		}
+		pass.Reportf(call.Pos(), "context-blind sleep in a retry loop: use the backoff helper "+
+			"(Backoff.Sleep(ctx, clk, attempt)) so cancellation interrupts the wait")
+		return true
+	})
+}

@@ -1,0 +1,66 @@
+// Package retryctx is the dirty retryctx fixture: retry loops — loops
+// that consult the failure taxonomy — napping through context-blind
+// sleeps, so a cancelled caller keeps paying the backoff schedule.
+// Local taxonomy declarations keep the fixture self-contained.
+package retryctx
+
+import (
+	"errors"
+	"time"
+)
+
+var ErrTransient = errors.New("transient")
+
+const KindTransient = "transient"
+
+// Classify stands in for the taxonomy's classifier.
+func Classify(err error) string {
+	if errors.Is(err, ErrTransient) {
+		return KindTransient
+	}
+	return "other"
+}
+
+type fakeClock struct{}
+
+func (fakeClock) Sleep(d time.Duration) { time.Sleep(d) }
+
+// bareTimeSleep retries transients with the textbook offence: a raw
+// time.Sleep between attempts.
+func bareTimeSleep(do func() error) error {
+	for attempt := 0; attempt < 3; attempt++ {
+		err := do()
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrTransient) {
+			return err
+		}
+		time.Sleep(10 * time.Millisecond) // want "context-blind sleep in a retry loop"
+	}
+	return nil
+}
+
+// clockSleep swaps in an injected clock, which is just as blind to the
+// context as time.Sleep.
+func clockSleep(clk fakeClock, do func() error) error {
+	for {
+		err := do()
+		if Classify(err) != KindTransient {
+			return err
+		}
+		clk.Sleep(5 * time.Millisecond) // want "context-blind sleep in a retry loop"
+	}
+}
+
+// rangeRetry shows the range-loop shape: replaying a fixed schedule of
+// delays still has to poll the context.
+func rangeRetry(delays []time.Duration, do func() error) error {
+	for _, d := range delays {
+		if err := do(); Classify(err) != KindTransient {
+			return err
+		}
+		time.Sleep(d) // want "context-blind sleep in a retry loop"
+	}
+	return nil
+}

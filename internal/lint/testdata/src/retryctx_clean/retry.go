@@ -1,0 +1,85 @@
+// Package retryctx_clean is the clean retryctx fixture: retry loops
+// waiting through the ctx-aware backoff helper, plus the loop shapes
+// the check must leave alone. All real sleeping lives in
+// //readopt:clock-marked implementations so the fixture also passes
+// the clock-discipline analyzer.
+package retryctx_clean
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+var ErrTransient = errors.New("transient")
+
+// sleeper is the fixture's injected-clock stand-in.
+type sleeper struct{}
+
+// Sleep is the clock implementation itself.
+//
+//readopt:clock
+func (sleeper) Sleep(d time.Duration) { time.Sleep(d) }
+
+// backoff mirrors fault.Backoff's helper: the first argument is the
+// context, so cancellation interrupts the wait.
+type backoff struct{}
+
+// Sleep is the ctx-aware wait; it IS the clock for this fixture.
+//
+//readopt:clock
+func (backoff) Sleep(ctx context.Context, attempt int) error {
+	t := time.NewTimer(time.Duration(attempt) * time.Millisecond)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// helperRetry is the house pattern: taxonomy check, then the ctx-aware
+// sleep.
+func helperRetry(ctx context.Context, b backoff, do func() error) error {
+	for attempt := 0; ; attempt++ {
+		err := do()
+		if err == nil || !errors.Is(err, ErrTransient) {
+			return err
+		}
+		if err := b.Sleep(ctx, attempt); err != nil {
+			return err
+		}
+	}
+}
+
+// pollLoop sleeps but never consults the taxonomy: an ordinary polling
+// loop, not a retry loop, stays legal.
+func pollLoop(clk sleeper, ready func() bool) {
+	for !ready() {
+		clk.Sleep(time.Millisecond)
+	}
+}
+
+// sleeplessRetry consults the taxonomy but never waits — immediate
+// retries have nothing for cancellation to interrupt.
+func sleeplessRetry(do func() error) error {
+	for attempt := 0; attempt < 3; attempt++ {
+		if err := do(); !errors.Is(err, ErrTransient) {
+			return err
+		}
+	}
+	return nil
+}
+
+// backgroundNap launches its sleep on a goroutine: the retry path is
+// not blocked, so the loop stays legal.
+func backgroundNap(clk sleeper, do func() error) error {
+	for attempt := 0; attempt < 3; attempt++ {
+		if err := do(); !errors.Is(err, ErrTransient) {
+			return err
+		}
+		go func() { clk.Sleep(time.Millisecond) }()
+	}
+	return nil
+}

@@ -106,6 +106,17 @@ func (p *Plan) serialOperator(o ExecOpts, stageName string) (exec.Operator, erro
 		}
 	}
 	if len(p.spec.Aggs) > 0 {
+		if p.spec.Partial {
+			// A partial plan stops at the accumulator states: the final
+			// merge runs elsewhere (the shard coordinator's AggMerge).
+			ctr, wrap := stage(o, "partial-agg", fmt.Sprintf("%d group-by keys, %d aggregates", len(p.spec.GroupBy), len(p.spec.Aggs)))
+			pa, err := exec.NewPartialAgg(op, p.spec.GroupBy, p.spec.Aggs, ctr)
+			if err != nil {
+				op.Close()
+				return nil, err
+			}
+			return wrap(pa), nil
+		}
 		ctr, wrap := stage(o, "hash-agg", fmt.Sprintf("%d group-by keys, %d aggregates", len(p.spec.GroupBy), len(p.spec.Aggs)))
 		agg, err := exec.NewHashAggregate(op, p.spec.GroupBy, p.spec.Aggs, ctr)
 		if err != nil {
@@ -291,6 +302,11 @@ func (p *Plan) parallelOperator(o ExecOpts, stageName string, n int) (exec.Opera
 	var op exec.Operator = &gather{op: ex, merge: merge}
 
 	if aggregated {
+		if p.spec.Partial {
+			// The exchange's concatenated state streams are the plan's
+			// output; the final merge runs elsewhere (the coordinator).
+			return op, nil
+		}
 		mctr, wrap := stage(o, "agg-merge", fmt.Sprintf("%d partial streams", n))
 		m, err := exec.NewAggMerge(op, p.scanSchema, p.spec.GroupBy, p.spec.Aggs, mctr)
 		if err != nil {

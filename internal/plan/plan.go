@@ -63,6 +63,15 @@ type Spec struct {
 	// operate-on-compressed kernels and runs the classic value-at-a-time
 	// path — the differential suites' reference, and an escape hatch.
 	Scalar bool
+	// Partial stops an aggregation before the final merge: the plan's
+	// output is the stream of fixed-width accumulator states
+	// (exec.PartialStateSchema) instead of final tuples. This is the
+	// shard coordinator's transport — it folds the states of every
+	// partition through the same exec.AggMerge a parallel plan uses, so
+	// the distributed result stays byte-identical to one process.
+	// Requires Aggs and forbids OrderBy/Limit (they apply after the
+	// merge, above this plan).
+	Partial bool
 }
 
 // scanRowBytes returns the decoded bytes per row the query touches: the
@@ -94,8 +103,12 @@ type Plan struct {
 	spec       Spec
 	scanSchema *schema.Schema // the scan's output (projection of Proj)
 	outSchema  *schema.Schema // the plan's output (after aggregation)
-	keys       []exec.SortKey
-	bounds     []int64 // partition bounds; nil or one range means serial
+	// finalSchema is what a full (non-partial) run of the same query
+	// would output: equal to outSchema except for Partial plans, whose
+	// outSchema is the state-transport schema.
+	finalSchema *schema.Schema
+	keys        []exec.SortKey
+	bounds      []int64 // partition bounds; nil or one range means serial
 
 	// keep is the zone-map keep set: the global row ranges that can hold
 	// qualifying tuples, from intersecting SARGable predicates with the
@@ -182,13 +195,28 @@ func Compile(tbl *store.Table, spec Spec) (*Plan, error) {
 	if len(spec.Aggs) == 0 && len(spec.GroupBy) > 0 {
 		return nil, fmt.Errorf("plan: group-by without aggregates")
 	}
+	if spec.Partial {
+		if len(spec.Aggs) == 0 {
+			return nil, fmt.Errorf("plan: partial execution needs aggregates")
+		}
+		if len(spec.OrderBy) > 0 || spec.Limit > 0 {
+			return nil, fmt.Errorf("plan: partial execution cannot order or limit (apply them above the merge)")
+		}
+	}
 	scanSchema, err := tbl.Schema.Project(spec.Proj)
 	if err != nil {
 		return nil, err
 	}
-	out := scanSchema
+	final := scanSchema
 	if len(spec.Aggs) > 0 {
-		out, err = exec.AggOutputSchema(scanSchema, spec.GroupBy, spec.Aggs)
+		final, err = exec.AggOutputSchema(scanSchema, spec.GroupBy, spec.Aggs)
+		if err != nil {
+			return nil, err
+		}
+	}
+	out := final
+	if spec.Partial {
+		out, err = exec.PartialStateSchema(scanSchema, spec.GroupBy, spec.Aggs)
 		if err != nil {
 			return nil, err
 		}
@@ -212,13 +240,14 @@ func Compile(tbl *store.Table, spec Spec) (*Plan, error) {
 		bounds = keepBounds(tbl, tbl.Tuples, spec.Dop, spec.scanRowBytes(tbl), keep)
 	}
 	return &Plan{
-		tbl:        tbl,
-		spec:       spec,
-		scanSchema: scanSchema,
-		outSchema:  out,
-		keys:       keys,
-		bounds:     bounds,
-		keep:       keep,
+		tbl:         tbl,
+		spec:        spec,
+		scanSchema:  scanSchema,
+		outSchema:   out,
+		finalSchema: final,
+		keys:        keys,
+		bounds:      bounds,
+		keep:        keep,
 	}, nil
 }
 
@@ -235,8 +264,14 @@ func (p *Plan) neededAttrs() map[int]bool {
 	return need
 }
 
-// Schema returns the plan's output schema.
+// Schema returns the plan's output schema. For a Partial plan this is
+// the single-column state-transport schema.
 func (p *Plan) Schema() *schema.Schema { return p.outSchema }
+
+// FinalSchema returns the schema a full (non-partial) run of the same
+// query outputs — the column names and types a coordinator reports for
+// the merged result. Equal to Schema for non-partial plans.
+func (p *Plan) FinalSchema() *schema.Schema { return p.finalSchema }
 
 // Dop returns the effective degree of parallelism the plan executes
 // with: the number of scan partitions, or 1 for a serial plan.

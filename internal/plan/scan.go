@@ -26,7 +26,8 @@ const (
 
 // retryAttempts and retryBackoff bound the scan's tolerance of
 // transient read errors: each failed read is retried up to retryAttempts
-// times with linear backoff before the error surfaces as ErrTransient.
+// times with capped jittered-exponential backoff (fault.Backoff) before
+// the error surfaces as ErrTransient.
 const (
 	retryAttempts = 3
 	retryBackoff  = 2 * time.Millisecond
@@ -71,7 +72,7 @@ func openSection(ctx context.Context, path string, off, length int64) (aio.Reade
 		}
 		return fault.ChaosWrap(name, off+skip, &tableReader{OSReader: r, f: f}), nil
 	}
-	return fault.NewRetryReader(open, retryAttempts, retryBackoff, clock.Real{})
+	return fault.NewRetryReaderCtx(ctx, open, retryAttempts, fault.Backoff{Base: retryBackoff}, clock.Real{})
 }
 
 // addReader registers a reader's statistics with the trace, so prefetch

@@ -44,10 +44,8 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, readopt.CodeBadRequest, err.Error())
 		return
 	}
-	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, readopt.CodeDraining, "server is draining")
-		return
-	}
+	// Admit before the drain check, mirroring the query handler: the
+	// admission slot is what lets Shutdown know when submissions are over.
 	if !s.admit() {
 		s.stats.insertReject()
 		writeError(w, http.StatusTooManyRequests, readopt.CodeQueueFull,
@@ -55,6 +53,10 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.admitted.Add(-1)
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, readopt.CodeDraining, "server is draining")
+		return
+	}
 
 	// An admitted write takes an execution slot like a dispatched scan:
 	// the memtable append is cheap, but the spill it may trigger is a

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/base64"
 	"fmt"
 	"time"
 
@@ -55,6 +56,58 @@ func batchContext(jobs []*job) (context.Context, func()) {
 		}
 	}()
 	return ctx, func() { close(finished) }
+}
+
+// submitPartial dispatches a partial-aggregation job on its own
+// goroutine: partial queries return state blobs instead of rows, so
+// they cannot share a batch's scan, but they still take a worker slot
+// and count into the same statistics.
+func (s *Server) submitPartial(ts *tableState, j *job) {
+	s.runners.Add(1)
+	go func() {
+		defer s.runners.Done()
+		s.runPartial(ts, j)
+	}()
+}
+
+// runPartial executes one partial-aggregation job inside a worker slot
+// and delivers a state-carrying response.
+func (s *Server) runPartial(ts *tableState, j *job) {
+	if j.ctx.Err() != nil {
+		s.deliverErr(j, j.ctx.Err())
+		return
+	}
+	s.workers <- struct{}{}
+	defer func() { <-s.workers }()
+
+	start := s.clock.Now()
+	queueWait := start.Sub(j.enqueued)
+	eff, extra := s.planDop(j.dop)
+	res, err := ts.tbl.QueryPartialAgg(j.q, readopt.ExecOptions{Ctx: j.ctx, Dop: eff})
+	s.releaseExtra(extra)
+	if err != nil {
+		s.deliverErr(j, err)
+		s.stats.ran(1, queueWait, s.clock.Now().Sub(start), readopt.ScanStats{})
+		return
+	}
+	resp := &readopt.QueryResponse{
+		Columns:         res.Columns,
+		Types:           res.Types,
+		Rows:            [][]any{},
+		StateB64:        base64.StdEncoding.EncodeToString(res.States),
+		StateWidth:      res.StateWidth,
+		Stats:           res.Stats,
+		BatchSize:       1,
+		Dop:             res.Dop,
+		QueueWaitMicros: queueWait.Microseconds(),
+		ExecMicros:      s.clock.Now().Sub(start).Microseconds(),
+	}
+	if resp.Dop > 1 {
+		s.stats.parallel()
+	}
+	j.deliver(resp, nil)
+	s.finishQuery(ts.name, resp)
+	s.stats.ran(1, queueWait, s.clock.Now().Sub(start), resp.Stats)
 }
 
 // submit queues j on the table and ensures a dispatcher is running for

@@ -219,6 +219,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.Drain()
 	done := make(chan struct{})
 	go func() {
+		// Handlers take an admission slot before reading the drain flag,
+		// so with the flag up, every handler that will ever start a
+		// dispatcher is already counted in admitted. Waiting for admitted
+		// to reach zero first means runners.Wait cannot race a
+		// runners.Add restarting the group from zero.
+		for s.admitted.Load() > 0 {
+			if ctx.Err() != nil {
+				return
+			}
+			s.clock.Sleep(time.Millisecond)
+		}
 		s.runners.Wait()
 		close(done)
 	}()
@@ -293,13 +304,23 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, readopt.CodeBadRequest, err.Error())
 		return
 	}
-	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, readopt.CodeDraining, "server is draining")
-		return
+	if req.Partial {
+		if len(req.Query.Aggs) == 0 {
+			writeError(w, http.StatusBadRequest, readopt.CodeBadRequest, "partial execution requires aggregates")
+			return
+		}
+		if len(req.Query.OrderBy) > 0 || req.Query.Limit > 0 {
+			writeError(w, http.StatusBadRequest, readopt.CodeBadRequest, "partial execution cannot order or limit; the merger applies them")
+			return
+		}
 	}
-
 	// Admission: the wait queue holds at most QueueDepth queries beyond
-	// the Workers executing. Past that, shed load immediately.
+	// the Workers executing. Past that, shed load immediately. Admit
+	// BEFORE the drain check: any handler that will ever submit a job
+	// holds an admission slot by the time it reads the drain flag, so
+	// once Drain is visible and admitted reaches zero, no new dispatcher
+	// can start — the ordering Shutdown relies on to call runners.Wait
+	// without racing runners.Add.
 	if !s.admit() {
 		s.stats.reject()
 		writeError(w, http.StatusTooManyRequests, readopt.CodeQueueFull,
@@ -307,6 +328,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer s.admitted.Add(-1)
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, readopt.CodeDraining, "server is draining")
+		return
+	}
 
 	timeout := s.cfg.DefaultTimeout
 	if req.TimeoutMillis > 0 {
@@ -323,7 +348,14 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		enqueued: s.clock.Now(),
 		done:     make(chan jobResult, 1),
 	}
-	s.submit(ts, j)
+	if req.Partial {
+		// Partial queries never join shared-scan batches: their result
+		// shape (state blobs, not rows) is per-query, so they dispatch
+		// as singletons through the same admission gate and worker pool.
+		s.submitPartial(ts, j)
+	} else {
+		s.submit(ts, j)
+	}
 	select {
 	case res := <-j.done:
 		if res.err != nil {

@@ -1,0 +1,187 @@
+package shard
+
+// One partition's replica set and the per-endpoint machinery: circuit
+// breakers, health, latency sampling for the hedger, and counters.
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/readoptdb/readopt"
+)
+
+// breakerState is the classic three-state circuit.
+type breakerState int32
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// latSamples sizes the sliding latency window behind adaptive hedging.
+const latSamples = 64
+
+// endpoint is one replica of one partition.
+type endpoint struct {
+	url    string
+	client *readopt.Client
+
+	requests atomic.Int64 // shard requests sent (probes excluded)
+	errors   atomic.Int64 // shard requests that failed
+
+	mu       sync.Mutex
+	state    breakerState
+	fails    int       // consecutive failures while closed
+	openedAt time.Time // when the breaker last opened
+	cooldown time.Duration
+	limit    int // failures that open the breaker
+
+	lat  [latSamples]time.Duration // latency ring for the hedger
+	latN int                       // samples written (saturates at latSamples)
+	latW int                       // next write position
+}
+
+func newEndpoint(url string, cfg Config) *endpoint {
+	return &endpoint{
+		url:      url,
+		client:   readopt.NewClient(url, cfg.HTTPClient),
+		cooldown: cfg.BreakerCooldown,
+		limit:    cfg.BreakerThreshold,
+	}
+}
+
+// allow reports whether the breaker currently admits a request. An
+// open breaker past its cooldown flips to half-open and admits exactly
+// one trial; the trial's outcome (recordSuccess / recordFailure)
+// decides whether the circuit closes or re-opens.
+func (e *endpoint) allow(now time.Time) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch e.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if now.Sub(e.openedAt) >= e.cooldown {
+			e.state = breakerHalfOpen
+			return true
+		}
+		return false
+	default: // half-open: a trial is already in flight
+		return false
+	}
+}
+
+// recordSuccess closes the breaker and folds a latency sample into the
+// hedger's window. Probes and catalog reads pass d = 0: a health
+// verdict, not a query latency, so the window only sees real queries.
+func (e *endpoint) recordSuccess(d time.Duration) {
+	e.mu.Lock()
+	e.state = breakerClosed
+	e.fails = 0
+	if d > 0 {
+		e.lat[e.latW] = d
+		e.latW = (e.latW + 1) % latSamples
+		if e.latN < latSamples {
+			e.latN++
+		}
+	}
+	e.mu.Unlock()
+}
+
+// recordFailure counts a transient failure toward opening the breaker.
+// A half-open trial that fails re-opens immediately.
+func (e *endpoint) recordFailure(now time.Time) {
+	e.mu.Lock()
+	switch e.state {
+	case breakerHalfOpen:
+		e.state = breakerOpen
+		e.openedAt = now
+	case breakerClosed:
+		e.fails++
+		if e.fails >= e.limit {
+			e.state = breakerOpen
+			e.openedAt = now
+		}
+	case breakerOpen:
+		// Refresh the window: a failing probe against an already-open
+		// breaker pushes the half-open trial out.
+		e.openedAt = now
+	}
+	e.mu.Unlock()
+}
+
+// probeSuccess and probeFailure are the health loop's verdicts; they
+// feed the same breaker as live traffic, so probes both open the
+// circuit on a dead replica and close it on a recovered one.
+func (e *endpoint) probeSuccess() { e.recordSuccess(0) }
+
+func (e *endpoint) probeFailure(now time.Time) { e.recordFailure(now) }
+
+// breaker returns the current breaker state.
+func (e *endpoint) breaker() breakerState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.state
+}
+
+// latencyQuantile returns the q-quantile of the sliding window, or 0
+// when fewer than latSamples/4 samples exist (too little signal to
+// hedge on).
+func (e *endpoint) latencyQuantile(q float64) time.Duration {
+	e.mu.Lock()
+	n := e.latN
+	var buf [latSamples]time.Duration
+	copy(buf[:], e.lat[:n])
+	e.mu.Unlock()
+	if n < latSamples/4 {
+		return 0
+	}
+	s := buf[:n]
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(n-1))
+	return s[idx]
+}
+
+// partition is an ordered replica set; endpoints[0] is preferred.
+type partition struct {
+	index     int
+	endpoints []*endpoint
+}
+
+// pick returns the preferred live endpoint, rotated by attempt so a
+// retry moves to the next replica instead of hammering the one that
+// just failed. Returns nil when every breaker rejects.
+func (p *partition) pick(now time.Time, attempt int) *endpoint {
+	n := len(p.endpoints)
+	for i := 0; i < n; i++ {
+		ep := p.endpoints[(attempt+i)%n]
+		if ep.allow(now) {
+			return ep
+		}
+	}
+	return nil
+}
+
+// next returns a live endpoint other than ep for hedging, or nil.
+func (p *partition) next(now time.Time, ep *endpoint) *endpoint {
+	for _, other := range p.endpoints {
+		if other != ep && other.allow(now) {
+			return other
+		}
+	}
+	return nil
+}

@@ -1,0 +1,158 @@
+package shard
+
+// The coordinator's HTTP face: the same API shape as a plain readoptd
+// server, so clients (and the wire Client) cannot tell a coordinator
+// from a single server — except that /insert is refused (the serving
+// tier is read-only) and responses may carry the Degraded flag.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"github.com/readoptdb/readopt"
+)
+
+// Handler returns the coordinator's HTTP API:
+//
+//	POST /query   — scatter one query across the partitions and merge
+//	POST /insert  — always refused: the scatter-gather tier is read-only
+//	GET  /tables  — the merged catalog (row counts summed across partitions)
+//	GET  /stats   — coordinator statistics (retries, hedges, breaker states)
+//	GET  /metrics — the same statistics in Prometheus text format
+//	GET  /healthz — 200 while serving, 503 while draining
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", c.handleQuery)
+	mux.HandleFunc("/insert", c.handleInsert)
+	mux.HandleFunc("/tables", c.handleTables)
+	mux.HandleFunc("/stats", c.handleStats)
+	mux.HandleFunc("/metrics", c.handleMetrics)
+	mux.HandleFunc("/healthz", c.handleHealthz)
+	return mux
+}
+
+func (c *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, readopt.CodeBadRequest, "POST required")
+		return
+	}
+	var req readopt.QueryRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, readopt.CodeBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if req.Partial {
+		// The coordinator is the consumer of partial execution, not a
+		// provider: its merged result is already final.
+		writeError(w, http.StatusBadRequest, readopt.CodeBadRequest, "a coordinator does not serve partial execution")
+		return
+	}
+	if c.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, readopt.CodeDraining, "coordinator is draining")
+		return
+	}
+	if !c.admit() {
+		c.rejected.Add(1)
+		writeError(w, http.StatusTooManyRequests, readopt.CodeQueueFull,
+			fmt.Sprintf("coordinator inflight limit reached (%d)", c.cfg.MaxInflight))
+		return
+	}
+	defer c.inflight.Add(-1)
+
+	timeout := c.cfg.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+
+	resp, err := c.Query(ctx, req)
+	if err != nil {
+		status, code := coordErrorStatus(err)
+		writeError(w, status, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// coordErrorStatus maps a coordinator failure onto the wire. A shard's
+// own ServerError that passed through untagged (bad request, missing
+// table) keeps its original status and code — the coordinator is
+// transparent for errors it cannot fix.
+func coordErrorStatus(err error) (int, string) {
+	switch readopt.ErrorKind(err) {
+	case "cancelled":
+		return http.StatusGatewayTimeout, readopt.CodeCancelled
+	case "corrupt":
+		return http.StatusInternalServerError, readopt.CodeCorrupt
+	case "transient":
+		return http.StatusServiceUnavailable, readopt.CodeTransient
+	}
+	var se *readopt.ServerError
+	if errors.As(err, &se) {
+		return se.StatusCode, se.Code
+	}
+	return http.StatusBadRequest, readopt.CodeBadRequest
+}
+
+func (c *Coordinator) handleInsert(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusBadRequest, readopt.CodeBadRequest,
+		"the shard coordinator is read-only; load data into the shards directly")
+}
+
+func (c *Coordinator) handleTables(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, readopt.CodeBadRequest, "GET required")
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), c.cfg.DefaultTimeout)
+	defer cancel()
+	infos, err := c.Tables(ctx)
+	if err != nil {
+		status, code := coordErrorStatus(err)
+		writeError(w, status, code, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, infos)
+}
+
+func (c *Coordinator) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, readopt.CodeBadRequest, "GET required")
+		return
+	}
+	writeJSON(w, http.StatusOK, c.Stats())
+}
+
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, readopt.CodeBadRequest, "GET required")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(c.Metrics()))
+}
+
+func (c *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if c.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, code, msg string) {
+	writeJSON(w, status, readopt.QueryResponse{Error: msg, Code: code})
+}

@@ -1,0 +1,353 @@
+package shard
+
+// The coordinator's merge layer. Aggregations fold shard accumulator
+// states through exec.AggMerge — the identical operator a
+// morsel-parallel plan uses for its own partials — over a synthetic
+// input schema reconstructed from the query, so the distributed result
+// inherits the engine's exact arithmetic (int32 truncation, truncating
+// AVG) and its sorted-group emission order. Row queries concatenate in
+// partition order, which is scan order; ORDER BY re-sorts (and LIMIT
+// re-tops) at the coordinator through plan.Post, the same post-pass a
+// shared-scan batch uses.
+
+import (
+	"encoding/base64"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/readoptdb/readopt"
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/exec"
+	"github.com/readoptdb/readopt/internal/fault"
+	"github.com/readoptdb/readopt/internal/plan"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+var aggFuncs = map[string]exec.AggFunc{
+	"count": exec.Count, "sum": exec.Sum, "min": exec.Min, "max": exec.Max, "avg": exec.Avg,
+}
+
+// parseColumnType maps the wire's type names ("int32", "text(N)") back
+// onto engine types.
+func parseColumnType(ct readopt.ColumnType) (schema.Type, error) {
+	s := string(ct)
+	if s == "int32" {
+		return schema.IntType, nil
+	}
+	if rest, ok := strings.CutPrefix(s, "text("); ok {
+		if num, ok := strings.CutSuffix(rest, ")"); ok {
+			n, err := strconv.Atoi(num)
+			if err == nil && n > 0 {
+				return schema.TextType(n), nil
+			}
+		}
+	}
+	return schema.Type{}, fmt.Errorf("shard: unknown column type %q", ct)
+}
+
+// synthAggInput reconstructs an input schema for the merge from the
+// query and the shards' final-output types. The real scan schema does
+// not matter: AggMerge only needs the group-by attributes (name, type,
+// position) to carry the key bytes and the aggregate attributes to
+// name the output columns — and the final output leads with the
+// group-by columns in group-by order, so their types are types[:len(GroupBy)].
+func synthAggInput(q readopt.Query, types []readopt.ColumnType) (*schema.Schema, []int, []exec.AggSpec, error) {
+	nGroup := len(q.GroupBy)
+	if len(types) < nGroup {
+		return nil, nil, nil, fmt.Errorf("shard: %d result types for %d group-by columns", len(types), nGroup)
+	}
+	var attrs []schema.Attribute
+	index := make(map[string]int)
+	for i, col := range q.GroupBy {
+		t, err := parseColumnType(types[i])
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		attrs = append(attrs, schema.Attribute{Name: col, Type: t})
+		index[col] = i
+	}
+	groupBy := make([]int, nGroup)
+	for i := range groupBy {
+		groupBy[i] = i
+	}
+	aggs := make([]exec.AggSpec, len(q.Aggs))
+	for i, a := range q.Aggs {
+		f, ok := aggFuncs[a.Func]
+		if !ok {
+			return nil, nil, nil, fmt.Errorf("shard: unknown aggregate function %q", a.Func)
+		}
+		attr := 0 // count(*) aggregates no column; any attribute will do
+		if a.Column != "" {
+			j, ok := index[a.Column]
+			if !ok {
+				j = len(attrs)
+				attrs = append(attrs, schema.Attribute{Name: a.Column, Type: schema.IntType})
+				index[a.Column] = j
+			}
+			attr = j
+		}
+		aggs[i] = exec.AggSpec{Func: f, Attr: attr}
+	}
+	if len(attrs) == 0 {
+		// A bare count(*) references no column at all; COUNT ignores its
+		// Attr, so one placeholder keeps schema.New satisfied without
+		// touching the state layout (key width stays zero).
+		attrs = append(attrs, schema.Attribute{Name: "__COUNT", Type: schema.IntType})
+	}
+	in, err := schema.New("shardmerge", attrs)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return in, groupBy, aggs, nil
+}
+
+// mergeAgg folds the partitions' accumulator states into the final
+// aggregated rows. resps is indexed by partition; nil entries are
+// degraded partitions that contributed nothing.
+func (c *Coordinator) mergeAgg(q readopt.Query, resps []*readopt.QueryResponse) (*readopt.QueryResponse, error) {
+	var tmpl *readopt.QueryResponse
+	for _, r := range resps {
+		if r != nil {
+			tmpl = r
+			break
+		}
+	}
+	if tmpl == nil {
+		return nil, fault.Transient(fmt.Errorf("shard: no partition answered"))
+	}
+	in, groupBy, aggs, err := synthAggInput(q, tmpl.Types)
+	if err != nil {
+		return nil, err
+	}
+	stateSchema, err := exec.PartialStateSchema(in, groupBy, aggs)
+	if err != nil {
+		return nil, err
+	}
+	var states []byte
+	for i, r := range resps {
+		if r == nil {
+			continue
+		}
+		if r.StateWidth != stateSchema.Width() {
+			return nil, fault.Corruptf("shard: partition %d sent %d-byte states, want %d", i, r.StateWidth, stateSchema.Width())
+		}
+		b, derr := base64.StdEncoding.DecodeString(r.StateB64)
+		if derr != nil {
+			return nil, fault.Corruptf("shard: partition %d state decode: %v", i, derr)
+		}
+		if len(b)%stateSchema.Width() != 0 {
+			return nil, fault.Corruptf("shard: partition %d sent %d state bytes, not a multiple of %d", i, len(b), stateSchema.Width())
+		}
+		states = append(states, b...)
+	}
+	src, err := exec.NewSliceSource(stateSchema, states, 0)
+	if err != nil {
+		return nil, err
+	}
+	var counters cpumodel.Counters
+	m, err := exec.NewAggMerge(src, in, groupBy, aggs, &counters)
+	if err != nil {
+		return nil, err
+	}
+	tuples, err := drainTuples(m)
+	if err != nil {
+		return nil, err
+	}
+	outSch := m.Schema()
+	rows, err := c.postAndDecode(outSch, tuples, q.OrderBy, q.Limit, &counters)
+	if err != nil {
+		return nil, err
+	}
+	out := &readopt.QueryResponse{
+		Columns: tmpl.Columns,
+		Types:   tmpl.Types,
+		Rows:    rows,
+	}
+	return out, nil
+}
+
+// mergeRows concatenates the partitions' row results in partition
+// order (scan order). A pushed-down LIMIT re-truncates; an ORDER BY
+// re-encodes the rows and re-sorts (or re-tops) through plan.Post.
+func (c *Coordinator) mergeRows(q readopt.Query, resps []*readopt.QueryResponse) (*readopt.QueryResponse, error) {
+	var tmpl *readopt.QueryResponse
+	total := 0
+	for _, r := range resps {
+		if r != nil {
+			if tmpl == nil {
+				tmpl = r
+			}
+			total += len(r.Rows)
+		}
+	}
+	if tmpl == nil {
+		return nil, fault.Transient(fmt.Errorf("shard: no partition answered"))
+	}
+	rows := make([][]any, 0, total)
+	for _, r := range resps {
+		if r != nil {
+			rows = append(rows, r.Rows...)
+		}
+	}
+	if len(q.OrderBy) > 0 {
+		sch, err := wireSchema(tmpl.Columns, tmpl.Types)
+		if err != nil {
+			return nil, err
+		}
+		tuples, err := encodeRows(sch, rows)
+		if err != nil {
+			return nil, err
+		}
+		var counters cpumodel.Counters
+		rows, err = c.postAndDecode(sch, tuples, q.OrderBy, q.Limit, &counters)
+		if err != nil {
+			return nil, err
+		}
+	} else if q.Limit > 0 && int64(len(rows)) > q.Limit {
+		rows = rows[:q.Limit]
+	}
+	return &readopt.QueryResponse{
+		Columns: tmpl.Columns,
+		Types:   tmpl.Types,
+		Rows:    rows,
+	}, nil
+}
+
+// postAndDecode applies the coordinator-side ORDER BY / LIMIT post-pass
+// (when any) and decodes tuples into wire rows.
+func (c *Coordinator) postAndDecode(sch *schema.Schema, tuples []byte, orderBy []readopt.Order, limit int64, counters *cpumodel.Counters) ([][]any, error) {
+	if len(orderBy) == 0 && limit == 0 {
+		return decodeTuples(sch, tuples)
+	}
+	sort := make([]plan.SortSpec, len(orderBy))
+	for i, o := range orderBy {
+		sort[i] = plan.SortSpec{Column: o.Column, Desc: o.Desc}
+	}
+	op, err := plan.Post(sch, tuples, sort, limit, counters, nil)
+	if err != nil {
+		return nil, err
+	}
+	sorted, err := drainTuples(op)
+	if err != nil {
+		return nil, err
+	}
+	return decodeTuples(sch, sorted)
+}
+
+// drainTuples opens op, concatenates every output tuple and closes it.
+func drainTuples(op exec.Operator) ([]byte, error) {
+	if err := op.Open(); err != nil {
+		_ = op.Close()
+		return nil, err
+	}
+	var out []byte
+	for {
+		b, err := op.Next()
+		if err != nil {
+			_ = op.Close()
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.Len(); i++ {
+			out = append(out, b.Tuple(i)...)
+		}
+	}
+	if err := op.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// wireSchema rebuilds an engine schema from the wire's column lists.
+func wireSchema(cols []string, types []readopt.ColumnType) (*schema.Schema, error) {
+	if len(cols) == 0 || len(cols) != len(types) {
+		return nil, fmt.Errorf("shard: %d columns with %d types", len(cols), len(types))
+	}
+	attrs := make([]schema.Attribute, len(cols))
+	for i := range cols {
+		t, err := parseColumnType(types[i])
+		if err != nil {
+			return nil, err
+		}
+		attrs[i] = schema.Attribute{Name: cols[i], Type: t}
+	}
+	return schema.New("shardrows", attrs)
+}
+
+// encodeRows packs wire rows (int64/float64 for integers, string for
+// text) back into engine tuples. Text re-pads with spaces — the same
+// padding the engine stores — so a decode/encode round trip is
+// byte-identical.
+func encodeRows(sch *schema.Schema, rows [][]any) ([]byte, error) {
+	w := sch.Width()
+	out := make([]byte, 0, w*len(rows))
+	tuple := make([]byte, w)
+	for _, row := range rows {
+		if len(row) != sch.NumAttrs() {
+			return nil, fmt.Errorf("shard: row of %d values for %d columns", len(row), sch.NumAttrs())
+		}
+		for i := range tuple {
+			tuple[i] = 0
+		}
+		for i, v := range row {
+			a := sch.Attrs[i]
+			if a.Type.Kind == schema.Int32 {
+				switch x := v.(type) {
+				case int64:
+					sch.PutInt32At(tuple, i, int32(x))
+				case float64: // JSON numbers decode as float64
+					sch.PutInt32At(tuple, i, int32(x))
+				case int:
+					sch.PutInt32At(tuple, i, int32(x))
+				default:
+					return nil, fmt.Errorf("shard: value %T for integer column %s", v, a.Name)
+				}
+			} else {
+				s, ok := v.(string)
+				if !ok {
+					return nil, fmt.Errorf("shard: value %T for text column %s", v, a.Name)
+				}
+				sch.PutTextAt(tuple, i, []byte(s))
+			}
+		}
+		out = append(out, tuple...)
+	}
+	return out, nil
+}
+
+// decodeTuples unpacks engine tuples into wire rows: int64 for integer
+// columns, padding-trimmed strings for text.
+func decodeTuples(sch *schema.Schema, tuples []byte) ([][]any, error) {
+	w := sch.Width()
+	if len(tuples)%w != 0 {
+		return nil, fmt.Errorf("shard: %d tuple bytes, width %d", len(tuples), w)
+	}
+	n := len(tuples) / w
+	rows := make([][]any, 0, n)
+	for r := 0; r < n; r++ {
+		tuple := tuples[r*w : (r+1)*w]
+		row := make([]any, sch.NumAttrs())
+		for i, a := range sch.Attrs {
+			if a.Type.Kind == schema.Int32 {
+				row[i] = int64(sch.Int32At(tuple, i))
+			} else {
+				row[i] = trimPad(sch.TextAt(tuple, i))
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// trimPad drops the engine's trailing space padding from a text value,
+// mirroring the facade's decoding.
+func trimPad(b []byte) string {
+	end := len(b)
+	for end > 0 && b[end-1] == ' ' {
+		end--
+	}
+	return string(b[:end])
+}

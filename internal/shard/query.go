@@ -1,0 +1,224 @@
+package shard
+
+// The coordinator's query path: compile ONE shard request per query,
+// scatter it, apply the failure policy, merge.
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/readoptdb/readopt"
+	"github.com/readoptdb/readopt/internal/fault"
+)
+
+// compileShardRequest turns the client's request into the single
+// request every partition receives.
+//
+// Aggregations go out as partial queries (accumulator states back,
+// ORDER BY / LIMIT stripped — they apply above the merge). Row queries
+// push LIMIT down always: with ORDER BY the shard runs its top-n and
+// the coordinator re-tops the union (top-n distributes); without, a
+// k-prefix of each partition always covers the k-prefix of the concat.
+// A bare ORDER BY (no LIMIT) is stripped instead — each shard sorting
+// its partition buys nothing when the coordinator must re-sort the
+// union anyway, and unsorted shard results keep partition-concat order
+// deterministic for the re-sort's stable tie-breaking.
+func compileShardRequest(req readopt.QueryRequest) readopt.QueryRequest {
+	q := req.Query
+	if len(q.Aggs) > 0 {
+		q.OrderBy = nil
+		q.Limit = 0
+		return readopt.QueryRequest{
+			Table: req.Table, Query: q,
+			TimeoutMillis: req.TimeoutMillis, Dop: req.Dop,
+			Partial: true,
+		}
+	}
+	if len(q.OrderBy) > 0 && q.Limit == 0 {
+		q.OrderBy = nil
+	}
+	return readopt.QueryRequest{
+		Table: req.Table, Query: q,
+		TimeoutMillis: req.TimeoutMillis, Dop: req.Dop,
+	}
+}
+
+// Query scatters req across the partitions and merges the answer. The
+// error, if any, carries the engine's failure taxonomy so the handler
+// (or an embedding caller) can map it to a wire code.
+func (c *Coordinator) Query(ctx context.Context, req readopt.QueryRequest) (*readopt.QueryResponse, error) {
+	c.queries.Add(1)
+	resp, err := c.query(ctx, req)
+	if err != nil {
+		c.failed.Add(1)
+		return nil, err
+	}
+	c.completed.Add(1)
+	if resp.Degraded {
+		c.degraded.Add(1)
+	}
+	return resp, nil
+}
+
+func (c *Coordinator) query(ctx context.Context, req readopt.QueryRequest) (*readopt.QueryResponse, error) {
+	if err := readopt.NormalizeQuery(&req.Query); err != nil {
+		return nil, err
+	}
+	shardReq := compileShardRequest(req)
+	resps, errs := c.scatter(ctx, shardReq)
+
+	// Failure policy, in order of severity. Corruption anywhere fails
+	// the query — rereading corrupt data on a replica cannot fix it, and
+	// a silently partial answer would be wrong, not degraded. A
+	// non-transient shard error (bad request, missing table) would fail
+	// identically on every replica, so it passes through. Cancellation
+	// is the caller's own deadline. Only then do transient failures get
+	// the degraded escape hatch.
+	var transientErr error
+	var degradedParts []int
+	for pi, err := range errs {
+		if err == nil {
+			continue
+		}
+		switch fault.Classify(err) {
+		case fault.KindCorrupt:
+			return nil, err
+		case fault.KindTransient:
+			if transientErr == nil {
+				transientErr = err
+			}
+			degradedParts = append(degradedParts, pi)
+		case fault.KindCancelled:
+			if ctx.Err() != nil || !req.AllowDegraded {
+				return nil, err
+			}
+			// A shard-side cancellation with our own context still live
+			// (its gather deadline, a local hiccup) degrades like a
+			// transient when the caller opted in.
+			if transientErr == nil {
+				transientErr = err
+			}
+			degradedParts = append(degradedParts, pi)
+		default:
+			return nil, err
+		}
+	}
+	if transientErr != nil {
+		if !req.AllowDegraded {
+			return nil, transientErr
+		}
+		if len(degradedParts) == len(c.parts) {
+			// Degraded never means "no data at all": with zero live
+			// partitions there is no answer to flag, only a failure.
+			return nil, transientErr
+		}
+	}
+
+	var out *readopt.QueryResponse
+	var err error
+	if len(req.Query.Aggs) > 0 {
+		out, err = c.mergeAgg(req.Query, resps)
+	} else {
+		out, err = c.mergeRows(req.Query, resps)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out.Degraded = len(degradedParts) > 0
+	out.DegradedPartitions = degradedParts
+	out.BatchSize = 1
+	for _, r := range resps {
+		if r == nil {
+			continue
+		}
+		addStats(&out.Stats, r.Stats)
+		if r.Dop > out.Dop {
+			out.Dop = r.Dop
+		}
+		out.ExecMicros += r.ExecMicros
+		out.QueueWaitMicros += r.QueueWaitMicros
+	}
+	return out, nil
+}
+
+// addStats folds one shard's engine work into the aggregate the
+// coordinator reports: total work across the fleet, the same way a
+// parallel plan sums its workers.
+func addStats(dst *readopt.ScanStats, s readopt.ScanStats) {
+	dst.Instructions += s.Instructions
+	dst.SeqMemBytes += s.SeqMemBytes
+	dst.RandMemLines += s.RandMemLines
+	dst.L1MemBytes += s.L1MemBytes
+	dst.IORequests += s.IORequests
+	dst.IOBytes += s.IOBytes
+	dst.Pages += s.Pages
+	dst.PagesPruned += s.PagesPruned
+	dst.PagesLateSkipped += s.PagesLateSkipped
+	dst.BytesSkipped += s.BytesSkipped
+}
+
+// Tables merges the catalog across partitions: every partition holds a
+// slice of every table, so names and schemas come from the first live
+// partition and row/byte counts sum across all of them. All partitions
+// must answer — a partial catalog would misreport table sizes.
+func (c *Coordinator) Tables(ctx context.Context) ([]readopt.TableInfo, error) {
+	budget := newRetryBudget(c.cfg.RetryBudget)
+	merged := make(map[string]*readopt.TableInfo)
+	var order []string
+	for pi, part := range c.parts {
+		infos, err := c.fetchTables(ctx, part, budget)
+		if err != nil {
+			return nil, fmt.Errorf("shard: partition %d catalog: %w", pi, err)
+		}
+		for _, ti := range infos {
+			if cur, ok := merged[ti.Name]; ok {
+				cur.Rows += ti.Rows
+				cur.DataBytes += ti.DataBytes
+			} else {
+				copied := ti
+				merged[ti.Name] = &copied
+				order = append(order, ti.Name)
+			}
+		}
+	}
+	out := make([]readopt.TableInfo, 0, len(order))
+	for _, name := range order {
+		out = append(out, *merged[name])
+	}
+	return out, nil
+}
+
+// fetchTables reads one partition's catalog with the same
+// failover-and-backoff loop queries use.
+func (c *Coordinator) fetchTables(ctx context.Context, part *partition, budget *retryBudget) ([]readopt.TableInfo, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fault.Cancelled(err)
+		}
+		ep := part.pick(c.clk.Now(), attempt)
+		if ep == nil {
+			if lastErr != nil {
+				return nil, fault.Transient(fmt.Errorf("no live replica (last error: %w)", lastErr))
+			}
+			return nil, fault.Transient(fmt.Errorf("no live replica"))
+		}
+		infos, err := ep.client.Tables(ctx)
+		if err == nil {
+			ep.recordSuccess(0)
+			return infos, nil
+		}
+		err = tagShardError(err)
+		lastErr = err
+		if !retryable(err) {
+			return nil, err
+		}
+		ep.recordFailure(c.clk.Now())
+		if !budget.take() {
+			return nil, fault.Transient(fmt.Errorf("retry budget exhausted: %w", err))
+		}
+		if serr := c.cfg.Backoff.Sleep(ctx, c.clk, attempt+1); serr != nil {
+			return nil, serr
+		}
+	}
+}

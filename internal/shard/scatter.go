@@ -1,0 +1,238 @@
+package shard
+
+// The fan-out: one compiled shard request per partition, scattered
+// concurrently, each partition running its own retry-onto-replica loop
+// with hedging, all sharing one per-query retry budget.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/readoptdb/readopt"
+	"github.com/readoptdb/readopt/internal/fault"
+)
+
+// retryBudget is the per-query cap on transient retries, shared across
+// every partition of the fan-out so a flapping fleet fails fast instead
+// of multiplying tail latency by the partition count.
+type retryBudget struct{ left atomic.Int64 }
+
+func newRetryBudget(n int) *retryBudget {
+	b := &retryBudget{}
+	b.left.Store(int64(n))
+	return b
+}
+
+// take consumes one retry; false means the budget is spent.
+func (b *retryBudget) take() bool { return b.left.Add(-1) >= 0 }
+
+// tagShardError lifts a shard's wire error code back into the engine's
+// failure taxonomy, deciding the coordinator's reaction: transient-class
+// codes (including queue-full and draining — the replica is alive but
+// not serving) retry onto another replica; cancelled and timeout do not
+// retry, because replicas share the same deadline; corrupt fails the
+// whole query. Anything else (bad request, missing table) passes
+// through untagged — it would fail identically everywhere.
+func tagShardError(err error) error {
+	var se *readopt.ServerError
+	if !errors.As(err, &se) {
+		return err // transport errors arrive pre-tagged by the client
+	}
+	switch se.Code {
+	case readopt.CodeTransient, readopt.CodeQueueFull, readopt.CodeDraining:
+		return fault.Transient(err)
+	case readopt.CodeCancelled, readopt.CodeTimeout:
+		return fault.Cancelled(err)
+	case readopt.CodeCorrupt:
+		return &taggedCorrupt{cause: err}
+	default:
+		return err
+	}
+}
+
+// taggedCorrupt marks a shard-reported corruption while preserving the
+// ServerError for errors.As.
+type taggedCorrupt struct{ cause error }
+
+func (e *taggedCorrupt) Error() string   { return e.cause.Error() }
+func (e *taggedCorrupt) Unwrap() []error { return []error{fault.ErrCorrupt, e.cause} }
+
+// retryable reports whether a failed shard request is worth retrying on
+// a replica.
+func retryable(err error) bool { return fault.Classify(err) == fault.KindTransient }
+
+// scatter sends req to every partition concurrently and returns the
+// responses indexed by partition, plus each partition's error (nil on
+// success).
+func (c *Coordinator) scatter(ctx context.Context, req readopt.QueryRequest) ([]*readopt.QueryResponse, []error) {
+	n := len(c.parts)
+	resps := make([]*readopt.QueryResponse, n)
+	errs := make([]error, n)
+	budget := newRetryBudget(c.cfg.RetryBudget)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(pi int) {
+			defer wg.Done()
+			resps[pi], errs[pi] = c.fetchPartition(ctx, pi, req, budget)
+		}(i)
+	}
+	wg.Wait()
+	return resps, errs
+}
+
+// fetchPartition is one partition's failover loop: pick a live replica
+// (rotating on retry), send, and on a transient failure back off —
+// polling the query context — and try the next replica, until the
+// shared budget or the replica set is exhausted.
+func (c *Coordinator) fetchPartition(ctx context.Context, pi int, req readopt.QueryRequest, budget *retryBudget) (*readopt.QueryResponse, error) {
+	part := c.parts[pi]
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fault.Cancelled(err)
+		}
+		ep := part.pick(c.clk.Now(), attempt)
+		if ep == nil {
+			if lastErr != nil {
+				return nil, fault.Transient(fmt.Errorf("shard: partition %d has no live replica (last error: %w)", pi, lastErr))
+			}
+			return nil, fault.Transient(fmt.Errorf("shard: partition %d has no live replica", pi))
+		}
+		resp, err := c.doHedged(ctx, part, ep, req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return nil, err
+		}
+		if !budget.take() {
+			return nil, fault.Transient(fmt.Errorf("shard: partition %d: retry budget exhausted: %w", pi, err))
+		}
+		c.retries.Add(1)
+		if serr := c.cfg.Backoff.Sleep(ctx, c.clk, attempt+1); serr != nil {
+			return nil, serr
+		}
+	}
+}
+
+// doHedged sends req to ep, and — when the request outlives the hedge
+// delay and another replica is live — races a second copy against it,
+// first answer wins. Hedging is safe because queries are reads; the
+// loser's request is cancelled and at worst counts a cancelled query on
+// the shard. Both failing reports the primary's error to the retry
+// loop, which treats the hedged pair as one attempt.
+func (c *Coordinator) doHedged(ctx context.Context, part *partition, primary *endpoint, req readopt.QueryRequest) (*readopt.QueryResponse, error) {
+	delay := c.hedgeDelay(primary)
+	if delay <= 0 || len(part.endpoints) < 2 {
+		return c.doOne(ctx, primary, req)
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		resp *readopt.QueryResponse
+		err  error
+		ep   *endpoint
+	}
+	ch := make(chan result, 2)
+	send := func(ep *endpoint) {
+		go func() {
+			r, e := c.doOne(rctx, ep, req)
+			ch <- result{r, e, ep}
+		}()
+	}
+	send(primary)
+	timer := c.after(delay)
+	outstanding := 1
+	hedged := false
+	var firstErr error
+	for {
+		select {
+		case r := <-ch:
+			outstanding--
+			if r.err == nil {
+				if hedged && r.ep != primary {
+					c.hedgeWins.Add(1)
+				}
+				cancel() // the loser's request stops here
+				return r.resp, nil
+			}
+			if r.ep == primary {
+				firstErr = r.err
+			} else if firstErr == nil {
+				firstErr = r.err
+			}
+			if outstanding == 0 {
+				return nil, firstErr
+			}
+		case <-timer:
+			timer = nil
+			if backup := part.next(c.clk.Now(), primary); backup != nil {
+				c.hedges.Add(1)
+				hedged = true
+				outstanding++
+				send(backup)
+			}
+		case <-ctx.Done():
+			return nil, fault.Cancelled(ctx.Err())
+		}
+	}
+}
+
+// after returns a channel that closes after d of the coordinator's
+// clock — the clock-disciplined stand-in for time.After. The goroutine
+// lives at most d (small: a hedge delay), bounded and leak-free.
+func (c *Coordinator) after(d time.Duration) <-chan struct{} {
+	ch := make(chan struct{})
+	go func() {
+		c.clk.Sleep(d)
+		close(ch)
+	}()
+	return ch
+}
+
+// hedgeDelay decides when a request to ep deserves a hedge: the fixed
+// HedgeAfter when configured, otherwise the endpoint's observed
+// HedgeQuantile latency floored at HedgeMin — and no hedge at all
+// (zero) until the window has enough samples to mean something.
+func (c *Coordinator) hedgeDelay(ep *endpoint) time.Duration {
+	if c.cfg.HedgeAfter < 0 {
+		return 0
+	}
+	if c.cfg.HedgeAfter > 0 {
+		return c.cfg.HedgeAfter
+	}
+	q := ep.latencyQuantile(c.cfg.HedgeQuantile)
+	if q <= 0 {
+		return 0
+	}
+	if q < c.cfg.HedgeMin {
+		q = c.cfg.HedgeMin
+	}
+	return q
+}
+
+// doOne is a single shard round trip with breaker and latency
+// accounting. Only transient-class failures count against the breaker;
+// a bad request or a shared deadline says nothing about the replica's
+// health.
+func (c *Coordinator) doOne(ctx context.Context, ep *endpoint, req readopt.QueryRequest) (*readopt.QueryResponse, error) {
+	ep.requests.Add(1)
+	start := c.clk.Now()
+	resp, err := ep.client.Do(ctx, req)
+	if err != nil {
+		err = tagShardError(err)
+		ep.errors.Add(1)
+		if retryable(err) {
+			ep.recordFailure(c.clk.Now())
+		}
+		return nil, err
+	}
+	ep.recordSuccess(c.clk.Now().Sub(start))
+	return resp, nil
+}

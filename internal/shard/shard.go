@@ -1,0 +1,251 @@
+// Package shard is the scatter-gather serving tier: a coordinator that
+// presents the same HTTP/JSON API as a single readoptd server, but
+// answers each query by fanning it out across N shard processes — each
+// holding one partition of every table — and merging the partial
+// results through the engine's own merge operators.
+//
+// Correctness rests on two properties the engine already has. First,
+// partitions are ranges of the table in scan order, so concatenating
+// shard row results in partition order reproduces the single-process
+// scan order byte for byte. Second, aggregations ship the fixed-width
+// accumulator states of the plan layer's partial aggregation (the
+// request's "partial" flag) and the coordinator folds them through the
+// same exec.AggMerge a morsel-parallel plan uses — the same int32
+// truncation, the same truncating AVG division, the same sorted-key
+// emission order — so a distributed aggregate is byte-identical to a
+// local one at any shard count.
+//
+// The robustness layer is the package's headline. Every partition has a
+// replica set; a transient failure (refused connection, reset, shard
+// queue-full, draining, typed transient) retries with the engine's
+// capped jittered-exponential backoff (fault.Backoff, polling the query
+// context) onto the next live replica, budgeted per query. Stragglers
+// past a latency quantile are hedged onto a second replica, first
+// answer wins. Per-endpoint circuit breakers — fed by request outcomes
+// and by background health probes — take dead replicas out of rotation
+// and let them back in through a half-open trial. Corruption never
+// retries: a shard answering CodeCorrupt fails the whole query with the
+// typed corrupt code, because rereading corrupt data elsewhere cannot
+// make it right. When every replica of a partition is down the query
+// fails closed with the typed transient code, unless the request opted
+// into degraded results (AllowDegraded), in which case the answer is
+// computed from the live partitions and flagged Degraded.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/readoptdb/readopt"
+	"github.com/readoptdb/readopt/internal/clock"
+	"github.com/readoptdb/readopt/internal/fault"
+)
+
+// Config tunes a Coordinator. The zero value of every field falls back
+// to the listed default; only Partitions is required.
+type Config struct {
+	// Partitions[i] lists partition i's replica base URLs (e.g.
+	// "http://127.0.0.1:8081"), preferred first. Every replica of a
+	// partition must serve identical data; different partitions hold
+	// consecutive ranges of each table in scan order.
+	Partitions [][]string
+	// HTTPClient is the transport the per-endpoint wire clients use;
+	// nil uses the wire package's pooled default with dial timeouts.
+	// The chaos suite injects a deterministic fault transport here.
+	HTTPClient *http.Client
+	// MaxInflight bounds concurrently executing coordinator queries;
+	// requests past the bound are rejected with CodeQueueFull, shedding
+	// load before it multiplies N-fold across the shards (default 64).
+	MaxInflight int
+	// DefaultTimeout bounds a query that carries no timeout_ms of its
+	// own (default 30s).
+	DefaultTimeout time.Duration
+	// RetryBudget is the total transient retries one query may spend
+	// across all its partitions (default 3). The budget is shared, not
+	// per-partition: a query against a flapping fleet fails fast
+	// instead of multiplying tail latency by the partition count.
+	RetryBudget int
+	// Backoff is the retry delay policy (default 5ms base, 100ms cap,
+	// jittered). Sleeps poll the query context.
+	Backoff fault.Backoff
+	// HedgeAfter, when positive, hedges a shard request onto a second
+	// replica after a fixed delay. Zero means adaptive: hedge when the
+	// request has outlived the endpoint's HedgeQuantile latency
+	// (observed over a sliding window), but never sooner than HedgeMin.
+	// Negative disables hedging.
+	HedgeAfter time.Duration
+	// HedgeQuantile is the latency quantile that arms an adaptive hedge
+	// (default 0.95).
+	HedgeQuantile float64
+	// HedgeMin floors the adaptive hedge delay so a fast fleet does not
+	// hedge every request (default 10ms).
+	HedgeMin time.Duration
+	// BreakerThreshold is the consecutive transient failures that open
+	// an endpoint's circuit breaker (default 3).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects an endpoint
+	// before allowing one half-open trial (default 1s).
+	BreakerCooldown time.Duration
+	// ProbeInterval is the background health-probe period per endpoint;
+	// probes feed the breakers, so a recovered replica re-enters
+	// rotation without waiting for query traffic (default 2s; negative
+	// disables probing).
+	ProbeInterval time.Duration
+	// Clock supplies time; tests inject a fake (default: real clock).
+	Clock clock.Clock
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 64
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 3
+	}
+	if c.Backoff.Base == 0 {
+		c.Backoff = fault.Backoff{Base: 5 * time.Millisecond, Cap: 100 * time.Millisecond, Rand: c.Backoff.Rand}
+	}
+	if c.HedgeQuantile <= 0 || c.HedgeQuantile >= 1 {
+		c.HedgeQuantile = 0.95
+	}
+	if c.HedgeMin <= 0 {
+		c.HedgeMin = 10 * time.Millisecond
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 3
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = time.Second
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.Clock == nil {
+		c.Clock = clock.Real{}
+	}
+	return c
+}
+
+// Coordinator fans queries out across the shard fleet.
+type Coordinator struct {
+	cfg Config
+	clk clock.Clock
+
+	parts []*partition
+
+	inflight atomic.Int64
+	draining atomic.Bool
+
+	queries, completed, failed, rejected atomic.Int64
+	degraded, retries, hedges, hedgeWins atomic.Int64
+
+	// meta caches each table's immutable schema (columns/types), fetched
+	// from the fleet on first use.
+	metaMu sync.Mutex
+	meta   map[string]*tableMeta
+
+	stop    chan struct{}
+	probing sync.WaitGroup
+}
+
+type tableMeta struct {
+	columns []string
+	types   []readopt.ColumnType
+}
+
+// New builds a Coordinator over cfg.Partitions and starts its health
+// probes. Call Close to stop them.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Partitions) == 0 {
+		return nil, fmt.Errorf("shard: no partitions configured")
+	}
+	c := &Coordinator{
+		cfg:  cfg,
+		clk:  cfg.Clock,
+		meta: make(map[string]*tableMeta),
+		stop: make(chan struct{}),
+	}
+	for i, urls := range cfg.Partitions {
+		if len(urls) == 0 {
+			return nil, fmt.Errorf("shard: partition %d has no replicas", i)
+		}
+		p := &partition{index: i}
+		for _, u := range urls {
+			p.endpoints = append(p.endpoints, newEndpoint(u, cfg))
+		}
+		c.parts = append(c.parts, p)
+	}
+	if cfg.ProbeInterval > 0 {
+		for _, p := range c.parts {
+			for _, ep := range p.endpoints {
+				c.probing.Add(1)
+				go c.probe(ep)
+			}
+		}
+	}
+	return c, nil
+}
+
+// Partitions returns the configured partition count.
+func (c *Coordinator) Partitions() int { return len(c.parts) }
+
+// Drain stops admitting queries: /query answers 503 and /healthz goes
+// unhealthy, while queries already admitted run to completion.
+func (c *Coordinator) Drain() { c.draining.Store(true) }
+
+// Close stops the health probes. Safe to call once.
+func (c *Coordinator) Close() {
+	close(c.stop)
+	c.probing.Wait()
+}
+
+// probe is one endpoint's health loop: a periodic /healthz round trip
+// whose outcome feeds the endpoint's breaker, so a dead replica opens
+// without burning query retries and a recovered one closes again
+// without waiting for traffic.
+func (c *Coordinator) probe(ep *endpoint) {
+	defer c.probing.Done()
+	for {
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+		c.clk.Sleep(c.cfg.ProbeInterval)
+		select {
+		case <-c.stop:
+			return
+		default:
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), c.cfg.ProbeInterval)
+		err := ep.client.Healthy(ctx)
+		cancel()
+		if err != nil {
+			ep.probeFailure(c.clk.Now())
+		} else {
+			ep.probeSuccess()
+		}
+	}
+}
+
+// admit reserves an inflight slot unless the coordinator is full.
+func (c *Coordinator) admit() bool {
+	limit := int64(c.cfg.MaxInflight)
+	for {
+		n := c.inflight.Load()
+		if n >= limit {
+			return false
+		}
+		if c.inflight.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}

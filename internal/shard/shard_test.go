@@ -1,0 +1,526 @@
+package shard_test
+
+// In-process scatter-gather tests: real server.Server shards behind
+// httptest listeners, a real Coordinator over them, and a single
+// reference server holding the whole table. The headline assertion
+// everywhere: the coordinator's answer is identical to the single
+// server's, for every query shape and any partition count.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/readoptdb/readopt"
+	"github.com/readoptdb/readopt/internal/fault"
+	"github.com/readoptdb/readopt/internal/server"
+	"github.com/readoptdb/readopt/internal/shard"
+)
+
+const testRows = 3000
+
+func loadOrders(t *testing.T, n int64) *readopt.Table {
+	t.Helper()
+	tbl, err := readopt.GenerateTPCH(filepath.Join(t.TempDir(), "orders"), readopt.Orders(),
+		readopt.ColumnLayout, n, 7, readopt.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// splitTable cuts tbl into nParts contiguous row ranges — scan-order
+// partitions, the contract the coordinator's concat merge relies on —
+// and loads each range into its own table.
+func splitTable(t *testing.T, tbl *readopt.Table, nParts int) []*readopt.Table {
+	t.Helper()
+	cols := tbl.Schema().Columns()
+	rows, err := tbl.Query(readopt.Query{Select: cols})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all [][]any
+	for rows.Next() {
+		vals, verr := rows.Values()
+		if verr != nil {
+			t.Fatal(verr)
+		}
+		all = append(all, vals)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rows.Close()
+
+	parts := make([]*readopt.Table, nParts)
+	per := (len(all) + nParts - 1) / nParts
+	for i := range parts {
+		lo := i * per
+		hi := lo + per
+		if hi > len(all) {
+			hi = len(all)
+		}
+		dir := filepath.Join(t.TempDir(), fmt.Sprintf("part%d", i))
+		l, err := readopt.NewLoader(dir, readopt.Orders(), readopt.ColumnLayout, readopt.LoadOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, vals := range all[lo:hi] {
+			if err := l.Append(vals...); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pt, err := l.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		parts[i] = pt
+	}
+	return parts
+}
+
+// startShard serves tbl on its own listener and returns the base URL.
+func startShard(t *testing.T, tbl *readopt.Table) string {
+	t.Helper()
+	s := server.New(server.Config{Workers: 2})
+	if err := s.AddTable("orders", tbl); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL
+}
+
+// startCoordinator wraps cfg's fleet in a Coordinator and serves it.
+func startCoordinator(t *testing.T, cfg shard.Config) (*shard.Coordinator, *readopt.Client) {
+	t.Helper()
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = -1 // keep unit tests deterministic and fast
+	}
+	c, err := shard.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	ts := httptest.NewServer(c.Handler())
+	t.Cleanup(ts.Close)
+	return c, readopt.NewClient(ts.URL, nil)
+}
+
+// deadURL returns a URL nothing listens on: connections are refused
+// immediately — the cheapest "crashed replica".
+func deadURL(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := "http://" + l.Addr().String()
+	l.Close()
+	return url
+}
+
+var testQueries = []struct {
+	name string
+	q    readopt.Query
+}{
+	{"select-all", readopt.Query{Select: []string{"O_ORDERKEY", "O_ORDERSTATUS", "O_TOTALPRICE"}}},
+	{"filtered", readopt.Query{
+		Select: []string{"O_ORDERKEY", "O_TOTALPRICE"},
+		Where:  []readopt.Cond{{Column: "O_TOTALPRICE", Op: "<", Value: 200000}},
+	}},
+	{"limit", readopt.Query{Select: []string{"O_ORDERKEY"}, Limit: 17}},
+	{"order-limit", readopt.Query{
+		Select:  []string{"O_ORDERKEY", "O_TOTALPRICE"},
+		OrderBy: []readopt.Order{{Column: "O_TOTALPRICE", Desc: true}, {Column: "O_ORDERKEY"}},
+		Limit:   25,
+	}},
+	{"order-only", readopt.Query{
+		Select:  []string{"O_ORDERKEY", "O_CUSTKEY"},
+		Where:   []readopt.Cond{{Column: "O_ORDERKEY", Op: "<", Value: 500}},
+		OrderBy: []readopt.Order{{Column: "O_CUSTKEY"}, {Column: "O_ORDERKEY"}},
+	}},
+	{"scalar-aggs", readopt.Query{
+		Aggs: []readopt.Agg{{Func: "count"}, {Func: "sum", Column: "O_TOTALPRICE"},
+			{Func: "min", Column: "O_TOTALPRICE"}, {Func: "max", Column: "O_TOTALPRICE"},
+			{Func: "avg", Column: "O_TOTALPRICE"}},
+	}},
+	{"group-aggs", readopt.Query{
+		GroupBy: []string{"O_ORDERSTATUS"},
+		Aggs:    []readopt.Agg{{Func: "count"}, {Func: "sum", Column: "O_TOTALPRICE"}, {Func: "avg", Column: "O_TOTALPRICE"}},
+	}},
+	{"group-text-filtered", readopt.Query{
+		GroupBy: []string{"O_ORDERPRIORITY"},
+		Where:   []readopt.Cond{{Column: "O_ORDERDATE", Op: ">=", Value: 1000}},
+		Aggs:    []readopt.Agg{{Func: "min", Column: "O_ORDERKEY"}, {Func: "avg", Column: "O_ORDERDATE"}},
+	}},
+	{"agg-order-limit", readopt.Query{
+		GroupBy: []string{"O_CUSTKEY"},
+		Aggs:    []readopt.Agg{{Func: "sum", Column: "O_TOTALPRICE"}},
+		OrderBy: []readopt.Order{{Column: "SUM(O_TOTALPRICE)", Desc: true}, {Column: "O_CUSTKEY"}},
+		Limit:   10,
+	}},
+}
+
+// TestCoordinatorByteIdentity is the tentpole's acceptance: for every
+// query shape and several partition counts, the coordinator's wire
+// answer equals a single server's, row for row and byte for byte.
+func TestCoordinatorByteIdentity(t *testing.T) {
+	tbl := loadOrders(t, testRows)
+	single := startShard(t, tbl)
+	ref := readopt.NewClient(single, nil)
+
+	for _, nParts := range []int{1, 2, 3} {
+		parts := splitTable(t, tbl, nParts)
+		var partitions [][]string
+		for _, pt := range parts {
+			partitions = append(partitions, []string{startShard(t, pt)})
+		}
+		_, client := startCoordinator(t, shard.Config{Partitions: partitions})
+
+		for _, tc := range testQueries {
+			t.Run(fmt.Sprintf("%d-parts/%s", nParts, tc.name), func(t *testing.T) {
+				ctx := context.Background()
+				want, err := ref.Query(ctx, "orders", tc.q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := client.Query(ctx, "orders", tc.q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(got.Columns, want.Columns) {
+					t.Fatalf("columns %v, want %v", got.Columns, want.Columns)
+				}
+				if !reflect.DeepEqual(got.Types, want.Types) {
+					t.Fatalf("types %v, want %v", got.Types, want.Types)
+				}
+				if !reflect.DeepEqual(got.Rows, want.Rows) {
+					t.Fatalf("rows differ: %d vs %d\ngot  %v\nwant %v",
+						len(got.Rows), len(want.Rows), clip(got.Rows), clip(want.Rows))
+				}
+				if got.Degraded {
+					t.Fatal("healthy fleet answered degraded")
+				}
+			})
+		}
+	}
+}
+
+func clip(rows [][]any) [][]any {
+	if len(rows) > 5 {
+		return rows[:5]
+	}
+	return rows
+}
+
+// TestCoordinatorFailover kills a partition's preferred replica and
+// expects the query to succeed — identically — through the backup,
+// with the retry counted.
+func TestCoordinatorFailover(t *testing.T) {
+	tbl := loadOrders(t, testRows)
+	parts := splitTable(t, tbl, 2)
+	live0, live1 := startShard(t, parts[0]), startShard(t, parts[1])
+	single := readopt.NewClient(startShard(t, tbl), nil)
+
+	c, client := startCoordinator(t, shard.Config{
+		Partitions: [][]string{
+			{deadURL(t), live0}, // preferred replica is down
+			{live1},
+		},
+		Backoff: fault.Backoff{Base: time.Millisecond, Cap: 4 * time.Millisecond},
+	})
+
+	q := readopt.Query{GroupBy: []string{"O_ORDERSTATUS"}, Aggs: []readopt.Agg{{Func: "count"}, {Func: "avg", Column: "O_TOTALPRICE"}}}
+	want, err := single.Query(context.Background(), "orders", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Query(context.Background(), "orders", q)
+	if err != nil {
+		t.Fatalf("failover query: %v", err)
+	}
+	if !reflect.DeepEqual(got.Rows, want.Rows) {
+		t.Fatalf("failover rows %v, want %v", got.Rows, want.Rows)
+	}
+	if s := c.Stats(); s.Retries == 0 {
+		t.Fatalf("expected retries after dead primary, stats %+v", s)
+	}
+}
+
+// TestCoordinatorFailClosed: with a whole partition dead, the default
+// is a typed transient failure — never a silently partial answer.
+func TestCoordinatorFailClosed(t *testing.T) {
+	tbl := loadOrders(t, testRows)
+	parts := splitTable(t, tbl, 2)
+	live := startShard(t, parts[0])
+	_ = parts[1] // partition 1 has no live replica at all
+
+	_, client := startCoordinator(t, shard.Config{
+		Partitions:  [][]string{{live}, {deadURL(t)}},
+		Backoff:     fault.Backoff{Base: time.Millisecond, Cap: 2 * time.Millisecond},
+		RetryBudget: 2,
+	})
+
+	_, err := client.Query(context.Background(), "orders", readopt.Query{Select: []string{"O_ORDERKEY"}})
+	if err == nil {
+		t.Fatal("query succeeded with a dead partition and no AllowDegraded")
+	}
+	var se *readopt.ServerError
+	if !errors.As(err, &se) || se.Code != readopt.CodeTransient {
+		t.Fatalf("want typed transient wire error, got %v", err)
+	}
+}
+
+// TestCoordinatorDegraded: AllowDegraded turns the same dead partition
+// into a flagged partial answer from the live ones.
+func TestCoordinatorDegraded(t *testing.T) {
+	tbl := loadOrders(t, testRows)
+	parts := splitTable(t, tbl, 2)
+	live := startShard(t, parts[0])
+	partRef := readopt.NewClient(live, nil)
+
+	c, client := startCoordinator(t, shard.Config{
+		Partitions:  [][]string{{live}, {deadURL(t)}},
+		Backoff:     fault.Backoff{Base: time.Millisecond, Cap: 2 * time.Millisecond},
+		RetryBudget: 2,
+	})
+
+	q := readopt.Query{Select: []string{"O_ORDERKEY"}, Limit: 100000}
+	want, err := partRef.Query(context.Background(), "orders", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(context.Background(), readopt.QueryRequest{
+		Table: "orders", Query: q, AllowDegraded: true,
+	})
+	if err != nil {
+		t.Fatalf("degraded query: %v", err)
+	}
+	if !resp.Degraded {
+		t.Fatal("response not flagged degraded")
+	}
+	if !reflect.DeepEqual(resp.DegradedPartitions, []int{1}) {
+		t.Fatalf("degraded partitions %v, want [1]", resp.DegradedPartitions)
+	}
+	if !reflect.DeepEqual(resp.Rows, want.Rows) {
+		t.Fatalf("degraded answer should equal the live partition's: %d rows vs %d", len(resp.Rows), len(want.Rows))
+	}
+	if s := c.Stats(); s.Degraded != 1 {
+		t.Fatalf("degraded counter %d, want 1", s.Degraded)
+	}
+
+	// Every partition dead: degraded never invents an empty answer.
+	_, client2 := startCoordinator(t, shard.Config{
+		Partitions:  [][]string{{deadURL(t)}, {deadURL(t)}},
+		Backoff:     fault.Backoff{Base: time.Millisecond, Cap: 2 * time.Millisecond},
+		RetryBudget: 2,
+	})
+	_, err = client2.Do(context.Background(), readopt.QueryRequest{
+		Table: "orders", Query: q, AllowDegraded: true,
+	})
+	var se *readopt.ServerError
+	if !errors.As(err, &se) || se.Code != readopt.CodeTransient {
+		t.Fatalf("all-dead fleet: want typed transient, got %v", err)
+	}
+}
+
+// TestCoordinatorCorruptFailsClosed: a partition answering the corrupt
+// wire code fails the whole query — even with AllowDegraded — because
+// a replica cannot repair bad data and a partial answer would be
+// silently wrong in a different way.
+func TestCoordinatorCorruptFailsClosed(t *testing.T) {
+	tbl := loadOrders(t, testRows)
+	parts := splitTable(t, tbl, 2)
+	live := startShard(t, parts[0])
+	corrupt := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, `{"error":"page 7 CRC mismatch","code":%q}`, readopt.CodeCorrupt)
+	}))
+	t.Cleanup(corrupt.Close)
+
+	_, client := startCoordinator(t, shard.Config{
+		Partitions: [][]string{{live}, {corrupt.URL}},
+	})
+	for _, allowDegraded := range []bool{false, true} {
+		_, err := client.Do(context.Background(), readopt.QueryRequest{
+			Table: "orders", Query: readopt.Query{Select: []string{"O_ORDERKEY"}},
+			AllowDegraded: allowDegraded,
+		})
+		var se *readopt.ServerError
+		if !errors.As(err, &se) || se.Code != readopt.CodeCorrupt {
+			t.Fatalf("allowDegraded=%v: want typed corrupt, got %v", allowDegraded, err)
+		}
+	}
+}
+
+// TestCoordinatorHedging: one replica is made a straggler; the fixed
+// hedge delay races the fast replica and wins well before the
+// straggler would have answered.
+func TestCoordinatorHedging(t *testing.T) {
+	tbl := loadOrders(t, testRows)
+	parts := splitTable(t, tbl, 1)
+	fast := startShard(t, parts[0])
+	slowBackend := startShard(t, parts[0])
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/query" {
+			time.Sleep(400 * time.Millisecond)
+		}
+		proxyTo(t, w, r, slowBackend)
+	}))
+	t.Cleanup(slow.Close)
+
+	c, client := startCoordinator(t, shard.Config{
+		Partitions: [][]string{{slow.URL, fast}}, // straggler preferred
+		HedgeAfter: 20 * time.Millisecond,
+	})
+	start := time.Now()
+	resp, err := client.Query(context.Background(), "orders", readopt.Query{
+		Aggs: []readopt.Agg{{Func: "count"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed >= 400*time.Millisecond {
+		t.Fatalf("hedge did not rescue the straggler: took %s", elapsed)
+	}
+	if got := resp.Rows[0][0].(float64); int64(got) != testRows {
+		t.Fatalf("count %v, want %d", got, testRows)
+	}
+	s := c.Stats()
+	if s.Hedges == 0 || s.HedgeWins == 0 {
+		t.Fatalf("hedge not counted: %+v", s)
+	}
+}
+
+// proxyTo forwards one request to a backend readoptd, making the slow
+// wrapper transparent.
+func proxyTo(t *testing.T, w http.ResponseWriter, r *http.Request, backend string) {
+	req, err := http.NewRequestWithContext(r.Context(), r.Method, backend+r.URL.Path, r.Body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+		return
+	}
+	defer resp.Body.Close()
+	w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
+	w.WriteHeader(resp.StatusCode)
+	_, _ = io.Copy(w, resp.Body)
+}
+
+// TestCoordinatorWireChaos is the seeded chaos suite at the wire: with
+// a deterministic fault transport dropping requests, every query either
+// answers byte-identically or fails with a typed transient code — and
+// the whole outcome schedule replays identically for the same seed.
+func TestCoordinatorWireChaos(t *testing.T) {
+	tbl := loadOrders(t, testRows)
+	parts := splitTable(t, tbl, 2)
+	urls := [][]string{
+		{startShard(t, parts[0]), startShard(t, parts[0])},
+		{startShard(t, parts[1]), startShard(t, parts[1])},
+	}
+	single := readopt.NewClient(startShard(t, tbl), nil)
+	q := readopt.Query{GroupBy: []string{"O_ORDERSTATUS"}, Aggs: []readopt.Agg{{Func: "count"}, {Func: "avg", Column: "O_TOTALPRICE"}}}
+	want, err := single.Query(context.Background(), "orders", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(seed int64) []string {
+		chaos := fault.NewWireChaos(fault.WireConfig{Seed: seed, DropRate: 0.4}, nil)
+		_, client := startCoordinator(t, shard.Config{
+			Partitions:  urls,
+			HTTPClient:  &http.Client{Transport: chaos},
+			Backoff:     fault.Backoff{Base: time.Millisecond, Cap: 2 * time.Millisecond, Jitter: -1},
+			RetryBudget: 2,
+		})
+		var outcomes []string
+		for i := 0; i < 20; i++ {
+			got, err := client.Query(context.Background(), "orders", q)
+			switch {
+			case err == nil:
+				if !reflect.DeepEqual(got.Rows, want.Rows) {
+					t.Fatalf("chaos query %d: rows diverged: %v vs %v", i, got.Rows, want.Rows)
+				}
+				outcomes = append(outcomes, "ok")
+			default:
+				var se *readopt.ServerError
+				if !errors.As(err, &se) || se.Code != readopt.CodeTransient {
+					t.Fatalf("chaos query %d: want success or typed transient, got %v", i, err)
+				}
+				outcomes = append(outcomes, "transient")
+			}
+		}
+		return outcomes
+	}
+
+	first := run(42)
+	second := run(42)
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("same seed, different schedule:\n%v\n%v", first, second)
+	}
+	if !strings.Contains(strings.Join(first, ","), "transient") {
+		t.Log("note: no query failed at this seed; drops were all absorbed by retries")
+	}
+}
+
+// TestCoordinatorTablesAndInserts: the merged catalog sums partition
+// sizes, and the read-only tier refuses writes with a typed error.
+func TestCoordinatorTablesAndInserts(t *testing.T) {
+	tbl := loadOrders(t, testRows)
+	parts := splitTable(t, tbl, 3)
+	var partitions [][]string
+	for _, pt := range parts {
+		partitions = append(partitions, []string{startShard(t, pt)})
+	}
+	_, client := startCoordinator(t, shard.Config{Partitions: partitions})
+
+	infos, err := client.Tables(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 || infos[0].Name != "orders" {
+		t.Fatalf("catalog %+v", infos)
+	}
+	if infos[0].Rows != testRows {
+		t.Fatalf("merged catalog rows %d, want %d", infos[0].Rows, testRows)
+	}
+
+	_, err = client.Insert(context.Background(), "orders", [][]any{{1, 1, 1, "F", "1-URGENT", 1, 0}})
+	if err == nil {
+		t.Fatal("insert accepted by read-only coordinator")
+	}
+	var se *readopt.ServerError
+	if !errors.As(err, &se) || se.Code != readopt.CodeBadRequest {
+		t.Fatalf("want bad_request on insert, got %v", err)
+	}
+}
+
+// TestCoordinatorAdmission: MaxInflight 0 still defaults; a tiny limit
+// rejects with the queue-full code once saturated.
+func TestCoordinatorBadRequestPassthrough(t *testing.T) {
+	tbl := loadOrders(t, testRows)
+	parts := splitTable(t, tbl, 2)
+	_, client := startCoordinator(t, shard.Config{
+		Partitions: [][]string{{startShard(t, parts[0])}, {startShard(t, parts[1])}},
+	})
+	_, err := client.Query(context.Background(), "orders", readopt.Query{Select: []string{"NO_SUCH_COLUMN"}})
+	var se *readopt.ServerError
+	if !errors.As(err, &se) || se.Code != readopt.CodeBadRequest {
+		t.Fatalf("want shard's bad_request passed through, got %v", err)
+	}
+}

@@ -1,0 +1,119 @@
+package shard
+
+// Coordinator observability: a JSON snapshot for /stats and the same
+// numbers in Prometheus text format for /metrics, including per-
+// endpoint error counters and breaker states — the operator's view of
+// which replica is down and where retries are going.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EndpointStats is one replica's health as the coordinator sees it.
+type EndpointStats struct {
+	URL      string `json:"url"`
+	Requests int64  `json:"requests"`
+	Errors   int64  `json:"errors"`
+	// Breaker is "closed", "open" or "half-open".
+	Breaker string `json:"breaker"`
+}
+
+// PartitionStats groups one partition's replicas.
+type PartitionStats struct {
+	Partition int             `json:"partition"`
+	Endpoints []EndpointStats `json:"endpoints"`
+}
+
+// Stats is the coordinator's aggregate, served by GET /stats.
+type Stats struct {
+	Queries   int64 `json:"queries"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	// Rejected counts queries shed by the coordinator's admission gate.
+	Rejected int64 `json:"rejected"`
+	// Degraded counts queries answered without every partition
+	// (AllowDegraded).
+	Degraded int64 `json:"degraded"`
+	// Retries counts transient shard failures retried onto a replica;
+	// Hedges counts straggler requests raced onto a second replica, and
+	// HedgeWins how often the second replica answered first.
+	Retries   int64 `json:"retries"`
+	Hedges    int64 `json:"hedges"`
+	HedgeWins int64 `json:"hedge_wins"`
+	// Inflight is the queries executing right now.
+	Inflight   int64            `json:"inflight"`
+	Partitions []PartitionStats `json:"partitions"`
+}
+
+// Stats snapshots the coordinator's counters and fleet health.
+func (c *Coordinator) Stats() Stats {
+	s := Stats{
+		Queries:   c.queries.Load(),
+		Completed: c.completed.Load(),
+		Failed:    c.failed.Load(),
+		Rejected:  c.rejected.Load(),
+		Degraded:  c.degraded.Load(),
+		Retries:   c.retries.Load(),
+		Hedges:    c.hedges.Load(),
+		HedgeWins: c.hedgeWins.Load(),
+		Inflight:  c.inflight.Load(),
+	}
+	for _, p := range c.parts {
+		ps := PartitionStats{Partition: p.index}
+		for _, ep := range p.endpoints {
+			ps.Endpoints = append(ps.Endpoints, EndpointStats{
+				URL:      ep.url,
+				Requests: ep.requests.Load(),
+				Errors:   ep.errors.Load(),
+				Breaker:  ep.breaker().String(),
+			})
+		}
+		s.Partitions = append(s.Partitions, ps)
+	}
+	return s
+}
+
+// Metrics renders the snapshot in Prometheus text format, the same
+// hand-rendered style as the shard servers' own /metrics.
+func (c *Coordinator) Metrics() string {
+	s := c.Stats()
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("readopt_shard_queries_total", "Queries the coordinator accepted.", s.Queries)
+	counter("readopt_shard_completed_total", "Queries answered successfully.", s.Completed)
+	counter("readopt_shard_failed_total", "Queries that failed.", s.Failed)
+	counter("readopt_shard_rejected_total", "Queries shed by coordinator admission control.", s.Rejected)
+	counter("readopt_shard_degraded_total", "Queries answered without every partition (AllowDegraded).", s.Degraded)
+	counter("readopt_shard_retries_total", "Transient shard failures retried onto a replica.", s.Retries)
+	counter("readopt_shard_hedges_total", "Straggler requests hedged onto a second replica.", s.Hedges)
+	counter("readopt_shard_hedge_wins_total", "Hedged requests where the second replica answered first.", s.HedgeWins)
+	fmt.Fprintf(&b, "# HELP readopt_shard_inflight Queries executing right now.\n# TYPE readopt_shard_inflight gauge\nreadopt_shard_inflight %d\n", s.Inflight)
+
+	series := func(name, help, typ string, value func(PartitionStats, EndpointStats) string) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, p := range s.Partitions {
+			for _, ep := range p.Endpoints {
+				fmt.Fprintf(&b, "%s{partition=\"%d\",endpoint=%q} %s\n", name, p.Partition, ep.URL, value(p, ep))
+			}
+		}
+	}
+	series("readopt_shard_requests_total", "Shard requests sent, per endpoint.", "counter",
+		func(_ PartitionStats, ep EndpointStats) string { return fmt.Sprintf("%d", ep.Requests) })
+	series("readopt_shard_errors_total", "Shard requests that failed, per endpoint.", "counter",
+		func(_ PartitionStats, ep EndpointStats) string { return fmt.Sprintf("%d", ep.Errors) })
+	series("readopt_shard_breaker_state", "Circuit breaker state per endpoint: 0 closed, 1 open, 2 half-open.", "gauge",
+		func(_ PartitionStats, ep EndpointStats) string {
+			switch ep.Breaker {
+			case "open":
+				return "1"
+			case "half-open":
+				return "2"
+			default:
+				return "0"
+			}
+		})
+	return b.String()
+}

@@ -152,7 +152,7 @@ func openRun(ctx context.Context, path string, pageSize, startPage, pages int) (
 		}
 		return fault.ChaosWrap(name, base+skip, &runFile{OSReader: r, f: f}), nil
 	}
-	return fault.NewRetryReader(open, 3, 2*time.Millisecond, clock.Real{})
+	return fault.NewRetryReaderCtx(ctx, open, 3, fault.Backoff{Base: 2 * time.Millisecond}, clock.Real{})
 }
 
 // runFile pairs the prefetching reader with its file for Close.

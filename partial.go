@@ -1,0 +1,131 @@
+package readopt
+
+// The partial-aggregation facade: the shard coordinator's view of one
+// table. A partial query runs the normal plan but stops at the
+// fixed-width accumulator states (the same states a parallel plan's
+// workers ship through its exchange); the coordinator folds states from
+// every partition through the identical merge operator, so a
+// distributed aggregation is byte-identical to a single-process run —
+// including the int32 truncation and the truncating AVG division, which
+// a value-level merge could not reproduce once a partial sum overflows.
+
+import (
+	"fmt"
+
+	"github.com/readoptdb/readopt/internal/cpumodel"
+	"github.com/readoptdb/readopt/internal/plan"
+	"github.com/readoptdb/readopt/internal/schema"
+)
+
+// PartialAggResult is one table's (or one shard's) half-finished
+// aggregation: concatenated accumulator states plus the schema of the
+// final result they merge into.
+type PartialAggResult struct {
+	// States is the concatenation of fixed-width accumulator states —
+	// one per group per worker, possibly several per group at dop > 1.
+	States []byte
+	// StateWidth is the width of each state in bytes: the group key
+	// bytes, an 8-byte row count, then 16 bytes per aggregate.
+	StateWidth int
+	// Columns and Types describe the final (merged) output, not the
+	// state transport.
+	Columns []string
+	Types   []ColumnType
+	// Stats is the engine work behind the partial pass.
+	Stats ScanStats
+	// Dop is the effective degree of parallelism the partial ran at.
+	Dop int
+}
+
+// QueryPartialAgg executes an aggregation query up to (but not
+// including) the final merge and returns the raw accumulator states.
+// The query must aggregate and must not order or limit — those apply
+// above the merge, wherever the states are folded. Everything else
+// composes as usual: predicates, group-by, the ingest overlay, Ctx,
+// Dop and Scalar.
+func (t *Table) QueryPartialAgg(q Query, opts ExecOptions) (*PartialAggResult, error) {
+	if err := q.validate(); err != nil {
+		return nil, err
+	}
+	if len(q.Aggs) == 0 {
+		return nil, fmt.Errorf("readopt: partial aggregation needs aggregates")
+	}
+	if len(q.OrderBy) > 0 || q.Limit > 0 {
+		return nil, fmt.Errorf("readopt: partial aggregation cannot order or limit; apply them after the merge")
+	}
+	spec, err := t.buildSpec(q, opts.Dop)
+	if err != nil {
+		return nil, err
+	}
+	spec.Scalar = opts.Scalar
+	spec.Partial = true
+	tbl, delta, release := t.pin()
+	p, err := plan.Compile(tbl, spec)
+	if err != nil {
+		release()
+		return nil, err
+	}
+	var counters cpumodel.Counters
+	op, err := p.Operator(plan.ExecOpts{Ctx: opts.Ctx, Counters: &counters, Delta: delta})
+	if err != nil {
+		release()
+		return nil, err
+	}
+	if err := op.Open(); err != nil {
+		_ = op.Close()
+		release()
+		return nil, err
+	}
+	width := op.Schema().Width()
+	var states []byte
+	for {
+		b, nerr := op.Next()
+		if nerr != nil {
+			_ = op.Close()
+			release()
+			return nil, nerr
+		}
+		if b == nil {
+			break
+		}
+		for i := 0; i < b.Len(); i++ {
+			states = append(states, b.Tuple(i)...)
+		}
+	}
+	cerr := op.Close()
+	release()
+	if cerr != nil {
+		return nil, cerr
+	}
+	final := p.FinalSchema()
+	return &PartialAggResult{
+		States:     states,
+		StateWidth: width,
+		Columns:    wireColumns(final),
+		Types:      wireTypes(final),
+		Stats:      scanStatsOf(counters),
+		Dop:        p.Dop(),
+	}, nil
+}
+
+// wireColumns and wireTypes render an internal schema as the wire's
+// column lists (the same mapping Rows.Columns / Rows.ColumnTypes use).
+func wireColumns(s *schema.Schema) []string {
+	out := make([]string, s.NumAttrs())
+	for i, a := range s.Attrs {
+		out[i] = a.Name
+	}
+	return out
+}
+
+func wireTypes(s *schema.Schema) []ColumnType {
+	out := make([]ColumnType, s.NumAttrs())
+	for i, a := range s.Attrs {
+		if a.Type.Kind == schema.Int32 {
+			out[i] = Int32
+		} else {
+			out[i] = Text(a.Type.Size)
+		}
+	}
+	return out
+}

@@ -489,18 +489,7 @@ func (r *Rows) Stats() ScanStats {
 	if r.tr != nil {
 		c.Add(r.tr.Total())
 	}
-	return ScanStats{
-		Instructions:     c.Instr,
-		SeqMemBytes:      c.SeqBytes,
-		RandMemLines:     c.RandLines,
-		L1MemBytes:       c.L1Bytes,
-		IORequests:       c.IORequests,
-		IOBytes:          c.IOBytes,
-		Pages:            c.Pages,
-		PagesPruned:      c.PagesPruned,
-		PagesLateSkipped: c.PagesLateSkipped,
-		BytesSkipped:     c.BytesSkipped,
-	}
+	return scanStatsOf(c)
 }
 
 // encodeRow fills a decoded tuple from Go values.

@@ -136,6 +136,19 @@ func (s *Schema) Columns() []string {
 	return out
 }
 
+// Types returns the column types in order, aligned with Columns.
+func (s *Schema) Types() []ColumnType {
+	out := make([]ColumnType, s.inner.NumAttrs())
+	for i, a := range s.inner.Attrs {
+		if a.Type.Kind == schema.Int32 {
+			out[i] = Int32
+		} else {
+			out[i] = Text(a.Type.Size)
+		}
+	}
+	return out
+}
+
 // TupleBytes returns the decoded tuple width in bytes.
 func (s *Schema) TupleBytes() int { return s.inner.Width() }
 

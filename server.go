@@ -14,9 +14,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"strings"
+	"time"
 
+	"github.com/readoptdb/readopt/internal/fault"
 	"github.com/readoptdb/readopt/internal/schema"
 )
 
@@ -44,6 +47,21 @@ type QueryRequest struct {
 	// trace reports the scan and partial-aggregation stages with their
 	// workers' merged counters.
 	Trace bool `json:"trace,omitempty"`
+	// Partial asks the server to stop an aggregation before the final
+	// merge and return the raw accumulator states (the response's
+	// StateB64/StateWidth) instead of rows — the shard coordinator's
+	// transport, which folds states from every partition through the
+	// same merge operator a parallel plan uses, keeping the distributed
+	// result byte-identical to a single-process run. Requires aggregates
+	// and forbids order_by/limit (the coordinator applies those after
+	// the merge).
+	Partial bool `json:"partial,omitempty"`
+	// AllowDegraded opts a scatter-gather query into partial results: a
+	// coordinator that cannot reach any live replica of some partition
+	// answers from the rest and sets the response's Degraded flag,
+	// instead of failing the query (the fail-closed default). Ignored by
+	// a plain (non-coordinator) server.
+	AllowDegraded bool `json:"allow_degraded,omitempty"`
 }
 
 // QueryResponse is the JSON body answering POST /query.
@@ -71,6 +89,17 @@ type QueryResponse struct {
 	ExecMicros      int64 `json:"exec_us"`
 	// Trace is the per-stage trace, present when the request set "trace".
 	Trace *QueryTrace `json:"trace,omitempty"`
+	// StateB64 and StateWidth answer a Partial request: the base64 of
+	// the concatenated fixed-width aggregation accumulator states (one
+	// per group per worker), and the width of each state in bytes. Rows
+	// is empty; Columns/Types still describe the final (merged) output.
+	StateB64   string `json:"state_b64,omitempty"`
+	StateWidth int    `json:"state_width,omitempty"`
+	// Degraded is set by a coordinator when AllowDegraded let the query
+	// answer without every partition; DegradedPartitions lists the
+	// partition indexes that contributed nothing.
+	Degraded           bool  `json:"degraded,omitempty"`
+	DegradedPartitions []int `json:"degraded_partitions,omitempty"`
 	// Error and Code are set instead of a result when the request fails;
 	// Code is one of the Code* constants.
 	Error string `json:"error,omitempty"`
@@ -124,6 +153,9 @@ type TableInfo struct {
 	Rows      int64    `json:"rows"`
 	DataBytes int64    `json:"data_bytes"`
 	Columns   []string `json:"columns"`
+	// Types aligns with Columns; a shard coordinator reconstructs the
+	// table's schema from it to re-encode and merge shard results.
+	Types []ColumnType `json:"types,omitempty"`
 }
 
 // ServerStats is the aggregate served by GET /stats: admission-control
@@ -221,6 +253,7 @@ func (t *Table) Info(name string) TableInfo {
 		Rows:      t.Rows(),
 		DataBytes: t.DataBytes(),
 		Columns:   t.Schema().Columns(),
+		Types:     t.Schema().Types(),
 	}
 }
 
@@ -255,14 +288,49 @@ type Client struct {
 	http *http.Client
 }
 
+// defaultTransport is the wire client's default round-tripper: pooled
+// like http.DefaultTransport, but with an explicit dial timeout so a
+// dead endpoint fails fast (and typed transient) even when the request
+// context carries no deadline of its own. A request deadline still
+// bounds the dial below this cap — net/http dials under the request's
+// context.
+var defaultTransport = &http.Transport{
+	DialContext: (&net.Dialer{
+		Timeout:   5 * time.Second,
+		KeepAlive: 30 * time.Second,
+	}).DialContext,
+	MaxIdleConns:        64,
+	MaxIdleConnsPerHost: 16,
+	IdleConnTimeout:     90 * time.Second,
+}
+
+var defaultHTTPClient = &http.Client{Transport: defaultTransport}
+
 // NewClient returns a client for the server at baseURL (e.g.
-// "http://localhost:8077"). httpClient may be nil for
-// http.DefaultClient.
+// "http://localhost:8077"). httpClient may be nil for the package's
+// default client, which dials with a 5s timeout so unreachable servers
+// fail fast.
 func NewClient(baseURL string, httpClient *http.Client) *Client {
 	if httpClient == nil {
-		httpClient = http.DefaultClient
+		httpClient = defaultHTTPClient
 	}
 	return &Client{base: strings.TrimRight(baseURL, "/"), http: httpClient}
+}
+
+// classifyTransport tags a transport-level failure of the HTTP round
+// trip into the engine's failure taxonomy, so refused connections,
+// resets, dial timeouts and mid-body disconnects enter the retry path
+// as ErrTransient instead of surfacing untyped. Context expiry — the
+// caller's deadline, not the server's health — classifies as
+// ErrCancelled.
+func classifyTransport(ctx context.Context, err error) error {
+	if err == nil {
+		return nil
+	}
+	if ctx.Err() != nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return fault.Cancelled(err)
+	}
+	return fault.Transient(err)
 }
 
 // Query runs q against the named table on the server. The context bounds
@@ -285,12 +353,12 @@ func (c *Client) Do(ctx context.Context, req QueryRequest) (*QueryResponse, erro
 	hreq.Header.Set("Content-Type", "application/json")
 	hres, err := c.http.Do(hreq)
 	if err != nil {
-		return nil, err
+		return nil, classifyTransport(ctx, err)
 	}
 	defer hres.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(hres.Body, 1<<30))
 	if err != nil {
-		return nil, err
+		return nil, classifyTransport(ctx, err)
 	}
 	var resp QueryResponse
 	if err := json.Unmarshal(data, &resp); err != nil {
@@ -335,12 +403,12 @@ func (c *Client) post(ctx context.Context, path string, body []byte, out any) er
 	hreq.Header.Set("Content-Type", "application/json")
 	hres, err := c.http.Do(hreq)
 	if err != nil {
-		return err
+		return classifyTransport(ctx, err)
 	}
 	defer hres.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(hres.Body, 1<<30))
 	if err != nil {
-		return err
+		return classifyTransport(ctx, err)
 	}
 	if hres.StatusCode != http.StatusOK {
 		var e struct {
@@ -360,12 +428,12 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 	}
 	hres, err := c.http.Do(hreq)
 	if err != nil {
-		return err
+		return classifyTransport(ctx, err)
 	}
 	defer hres.Body.Close()
 	data, err := io.ReadAll(io.LimitReader(hres.Body, 1<<30))
 	if err != nil {
-		return err
+		return classifyTransport(ctx, err)
 	}
 	if hres.StatusCode != http.StatusOK {
 		var e struct {
